@@ -1,0 +1,46 @@
+// Shared helpers for the figure-reproduction benchmark binaries.
+//
+// Every binary prints the same rows/series the paper's figure reports and
+// accepts:
+//   --quick       fewer sweep points / shorter windows (CI-friendly)
+//   --seed=N      workload seed
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace scalerpc::bench {
+
+struct Options {
+  bool quick = false;
+  uint64_t seed = 1;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      opt.quick = true;
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf("usage: %s [--quick] [--seed=N]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  return opt;
+}
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace scalerpc::bench
+
+#endif  // BENCH_BENCH_COMMON_H_

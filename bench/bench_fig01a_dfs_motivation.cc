@@ -1,0 +1,35 @@
+// Fig. 1a: the motivating observation — Octopus-style DFS metadata
+// throughput over its native self-identified RPC drops sharply for
+// read-oriented ops (Stat/ReadDir) as clients grow, while software-bound
+// Mknod barely moves.
+#include "bench/bench_common.h"
+#include "src/dfs/workload.h"
+
+using namespace scalerpc;
+using namespace scalerpc::dfs;
+using namespace scalerpc::harness;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  bench::header("Fig 1a: DFS metadata throughput vs #clients (selfRPC)",
+                "Stat/ReadDir drop ~50% from 40 to 120 clients; Mknod ~5%");
+  const std::vector<int> clients =
+      opt.quick ? std::vector<int>{40, 120} : std::vector<int>{40, 80, 120};
+  std::printf("%-8s %-12s %-12s %-12s %-12s\n", "clients", "Mknod", "Stat",
+              "ReadDir", "Rmnod");
+  for (int n : clients) {
+    TestbedConfig cfg;
+    cfg.kind = TransportKind::kSelfRpc;
+    cfg.num_clients = n;
+    cfg.num_client_nodes = 8;
+    Testbed bed(cfg);
+    MdtestConfig mc;
+    mc.files_per_client = 60;
+
+    const MdtestResult r = run_mdtest(bed, mc);
+    std::printf("%-8d %-12.3f %-12.3f %-12.3f %-12.3f\n", n, r.mknod_mops,
+                r.stat_mops, r.readdir_mops, r.rmnod_mops);
+  }
+  std::printf("(Mops per op type)\n");
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Fig. 1b: raw throughput of RDMA verbs vs number of clients. Outbound RC
+// write collapses past the NIC QP-cache knee; inbound RC write and UD send
+// stay flat.
+#include "bench/bench_common.h"
+#include "src/harness/rawverbs.h"
+
+using namespace scalerpc;
+using namespace scalerpc::harness;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  bench::header("Fig 1b: raw verb throughput vs #clients",
+                "outbound write 20->2 Mops; inbound write & UD send flat");
+  std::vector<int> clients = opt.quick ? std::vector<int>{10, 100, 400}
+                                       : std::vector<int>{10, 50, 100, 200, 400, 800};
+  std::printf("%-8s %-16s %-16s %-16s\n", "clients", "outbound(Mops)",
+              "inbound(Mops)", "ud_send(Mops)");
+  for (int n : clients) {
+    RawVerbConfig cfg;
+    cfg.num_clients = n;
+    if (opt.quick) {
+      cfg.measure = msec(1);
+    }
+    const auto out = run_outbound_write(cfg);
+    const auto in = run_inbound_write(cfg);
+    const auto ud = run_ud_send(cfg);
+    std::printf("%-8d %-16.2f %-16.2f %-16.2f\n", n, out.mops, in.mops, ud.mops);
+  }
+  return 0;
+}

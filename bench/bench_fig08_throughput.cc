@@ -1,0 +1,68 @@
+// Fig. 8: RPC throughput. Left half: 40-400 clients (11 client nodes),
+// batch sizes 1 and 8, all four RPC implementations. Right half: 40 client
+// threads packed onto 1-5 physical client nodes.
+#include "bench/bench_common.h"
+#include "src/harness/harness.h"
+
+using namespace scalerpc;
+using namespace scalerpc::harness;
+
+namespace {
+double measure(TransportKind kind, int clients, int batch, int nodes, bool quick) {
+  TestbedConfig cfg;
+  cfg.kind = kind;
+  cfg.num_clients = clients;
+  cfg.num_client_nodes = nodes;
+  Testbed bed(cfg);
+  EchoWorkload wl;
+  wl.batch = batch;
+  wl.warmup = usec(600);
+  wl.measure = quick ? msec(1) : msec(2);
+  return run_echo(bed, wl).mops;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  const std::vector<TransportKind> kinds = {TransportKind::kRawWrite,
+                                            TransportKind::kHerd, TransportKind::kFasst,
+                                            TransportKind::kScaleRpc};
+  bench::header("Fig 8 (left): throughput vs #clients",
+                "RawWrite collapses; HERD degrades; FaSST & ScaleRPC stay flat");
+  const std::vector<int> clients =
+      opt.quick ? std::vector<int>{40, 400} : std::vector<int>{40, 120, 200, 300, 400};
+  for (int batch : {1, 8}) {
+    std::printf("\nbatch=%d\n%-10s", batch, "clients");
+    for (auto k : kinds) {
+      std::printf("%-12s", to_string(k));
+    }
+    std::printf("\n");
+    for (int n : clients) {
+      std::printf("%-10d", n);
+      for (auto k : kinds) {
+        std::printf("%-12.2f", measure(k, n, batch, 11, opt.quick));
+      }
+      std::printf("\n");
+    }
+  }
+
+  bench::header("Fig 8 (right): 40 client threads on 1-5 physical nodes",
+                "RC-based RPCs saturate with ~2 nodes; UD-based need more");
+  const std::vector<int> nodes = opt.quick ? std::vector<int>{1, 4}
+                                           : std::vector<int>{1, 2, 3, 4, 5};
+  for (int batch : {1, 8}) {
+    std::printf("\nbatch=%d\n%-10s", batch, "nodes");
+    for (auto k : kinds) {
+      std::printf("%-12s", to_string(k));
+    }
+    std::printf("\n");
+    for (int n : nodes) {
+      std::printf("%-10d", n);
+      for (auto k : kinds) {
+        std::printf("%-12.2f", measure(k, 40, batch, n, opt.quick));
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

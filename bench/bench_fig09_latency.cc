@@ -1,0 +1,54 @@
+// Fig. 9: cumulative latency distribution at 120 clients, batch 1 and 8,
+// plus the median/average/max table. ScaleRPC is bimodal: most batches are
+// served within its slice at very low latency; the rest wait for the
+// group's next turn.
+#include "bench/bench_common.h"
+#include "src/harness/harness.h"
+
+using namespace scalerpc;
+using namespace scalerpc::harness;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  bench::header("Fig 9: latency CDF + summary, 120 clients",
+                "ScaleRPC: low median, bimodal; UD RPCs: wide 20-200us spectrum");
+  const std::vector<TransportKind> kinds = {TransportKind::kRawWrite,
+                                            TransportKind::kHerd, TransportKind::kFasst,
+                                            TransportKind::kScaleRpc};
+  for (int batch : {1, 8}) {
+    std::printf("\n--- batch=%d ---\n", batch);
+    std::printf("%-10s %-10s %-10s %-10s %-10s %-12s\n", "rpc", "p50(us)",
+                "avg(us)", "p99(us)", "max(us)", "tput(Mops)");
+    for (auto k : kinds) {
+      TestbedConfig cfg;
+      cfg.kind = k;
+      cfg.num_clients = 120;
+      Testbed bed(cfg);
+      EchoWorkload wl;
+      wl.batch = batch;
+      wl.warmup = usec(600);
+      wl.measure = opt.quick ? msec(2) : msec(4);
+      const EchoResult r = run_echo(bed, wl);
+      std::printf("%-10s %-10llu %-10.1f %-10llu %-10llu %-12.2f\n", to_string(k),
+                  (unsigned long long)r.batch_latency.percentile(50),
+                  r.batch_latency.mean(),
+                  (unsigned long long)r.batch_latency.percentile(99),
+                  (unsigned long long)r.batch_latency.max(), r.mops);
+      if (!opt.quick) {
+        std::printf("  cdf:");
+        double last = -1.0;
+        for (const auto& [us, frac] : r.batch_latency.cdf()) {
+          if (frac - last >= 0.1 || frac >= 1.0) {
+            std::printf(" (%llu us, %.2f)", (unsigned long long)us, frac);
+            last = frac;
+            if (frac >= 1.0) {
+              break;
+            }
+          }
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig. 10: hardware-counter analysis of RawWrite vs ScaleRPC. PCIeRdCur
+// explodes for RawWrite past the knee (QP/WQE refetches) while tracking
+// throughput for ScaleRPC; PCIeItoM (allocating writes) grows for RawWrite
+// with client count but stays flat for ScaleRPC's recycled pool.
+#include "bench/bench_common.h"
+#include "src/harness/harness.h"
+
+using namespace scalerpc;
+using namespace scalerpc::harness;
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  bench::header("Fig 10: PCM counters, RawWrite vs ScaleRPC", "paper Fig 10");
+  const std::vector<int> clients =
+      opt.quick ? std::vector<int>{40, 300} : std::vector<int>{40, 100, 150, 200, 300, 400};
+  std::printf("%-8s | %-10s %-12s %-12s | %-10s %-12s %-12s\n", "clients",
+              "raw(Mops)", "rdcur(M/s)", "itom(M/s)", "scale(Mops)", "rdcur(M/s)",
+              "itom(M/s)");
+  for (int n : clients) {
+    double vals[6];
+    int i = 0;
+    for (auto k : {TransportKind::kRawWrite, TransportKind::kScaleRpc}) {
+      TestbedConfig cfg;
+      cfg.kind = k;
+      cfg.num_clients = n;
+      Testbed bed(cfg);
+      EchoWorkload wl;
+      wl.batch = 8;
+      wl.warmup = usec(600);
+      wl.measure = opt.quick ? msec(1) : msec(2);
+      const EchoResult r = run_echo(bed, wl);
+      const double secs = static_cast<double>(r.elapsed) / 1e9;
+      vals[i++] = r.mops;
+      vals[i++] = static_cast<double>(r.server_pcm.pcie_rd_cur) / secs / 1e6;
+      vals[i++] = static_cast<double>(r.server_pcm.pcie_itom) / secs / 1e6;
+    }
+    std::printf("%-8d | %-10.2f %-12.2f %-12.2f | %-10.2f %-12.2f %-12.2f\n", n,
+                vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]);
+  }
+  return 0;
+}

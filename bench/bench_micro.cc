@@ -1,0 +1,122 @@
+// google-benchmark microbenchmarks for the substrate hot paths: event-loop
+// dispatch, coroutine round trips, the LLC and NIC-cache models, message
+// framing, the KV store, and end-to-end simulated RPCs per host-second.
+#include <benchmark/benchmark.h>
+
+#include "src/common/stats.h"
+#include "src/harness/harness.h"
+#include "src/kv/hashstore.h"
+#include "src/rpc/msg_format.h"
+#include "src/simrdma/cluster.h"
+#include "src/simrdma/llc.h"
+#include "src/simrdma/nic_cache.h"
+
+using namespace scalerpc;
+
+static void BM_EventLoopDispatch(benchmark::State& state) {
+  sim::EventLoop loop;
+  int sink = 0;
+  for (auto _ : state) {
+    loop.call_in(1, [&sink] { sink++; });
+    loop.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_EventLoopDispatch);
+
+static void BM_CoroutineRoundTrip(benchmark::State& state) {
+  sim::EventLoop loop;
+  auto tick = [](sim::EventLoop& l) -> sim::Task<int> {
+    co_await l.delay(1);
+    co_return 1;
+  };
+  int total = 0;
+  for (auto _ : state) {
+    total += sim::run_blocking(loop, tick(loop));
+  }
+  benchmark::DoNotOptimize(total);
+}
+BENCHMARK(BM_CoroutineRoundTrip);
+
+static void BM_LlcDmaWrite(benchmark::State& state) {
+  simrdma::SimParams params;
+  simrdma::LastLevelCache llc(params);
+  uint64_t addr = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(llc.dma_write(addr, 64));
+    addr = (addr + 64) % MiB(64);
+  }
+}
+BENCHMARK(BM_LlcDmaWrite);
+
+static void BM_NicCacheAccess(benchmark::State& state) {
+  simrdma::NicCache cache(128);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(key % static_cast<uint64_t>(state.range(0))));
+    key++;
+  }
+}
+BENCHMARK(BM_NicCacheAccess)->Arg(64)->Arg(256);
+
+static void BM_MessageEncodeDecode(benchmark::State& state) {
+  simrdma::HostMemory mem(8192);
+  rpc::Bytes data(static_cast<size_t>(state.range(0)), 0x5A);
+  for (auto _ : state) {
+    const uint32_t total = rpc::kHeaderBytes + static_cast<uint32_t>(data.size()) +
+                           rpc::kTailBytes;
+    rpc::encode_at(mem, rpc::aligned_target(simrdma::kMemoryBase, 4096, total), 1, 0,
+                   data);
+    benchmark::DoNotOptimize(rpc::decode_block(mem, simrdma::kMemoryBase, 4096));
+  }
+}
+BENCHMARK(BM_MessageEncodeDecode)->Arg(32)->Arg(1024);
+
+static void BM_HashStoreLookup(benchmark::State& state) {
+  simrdma::Cluster cluster;
+  auto* node = cluster.add_node("kv");
+  kv::HashStore store(node, 100000, 40);
+  std::vector<uint8_t> value(40, 1);
+  for (uint64_t k = 0; k < 50000; ++k) {
+    store.insert(k, value);
+  }
+  uint64_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.lookup(k % 50000));
+    k += 7;
+  }
+}
+BENCHMARK(BM_HashStoreLookup);
+
+static void BM_Histogram(benchmark::State& state) {
+  Histogram h;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = v * 1664525 + 1013904223;
+    v %= 10000000;
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_Histogram);
+
+// End-to-end: how many simulated ScaleRPC echo ops per real host second.
+static void BM_SimulatedScaleRpcEcho(benchmark::State& state) {
+  using namespace scalerpc::harness;
+  for (auto _ : state) {
+    TestbedConfig cfg;
+    cfg.kind = TransportKind::kScaleRpc;
+    cfg.num_clients = 40;
+    cfg.num_client_nodes = 4;
+    Testbed bed(cfg);
+    EchoWorkload wl;
+    wl.batch = 8;
+    wl.warmup = usec(200);
+    wl.measure = usec(500);
+    const EchoResult r = run_echo(bed, wl);
+    state.counters["sim_ops"] += static_cast<double>(r.ops);
+  }
+}
+BENCHMARK(BM_SimulatedScaleRpcEcho)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Shared configuration/environment types for the RPC transports.
+#ifndef SRC_BASELINES_COMMON_H_
+#define SRC_BASELINES_COMMON_H_
+
+#include "src/rpc/rpc.h"
+#include "src/simrdma/cluster.h"
+#include "src/simrdma/nic.h"
+#include "src/simrdma/node.h"
+
+namespace scalerpc::transport {
+
+// Client-side environment: the node an RPC client runs on and that node's
+// shared core pool (many client threads per physical node contend here, as
+// in the paper's Fig. 8 right half).
+struct ClientEnv {
+  simrdma::Node* node = nullptr;
+  rpc::CpuPool* cpu = nullptr;
+};
+
+// Knobs common to the pool-based transports.
+struct TransportConfig {
+  uint32_t block_bytes = 4096;  // paper default (UD MTU parity)
+  int slots_per_client = 8;     // max batch in flight
+  int server_workers = 10;
+  Nanos handler_base_ns = 150;  // fixed per-request server software cost
+  bool inline_requests = false;  // post small payloads inline in the WQE
+  rpc::ClientCostModel client_costs;
+};
+
+}  // namespace scalerpc::transport
+
+#endif  // SRC_BASELINES_COMMON_H_

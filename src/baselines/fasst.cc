@@ -1,0 +1,200 @@
+#include "src/baselines/fasst.h"
+
+#include <cstring>
+
+namespace scalerpc::transport {
+
+using simrdma::Opcode;
+using simrdma::QpType;
+using simrdma::RecvWr;
+using simrdma::SendWr;
+
+// Message layout (both directions): | slot:1 | op:1 | flags:1 | data |.
+constexpr uint32_t kHdr = 3;
+
+FasstServer::FasstServer(simrdma::Node* node, TransportConfig cfg, int recv_ring_depth)
+    : node_(node), cfg_(cfg), ring_depth_(recv_ring_depth) {
+  const auto& p = node_->params();
+  recv_buf_bytes_ = static_cast<uint32_t>(align_up(cfg_.block_bytes + p.grh_bytes, 64));
+  workers_.resize(static_cast<size_t>(cfg_.server_workers));
+  for (auto& w : workers_) {
+    w.recv_cq = node_->create_cq();
+    w.send_cq = node_->create_cq();
+    w.qp = node_->create_qp(QpType::kUD, w.send_cq, w.recv_cq);
+    w.recv_ring =
+        node_->alloc(static_cast<uint64_t>(ring_depth_) * recv_buf_bytes_, 4096);
+    w.resp_ring = node_->alloc(
+        static_cast<uint64_t>(cfg_.slots_per_client) * 4 * cfg_.block_bytes, 4096);
+    for (int i = 0; i < ring_depth_; ++i) {
+      w.qp->post_recv_immediate(
+          RecvWr{static_cast<uint64_t>(i),
+                 w.recv_ring + static_cast<uint64_t>(i) * recv_buf_bytes_,
+                 recv_buf_bytes_});
+    }
+  }
+}
+
+FasstServer::Admission FasstServer::admit() {
+  const int id = next_client_id_++;
+  const auto& w = workers_[static_cast<size_t>(id % cfg_.server_workers)];
+  return Admission{id, node_->id(), w.qp->qpn()};
+}
+
+uint64_t FasstServer::dropped_requests() const {
+  return node_->nic().counters().ud_drops;
+}
+
+void FasstServer::start() {
+  SCALERPC_CHECK(!running_);
+  running_ = true;
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    sim::spawn(node_->loop(), worker_loop(w));
+  }
+}
+
+void FasstServer::stop() {
+  running_ = false;
+  // Workers parked in recv_cq->next() unblock on the next message or stay
+  // parked; their frames are reclaimed when the loop is destroyed.
+}
+
+sim::Task<void> FasstServer::worker_loop(int index) {
+  Worker& w = workers_[static_cast<size_t>(index)];
+  auto& mem = node_->memory();
+  const auto& p = node_->params();
+  const int resp_slots = cfg_.slots_per_client * 4;
+
+  while (running_) {
+    const simrdma::Completion c = co_await w.recv_cq->next();
+    if (!running_) {
+      co_return;
+    }
+    SCALERPC_CHECK(c.is_recv && c.status == simrdma::WcStatus::kSuccess);
+    const uint64_t buf = w.recv_ring + c.wr_id * recv_buf_bytes_;
+    const uint64_t payload = buf + p.grh_bytes;
+    const uint32_t payload_len = c.byte_len - p.grh_bytes;
+    SCALERPC_CHECK(payload_len >= kHdr);
+
+    Nanos cost = node_->read_cost(payload, payload_len);
+    const uint8_t slot = mem.load_pod<uint8_t>(payload);
+    const uint8_t op = mem.load_pod<uint8_t>(payload + 1);
+    rpc::Bytes data(payload_len - kHdr);
+    mem.load(payload + kHdr, data);
+
+    // Repost the descriptor immediately (FaSST keeps the ring full).
+    co_await w.qp->post_recv(RecvWr{c.wr_id, buf, recv_buf_bytes_});
+
+    rpc::RequestContext ctx{/*client_id=*/-1, op};
+    rpc::HandlerResult result = handlers_.dispatch(ctx, data);
+    cost += cfg_.handler_base_ns + result.cpu_ns;
+    requests_served_++;
+
+    const uint32_t resp_len = kHdr + static_cast<uint32_t>(result.response.size());
+    SCALERPC_CHECK_MSG(resp_len <= p.ud_mtu_bytes, "FaSST response exceeds UD MTU");
+    const uint64_t src =
+        w.resp_ring + static_cast<uint64_t>(w.resp_next) * cfg_.block_bytes;
+    w.resp_next = (w.resp_next + 1) % resp_slots;
+    uint8_t* out = mem.raw(src);
+    out[0] = slot;
+    out[1] = op;
+    out[2] = result.flags;
+    if (!result.response.empty()) {
+      std::memcpy(out + kHdr, result.response.data(), result.response.size());
+    }
+    cost += node_->write_cost(src, resp_len);
+    co_await node_->loop().delay(cost);
+
+    SendWr wr;
+    wr.opcode = Opcode::kSend;
+    wr.local_addr = src;
+    wr.length = resp_len;
+    wr.dest_node = c.src_node;
+    wr.dest_qpn = c.src_qpn;
+    wr.signaled = false;
+    // FaSST inlines small sends (payload rides in the WQE).
+    wr.inline_data = resp_len <= p.max_inline_bytes;
+    co_await w.qp->post_send(wr);
+  }
+}
+
+FasstClient::FasstClient(ClientEnv env, FasstServer* server)
+    : env_(env), server_(server), cfg_(server->config()) {}
+
+sim::Task<void> FasstClient::connect() {
+  const auto& p = env_.node->params();
+  recv_buf_bytes_ = static_cast<uint32_t>(align_up(cfg_.block_bytes + p.grh_bytes, 64));
+  send_ring_ =
+      env_.node->alloc(static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes, 4096);
+  recv_ring_ = env_.node->alloc(
+      static_cast<uint64_t>(cfg_.slots_per_client) * recv_buf_bytes_, 4096);
+  recv_cq_ = env_.node->create_cq();
+  send_cq_ = env_.node->create_cq();
+  ud_qp_ = env_.node->create_qp(QpType::kUD, send_cq_, recv_cq_);
+  for (int i = 0; i < cfg_.slots_per_client; ++i) {
+    ud_qp_->post_recv_immediate(
+        RecvWr{static_cast<uint64_t>(i),
+               recv_ring_ + static_cast<uint64_t>(i) * recv_buf_bytes_,
+               recv_buf_bytes_});
+  }
+  const auto adm = server_->admit();
+  id_ = adm.client_id;
+  server_node_ = adm.server_node;
+  worker_qpn_ = adm.worker_qpn;
+  co_return;
+}
+
+void FasstClient::stage(uint8_t op, rpc::Bytes request) {
+  SCALERPC_CHECK(static_cast<int>(staged_.size()) < cfg_.slots_per_client);
+  SCALERPC_CHECK(request.size() + kHdr <= env_.node->params().ud_mtu_bytes);
+  staged_.emplace_back(op, std::move(request));
+}
+
+sim::Task<std::vector<rpc::Bytes>> FasstClient::flush() {
+  SCALERPC_CHECK(id_ >= 0);
+  auto& mem = env_.node->memory();
+  const size_t n = staged_.size();
+
+  for (size_t i = 0; i < n; ++i) {
+    auto& [op, data] = staged_[i];
+    co_await env_.cpu->work(cfg_.client_costs.request_prep_ns);
+    const uint64_t src = send_ring_ + i * cfg_.block_bytes;
+    const uint32_t len = kHdr + static_cast<uint32_t>(data.size());
+    uint8_t* out = mem.raw(src);
+    out[0] = static_cast<uint8_t>(i);
+    out[1] = op;
+    out[2] = 0;
+    if (!data.empty()) {
+      std::memcpy(out + kHdr, data.data(), data.size());
+    }
+    SendWr wr;
+    wr.opcode = Opcode::kSend;
+    wr.local_addr = src;
+    wr.length = len;
+    wr.dest_node = server_node_;
+    wr.dest_qpn = worker_qpn_;
+    wr.signaled = false;
+    wr.inline_data = len <= env_.node->params().max_inline_bytes;
+    co_await ud_qp_->post_send(wr);
+  }
+  staged_.clear();
+
+  std::vector<rpc::Bytes> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    const simrdma::Completion c = co_await recv_cq_->next();
+    SCALERPC_CHECK(c.is_recv && c.status == simrdma::WcStatus::kSuccess);
+    co_await env_.cpu->work(cfg_.client_costs.ud_extra_per_op_ns);
+    const uint64_t buf = recv_ring_ + c.wr_id * recv_buf_bytes_;
+    const uint64_t payload = buf + env_.node->params().grh_bytes;
+    const uint32_t payload_len = c.byte_len - env_.node->params().grh_bytes;
+    SCALERPC_CHECK(payload_len >= kHdr);
+    co_await env_.cpu->work(env_.node->read_cost(payload, payload_len));
+    const uint8_t slot = mem.load_pod<uint8_t>(payload);
+    SCALERPC_CHECK(slot < n);
+    out[slot].resize(payload_len - kHdr);
+    mem.load(payload + kHdr, out[slot]);
+    co_await ud_qp_->post_recv(RecvWr{c.wr_id, buf, recv_buf_bytes_});
+  }
+  co_return out;
+}
+
+}  // namespace scalerpc::transport

@@ -1,0 +1,86 @@
+// FaSST RPC (Kalia et al., OSDI'16) — paper Table 2 baseline.
+//
+// Both directions use UD send/recv. The server needs only one UD QP per
+// worker thread (not per connection), which is why it scales with client
+// count; the price is a recv descriptor plus a CQ poll on every message,
+// which is why clients need several physical nodes to saturate it (paper
+// Section 3.6.2, observation 2).
+#ifndef SRC_BASELINES_FASST_H_
+#define SRC_BASELINES_FASST_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/common.h"
+
+namespace scalerpc::transport {
+
+class FasstServer : public rpc::RpcServer {
+ public:
+  FasstServer(simrdma::Node* node, TransportConfig cfg, int recv_ring_depth = 512);
+
+  void start() override;
+  void stop() override;
+
+  simrdma::Node* node() { return node_; }
+  const TransportConfig& config() const { return cfg_; }
+
+  struct Admission {
+    int client_id;
+    int server_node;
+    uint32_t worker_qpn;  // the UD QP this client's requests must target
+  };
+  Admission admit();
+
+  uint64_t dropped_requests() const;
+
+ private:
+  struct Worker {
+    simrdma::QueuePair* qp = nullptr;
+    simrdma::CompletionQueue* recv_cq = nullptr;
+    simrdma::CompletionQueue* send_cq = nullptr;
+    uint64_t recv_ring = 0;
+    uint64_t resp_ring = 0;
+    int resp_next = 0;
+  };
+
+  sim::Task<void> worker_loop(int index);
+
+  simrdma::Node* node_;
+  TransportConfig cfg_;
+  int ring_depth_;
+  uint32_t recv_buf_bytes_ = 0;
+  bool running_ = false;
+  int next_client_id_ = 0;
+  std::vector<Worker> workers_;
+};
+
+class FasstClient : public rpc::RpcClient {
+ public:
+  FasstClient(ClientEnv env, FasstServer* server);
+
+  sim::Task<void> connect() override;
+  void stage(uint8_t op, rpc::Bytes request) override;
+  sim::Task<std::vector<rpc::Bytes>> flush() override;
+  int client_id() const override { return id_; }
+
+ private:
+  ClientEnv env_;
+  FasstServer* server_;
+  TransportConfig cfg_;
+  int id_ = -1;
+  int server_node_ = -1;
+  uint32_t worker_qpn_ = 0;
+  simrdma::QueuePair* ud_qp_ = nullptr;
+  simrdma::CompletionQueue* recv_cq_ = nullptr;
+  simrdma::CompletionQueue* send_cq_ = nullptr;
+  uint64_t send_ring_ = 0;
+  uint64_t recv_ring_ = 0;
+  uint32_t recv_buf_bytes_ = 0;
+  std::deque<std::pair<uint8_t, rpc::Bytes>> staged_;
+};
+
+}  // namespace scalerpc::transport
+
+#endif  // SRC_BASELINES_FASST_H_

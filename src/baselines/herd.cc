@@ -1,0 +1,214 @@
+#include "src/baselines/herd.h"
+
+#include <cstring>
+
+namespace scalerpc::transport {
+
+using rpc::Bytes;
+using simrdma::Opcode;
+using simrdma::QpType;
+using simrdma::RecvWr;
+using simrdma::SendWr;
+
+// UD response payload layout: | slot:1 | op:1 | flags:1 | data |.
+constexpr uint32_t kUdHeader = 3;
+
+HerdServer::HerdServer(simrdma::Node* node, TransportConfig cfg)
+    : node_(node), cfg_(cfg) {
+  node_->arena_mr();
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    auto* send_cq = node_->create_cq();
+    worker_ud_qps_.push_back(node_->create_qp(QpType::kUD, send_cq, send_cq));
+    worker_resp_ring_.push_back(node_->alloc(
+        static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes, 4096));
+    worker_wake_.push_back(std::make_unique<sim::Notification>(node_->loop()));
+  }
+}
+
+HerdServer::Admission HerdServer::admit(simrdma::QueuePair* client_uc_qp,
+                                        int client_node, uint32_t client_ud_qpn) {
+  auto state = std::make_unique<ClientState>();
+  state->id = static_cast<int>(clients_.size());
+  const int w = state->id % cfg_.server_workers;
+  auto* cq = node_->create_cq();
+  state->uc_qp = node_->create_qp(QpType::kUC, cq, cq);
+  node_->cluster()->connect(state->uc_qp, client_uc_qp);
+  const uint64_t region =
+      static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes;
+  state->req_base = node_->alloc(region, 4096);
+  state->resp_node = client_node;
+  state->resp_qpn = client_ud_qpn;
+  sim::Notification* wake = worker_wake_[static_cast<size_t>(w)].get();
+  node_->memory().add_watcher(state->req_base, region, [wake] { wake->notify(); });
+
+  Admission adm{state->id, state->req_base, node_->arena_mr()->rkey};
+  clients_.push_back(std::move(state));
+  return adm;
+}
+
+void HerdServer::start() {
+  SCALERPC_CHECK(!running_);
+  running_ = true;
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    sim::spawn(node_->loop(), worker(w));
+  }
+}
+
+void HerdServer::stop() {
+  running_ = false;
+  for (auto& wake : worker_wake_) {
+    wake->notify();
+  }
+}
+
+sim::Task<void> HerdServer::worker(int index) {
+  auto& loop = node_->loop();
+  auto& mem = node_->memory();
+  sim::Notification* wake = worker_wake_[static_cast<size_t>(index)].get();
+  simrdma::QueuePair* ud = worker_ud_qps_[static_cast<size_t>(index)];
+  const uint64_t ring = worker_resp_ring_[static_cast<size_t>(index)];
+  int ring_next = 0;
+
+  while (running_) {
+    int served = 0;
+    Nanos cost = 0;
+    for (size_t ci = static_cast<size_t>(index); ci < clients_.size();
+         ci += static_cast<size_t>(cfg_.server_workers)) {
+      ClientState& c = *clients_[ci];
+      for (int slot = 0; slot < cfg_.slots_per_client; ++slot) {
+        const uint64_t block =
+            c.req_base + static_cast<uint64_t>(slot) * cfg_.block_bytes;
+        cost += node_->read_cost(block + cfg_.block_bytes - 1, 1);
+        auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
+        if (!msg.has_value()) {
+          continue;
+        }
+        cost += node_->read_cost(block + cfg_.block_bytes - msg->total_bytes(),
+                                 msg->total_bytes());
+        rpc::clear_block(mem, block, cfg_.block_bytes);
+        cost += node_->write_cost(block + cfg_.block_bytes - 1, 1);
+
+        rpc::RequestContext ctx{c.id, msg->op};
+        rpc::HandlerResult result = handlers_.dispatch(ctx, msg->data);
+        cost += cfg_.handler_base_ns + result.cpu_ns;
+        requests_served_++;
+
+        // Compose [slot|op|flags|data] and answer via UD send (<= MTU).
+        const uint32_t resp_len = kUdHeader + static_cast<uint32_t>(result.response.size());
+        SCALERPC_CHECK_MSG(resp_len <= node_->params().ud_mtu_bytes,
+                           "HERD response exceeds UD MTU");
+        const uint64_t src = ring + static_cast<uint64_t>(ring_next) * cfg_.block_bytes;
+        ring_next = (ring_next + 1) % cfg_.slots_per_client;
+        uint8_t* p = mem.raw(src);
+        p[0] = static_cast<uint8_t>(slot);
+        p[1] = msg->op;
+        p[2] = result.flags;
+        if (!result.response.empty()) {
+          std::memcpy(p + 3, result.response.data(), result.response.size());
+        }
+        cost += node_->write_cost(src, resp_len);
+        co_await loop.delay(cost);
+        cost = 0;
+
+        SendWr wr;
+        wr.opcode = Opcode::kSend;
+        wr.local_addr = src;
+        wr.length = resp_len;
+        wr.dest_node = c.resp_node;
+        wr.dest_qpn = c.resp_qpn;
+        wr.signaled = false;
+        // HERD inlines small UD sends.
+        wr.inline_data = resp_len <= node_->params().max_inline_bytes;
+        co_await ud->post_send(wr);
+        served++;
+      }
+    }
+    if (cost > 0) {
+      co_await loop.delay(cost);
+    }
+    if (served == 0 && running_) {
+      co_await wake->wait();
+    }
+  }
+}
+
+HerdClient::HerdClient(ClientEnv env, HerdServer* server)
+    : env_(env), server_(server), cfg_(server->config()) {}
+
+sim::Task<void> HerdClient::connect() {
+  const auto& p = env_.node->params();
+  recv_buf_bytes_ = static_cast<uint32_t>(align_up(cfg_.block_bytes + p.grh_bytes, 64));
+  req_src_ =
+      env_.node->alloc(static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes, 4096);
+  recv_ring_ = env_.node->alloc(
+      static_cast<uint64_t>(cfg_.slots_per_client) * recv_buf_bytes_, 4096);
+  uc_cq_ = env_.node->create_cq();
+  uc_qp_ = env_.node->create_qp(QpType::kUC, uc_cq_, uc_cq_);
+  ud_recv_cq_ = env_.node->create_cq();
+  ud_send_cq_ = env_.node->create_cq();
+  ud_qp_ = env_.node->create_qp(QpType::kUD, ud_send_cq_, ud_recv_cq_);
+  for (int i = 0; i < cfg_.slots_per_client; ++i) {
+    ud_qp_->post_recv_immediate(
+        RecvWr{static_cast<uint64_t>(i),
+               recv_ring_ + static_cast<uint64_t>(i) * recv_buf_bytes_,
+               recv_buf_bytes_});
+  }
+  const auto adm = server_->admit(uc_qp_, env_.node->id(), ud_qp_->qpn());
+  id_ = adm.client_id;
+  req_remote_ = adm.req_base;
+  req_rkey_ = adm.req_rkey;
+  co_return;
+}
+
+void HerdClient::stage(uint8_t op, rpc::Bytes request) {
+  SCALERPC_CHECK(static_cast<int>(staged_.size()) < cfg_.slots_per_client);
+  SCALERPC_CHECK(request.size() <= rpc::max_payload(cfg_.block_bytes));
+  staged_.emplace_back(op, std::move(request));
+}
+
+sim::Task<std::vector<rpc::Bytes>> HerdClient::flush() {
+  SCALERPC_CHECK(id_ >= 0);
+  auto& mem = env_.node->memory();
+  const size_t n = staged_.size();
+
+  for (size_t i = 0; i < n; ++i) {
+    auto& [op, data] = staged_[i];
+    co_await env_.cpu->work(cfg_.client_costs.request_prep_ns);
+    const uint64_t src = req_src_ + i * cfg_.block_bytes;
+    const uint32_t total = rpc::encode_at(mem, src, op, 0, data);
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = total;
+    wr.remote_addr =
+        rpc::aligned_target(req_remote_ + i * cfg_.block_bytes, cfg_.block_bytes, total);
+    wr.rkey = req_rkey_;
+    wr.signaled = false;
+    // HERD inlines small UC request writes.
+    wr.inline_data = total <= env_.node->params().max_inline_bytes;
+    co_await uc_qp_->post_send(wr);
+  }
+  staged_.clear();
+
+  // Collect n UD responses; match them to slots by the echoed slot byte.
+  std::vector<rpc::Bytes> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    const simrdma::Completion c = co_await ud_recv_cq_->next();
+    SCALERPC_CHECK(c.is_recv && c.status == simrdma::WcStatus::kSuccess);
+    co_await env_.cpu->work(cfg_.client_costs.ud_extra_per_op_ns);
+    const uint64_t buf = recv_ring_ + c.wr_id * recv_buf_bytes_;
+    const uint64_t payload = buf + env_.node->params().grh_bytes;
+    const uint32_t payload_len = c.byte_len - env_.node->params().grh_bytes;
+    SCALERPC_CHECK(payload_len >= kUdHeader);
+    co_await env_.cpu->work(env_.node->read_cost(payload, payload_len));
+    const uint8_t slot = mem.load_pod<uint8_t>(payload);
+    SCALERPC_CHECK(slot < n);
+    out[slot].resize(payload_len - kUdHeader);
+    mem.load(payload + kUdHeader, out[slot]);
+    // Repost the consumed descriptor.
+    co_await ud_qp_->post_recv(RecvWr{c.wr_id, buf, recv_buf_bytes_});
+  }
+  co_return out;
+}
+
+}  // namespace scalerpc::transport

@@ -1,0 +1,88 @@
+// HERD RPC (Kalia et al., SIGCOMM'14) — paper Table 2 baseline.
+//
+// Requests: clients RDMA-write (UC, no acks) right-aligned messages into a
+// statically mapped per-client block array at the server. Responses: server
+// workers answer over UD send from a handful of per-worker UD QPs, so the
+// server's outbound side scales; the statically mapped request pool is what
+// eventually thrashes the LLC as clients grow.
+#ifndef SRC_BASELINES_HERD_H_
+#define SRC_BASELINES_HERD_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/common.h"
+
+namespace scalerpc::transport {
+
+class HerdServer : public rpc::RpcServer {
+ public:
+  HerdServer(simrdma::Node* node, TransportConfig cfg);
+
+  void start() override;
+  void stop() override;
+
+  simrdma::Node* node() { return node_; }
+  const TransportConfig& config() const { return cfg_; }
+
+  struct Admission {
+    int client_id;
+    uint64_t req_base;
+    uint32_t req_rkey;
+  };
+  // `client_uc_qp`: client-side UC QP for requests; responses go to the
+  // client's UD QP (`client_ud_qpn` on `client_node`).
+  Admission admit(simrdma::QueuePair* client_uc_qp, int client_node,
+                  uint32_t client_ud_qpn);
+
+ private:
+  struct ClientState {
+    int id = 0;
+    simrdma::QueuePair* uc_qp = nullptr;  // server side (never sends)
+    uint64_t req_base = 0;
+    int resp_node = -1;
+    uint32_t resp_qpn = 0;
+  };
+
+  sim::Task<void> worker(int index);
+
+  simrdma::Node* node_;
+  TransportConfig cfg_;
+  bool running_ = false;
+  std::vector<std::unique_ptr<ClientState>> clients_;
+  std::vector<simrdma::QueuePair*> worker_ud_qps_;
+  std::vector<uint64_t> worker_resp_ring_;  // compose buffers, slots each
+  std::vector<std::unique_ptr<sim::Notification>> worker_wake_;
+};
+
+class HerdClient : public rpc::RpcClient {
+ public:
+  HerdClient(ClientEnv env, HerdServer* server);
+
+  sim::Task<void> connect() override;
+  void stage(uint8_t op, rpc::Bytes request) override;
+  sim::Task<std::vector<rpc::Bytes>> flush() override;
+  int client_id() const override { return id_; }
+
+ private:
+  ClientEnv env_;
+  HerdServer* server_;
+  TransportConfig cfg_;
+  int id_ = -1;
+  simrdma::QueuePair* uc_qp_ = nullptr;
+  simrdma::QueuePair* ud_qp_ = nullptr;
+  simrdma::CompletionQueue* uc_cq_ = nullptr;
+  simrdma::CompletionQueue* ud_recv_cq_ = nullptr;
+  simrdma::CompletionQueue* ud_send_cq_ = nullptr;
+  uint64_t req_src_ = 0;
+  uint64_t recv_ring_ = 0;  // slots buffers of (block + GRH headroom)
+  uint32_t recv_buf_bytes_ = 0;
+  uint64_t req_remote_ = 0;
+  uint32_t req_rkey_ = 0;
+  std::deque<std::pair<uint8_t, rpc::Bytes>> staged_;
+};
+
+}  // namespace scalerpc::transport
+
+#endif  // SRC_BASELINES_HERD_H_

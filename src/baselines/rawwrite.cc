@@ -1,0 +1,212 @@
+#include "src/baselines/rawwrite.h"
+
+namespace scalerpc::transport {
+
+using rpc::kValidMagic;
+using simrdma::Opcode;
+using simrdma::QpType;
+using simrdma::RecvWr;
+using simrdma::SendWr;
+
+RawWriteServer::RawWriteServer(simrdma::Node* node, TransportConfig cfg)
+    : node_(node), cfg_(cfg) {
+  pool_mr_ = node_->arena_mr();
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    worker_cqs_.push_back(node_->create_cq());
+    worker_wake_.push_back(std::make_unique<sim::Notification>(node_->loop()));
+  }
+}
+
+RawWriteServer::Admission RawWriteServer::admit(simrdma::QueuePair* client_qp,
+                                                uint64_t client_resp_base,
+                                                uint32_t client_resp_rkey) {
+  auto state = std::make_unique<ClientState>();
+  state->id = static_cast<int>(clients_.size());
+  const int w = state->id % cfg_.server_workers;
+  state->qp = node_->create_qp(QpType::kRC, worker_cqs_[static_cast<size_t>(w)],
+                               worker_cqs_[static_cast<size_t>(w)]);
+  node_->cluster()->connect(state->qp, client_qp);
+
+  const uint64_t region =
+      static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes;
+  state->req_base = node_->alloc(region, 4096);
+  state->resp_src = node_->alloc(region, 4096);
+  state->resp_remote = client_resp_base;
+  state->resp_rkey = client_resp_rkey;
+
+  // Any DMA write into this client's request blocks wakes its worker.
+  sim::Notification* wake = worker_wake_[static_cast<size_t>(w)].get();
+  node_->memory().add_watcher(state->req_base, region, [wake] { wake->notify(); });
+
+  Admission adm{state->id, state->req_base, pool_mr_->rkey};
+  clients_.push_back(std::move(state));
+  return adm;
+}
+
+void RawWriteServer::start() {
+  SCALERPC_CHECK(!running_);
+  running_ = true;
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    sim::spawn(node_->loop(), worker(w));
+  }
+}
+
+void RawWriteServer::stop() {
+  running_ = false;
+  for (auto& wake : worker_wake_) {
+    wake->notify();
+  }
+}
+
+sim::Task<void> RawWriteServer::worker(int index) {
+  auto& loop = node_->loop();
+  auto& mem = node_->memory();
+  sim::Notification* wake = worker_wake_[static_cast<size_t>(index)].get();
+
+  while (running_) {
+    int served = 0;
+    Nanos cost = 0;
+    for (size_t ci = static_cast<size_t>(index); ci < clients_.size();
+         ci += static_cast<size_t>(cfg_.server_workers)) {
+      ClientState& c = *clients_[ci];
+      for (int slot = 0; slot < cfg_.slots_per_client; ++slot) {
+        const uint64_t block = c.req_base + static_cast<uint64_t>(slot) * cfg_.block_bytes;
+        cost += node_->read_cost(block + cfg_.block_bytes - 1, 1);
+        if (!rpc::block_has_message(mem, block, cfg_.block_bytes)) {
+          continue;
+        }
+        auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
+        if (!msg.has_value()) {
+          rpc::clear_block(mem, block, cfg_.block_bytes);
+          continue;
+        }
+        cost += node_->read_cost(block + cfg_.block_bytes - msg->total_bytes(),
+                                 msg->total_bytes());
+        rpc::clear_block(mem, block, cfg_.block_bytes);
+        cost += node_->write_cost(block + cfg_.block_bytes - 1, 1);
+
+        rpc::RequestContext ctx{c.id, msg->op};
+        rpc::HandlerResult result = handlers_.dispatch(ctx, msg->data);
+        cost += cfg_.handler_base_ns + result.cpu_ns;
+        requests_served_++;
+
+        // Compose the response locally, then RDMA-write it right-aligned
+        // into the client's response block for the same slot.
+        const uint64_t src = c.resp_src + static_cast<uint64_t>(slot) * cfg_.block_bytes;
+        const uint32_t total =
+            rpc::encode_at(mem, src, msg->op, result.flags, result.response);
+        cost += node_->write_cost(src, total);
+        co_await loop.delay(cost);
+        cost = 0;
+
+        SendWr wr;
+        wr.opcode = Opcode::kWrite;
+        wr.local_addr = src;
+        wr.length = total;
+        wr.remote_addr = rpc::aligned_target(
+            c.resp_remote + static_cast<uint64_t>(slot) * cfg_.block_bytes,
+            cfg_.block_bytes, total);
+        wr.rkey = c.resp_rkey;
+        wr.signaled = false;
+        wr.inline_data =
+            cfg_.inline_requests && total <= node_->params().max_inline_bytes;
+        co_await c.qp->post_send(wr);
+        served++;
+      }
+    }
+    if (cost > 0) {
+      co_await loop.delay(cost);
+    }
+    if (served == 0 && running_) {
+      co_await wake->wait();
+    }
+  }
+}
+
+RawWriteClient::RawWriteClient(ClientEnv env, RawWriteServer* server)
+    : env_(env), server_(server), cfg_(server->config()) {}
+
+sim::Task<void> RawWriteClient::connect() {
+  const uint64_t region =
+      static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes;
+  req_src_ = env_.node->alloc(region, 4096);
+  resp_base_ = env_.node->alloc(region, 4096);
+  cq_ = env_.node->create_cq();
+  qp_ = env_.node->create_qp(QpType::kRC, cq_, cq_);
+  const auto adm =
+      server_->admit(qp_, resp_base_, env_.node->arena_mr()->rkey);
+  id_ = adm.client_id;
+  req_remote_ = adm.req_base;
+  req_rkey_ = adm.req_rkey;
+  resp_wake_ = std::make_unique<sim::Notification>(env_.node->loop());
+  sim::Notification* wake = resp_wake_.get();
+  env_.node->memory().add_watcher(resp_base_, region, [wake] { wake->notify(); });
+  co_return;
+}
+
+void RawWriteClient::stage(uint8_t op, rpc::Bytes request) {
+  SCALERPC_CHECK(static_cast<int>(staged_.size()) < cfg_.slots_per_client);
+  SCALERPC_CHECK(request.size() <= rpc::max_payload(cfg_.block_bytes));
+  staged_.emplace_back(op, std::move(request));
+}
+
+sim::Task<std::vector<rpc::Bytes>> RawWriteClient::flush() {
+  SCALERPC_CHECK(id_ >= 0);
+  auto& mem = env_.node->memory();
+  const size_t n = staged_.size();
+
+  for (size_t i = 0; i < n; ++i) {
+    auto& [op, data] = staged_[i];
+    co_await env_.cpu->work(cfg_.client_costs.request_prep_ns);
+    const uint64_t src = req_src_ + i * cfg_.block_bytes;
+    const uint32_t total = rpc::encode_at(mem, src, op, 0, data);
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = total;
+    wr.remote_addr =
+        rpc::aligned_target(req_remote_ + i * cfg_.block_bytes, cfg_.block_bytes, total);
+    wr.rkey = req_rkey_;
+    wr.signaled = false;
+    wr.inline_data =
+        cfg_.inline_requests && total <= env_.node->params().max_inline_bytes;
+    co_await qp_->post_send(wr);
+  }
+  staged_.clear();
+
+  std::vector<rpc::Bytes> out(n);
+  std::vector<bool> got(n, false);
+  size_t collected = 0;
+  while (collected < n) {
+    bool progress = false;
+    Nanos cost = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (got[i]) {
+        continue;
+      }
+      const uint64_t block = resp_base_ + i * cfg_.block_bytes;
+      cost += env_.node->read_cost(block + cfg_.block_bytes - 1, 1);
+      auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
+      if (!msg.has_value()) {
+        continue;
+      }
+      cost += env_.node->read_cost(block + cfg_.block_bytes - msg->total_bytes(),
+                                   msg->total_bytes());
+      rpc::clear_block(mem, block, cfg_.block_bytes);
+      cost += cfg_.client_costs.response_parse_ns;
+      out[i] = std::move(msg->data);
+      got[i] = true;
+      collected++;
+      progress = true;
+    }
+    if (cost > 0) {
+      co_await env_.cpu->work(cost);
+    }
+    if (!progress && collected < n) {
+      co_await resp_wake_->wait();
+    }
+  }
+  co_return out;
+}
+
+}  // namespace scalerpc::transport

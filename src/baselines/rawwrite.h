@@ -1,0 +1,90 @@
+// RawWrite RPC — the paper's baseline (Table 2): ScaleRPC's data path with
+// every scalability optimization disabled, equivalent to FaRM RPC.
+//
+// Clients RDMA-write right-aligned requests into statically mapped
+// per-client block arrays at the server; server workers poll the Valid
+// bytes, dispatch, and RDMA-write responses back into per-client response
+// blocks at each client. One RC QP per client — which is exactly why it
+// collapses at scale.
+#ifndef SRC_BASELINES_RAWWRITE_H_
+#define SRC_BASELINES_RAWWRITE_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/common.h"
+
+namespace scalerpc::transport {
+
+class RawWriteServer : public rpc::RpcServer {
+ public:
+  RawWriteServer(simrdma::Node* node, TransportConfig cfg);
+
+  void start() override;
+  void stop() override;
+
+  simrdma::Node* node() { return node_; }
+  const TransportConfig& config() const { return cfg_; }
+
+  // Control-plane admission (out-of-band bootstrap in real deployments).
+  // `client_qp` is the client-side RC QP; returns the new client id.
+  struct Admission {
+    int client_id;
+    uint64_t req_base;  // server-side request blocks (slots_per_client)
+    uint32_t req_rkey;
+  };
+  Admission admit(simrdma::QueuePair* client_qp, uint64_t client_resp_base,
+                  uint32_t client_resp_rkey);
+
+ private:
+  struct ClientState {
+    int id = 0;
+    simrdma::QueuePair* qp = nullptr;  // server-side QP (responses)
+    uint64_t req_base = 0;             // server-side request blocks
+    uint64_t resp_remote = 0;          // client-side response blocks
+    uint32_t resp_rkey = 0;
+    uint64_t resp_src = 0;  // server-local compose buffer (slots blocks)
+  };
+
+  sim::Task<void> worker(int index);
+  sim::Task<bool> serve_slot(ClientState& c, int slot);
+
+  simrdma::Node* node_;
+  TransportConfig cfg_;
+  bool running_ = false;
+  std::vector<std::unique_ptr<ClientState>> clients_;
+  std::vector<simrdma::CompletionQueue*> worker_cqs_;
+  std::vector<std::unique_ptr<sim::Notification>> worker_wake_;
+  uint64_t pool_base_ = 0;
+  uint64_t pool_bytes_ = 0;
+  simrdma::MemoryRegion* pool_mr_ = nullptr;
+};
+
+class RawWriteClient : public rpc::RpcClient {
+ public:
+  RawWriteClient(ClientEnv env, RawWriteServer* server);
+
+  sim::Task<void> connect() override;
+  void stage(uint8_t op, rpc::Bytes request) override;
+  sim::Task<std::vector<rpc::Bytes>> flush() override;
+  int client_id() const override { return id_; }
+
+ private:
+  ClientEnv env_;
+  RawWriteServer* server_;
+  TransportConfig cfg_;
+  int id_ = -1;
+  simrdma::QueuePair* qp_ = nullptr;
+  simrdma::CompletionQueue* cq_ = nullptr;
+  uint64_t req_src_ = 0;      // local compose buffers (slots blocks)
+  uint64_t resp_base_ = 0;    // local response blocks (slots)
+  uint64_t req_remote_ = 0;   // server-side request blocks
+  uint32_t req_rkey_ = 0;
+  std::unique_ptr<sim::Notification> resp_wake_;
+  std::deque<std::pair<uint8_t, rpc::Bytes>> staged_;
+};
+
+}  // namespace scalerpc::transport
+
+#endif  // SRC_BASELINES_RAWWRITE_H_

@@ -1,0 +1,191 @@
+#include "src/baselines/selfrpc.h"
+
+namespace scalerpc::transport {
+
+using simrdma::Opcode;
+using simrdma::QpType;
+using simrdma::RecvWr;
+using simrdma::SendWr;
+
+namespace {
+uint32_t make_imm(int client_id, int slot) {
+  return (static_cast<uint32_t>(client_id) << 8) | static_cast<uint32_t>(slot);
+}
+}  // namespace
+
+SelfRpcServer::SelfRpcServer(simrdma::Node* node, TransportConfig cfg)
+    : node_(node), cfg_(cfg) {
+  node_->arena_mr();
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    worker_recv_cqs_.push_back(node_->create_cq());
+    worker_send_cqs_.push_back(node_->create_cq());
+  }
+}
+
+SelfRpcServer::Admission SelfRpcServer::admit(simrdma::QueuePair* client_qp,
+                                              uint64_t client_resp_base,
+                                              uint32_t client_resp_rkey) {
+  auto state = std::make_unique<ClientState>();
+  state->id = static_cast<int>(clients_.size());
+  const int w = state->id % cfg_.server_workers;
+  state->qp = node_->create_qp(QpType::kRC, worker_send_cqs_[static_cast<size_t>(w)],
+                               worker_recv_cqs_[static_cast<size_t>(w)]);
+  node_->cluster()->connect(state->qp, client_qp);
+  const uint64_t region =
+      static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes;
+  state->req_base = node_->alloc(region, 4096);
+  state->resp_src = node_->alloc(region, 4096);
+  state->resp_remote = client_resp_base;
+  state->resp_rkey = client_resp_rkey;
+  // write_imm consumes a descriptor per request: keep the queue stocked.
+  for (int i = 0; i < 2 * cfg_.slots_per_client; ++i) {
+    state->qp->post_recv_immediate(RecvWr{0, 0, 0});
+  }
+  Admission adm{state->id, state->req_base, node_->arena_mr()->rkey};
+  clients_.push_back(std::move(state));
+  return adm;
+}
+
+void SelfRpcServer::start() {
+  SCALERPC_CHECK(!running_);
+  running_ = true;
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    sim::spawn(node_->loop(), worker(w));
+  }
+}
+
+void SelfRpcServer::stop() { running_ = false; }
+
+sim::Task<void> SelfRpcServer::worker(int index) {
+  auto& mem = node_->memory();
+  simrdma::CompletionQueue* recv_cq = worker_recv_cqs_[static_cast<size_t>(index)];
+
+  while (running_) {
+    const simrdma::Completion c = co_await recv_cq->next();
+    if (!running_) {
+      co_return;
+    }
+    SCALERPC_CHECK(c.is_recv && c.has_imm);
+    const int client_id = static_cast<int>(c.imm >> 8);
+    const int slot = static_cast<int>(c.imm & 0xff);
+    ClientState& cl = *clients_.at(static_cast<size_t>(client_id));
+
+    // Self-identified: jump straight to the block named by the immediate.
+    const uint64_t block = cl.req_base + static_cast<uint64_t>(slot) * cfg_.block_bytes;
+    auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
+    SCALERPC_CHECK_MSG(msg.has_value(), "imm arrived without message payload");
+    Nanos cost = node_->read_cost(block + cfg_.block_bytes - msg->total_bytes(),
+                                  msg->total_bytes());
+    rpc::clear_block(mem, block, cfg_.block_bytes);
+    cost += node_->write_cost(block + cfg_.block_bytes - 1, 1);
+
+    rpc::RequestContext ctx{cl.id, msg->op};
+    rpc::HandlerResult result = handlers_.dispatch(ctx, msg->data);
+    cost += cfg_.handler_base_ns + result.cpu_ns;
+    requests_served_++;
+
+    const uint64_t src = cl.resp_src + static_cast<uint64_t>(slot) * cfg_.block_bytes;
+    const uint32_t total = rpc::encode_at(mem, src, msg->op, result.flags, result.response);
+    cost += node_->write_cost(src, total);
+    co_await node_->loop().delay(cost);
+
+    co_await cl.qp->post_recv(RecvWr{0, 0, 0});  // replenish descriptor
+
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = total;
+    wr.remote_addr = rpc::aligned_target(
+        cl.resp_remote + static_cast<uint64_t>(slot) * cfg_.block_bytes,
+        cfg_.block_bytes, total);
+    wr.rkey = cl.resp_rkey;
+    wr.signaled = false;
+    co_await cl.qp->post_send(wr);
+  }
+}
+
+SelfRpcClient::SelfRpcClient(ClientEnv env, SelfRpcServer* server)
+    : env_(env), server_(server), cfg_(server->config()) {}
+
+sim::Task<void> SelfRpcClient::connect() {
+  const uint64_t region =
+      static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes;
+  req_src_ = env_.node->alloc(region, 4096);
+  resp_base_ = env_.node->alloc(region, 4096);
+  cq_ = env_.node->create_cq();
+  qp_ = env_.node->create_qp(QpType::kRC, cq_, cq_);
+  const auto adm = server_->admit(qp_, resp_base_, env_.node->arena_mr()->rkey);
+  id_ = adm.client_id;
+  req_remote_ = adm.req_base;
+  req_rkey_ = adm.req_rkey;
+  resp_wake_ = std::make_unique<sim::Notification>(env_.node->loop());
+  sim::Notification* wake = resp_wake_.get();
+  env_.node->memory().add_watcher(resp_base_, region, [wake] { wake->notify(); });
+  co_return;
+}
+
+void SelfRpcClient::stage(uint8_t op, rpc::Bytes request) {
+  SCALERPC_CHECK(static_cast<int>(staged_.size()) < cfg_.slots_per_client);
+  SCALERPC_CHECK(request.size() <= rpc::max_payload(cfg_.block_bytes));
+  staged_.emplace_back(op, std::move(request));
+}
+
+sim::Task<std::vector<rpc::Bytes>> SelfRpcClient::flush() {
+  SCALERPC_CHECK(id_ >= 0);
+  auto& mem = env_.node->memory();
+  const size_t n = staged_.size();
+
+  for (size_t i = 0; i < n; ++i) {
+    auto& [op, data] = staged_[i];
+    co_await env_.cpu->work(cfg_.client_costs.request_prep_ns);
+    const uint64_t src = req_src_ + i * cfg_.block_bytes;
+    const uint32_t total = rpc::encode_at(mem, src, op, 0, data);
+    SendWr wr;
+    wr.opcode = Opcode::kWriteImm;
+    wr.local_addr = src;
+    wr.length = total;
+    wr.remote_addr =
+        rpc::aligned_target(req_remote_ + i * cfg_.block_bytes, cfg_.block_bytes, total);
+    wr.rkey = req_rkey_;
+    wr.imm = make_imm(id_, static_cast<int>(i));
+    wr.signaled = false;
+    co_await qp_->post_send(wr);
+  }
+  staged_.clear();
+
+  std::vector<rpc::Bytes> out(n);
+  std::vector<bool> got(n, false);
+  size_t collected = 0;
+  while (collected < n) {
+    bool progress = false;
+    Nanos cost = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (got[i]) {
+        continue;
+      }
+      const uint64_t block = resp_base_ + i * cfg_.block_bytes;
+      cost += env_.node->read_cost(block + cfg_.block_bytes - 1, 1);
+      auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
+      if (!msg.has_value()) {
+        continue;
+      }
+      cost += env_.node->read_cost(block + cfg_.block_bytes - msg->total_bytes(),
+                                   msg->total_bytes());
+      rpc::clear_block(mem, block, cfg_.block_bytes);
+      cost += cfg_.client_costs.response_parse_ns;
+      out[i] = std::move(msg->data);
+      got[i] = true;
+      collected++;
+      progress = true;
+    }
+    if (cost > 0) {
+      co_await env_.cpu->work(cost);
+    }
+    if (!progress && collected < n) {
+      co_await resp_wake_->wait();
+    }
+  }
+  co_return out;
+}
+
+}  // namespace scalerpc::transport

@@ -1,0 +1,84 @@
+// Self-identified RPC — Octopus's transport (paper Section 4.1).
+//
+// Clients post requests with RC write_imm; the immediate value encodes
+// (client_id, slot) so server workers locate new messages straight from
+// recv completions instead of scanning the pool. Responses are plain RDMA
+// writes into per-client response blocks (clients poll memory).
+// Scalability profile: per-client RC QPs (NIC-cache thrash like RawWrite)
+// plus a recv-descriptor fetch per request.
+#ifndef SRC_BASELINES_SELFRPC_H_
+#define SRC_BASELINES_SELFRPC_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/common.h"
+
+namespace scalerpc::transport {
+
+class SelfRpcServer : public rpc::RpcServer {
+ public:
+  SelfRpcServer(simrdma::Node* node, TransportConfig cfg);
+
+  void start() override;
+  void stop() override;
+
+  simrdma::Node* node() { return node_; }
+  const TransportConfig& config() const { return cfg_; }
+
+  struct Admission {
+    int client_id;
+    uint64_t req_base;
+    uint32_t req_rkey;
+  };
+  Admission admit(simrdma::QueuePair* client_qp, uint64_t client_resp_base,
+                  uint32_t client_resp_rkey);
+
+ private:
+  struct ClientState {
+    int id = 0;
+    simrdma::QueuePair* qp = nullptr;
+    uint64_t req_base = 0;
+    uint64_t resp_remote = 0;
+    uint32_t resp_rkey = 0;
+    uint64_t resp_src = 0;
+  };
+
+  sim::Task<void> worker(int index);
+
+  simrdma::Node* node_;
+  TransportConfig cfg_;
+  bool running_ = false;
+  std::vector<std::unique_ptr<ClientState>> clients_;
+  std::vector<simrdma::CompletionQueue*> worker_recv_cqs_;
+  std::vector<simrdma::CompletionQueue*> worker_send_cqs_;
+};
+
+class SelfRpcClient : public rpc::RpcClient {
+ public:
+  SelfRpcClient(ClientEnv env, SelfRpcServer* server);
+
+  sim::Task<void> connect() override;
+  void stage(uint8_t op, rpc::Bytes request) override;
+  sim::Task<std::vector<rpc::Bytes>> flush() override;
+  int client_id() const override { return id_; }
+
+ private:
+  ClientEnv env_;
+  SelfRpcServer* server_;
+  TransportConfig cfg_;
+  int id_ = -1;
+  simrdma::QueuePair* qp_ = nullptr;
+  simrdma::CompletionQueue* cq_ = nullptr;
+  uint64_t req_src_ = 0;
+  uint64_t resp_base_ = 0;
+  uint64_t req_remote_ = 0;
+  uint32_t req_rkey_ = 0;
+  std::unique_ptr<sim::Notification> resp_wake_;
+  std::deque<std::pair<uint8_t, rpc::Bytes>> staged_;
+};
+
+}  // namespace scalerpc::transport
+
+#endif  // SRC_BASELINES_SELFRPC_H_

@@ -1,0 +1,82 @@
+// Tiny byte-packing helpers for RPC payloads.
+#ifndef SRC_COMMON_CODEC_H_
+#define SRC_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace scalerpc {
+
+class Writer {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) { append(&v, sizeof(v)); }
+  void u32(uint32_t v) { append(&v, sizeof(v)); }
+  void u64(uint64_t v) { append(&v, sizeof(v)); }
+  void i64(int64_t v) { append(&v, sizeof(v)); }
+  void bytes(std::span<const uint8_t> b) {
+    u32(static_cast<uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+  void str(const std::string& s) {
+    bytes(std::span(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
+  }
+
+  std::vector<uint8_t> take() { return std::move(buf_); }
+  const std::vector<uint8_t>& view() const { return buf_; }
+
+ private:
+  void append(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t u8() { return take<uint8_t>(); }
+  uint16_t u16() { return take<uint16_t>(); }
+  uint32_t u32() { return take<uint32_t>(); }
+  uint64_t u64() { return take<uint64_t>(); }
+  int64_t i64() { return take<int64_t>(); }
+  std::vector<uint8_t> bytes() {
+    const uint32_t n = u32();
+    SCALERPC_CHECK(pos_ + n <= data_.size());
+    std::vector<uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                             data_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+  std::string str() {
+    auto b = bytes();
+    return std::string(b.begin(), b.end());
+  }
+
+  bool done() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  template <typename T>
+  T take() {
+    SCALERPC_CHECK(pos_ + sizeof(T) <= data_.size());
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace scalerpc
+
+#endif  // SRC_COMMON_CODEC_H_

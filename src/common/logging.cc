@@ -1,0 +1,66 @@
+#include "src/common/logging.h"
+
+namespace scalerpc {
+
+LogLevel& global_log_level() {
+  static LogLevel level = LogLevel::kWarn;
+  return level;
+}
+
+bool set_log_level(const std::string& name) {
+  if (name == "trace") {
+    global_log_level() = LogLevel::kTrace;
+  } else if (name == "debug") {
+    global_log_level() = LogLevel::kDebug;
+  } else if (name == "info") {
+    global_log_level() = LogLevel::kInfo;
+  } else if (name == "warn") {
+    global_log_level() = LogLevel::kWarn;
+  } else if (name == "error") {
+    global_log_level() = LogLevel::kError;
+  } else if (name == "off") {
+    global_log_level() = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+namespace log_detail {
+
+namespace {
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "T";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << level_tag(level) << " " << base << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+}
+
+}  // namespace log_detail
+}  // namespace scalerpc

@@ -1,0 +1,99 @@
+// Minimal leveled logging for the simulator and the systems built on it.
+//
+// The simulator is single threaded, so no locking is required. Log level is
+// a process-global knob; benchmarks default to kWarn so experiment output
+// stays machine-parsable.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace scalerpc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+// Returns the mutable process-wide log level.
+LogLevel& global_log_level();
+
+// Sets the log level from a string ("trace".."off"); unknown strings keep
+// the current level. Returns true when the string was recognized.
+bool set_log_level(const std::string& name);
+
+namespace log_detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+struct NullLine {
+  template <typename T>
+  NullLine& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace log_detail
+
+}  // namespace scalerpc
+
+#define SCALERPC_LOG_ENABLED(level) \
+  (static_cast<int>(level) >= static_cast<int>(::scalerpc::global_log_level()))
+
+#define SCALERPC_LOG(level)                         \
+  if (!SCALERPC_LOG_ENABLED(::scalerpc::LogLevel::level)) { \
+  } else                                            \
+    ::scalerpc::log_detail::LogLine(::scalerpc::LogLevel::level, __FILE__, __LINE__)
+
+#define LOG_TRACE SCALERPC_LOG(kTrace)
+#define LOG_DEBUG SCALERPC_LOG(kDebug)
+#define LOG_INFO SCALERPC_LOG(kInfo)
+#define LOG_WARN SCALERPC_LOG(kWarn)
+#define LOG_ERROR SCALERPC_LOG(kError)
+
+// CHECK-style assertions that stay on in release builds: simulator
+// invariants are cheap relative to event dispatch and catching a broken
+// invariant beats producing a wrong figure.
+#define SCALERPC_CHECK(cond)                                                    \
+  do {                                                                          \
+    if (!(cond)) {                                                              \
+      ::std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
+                     #cond);                                                    \
+      ::std::abort();                                                           \
+    }                                                                           \
+  } while (0)
+
+#define SCALERPC_CHECK_MSG(cond, msg)                                       \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
+                     __LINE__, #cond, msg);                                 \
+      ::std::abort();                                                       \
+    }                                                                       \
+  } while (0)
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,29 @@
+#include "src/common/rng.h"
+
+#include <algorithm>
+
+namespace scalerpc {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta) : n_(n) {
+  SCALERPC_CHECK(n > 0);
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) {
+    v /= sum;
+  }
+}
+
+uint64_t ZipfGenerator::next(Rng& rng) const {
+  const double u = rng.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) {
+    return n_ - 1;
+  }
+  return static_cast<uint64_t>(it - cdf_.begin());
+}
+
+}  // namespace scalerpc

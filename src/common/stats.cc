@@ -1,0 +1,157 @@
+#include "src/common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace scalerpc {
+
+Histogram::Histogram() : buckets_(2 * kSubBuckets + 58 * kSubBuckets, 0) {}
+
+int Histogram::bucket_index(uint64_t value) {
+  // Dense region: values below 2*kSubBuckets map 1:1.
+  if (value < 2 * kSubBuckets) {
+    return static_cast<int>(value);
+  }
+  // For larger values, shift down until the significand lands in
+  // [kSubBuckets, 2*kSubBuckets); each shift amount is one "major" bucket.
+  const int msb = 63 - std::countl_zero(value);
+  const int major = msb - kSubBucketBits;  // >= 1 here
+  const int sub = static_cast<int>(value >> major);  // in [kSubBuckets, 2*kSubBuckets)
+  return 2 * kSubBuckets + (major - 1) * kSubBuckets + (sub - kSubBuckets);
+}
+
+uint64_t Histogram::bucket_upper_bound(int index) {
+  if (index < 2 * kSubBuckets) {
+    return static_cast<uint64_t>(index);
+  }
+  const int rel = index - 2 * kSubBuckets;
+  const int major = rel / kSubBuckets + 1;
+  const int sub = rel % kSubBuckets + kSubBuckets;
+  return (static_cast<uint64_t>(sub + 1) << major) - 1;
+}
+
+void Histogram::record(uint64_t value) {
+  int idx = bucket_index(value);
+  if (idx >= static_cast<int>(buckets_.size())) {
+    idx = static_cast<int>(buckets_.size()) - 1;
+  }
+  buckets_[static_cast<size_t>(idx)]++;
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_++;
+  sum_ += value;
+}
+
+void Histogram::merge(const Histogram& other) {
+  SCALERPC_CHECK(buckets_.size() == other.buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = 0;
+  max_ = 0;
+}
+
+uint64_t Histogram::min() const { return min_; }
+uint64_t Histogram::max() const { return max_; }
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t Histogram::percentile(double p) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target =
+      static_cast<uint64_t>(static_cast<double>(count_) * p / 100.0 + 0.5);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::min(bucket_upper_bound(static_cast<int>(i)), max_);
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<uint64_t, double>> Histogram::cdf() const {
+  std::vector<std::pair<uint64_t, double>> points;
+  if (count_ == 0) {
+    return points;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) {
+      continue;
+    }
+    seen += buckets_[i];
+    points.emplace_back(bucket_upper_bound(static_cast<int>(i)),
+                        static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  return points;
+}
+
+std::string Histogram::summary(const std::string& unit) const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1f%s p50=%llu%s p99=%llu%s max=%llu%s",
+                static_cast<unsigned long long>(count_), mean(), unit.c_str(),
+                static_cast<unsigned long long>(percentile(50)), unit.c_str(),
+                static_cast<unsigned long long>(percentile(99)), unit.c_str(),
+                static_cast<unsigned long long>(max_), unit.c_str());
+  return buf;
+}
+
+void Summary::add(double v) {
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  count_++;
+  sum_ += v;
+}
+
+double mops_per_sec(uint64_t ops, uint64_t elapsed_ns) {
+  if (elapsed_ns == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(ops) * 1000.0 / static_cast<double>(elapsed_ns);
+}
+
+std::string format_mops(uint64_t ops, uint64_t elapsed_ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f Mops/s", mops_per_sec(ops, elapsed_ns));
+  return buf;
+}
+
+}  // namespace scalerpc

@@ -1,0 +1,76 @@
+// Latency/throughput statistics used by the benchmark harness.
+//
+// Histogram is log-bucketed (HdrHistogram-style: 64 major buckets x 32
+// sub-buckets) so recording is O(1) and memory stays constant regardless of
+// sample count, while relative quantile error stays within ~3%.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalerpc {
+
+class Histogram {
+ public:
+  Histogram();
+
+  void record(uint64_t value);
+  void merge(const Histogram& other);
+  void reset();
+
+  uint64_t count() const { return count_; }
+  uint64_t min() const;
+  uint64_t max() const;
+  double mean() const;
+  // p in [0, 100]. Returns an upper bound of the bucket holding quantile p.
+  uint64_t percentile(double p) const;
+  uint64_t median() const { return percentile(50.0); }
+
+  // Sampled CDF suitable for plotting: pairs of (value, cumulative fraction),
+  // one entry per non-empty bucket.
+  std::vector<std::pair<uint64_t, double>> cdf() const;
+
+  // Human-readable one-liner: count/mean/p50/p99/max.
+  std::string summary(const std::string& unit) const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static int bucket_index(uint64_t value);
+  static uint64_t bucket_upper_bound(int index);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = 0;
+  uint64_t max_ = 0;
+};
+
+// Incremental mean/min/max for scalar series (e.g. per-second throughput).
+class Summary {
+ public:
+  void add(double v);
+  uint64_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Formats ops-per-nanosecond counts as "X.XX Mops/s" given ops and elapsed ns.
+std::string format_mops(uint64_t ops, uint64_t elapsed_ns);
+
+// Mops/s as a double, for tables.
+double mops_per_sec(uint64_t ops, uint64_t elapsed_ns);
+
+}  // namespace scalerpc
+
+#endif  // SRC_COMMON_STATS_H_

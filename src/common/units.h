@@ -1,0 +1,37 @@
+// Time and size unit helpers. Simulated time is integer nanoseconds
+// throughout the repository.
+#ifndef SRC_COMMON_UNITS_H_
+#define SRC_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace scalerpc {
+
+using Nanos = int64_t;
+
+constexpr Nanos kNanosecond = 1;
+constexpr Nanos kMicrosecond = 1000;
+constexpr Nanos kMillisecond = 1000 * 1000;
+constexpr Nanos kSecond = 1000LL * 1000 * 1000;
+
+constexpr Nanos usec(int64_t n) { return n * kMicrosecond; }
+constexpr Nanos msec(int64_t n) { return n * kMillisecond; }
+
+constexpr uint64_t KiB(uint64_t n) { return n << 10; }
+constexpr uint64_t MiB(uint64_t n) { return n << 20; }
+constexpr uint64_t GiB(uint64_t n) { return n << 30; }
+
+constexpr uint64_t kCacheLineSize = 64;
+
+// Rounds x up to the next multiple of align (align must be a power of two).
+constexpr uint64_t align_up(uint64_t x, uint64_t align) {
+  return (x + align - 1) & ~(align - 1);
+}
+
+constexpr uint64_t align_down(uint64_t x, uint64_t align) {
+  return x & ~(align - 1);
+}
+
+}  // namespace scalerpc
+
+#endif  // SRC_COMMON_UNITS_H_

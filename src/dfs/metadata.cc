@@ -1,0 +1,117 @@
+#include "src/dfs/metadata.h"
+
+#include "src/common/logging.h"
+
+namespace scalerpc::dfs {
+
+const char* to_string(DfsStatus s) {
+  switch (s) {
+    case DfsStatus::kOk:
+      return "OK";
+    case DfsStatus::kNotFound:
+      return "NOT_FOUND";
+    case DfsStatus::kExists:
+      return "EXISTS";
+    case DfsStatus::kNotDirectory:
+      return "NOT_DIRECTORY";
+    case DfsStatus::kNotEmpty:
+      return "NOT_EMPTY";
+    case DfsStatus::kInvalid:
+      return "INVALID";
+  }
+  return "?";
+}
+
+MetadataStore::MetadataStore() {
+  Entry root;
+  root.attrs.type = FileType::kDirectory;
+  root.attrs.inode = next_inode_++;
+  entries_.emplace("/", std::move(root));
+}
+
+std::string MetadataStore::parent_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  if (pos == std::string::npos || path == "/") {
+    return "";
+  }
+  return pos == 0 ? "/" : path.substr(0, pos);
+}
+
+std::string MetadataStore::leaf_of(const std::string& path) {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string::npos ? path : path.substr(pos + 1);
+}
+
+DfsStatus MetadataStore::create(const std::string& path, FileType type, int64_t now) {
+  if (path.empty() || path[0] != '/' || path == "/" || path.back() == '/') {
+    return DfsStatus::kInvalid;
+  }
+  if (entries_.count(path) != 0) {
+    return DfsStatus::kExists;
+  }
+  const std::string parent = parent_of(path);
+  auto it = entries_.find(parent);
+  if (it == entries_.end()) {
+    return DfsStatus::kNotFound;
+  }
+  if (it->second.attrs.type != FileType::kDirectory) {
+    return DfsStatus::kNotDirectory;
+  }
+  Entry e;
+  e.attrs.type = type;
+  e.attrs.inode = next_inode_++;
+  e.attrs.ctime = now;
+  entries_.emplace(path, std::move(e));
+  it->second.children.insert(leaf_of(path));
+  return DfsStatus::kOk;
+}
+
+DfsStatus MetadataStore::mknod(const std::string& path, int64_t now) {
+  return create(path, FileType::kFile, now);
+}
+
+DfsStatus MetadataStore::mkdir(const std::string& path, int64_t now) {
+  return create(path, FileType::kDirectory, now);
+}
+
+DfsStatus MetadataStore::rmnod(const std::string& path) {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    return DfsStatus::kNotFound;
+  }
+  if (it->second.attrs.type == FileType::kDirectory && !it->second.children.empty()) {
+    return DfsStatus::kNotEmpty;
+  }
+  if (path == "/") {
+    return DfsStatus::kInvalid;
+  }
+  auto parent = entries_.find(parent_of(path));
+  SCALERPC_CHECK(parent != entries_.end());
+  parent->second.children.erase(leaf_of(path));
+  entries_.erase(it);
+  return DfsStatus::kOk;
+}
+
+DfsStatus MetadataStore::stat(const std::string& path, Attributes* out) const {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    return DfsStatus::kNotFound;
+  }
+  *out = it->second.attrs;
+  return DfsStatus::kOk;
+}
+
+DfsStatus MetadataStore::readdir(const std::string& path,
+                                 std::vector<std::string>* names) const {
+  auto it = entries_.find(path);
+  if (it == entries_.end()) {
+    return DfsStatus::kNotFound;
+  }
+  if (it->second.attrs.type != FileType::kDirectory) {
+    return DfsStatus::kNotDirectory;
+  }
+  names->assign(it->second.children.begin(), it->second.children.end());
+  return DfsStatus::kOk;
+}
+
+}  // namespace scalerpc::dfs

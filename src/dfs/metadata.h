@@ -1,0 +1,79 @@
+// In-memory metadata store of an Octopus-like distributed file system
+// (paper Sections 2.2 / 4.1). Single metadata server, many clients.
+//
+// Costs mirror the paper's observations: Mknod/Rmnod do real namespace
+// surgery (hash updates, parent directory maintenance, "persistence"
+// bookkeeping) and are software-bound; Stat/ReadDir are cheap lookups and
+// therefore network-bound — which is exactly why their throughput tracks
+// the RPC layer's scalability.
+#ifndef SRC_DFS_METADATA_H_
+#define SRC_DFS_METADATA_H_
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace scalerpc::dfs {
+
+enum class FileType : uint8_t { kFile, kDirectory };
+
+struct Attributes {
+  FileType type = FileType::kFile;
+  uint64_t size = 0;
+  uint64_t inode = 0;
+  int64_t ctime = 0;
+};
+
+enum class DfsStatus : uint8_t {
+  kOk,
+  kNotFound,
+  kExists,
+  kNotDirectory,
+  kNotEmpty,
+  kInvalid,
+};
+
+const char* to_string(DfsStatus s);
+
+class MetadataStore {
+ public:
+  MetadataStore();
+
+  DfsStatus mknod(const std::string& path, int64_t now);
+  DfsStatus mkdir(const std::string& path, int64_t now);
+  DfsStatus rmnod(const std::string& path);
+  DfsStatus stat(const std::string& path, Attributes* out) const;
+  DfsStatus readdir(const std::string& path, std::vector<std::string>* names) const;
+
+  uint64_t num_entries() const { return entries_.size(); }
+
+  // CPU cost model (charged by the RPC handlers).
+  Nanos mknod_cost() const { return 900; }
+  Nanos rmnod_cost() const { return 850; }
+  Nanos stat_cost() const { return 220; }
+  Nanos readdir_cost(size_t entries) const {
+    return 200 + static_cast<Nanos>(entries) * 6;
+  }
+
+ private:
+  struct Entry {
+    Attributes attrs;
+    std::set<std::string> children;  // directories only
+  };
+
+  static std::string parent_of(const std::string& path);
+  static std::string leaf_of(const std::string& path);
+  DfsStatus create(const std::string& path, FileType type, int64_t now);
+
+  std::unordered_map<std::string, Entry> entries_;
+  uint64_t next_inode_ = 1;
+};
+
+}  // namespace scalerpc::dfs
+
+#endif  // SRC_DFS_METADATA_H_

@@ -1,0 +1,141 @@
+#include "src/dfs/service.h"
+
+namespace scalerpc::dfs {
+
+namespace {
+
+rpc::Bytes path_payload(const std::string& path) {
+  Writer w;
+  w.str(path);
+  return w.take();
+}
+
+std::string payload_path(std::span<const uint8_t> req) {
+  Reader r(req);
+  return r.str();
+}
+
+}  // namespace
+
+void register_metadata_service(rpc::RpcServer* server, MetadataStore* store,
+                               sim::EventLoop* loop) {
+  server->handlers().register_handler(
+      kOpMknod, [store, loop](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        rpc::HandlerResult res;
+        const DfsStatus s = store->mknod(payload_path(req), loop->now());
+        res.response = {static_cast<uint8_t>(s)};
+        res.cpu_ns = store->mknod_cost();
+        return res;
+      });
+  server->handlers().register_handler(
+      kOpMkdir, [store, loop](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        rpc::HandlerResult res;
+        const DfsStatus s = store->mkdir(payload_path(req), loop->now());
+        res.response = {static_cast<uint8_t>(s)};
+        res.cpu_ns = store->mknod_cost();
+        return res;
+      });
+  server->handlers().register_handler(
+      kOpRmnod, [store](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        rpc::HandlerResult res;
+        const DfsStatus s = store->rmnod(payload_path(req));
+        res.response = {static_cast<uint8_t>(s)};
+        res.cpu_ns = store->rmnod_cost();
+        return res;
+      });
+  server->handlers().register_handler(
+      kOpStat, [store](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        rpc::HandlerResult res;
+        Attributes attrs;
+        const DfsStatus s = store->stat(payload_path(req), &attrs);
+        Writer w;
+        w.u8(static_cast<uint8_t>(s));
+        if (s == DfsStatus::kOk) {
+          w.u8(static_cast<uint8_t>(attrs.type));
+          w.u64(attrs.size);
+          w.u64(attrs.inode);
+          w.i64(attrs.ctime);
+        }
+        res.response = w.take();
+        res.cpu_ns = store->stat_cost();
+        return res;
+      });
+  server->handlers().register_handler(
+      kOpReaddir, [store](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        rpc::HandlerResult res;
+        std::vector<std::string> names;
+        const DfsStatus s = store->readdir(payload_path(req), &names);
+        Writer w;
+        w.u8(static_cast<uint8_t>(s));
+        if (s == DfsStatus::kOk) {
+          w.u32(static_cast<uint32_t>(names.size()));
+          for (const auto& n : names) {
+            w.str(n);
+          }
+        }
+        res.response = w.take();
+        res.cpu_ns = store->readdir_cost(names.size());
+        return res;
+      });
+}
+
+sim::Task<DfsStatus> DfsClient::simple_call(uint8_t op, const std::string& path) {
+  rpc::Bytes resp = co_await rpc_->call(op, path_payload(path));
+  SCALERPC_CHECK(!resp.empty());
+  co_return static_cast<DfsStatus>(resp[0]);
+}
+
+sim::Task<DfsStatus> DfsClient::mknod(std::string path) {
+  co_return co_await simple_call(kOpMknod, path);
+}
+sim::Task<DfsStatus> DfsClient::mkdir(std::string path) {
+  co_return co_await simple_call(kOpMkdir, path);
+}
+sim::Task<DfsStatus> DfsClient::rmnod(std::string path) {
+  co_return co_await simple_call(kOpRmnod, path);
+}
+
+sim::Task<DfsStatus> DfsClient::stat(std::string path, Attributes* out) {
+  rpc::Bytes resp = co_await rpc_->call(kOpStat, path_payload(path));
+  Reader r(resp);
+  const auto s = static_cast<DfsStatus>(r.u8());
+  if (s == DfsStatus::kOk && out != nullptr) {
+    out->type = static_cast<FileType>(r.u8());
+    out->size = r.u64();
+    out->inode = r.u64();
+    out->ctime = r.i64();
+  }
+  co_return s;
+}
+
+sim::Task<DfsStatus> DfsClient::readdir(std::string path,
+                                        std::vector<std::string>* names) {
+  rpc::Bytes resp = co_await rpc_->call(kOpReaddir, path_payload(path));
+  Reader r(resp);
+  const auto s = static_cast<DfsStatus>(r.u8());
+  if (s == DfsStatus::kOk && names != nullptr) {
+    const uint32_t n = r.u32();
+    names->clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      names->push_back(r.str());
+    }
+  }
+  co_return s;
+}
+
+void DfsClient::stage_op(uint8_t op, const std::string& path) {
+  rpc_->stage(op, path_payload(path));
+}
+
+sim::Task<std::vector<DfsStatus>> DfsClient::flush() {
+  std::vector<rpc::Bytes> resps = co_await rpc_->flush();
+  std::vector<DfsStatus> out;
+  out.reserve(resps.size());
+  for (const auto& r : resps) {
+    SCALERPC_CHECK(!r.empty());
+    out.push_back(static_cast<DfsStatus>(r[0]));
+  }
+  co_return out;
+}
+
+}  // namespace scalerpc::dfs

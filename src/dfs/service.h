@@ -1,0 +1,53 @@
+// Binds the metadata store to any RPC transport (server side) and provides
+// a typed client (client side). The DFS is fully transport-generic: the
+// Fig. 1a / Fig. 13 experiments swap selfRPC and ScaleRPC underneath it.
+#ifndef SRC_DFS_SERVICE_H_
+#define SRC_DFS_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/dfs/metadata.h"
+#include "src/rpc/rpc.h"
+
+namespace scalerpc::dfs {
+
+// RPC opcodes.
+constexpr uint8_t kOpMknod = 1;
+constexpr uint8_t kOpMkdir = 2;
+constexpr uint8_t kOpRmnod = 3;
+constexpr uint8_t kOpStat = 4;
+constexpr uint8_t kOpReaddir = 5;
+
+// Registers the metadata handlers on `server`. The store must outlive it.
+void register_metadata_service(rpc::RpcServer* server, MetadataStore* store,
+                               sim::EventLoop* loop);
+
+// Typed client wrapper over any RpcClient.
+class DfsClient {
+ public:
+  explicit DfsClient(rpc::RpcClient* rpc) : rpc_(rpc) {}
+
+  sim::Task<DfsStatus> mknod(std::string path);
+  sim::Task<DfsStatus> mkdir(std::string path);
+  sim::Task<DfsStatus> rmnod(std::string path);
+  sim::Task<DfsStatus> stat(std::string path, Attributes* out);
+  sim::Task<DfsStatus> readdir(std::string path, std::vector<std::string>* names);
+
+  // Batched variants (mdtest drives these): stage several ops of one kind,
+  // then flush and return the statuses.
+  void stage_op(uint8_t op, const std::string& path);
+  sim::Task<std::vector<DfsStatus>> flush();
+
+  rpc::RpcClient* transport() { return rpc_; }
+
+ private:
+  sim::Task<DfsStatus> simple_call(uint8_t op, const std::string& path);
+
+  rpc::RpcClient* rpc_;
+};
+
+}  // namespace scalerpc::dfs
+
+#endif  // SRC_DFS_SERVICE_H_

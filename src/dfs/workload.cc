@@ -1,0 +1,135 @@
+#include "src/dfs/workload.h"
+
+namespace scalerpc::dfs {
+
+namespace {
+
+struct Barrier {
+  explicit Barrier(sim::EventLoop& loop, int parties)
+      : remaining(parties), done(loop) {}
+  int remaining;
+  sim::Event done;
+  Nanos completed_at = 0;
+
+  void arrive(sim::EventLoop& loop) {
+    if (--remaining == 0) {
+      completed_at = loop.now();
+      done.set();
+    }
+  }
+};
+
+struct Phases {
+  Phases(sim::EventLoop& loop, int parties)
+      : create(loop, parties),
+        stat(loop, parties),
+        readdir(loop, parties),
+        remove(loop, parties) {}
+  Barrier create;
+  Barrier stat;
+  Barrier readdir;
+  Barrier remove;
+};
+
+sim::Task<void> mdtest_client(sim::EventLoop* loop, DfsClient client, int id,
+                              const MdtestConfig* cfg, Phases* phases) {
+  const std::string wd = "/c" + std::to_string(id);
+  co_await client.mkdir(wd);
+
+  auto batched_phase = [&](uint8_t op, int total, Barrier* barrier) -> sim::Task<void> {
+    int done = 0;
+    while (done < total) {
+      const int n = std::min(cfg->batch, total - done);
+      for (int i = 0; i < n; ++i) {
+        client.stage_op(op, wd + "/f" + std::to_string((done + i) % cfg->files_per_client));
+      }
+      std::vector<DfsStatus> statuses = co_await client.flush();
+      for (DfsStatus s : statuses) {
+        SCALERPC_CHECK_MSG(s == DfsStatus::kOk, to_string(s));
+      }
+      done += n;
+    }
+    barrier->arrive(*loop);
+    co_await barrier->done.wait();
+  };
+
+  co_await batched_phase(kOpMknod, cfg->files_per_client, &phases->create);
+  co_await batched_phase(kOpStat, cfg->files_per_client * cfg->stat_rounds,
+                         &phases->stat);
+
+  // ReadDir phase: repeated listings of the working directory.
+  {
+    int done = 0;
+    const int total = cfg->readdir_rounds;
+    while (done < total) {
+      const int n = std::min(cfg->batch, total - done);
+      for (int i = 0; i < n; ++i) {
+        client.stage_op(kOpReaddir, wd);
+      }
+      std::vector<rpc::Bytes> resps = co_await client.transport()->flush();
+      SCALERPC_CHECK(resps.size() == static_cast<size_t>(n));
+      done += n;
+    }
+    phases->readdir.arrive(*loop);
+    co_await phases->readdir.done.wait();
+  }
+
+  co_await batched_phase(kOpRmnod, cfg->files_per_client, &phases->remove);
+}
+
+}  // namespace
+
+double MdtestResult::of(uint8_t op) const {
+  switch (op) {
+    case kOpMknod:
+      return mknod_mops;
+    case kOpStat:
+      return stat_mops;
+    case kOpReaddir:
+      return readdir_mops;
+    case kOpRmnod:
+      return rmnod_mops;
+    default:
+      return 0;
+  }
+}
+
+MdtestResult run_mdtest(harness::Testbed& bed, const MdtestConfig& cfg) {
+  auto& loop = bed.loop();
+  auto store = std::make_unique<MetadataStore>();
+  register_metadata_service(&bed.server(), store.get(), &loop);
+  bed.server().start();
+
+  const int n = static_cast<int>(bed.num_clients());
+  Phases phases(loop, n);
+  const Nanos t0 = loop.now();
+  for (int c = 0; c < n; ++c) {
+    sim::spawn(loop, mdtest_client(&loop, DfsClient(&bed.client(static_cast<size_t>(c))),
+                                   c, &cfg, &phases));
+  }
+
+  // Drive phases to completion, bounding runaway time.
+  const Nanos horizon = loop.now() + 30 * kSecond;
+  while (!phases.remove.done.is_set() && loop.now() < horizon) {
+    loop.run_for(msec(1));
+  }
+  SCALERPC_CHECK_MSG(phases.remove.done.is_set(), "mdtest did not complete");
+  bed.server().stop();
+
+  MdtestResult result;
+  const auto total = static_cast<uint64_t>(n) * cfg.files_per_client;
+  result.mknod_mops =
+      mops_per_sec(total, static_cast<uint64_t>(phases.create.completed_at - t0));
+  result.stat_mops = mops_per_sec(
+      total * cfg.stat_rounds,
+      static_cast<uint64_t>(phases.stat.completed_at - phases.create.completed_at));
+  result.readdir_mops = mops_per_sec(
+      static_cast<uint64_t>(n) * cfg.readdir_rounds,
+      static_cast<uint64_t>(phases.readdir.completed_at - phases.stat.completed_at));
+  result.rmnod_mops = mops_per_sec(
+      total,
+      static_cast<uint64_t>(phases.remove.completed_at - phases.readdir.completed_at));
+  return result;
+}
+
+}  // namespace scalerpc::dfs

@@ -1,0 +1,36 @@
+// mdtest-style metadata workload (paper Sections 2.2 and 4.1).
+//
+// Each client works in a private directory: a create phase (Mknod), a stat
+// phase, a readdir phase and a remove phase (Rmnod), with barriers between
+// phases as in mdtest. Per-phase throughput = total ops / phase wall time.
+#ifndef SRC_DFS_WORKLOAD_H_
+#define SRC_DFS_WORKLOAD_H_
+
+#include "src/dfs/service.h"
+#include "src/harness/harness.h"
+
+namespace scalerpc::dfs {
+
+struct MdtestConfig {
+  int files_per_client = 160;
+  int batch = 1;        // mdtest issues ops synchronously
+  int stat_rounds = 3;  // stat sweeps over the files (read-heavy phase)
+  int readdir_rounds = 24;
+};
+
+struct MdtestResult {
+  double mknod_mops = 0;
+  double stat_mops = 0;
+  double readdir_mops = 0;
+  double rmnod_mops = 0;
+
+  double of(uint8_t op) const;
+};
+
+// Runs mdtest over the testbed's transport. Registers the service, starts
+// the server, and drives every client through the four phases.
+MdtestResult run_mdtest(harness::Testbed& bed, const MdtestConfig& cfg);
+
+}  // namespace scalerpc::dfs
+
+#endif  // SRC_DFS_WORKLOAD_H_

@@ -1,0 +1,177 @@
+#include "src/harness/harness.h"
+
+namespace scalerpc::harness {
+
+const char* to_string(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kRawWrite:
+      return "RawWrite";
+    case TransportKind::kHerd:
+      return "HERD";
+    case TransportKind::kFasst:
+      return "FaSST";
+    case TransportKind::kSelfRpc:
+      return "selfRPC";
+    case TransportKind::kScaleRpc:
+      return "ScaleRPC";
+  }
+  return "?";
+}
+
+std::optional<TransportKind> parse_transport(const std::string& name) {
+  for (TransportKind k : all_transports()) {
+    if (name == to_string(k)) {
+      return k;
+    }
+  }
+  if (name == "rawwrite") {
+    return TransportKind::kRawWrite;
+  }
+  if (name == "herd") {
+    return TransportKind::kHerd;
+  }
+  if (name == "fasst") {
+    return TransportKind::kFasst;
+  }
+  if (name == "selfrpc") {
+    return TransportKind::kSelfRpc;
+  }
+  if (name == "scalerpc") {
+    return TransportKind::kScaleRpc;
+  }
+  return std::nullopt;
+}
+
+Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), cluster_(cfg.sim) {
+  server_node_ = cluster_.add_node("server");
+  for (int i = 0; i < cfg_.num_client_nodes; ++i) {
+    client_nodes_.push_back(cluster_.add_node("client" + std::to_string(i)));
+    cpu_pools_.push_back(
+        std::make_unique<rpc::CpuPool>(cluster_.loop(), cfg_.cores_per_client_node));
+  }
+
+  switch (cfg_.kind) {
+    case TransportKind::kRawWrite:
+      server_ = std::make_unique<transport::RawWriteServer>(server_node_, cfg_.rpc);
+      break;
+    case TransportKind::kHerd:
+      server_ = std::make_unique<transport::HerdServer>(server_node_, cfg_.rpc);
+      break;
+    case TransportKind::kFasst:
+      server_ = std::make_unique<transport::FasstServer>(server_node_, cfg_.rpc);
+      break;
+    case TransportKind::kSelfRpc:
+      server_ = std::make_unique<transport::SelfRpcServer>(server_node_, cfg_.rpc);
+      break;
+    case TransportKind::kScaleRpc: {
+      auto s = std::make_unique<core::ScaleRpcServer>(server_node_, cfg_.rpc);
+      scalerpc_ = s.get();
+      server_ = std::move(s);
+      break;
+    }
+  }
+
+  for (int c = 0; c < cfg_.num_clients; ++c) {
+    const auto node_idx = static_cast<size_t>(c) % client_nodes_.size();
+    transport::ClientEnv env{client_nodes_[node_idx], cpu_pools_[node_idx].get()};
+    std::unique_ptr<rpc::RpcClient> client;
+    switch (cfg_.kind) {
+      case TransportKind::kRawWrite:
+        client = std::make_unique<transport::RawWriteClient>(
+            env, static_cast<transport::RawWriteServer*>(server_.get()));
+        break;
+      case TransportKind::kHerd:
+        client = std::make_unique<transport::HerdClient>(
+            env, static_cast<transport::HerdServer*>(server_.get()));
+        break;
+      case TransportKind::kFasst:
+        client = std::make_unique<transport::FasstClient>(
+            env, static_cast<transport::FasstServer*>(server_.get()));
+        break;
+      case TransportKind::kSelfRpc:
+        client = std::make_unique<transport::SelfRpcClient>(
+            env, static_cast<transport::SelfRpcServer*>(server_.get()));
+        break;
+      case TransportKind::kScaleRpc:
+        client = std::make_unique<core::ScaleRpcClient>(env, scalerpc_);
+        break;
+    }
+    sim::run_blocking(cluster_.loop(), client->connect());
+    clients_.push_back(std::move(client));
+  }
+}
+
+core::ScaleRpcClient* Testbed::scalerpc_client(size_t i) {
+  if (cfg_.kind != TransportKind::kScaleRpc) {
+    return nullptr;
+  }
+  return static_cast<core::ScaleRpcClient*>(clients_[i].get());
+}
+
+namespace {
+
+struct DriverState {
+  bool stop = false;
+  bool measuring = false;
+  uint64_t ops = 0;
+  Histogram latency_us;
+};
+
+sim::Task<void> echo_client(sim::EventLoop* loop, rpc::RpcClient* client,
+                            const EchoWorkload* wl, Nanos think, DriverState* st) {
+  rpc::Bytes payload(wl->msg_bytes, 0xAB);
+  while (!st->stop) {
+    if (think > 0) {
+      co_await loop->delay(think);
+    }
+    const Nanos t1 = loop->now();
+    for (int b = 0; b < wl->batch; ++b) {
+      client->stage(0, payload);
+    }
+    std::vector<rpc::Bytes> resp = co_await client->flush();
+    SCALERPC_CHECK(resp.size() == static_cast<size_t>(wl->batch));
+    if (st->measuring) {
+      st->ops += static_cast<uint64_t>(wl->batch);
+      st->latency_us.record(static_cast<uint64_t>((loop->now() - t1) / 1000));
+    }
+  }
+}
+
+}  // namespace
+
+EchoResult run_echo(Testbed& bed, const EchoWorkload& wl) {
+  auto& loop = bed.loop();
+  bed.server().handlers().register_handler(0, rpc::make_echo_handler(wl.handler_cpu));
+  bed.server().start();
+
+  DriverState st;
+  for (size_t c = 0; c < bed.num_clients(); ++c) {
+    const Nanos think =
+        c < wl.per_client_think.size() ? wl.per_client_think[c] : 0;
+    sim::spawn(loop, echo_client(&loop, &bed.client(c), &wl, think, &st));
+  }
+
+  loop.run_for(wl.warmup);
+  const auto pcm0 = bed.server_node()->pcm_total();
+  const auto nic0 = bed.server_node()->nic().counters();
+  st.measuring = true;
+  const Nanos t0 = loop.now();
+  loop.run_for(wl.measure);
+  st.measuring = false;
+  const Nanos elapsed = loop.now() - t0;
+  st.stop = true;
+  loop.run_for(usec(50));  // let in-flight batches land
+  bed.server().stop();
+
+  EchoResult result;
+  result.ops = st.ops;
+  result.elapsed = elapsed;
+  result.mops = mops_per_sec(st.ops, static_cast<uint64_t>(elapsed));
+  result.batch_latency = std::move(st.latency_us);
+  result.server_pcm = bed.server_node()->pcm_total() - pcm0;
+  result.server_qp_cache_misses =
+      bed.server_node()->nic().counters().qp_cache_misses - nic0.qp_cache_misses;
+  return result;
+}
+
+}  // namespace scalerpc::harness

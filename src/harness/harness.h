@@ -1,0 +1,94 @@
+// Experiment harness: builds a paper-style testbed (1 RPC server node + N
+// client nodes, clients multiplexed as coroutines) for any of the five
+// transports, and drives the echo microworkload used by Figs. 8-12.
+#ifndef SRC_HARNESS_HARNESS_H_
+#define SRC_HARNESS_HARNESS_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/baselines/fasst.h"
+#include "src/baselines/herd.h"
+#include "src/baselines/rawwrite.h"
+#include "src/baselines/selfrpc.h"
+#include "src/common/stats.h"
+#include "src/scalerpc/client.h"
+#include "src/scalerpc/server.h"
+
+namespace scalerpc::harness {
+
+enum class TransportKind { kRawWrite, kHerd, kFasst, kSelfRpc, kScaleRpc };
+
+const char* to_string(TransportKind kind);
+std::optional<TransportKind> parse_transport(const std::string& name);
+inline const std::vector<TransportKind>& all_transports() {
+  static const std::vector<TransportKind> kAll = {
+      TransportKind::kRawWrite, TransportKind::kHerd, TransportKind::kFasst,
+      TransportKind::kSelfRpc, TransportKind::kScaleRpc};
+  return kAll;
+}
+
+struct TestbedConfig {
+  TransportKind kind = TransportKind::kScaleRpc;
+  int num_clients = 40;
+  int num_client_nodes = 11;       // paper: 12-node cluster, one server
+  int cores_per_client_node = 24;  // E5-2650 v4 (single socket's worth)
+  core::ScaleRpcConfig rpc;        // superset of TransportConfig
+  simrdma::SimParams sim;
+};
+
+// A constructed testbed: cluster + server + connected clients.
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig cfg);
+
+  sim::EventLoop& loop() { return cluster_.loop(); }
+  simrdma::Cluster& cluster() { return cluster_; }
+  simrdma::Node* server_node() { return server_node_; }
+  rpc::RpcServer& server() { return *server_; }
+  core::ScaleRpcServer* scalerpc() { return scalerpc_; }
+  const TestbedConfig& config() const { return cfg_; }
+  size_t num_clients() const { return clients_.size(); }
+  rpc::RpcClient& client(size_t i) { return *clients_[i]; }
+  core::ScaleRpcClient* scalerpc_client(size_t i);
+
+ private:
+  TestbedConfig cfg_;
+  simrdma::Cluster cluster_;
+  simrdma::Node* server_node_ = nullptr;
+  std::vector<simrdma::Node*> client_nodes_;
+  std::vector<std::unique_ptr<rpc::CpuPool>> cpu_pools_;
+  std::unique_ptr<rpc::RpcServer> server_;
+  core::ScaleRpcServer* scalerpc_ = nullptr;
+  std::vector<std::unique_ptr<rpc::RpcClient>> clients_;
+};
+
+struct EchoWorkload {
+  int batch = 1;
+  uint32_t msg_bytes = 32;   // request payload (paper default)
+  Nanos handler_cpu = 100;   // application work per request
+  Nanos warmup = usec(400);
+  Nanos measure = msec(2);
+  // Optional per-client think time between batches (Fig. 12 skew); empty
+  // means closed-loop with no think time.
+  std::vector<Nanos> per_client_think;
+};
+
+struct EchoResult {
+  uint64_t ops = 0;
+  Nanos elapsed = 0;
+  double mops = 0.0;
+  Histogram batch_latency;  // microseconds
+  simrdma::PcmCounters server_pcm;  // delta over the measurement window
+  uint64_t server_qp_cache_misses = 0;
+};
+
+// Registers an echo handler, starts the server, drives all clients in a
+// closed loop, and measures over the configured window.
+EchoResult run_echo(Testbed& bed, const EchoWorkload& wl);
+
+}  // namespace scalerpc::harness
+
+#endif  // SRC_HARNESS_HARNESS_H_

@@ -1,0 +1,264 @@
+#include "src/harness/rawverbs.h"
+
+#include "src/sim/task.h"
+
+namespace scalerpc::harness {
+
+using simrdma::Cluster;
+using simrdma::CompletionQueue;
+using simrdma::Node;
+using simrdma::Opcode;
+using simrdma::QpType;
+using simrdma::QueuePair;
+using simrdma::RecvWr;
+using simrdma::SendWr;
+
+namespace {
+
+constexpr int kClientNodes = 8;
+
+struct Counters {
+  uint64_t ops = 0;
+  bool done = false;
+};
+
+// Windowed sender: keeps `window` writes outstanding round-robin over its
+// destinations.
+sim::Task<void> windowed_sender(CompletionQueue* cq, std::vector<QueuePair*> qps,
+                                std::vector<SendWr> wrs, int window, Counters* st) {
+  size_t next = 0;
+  int outstanding = 0;
+  while (!st->done) {
+    while (outstanding < window) {
+      co_await qps[next]->post_send(wrs[next]);
+      next = (next + 1) % qps.size();
+      outstanding++;
+    }
+    co_await cq->next();
+    outstanding--;
+    st->ops++;
+  }
+}
+
+// Inbound writer walking through its block ring (log-style offsets).
+sim::Task<void> block_writer(QueuePair* qp, CompletionQueue* cq, uint64_t src,
+                             uint32_t rkey, std::vector<uint64_t> blocks,
+                             uint32_t block_bytes, uint32_t msg_bytes, int window,
+                             Counters* st) {
+  size_t next = 0;
+  uint64_t iter = 0;
+  int outstanding = 0;
+  while (!st->done) {
+    while (outstanding < window) {
+      SendWr wr;
+      wr.opcode = Opcode::kWrite;
+      wr.local_addr = src;
+      wr.length = msg_bytes;
+      wr.remote_addr = blocks[next] + (iter * msg_bytes) % block_bytes;
+      wr.rkey = rkey;
+      co_await qp->post_send(wr);
+      next = (next + 1) % blocks.size();
+      if (next == 0) {
+        iter++;
+      }
+      outstanding++;
+    }
+    co_await cq->next();
+    outstanding--;
+    st->ops++;
+  }
+}
+
+sim::Task<void> pool_poller(Node* server, uint64_t base, uint64_t len, Counters* st) {
+  sim::Notification note(server->loop());
+  server->memory().add_watcher(base, len, [&note] { note.notify(); });
+  const uint64_t lines = len / kCacheLineSize;
+  uint64_t cursor = 0;
+  while (!st->done) {
+    co_await note.wait();
+    Nanos cost = 0;
+    for (int i = 0; i < 16; ++i) {
+      cost += server->read_cost(base + (cursor % lines) * kCacheLineSize, 8);
+      cursor++;
+    }
+    co_await server->loop().delay(cost);
+  }
+}
+
+RawVerbResult measure_window(Cluster& cluster, Node* server, Counters* st,
+                             Nanos warmup, Nanos measure) {
+  cluster.loop().run_for(warmup);
+  const uint64_t ops0 = st->ops;
+  const auto pcm0 = server->pcm_total();
+  const Nanos t0 = cluster.loop().now();
+  cluster.loop().run_for(measure);
+  const uint64_t delta_ops = st->ops - ops0;
+  const auto pcm = server->pcm_total() - pcm0;
+  const auto elapsed = static_cast<uint64_t>(cluster.loop().now() - t0);
+  st->done = true;
+  RawVerbResult result;
+  result.mops = mops_per_sec(delta_ops, elapsed);
+  result.pcie_rd_mops = mops_per_sec(pcm.pcie_rd_cur, elapsed);
+  result.pcie_itom_mops = mops_per_sec(pcm.pcie_itom, elapsed);
+  result.l3_miss_rate = pcm.l3_miss_rate();
+  return result;
+}
+
+}  // namespace
+
+RawVerbResult run_outbound_write(const RawVerbConfig& cfg) {
+  Cluster cluster;
+  Node* server = cluster.add_node("server");
+  std::vector<Node*> cnodes;
+  for (int i = 0; i < kClientNodes; ++i) {
+    cnodes.push_back(cluster.add_node("c" + std::to_string(i)));
+  }
+  const uint64_t src = server->alloc(cfg.msg_bytes);
+  std::vector<std::vector<QueuePair*>> qps(static_cast<size_t>(cfg.server_threads));
+  std::vector<std::vector<SendWr>> wrs(static_cast<size_t>(cfg.server_threads));
+  std::vector<CompletionQueue*> cqs;
+  for (int t = 0; t < cfg.server_threads; ++t) {
+    cqs.push_back(server->create_cq());
+  }
+  for (int c = 0; c < cfg.num_clients; ++c) {
+    Node* cn = cnodes[static_cast<size_t>(c) % cnodes.size()];
+    const auto t = static_cast<size_t>(c % cfg.server_threads);
+    auto* ccq = cn->create_cq();
+    QueuePair* sq = server->create_qp(QpType::kRC, cqs[t], cqs[t]);
+    QueuePair* cq = cn->create_qp(QpType::kRC, ccq, ccq);
+    cluster.connect(sq, cq);
+    const uint64_t dst = cn->alloc(cfg.msg_bytes);
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = cfg.msg_bytes;
+    wr.remote_addr = dst;
+    wr.rkey = cn->arena_mr()->rkey;
+    qps[t].push_back(sq);
+    wrs[t].push_back(wr);
+  }
+  Counters st;
+  for (int t = 0; t < cfg.server_threads; ++t) {
+    sim::spawn(cluster.loop(),
+               windowed_sender(cqs[static_cast<size_t>(t)], qps[static_cast<size_t>(t)],
+                               wrs[static_cast<size_t>(t)], cfg.window, &st));
+  }
+  return measure_window(cluster, server, &st, cfg.warmup, cfg.measure);
+}
+
+RawVerbResult run_inbound_write(const RawVerbConfig& cfg) {
+  simrdma::SimParams params;
+  // Inbound experiments may touch big pools (400 clients x 20 x 16KB).
+  const uint64_t pool_len = static_cast<uint64_t>(cfg.num_clients) *
+                            cfg.blocks_per_client * cfg.block_bytes;
+  params.host_memory_bytes = std::max(params.host_memory_bytes, pool_len + MiB(16));
+  Cluster cluster(params);
+  Node* server = cluster.add_node("server");
+  std::vector<Node*> cnodes;
+  for (int i = 0; i < kClientNodes; ++i) {
+    cnodes.push_back(cluster.add_node("c" + std::to_string(i)));
+  }
+  const uint64_t pool = server->alloc(pool_len, 4096);
+  const uint32_t rkey = server->arena_mr()->rkey;
+  Counters st;
+  for (int c = 0; c < cfg.num_clients; ++c) {
+    Node* cn = cnodes[static_cast<size_t>(c) % cnodes.size()];
+    auto* scq = server->create_cq();
+    auto* ccq = cn->create_cq();
+    QueuePair* sq = server->create_qp(QpType::kRC, scq, scq);
+    QueuePair* cq = cn->create_qp(QpType::kRC, ccq, ccq);
+    cluster.connect(sq, cq);
+    const uint64_t src = cn->alloc(cfg.msg_bytes);
+    std::vector<uint64_t> blocks;
+    for (int b = 0; b < cfg.blocks_per_client; ++b) {
+      blocks.push_back(pool + (static_cast<uint64_t>(c) * cfg.blocks_per_client +
+                               static_cast<uint64_t>(b)) *
+                                  cfg.block_bytes);
+    }
+    sim::spawn(cluster.loop(),
+               block_writer(cq, ccq, src, rkey, std::move(blocks), cfg.block_bytes,
+                            cfg.msg_bytes, std::min(cfg.window, 8), &st));
+  }
+  if (cfg.server_polls) {
+    sim::spawn(cluster.loop(), pool_poller(server, pool, pool_len, &st));
+  }
+  return measure_window(cluster, server, &st, cfg.warmup, cfg.measure);
+}
+
+RawVerbResult run_ud_send(const RawVerbConfig& cfg) {
+  Cluster cluster;
+  Node* server = cluster.add_node("server");
+  std::vector<Node*> cnodes;
+  for (int i = 0; i < kClientNodes; ++i) {
+    cnodes.push_back(cluster.add_node("c" + std::to_string(i)));
+  }
+  // A few server UD QPs with deep recv rings; a drainer per QP reposts.
+  const auto& p = cluster.params();
+  const uint32_t buf_bytes =
+      static_cast<uint32_t>(align_up(cfg.msg_bytes + p.grh_bytes, 64));
+  struct ServerQp {
+    QueuePair* qp;
+    CompletionQueue* rcq;
+    uint64_t ring;
+  };
+  std::vector<ServerQp> sqps;
+  for (int t = 0; t < cfg.server_threads; ++t) {
+    auto* rcq = server->create_cq();
+    auto* scq = server->create_cq();
+    QueuePair* qp = server->create_qp(QpType::kUD, scq, rcq);
+    const uint64_t ring = server->alloc(1024ULL * buf_bytes, 4096);
+    for (int i = 0; i < 1024; ++i) {
+      qp->post_recv_immediate(
+          RecvWr{static_cast<uint64_t>(i), ring + static_cast<uint64_t>(i) * buf_bytes,
+                 buf_bytes});
+    }
+    sqps.push_back(ServerQp{qp, rcq, ring});
+  }
+  Counters st;
+  // Deliveries are counted at the receiver: UD senders complete on transmit
+  // and cannot observe drops, so send-side counting would overstate rate.
+  auto drainer = [](ServerQp s, uint32_t buf, Counters* stp) -> sim::Task<void> {
+    while (!stp->done) {
+      const simrdma::Completion c = co_await s.rcq->next();
+      stp->ops++;
+      co_await s.qp->post_recv(RecvWr{c.wr_id, s.ring + c.wr_id * buf, buf});
+    }
+  };
+  for (const auto& s : sqps) {
+    sim::spawn(cluster.loop(), drainer(s, buf_bytes, &st));
+  }
+
+  auto ud_client = [](QueuePair* qp, CompletionQueue* cq, uint64_t src, int dst_node,
+                      uint32_t dst_qpn, uint32_t bytes, int window,
+                      Counters* stp) -> sim::Task<void> {
+    int outstanding = 0;
+    while (!stp->done) {
+      while (outstanding < window) {
+        SendWr wr;
+        wr.opcode = Opcode::kSend;
+        wr.local_addr = src;
+        wr.length = bytes;
+        wr.dest_node = dst_node;
+        wr.dest_qpn = dst_qpn;
+        wr.inline_data = bytes <= 188;
+        co_await qp->post_send(wr);
+        outstanding++;
+      }
+      co_await cq->next();
+      outstanding--;
+    }
+  };
+  for (int c = 0; c < cfg.num_clients; ++c) {
+    Node* cn = cnodes[static_cast<size_t>(c) % cnodes.size()];
+    auto* ccq = cn->create_cq();
+    QueuePair* qp = cn->create_qp(QpType::kUD, ccq, ccq);
+    const uint64_t src = cn->alloc(cfg.msg_bytes);
+    const auto& target = sqps[static_cast<size_t>(c % cfg.server_threads)];
+    sim::spawn(cluster.loop(),
+               ud_client(qp, ccq, src, server->id(), target.qp->qpn(), cfg.msg_bytes,
+                         std::min(cfg.window, 8), &st));
+  }
+  return measure_window(cluster, server, &st, cfg.warmup, cfg.measure);
+}
+
+}  // namespace scalerpc::harness

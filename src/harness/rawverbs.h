@@ -1,0 +1,48 @@
+// Raw-verb microbenchmark drivers for the motivation experiments
+// (Figs. 1b, 3a, 3b): windowed outbound RC writes, inbound RC writes over
+// per-client block arrays, and UD sends — with PCM counter capture.
+#ifndef SRC_HARNESS_RAWVERBS_H_
+#define SRC_HARNESS_RAWVERBS_H_
+
+#include "src/common/stats.h"
+#include "src/simrdma/cluster.h"
+#include "src/simrdma/nic.h"
+#include "src/simrdma/node.h"
+
+namespace scalerpc::harness {
+
+struct RawVerbConfig {
+  int num_clients = 40;
+  int server_threads = 10;  // senders (outbound) — paper Fig. 1b setup
+  uint32_t msg_bytes = 32;
+  int window = 16;  // outstanding verbs per thread/client
+  // Inbound-specific: per-client block ring at the server.
+  uint32_t block_bytes = 64;
+  int blocks_per_client = 20;
+  bool server_polls = true;  // consume messages CPU-side (promotes lines)
+  Nanos warmup = usec(300);
+  Nanos measure = msec(2);
+};
+
+struct RawVerbResult {
+  double mops = 0;
+  double pcie_rd_mops = 0;    // PCIe read ops per second (PCM PCIeRdCur)
+  double pcie_itom_mops = 0;  // allocating writes per second
+  double l3_miss_rate = 0;
+};
+
+// One server node issuing 32-byte RC writes to `num_clients` remote
+// destinations (outbound verbs, Fig. 1b/3a).
+RawVerbResult run_outbound_write(const RawVerbConfig& cfg);
+
+// `num_clients` clients RC-writing into the server's per-client block rings
+// (inbound verbs, Fig. 1b/3a/3b).
+RawVerbResult run_inbound_write(const RawVerbConfig& cfg);
+
+// UD send counterpart (Fig. 1b): clients UD-send to a handful of server
+// QPs that keep deep recv rings posted.
+RawVerbResult run_ud_send(const RawVerbConfig& cfg);
+
+}  // namespace scalerpc::harness
+
+#endif  // SRC_HARNESS_RAWVERBS_H_

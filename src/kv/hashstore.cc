@@ -1,0 +1,121 @@
+#include "src/kv/hashstore.h"
+
+namespace scalerpc::kv {
+
+HashStore::HashStore(simrdma::Node* node, uint64_t capacity, uint32_t value_bytes)
+    : node_(node),
+      capacity_(capacity),
+      value_bytes_(value_bytes),
+      base_(node->alloc(capacity * (16 + value_bytes), 4096)),
+      rkey_(node->arena_mr()->rkey),
+      used_(capacity, false) {
+  SCALERPC_CHECK(capacity_ > 0);
+}
+
+uint64_t HashStore::mix(uint64_t key) {
+  uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::optional<uint64_t> HashStore::find_slot(uint64_t key) const {
+  uint64_t slot = mix(key) % capacity_;
+  for (uint64_t i = 0; i < capacity_; ++i) {
+    if (!used_[slot]) {
+      return std::nullopt;
+    }
+    if (node_->memory().load_pod<uint64_t>(slot_addr(slot)) == key) {
+      return slot;
+    }
+    slot = (slot + 1) % capacity_;
+  }
+  return std::nullopt;
+}
+
+std::optional<uint64_t> HashStore::insert(uint64_t key, std::span<const uint8_t> value) {
+  SCALERPC_CHECK(value.size() <= value_bytes_);
+  if (size_ >= capacity_) {
+    return std::nullopt;
+  }
+  uint64_t slot = mix(key) % capacity_;
+  for (uint64_t i = 0; i < capacity_; ++i) {
+    if (used_[slot]) {
+      if (node_->memory().load_pod<uint64_t>(slot_addr(slot)) == key) {
+        return std::nullopt;  // duplicate
+      }
+      slot = (slot + 1) % capacity_;
+      continue;
+    }
+    auto& mem = node_->memory();
+    mem.store_pod<uint64_t>(slot_addr(slot), key);
+    mem.store_pod<uint32_t>(slot_addr(slot) + 8, 0);   // lock
+    mem.store_pod<uint32_t>(slot_addr(slot) + 12, 1);  // version
+    mem.store(slot_addr(slot) + 16, value);
+    used_[slot] = true;
+    size_++;
+    return slot;
+  }
+  return std::nullopt;
+}
+
+std::optional<HashStore::View> HashStore::lookup(uint64_t key) const {
+  auto slot = find_slot(key);
+  if (!slot.has_value()) {
+    return std::nullopt;
+  }
+  const auto& mem = node_->memory();
+  View v;
+  v.slot = *slot;
+  v.header_addr = header_addr(*slot);
+  v.lock = mem.load_pod<uint32_t>(slot_addr(*slot) + 8);
+  v.version = mem.load_pod<uint32_t>(slot_addr(*slot) + 12);
+  v.value.resize(value_bytes_);
+  mem.load(slot_addr(*slot) + 16, v.value);
+  return v;
+}
+
+bool HashStore::try_lock(uint64_t key, uint32_t owner) {
+  SCALERPC_CHECK(owner != 0);
+  auto slot = find_slot(key);
+  if (!slot.has_value()) {
+    return false;
+  }
+  auto& mem = node_->memory();
+  if (mem.load_pod<uint32_t>(slot_addr(*slot) + 8) != 0) {
+    return false;
+  }
+  mem.store_pod<uint32_t>(slot_addr(*slot) + 8, owner);
+  return true;
+}
+
+void HashStore::unlock(uint64_t key) {
+  auto slot = find_slot(key);
+  SCALERPC_CHECK(slot.has_value());
+  node_->memory().store_pod<uint32_t>(slot_addr(*slot) + 8, 0);
+}
+
+bool HashStore::commit_update(uint64_t key, std::span<const uint8_t> value) {
+  SCALERPC_CHECK(value.size() <= value_bytes_);
+  auto slot = find_slot(key);
+  if (!slot.has_value()) {
+    return false;
+  }
+  auto& mem = node_->memory();
+  const auto version = mem.load_pod<uint32_t>(slot_addr(*slot) + 12);
+  mem.store_pod<uint32_t>(slot_addr(*slot) + 12, version + 1);
+  mem.store(slot_addr(*slot) + 16, value);
+  mem.store_pod<uint32_t>(slot_addr(*slot) + 8, 0);  // release lock
+  return true;
+}
+
+Nanos HashStore::probe_cost(uint64_t key) const {
+  // One index probe plus the item's lines through the LLC model.
+  auto slot = find_slot(key);
+  if (!slot.has_value()) {
+    return node_->params().llc_miss_ns;
+  }
+  return node_->llc().cpu_read(slot_addr(*slot), item_bytes());
+}
+
+}  // namespace scalerpc::kv

@@ -1,0 +1,82 @@
+// MICA-style in-memory key-value store (paper Section 4.2).
+//
+// Items live in an RDMA-registered slab of the owning node's memory with a
+// fixed layout so transactions can validate and commit with one-sided
+// verbs:
+//
+//   Item: | key:8 | lock:4 | version:4 | value[value_bytes] |
+//
+// `lock`..`value` are contiguous, so a ScaleTX commit is a single RDMA
+// write of {lock=0, version+1, new value} starting at header_addr(), and a
+// validation is an 8-byte RDMA read of {lock, version}.
+// Index: open addressing with linear probing over item slots (a simplified
+// MICA lossless index; load factor kept < 0.5 by construction).
+#ifndef SRC_KV_HASHSTORE_H_
+#define SRC_KV_HASHSTORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/simrdma/node.h"
+
+namespace scalerpc::kv {
+
+class HashStore {
+ public:
+  // Carves the slab out of `node`'s registered arena.
+  HashStore(simrdma::Node* node, uint64_t capacity, uint32_t value_bytes);
+
+  uint32_t value_bytes() const { return value_bytes_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t size() const { return size_; }
+  uint32_t rkey() const { return rkey_; }
+
+  // Inserts a new key (fails if present or full). Returns the slot index.
+  std::optional<uint64_t> insert(uint64_t key, std::span<const uint8_t> value);
+
+  struct View {
+    uint64_t slot = 0;
+    uint64_t header_addr = 0;  // address of the lock field (lock|version|value)
+    uint32_t version = 0;
+    uint32_t lock = 0;
+    std::vector<uint8_t> value;
+  };
+  // Looks a key up; the returned view is a snapshot.
+  std::optional<View> lookup(uint64_t key) const;
+
+  // Locking (used by the transaction execution phase). `owner` tags the
+  // holder for debugging; 0 means unlocked.
+  bool try_lock(uint64_t key, uint32_t owner);
+  void unlock(uint64_t key);
+
+  // In-place update: bumps the version and releases the lock (the RPC-based
+  // commit path; the one-sided path writes the same bytes remotely).
+  bool commit_update(uint64_t key, std::span<const uint8_t> value);
+
+  // Address helpers for one-sided access.
+  uint64_t slot_addr(uint64_t slot) const { return base_ + slot * item_bytes(); }
+  uint64_t header_addr(uint64_t slot) const { return slot_addr(slot) + 8; }
+  uint32_t item_bytes() const { return 16 + value_bytes_; }
+  // Bytes a one-sided commit writes: lock + version + value.
+  uint32_t commit_bytes() const { return 8 + value_bytes_; }
+
+  // CPU cost (ns) of an index probe + item touch, charged by RPC handlers.
+  Nanos probe_cost(uint64_t key) const;
+
+ private:
+  std::optional<uint64_t> find_slot(uint64_t key) const;
+  static uint64_t mix(uint64_t key);
+
+  simrdma::Node* node_;
+  uint64_t capacity_;
+  uint32_t value_bytes_;
+  uint64_t base_;
+  uint32_t rkey_;
+  uint64_t size_ = 0;
+  std::vector<bool> used_;
+};
+
+}  // namespace scalerpc::kv
+
+#endif  // SRC_KV_HASHSTORE_H_

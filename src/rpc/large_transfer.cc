@@ -1,0 +1,153 @@
+#include "src/rpc/large_transfer.h"
+
+#include "src/simrdma/nic.h"
+
+namespace scalerpc::rpc {
+
+using simrdma::Completion;
+using simrdma::Opcode;
+using simrdma::QpType;
+using simrdma::QueuePair;
+using simrdma::RecvWr;
+using simrdma::SendWr;
+
+sim::Task<TransferResult> rc_write_transfer(QueuePair* qp, uint64_t local,
+                                            uint64_t remote, uint32_t rkey,
+                                            uint64_t len) {
+  SCALERPC_CHECK(qp->type() == QpType::kRC);
+  auto& loop = qp->node()->loop();
+  const Nanos t0 = loop.now();
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = local;
+  wr.length = static_cast<uint32_t>(len);
+  wr.remote_addr = remote;
+  wr.rkey = rkey;
+  co_await qp->post_send(wr);
+  co_await qp->send_cq()->next();
+  co_return TransferResult{loop.now() - t0, len};
+}
+
+namespace {
+
+// Receiver side: consume slices, send a 1-byte ack per slice.
+sim::Task<void> slice_acker(QueuePair* recv_qp, int sender_node, uint32_t sender_qpn,
+                            uint64_t slices, uint64_t ack_src) {
+  for (uint64_t i = 0; i < slices; ++i) {
+    const Completion c = co_await recv_qp->recv_cq()->next();
+    SCALERPC_CHECK(c.is_recv);
+    SendWr ack;
+    ack.opcode = Opcode::kSend;
+    ack.local_addr = ack_src;
+    ack.length = 1;
+    ack.dest_node = sender_node;
+    ack.dest_qpn = sender_qpn;
+    ack.signaled = false;
+    ack.inline_data = true;
+    co_await recv_qp->post_send(ack);
+  }
+}
+
+uint64_t prepare_receiver(QueuePair* recv_qp, uint64_t remote_buf, uint64_t slices,
+                          uint32_t slice_bytes) {
+  simrdma::Node* rnode = recv_qp->node();
+  const auto& p = rnode->params();
+  const uint32_t buf = static_cast<uint32_t>(align_up(slice_bytes + p.grh_bytes, 64));
+  // Post enough descriptors for every slice up front (bounded experiments).
+  for (uint64_t i = 0; i < slices; ++i) {
+    recv_qp->post_recv_immediate(
+        RecvWr{i, remote_buf + (i % 64) * buf, buf});
+  }
+  return rnode->alloc(64, 64);  // ack source byte
+}
+
+}  // namespace
+
+sim::Task<TransferResult> ud_chunked_transfer(QueuePair* send_qp, QueuePair* recv_qp,
+                                              uint64_t local, uint64_t remote_buf,
+                                              uint64_t len) {
+  SCALERPC_CHECK(send_qp->type() == QpType::kUD && recv_qp->type() == QpType::kUD);
+  auto& loop = send_qp->node()->loop();
+  const auto& p = send_qp->node()->params();
+  const uint32_t mtu = p.ud_mtu_bytes;
+  const uint64_t slices = (len + mtu - 1) / mtu;
+  const uint64_t ack_src = prepare_receiver(recv_qp, remote_buf, slices, mtu);
+
+  // Sender needs a recv queue for the acks.
+  const uint64_t ack_buf = send_qp->node()->alloc(
+      align_up(1 + p.grh_bytes, 64) * 4, 64);
+  for (int i = 0; i < 4; ++i) {
+    send_qp->post_recv_immediate(RecvWr{static_cast<uint64_t>(i),
+                                        ack_buf, static_cast<uint32_t>(64)});
+  }
+  sim::spawn(loop, slice_acker(recv_qp, send_qp->node()->id(), send_qp->qpn(), slices,
+                               ack_src));
+
+  const Nanos t0 = loop.now();
+  uint64_t sent = 0;
+  while (sent < len) {
+    const auto chunk = static_cast<uint32_t>(std::min<uint64_t>(mtu, len - sent));
+    SendWr wr;
+    wr.opcode = Opcode::kSend;
+    wr.local_addr = local + sent;
+    wr.length = chunk;
+    wr.dest_node = recv_qp->node()->id();
+    wr.dest_qpn = recv_qp->qpn();
+    co_await send_qp->post_send(wr);
+    co_await send_qp->send_cq()->next();  // local transmit completion
+    // Stop-and-wait: the next slice may only go once this one is acked.
+    const Completion ack = co_await send_qp->recv_cq()->next();
+    SCALERPC_CHECK(ack.is_recv);
+    co_await send_qp->post_recv(RecvWr{ack.wr_id, ack_buf, 64});
+    sent += chunk;
+  }
+  co_return TransferResult{loop.now() - t0, len};
+}
+
+sim::Task<TransferResult> ud_pipelined_transfer(QueuePair* send_qp, QueuePair* recv_qp,
+                                                uint64_t local, uint64_t remote_buf,
+                                                uint64_t len, int window) {
+  SCALERPC_CHECK(send_qp->type() == QpType::kUD && recv_qp->type() == QpType::kUD);
+  auto& loop = send_qp->node()->loop();
+  const auto& p = send_qp->node()->params();
+  const uint32_t mtu = p.ud_mtu_bytes;
+  const uint64_t slices = (len + mtu - 1) / mtu;
+  const uint64_t ack_src = prepare_receiver(recv_qp, remote_buf, slices, mtu);
+
+  const uint64_t ack_buf = send_qp->node()->alloc(64ULL * 64, 64);
+  for (int i = 0; i < 32; ++i) {
+    send_qp->post_recv_immediate(
+        RecvWr{static_cast<uint64_t>(i), ack_buf + static_cast<uint64_t>(i) * 64, 64});
+  }
+  sim::spawn(loop, slice_acker(recv_qp, send_qp->node()->id(), send_qp->qpn(), slices,
+                               ack_src));
+
+  const Nanos t0 = loop.now();
+  uint64_t sent = 0;
+  uint64_t acked = 0;
+  int in_flight = 0;
+  while (acked < slices) {
+    while (sent < len && in_flight < window) {
+      const auto chunk = static_cast<uint32_t>(std::min<uint64_t>(mtu, len - sent));
+      SendWr wr;
+      wr.opcode = Opcode::kSend;
+      wr.local_addr = local + sent;
+      wr.length = chunk;
+      wr.dest_node = recv_qp->node()->id();
+      wr.dest_qpn = recv_qp->qpn();
+      wr.signaled = false;
+      co_await send_qp->post_send(wr);
+      sent += chunk;
+      in_flight++;
+    }
+    const Completion ack = co_await send_qp->recv_cq()->next();
+    SCALERPC_CHECK(ack.is_recv);
+    co_await send_qp->post_recv(
+        RecvWr{ack.wr_id, ack_buf + (ack.wr_id % 32) * 64, 64});
+    acked++;
+    in_flight--;
+  }
+  co_return TransferResult{loop.now() - t0, len};
+}
+
+}  // namespace scalerpc::rpc

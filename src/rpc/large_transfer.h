@@ -1,0 +1,51 @@
+// Large-message transfer primitives (paper Section 5.1).
+//
+// The paper argues UD cannot replace RC for variable-sized payloads: UD's
+// 4 KB MTU forces slicing a large message into ordered chunks with an
+// acknowledgement before each next slice, and their prototype measured only
+// 0.8 GB/s single-threaded — 12.5% of RC's bandwidth. These helpers
+// implement both paths so the claim is reproducible (bench_sec51_large).
+#ifndef SRC_RPC_LARGE_TRANSFER_H_
+#define SRC_RPC_LARGE_TRANSFER_H_
+
+#include "src/simrdma/cluster.h"
+#include "src/simrdma/node.h"
+
+namespace scalerpc::rpc {
+
+struct TransferResult {
+  Nanos elapsed = 0;
+  uint64_t bytes = 0;
+
+  double gbytes_per_sec() const {
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(bytes) / static_cast<double>(elapsed);
+  }
+};
+
+// One RC write of `len` bytes (RC MTU is 2 GB: a single verb).
+sim::Task<TransferResult> rc_write_transfer(simrdma::QueuePair* qp, uint64_t local,
+                                            uint64_t remote, uint32_t rkey,
+                                            uint64_t len);
+
+// Stop-and-wait chunked transfer over UD: the payload is cut into MTU-sized
+// slices; the receiver acknowledges each slice (a UD send back) before the
+// sender posts the next one, guaranteeing order on the unordered transport.
+// `recv_qp` must belong to the receiving node; the function spawns the
+// receiver-side acker itself.
+sim::Task<TransferResult> ud_chunked_transfer(simrdma::QueuePair* send_qp,
+                                              simrdma::QueuePair* recv_qp,
+                                              uint64_t local, uint64_t remote_buf,
+                                              uint64_t len);
+
+// Pipelined variant with a window of unacknowledged slices: faster, but —
+// as the paper notes — at the price of reassembly complexity the software
+// must now own (slices may land out of order).
+sim::Task<TransferResult> ud_pipelined_transfer(simrdma::QueuePair* send_qp,
+                                                simrdma::QueuePair* recv_qp,
+                                                uint64_t local, uint64_t remote_buf,
+                                                uint64_t len, int window);
+
+}  // namespace scalerpc::rpc
+
+#endif  // SRC_RPC_LARGE_TRANSFER_H_

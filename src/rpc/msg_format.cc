@@ -1,0 +1,90 @@
+#include "src/rpc/msg_format.h"
+
+#include <cstring>
+
+namespace scalerpc::rpc {
+
+uint32_t encode_at(simrdma::HostMemory& mem, uint64_t addr, uint8_t op, uint8_t flags,
+                   std::span<const uint8_t> data) {
+  const uint32_t msg_len = kHeaderBytes + static_cast<uint32_t>(data.size());
+  const uint32_t total = msg_len + kTailBytes;
+  uint8_t* p = mem.raw(addr);
+  SCALERPC_CHECK(mem.contains(addr, total));
+  p[0] = op;
+  p[1] = flags;
+  if (!data.empty()) {
+    std::memcpy(p + 2, data.data(), data.size());
+  }
+  std::memcpy(p + msg_len, &msg_len, sizeof(msg_len));
+  p[msg_len + 4] = kValidMagic;
+  return total;
+}
+
+bool block_has_message(const simrdma::HostMemory& mem, uint64_t block_base,
+                       uint32_t block_bytes) {
+  return mem.load_pod<uint8_t>(block_base + block_bytes - 1) == kValidMagic;
+}
+
+std::optional<MessageView> decode_block(const simrdma::HostMemory& mem,
+                                        uint64_t block_base, uint32_t block_bytes) {
+  if (!block_has_message(mem, block_base, block_bytes)) {
+    return std::nullopt;
+  }
+  const uint64_t end = block_base + block_bytes;
+  const auto msg_len = mem.load_pod<uint32_t>(end - kTailBytes);
+  if (msg_len < kHeaderBytes || msg_len > block_bytes - kTailBytes) {
+    return std::nullopt;
+  }
+  const uint64_t msg_base = end - kTailBytes - msg_len;
+  MessageView view;
+  view.op = mem.load_pod<uint8_t>(msg_base);
+  view.flags = mem.load_pod<uint8_t>(msg_base + 1);
+  view.data.resize(msg_len - kHeaderBytes);
+  mem.load(msg_base + kHeaderBytes, view.data);
+  return view;
+}
+
+void clear_block(simrdma::HostMemory& mem, uint64_t block_base, uint32_t block_bytes) {
+  mem.store_pod<uint8_t>(block_base + block_bytes - 1, 0);
+}
+
+uint32_t encode_staged(simrdma::HostMemory& mem, uint64_t addr, uint8_t op,
+                       uint8_t flags, std::span<const uint8_t> data) {
+  const uint32_t msg_len = kHeaderBytes + static_cast<uint32_t>(data.size());
+  SCALERPC_CHECK(mem.contains(addr, 4 + msg_len));
+  uint8_t* p = mem.raw(addr);
+  std::memcpy(p, &msg_len, sizeof(msg_len));
+  p[4] = op;
+  p[5] = flags;
+  if (!data.empty()) {
+    std::memcpy(p + 6, data.data(), data.size());
+  }
+  return 4 + msg_len;
+}
+
+std::optional<std::pair<MessageView, uint32_t>> decode_staged(
+    const simrdma::HostMemory& mem, uint64_t addr, uint32_t max_len) {
+  if (max_len < 4 + kHeaderBytes) {
+    return std::nullopt;
+  }
+  const auto msg_len = mem.load_pod<uint32_t>(addr);
+  if (msg_len < kHeaderBytes || 4 + msg_len > max_len) {
+    return std::nullopt;
+  }
+  MessageView view;
+  view.op = mem.load_pod<uint8_t>(addr + 4);
+  view.flags = mem.load_pod<uint8_t>(addr + 5);
+  view.data.resize(msg_len - kHeaderBytes);
+  mem.load(addr + 6, view.data);
+  return std::make_pair(std::move(view), 4 + msg_len);
+}
+
+void place_in_block(simrdma::HostMemory& mem, uint64_t block_base, uint32_t block_bytes,
+                    const MessageView& msg) {
+  const uint32_t total = msg.total_bytes();
+  SCALERPC_CHECK(total <= block_bytes);
+  encode_at(mem, aligned_target(block_base, block_bytes, total), msg.op, msg.flags,
+            msg.data);
+}
+
+}  // namespace scalerpc::rpc

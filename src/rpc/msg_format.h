@@ -1,0 +1,98 @@
+// Wire format shared by all RPC transports in this repository.
+//
+// Following the paper (Section 3.1), a message written into a pool block is
+// right-aligned with three fields:
+//
+//     | ... pad ... | op:1 | flags:1 | data | MsgLen:4 | Valid:1 |
+//     ^ block base                                        block end ^
+//
+// RDMA updates memory in increasing address order, so once the trailing
+// Valid byte carries the magic value the rest of the message is guaranteed
+// complete — the server detects arrival by polling a single byte.
+#ifndef SRC_RPC_MSG_FORMAT_H_
+#define SRC_RPC_MSG_FORMAT_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/simrdma/memory.h"
+
+namespace scalerpc::rpc {
+
+using Bytes = std::vector<uint8_t>;
+
+constexpr uint32_t kTailBytes = 5;    // MsgLen:4 + Valid:1
+constexpr uint32_t kHeaderBytes = 2;  // op:1 + flags:1
+constexpr uint8_t kValidMagic = 0x7A;
+
+// Response flag bits (piggybacked server->client signals).
+constexpr uint8_t kFlagContextSwitch = 0x01;  // ScaleRPC: group slice over
+constexpr uint8_t kFlagError = 0x02;          // handler reported failure
+
+struct MessageView {
+  uint8_t op = 0;
+  uint8_t flags = 0;
+  Bytes data;
+
+  uint32_t total_bytes() const {
+    return kHeaderBytes + static_cast<uint32_t>(data.size()) + kTailBytes;
+  }
+};
+
+// Largest data payload a block of `block_bytes` can carry.
+constexpr uint32_t max_payload(uint32_t block_bytes) {
+  return block_bytes - kTailBytes - kHeaderBytes;
+}
+
+// Serializes a message compactly at `addr` in `mem` (for use as the local
+// source of an RDMA write, or as a staging slot fetched by the server).
+// Returns the number of bytes written.
+uint32_t encode_at(simrdma::HostMemory& mem, uint64_t addr, uint8_t op, uint8_t flags,
+                   std::span<const uint8_t> data);
+
+// Where inside a block a message of `msg_bytes` must land so its Valid byte
+// is the block's last byte.
+constexpr uint64_t aligned_target(uint64_t block_base, uint32_t block_bytes,
+                                  uint32_t msg_bytes) {
+  return block_base + block_bytes - msg_bytes;
+}
+
+// True when the block's Valid byte carries the magic (cheap 1-byte check —
+// callers charge the LLC cost of reading that byte themselves).
+bool block_has_message(const simrdma::HostMemory& mem, uint64_t block_base,
+                       uint32_t block_bytes);
+
+// Decodes the right-aligned message in a block; nullopt if Valid is unset
+// or the length field is corrupt.
+std::optional<MessageView> decode_block(const simrdma::HostMemory& mem,
+                                        uint64_t block_base, uint32_t block_bytes);
+
+// Clears the Valid byte so the slot can be reused (a plain CPU store).
+void clear_block(simrdma::HostMemory& mem, uint64_t block_base, uint32_t block_bytes);
+
+// --- Compact staging format (ScaleRPC warmup path) ---
+// Clients stage whole batches locally as forward-parseable records:
+//     | MsgLen:4 | op:1 | flags:1 | data |
+// The server fetches the concatenation with one RDMA read and re-encodes
+// each record right-aligned into pool blocks.
+
+// Appends one staged record at `addr`; returns its encoded size.
+uint32_t encode_staged(simrdma::HostMemory& mem, uint64_t addr, uint8_t op,
+                       uint8_t flags, std::span<const uint8_t> data);
+
+// Parses one staged record at `addr` (bounded by max_len); returns the view
+// and the record's encoded size, or nullopt on corrupt/oversized length.
+std::optional<std::pair<MessageView, uint32_t>> decode_staged(
+    const simrdma::HostMemory& mem, uint64_t addr, uint32_t max_len);
+
+// Re-encodes a message right-aligned into a pool block (CPU-side store used
+// when the server moves warmed-up requests into the processing pool).
+void place_in_block(simrdma::HostMemory& mem, uint64_t block_base, uint32_t block_bytes,
+                    const MessageView& msg);
+
+}  // namespace scalerpc::rpc
+
+#endif  // SRC_RPC_MSG_FORMAT_H_

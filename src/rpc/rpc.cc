@@ -1,0 +1,14 @@
+#include "src/rpc/rpc.h"
+
+namespace scalerpc::rpc {
+
+Handler make_echo_handler(Nanos cpu_ns) {
+  return [cpu_ns](const RequestContext&, std::span<const uint8_t> req) {
+    HandlerResult result;
+    result.response.assign(req.begin(), req.end());
+    result.cpu_ns = cpu_ns;
+    return result;
+  };
+}
+
+}  // namespace scalerpc::rpc

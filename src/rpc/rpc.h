@@ -1,0 +1,141 @@
+// Transport-agnostic RPC interfaces.
+//
+// Every transport in this repository (ScaleRPC and the RawWrite / HERD /
+// FaSST / selfRPC baselines) implements the same client/server contract, so
+// the distributed file system (dfs/) and the transactional system (txn/)
+// are transport-generic and the benchmark harness can sweep transports.
+//
+// The API mirrors the paper's Section 3.5: SyncCall is `call`, AsyncCall is
+// `stage`, PollCompletion is `flush` (which awaits the whole batch).
+#ifndef SRC_RPC_RPC_H_
+#define SRC_RPC_RPC_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/rpc/msg_format.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+
+namespace scalerpc::rpc {
+
+// Result of a handler invocation: response payload, a flag byte merged into
+// the response flags, and the CPU time the handler burned (charged to the
+// serving worker).
+struct HandlerResult {
+  Bytes response;
+  uint8_t flags = 0;
+  Nanos cpu_ns = 0;
+};
+
+// Request context available to handlers.
+struct RequestContext {
+  int client_id = -1;
+  uint8_t op = 0;
+};
+
+using Handler = std::function<HandlerResult(const RequestContext&,
+                                            std::span<const uint8_t> request)>;
+
+// Op-indexed handler registry shared by all server implementations.
+class HandlerTable {
+ public:
+  void register_handler(uint8_t op, Handler handler) {
+    if (handlers_.size() <= op) {
+      handlers_.resize(static_cast<size_t>(op) + 1);
+    }
+    handlers_[op] = std::move(handler);
+  }
+
+  bool has_handler(uint8_t op) const {
+    return op < handlers_.size() && static_cast<bool>(handlers_[op]);
+  }
+
+  HandlerResult dispatch(const RequestContext& ctx, std::span<const uint8_t> req) const {
+    SCALERPC_CHECK_MSG(has_handler(ctx.op), "no handler registered for op");
+    return handlers_[ctx.op](ctx, req);
+  }
+
+ private:
+  std::vector<Handler> handlers_;
+};
+
+// Default echo handler used by microbenchmarks: returns the request bytes
+// after a configurable "application" CPU cost.
+Handler make_echo_handler(Nanos cpu_ns);
+
+// Per-transport CPU overheads on the *client* side (charged through the
+// node's shared core pool so that packing many client threads onto few
+// physical nodes saturates, as in the paper's Fig. 8 right half).
+struct ClientCostModel {
+  Nanos request_prep_ns = 60;    // compose message, bookkeeping
+  Nanos response_parse_ns = 40;  // copy/validate response
+  // UD-based transports additionally repost a recv and poll the CQ instead
+  // of checking a local pool; including wasted poll rounds this burns
+  // microseconds of client CPU per op. The paper attributes UD RPCs'
+  // slower per-node saturation (Fig. 8 right half) to exactly this.
+  Nanos ud_extra_per_op_ns = 2500;
+};
+
+// A node's client-side CPU: `cores` workers shared by all client actors on
+// that node. Client actors run their per-op CPU bursts through this pool.
+class CpuPool {
+ public:
+  CpuPool(sim::EventLoop& loop, int cores) : loop_(loop), sem_(loop, cores) {}
+
+  sim::Task<void> work(Nanos cost) {
+    co_await sem_.acquire();
+    co_await loop_.delay(cost);
+    sem_.release();
+  }
+
+ private:
+  sim::EventLoop& loop_;
+  sim::Semaphore sem_;
+};
+
+// --- Client contract ---
+// Usage: connect() once; then either call() for synchronous requests or
+// stage()+flush() for batches (the paper's AsyncCall/PollCompletion).
+class RpcClient {
+ public:
+  virtual ~RpcClient() = default;
+
+  virtual sim::Task<void> connect() = 0;
+  virtual void stage(uint8_t op, Bytes request) = 0;
+  virtual sim::Task<std::vector<Bytes>> flush() = 0;
+  virtual int client_id() const = 0;
+
+  sim::Task<Bytes> call(uint8_t op, Bytes request) {
+    stage(op, std::move(request));
+    std::vector<Bytes> responses = co_await flush();
+    SCALERPC_CHECK(responses.size() == 1);
+    co_return std::move(responses[0]);
+  }
+};
+
+// --- Server contract ---
+class RpcServer {
+ public:
+  virtual ~RpcServer() = default;
+
+  HandlerTable& handlers() { return handlers_; }
+  const HandlerTable& handlers() const { return handlers_; }
+
+  virtual void start() = 0;  // spawn worker actors
+  virtual void stop() = 0;   // ask workers to wind down
+
+  uint64_t requests_served() const { return requests_served_; }
+
+ protected:
+  HandlerTable handlers_;
+  uint64_t requests_served_ = 0;
+};
+
+}  // namespace scalerpc::rpc
+
+#endif  // SRC_RPC_RPC_H_

@@ -1,0 +1,256 @@
+#include "src/scalerpc/client.h"
+
+#include <cstring>
+
+namespace scalerpc::core {
+
+using simrdma::Opcode;
+using simrdma::QpType;
+using simrdma::SendWr;
+
+ScaleRpcClient::ScaleRpcClient(transport::ClientEnv env, ScaleRpcServer* server)
+    : env_(env), server_(server), cfg_(server->config()) {}
+
+sim::Task<void> ScaleRpcClient::connect() {
+  const uint64_t region =
+      static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes;
+  staging_ = env_.node->alloc(region, 4096);
+  req_src_ = env_.node->alloc(region, 4096);
+  resp_base_ = env_.node->alloc(region, 4096);
+  control_ = env_.node->alloc(64, 64);
+  cq_ = env_.node->create_cq();
+  qp_ = env_.node->create_qp(QpType::kRC, cq_, cq_);
+  const auto adm =
+      server_->admit(qp_, resp_base_, control_, env_.node->arena_mr()->rkey);
+  id_ = adm.client_id;
+  entry_remote_ = adm.entry_addr;
+  entry_rkey_ = adm.entry_rkey;
+  pool_base_[0] = adm.pool_base[0];
+  pool_base_[1] = adm.pool_base[1];
+  pool_rkey_ = adm.pool_rkey;
+  zone_bytes_ = adm.zone_bytes;
+  resp_wake_ = std::make_unique<sim::Notification>(env_.node->loop());
+  sim::Notification* wake = resp_wake_.get();
+  env_.node->memory().add_watcher(resp_base_, region, [wake] { wake->notify(); });
+  env_.node->memory().add_watcher(control_, kControlBytes, [wake] { wake->notify(); });
+  co_return;
+}
+
+void ScaleRpcClient::stage(uint8_t op, rpc::Bytes request) {
+  SCALERPC_CHECK(static_cast<int>(staged_.size()) < cfg_.slots_per_client);
+  SCALERPC_CHECK(request.size() + kEnvelopeBytes + kRequestIdBytes <=
+                 rpc::max_payload(cfg_.block_bytes));
+  staged_.push_back(Staged{op, std::move(request)});
+}
+
+rpc::Bytes ScaleRpcClient::with_sender_id(const rpc::Bytes& payload) const {
+  rpc::Bytes data(kRequestIdBytes + payload.size());
+  const auto id = static_cast<uint16_t>(id_);
+  std::memcpy(data.data(), &id, sizeof(id));
+  if (!payload.empty()) {
+    std::memcpy(data.data() + kRequestIdBytes, payload.data(), payload.size());
+  }
+  return data;
+}
+
+bool ScaleRpcClient::control_says_stale() const {
+  // A control write newer than the seq we joined on means our group's slice
+  // ended while we were idle.
+  const ControlWord ctl = load_control(env_.node->memory(), control_);
+  return ctl.live == 0 && ctl.seq > process_seq_;
+}
+
+sim::Task<void> ScaleRpcClient::post_entry(const std::vector<int>& slots) {
+  auto& mem = env_.node->memory();
+  // Stage the selected requests compactly: | len | op | slot-as-flags | data |.
+  uint32_t off = 0;
+  Nanos cost = 0;
+  for (int slot : slots) {
+    const Staged& s = staged_[static_cast<size_t>(slot)];
+    const uint32_t used = rpc::encode_staged(mem, staging_ + off, s.op,
+                                             static_cast<uint8_t>(slot),
+                                             with_sender_id(s.data));
+    cost += env_.node->write_cost(staging_ + off, used);
+    off += used;
+  }
+  entry_epoch_++;
+  EndpointEntry e;
+  e.staged_addr = staging_;
+  e.staged_len = off;
+  e.batch = static_cast<uint16_t>(slots.size());
+  e.epoch = entry_epoch_;
+  e.valid = kEntryValid;
+  // Compose the entry locally, then RDMA-write it inline to the server.
+  const uint64_t src = control_ + 32;  // spare half of the control line
+  store_entry(mem, src, e);
+  cost += env_.node->write_cost(src, kEntryBytes);
+  co_await env_.cpu->work(cost + cfg_.client_costs.request_prep_ns);
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = src;
+  wr.length = kEntryBytes;
+  wr.remote_addr = entry_remote_;
+  wr.rkey = entry_rkey_;
+  wr.signaled = false;
+  wr.inline_data = true;
+  co_await qp_->post_send(wr);
+  state_ = State::kWarmup;
+  warmup_rounds_++;
+}
+
+sim::Task<void> ScaleRpcClient::write_direct(int slot) {
+  auto& mem = env_.node->memory();
+  const Staged& s = staged_[static_cast<size_t>(slot)];
+  co_await env_.cpu->work(cfg_.client_costs.request_prep_ns);
+  const uint64_t src = req_src_ + static_cast<uint64_t>(slot) * cfg_.block_bytes;
+  const uint32_t total = rpc::encode_at(mem, src, s.op, static_cast<uint8_t>(slot),
+                                        with_sender_id(s.data));
+  const uint64_t zone = pool_base_[process_pool_] +
+                        static_cast<uint64_t>(process_zone_) * zone_bytes_;
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = src;
+  wr.length = total;
+  wr.remote_addr = rpc::aligned_target(
+      zone + static_cast<uint64_t>(slot) * cfg_.block_bytes, cfg_.block_bytes, total);
+  wr.rkey = pool_rkey_;
+  wr.signaled = false;
+  wr.inline_data =
+      cfg_.inline_requests && total <= env_.node->params().max_inline_bytes;
+  co_await qp_->post_send(wr);
+}
+
+void ScaleRpcClient::arm_watchdog(Nanos deadline) {
+  if (watchdog_armed_) {
+    return;
+  }
+  watchdog_armed_ = true;
+  const uint64_t gen = ++watchdog_gen_;
+  sim::Notification* wake = resp_wake_.get();
+  env_.node->loop().call_at(deadline, [this, gen, wake] {
+    watchdog_armed_ = false;
+    if (gen == watchdog_gen_) {
+      wake->notify();
+    }
+  });
+}
+
+sim::Task<std::vector<rpc::Bytes>> ScaleRpcClient::flush() {
+  SCALERPC_CHECK(id_ >= 0);
+  auto& loop = env_.node->loop();
+  auto& mem = env_.node->memory();
+  const size_t n = staged_.size();
+  SCALERPC_CHECK(n > 0);
+
+  std::vector<int> all_slots;
+  for (size_t i = 0; i < n; ++i) {
+    all_slots.push_back(static_cast<int>(i));
+  }
+
+  if (state_ == State::kProcess && !control_says_stale()) {
+    for (size_t i = 0; i < n; ++i) {
+      co_await write_direct(static_cast<int>(i));
+    }
+    direct_batches_++;
+  } else {
+    co_await post_entry(all_slots);
+  }
+
+  std::vector<rpc::Bytes> out(n);
+  std::vector<bool> got(n, false);
+  size_t collected = 0;
+  bool saw_switch = false;
+  Envelope last_env{};
+  Nanos deadline = loop.now() + cfg_.client_timeout;
+
+  while (collected < n) {
+    bool progress = false;
+    Nanos cost = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (got[i]) {
+        continue;
+      }
+      const uint64_t block = resp_base_ + i * cfg_.block_bytes;
+      cost += env_.node->read_cost(block + cfg_.block_bytes - 1, 1);
+      auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
+      if (!msg.has_value()) {
+        continue;
+      }
+      cost += env_.node->read_cost(block + cfg_.block_bytes - msg->total_bytes(),
+                                   msg->total_bytes());
+      rpc::clear_block(mem, block, cfg_.block_bytes);
+      cost += cfg_.client_costs.response_parse_ns;
+      SCALERPC_CHECK(msg->data.size() >= kEnvelopeBytes);
+      last_env = read_envelope(msg->data.data());
+      if ((msg->flags & rpc::kFlagContextSwitch) != 0) {
+        saw_switch = true;
+      }
+      out[i].assign(msg->data.begin() + kEnvelopeBytes, msg->data.end());
+      got[i] = true;
+      collected++;
+      progress = true;
+    }
+    if (cost > 0) {
+      co_await env_.cpu->work(cost);
+    }
+    if (collected == n) {
+      break;
+    }
+    if (progress) {
+      continue;
+    }
+    // Cold join (warmup disabled): the server announced our live zone via
+    // the control block; push the pending requests directly.
+    if (state_ == State::kWarmup) {
+      const ControlWord ctl = load_control(mem, control_);
+      if (ctl.live != 0 && ctl.seq != last_live_seq_) {
+        last_live_seq_ = ctl.seq;
+        process_pool_ = ctl.pool;
+        process_zone_ = ctl.zone;
+        process_seq_ = ctl.seq;
+        for (size_t i = 0; i < n; ++i) {
+          if (!got[i]) {
+            co_await write_direct(static_cast<int>(i));
+          }
+        }
+        continue;
+      }
+    }
+    if (loop.now() >= deadline) {
+      // Lost-write race at a context switch (rare): re-post the missing
+      // slots through the warmup path.
+      timeouts_++;
+      std::vector<int> missing;
+      for (size_t i = 0; i < n; ++i) {
+        if (!got[i]) {
+          missing.push_back(static_cast<int>(i));
+        }
+      }
+      co_await post_entry(missing);
+      deadline = loop.now() + cfg_.client_timeout;
+      continue;
+    }
+    arm_watchdog(deadline);
+    co_await resp_wake_->wait();
+  }
+
+  staged_.clear();
+  if (saw_switch) {
+    state_ = State::kIdle;
+  } else {
+    state_ = State::kProcess;
+    process_pool_ = last_env.pool;
+    process_zone_ = last_env.zone;
+    process_seq_ = last_env.seq;
+  }
+  co_return out;
+}
+
+sim::Task<void> ScaleRpcClient::post_raw(SendWr wr) { co_await qp_->post_send(wr); }
+
+sim::Task<simrdma::Completion> ScaleRpcClient::raw_completion() {
+  co_return co_await cq_->next();
+}
+
+}  // namespace scalerpc::core

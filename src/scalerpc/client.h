@@ -1,0 +1,104 @@
+// ScaleRPC client (paper Sections 3.3-3.5, Fig. 7 state machine).
+//
+// States:
+//  * IDLE/WARMUP: the batch is staged locally; the client RDMA-writes an
+//    endpoint entry <staged_addr, len, batch, epoch>; the server's warmup
+//    engine RDMA-reads the batch before the client's group goes live.
+//  * PROCESS: the first response's envelope told the client which pool/zone
+//    is its live window; subsequent batches are RDMA-written directly into
+//    the processing pool.
+//  * A response flagged context_switch_event (or a control-block update for
+//    clients with nothing in flight) sends the client back to IDLE.
+//
+// The same RC QP is exposed for co-use with one-sided verbs (Section 4.2 /
+// 5.2): ScaleTX validates and commits with raw reads/writes on it.
+#ifndef SRC_SCALERPC_CLIENT_H_
+#define SRC_SCALERPC_CLIENT_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/scalerpc/config.h"
+#include "src/scalerpc/protocol.h"
+#include "src/scalerpc/server.h"
+
+namespace scalerpc::core {
+
+class ScaleRpcClient : public rpc::RpcClient {
+ public:
+  enum class State { kIdle, kWarmup, kProcess };
+
+  ScaleRpcClient(transport::ClientEnv env, ScaleRpcServer* server);
+
+  sim::Task<void> connect() override;
+  void stage(uint8_t op, rpc::Bytes request) override;
+  sim::Task<std::vector<rpc::Bytes>> flush() override;
+  int client_id() const override { return id_; }
+
+  State state() const { return state_; }
+  uint64_t warmup_rounds() const { return warmup_rounds_; }
+  uint64_t direct_batches() const { return direct_batches_; }
+  uint64_t timeouts() const { return timeouts_; }
+
+  // --- one-sided co-use (ScaleTX) ---
+  // Posts a raw verb on the RPC connection (charges the doorbell).
+  sim::Task<void> post_raw(simrdma::SendWr wr);
+  // Awaits the next completion for a signaled raw verb.
+  sim::Task<simrdma::Completion> raw_completion();
+  simrdma::QueuePair* qp() { return qp_; }
+  // rkey covering the server's registered arena (for one-sided access to
+  // server-resident data structures such as the KV slab).
+  uint32_t server_rkey() const { return pool_rkey_; }
+
+ private:
+  struct Staged {
+    uint8_t op;
+    rpc::Bytes data;
+  };
+
+  bool control_says_stale() const;
+  rpc::Bytes with_sender_id(const rpc::Bytes& payload) const;
+  sim::Task<void> post_entry(const std::vector<int>& slots);
+  sim::Task<void> write_direct(int slot);
+  void arm_watchdog(Nanos deadline);
+
+  transport::ClientEnv env_;
+  ScaleRpcServer* server_;
+  ScaleRpcConfig cfg_;
+  int id_ = -1;
+
+  simrdma::QueuePair* qp_ = nullptr;
+  simrdma::CompletionQueue* cq_ = nullptr;
+  uint64_t staging_ = 0;   // compact batch records (warmup source)
+  uint64_t req_src_ = 0;   // per-slot compose buffers (direct writes)
+  uint64_t resp_base_ = 0;  // response blocks
+  uint64_t control_ = 0;    // control block (switch notifications)
+  std::unique_ptr<sim::Notification> resp_wake_;
+
+  // Server-side addresses.
+  uint64_t entry_remote_ = 0;
+  uint32_t entry_rkey_ = 0;
+  uint64_t pool_base_[2] = {0, 0};
+  uint32_t pool_rkey_ = 0;
+  uint32_t zone_bytes_ = 0;
+
+  State state_ = State::kIdle;
+  uint16_t entry_epoch_ = 0;
+  uint32_t process_seq_ = 0;
+  uint32_t last_live_seq_ = 0;
+  uint8_t process_pool_ = 0;
+  uint8_t process_zone_ = 0;
+
+  std::deque<Staged> staged_;
+  uint64_t watchdog_gen_ = 0;
+  bool watchdog_armed_ = false;
+
+  uint64_t warmup_rounds_ = 0;
+  uint64_t direct_batches_ = 0;
+  uint64_t timeouts_ = 0;
+};
+
+}  // namespace scalerpc::core
+
+#endif  // SRC_SCALERPC_CLIENT_H_

@@ -1,0 +1,43 @@
+// ScaleRPC configuration knobs (paper Section 3).
+#ifndef SRC_SCALERPC_CONFIG_H_
+#define SRC_SCALERPC_CONFIG_H_
+
+#include "src/baselines/common.h"
+
+namespace scalerpc::core {
+
+struct ScaleRpcConfig : transport::TransportConfig {
+  // Connection grouping (Section 3.2). Defaults follow the evaluation
+  // setup: group size 40, time slice 100us.
+  int group_size = 40;
+  Nanos time_slice = usec(100);
+
+  // Priority-based scheduling (Section 3.2): when true the scheduler
+  // periodically re-partitions clients by priority P_i = T_i / S_i; when
+  // false ("Static" in Fig. 12) the initial grouping and slice are fixed.
+  bool dynamic_priority = true;
+  // Rebuild cadence, counted in completed rotations over all groups.
+  int rebuild_every_rotations = 4;
+
+  // Requests warmup (Section 3.3). Disabling it is an ablation: the next
+  // group starts cold and the server idles at each context switch.
+  bool warmup_enabled = true;
+
+  // Context-switch drain: time the server keeps serving a group after its
+  // slice expires, so in-flight direct writes are not lost (two phases: one
+  // before and one after the notification writes).
+  Nanos drain_grace = usec(3);
+
+  // Clients re-post their warmup endpoint entry if no response arrives
+  // within this window (covers rare lost-write races at switch time).
+  Nanos client_timeout = msec(5);
+
+  // Long-running RPC cutoff (Section 3.5): once a handler for an op is
+  // observed to exceed this, later calls of that op run on the legacy
+  // executor thread outside the sliced fast path.
+  Nanos long_rpc_threshold_ns = usec(20);
+};
+
+}  // namespace scalerpc::core
+
+#endif  // SRC_SCALERPC_CONFIG_H_

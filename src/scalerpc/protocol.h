@@ -1,0 +1,110 @@
+// On-wire/in-memory protocol details private to ScaleRPC.
+//
+// Endpoint entry (client -> server, RDMA-written, 24 bytes):
+//   | staged_addr:8 | staged_len:4 | batch:2 | epoch:2 | valid:1 | pad |
+// The epoch lets the warmup engine consume each (re)post exactly once
+// without a clear-write race.
+//
+// Control block (server -> client, RDMA-written, 8 bytes):
+//   | switch_seq:4 | pad |
+// Written to every member at context switch; a client whose recorded
+// process seq is older must re-enter the WARMUP path.
+//
+// Response envelope (first bytes of every response's data field):
+//   | pool:1 | zone:1 | switch_seq:4 |
+// Tells the client where its live zone is so it can post subsequent
+// batches directly with RDMA writes (PROCESS state).
+#ifndef SRC_SCALERPC_PROTOCOL_H_
+#define SRC_SCALERPC_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "src/simrdma/memory.h"
+
+namespace scalerpc::core {
+
+constexpr uint32_t kEntryBytes = 24;
+constexpr uint8_t kEntryValid = 0x5C;
+constexpr uint32_t kControlBytes = 8;
+constexpr uint32_t kEnvelopeBytes = 6;
+// Every request's data field starts with the sender's client id, so a
+// straggler write that lands in a zone just remapped to another client is
+// still answered correctly (and told to re-warm) instead of being
+// misattributed.
+constexpr uint32_t kRequestIdBytes = 2;
+
+struct EndpointEntry {
+  uint64_t staged_addr = 0;
+  uint32_t staged_len = 0;
+  uint16_t batch = 0;
+  uint16_t epoch = 0;
+  uint8_t valid = 0;
+};
+
+inline void store_entry(simrdma::HostMemory& mem, uint64_t addr, const EndpointEntry& e) {
+  mem.store_pod<uint64_t>(addr, e.staged_addr);
+  mem.store_pod<uint32_t>(addr + 8, e.staged_len);
+  mem.store_pod<uint16_t>(addr + 12, e.batch);
+  mem.store_pod<uint16_t>(addr + 14, e.epoch);
+  mem.store_pod<uint8_t>(addr + 16, e.valid);
+}
+
+inline EndpointEntry load_entry(const simrdma::HostMemory& mem, uint64_t addr) {
+  EndpointEntry e;
+  e.staged_addr = mem.load_pod<uint64_t>(addr);
+  e.staged_len = mem.load_pod<uint32_t>(addr + 8);
+  e.batch = mem.load_pod<uint16_t>(addr + 12);
+  e.epoch = mem.load_pod<uint16_t>(addr + 14);
+  e.valid = mem.load_pod<uint8_t>(addr + 16);
+  return e;
+}
+
+// Control word written into the client's control block.
+//  * live=0: the client's slice ended (sent at drain; client re-warms).
+//  * live=1: cold join (warmup disabled): "your zone is (pool, zone), go".
+struct ControlWord {
+  uint32_t seq = 0;
+  uint8_t live = 0;
+  uint8_t pool = 0;
+  uint8_t zone = 0;
+};
+
+inline void store_control(simrdma::HostMemory& mem, uint64_t addr, const ControlWord& c) {
+  mem.store_pod<uint32_t>(addr, c.seq);
+  mem.store_pod<uint8_t>(addr + 4, c.live);
+  mem.store_pod<uint8_t>(addr + 5, c.pool);
+  mem.store_pod<uint8_t>(addr + 6, c.zone);
+}
+
+inline ControlWord load_control(const simrdma::HostMemory& mem, uint64_t addr) {
+  ControlWord c;
+  c.seq = mem.load_pod<uint32_t>(addr);
+  c.live = mem.load_pod<uint8_t>(addr + 4);
+  c.pool = mem.load_pod<uint8_t>(addr + 5);
+  c.zone = mem.load_pod<uint8_t>(addr + 6);
+  return c;
+}
+
+struct Envelope {
+  uint8_t pool = 0;
+  uint8_t zone = 0;
+  uint32_t seq = 0;
+};
+
+inline void write_envelope(uint8_t* p, const Envelope& e) {
+  p[0] = e.pool;
+  p[1] = e.zone;
+  std::memcpy(p + 2, &e.seq, sizeof(e.seq));
+}
+
+inline Envelope read_envelope(const uint8_t* p) {
+  Envelope e;
+  e.pool = p[0];
+  e.zone = p[1];
+  std::memcpy(&e.seq, p + 2, sizeof(e.seq));
+  return e;
+}
+
+}  // namespace scalerpc::core
+
+#endif  // SRC_SCALERPC_PROTOCOL_H_

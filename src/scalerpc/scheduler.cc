@@ -1,0 +1,109 @@
+#include "src/scalerpc/scheduler.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace scalerpc::core {
+
+std::vector<Group> GroupScheduler::chunk(const std::vector<int>& ids, int size,
+                                         Nanos slice) const {
+  std::vector<Group> groups;
+  SCALERPC_CHECK(size > 0);
+  for (size_t i = 0; i < ids.size(); i += static_cast<size_t>(size)) {
+    Group g;
+    const size_t end = std::min(ids.size(), i + static_cast<size_t>(size));
+    g.members.assign(ids.begin() + static_cast<long>(i), ids.begin() + static_cast<long>(end));
+    g.slice = slice;
+    groups.push_back(std::move(g));
+  }
+  // Merge a trailing runt group (below the legal band) into its
+  // predecessor when the merged size stays legal.
+  if (groups.size() >= 2) {
+    Group& last = groups.back();
+    Group& prev = groups[groups.size() - 2];
+    if (static_cast<int>(last.members.size()) < min_size() &&
+        static_cast<int>(prev.members.size() + last.members.size()) <= max_size()) {
+      prev.members.insert(prev.members.end(), last.members.begin(), last.members.end());
+      groups.pop_back();
+    }
+  }
+  return groups;
+}
+
+std::vector<Group> GroupScheduler::build_static(const std::vector<int>& client_ids) const {
+  return chunk(client_ids, group_size_, slice_);
+}
+
+std::vector<Group> GroupScheduler::rebuild(const std::vector<ClientStats>& stats) const {
+  std::vector<int> ids;
+  ids.reserve(stats.size());
+  if (!dynamic_) {
+    for (const auto& s : stats) {
+      ids.push_back(s.client_id);
+    }
+    return build_static(ids);
+  }
+
+  // Few enough clients for one legal group: no point fragmenting.
+  if (static_cast<int>(stats.size()) <= max_size()) {
+    for (const auto& s : stats) {
+      ids.push_back(s.client_id);
+    }
+    return chunk(ids, std::max<int>(1, static_cast<int>(ids.size())), slice_);
+  }
+
+  // Sort by priority, busiest first.
+  std::vector<ClientStats> sorted = stats;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const ClientStats& a, const ClientStats& b) {
+                     return a.priority() > b.priority();
+                   });
+
+  // Tercile policy: the busiest third go into small groups with stretched
+  // slices; the idlest third into large groups with shrunk slices. All
+  // sizes stay within the legal band by construction.
+  const size_t n = sorted.size();
+  const size_t hi_end = n / 3;
+  const size_t mid_end = (2 * n) / 3;
+  std::vector<int> hi;
+  std::vector<int> mid;
+  std::vector<int> lo;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < hi_end) {
+      hi.push_back(sorted[i].client_id);
+    } else if (i < mid_end) {
+      mid.push_back(sorted[i].client_id);
+    } else {
+      lo.push_back(sorted[i].client_id);
+    }
+  }
+
+  std::vector<Group> groups;
+  auto append = [&groups](std::vector<Group>&& gs) {
+    for (auto& g : gs) {
+      if (!g.members.empty()) {
+        groups.push_back(std::move(g));
+      }
+    }
+  };
+  append(chunk(hi, std::max(1, 3 * group_size_ / 4), 2 * slice_));
+  append(chunk(mid, group_size_, slice_));
+  append(chunk(lo, max_size(), slice_ / 2));
+
+  // Coalesce undersized neighbours (tercile boundaries can leave runts).
+  std::vector<Group> merged;
+  for (auto& g : groups) {
+    if (!merged.empty() &&
+        static_cast<int>(merged.back().members.size()) < min_size() &&
+        static_cast<int>(merged.back().members.size() + g.members.size()) <= max_size()) {
+      merged.back().members.insert(merged.back().members.end(), g.members.begin(),
+                                   g.members.end());
+    } else {
+      merged.push_back(std::move(g));
+    }
+  }
+  return merged;
+}
+
+}  // namespace scalerpc::core

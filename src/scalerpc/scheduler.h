@@ -1,0 +1,70 @@
+// Priority-based client grouping (paper Section 3.2).
+//
+// Pure policy, no I/O: given per-client window statistics, partitions
+// clients into groups whose sizes stay within [G/2, 3G/2] of the default
+// group size. Higher-priority groups (P_i = T_i / S_i: frequent senders of
+// small requests) are smaller and get longer time slices, squeezing shared
+// time away from idle clients.
+#ifndef SRC_SCALERPC_SCHEDULER_H_
+#define SRC_SCALERPC_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace scalerpc::core {
+
+struct ClientStats {
+  int client_id = 0;
+  uint64_t window_requests = 0;
+  uint64_t window_bytes = 0;
+
+  // Priority P = T / S: request rate over average request size. Clients
+  // with zero traffic rank lowest.
+  double priority() const {
+    if (window_requests == 0) {
+      return 0.0;
+    }
+    const double avg_size =
+        static_cast<double>(window_bytes) / static_cast<double>(window_requests);
+    return static_cast<double>(window_requests) / (avg_size + 1.0);
+  }
+};
+
+struct Group {
+  std::vector<int> members;
+  Nanos slice = 0;
+};
+
+class GroupScheduler {
+ public:
+  GroupScheduler(int default_group_size, Nanos default_slice, bool dynamic)
+      : group_size_(default_group_size), slice_(default_slice), dynamic_(dynamic) {}
+
+  // Initial/naive grouping: join order, default size & slice.
+  std::vector<Group> build_static(const std::vector<int>& client_ids) const;
+
+  // Priority-based grouping from window stats. In static mode this simply
+  // re-applies the naive grouping (stable order), so rebuilds are no-ops in
+  // spirit but absorb newly joined clients.
+  std::vector<Group> rebuild(const std::vector<ClientStats>& stats) const;
+
+  int group_size() const { return group_size_; }
+  Nanos default_slice() const { return slice_; }
+  bool dynamic() const { return dynamic_; }
+
+  // Legal size band [G/2, 3G/2] (paper's empirical adjustment rule).
+  int min_size() const { return group_size_ / 2; }
+  int max_size() const { return group_size_ + group_size_ / 2; }
+
+ private:
+  std::vector<Group> chunk(const std::vector<int>& ids, int size, Nanos slice) const;
+
+  int group_size_;
+  Nanos slice_;
+  bool dynamic_;
+};
+
+}  // namespace scalerpc::core
+
+#endif  // SRC_SCALERPC_SCHEDULER_H_

@@ -1,0 +1,570 @@
+#include "src/scalerpc/server.h"
+
+#include <cstring>
+
+namespace scalerpc::core {
+
+using simrdma::Opcode;
+using simrdma::QpType;
+using simrdma::SendWr;
+
+namespace {
+// Responses composed per worker rotate through this many blocks; by the
+// time a block is reused the NIC has long gathered its payload.
+constexpr int kWorkerRingBlocks = 64;
+}  // namespace
+
+ScaleRpcServer::ScaleRpcServer(simrdma::Node* node, ScaleRpcConfig cfg)
+    : node_(node),
+      cfg_(cfg),
+      policy_(cfg.group_size, cfg.time_slice, cfg.dynamic_priority) {
+  node_->arena_mr();
+  max_zones_ = policy_.max_size();
+  staging_max_ = static_cast<uint32_t>(cfg_.slots_per_client) * cfg_.block_bytes;
+  const uint64_t pool_bytes = static_cast<uint64_t>(max_zones_) * zone_bytes();
+  pool_base_[0] = node_->alloc(pool_bytes, 4096);
+  pool_base_[1] = node_->alloc(pool_bytes, 4096);
+  scratch_base_ =
+      node_->alloc(static_cast<uint64_t>(max_zones_) * staging_max_, 4096);
+  zone_client_[0].assign(static_cast<size_t>(max_zones_), -1);
+  zone_client_[1].assign(static_cast<size_t>(max_zones_), -1);
+  sched_cq_ = node_->create_cq();
+
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    worker_wake_.push_back(std::make_unique<sim::Notification>(node_->loop()));
+    worker_resp_ring_.push_back(
+        node_->alloc(static_cast<uint64_t>(kWorkerRingBlocks) * cfg_.block_bytes, 4096));
+    worker_ring_next_.push_back(0);
+  }
+  legacy_wake_ = std::make_unique<sim::Notification>(node_->loop());
+
+  // Wake the owning worker whenever a DMA write lands in one of a zone's
+  // blocks (either pool — zone striping is pool-independent).
+  for (int z = 0; z < max_zones_; ++z) {
+    sim::Notification* wake = worker_wake_[static_cast<size_t>(z % cfg_.server_workers)].get();
+    for (int p = 0; p < 2; ++p) {
+      node_->memory().add_watcher(zone_addr(p, z), zone_bytes(), [wake] { wake->notify(); });
+    }
+  }
+}
+
+ScaleRpcServer::Admission ScaleRpcServer::admit(simrdma::QueuePair* client_qp,
+                                                uint64_t resp_base, uint64_t control,
+                                                uint32_t client_rkey) {
+  auto state = std::make_unique<ClientState>();
+  state->id = static_cast<int>(clients_.size());
+  // Scheduler-side CQ: warmup reads are the only signaled WQEs on this QP.
+  state->qp = node_->create_qp(QpType::kRC, sched_cq_, sched_cq_);
+  node_->cluster()->connect(state->qp, client_qp);
+  state->resp_remote = resp_base;
+  state->control_remote = control;
+  state->client_rkey = client_rkey;
+  state->entry_addr = node_->alloc(64, 64);  // one line per entry
+  Admission adm;
+  adm.client_id = state->id;
+  adm.entry_addr = state->entry_addr;
+  adm.entry_rkey = node_->arena_mr()->rkey;
+  adm.pool_base[0] = pool_base_[0];
+  adm.pool_base[1] = pool_base_[1];
+  adm.pool_rkey = node_->arena_mr()->rkey;
+  adm.zone_bytes = zone_bytes();
+  pending_clients_.push_back(state->id);
+  clients_.push_back(std::move(state));
+  return adm;
+}
+
+void ScaleRpcServer::start() {
+  SCALERPC_CHECK(!running_);
+  running_ = true;
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    sim::spawn(node_->loop(), worker(w));
+  }
+  sim::spawn(node_->loop(), legacy_executor());
+  sim::spawn(node_->loop(), scheduler_loop());
+}
+
+void ScaleRpcServer::stop() {
+  running_ = false;
+  for (auto& wake : worker_wake_) {
+    wake->notify();
+  }
+  legacy_wake_->notify();
+}
+
+void ScaleRpcServer::integrate_pending_and_rebuild() {
+  const bool have_pending = !pending_clients_.empty();
+  const bool due_rebuild =
+      cfg_.dynamic_priority && rotations_since_rebuild_ >= cfg_.rebuild_every_rotations;
+  if (!have_pending && !due_rebuild && !groups_.empty()) {
+    return;
+  }
+  pending_clients_.clear();
+  std::vector<ClientStats> stats;
+  stats.reserve(clients_.size());
+  for (const auto& c : clients_) {
+    stats.push_back(ClientStats{c->id, c->window_reqs, c->window_bytes});
+  }
+  if (groups_.empty() || due_rebuild) {
+    groups_ = policy_.rebuild(stats);
+    rotations_since_rebuild_ = 0;
+    for (auto& c : clients_) {
+      c->window_reqs = 0;
+      c->window_bytes = 0;
+    }
+  } else {
+    // Pending clients only: append to the last group or open a new one.
+    std::vector<int> ids;
+    for (const auto& s : stats) {
+      ids.push_back(s.client_id);
+    }
+    groups_ = policy_.build_static(ids);
+  }
+  cursor_ = cursor_ < groups_.size() ? cursor_ : 0;
+}
+
+sim::Task<void> ScaleRpcServer::sweep_and_remap(size_t group_idx, int pool_idx) {
+  auto& loop = node_->loop();
+  auto& mem = node_->memory();
+  const Group& g = groups_[group_idx];
+  auto& zmap = zone_client_[pool_idx];
+
+  // Late sweep: requests that were in flight when this pool's previous
+  // group was drained may have landed after the switch. Serve them now
+  // (answered to their sender with a context-switch flag via respond's
+  // not-live rule) before the pool is reused.
+  Nanos cost = 0;
+  if (pool_idx != active_pool_) {
+    for (int z = 0; z < max_zones_; ++z) {
+      if (zmap[static_cast<size_t>(z)] < 0) {
+        continue;
+      }
+      for (int s = 0; s < cfg_.slots_per_client; ++s) {
+        const uint64_t block =
+            zone_addr(pool_idx, z) + static_cast<uint64_t>(s) * cfg_.block_bytes;
+        cost += node_->read_cost(block + cfg_.block_bytes - 1, 1);
+        auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
+        if (!msg.has_value() || msg->data.size() < kRequestIdBytes) {
+          continue;
+        }
+        rpc::clear_block(mem, block, cfg_.block_bytes);
+        uint16_t sender = 0;
+        std::memcpy(&sender, msg->data.data(), sizeof(sender));
+        if (sender >= clients_.size()) {
+          continue;
+        }
+        msg->data.erase(msg->data.begin(), msg->data.begin() + kRequestIdBytes);
+        rpc::RequestContext ctx{sender, msg->op};
+        rpc::HandlerResult result = handlers_.dispatch(ctx, msg->data);
+        cost += cfg_.handler_base_ns + result.cpu_ns;
+        requests_served_++;
+        late_sweep_serves_++;
+        co_await loop.delay(cost);
+        cost = 0;
+        co_await respond(/*worker_index=*/0, *clients_[sender], msg->flags, msg->op,
+                         result.flags, result.response);
+      }
+    }
+  }
+
+  if (pool_idx == active_pool_) {
+    // Live pool (single-group mode): never disturb zones that are already
+    // mapped — clients are writing into them right now. Only place members
+    // that have no zone yet.
+    for (int m : g.members) {
+      bool mapped = false;
+      for (int owner : zmap) {
+        mapped = mapped || owner == m;
+      }
+      if (mapped) {
+        continue;
+      }
+      for (size_t z = 0; z < zmap.size(); ++z) {
+        if (zmap[z] >= 0) {
+          continue;
+        }
+        zmap[z] = m;
+        for (int s = 0; s < cfg_.slots_per_client; ++s) {
+          const uint64_t block = zone_addr(pool_idx, static_cast<int>(z)) +
+                                 static_cast<uint64_t>(s) * cfg_.block_bytes;
+          rpc::clear_block(mem, block, cfg_.block_bytes);
+          cost += node_->write_cost(block + cfg_.block_bytes - 1, 1);
+        }
+        break;
+      }
+    }
+    co_await loop.delay(cost);
+    co_return;
+  }
+
+  // Idle pool: (re)map all zones to the incoming group and clear stale
+  // slots.
+  std::fill(zmap.begin(), zmap.end(), -1);
+  for (size_t z = 0; z < g.members.size(); ++z) {
+    zmap[z] = g.members[z];
+    for (int s = 0; s < cfg_.slots_per_client; ++s) {
+      const uint64_t block = zone_addr(pool_idx, static_cast<int>(z)) +
+                             static_cast<uint64_t>(s) * cfg_.block_bytes;
+      rpc::clear_block(mem, block, cfg_.block_bytes);
+      cost += node_->write_cost(block + cfg_.block_bytes - 1, 1);
+    }
+  }
+  co_await loop.delay(cost);
+}
+
+sim::Task<void> ScaleRpcServer::fetch_group(size_t group_idx, int pool_idx, bool* done,
+                                            Nanos deadline) {
+  auto& loop = node_->loop();
+  auto& mem = node_->memory();
+  const Group& g = groups_[group_idx];
+  co_await sweep_and_remap(group_idx, pool_idx);
+
+  // The zone a member's requests land in (set by sweep_and_remap; with
+  // incremental live-pool mapping it is not necessarily the member index).
+  auto zone_of = [this, pool_idx](int member) -> int {
+    const auto& zm = zone_client_[pool_idx];
+    for (size_t z = 0; z < zm.size(); ++z) {
+      if (zm[z] == member) {
+        return static_cast<int>(z);
+      }
+    }
+    return -1;
+  };
+
+  std::vector<bool> fetched(g.members.size(), false);
+  while (running_ && loop.now() < deadline) {
+    // Scan endpoint entries; issue one RDMA read per fresh batch.
+    int posted = 0;
+    Nanos cost = 0;
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      if (fetched[i]) {
+        continue;
+      }
+      const int z = zone_of(g.members[i]);
+      if (z < 0) {
+        fetched[i] = true;  // no zone available: skip this round
+        continue;
+      }
+      ClientState& c = *clients_[static_cast<size_t>(g.members[i])];
+      cost += node_->read_cost(c.entry_addr, kEntryBytes);
+      const EndpointEntry e = load_entry(mem, c.entry_addr);
+      if (e.valid != kEntryValid || e.epoch == c.last_entry_epoch || e.batch == 0) {
+        continue;
+      }
+      SCALERPC_CHECK(e.staged_len <= staging_max_);
+      c.last_entry_epoch = e.epoch;
+      fetched[i] = true;
+      SendWr wr;
+      wr.wr_id = static_cast<uint64_t>(z);
+      wr.opcode = Opcode::kRead;
+      wr.local_addr = scratch_base_ + static_cast<uint64_t>(z) * staging_max_;
+      wr.length = e.staged_len;
+      wr.remote_addr = e.staged_addr;
+      wr.rkey = c.client_rkey;
+      wr.signaled = true;
+      co_await loop.delay(cost);
+      cost = 0;
+      co_await c.qp->post_send(wr);
+      posted++;
+      warmup_fetches_++;
+    }
+    if (cost > 0) {
+      co_await loop.delay(cost);
+    }
+    // Unpack completed reads into the pool's zones.
+    for (int k = 0; k < posted; ++k) {
+      const simrdma::Completion comp = co_await sched_cq_->next();
+      SCALERPC_CHECK(comp.status == simrdma::WcStatus::kSuccess);
+      const auto z = static_cast<size_t>(comp.wr_id);
+      uint64_t off = scratch_base_ + z * staging_max_;
+      uint32_t remaining = comp.byte_len;
+      Nanos unpack = node_->read_cost(off, comp.byte_len);
+      while (remaining > 0) {
+        auto rec = rpc::decode_staged(mem, off, remaining);
+        if (!rec.has_value()) {
+          break;
+        }
+        const auto& [msg, used] = *rec;
+        const int slot = msg.flags;  // request flags carry the batch slot
+        if (slot < cfg_.slots_per_client) {
+          const uint64_t block = zone_addr(pool_idx, static_cast<int>(z)) +
+                                 static_cast<uint64_t>(slot) * cfg_.block_bytes;
+          rpc::place_in_block(mem, block, cfg_.block_bytes, msg);
+          unpack += node_->write_cost(
+              block + cfg_.block_bytes - msg.total_bytes(), msg.total_bytes());
+        }
+        off += used;
+        remaining -= used;
+      }
+      co_await loop.delay(unpack);
+      // If this pool is already live (single-group mode), wake the worker.
+      if (pool_idx == active_pool_) {
+        worker_wake_[z % static_cast<size_t>(cfg_.server_workers)]->notify();
+      }
+    }
+    bool all = true;
+    for (size_t i = 0; i < g.members.size(); ++i) {
+      all = all && fetched[i];
+    }
+    if (all) {
+      break;
+    }
+    co_await loop.delay(usec(10));  // poll entries again shortly
+  }
+  *done = true;
+}
+
+sim::Task<void> ScaleRpcServer::scheduler_loop() {
+  auto& loop = node_->loop();
+
+  while (running_) {
+    integrate_pending_and_rebuild();
+    if (groups_.empty()) {
+      co_await loop.delay(cfg_.time_slice);
+      continue;
+    }
+
+    const Group& g = groups_[cursor_];
+    const bool multi = groups_.size() > 1;
+    const size_t next_idx = (cursor_ + 1) % groups_.size();
+
+    // Slice length; with a synced clock, stretch/shrink to land on the
+    // shared grid so all RPCServers switch in lockstep (Section 4.2).
+    Nanos slice = g.slice;
+    if (global_now_ && multi) {
+      const Nanos now_g = global_now_();
+      const Nanos target = ((now_g / cfg_.time_slice) + 1) * cfg_.time_slice;
+      slice = target - now_g;
+      if (slice < cfg_.time_slice / 4) {
+        slice += cfg_.time_slice;
+      }
+    }
+
+    bool fetch_done = false;
+    const Nanos fetch_deadline = loop.now() + slice - 2 * cfg_.drain_grace;
+    if (cfg_.warmup_enabled) {
+      // Multi-group: warm the *next* group into the idle pool. Single
+      // group: pick up newly staged batches straight into the live pool.
+      const int target_pool = multi ? 1 - active_pool_ : active_pool_;
+      const size_t target_group = multi ? next_idx : cursor_;
+      sim::spawn(loop, fetch_group(target_group, target_pool, &fetch_done, fetch_deadline));
+    }
+
+    const Nanos serve = slice > 2 * cfg_.drain_grace ? slice - 2 * cfg_.drain_grace : slice;
+    co_await loop.delay(serve);
+
+    if (!multi) {
+      continue;  // one group: no context switch, serve forever
+    }
+
+    // --- Context switch (Section 3.3) ---
+    draining_ = true;  // workers piggyback kFlagContextSwitch on responses
+    co_await loop.delay(cfg_.drain_grace);
+
+    // Explicit notifications for members without in-flight responses.
+    for (int cid : g.members) {
+      ClientState& c = *clients_[static_cast<size_t>(cid)];
+      // Compose the control word in a scratch line and write it inline.
+      const uint64_t src = c.entry_addr + 32;  // spare half of the entry line
+      store_control(node_->memory(), src, ControlWord{switch_seq_ + 1, 0, 0, 0});
+      SendWr wr;
+      wr.opcode = Opcode::kWrite;
+      wr.local_addr = src;
+      wr.length = kControlBytes;
+      wr.remote_addr = c.control_remote;
+      wr.rkey = c.client_rkey;
+      wr.signaled = false;
+      wr.inline_data = true;
+      co_await c.qp->post_send(wr);
+      notify_writes_++;
+    }
+    co_await loop.delay(cfg_.drain_grace);
+    draining_ = false;
+
+    if (cfg_.warmup_enabled) {
+      while (!fetch_done) {
+        co_await loop.delay(usec(1));
+      }
+    } else {
+      // Cold switch: sweep stragglers, then map the incoming group onto
+      // the idle pool.
+      co_await sweep_and_remap(next_idx, 1 - active_pool_);
+    }
+
+    active_pool_ = 1 - active_pool_;
+    cursor_ = next_idx;
+    switch_seq_++;
+    context_switches_++;
+    if (cursor_ == 0) {
+      rotations_since_rebuild_++;
+    }
+    for (auto& wake : worker_wake_) {
+      wake->notify();
+    }
+
+    if (!cfg_.warmup_enabled) {
+      // Cold join: tell the incoming members where their zone is so they
+      // can post directly (no pre-fetched requests to respond through).
+      const Group& ng = groups_[cursor_];
+      for (size_t z = 0; z < ng.members.size(); ++z) {
+        ClientState& c = *clients_[static_cast<size_t>(ng.members[z])];
+        const uint64_t src = c.entry_addr + 40;
+        store_control(node_->memory(), src,
+                      ControlWord{switch_seq_, 1, static_cast<uint8_t>(active_pool_),
+                                  static_cast<uint8_t>(z)});
+        SendWr wr;
+        wr.opcode = Opcode::kWrite;
+        wr.local_addr = src;
+        wr.length = kControlBytes;
+        wr.remote_addr = c.control_remote;
+        wr.rkey = c.client_rkey;
+        wr.signaled = false;
+        wr.inline_data = true;
+        co_await c.qp->post_send(wr);
+        notify_writes_++;
+      }
+    }
+  }
+}
+
+sim::Task<void> ScaleRpcServer::respond(int worker_index, ClientState& c, int slot,
+                                        uint8_t op, uint8_t extra_flags,
+                                        const rpc::Bytes& payload) {
+  auto& mem = node_->memory();
+  const auto wi = static_cast<size_t>(worker_index);
+  const uint64_t src = worker_resp_ring_[wi] +
+                       static_cast<uint64_t>(worker_ring_next_[wi]) * cfg_.block_bytes;
+  worker_ring_next_[wi] = (worker_ring_next_[wi] + 1) % kWorkerRingBlocks;
+
+  // Envelope + payload as the response data field. The envelope always
+  // describes the *active* mapping; if this client is no longer in it (its
+  // slice just ended — legacy responses can straggle), tell it to re-enter
+  // the warmup path instead of handing it a stale zone.
+  rpc::Bytes data(kEnvelopeBytes + payload.size());
+  Envelope env;
+  env.pool = static_cast<uint8_t>(active_pool_);
+  env.seq = switch_seq_;
+  bool live = false;
+  for (size_t z = 0; z < zone_client_[active_pool_].size(); ++z) {
+    if (zone_client_[active_pool_][z] == c.id) {
+      env.zone = static_cast<uint8_t>(z);
+      live = true;
+      break;
+    }
+  }
+  write_envelope(data.data(), env);
+  if (!payload.empty()) {
+    std::memcpy(data.data() + kEnvelopeBytes, payload.data(), payload.size());
+  }
+  uint8_t flags = extra_flags;
+  if (draining_ || !live) {
+    flags |= rpc::kFlagContextSwitch;
+  }
+  const uint32_t total = rpc::encode_at(mem, src, op, flags, data);
+  co_await node_->loop().delay(node_->write_cost(src, total));
+
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = src;
+  wr.length = total;
+  wr.remote_addr = rpc::aligned_target(
+      c.resp_remote + static_cast<uint64_t>(slot) * cfg_.block_bytes, cfg_.block_bytes,
+      total);
+  wr.rkey = c.client_rkey;
+  wr.signaled = false;
+  wr.inline_data =
+      cfg_.inline_requests && total <= node_->params().max_inline_bytes;
+  co_await c.qp->post_send(wr);
+}
+
+sim::Task<void> ScaleRpcServer::worker(int index) {
+  auto& loop = node_->loop();
+  auto& mem = node_->memory();
+  sim::Notification* wake = worker_wake_[static_cast<size_t>(index)].get();
+
+  while (running_) {
+    int served = 0;
+    Nanos cost = 0;
+    const int pool = active_pool_;
+    for (int z = index; z < max_zones_; z += cfg_.server_workers) {
+      const int cid = zone_client_[pool][static_cast<size_t>(z)];
+      if (cid < 0) {
+        continue;
+      }
+      for (int slot = 0; slot < cfg_.slots_per_client; ++slot) {
+        const uint64_t block =
+            zone_addr(pool, z) + static_cast<uint64_t>(slot) * cfg_.block_bytes;
+        cost += node_->read_cost(block + cfg_.block_bytes - 1, 1);
+        auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
+        if (!msg.has_value()) {
+          continue;
+        }
+        cost += node_->read_cost(block + cfg_.block_bytes - msg->total_bytes(),
+                                 msg->total_bytes());
+        rpc::clear_block(mem, block, cfg_.block_bytes);
+        cost += node_->write_cost(block + cfg_.block_bytes - 1, 1);
+
+        // The request's data starts with the sender id; a straggler write
+        // from the zone's previous owner is answered to that owner.
+        SCALERPC_CHECK(msg->data.size() >= kRequestIdBytes);
+        uint16_t sender = 0;
+        std::memcpy(&sender, msg->data.data(), sizeof(sender));
+        SCALERPC_CHECK(sender < clients_.size());
+        ClientState& src_client = *clients_[sender];
+        msg->data.erase(msg->data.begin(), msg->data.begin() + kRequestIdBytes);
+
+        src_client.window_reqs++;
+        src_client.window_bytes += msg->data.size();
+        const int resp_slot = msg->flags;  // request flags carry the slot
+
+        if (long_ops_.count(msg->op) != 0) {
+          // Legacy mode: divert to the dedicated executor.
+          legacy_queue_.push_back(LegacyJob{sender, resp_slot, std::move(*msg)});
+          legacy_wake_->notify();
+          served++;
+          continue;
+        }
+
+        rpc::RequestContext ctx{sender, msg->op};
+        rpc::HandlerResult result = handlers_.dispatch(ctx, msg->data);
+        cost += cfg_.handler_base_ns + result.cpu_ns;
+        requests_served_++;
+        if (result.cpu_ns > cfg_.long_rpc_threshold_ns) {
+          long_ops_.insert(msg->op);
+        }
+        co_await loop.delay(cost);
+        cost = 0;
+        co_await respond(index, src_client, resp_slot, msg->op, result.flags,
+                         result.response);
+        served++;
+      }
+    }
+    if (cost > 0) {
+      co_await loop.delay(cost);
+    }
+    if (served == 0 && running_) {
+      co_await wake->wait();
+    }
+  }
+}
+
+sim::Task<void> ScaleRpcServer::legacy_executor() {
+  auto& loop = node_->loop();
+  while (running_) {
+    if (legacy_queue_.empty()) {
+      co_await legacy_wake_->wait();
+      continue;
+    }
+    LegacyJob job = std::move(legacy_queue_.front());
+    legacy_queue_.pop_front();
+    ClientState& c = *clients_[static_cast<size_t>(job.client_id)];
+    rpc::RequestContext ctx{job.client_id, job.msg.op};
+    rpc::HandlerResult result = handlers_.dispatch(ctx, job.msg.data);
+    co_await loop.delay(cfg_.handler_base_ns + result.cpu_ns);
+    requests_served_++;
+    legacy_executions_++;
+    co_await respond(/*worker_index=*/0, c, job.slot, job.msg.op, result.flags,
+                     result.response);
+  }
+}
+
+}  // namespace scalerpc::core

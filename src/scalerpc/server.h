@@ -1,0 +1,158 @@
+// ScaleRPC server (paper Section 3).
+//
+// The pieces and how they map to the paper:
+//  * Connection grouping (3.2): clients are partitioned into groups served
+//    round-robin, one group per time slice, bounding the set of RC QPs the
+//    NIC touches concurrently.
+//  * Virtualized mapping (3.3): two physical message pools (processing +
+//    warmup) are remapped to whichever group is live; all groups share the
+//    same memory, keeping it LLC-resident.
+//  * Requests warmup (3.3): while group k is being served, the scheduler
+//    RDMA-reads group k+1's staged batches (announced via endpoint entries)
+//    into the warmup pool; the context switch is a pool swap, so workers
+//    never idle.
+//  * Priority-based scheduling (3.2): group membership/slices are
+//    periodically rebuilt from observed per-client rates (GroupScheduler).
+//  * Long-RPC legacy mode (3.5): ops observed to exceed a CPU threshold are
+//    diverted to a dedicated executor outside the sliced fast path.
+//  * Global synchronization (4.2): an optional synced-clock hook aligns
+//    context switches across multiple RPCServers (TimeSync provides it).
+#ifndef SRC_SCALERPC_SERVER_H_
+#define SRC_SCALERPC_SERVER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/scalerpc/config.h"
+#include "src/scalerpc/protocol.h"
+#include "src/scalerpc/scheduler.h"
+
+namespace scalerpc::core {
+
+class ScaleRpcServer : public rpc::RpcServer {
+ public:
+  ScaleRpcServer(simrdma::Node* node, ScaleRpcConfig cfg);
+
+  void start() override;
+  void stop() override;
+
+  simrdma::Node* node() { return node_; }
+  const ScaleRpcConfig& config() const { return cfg_; }
+
+  struct Admission {
+    int client_id;
+    uint64_t entry_addr;   // server-side endpoint entry to RDMA-write
+    uint32_t entry_rkey;
+    uint64_t pool_base[2];  // processing/warmup pool bases (direct writes)
+    uint32_t pool_rkey;
+    uint32_t zone_bytes;
+  };
+  // `client_qp`: client-side RC QP. `resp_base`: client-side response
+  // blocks (slots_per_client of them); `control`: client-side control
+  // block; both covered by `client_rkey`.
+  Admission admit(simrdma::QueuePair* client_qp, uint64_t resp_base, uint64_t control,
+                  uint32_t client_rkey);
+
+  // Aligns context switches to a shared clock (returns estimated global
+  // time). Used by ScaleTX's NTP-like synchronization (Section 4.2).
+  void set_synced_clock(std::function<Nanos()> global_now) {
+    global_now_ = std::move(global_now);
+  }
+
+  // Introspection for tests and benches.
+  uint64_t context_switches() const { return context_switches_; }
+  uint64_t warmup_fetches() const { return warmup_fetches_; }
+  uint64_t notify_writes() const { return notify_writes_; }
+  uint64_t legacy_executions() const { return legacy_executions_; }
+  uint64_t late_sweep_serves() const { return late_sweep_serves_; }
+  size_t num_groups() const { return groups_.size(); }
+  uint32_t switch_seq() const { return switch_seq_; }
+
+ private:
+  struct ClientState {
+    int id = 0;
+    simrdma::QueuePair* qp = nullptr;
+    uint64_t resp_remote = 0;
+    uint64_t control_remote = 0;
+    uint32_t client_rkey = 0;
+    uint64_t entry_addr = 0;
+    uint16_t last_entry_epoch = 0;
+    uint64_t window_reqs = 0;
+    uint64_t window_bytes = 0;
+  };
+
+  struct LegacyJob {
+    int client_id;
+    int slot;
+    rpc::MessageView msg;
+  };
+
+  sim::Task<void> worker(int index);
+  sim::Task<void> scheduler_loop();
+  sim::Task<void> legacy_executor();
+  sim::Task<void> fetch_group(size_t group_idx, int pool_idx, bool* done,
+                              Nanos deadline);
+
+  // Serves straggler requests left in `pool_idx` after its group's switch,
+  // then remaps the pool's zones to `group_idx` and clears every slot.
+  sim::Task<void> sweep_and_remap(size_t group_idx, int pool_idx);
+
+  // Composes a response (with envelope) in the worker's ring and
+  // RDMA-writes it into the client's response block for `slot`.
+  sim::Task<void> respond(int worker_index, ClientState& c, int slot, uint8_t op,
+                          uint8_t extra_flags, const rpc::Bytes& payload);
+
+  void integrate_pending_and_rebuild();
+  uint64_t zone_addr(int pool, int zone) const {
+    return pool_base_[pool] + static_cast<uint64_t>(zone) * zone_bytes();
+  }
+  uint32_t zone_bytes() const {
+    return static_cast<uint32_t>(cfg_.slots_per_client) * cfg_.block_bytes;
+  }
+
+  simrdma::Node* node_;
+  ScaleRpcConfig cfg_;
+  GroupScheduler policy_;
+  bool running_ = false;
+
+  int max_zones_ = 0;
+  uint64_t pool_base_[2] = {0, 0};
+  uint64_t scratch_base_ = 0;
+  uint32_t staging_max_ = 0;
+  std::vector<int> zone_client_[2];
+
+  std::vector<std::unique_ptr<ClientState>> clients_;
+  std::vector<int> pending_clients_;
+  uint64_t entries_base_ = 0;
+
+  std::vector<Group> groups_;
+  size_t cursor_ = 0;
+  int active_pool_ = 0;
+  uint32_t switch_seq_ = 1;
+  bool draining_ = false;
+  int rotations_since_rebuild_ = 0;
+
+  std::vector<std::unique_ptr<sim::Notification>> worker_wake_;
+  simrdma::CompletionQueue* sched_cq_ = nullptr;
+  std::vector<uint64_t> worker_resp_ring_;
+  std::vector<int> worker_ring_next_;
+
+  std::deque<LegacyJob> legacy_queue_;
+  std::unique_ptr<sim::Notification> legacy_wake_;
+  std::set<uint8_t> long_ops_;
+
+  std::function<Nanos()> global_now_;
+
+  uint64_t context_switches_ = 0;
+  uint64_t warmup_fetches_ = 0;
+  uint64_t notify_writes_ = 0;
+  uint64_t legacy_executions_ = 0;
+  uint64_t late_sweep_serves_ = 0;
+};
+
+}  // namespace scalerpc::core
+
+#endif  // SRC_SCALERPC_SERVER_H_

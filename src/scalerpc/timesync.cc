@@ -1,0 +1,161 @@
+#include "src/scalerpc/timesync.h"
+
+namespace scalerpc::core {
+
+using simrdma::Opcode;
+using simrdma::QpType;
+using simrdma::SendWr;
+
+namespace {
+// Ping slot: | seq:4 | valid:4 |. Response slot: | seq:4 | pad:4 | T2:8 | T3:8 |.
+constexpr uint32_t kPingBytes = 8;
+constexpr uint32_t kRespBytes = 24;
+constexpr uint32_t kSlotValid = 0x51Cu;
+constexpr Nanos kServerTurnaround = 200;  // timestamping + compose cost
+}  // namespace
+
+TimeSyncServer::TimeSyncServer(simrdma::Node* node) : node_(node) {
+  node_->arena_mr();
+  wake_ = std::make_unique<sim::Notification>(node_->loop());
+}
+
+TimeSyncServer::Admission TimeSyncServer::admit(simrdma::QueuePair* follower_qp,
+                                                uint64_t resp_addr, uint32_t resp_rkey) {
+  auto f = std::make_unique<Follower>();
+  auto* cq = node_->create_cq();
+  f->qp = node_->create_qp(QpType::kRC, cq, cq);
+  node_->cluster()->connect(f->qp, follower_qp);
+  f->ping_addr = node_->alloc(64, 64);
+  f->resp_remote = resp_addr;
+  f->resp_rkey = resp_rkey;
+  sim::Notification* wake = wake_.get();
+  node_->memory().add_watcher(f->ping_addr, kPingBytes, [wake] { wake->notify(); });
+  Admission adm{static_cast<int>(followers_.size()), f->ping_addr,
+                node_->arena_mr()->rkey};
+  followers_.push_back(std::move(f));
+  return adm;
+}
+
+void TimeSyncServer::start() {
+  SCALERPC_CHECK(!running_);
+  running_ = true;
+  sim::spawn(node_->loop(), serve_loop());
+}
+
+void TimeSyncServer::stop() {
+  running_ = false;
+  wake_->notify();
+}
+
+sim::Task<void> TimeSyncServer::serve_loop() {
+  auto& mem = node_->memory();
+  while (running_) {
+    bool any = false;
+    for (auto& f : followers_) {
+      const auto valid = mem.load_pod<uint32_t>(f->ping_addr + 4);
+      const auto seq = mem.load_pod<uint32_t>(f->ping_addr);
+      if (valid != kSlotValid || seq == f->last_seq) {
+        continue;
+      }
+      any = true;
+      f->last_seq = seq;
+      const Nanos t2 = node_->local_time();  // receive timestamp
+      co_await node_->loop().delay(kServerTurnaround);
+      const Nanos t3 = node_->local_time();  // transmit timestamp
+      const uint64_t src = f->ping_addr + 8;  // compose in the same line
+      mem.store_pod<uint32_t>(src, seq);
+      mem.store_pod<uint32_t>(src + 4, kSlotValid);
+      mem.store_pod<int64_t>(src + 8, t2);
+      mem.store_pod<int64_t>(src + 16, t3);
+      SendWr wr;
+      wr.opcode = Opcode::kWrite;
+      wr.local_addr = src;
+      wr.length = kRespBytes;
+      wr.remote_addr = f->resp_remote;
+      wr.rkey = f->resp_rkey;
+      wr.signaled = false;
+      wr.inline_data = true;
+      co_await f->qp->post_send(wr);
+      pings_served_++;
+    }
+    if (!any && running_) {
+      co_await wake_->wait();
+    }
+  }
+}
+
+TimeSyncFollower::TimeSyncFollower(simrdma::Node* node, TimeSyncServer* server,
+                                   Nanos period)
+    : node_(node), server_(server), period_(period) {
+  wake_ = std::make_unique<sim::Notification>(node_->loop());
+}
+
+sim::Task<void> TimeSyncFollower::connect() {
+  cq_ = node_->create_cq();
+  qp_ = node_->create_qp(QpType::kRC, cq_, cq_);
+  resp_addr_ = node_->alloc(64, 64);
+  ping_src_ = node_->alloc(64, 64);
+  const auto adm = server_->admit(qp_, resp_addr_, node_->arena_mr()->rkey);
+  ping_remote_ = adm.ping_addr;
+  ping_rkey_ = adm.ping_rkey;
+  sim::Notification* wake = wake_.get();
+  node_->memory().add_watcher(resp_addr_, kRespBytes, [wake] { wake->notify(); });
+  co_return;
+}
+
+void TimeSyncFollower::start() {
+  SCALERPC_CHECK(!running_);
+  running_ = true;
+  sim::spawn(node_->loop(), sync_loop());
+}
+
+void TimeSyncFollower::stop() {
+  running_ = false;
+  wake_->notify();
+}
+
+sim::Task<void> TimeSyncFollower::sync_once() {
+  auto& mem = node_->memory();
+  seq_++;
+  mem.store_pod<uint32_t>(ping_src_, seq_);
+  mem.store_pod<uint32_t>(ping_src_ + 4, kSlotValid);
+  const Nanos t1 = node_->local_time();
+  SendWr wr;
+  wr.opcode = Opcode::kWrite;
+  wr.local_addr = ping_src_;
+  wr.length = kPingBytes;
+  wr.remote_addr = ping_remote_;
+  wr.rkey = ping_rkey_;
+  wr.signaled = false;
+  wr.inline_data = true;
+  co_await qp_->post_send(wr);
+
+  // Wait for the matching response.
+  for (;;) {
+    const auto valid = mem.load_pod<uint32_t>(resp_addr_ + 4);
+    const auto seq = mem.load_pod<uint32_t>(resp_addr_);
+    if (valid == kSlotValid && seq == seq_) {
+      break;
+    }
+    co_await wake_->wait();
+    if (!running_) {
+      co_return;
+    }
+  }
+  const Nanos t4 = node_->local_time();
+  const auto t2 = mem.load_pod<int64_t>(resp_addr_ + 8);
+  const auto t3 = mem.load_pod<int64_t>(resp_addr_ + 16);
+  // NTP offset estimate: follower clock minus server clock.
+  offset_ = ((t1 - t2) + (t4 - t3)) / 2;
+  synced_ = true;
+  rounds_++;
+}
+
+sim::Task<void> TimeSyncFollower::sync_loop() {
+  while (running_) {
+    co_await sync_once();
+    co_await node_->loop().delay(period_);
+  }
+}
+
+}  // namespace scalerpc::core

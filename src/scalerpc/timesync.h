@@ -1,0 +1,97 @@
+// NTP-like global synchronization (paper Section 4.2, Fig. 14).
+//
+// When a client talks to several RPCServers at once (ScaleTX), each server
+// must switch client groups at the same pace or a client live on one server
+// would still be warming up on another. One RPCServer acts as the time
+// server; followers periodically exchange sync/resp timestamps
+// (T1..T4 on skewed local clocks) and estimate their offset as
+// ((T2-T1)+(T3-T4))/2, then align context switches to the time server's
+// clock grid.
+#ifndef SRC_SCALERPC_TIMESYNC_H_
+#define SRC_SCALERPC_TIMESYNC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/simrdma/cluster.h"
+#include "src/simrdma/node.h"
+
+namespace scalerpc::core {
+
+class TimeSyncServer {
+ public:
+  explicit TimeSyncServer(simrdma::Node* node);
+
+  struct Admission {
+    int follower_id;
+    uint64_t ping_addr;  // where the follower RDMA-writes its sync request
+    uint32_t ping_rkey;
+  };
+  Admission admit(simrdma::QueuePair* follower_qp, uint64_t resp_addr,
+                  uint32_t resp_rkey);
+
+  void start();
+  void stop();
+
+  simrdma::Node* node() { return node_; }
+  // The reference clock all followers converge to.
+  Nanos global_now() const { return node_->local_time(); }
+  uint64_t pings_served() const { return pings_served_; }
+
+ private:
+  struct Follower {
+    simrdma::QueuePair* qp = nullptr;
+    uint64_t ping_addr = 0;
+    uint64_t resp_remote = 0;
+    uint32_t resp_rkey = 0;
+    uint32_t last_seq = 0;
+  };
+
+  sim::Task<void> serve_loop();
+
+  simrdma::Node* node_;
+  bool running_ = false;
+  std::vector<std::unique_ptr<Follower>> followers_;
+  std::unique_ptr<sim::Notification> wake_;
+  uint64_t pings_served_ = 0;
+};
+
+class TimeSyncFollower {
+ public:
+  TimeSyncFollower(simrdma::Node* node, TimeSyncServer* server,
+                   Nanos period = msec(10));
+
+  sim::Task<void> connect();
+  void start();  // spawns the periodic sync loop
+  void stop();
+
+  // Estimate of the time server's clock, valid after the first round trip.
+  Nanos global_now() const { return node_->local_time() - offset_; }
+  Nanos offset() const { return offset_; }
+  bool synced() const { return synced_; }
+  uint64_t rounds() const { return rounds_; }
+
+ private:
+  sim::Task<void> sync_loop();
+  sim::Task<void> sync_once();
+
+  simrdma::Node* node_;
+  TimeSyncServer* server_;
+  Nanos period_;
+  bool running_ = false;
+  bool synced_ = false;
+  simrdma::QueuePair* qp_ = nullptr;
+  simrdma::CompletionQueue* cq_ = nullptr;
+  uint64_t resp_addr_ = 0;   // local slot the server writes {seq, T2, T3} to
+  uint64_t ping_src_ = 0;    // local compose buffer for the ping
+  uint64_t ping_remote_ = 0;
+  uint32_t ping_rkey_ = 0;
+  uint32_t seq_ = 0;
+  Nanos offset_ = 0;
+  uint64_t rounds_ = 0;
+  std::unique_ptr<sim::Notification> wake_;
+};
+
+}  // namespace scalerpc::core
+
+#endif  // SRC_SCALERPC_TIMESYNC_H_

@@ -1,0 +1,44 @@
+#include "src/sim/event_loop.h"
+
+namespace scalerpc::sim {
+
+void EventLoop::schedule_at(Nanos at, std::coroutine_handle<> h) {
+  SCALERPC_CHECK(at >= now_);
+  queue_.push(Item{at, next_seq_++, h, nullptr});
+}
+
+void EventLoop::call_at(Nanos at, std::function<void()> fn) {
+  SCALERPC_CHECK(at >= now_);
+  queue_.push(Item{at, next_seq_++, nullptr, std::move(fn)});
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) {
+    return false;
+  }
+  Item item = queue_.top();
+  queue_.pop();
+  now_ = item.at;
+  if (item.handle) {
+    item.handle.resume();
+  } else {
+    item.fn();
+  }
+  return true;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void EventLoop::run_until(Nanos t) {
+  while (!queue_.empty() && queue_.top().at <= t) {
+    step();
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+}
+
+}  // namespace scalerpc::sim

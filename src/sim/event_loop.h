@@ -1,0 +1,93 @@
+// Deterministic discrete-event loop.
+//
+// All simulated activity — NIC engines, DMA transfers, CPU work, client
+// think time — is expressed as coroutines (see task.h) that suspend on this
+// loop. Events fire in (time, insertion-order) order, so runs are exactly
+// reproducible: same seed, same trace.
+#ifndef SRC_SIM_EVENT_LOOP_H_
+#define SRC_SIM_EVENT_LOOP_H_
+
+#include <coroutine>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace scalerpc::sim {
+
+using scalerpc::Nanos;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  Nanos now() const { return now_; }
+
+  // Schedules a coroutine resume at absolute time `at` (must be >= now).
+  void schedule_at(Nanos at, std::coroutine_handle<> h);
+  // Schedules a coroutine resume `delay` ns from now.
+  void schedule_in(Nanos delay, std::coroutine_handle<> h) {
+    schedule_at(now_ + delay, h);
+  }
+
+  // Schedules a plain callback. Used sparingly (completion hooks, watchers).
+  void call_at(Nanos at, std::function<void()> fn);
+  void call_in(Nanos delay, std::function<void()> fn) { call_at(now_ + delay, std::move(fn)); }
+
+  // Runs a single event. Returns false when the queue is empty.
+  bool step();
+
+  // Runs until the queue drains.
+  void run();
+
+  // Runs until simulated time reaches `t` (events at exactly `t` included)
+  // or the queue drains. Advances now() to `t` if the queue drains early.
+  void run_until(Nanos t);
+  void run_for(Nanos d) { run_until(now_ + d); }
+
+  size_t pending() const { return queue_.size(); }
+
+  // Awaitable: suspends the calling coroutine for `d` simulated nanoseconds.
+  // Usage: co_await loop.delay(usec(5));
+  auto delay(Nanos d) {
+    struct Awaiter {
+      EventLoop* loop;
+      Nanos d;
+      bool await_ready() const noexcept { return d <= 0; }
+      void await_suspend(std::coroutine_handle<> h) { loop->schedule_in(d, h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this, d};
+  }
+
+  // Awaitable: yields to other events scheduled at the current time.
+  auto yield() { return delay(0); }
+
+ private:
+  struct Item {
+    Nanos at;
+    uint64_t seq;
+    std::coroutine_handle<> handle;   // exactly one of handle / fn is set
+    std::function<void()> fn;
+  };
+  struct ItemCompare {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  Nanos now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Item, std::vector<Item>, ItemCompare> queue_;
+};
+
+}  // namespace scalerpc::sim
+
+#endif  // SRC_SIM_EVENT_LOOP_H_

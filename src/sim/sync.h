@@ -1,0 +1,175 @@
+// Synchronization primitives for simulated actors.
+//
+// All wakeups are funneled through the event loop at the current simulated
+// time (never resumed inline), which keeps execution order deterministic
+// regardless of who calls set()/release().
+#ifndef SRC_SIM_SYNC_H_
+#define SRC_SIM_SYNC_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+
+namespace scalerpc::sim {
+
+// FIFO parking lot for suspended coroutines.
+class WaitQueue {
+ public:
+  explicit WaitQueue(EventLoop& loop) : loop_(loop) {}
+
+  void park(std::coroutine_handle<> h) { waiters_.push_back(h); }
+
+  // Wakes the oldest waiter (if any). Returns true if one was woken.
+  bool wake_one() {
+    if (waiters_.empty()) {
+      return false;
+    }
+    loop_.schedule_in(0, waiters_.front());
+    waiters_.pop_front();
+    return true;
+  }
+
+  // Wakes all waiters; returns the number woken.
+  size_t wake_all() {
+    const size_t n = waiters_.size();
+    for (auto h : waiters_) {
+      loop_.schedule_in(0, h);
+    }
+    waiters_.clear();
+    return n;
+  }
+
+  bool empty() const { return waiters_.empty(); }
+  size_t size() const { return waiters_.size(); }
+  EventLoop& loop() { return loop_; }
+
+ private:
+  EventLoop& loop_;
+  std::deque<std::coroutine_handle<>> waiters_;
+};
+
+// Manual-reset event: wait() is a no-op while set; set() wakes everyone.
+class Event {
+ public:
+  explicit Event(EventLoop& loop) : waiters_(loop) {}
+
+  void set() {
+    set_ = true;
+    waiters_.wake_all();
+  }
+  void reset() { set_ = false; }
+  bool is_set() const { return set_; }
+
+  auto wait() {
+    struct Awaiter {
+      Event* event;
+      bool await_ready() const noexcept { return event->set_; }
+      void await_suspend(std::coroutine_handle<> h) { event->waiters_.park(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  bool set_ = false;
+  WaitQueue waiters_;
+};
+
+// Auto-reset notification: notify() wakes exactly one waiter, or — if no
+// waiter is parked — leaves a single sticky token so the next wait() returns
+// immediately. The classic "kick a polling worker" primitive.
+class Notification {
+ public:
+  explicit Notification(EventLoop& loop) : waiters_(loop) {}
+
+  void notify() {
+    if (!waiters_.wake_one()) {
+      pending_ = true;
+    }
+  }
+
+  auto wait() {
+    struct Awaiter {
+      Notification* n;
+      bool await_ready() const noexcept {
+        if (n->pending_) {
+          n->pending_ = false;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { n->waiters_.park(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+ private:
+  bool pending_ = false;
+  WaitQueue waiters_;
+};
+
+// Counting semaphore with FIFO fairness. release() hands the permit
+// directly to the oldest waiter so barging cannot starve it.
+class Semaphore {
+ public:
+  Semaphore(EventLoop& loop, int64_t permits) : permits_(permits), waiters_(loop) {}
+
+  auto acquire() {
+    struct Awaiter {
+      Semaphore* sem;
+      bool await_ready() const noexcept {
+        if (sem->permits_ > 0) {
+          sem->permits_--;
+          return true;
+        }
+        return false;
+      }
+      void await_suspend(std::coroutine_handle<> h) { sem->waiters_.park(h); }
+      void await_resume() const noexcept {}
+    };
+    return Awaiter{this};
+  }
+
+  void release() {
+    if (!waiters_.wake_one()) {
+      permits_++;
+    }
+  }
+
+  int64_t available() const { return permits_; }
+  size_t queued() const { return waiters_.size(); }
+
+ private:
+  int64_t permits_;
+  WaitQueue waiters_;
+};
+
+// A k-server FIFO queueing resource with caller-supplied service times.
+// Models links and NIC processing pipelines: acquire a unit, hold it for the
+// service duration, release.
+class FifoResource {
+ public:
+  FifoResource(EventLoop& loop, int64_t units) : loop_(loop), sem_(loop, units) {}
+
+  // Coroutine occupying one unit for `service` ns.
+  Task<void> use(Nanos service) {
+    co_await sem_.acquire();
+    co_await loop_.delay(service);
+    sem_.release();
+  }
+
+  Semaphore& semaphore() { return sem_; }
+  EventLoop& loop() { return loop_; }
+
+ private:
+  EventLoop& loop_;
+  Semaphore sem_;
+};
+
+}  // namespace scalerpc::sim
+
+#endif  // SRC_SIM_SYNC_H_

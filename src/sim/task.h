@@ -1,0 +1,210 @@
+// Coroutine task type for simulated actors.
+//
+// Task<T> is a lazy coroutine: created suspended, started either by being
+// co_awaited (structured, returns T to the awaiter) or by
+// EventLoop-independent spawn() (detached fire-and-forget actor whose frame
+// self-destroys on completion).
+//
+// Exceptions are not used inside the simulator; an escaping exception
+// terminates (simulator invariants use SCALERPC_CHECK instead).
+#ifndef SRC_SIM_TASK_H_
+#define SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <optional>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/sim/event_loop.h"
+
+namespace scalerpc::sim {
+
+template <typename T>
+class Task;
+
+namespace task_detail {
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  bool detached = false;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+
+  struct FinalAwaiter {
+    bool await_ready() const noexcept { return false; }
+    template <typename Promise>
+    std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) noexcept {
+      auto& promise = h.promise();
+      std::coroutine_handle<> cont =
+          promise.continuation ? promise.continuation : std::noop_coroutine();
+      if (promise.detached) {
+        h.destroy();
+      }
+      return cont;
+    }
+    void await_resume() const noexcept {}
+  };
+  FinalAwaiter final_suspend() noexcept { return {}; }
+
+  void unhandled_exception() noexcept {
+    SCALERPC_CHECK_MSG(false, "exception escaped a sim::Task");
+  }
+};
+
+}  // namespace task_detail
+
+template <typename T = void>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : task_detail::PromiseBase {
+    std::optional<T> value;
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  // Awaiting a task starts it (symmetric transfer) and resumes the awaiter
+  // with the task's result once it completes.
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    SCALERPC_CHECK(handle_);
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  T await_resume() {
+    SCALERPC_CHECK(handle_ && handle_.promise().value.has_value());
+    return std::move(*handle_.promise().value);
+  }
+
+  // Releases ownership of the coroutine handle (caller becomes responsible).
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : task_detail::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+  bool done() const { return handle_ && handle_.done(); }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    SCALERPC_CHECK(handle_);
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() const noexcept {}
+
+  std::coroutine_handle<promise_type> release() {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  void destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+// Detaches `task` and schedules its first resume on `loop` at the current
+// simulated time. The coroutine frame frees itself on completion.
+inline void spawn(EventLoop& loop, Task<void> task) {
+  auto handle = task.release();
+  SCALERPC_CHECK(handle);
+  handle.promise().detached = true;
+  loop.schedule_in(0, handle);
+}
+
+namespace task_detail {
+
+template <typename T>
+Task<void> run_blocking_helper(Task<T> task, std::optional<T>* out, bool* done) {
+  *out = co_await std::move(task);
+  *done = true;
+}
+
+inline Task<void> run_blocking_helper_void(Task<void> task, bool* done) {
+  co_await std::move(task);
+  *done = true;
+}
+
+}  // namespace task_detail
+
+// Drives the loop until `task` completes; returns its result. Intended for
+// tests and experiment harness top levels.
+template <typename T>
+T run_blocking(EventLoop& loop, Task<T> task) {
+  std::optional<T> result;
+  bool done = false;
+  spawn(loop, task_detail::run_blocking_helper<T>(std::move(task), &result, &done));
+  while (!done && loop.step()) {
+  }
+  SCALERPC_CHECK_MSG(done, "event queue drained before task completed");
+  return std::move(*result);
+}
+
+inline void run_blocking(EventLoop& loop, Task<void> task) {
+  bool done = false;
+  spawn(loop, task_detail::run_blocking_helper_void(std::move(task), &done));
+  while (!done && loop.step()) {
+  }
+  SCALERPC_CHECK_MSG(done, "event queue drained before task completed");
+}
+
+}  // namespace scalerpc::sim
+
+#endif  // SRC_SIM_TASK_H_

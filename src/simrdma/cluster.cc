@@ -1,0 +1,42 @@
+#include "src/simrdma/cluster.h"
+
+#include "src/simrdma/nic.h"
+
+namespace scalerpc::simrdma {
+
+Cluster::Cluster(SimParams params) : params_(params) {}
+
+Node* Cluster::add_node(const std::string& name) {
+  const int id = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::make_unique<Node>(this, id, name, params_));
+  return nodes_.back().get();
+}
+
+Node* Cluster::add_node_with_skewed_clock(const std::string& name, Rng& rng) {
+  Node* node = add_node(name);
+  const auto max_off = static_cast<uint64_t>(params_.clock_offset_max_ns);
+  const Nanos offset =
+      static_cast<Nanos>(rng.next_below(2 * max_off + 1)) - params_.clock_offset_max_ns;
+  const double drift = (rng.next_double() * 2.0 - 1.0) * params_.clock_drift_ppm_max;
+  node->set_clock(offset, drift);
+  return node;
+}
+
+void Cluster::connect(QueuePair* a, QueuePair* b) {
+  SCALERPC_CHECK(a != nullptr && b != nullptr);
+  SCALERPC_CHECK_MSG(a->type() == b->type(), "QP type mismatch");
+  SCALERPC_CHECK_MSG(a->type() != QpType::kUD, "UD QPs are connectionless");
+  SCALERPC_CHECK_MSG(!a->connected() && !b->connected(), "QP already connected");
+  a->set_peer(b->node()->id(), b->qpn());
+  b->set_peer(a->node()->id(), a->qpn());
+}
+
+void Cluster::route(Packet pkt) {
+  SCALERPC_CHECK(pkt.dst_node >= 0 &&
+                 pkt.dst_node < static_cast<int>(nodes_.size()));
+  Node* dst = nodes_[static_cast<size_t>(pkt.dst_node)].get();
+  loop_.call_in(params_.switch_latency_ns,
+                [dst, pkt = std::move(pkt)]() mutable { dst->nic().deliver(std::move(pkt)); });
+}
+
+}  // namespace scalerpc::simrdma

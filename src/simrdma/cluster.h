@@ -1,0 +1,46 @@
+// The fabric: owns the event loop, the nodes, and the switch that routes
+// packets between NICs.
+#ifndef SRC_SIMRDMA_CLUSTER_H_
+#define SRC_SIMRDMA_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/event_loop.h"
+#include "src/simrdma/node.h"
+#include "src/simrdma/params.h"
+
+namespace scalerpc::simrdma {
+
+class Cluster {
+ public:
+  explicit Cluster(SimParams params = SimParams{});
+
+  sim::EventLoop& loop() { return loop_; }
+  const SimParams& params() const { return params_; }
+
+  Node* add_node(const std::string& name);
+  // Adds a node whose clock offset/drift are drawn from `rng` within the
+  // configured bounds (for TimeSync experiments).
+  Node* add_node_with_skewed_clock(const std::string& name, Rng& rng);
+
+  Node* node(int id) { return nodes_.at(static_cast<size_t>(id)).get(); }
+  size_t num_nodes() const { return nodes_.size(); }
+
+  // Establishes an RC/UC connection between two QPs of the same type.
+  void connect(QueuePair* a, QueuePair* b);
+
+  // Switch: delivers `pkt` to its destination NIC after one hop latency.
+  void route(Packet pkt);
+
+ private:
+  SimParams params_;
+  sim::EventLoop loop_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_CLUSTER_H_

@@ -1,0 +1,76 @@
+// Hardware-style event counters, mirroring what the paper samples with
+// Intel PCM (Section 3.6.3) plus NIC-internal statistics.
+//
+// Counters are plain monotonically increasing values; experiments snapshot
+// them (operator-) around a measurement window, exactly like running `pcm`
+// for an interval.
+#ifndef SRC_SIMRDMA_COUNTERS_H_
+#define SRC_SIMRDMA_COUNTERS_H_
+
+#include <cstdint>
+
+namespace scalerpc::simrdma {
+
+// PCIe/DDIO events observed at a node's uncore, as PCM reports them.
+struct PcmCounters {
+  // Reads from host memory to the PCIe device (payload gathers, WQE and QP
+  // state refetches, recv-descriptor fetches, RDMA-read data fetches).
+  uint64_t pcie_rd_cur = 0;
+  // Partial-cache-line writes from the device to memory.
+  uint64_t rfo = 0;
+  // Full-cache-line writes from the device to memory.
+  uint64_t itom = 0;
+  // Writes that had to *allocate* an LLC line (DDIO Write Allocate) instead
+  // of updating one already present (Write Update).
+  uint64_t pcie_itom = 0;
+  // CPU-side L3 statistics.
+  uint64_t l3_hits = 0;
+  uint64_t l3_misses = 0;
+
+  PcmCounters operator-(const PcmCounters& rhs) const {
+    PcmCounters d;
+    d.pcie_rd_cur = pcie_rd_cur - rhs.pcie_rd_cur;
+    d.rfo = rfo - rhs.rfo;
+    d.itom = itom - rhs.itom;
+    d.pcie_itom = pcie_itom - rhs.pcie_itom;
+    d.l3_hits = l3_hits - rhs.l3_hits;
+    d.l3_misses = l3_misses - rhs.l3_misses;
+    return d;
+  }
+
+  double l3_miss_rate() const {
+    const uint64_t total = l3_hits + l3_misses;
+    return total == 0 ? 0.0 : static_cast<double>(l3_misses) / static_cast<double>(total);
+  }
+};
+
+// NIC-internal statistics (not PCM-visible, but useful for tests/ablation).
+struct NicCounters {
+  uint64_t send_wqes = 0;        // WQEs processed by the send pipeline
+  uint64_t inbound_packets = 0;  // packets processed by the recv pipeline
+  uint64_t qp_cache_hits = 0;
+  uint64_t qp_cache_misses = 0;
+  uint64_t ud_drops = 0;   // UD arrivals with no recv WQE posted
+  uint64_t rnr_events = 0;  // RC sends that waited for a recv WQE
+  uint64_t acks_sent = 0;
+  uint64_t bytes_tx = 0;
+  uint64_t bytes_rx = 0;
+
+  NicCounters operator-(const NicCounters& rhs) const {
+    NicCounters d;
+    d.send_wqes = send_wqes - rhs.send_wqes;
+    d.inbound_packets = inbound_packets - rhs.inbound_packets;
+    d.qp_cache_hits = qp_cache_hits - rhs.qp_cache_hits;
+    d.qp_cache_misses = qp_cache_misses - rhs.qp_cache_misses;
+    d.ud_drops = ud_drops - rhs.ud_drops;
+    d.rnr_events = rnr_events - rhs.rnr_events;
+    d.acks_sent = acks_sent - rhs.acks_sent;
+    d.bytes_tx = bytes_tx - rhs.bytes_tx;
+    d.bytes_rx = bytes_rx - rhs.bytes_rx;
+    return d;
+  }
+};
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_COUNTERS_H_

@@ -1,0 +1,79 @@
+// Last-level cache model with DDIO semantics.
+//
+// The LLC is tracked at cache-line granularity as two LRU partitions:
+//  * the general partition: lines brought in by CPU loads/stores;
+//  * the DDIO partition: lines *allocated* by inbound DMA (Write Allocate),
+//    capped at ddio_fraction of the LLC as on Intel uncore (the paper's
+//    Section 2.3 observation).
+// A DMA write to a line already resident anywhere is a Write Update (cheap,
+// no allocation). A CPU access to a DDIO line promotes it to the general
+// partition — this is what makes ScaleRPC's small recycled message pool stay
+// resident while static per-client pools thrash.
+#ifndef SRC_SIMRDMA_LLC_H_
+#define SRC_SIMRDMA_LLC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/units.h"
+#include "src/simrdma/counters.h"
+#include "src/simrdma/params.h"
+
+namespace scalerpc::simrdma {
+
+class LastLevelCache {
+ public:
+  explicit LastLevelCache(const SimParams& params);
+
+  // CPU load touching [addr, addr+len). Returns the simulated cost.
+  Nanos cpu_read(uint64_t addr, uint32_t len);
+  // CPU store touching [addr, addr+len). Write-allocate policy.
+  Nanos cpu_write(uint64_t addr, uint32_t len);
+  // Inbound DMA write (DDIO). Updates PCM write counters.
+  Nanos dma_write(uint64_t addr, uint32_t len);
+  // DMA read (NIC gathering payload / serving RDMA-read). Reads may be
+  // served from the LLC but never allocate lines.
+  Nanos dma_read(uint64_t addr, uint32_t len);
+
+  const PcmCounters& pcm() const { return pcm_; }
+  size_t resident_lines() const { return lines_.size(); }
+  size_t ddio_lines() const { return ddio_lru_.size(); }
+  uint64_t capacity_lines() const { return capacity_lines_; }
+  uint64_t ddio_capacity_lines() const { return ddio_capacity_lines_; }
+
+  // Drops all state (used between experiment phases).
+  void clear();
+
+ private:
+  enum class Partition : uint8_t { kGeneral, kDdio };
+  struct LineState {
+    Partition partition;
+    std::list<uint64_t>::iterator lru_pos;
+  };
+
+  bool resident(uint64_t line) const { return lines_.count(line) != 0; }
+  void touch(uint64_t line);
+  void insert_general(uint64_t line);
+  void insert_ddio(uint64_t line);
+  void evict_one_general();
+  void evict_one_ddio();
+  void promote_to_general(uint64_t line);
+
+  template <typename PerLine>
+  Nanos for_each_line(uint64_t addr, uint32_t len, PerLine fn);
+
+  const SimParams& params_;
+  uint64_t capacity_lines_;
+  uint64_t ddio_capacity_lines_;
+  // MRU at front.
+  std::list<uint64_t> general_lru_;
+  std::list<uint64_t> ddio_lru_;
+  std::unordered_map<uint64_t, LineState> lines_;
+  PcmCounters pcm_;
+};
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_LLC_H_

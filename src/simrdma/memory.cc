@@ -1,0 +1,34 @@
+#include "src/simrdma/memory.h"
+
+namespace scalerpc::simrdma {
+
+void HostMemory::dma_store(uint64_t addr, std::span<const uint8_t> bytes) {
+  SCALERPC_CHECK(contains(addr, bytes.size()));
+  std::memcpy(raw(addr), bytes.data(), bytes.size());
+  if (watchers_.empty() || bytes.empty()) {
+    return;
+  }
+  const uint64_t lo = addr;
+  const uint64_t hi = addr + bytes.size();
+  // Collect first: a watcher callback may add/remove watchers.
+  std::vector<std::function<void()>*> to_fire;
+  for (auto& [id, w] : watchers_) {
+    if (w.lo < hi && lo < w.hi) {
+      to_fire.push_back(&w.fn);
+    }
+  }
+  for (auto* fn : to_fire) {
+    (*fn)();
+  }
+}
+
+uint64_t HostMemory::add_watcher(uint64_t addr, uint64_t len, std::function<void()> fn) {
+  SCALERPC_CHECK(contains(addr, len));
+  const uint64_t id = next_watcher_id_++;
+  watchers_.emplace(id, Watcher{addr, addr + len, std::move(fn)});
+  return id;
+}
+
+void HostMemory::remove_watcher(uint64_t id) { watchers_.erase(id); }
+
+}  // namespace scalerpc::simrdma

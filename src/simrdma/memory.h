@@ -1,0 +1,107 @@
+// Per-node host memory: a byte-accurate arena with write watchers.
+//
+// RDMA one-sided verbs really move bytes here, so polling-based message
+// detection (the Valid byte at the end of a right-aligned message) works
+// exactly as on hardware. Watchers let simulated polling threads park until
+// a DMA write lands in their region instead of busy-burning events; the
+// *cost* of the poll is still charged through the LLC model by the caller.
+#ifndef SRC_SIMRDMA_MEMORY_H_
+#define SRC_SIMRDMA_MEMORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/units.h"
+
+namespace scalerpc::simrdma {
+
+// Virtual addresses start at kMemoryBase so that 0 is never a valid address.
+constexpr uint64_t kMemoryBase = 0x100000;
+
+class HostMemory {
+ public:
+  explicit HostMemory(uint64_t size_bytes) : data_(size_bytes, 0) {}
+
+  uint64_t base() const { return kMemoryBase; }
+  uint64_t size() const { return data_.size(); }
+  uint64_t end() const { return kMemoryBase + data_.size(); }
+
+  bool contains(uint64_t addr, uint64_t len) const {
+    return addr >= kMemoryBase && addr + len <= end() && addr + len >= addr;
+  }
+
+  uint8_t* raw(uint64_t addr) {
+    SCALERPC_CHECK(contains(addr, 0));
+    return data_.data() + (addr - kMemoryBase);
+  }
+  const uint8_t* raw(uint64_t addr) const {
+    SCALERPC_CHECK(contains(addr, 0));
+    return data_.data() + (addr - kMemoryBase);
+  }
+
+  // Plain CPU-side accessors (no watcher firing: local stores by the owner
+  // are observed by local polling anyway).
+  void store(uint64_t addr, std::span<const uint8_t> bytes) {
+    SCALERPC_CHECK(contains(addr, bytes.size()));
+    std::memcpy(raw(addr), bytes.data(), bytes.size());
+  }
+  void load(uint64_t addr, std::span<uint8_t> out) const {
+    SCALERPC_CHECK(contains(addr, out.size()));
+    std::memcpy(out.data(), raw(addr), out.size());
+  }
+  template <typename T>
+  T load_pod(uint64_t addr) const {
+    T value;
+    SCALERPC_CHECK(contains(addr, sizeof(T)));
+    std::memcpy(&value, raw(addr), sizeof(T));
+    return value;
+  }
+  template <typename T>
+  void store_pod(uint64_t addr, const T& value) {
+    SCALERPC_CHECK(contains(addr, sizeof(T)));
+    std::memcpy(raw(addr), &value, sizeof(T));
+  }
+
+  // DMA-side store: copies bytes and fires any watcher overlapping the
+  // range. Used by the NIC when an inbound write/send lands.
+  void dma_store(uint64_t addr, std::span<const uint8_t> bytes);
+
+  // Registers a persistent watcher over [addr, addr+len). The callback runs
+  // synchronously from dma_store (watchers typically just notify() a parked
+  // actor). Returns a handle for remove_watcher.
+  uint64_t add_watcher(uint64_t addr, uint64_t len, std::function<void()> fn);
+  void remove_watcher(uint64_t id);
+
+ private:
+  struct Watcher {
+    uint64_t lo;
+    uint64_t hi;
+    std::function<void()> fn;
+  };
+
+  std::vector<uint8_t> data_;
+  std::map<uint64_t, Watcher> watchers_;
+  uint64_t next_watcher_id_ = 1;
+};
+
+// A registered memory region: the unit of remote-access permission.
+struct MemoryRegion {
+  uint32_t lkey = 0;
+  uint32_t rkey = 0;
+  uint64_t addr = 0;
+  uint64_t length = 0;
+
+  bool covers(uint64_t a, uint64_t len) const {
+    return a >= addr && a + len <= addr + length && a + len >= a;
+  }
+};
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_MEMORY_H_

@@ -1,0 +1,442 @@
+#include "src/simrdma/nic.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/simrdma/cluster.h"
+#include "src/simrdma/node.h"
+
+namespace scalerpc::simrdma {
+
+namespace {
+constexpr int kRnrRetryLimit = 7;
+constexpr uint64_t kWqeKeyBase = 1ULL << 32;
+constexpr uint64_t kLineMask = ~(kCacheLineSize - 1);
+
+// Caps a per-line DMA cost at the streaming line rate for bulk transfers
+// (>1KB); small transfers keep the per-line small-message constants.
+Nanos stream_cap(Nanos per_line_cost, uint32_t len, const SimParams& p) {
+  if (len <= 1024) {
+    return per_line_cost;
+  }
+  // Bulk transfers additionally overlap DMA with wire serialization
+  // (cut-through): only a quarter of the stream time serializes on the
+  // engine.
+  const Nanos stream = (static_cast<int64_t>(len) * p.dma_stream_ps_per_byte) / 1000;
+  return std::min(per_line_cost, len > 4096 ? stream / 4 : stream);
+}
+
+uint32_t lines_touched(uint64_t addr, uint32_t len) {
+  if (len == 0) {
+    return 0;
+  }
+  const uint64_t first = addr & kLineMask;
+  const uint64_t last = (addr + len - 1) & kLineMask;
+  return static_cast<uint32_t>((last - first) / kCacheLineSize) + 1;
+}
+}  // namespace
+
+Nic::Nic(sim::EventLoop& loop, Node* node, const SimParams& params)
+    : loop_(loop),
+      node_(node),
+      params_(params),
+      qp_cache_(params.nic_qp_cache_entries),
+      wqe_cache_(params.nic_wqe_cache_entries),
+      send_units_(loop, params.nic_send_units),
+      recv_units_(loop, params.nic_recv_units),
+      tx_port_(loop, 1) {}
+
+void Nic::submit_send(QueuePair* qp, SendWr wr) {
+  // The doorbell makes the NIC prefetch the WQE into its cache; whether it
+  // is still there when an engine executes it depends on how much other
+  // state (QP contexts, inbound touches, later WQEs) churned the cache in
+  // between. Inline WQEs ride in the doorbell itself (BlueFlame) and skip
+  // the cache entirely.
+  uint64_t wqe_key = 0;
+  if (!wr.inline_data) {
+    wqe_key = kWqeKeyBase + next_wqe_id_++;
+    wqe_cache_.touch_insert(wqe_key);
+  }
+  sim::spawn(loop_, send_path(qp, std::move(wr), wqe_key));
+}
+
+void Nic::deliver(Packet pkt) { sim::spawn(loop_, inbound_path(std::move(pkt))); }
+
+Nanos Nic::charge_connection_state(QueuePair* qp, uint64_t wqe_key) {
+  Nanos extra = 0;
+  const uint64_t base_key = qp->qpn();
+  // QP connection state entry. A miss refetches both the QP context and
+  // its send-queue ICM page: two PCIe reads.
+  if (qp_cache_.access(base_key)) {
+    counters_.qp_cache_hits++;
+  } else {
+    counters_.qp_cache_misses++;
+    node_->count_pcie_read();
+    node_->count_pcie_read();
+    extra += 2 * params_.nic_cache_miss_ns;
+  }
+  // The prefetched WQE: evicted before execution means a PCIe refetch.
+  if (wqe_key != 0 && !wqe_cache_.consume(wqe_key)) {
+    counters_.qp_cache_misses++;
+    node_->count_pcie_read();
+    extra += params_.nic_cache_miss_ns;
+  }
+  return extra;
+}
+
+void Nic::complete_send(QueuePair* qp, const SendWr& wr, WcStatus status,
+                        uint64_t atomic_old) {
+  Completion c;
+  c.wr_id = wr.wr_id;
+  c.status = status;
+  c.opcode = wr.opcode;
+  c.is_recv = false;
+  c.byte_len = wr.length;
+  c.qpn = qp->qpn();
+  c.atomic_old = atomic_old;
+  qp->send_cq()->push(c);
+}
+
+sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
+  co_await send_units_.acquire();
+  counters_.send_wqes++;
+
+  Nanos cost = params_.nic_send_base_ns;
+  cost += charge_connection_state(qp, wqe_key);
+
+  const bool carries_payload =
+      (wr.opcode == Opcode::kWrite || wr.opcode == Opcode::kWriteImm ||
+       wr.opcode == Opcode::kSend) &&
+      wr.length > 0;
+
+  std::vector<uint8_t> payload;
+  if (carries_payload) {
+    payload.resize(wr.length);
+    node_->memory().load(wr.local_addr, payload);
+    if (!wr.inline_data) {
+      // Gather via DMA read: PCIe reads, possibly served from the LLC.
+      // Pipelined, so the serialization charge per line is small; bulk
+      // payloads stream at PCIe line rate.
+      cost += stream_cap(node_->llc().dma_read(wr.local_addr, wr.length) / 4 +
+                             static_cast<Nanos>(lines_touched(wr.local_addr, wr.length)) *
+                                 params_.nic_payload_fetch_ns,
+                         wr.length, params_);
+    }
+  }
+
+  co_await loop_.delay(cost);
+  send_units_.release();
+
+  Packet pkt;
+  pkt.kind = Packet::Kind::kRequest;
+  pkt.transport = qp->type();
+  pkt.opcode = wr.opcode;
+  pkt.src_node = node_->id();
+  pkt.src_qpn = qp->qpn();
+  if (qp->type() == QpType::kUD) {
+    pkt.dst_node = wr.dest_node;
+    pkt.dst_qpn = wr.dest_qpn;
+  } else {
+    pkt.dst_node = qp->peer_node();
+    pkt.dst_qpn = qp->peer_qpn();
+  }
+  pkt.wr_id = wr.wr_id;
+  pkt.remote_addr = wr.remote_addr;
+  pkt.rkey = wr.rkey;
+  pkt.length = wr.length;
+  pkt.imm = wr.imm;
+  pkt.has_imm = (wr.opcode == Opcode::kWriteImm);
+  pkt.signaled = wr.signaled;
+  pkt.resp_local_addr = wr.local_addr;
+  pkt.payload = std::move(payload);
+  pkt.atomic_compare = wr.compare;
+  pkt.atomic_swap_or_add = wr.swap_or_add;
+
+  const uint32_t wire_payload = carries_payload ? wr.length : 0;
+  co_await tx_port_.use(params_.wire_time(wire_payload));
+  counters_.bytes_tx += wire_payload + params_.packet_header_bytes;
+  node_->cluster()->route(std::move(pkt));
+
+  // Local completion policy:
+  //  * RC write/send: completion arrives with the ack.
+  //  * RC read/atomics: completion arrives with the response data.
+  //  * UC/UD: "transmitted" is all the fabric guarantees; complete now.
+  if (qp->type() != QpType::kRC && wr.signaled) {
+    complete_send(qp, wr, WcStatus::kSuccess);
+  }
+}
+
+sim::Task<void> Nic::inbound_path(Packet pkt) {
+  counters_.bytes_rx += pkt.payload.size() + params_.packet_header_bytes;
+
+  // --- Control traffic: acks and naks complete the original WQE. ---
+  // Processing an ack updates the QP's requester state, so it touches the
+  // NIC cache: with many interleaved RC peers this is what keeps evicting
+  // entries between a worker's response bursts (the outbound collapse).
+  if (pkt.kind == Packet::Kind::kAck || pkt.kind == Packet::Kind::kNak) {
+    QueuePair* qp = node_->find_qp(pkt.dst_qpn);
+    SCALERPC_CHECK(qp != nullptr);
+    Nanos ack_cost = 20;
+    if (qp_cache_.access(qp->qpn())) {
+      counters_.qp_cache_hits++;
+    } else {
+      counters_.qp_cache_misses++;
+      node_->count_pcie_read();
+      ack_cost += params_.nic_cache_miss_ns;
+    }
+    co_await recv_units_.acquire();
+    co_await loop_.delay(ack_cost);
+    recv_units_.release();
+    if (pkt.signaled) {
+      Completion c;
+      c.wr_id = pkt.wr_id;
+      c.status = pkt.status;
+      c.opcode = pkt.opcode;
+      c.byte_len = pkt.length;
+      c.qpn = qp->qpn();
+      qp->send_cq()->push(c);
+    }
+    co_return;
+  }
+
+  // --- Read / atomic responses scatter into requester memory. ---
+  if (pkt.kind == Packet::Kind::kReadResponse ||
+      pkt.kind == Packet::Kind::kAtomicResponse) {
+    QueuePair* qp = node_->find_qp(pkt.dst_qpn);
+    SCALERPC_CHECK(qp != nullptr);
+    co_await recv_units_.acquire();
+    counters_.inbound_packets++;
+    Nanos cost = params_.nic_recv_base_ns;
+    // Read/atomic responses update requester state like acks do.
+    if (qp_cache_.access(qp->qpn())) {
+      counters_.qp_cache_hits++;
+    } else {
+      counters_.qp_cache_misses++;
+      node_->count_pcie_read();
+      cost += params_.nic_cache_miss_ns;
+    }
+    if (pkt.status == WcStatus::kSuccess && !pkt.payload.empty()) {
+      cost += stream_cap(
+          node_->llc().dma_write(pkt.resp_local_addr,
+                                 static_cast<uint32_t>(pkt.payload.size())),
+          static_cast<uint32_t>(pkt.payload.size()), params_);
+    }
+    co_await loop_.delay(cost);
+    if (pkt.status == WcStatus::kSuccess && !pkt.payload.empty()) {
+      node_->memory().dma_store(pkt.resp_local_addr, pkt.payload);
+    }
+    recv_units_.release();
+    if (pkt.signaled) {
+      Completion c;
+      c.wr_id = pkt.wr_id;
+      c.status = pkt.status;
+      c.opcode = pkt.opcode;
+      c.byte_len = static_cast<uint32_t>(pkt.payload.size());
+      c.qpn = qp->qpn();
+      c.atomic_old = pkt.atomic_old;
+      qp->send_cq()->push(c);
+    }
+    co_return;
+  }
+
+  // --- Requests. ---
+  QueuePair* qp = node_->find_qp(pkt.dst_qpn);
+  SCALERPC_CHECK_MSG(qp != nullptr, "packet to unknown QP");
+
+  // Responder context occupies NIC cache space (touch-only: misses are
+  // overlapped and cost nothing, keeping pure-inbound traffic flat, but the
+  // occupancy evicts requester state under bidirectional load).
+  if (pkt.transport != QpType::kUD) {
+    qp_cache_.touch_insert(qp->qpn());
+  }
+
+  // RC sends / write_imm need a receive descriptor; honor RNR retry.
+  const bool consumes_recv =
+      pkt.opcode == Opcode::kSend || pkt.opcode == Opcode::kWriteImm;
+  if (consumes_recv && !qp->has_recv()) {
+    if (pkt.transport == QpType::kUD) {
+      counters_.ud_drops++;
+      co_return;  // unreliable: silently dropped
+    }
+    counters_.rnr_events++;
+    int retries = 0;
+    while (!qp->has_recv() && retries < kRnrRetryLimit) {
+      co_await loop_.delay(params_.rnr_retry_delay_ns);
+      retries++;
+    }
+    if (!qp->has_recv()) {
+      Packet nak;
+      nak.kind = Packet::Kind::kNak;
+      nak.opcode = pkt.opcode;
+      nak.status = WcStatus::kRetryExceeded;
+      nak.src_node = node_->id();
+      nak.src_qpn = pkt.dst_qpn;
+      nak.dst_node = pkt.src_node;
+      nak.dst_qpn = pkt.src_qpn;
+      nak.wr_id = pkt.wr_id;
+      nak.signaled = pkt.signaled;
+      node_->cluster()->route(std::move(nak));
+      co_return;
+    }
+  }
+
+  co_await recv_units_.acquire();
+  counters_.inbound_packets++;
+  Nanos cost = params_.nic_recv_base_ns;
+  WcStatus status = WcStatus::kSuccess;
+  uint64_t atomic_old = 0;
+  std::vector<uint8_t> read_payload;
+
+  uint64_t store_addr = 0;
+  bool do_store = false;
+  bool push_recv_cqe = false;
+  RecvWr rwr{};
+  uint32_t recv_byte_len = 0;
+
+  switch (pkt.opcode) {
+    case Opcode::kWrite:
+    case Opcode::kWriteImm: {
+      MemoryRegion* mr = node_->find_mr_by_rkey(pkt.rkey, pkt.remote_addr, pkt.length);
+      if (mr == nullptr) {
+        status = WcStatus::kRemoteAccessError;
+        break;
+      }
+      if (pkt.length > 0) {
+        cost += stream_cap(node_->llc().dma_write(pkt.remote_addr, pkt.length),
+                           pkt.length, params_);
+        store_addr = pkt.remote_addr;
+        do_store = true;
+      }
+      if (pkt.opcode == Opcode::kWriteImm) {
+        // Consumes a descriptor and raises a recv completion carrying imm.
+        SCALERPC_CHECK(qp->has_recv());
+        rwr = qp->pop_recv();
+        cost += params_.nic_recv_wqe_fetch_ns;
+        node_->count_pcie_read();
+        push_recv_cqe = true;
+        recv_byte_len = pkt.length;
+      }
+      break;
+    }
+    case Opcode::kSend: {
+      SCALERPC_CHECK(qp->has_recv());
+      rwr = qp->pop_recv();
+      cost += params_.nic_recv_wqe_fetch_ns;
+      node_->count_pcie_read();
+      const uint32_t grh = pkt.transport == QpType::kUD ? params_.grh_bytes : 0;
+      if (pkt.length + grh > rwr.length) {
+        status = WcStatus::kRemoteAccessError;
+        push_recv_cqe = true;
+        break;
+      }
+      if (pkt.length > 0) {
+        store_addr = rwr.addr + grh;
+        cost += stream_cap(node_->llc().dma_write(store_addr, pkt.length), pkt.length,
+                           params_);
+        do_store = true;
+      }
+      push_recv_cqe = true;
+      recv_byte_len = pkt.length + grh;
+      break;
+    }
+    case Opcode::kRead: {
+      MemoryRegion* mr = node_->find_mr_by_rkey(pkt.rkey, pkt.remote_addr, pkt.length);
+      if (mr == nullptr) {
+        status = WcStatus::kRemoteAccessError;
+        break;
+      }
+      cost += stream_cap(node_->llc().dma_read(pkt.remote_addr, pkt.length),
+                         pkt.length, params_);
+      read_payload.resize(pkt.length);
+      node_->memory().load(pkt.remote_addr, read_payload);
+      break;
+    }
+    case Opcode::kCompSwap:
+    case Opcode::kFetchAdd: {
+      MemoryRegion* mr = node_->find_mr_by_rkey(pkt.rkey, pkt.remote_addr, 8);
+      if (mr == nullptr) {
+        status = WcStatus::kRemoteAccessError;
+        break;
+      }
+      cost += params_.nic_atomic_extra_ns;
+      cost += node_->llc().dma_read(pkt.remote_addr, 8);
+      atomic_old = node_->memory().load_pod<uint64_t>(pkt.remote_addr);
+      uint64_t new_value = atomic_old;
+      if (pkt.opcode == Opcode::kCompSwap) {
+        if (atomic_old == pkt.atomic_compare) {
+          new_value = pkt.atomic_swap_or_add;
+        }
+      } else {
+        new_value = atomic_old + pkt.atomic_swap_or_add;
+      }
+      cost += node_->llc().dma_write(pkt.remote_addr, 8);
+      node_->memory().store_pod(pkt.remote_addr, new_value);
+      break;
+    }
+  }
+
+  co_await loop_.delay(cost);
+
+  if (do_store && status == WcStatus::kSuccess) {
+    node_->memory().dma_store(store_addr, pkt.payload);
+  }
+  if (push_recv_cqe) {
+    Completion c;
+    c.wr_id = rwr.wr_id;
+    c.status = status;
+    c.opcode = pkt.opcode;
+    c.is_recv = true;
+    c.byte_len = recv_byte_len;
+    c.has_imm = pkt.has_imm;
+    c.imm = pkt.imm;
+    c.src_node = pkt.src_node;
+    c.src_qpn = pkt.src_qpn;
+    c.qpn = qp->qpn();
+    qp->recv_cq()->push(c);
+  }
+  recv_units_.release();
+
+  // Reliable transports acknowledge; reads/atomics respond with data.
+  if (pkt.transport == QpType::kRC) {
+    if (pkt.opcode == Opcode::kRead || pkt.opcode == Opcode::kCompSwap ||
+        pkt.opcode == Opcode::kFetchAdd) {
+      Packet resp;
+      resp.kind = pkt.opcode == Opcode::kRead ? Packet::Kind::kReadResponse
+                                              : Packet::Kind::kAtomicResponse;
+      resp.opcode = pkt.opcode;
+      resp.status = status;
+      resp.src_node = node_->id();
+      resp.src_qpn = pkt.dst_qpn;
+      resp.dst_node = pkt.src_node;
+      resp.dst_qpn = pkt.src_qpn;
+      resp.wr_id = pkt.wr_id;
+      resp.signaled = pkt.signaled;
+      resp.resp_local_addr = pkt.resp_local_addr;
+      resp.payload = std::move(read_payload);
+      resp.atomic_old = atomic_old;
+      const auto resp_bytes = static_cast<uint32_t>(resp.payload.size());
+      co_await loop_.delay(params_.rc_ack_latency_ns);
+      co_await tx_port_.use(params_.wire_time(resp_bytes));
+      counters_.bytes_tx += resp_bytes + params_.packet_header_bytes;
+      node_->cluster()->route(std::move(resp));
+    } else {
+      Packet ack;
+      ack.kind = status == WcStatus::kSuccess ? Packet::Kind::kAck : Packet::Kind::kNak;
+      ack.opcode = pkt.opcode;
+      ack.status = status;
+      ack.src_node = node_->id();
+      ack.src_qpn = pkt.dst_qpn;
+      ack.dst_node = pkt.src_node;
+      ack.dst_qpn = pkt.src_qpn;
+      ack.wr_id = pkt.wr_id;
+      ack.signaled = pkt.signaled;
+      ack.length = pkt.length;
+      counters_.acks_sent++;
+      co_await loop_.delay(params_.rc_ack_latency_ns);
+      node_->cluster()->route(std::move(ack));
+    }
+  }
+}
+
+}  // namespace scalerpc::simrdma

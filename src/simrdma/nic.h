@@ -1,0 +1,61 @@
+// NIC model: send pipeline (WQE processing with the NIC-cache effects that
+// kill outbound scalability), inbound pipeline (DDIO writes, recv-WQE
+// consumption, read/atomic responding), and a serializing TX port.
+#ifndef SRC_SIMRDMA_NIC_H_
+#define SRC_SIMRDMA_NIC_H_
+
+#include "src/sim/event_loop.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/simrdma/counters.h"
+#include "src/simrdma/nic_cache.h"
+#include "src/simrdma/params.h"
+#include "src/simrdma/verbs.h"
+
+namespace scalerpc::simrdma {
+
+class Node;
+
+class Nic {
+ public:
+  Nic(sim::EventLoop& loop, Node* node, const SimParams& params);
+
+  // Entry from QueuePair::post_send (after the doorbell cost).
+  void submit_send(QueuePair* qp, SendWr wr);
+
+  // Entry from the fabric when a packet arrives.
+  void deliver(Packet pkt);
+
+  const NicCounters& counters() const { return counters_; }
+  NicCache& qp_cache() { return qp_cache_; }
+  const NicCache& qp_cache() const { return qp_cache_; }
+  NicCache& wqe_cache() { return wqe_cache_; }
+  const NicCache& wqe_cache() const { return wqe_cache_; }
+
+ private:
+  sim::Task<void> send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key);
+  sim::Task<void> inbound_path(Packet pkt);
+
+  // Charges NIC-cache lookups for an outbound WQE on `qp`; returns the added
+  // processing cost and bumps PCIe-read counters on misses.
+  Nanos charge_connection_state(QueuePair* qp, uint64_t wqe_key);
+
+  void complete_send(QueuePair* qp, const SendWr& wr, WcStatus status,
+                     uint64_t atomic_old = 0);
+  void send_packet_now(Packet pkt, uint32_t wire_payload_bytes);
+
+  sim::EventLoop& loop_;
+  Node* node_;
+  const SimParams& params_;
+  NicCache qp_cache_;
+  NicCache wqe_cache_;
+  sim::Semaphore send_units_;
+  sim::Semaphore recv_units_;
+  sim::FifoResource tx_port_;
+  NicCounters counters_;
+  uint64_t next_wqe_id_ = 1;
+};
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_NIC_H_

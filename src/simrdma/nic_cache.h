@@ -1,0 +1,118 @@
+// NIC on-chip cache model (QP connection state + send-queue/WQE entries).
+//
+// ConnectX-class NICs keep per-connection state (QP context, WQE/ICM
+// entries) in a small on-die cache; once the working set of active
+// connections outgrows it, every verb pays PCIe round trips to refetch the
+// evicted state from host memory — the paper's root cause for outbound
+// collapse (Section 2.3). Modeled as a single LRU over opaque keys; the NIC
+// charges one PCIe read per miss.
+#ifndef SRC_SIMRDMA_NIC_CACHE_H_
+#define SRC_SIMRDMA_NIC_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace scalerpc::simrdma {
+
+class NicCache {
+ public:
+  explicit NicCache(size_t capacity) : capacity_(capacity) {
+    SCALERPC_CHECK(capacity > 0);
+  }
+
+  // Looks up `key`, inserting it (and evicting the LRU entry if full) on a
+  // miss. Returns true on hit.
+  bool access(uint64_t key) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      hits_++;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return true;
+    }
+    misses_++;
+    if (map_.size() >= capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      evictions_++;
+    }
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+    return false;
+  }
+
+  // Inserts/refreshes `key` without hit/miss accounting or (modeled) miss
+  // cost. Used for responder-side context touches: inbound traffic occupies
+  // cache space — evicting requester state — but its own misses are cheap
+  // and overlapped (the paper's inbound verbs stay flat while bidirectional
+  // RC traffic collapses). Returns true if the key was already present.
+  bool touch_insert(uint64_t key) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return true;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+      evictions_++;
+    }
+    lru_.push_front(key);
+    map_[key] = lru_.begin();
+    return false;
+  }
+
+  // One-shot consume: if `key` is still resident it is removed (the WQE is
+  // executed straight from the cache) and true is returned; otherwise a
+  // miss is recorded and the caller pays the refetch. Models WQE-cache
+  // entries that are prefetched at post time but may be evicted before the
+  // NIC gets to execute them.
+  bool consume(uint64_t key) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      misses_++;
+      return false;
+    }
+    hits_++;
+    lru_.erase(it->second);
+    map_.erase(it);
+    return true;
+  }
+
+  bool contains(uint64_t key) const { return map_.count(key) != 0; }
+
+  // Invalidates an entry (e.g. QP destroyed).
+  void invalidate(uint64_t key) {
+    auto it = map_.find(key);
+    if (it != map_.end()) {
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+  }
+
+  void clear() {
+    lru_.clear();
+    map_.clear();
+  }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+
+ private:
+  size_t capacity_;
+  std::list<uint64_t> lru_;  // MRU at front
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_NIC_CACHE_H_

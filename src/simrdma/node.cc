@@ -1,0 +1,80 @@
+#include "src/simrdma/node.h"
+
+#include "src/simrdma/cluster.h"
+#include "src/simrdma/nic.h"
+
+namespace scalerpc::simrdma {
+
+Node::Node(Cluster* cluster, int id, std::string name, const SimParams& params)
+    : cluster_(cluster),
+      id_(id),
+      name_(std::move(name)),
+      params_(params),
+      memory_(params.host_memory_bytes),
+      llc_(params),
+      nic_(std::make_unique<Nic>(cluster->loop(), this, params)) {}
+
+Node::~Node() = default;
+
+sim::EventLoop& Node::loop() const { return cluster_->loop(); }
+
+uint64_t Node::alloc(uint64_t len, uint64_t align) {
+  bump_ = align_up(bump_, align);
+  const uint64_t addr = memory_.base() + bump_;
+  bump_ += len;
+  SCALERPC_CHECK_MSG(bump_ <= memory_.size(), "node memory arena exhausted");
+  return addr;
+}
+
+MemoryRegion* Node::register_mr(uint64_t addr, uint64_t len) {
+  SCALERPC_CHECK(memory_.contains(addr, len));
+  auto mr = std::make_unique<MemoryRegion>();
+  mr->lkey = next_key_++;
+  mr->rkey = next_key_++;
+  mr->addr = addr;
+  mr->length = len;
+  mrs_.push_back(std::move(mr));
+  return mrs_.back().get();
+}
+
+MemoryRegion* Node::find_mr_by_rkey(uint32_t rkey, uint64_t addr, uint64_t len) {
+  for (auto& mr : mrs_) {
+    if (mr->rkey == rkey && mr->covers(addr, len)) {
+      return mr.get();
+    }
+  }
+  return nullptr;
+}
+
+MemoryRegion* Node::arena_mr() {
+  if (arena_mr_ == nullptr) {
+    arena_mr_ = register_mr(memory_.base(), memory_.size());
+  }
+  return arena_mr_;
+}
+
+CompletionQueue* Node::create_cq() {
+  cqs_.push_back(std::make_unique<CompletionQueue>(loop(), params_.cq_poll_ns));
+  return cqs_.back().get();
+}
+
+QueuePair* Node::create_qp(QpType type, CompletionQueue* send_cq,
+                           CompletionQueue* recv_cq) {
+  const uint32_t qpn = next_qpn_++;
+  auto qp = std::make_unique<QueuePair>(this, type, qpn, send_cq, recv_cq);
+  QueuePair* raw = qp.get();
+  qps_.emplace(qpn, std::move(qp));
+  return raw;
+}
+
+QueuePair* Node::find_qp(uint32_t qpn) {
+  auto it = qps_.find(qpn);
+  return it == qps_.end() ? nullptr : it->second.get();
+}
+
+Nanos Node::local_time() const {
+  const double t = static_cast<double>(loop().now());
+  return clock_offset_ + static_cast<Nanos>(t * (1.0 + clock_drift_ppm_ * 1e-6));
+}
+
+}  // namespace scalerpc::simrdma

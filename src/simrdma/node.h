@@ -1,0 +1,103 @@
+// A simulated host: memory arena, LLC (with DDIO), local clock, NIC, and
+// factories for verbs objects (MRs, CQs, QPs).
+#ifndef SRC_SIMRDMA_NODE_H_
+#define SRC_SIMRDMA_NODE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/simrdma/counters.h"
+#include "src/simrdma/llc.h"
+#include "src/simrdma/memory.h"
+#include "src/simrdma/params.h"
+#include "src/simrdma/verbs.h"
+
+namespace scalerpc::simrdma {
+
+class Cluster;
+class Nic;
+
+class Node {
+ public:
+  Node(Cluster* cluster, int id, std::string name, const SimParams& params);
+  ~Node();
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int id() const { return id_; }
+  const std::string& name() const { return name_; }
+  Cluster* cluster() { return cluster_; }
+  sim::EventLoop& loop() const;
+
+  HostMemory& memory() { return memory_; }
+  LastLevelCache& llc() { return llc_; }
+  Nic& nic() { return *nic_; }
+  const SimParams& params() const { return params_; }
+
+  // PCM-visible counters for this socket (LLC events + NIC state fetches).
+  const PcmCounters& pcm() const { return llc_.pcm(); }
+  // NIC-state refetch reads are PCIe reads too but bypass the LLC model;
+  // they are accumulated here and added by pcm_total().
+  uint64_t extra_pcie_reads() const { return extra_pcie_reads_; }
+  void count_pcie_read() { extra_pcie_reads_++; }
+  PcmCounters pcm_total() const {
+    PcmCounters c = llc_.pcm();
+    c.pcie_rd_cur += extra_pcie_reads_;
+    return c;
+  }
+
+  // --- Memory management ---
+  // Bump-allocates `len` bytes (cache-line aligned by default).
+  uint64_t alloc(uint64_t len, uint64_t align = kCacheLineSize);
+  MemoryRegion* register_mr(uint64_t addr, uint64_t len);
+  MemoryRegion* find_mr_by_rkey(uint32_t rkey, uint64_t addr, uint64_t len);
+  // Whole-arena MR, registered lazily. Data-path code uses this (the paper's
+  // systems register huge pages once); explicit MRs remain for tests.
+  MemoryRegion* arena_mr();
+
+  // --- CPU-side memory access with LLC-modeled cost ---
+  // Returns the cost; caller charges it with co_await loop.delay(cost).
+  Nanos read_cost(uint64_t addr, uint32_t len) { return llc_.cpu_read(addr, len); }
+  Nanos write_cost(uint64_t addr, uint32_t len) { return llc_.cpu_write(addr, len); }
+
+  // --- Verbs factories ---
+  CompletionQueue* create_cq();
+  QueuePair* create_qp(QpType type, CompletionQueue* send_cq, CompletionQueue* recv_cq);
+  QueuePair* find_qp(uint32_t qpn);
+
+  // --- Local clock (offset + drift vs simulated global time) ---
+  void set_clock(Nanos offset, double drift_ppm) {
+    clock_offset_ = offset;
+    clock_drift_ppm_ = drift_ppm;
+  }
+  Nanos local_time() const;
+  Nanos clock_offset() const { return clock_offset_; }
+  double clock_drift_ppm() const { return clock_drift_ppm_; }
+
+ private:
+  Cluster* cluster_;
+  int id_;
+  std::string name_;
+  const SimParams& params_;
+  HostMemory memory_;
+  LastLevelCache llc_;
+  std::unique_ptr<Nic> nic_;
+  uint64_t bump_ = 0;
+  uint64_t extra_pcie_reads_ = 0;
+  uint32_t next_key_ = 1;
+  uint32_t next_qpn_ = 1;
+  MemoryRegion* arena_mr_ = nullptr;
+  std::vector<std::unique_ptr<MemoryRegion>> mrs_;
+  std::vector<std::unique_ptr<CompletionQueue>> cqs_;
+  std::unordered_map<uint32_t, std::unique_ptr<QueuePair>> qps_;
+  Nanos clock_offset_ = 0;
+  double clock_drift_ppm_ = 0.0;
+};
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_NODE_H_

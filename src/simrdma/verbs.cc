@@ -1,0 +1,81 @@
+#include "src/simrdma/verbs.h"
+
+#include "src/simrdma/nic.h"
+#include "src/simrdma/node.h"
+
+namespace scalerpc::simrdma {
+
+const char* to_string(QpType t) {
+  switch (t) {
+    case QpType::kRC:
+      return "RC";
+    case QpType::kUC:
+      return "UC";
+    case QpType::kUD:
+      return "UD";
+  }
+  return "?";
+}
+
+const char* to_string(Opcode op) {
+  switch (op) {
+    case Opcode::kWrite:
+      return "WRITE";
+    case Opcode::kWriteImm:
+      return "WRITE_IMM";
+    case Opcode::kRead:
+      return "READ";
+    case Opcode::kSend:
+      return "SEND";
+    case Opcode::kCompSwap:
+      return "CMP_SWAP";
+    case Opcode::kFetchAdd:
+      return "FETCH_ADD";
+  }
+  return "?";
+}
+
+const char* to_string(WcStatus s) {
+  switch (s) {
+    case WcStatus::kSuccess:
+      return "SUCCESS";
+    case WcStatus::kRemoteAccessError:
+      return "REMOTE_ACCESS_ERROR";
+    case WcStatus::kRetryExceeded:
+      return "RETRY_EXCEEDED";
+  }
+  return "?";
+}
+
+sim::Task<void> QueuePair::post_send(SendWr wr) {
+  const SimParams& p = node_->params();
+  // Transport capability matrix (paper Table 1).
+  switch (type_) {
+    case QpType::kRC:
+      SCALERPC_CHECK(connected());
+      break;
+    case QpType::kUC:
+      SCALERPC_CHECK(connected());
+      SCALERPC_CHECK_MSG(wr.opcode != Opcode::kRead && wr.opcode != Opcode::kCompSwap &&
+                             wr.opcode != Opcode::kFetchAdd,
+                         "UC does not support read/atomics");
+      break;
+    case QpType::kUD:
+      SCALERPC_CHECK_MSG(wr.opcode == Opcode::kSend, "UD supports only send/recv");
+      SCALERPC_CHECK_MSG(wr.length <= p.ud_mtu_bytes, "UD MTU is 4KB");
+      SCALERPC_CHECK(wr.dest_node >= 0);
+      break;
+  }
+  if (wr.inline_data) {
+    SCALERPC_CHECK_MSG(wr.length <= p.max_inline_bytes, "payload exceeds max_inline");
+  }
+  co_await node_->loop().delay(p.mmio_doorbell_ns);
+  node_->nic().submit_send(this, wr);
+}
+
+sim::Task<void> QueuePair::post_recv(RecvWr wr) {
+  co_await node_->loop().delay(node_->params().post_recv_ns);
+  recv_queue_.push_back(wr);
+}
+
+}  // namespace scalerpc::simrdma

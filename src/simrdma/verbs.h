@@ -1,0 +1,211 @@
+// ibverbs-like API surface for the simulated fabric.
+//
+// Mirrors the subset of verbs the paper uses (Table 1): RC supports
+// send/recv, write, write_imm, read and atomics; UC drops read/atomics; UD
+// supports only send/recv with a 4 KB MTU and a 40 B GRH prepended at the
+// receiver. Completion queues are polled (with a modeled CPU cost per poll
+// round) or awaited.
+#ifndef SRC_SIMRDMA_VERBS_H_
+#define SRC_SIMRDMA_VERBS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/sync.h"
+#include "src/sim/task.h"
+#include "src/simrdma/params.h"
+
+namespace scalerpc::simrdma {
+
+class Node;
+class Nic;
+
+enum class QpType : uint8_t { kRC, kUC, kUD };
+
+enum class Opcode : uint8_t {
+  kWrite,
+  kWriteImm,
+  kRead,
+  kSend,
+  kCompSwap,
+  kFetchAdd,
+};
+
+enum class WcStatus : uint8_t {
+  kSuccess,
+  kRemoteAccessError,
+  kRetryExceeded,
+};
+
+const char* to_string(QpType t);
+const char* to_string(Opcode op);
+const char* to_string(WcStatus s);
+
+// Send work request (ibv_send_wr analogue).
+struct SendWr {
+  uint64_t wr_id = 0;
+  Opcode opcode = Opcode::kWrite;
+  uint64_t local_addr = 0;  // gather source (or scatter target for kRead)
+  uint32_t length = 0;
+  uint64_t remote_addr = 0;  // one-sided target
+  uint32_t rkey = 0;
+  uint32_t imm = 0;
+  bool signaled = true;
+  bool inline_data = false;  // payload rides in the WQE (<= max_inline)
+  // UD addressing (ah analogue); ignored for connected QPs.
+  int dest_node = -1;
+  uint32_t dest_qpn = 0;
+  // Atomics.
+  uint64_t compare = 0;
+  uint64_t swap_or_add = 0;
+};
+
+// Receive work request.
+struct RecvWr {
+  uint64_t wr_id = 0;
+  uint64_t addr = 0;
+  uint32_t length = 0;
+};
+
+// Work completion (ibv_wc analogue).
+struct Completion {
+  uint64_t wr_id = 0;
+  WcStatus status = WcStatus::kSuccess;
+  Opcode opcode = Opcode::kWrite;
+  bool is_recv = false;
+  uint32_t byte_len = 0;
+  bool has_imm = false;
+  uint32_t imm = 0;
+  int src_node = -1;     // recv-side: originating node
+  uint32_t src_qpn = 0;  // recv-side: originating QP
+  uint32_t qpn = 0;      // local QP this completion belongs to
+  uint64_t atomic_old = 0;  // original value for atomics
+};
+
+// On-the-wire unit. One packet per verb (message-level model; segmentation
+// below MTU is folded into serialization time).
+struct Packet {
+  enum class Kind : uint8_t { kRequest, kAck, kNak, kReadResponse, kAtomicResponse };
+
+  Kind kind = Kind::kRequest;
+  QpType transport = QpType::kRC;
+  Opcode opcode = Opcode::kWrite;
+  int src_node = -1;
+  uint32_t src_qpn = 0;
+  int dst_node = -1;
+  uint32_t dst_qpn = 0;
+  uint64_t wr_id = 0;  // echoed in acks/responses for completion matching
+  uint64_t remote_addr = 0;
+  uint32_t rkey = 0;
+  uint32_t length = 0;
+  uint32_t imm = 0;
+  bool has_imm = false;
+  bool signaled = true;
+  uint64_t resp_local_addr = 0;  // requester-side scatter target (reads)
+  std::vector<uint8_t> payload;
+  WcStatus status = WcStatus::kSuccess;
+  uint64_t atomic_compare = 0;
+  uint64_t atomic_swap_or_add = 0;
+  uint64_t atomic_old = 0;
+};
+
+class CompletionQueue {
+ public:
+  CompletionQueue(sim::EventLoop& loop, Nanos poll_cost)
+      : loop_(loop), poll_cost_(poll_cost), ready_(loop) {}
+
+  void push(const Completion& c) {
+    entries_.push_back(c);
+    ready_.notify();
+  }
+
+  // Non-blocking poll (ibv_poll_cq). Does not charge CPU cost — callers
+  // model that themselves if they busy-poll.
+  size_t poll(size_t max, std::vector<Completion>* out) {
+    size_t n = 0;
+    while (n < max && !entries_.empty()) {
+      out->push_back(entries_.front());
+      entries_.pop_front();
+      ++n;
+    }
+    return n;
+  }
+
+  // Blocking pop: charges one poll-round cost per wakeup, parks between.
+  sim::Task<Completion> next() {
+    for (;;) {
+      co_await loop_.delay(poll_cost_);
+      if (!entries_.empty()) {
+        Completion c = entries_.front();
+        entries_.pop_front();
+        co_return c;
+      }
+      co_await ready_.wait();
+    }
+  }
+
+  size_t depth() const { return entries_.size(); }
+  sim::EventLoop& loop() { return loop_; }
+
+ private:
+  sim::EventLoop& loop_;
+  Nanos poll_cost_;
+  sim::Notification ready_;
+  std::deque<Completion> entries_;
+};
+
+class QueuePair {
+ public:
+  QueuePair(Node* node, QpType type, uint32_t qpn, CompletionQueue* send_cq,
+            CompletionQueue* recv_cq)
+      : node_(node), type_(type), qpn_(qpn), send_cq_(send_cq), recv_cq_(recv_cq) {}
+
+  QpType type() const { return type_; }
+  uint32_t qpn() const { return qpn_; }
+  Node* node() const { return node_; }
+  CompletionQueue* send_cq() const { return send_cq_; }
+  CompletionQueue* recv_cq() const { return recv_cq_; }
+
+  bool connected() const { return peer_node_ >= 0; }
+  int peer_node() const { return peer_node_; }
+  uint32_t peer_qpn() const { return peer_qpn_; }
+  void set_peer(int node, uint32_t qpn) {
+    peer_node_ = node;
+    peer_qpn_ = qpn;
+  }
+
+  // Posts a send WQE: charges the caller the MMIO doorbell cost and hands
+  // the WQE to the NIC pipeline. Returns after the doorbell (verbs are
+  // asynchronous; completion arrives on send_cq if signaled).
+  sim::Task<void> post_send(SendWr wr);
+
+  // Posts a receive descriptor (charges descriptor-write cost).
+  sim::Task<void> post_recv(RecvWr wr);
+  // Cost-free variant for bulk pre-population during setup.
+  void post_recv_immediate(RecvWr wr) { recv_queue_.push_back(wr); }
+
+  bool has_recv() const { return !recv_queue_.empty(); }
+  size_t recv_depth() const { return recv_queue_.size(); }
+  RecvWr pop_recv() {
+    RecvWr wr = recv_queue_.front();
+    recv_queue_.pop_front();
+    return wr;
+  }
+
+ private:
+  Node* node_;
+  QpType type_;
+  uint32_t qpn_;
+  CompletionQueue* send_cq_;
+  CompletionQueue* recv_cq_;
+  int peer_node_ = -1;
+  uint32_t peer_qpn_ = 0;
+  std::deque<RecvWr> recv_queue_;
+};
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_VERBS_H_

@@ -1,0 +1,330 @@
+#include "src/txn/coordinator.h"
+
+#include <algorithm>
+
+namespace scalerpc::txn {
+
+namespace {
+constexpr uint8_t kTxExecOp = 10;
+constexpr uint8_t kTxValidateOp = 11;
+constexpr uint8_t kTxLogOp = 12;
+constexpr uint8_t kTxCommitRpcOp = 13;
+constexpr uint8_t kTxAbortOp = 14;
+
+struct Join {
+  explicit Join(sim::EventLoop& loop, int parties) : remaining(parties), done(loop) {}
+  int remaining;
+  sim::Event done;
+};
+
+sim::Task<void> flush_one(rpc::RpcClient* client, std::vector<rpc::Bytes>* out,
+                          Join* join) {
+  *out = co_await client->flush();
+  if (--join->remaining == 0) {
+    join->done.set();
+  }
+}
+
+}  // namespace
+
+Coordinator::Coordinator(simrdma::Node* node, std::vector<rpc::RpcClient*> rpc_clients,
+                         std::vector<core::ScaleRpcClient*> raw_clients,
+                         uint32_t value_bytes)
+    : node_(node),
+      rpc_clients_(std::move(rpc_clients)),
+      raw_clients_(std::move(raw_clients)),
+      value_bytes_(value_bytes),
+      scratch_(node->alloc(KiB(16), 4096)) {
+  SCALERPC_CHECK(!rpc_clients_.empty());
+  SCALERPC_CHECK(raw_clients_.empty() || raw_clients_.size() == rpc_clients_.size());
+}
+
+sim::Task<bool> Coordinator::flush_involved(
+    const std::vector<int>& shards, std::vector<std::vector<rpc::Bytes>>* responses) {
+  responses->assign(rpc_clients_.size(), {});
+  Join join(node_->loop(), static_cast<int>(shards.size()));
+  for (int s : shards) {
+    sim::spawn(node_->loop(),
+               flush_one(rpc_clients_[static_cast<size_t>(s)],
+                         &(*responses)[static_cast<size_t>(s)], &join));
+  }
+  co_await join.done.wait();
+  co_return true;
+}
+
+sim::Task<void> Coordinator::abort_locks(const std::vector<KeyInfo>& writes) {
+  std::vector<std::vector<uint64_t>> per_shard(rpc_clients_.size());
+  for (const auto& k : writes) {
+    per_shard[static_cast<size_t>(k.shard)].push_back(k.key);
+  }
+  std::vector<int> involved;
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    if (per_shard[s].empty()) {
+      continue;
+    }
+    Writer w;
+    w.u16(static_cast<uint16_t>(per_shard[s].size()));
+    for (uint64_t key : per_shard[s]) {
+      w.u64(key);
+    }
+    rpc_clients_[s]->stage(kTxAbortOp, w.take());
+    involved.push_back(static_cast<int>(s));
+  }
+  if (!involved.empty()) {
+    std::vector<std::vector<rpc::Bytes>> responses;
+    co_await flush_involved(involved, &responses);
+  }
+}
+
+sim::Task<TxnOutcome> Coordinator::execute(const TxnRequest& txn) {
+  const uint32_t txn_id = next_txn_id_++ * 131 + 7;  // nonzero lock owner tag
+
+  std::vector<KeyInfo> reads;
+  std::vector<KeyInfo> writes;
+  for (uint64_t key : txn.read_set) {
+    reads.push_back(KeyInfo{key, shard_of(key), false, 0, 0, {}});
+  }
+  for (const auto& [key, value] : txn.write_set) {
+    KeyInfo info{key, shard_of(key), false, 0, 0, value};
+    writes.push_back(std::move(info));
+  }
+  // Lock in globally sorted key order for deadlock freedom.
+  std::sort(writes.begin(), writes.end(),
+            [](const KeyInfo& a, const KeyInfo& b) { return a.key < b.key; });
+
+  // --- Phase 1: execution (lock write set, read everything) ---
+  std::vector<std::vector<const KeyInfo*>> shard_reads(rpc_clients_.size());
+  std::vector<std::vector<KeyInfo*>> shard_writes(rpc_clients_.size());
+  for (auto& k : reads) {
+    shard_reads[static_cast<size_t>(k.shard)].push_back(&k);
+  }
+  for (auto& k : writes) {
+    shard_writes[static_cast<size_t>(k.shard)].push_back(&k);
+  }
+  std::vector<int> involved;
+  for (size_t s = 0; s < rpc_clients_.size(); ++s) {
+    if (shard_reads[s].empty() && shard_writes[s].empty()) {
+      continue;
+    }
+    Writer w;
+    w.u32(txn_id);
+    w.u16(static_cast<uint16_t>(shard_reads[s].size()));
+    for (const auto* k : shard_reads[s]) {
+      w.u64(k->key);
+    }
+    w.u16(static_cast<uint16_t>(shard_writes[s].size()));
+    for (const auto* k : shard_writes[s]) {
+      w.u64(k->key);
+    }
+    rpc_clients_[s]->stage(kTxExecOp, w.take());
+    involved.push_back(static_cast<int>(s));
+  }
+  SCALERPC_CHECK(!involved.empty());
+
+  std::vector<std::vector<rpc::Bytes>> responses;
+  co_await flush_involved(involved, &responses);
+
+  bool lock_ok = true;
+  std::vector<int> locked_shards;
+  for (int s : involved) {
+    const auto& resp = responses[static_cast<size_t>(s)];
+    SCALERPC_CHECK(resp.size() == 1);
+    Reader r(resp[0]);
+    if (r.u8() == 0) {
+      lock_ok = false;
+      continue;
+    }
+    if (!shard_writes[static_cast<size_t>(s)].empty()) {
+      locked_shards.push_back(s);
+    }
+    auto parse_key = [&r](KeyInfo* k) {
+      k->found = r.u8() != 0;
+      if (k->found) {
+        k->version = r.u32();
+        k->addr = r.u64();
+        k->observed = r.bytes();
+        if (k->value.empty()) {
+          k->value = k->observed;  // reads keep the observed value
+        }
+      }
+    };
+    for (const auto* k : shard_reads[static_cast<size_t>(s)]) {
+      parse_key(const_cast<KeyInfo*>(k));
+    }
+    for (auto* k : shard_writes[static_cast<size_t>(s)]) {
+      parse_key(k);
+    }
+  }
+  if (!lock_ok) {
+    stats_.lock_failures++;
+    stats_.aborts++;
+    // Release locks on shards that did acquire them.
+    std::vector<KeyInfo> to_unlock;
+    for (int s : locked_shards) {
+      for (auto* k : shard_writes[static_cast<size_t>(s)]) {
+        to_unlock.push_back(*k);
+      }
+    }
+    co_await abort_locks(to_unlock);
+    co_return TxnOutcome{false, txn.write_set.empty()};
+  }
+  for (const auto& k : reads) {
+    SCALERPC_CHECK_MSG(k.found, "transaction key missing from store");
+  }
+  for (const auto& k : writes) {
+    SCALERPC_CHECK_MSG(k.found, "transaction key missing from store");
+  }
+
+  // Application logic: derive write values from the observed values (the
+  // write set is locked, so these observations are stable through commit).
+  if (txn.compute) {
+    TxnRequest::Observed observed;
+    for (const auto& k : reads) {
+      observed.emplace_back(k.key, k.observed);
+    }
+    for (const auto& k : writes) {
+      observed.emplace_back(k.key, k.observed);
+    }
+    std::vector<std::pair<uint64_t, rpc::Bytes>> new_writes;
+    txn.compute(observed, &new_writes);
+    for (const auto& [key, value] : new_writes) {
+      for (auto& k : writes) {
+        if (k.key == key) {
+          k.value = value;
+        }
+      }
+    }
+  }
+
+  // --- Phase 2: validation of the read set ---
+  bool valid = true;
+  if (!reads.empty()) {
+    if (one_sided()) {
+      // One-sided 8-byte reads of each read item's {lock, version} header.
+      std::vector<int> posted_per_shard(rpc_clients_.size(), 0);
+      uint64_t land = scratch_;
+      for (const auto& k : reads) {
+        simrdma::SendWr wr;
+        wr.opcode = simrdma::Opcode::kRead;
+        wr.local_addr = land;
+        wr.length = 8;
+        wr.remote_addr = k.addr;
+        wr.rkey = raw_clients_[static_cast<size_t>(k.shard)]->server_rkey();
+        wr.signaled = true;
+        co_await raw_clients_[static_cast<size_t>(k.shard)]->post_raw(wr);
+        posted_per_shard[static_cast<size_t>(k.shard)]++;
+        land += 16;
+      }
+      for (size_t s = 0; s < posted_per_shard.size(); ++s) {
+        for (int i = 0; i < posted_per_shard[s]; ++i) {
+          const simrdma::Completion c = co_await raw_clients_[s]->raw_completion();
+          SCALERPC_CHECK(c.status == simrdma::WcStatus::kSuccess);
+        }
+      }
+      land = scratch_;
+      for (const auto& k : reads) {
+        const auto lock = node_->memory().load_pod<uint32_t>(land);
+        const auto version = node_->memory().load_pod<uint32_t>(land + 4);
+        if ((lock != 0 && lock != txn_id) || version != k.version) {
+          valid = false;
+        }
+        land += 16;
+      }
+    } else {
+      std::vector<int> vshards;
+      for (size_t s = 0; s < rpc_clients_.size(); ++s) {
+        if (shard_reads[s].empty()) {
+          continue;
+        }
+        Writer w;
+        w.u16(static_cast<uint16_t>(shard_reads[s].size()));
+        for (const auto* k : shard_reads[s]) {
+          w.u64(k->key);
+        }
+        rpc_clients_[s]->stage(kTxValidateOp, w.take());
+        vshards.push_back(static_cast<int>(s));
+      }
+      co_await flush_involved(vshards, &responses);
+      for (int s : vshards) {
+        Reader r(responses[static_cast<size_t>(s)][0]);
+        for (const auto* k : shard_reads[static_cast<size_t>(s)]) {
+          const uint32_t lock = r.u32();
+          const uint32_t version = r.u32();
+          if ((lock != 0 && lock != txn_id) || version != k->version) {
+            valid = false;
+          }
+        }
+      }
+    }
+  }
+  if (!valid) {
+    stats_.validation_failures++;
+    stats_.aborts++;
+    co_await abort_locks(writes);
+    co_return TxnOutcome{false, txn.write_set.empty()};
+  }
+  if (writes.empty()) {
+    stats_.commits++;
+    co_return TxnOutcome{true, true};
+  }
+
+  // --- Phase 3: log, then commit ---
+  std::vector<int> wshards;
+  for (size_t s = 0; s < rpc_clients_.size(); ++s) {
+    if (shard_writes[s].empty()) {
+      continue;
+    }
+    Writer w;
+    w.u32(txn_id);
+    for (const auto* k : shard_writes[s]) {
+      w.u64(k->key);
+      w.bytes(k->value);
+    }
+    rpc_clients_[s]->stage(kTxLogOp, w.take());
+    wshards.push_back(static_cast<int>(s));
+  }
+  co_await flush_involved(wshards, &responses);
+
+  if (one_sided()) {
+    // One-sided commit: a single RDMA write per item covering
+    // {lock=0, version+1, value}, fire-and-forget (paper: "only needs to
+    // post write verbs without waiting for the feedback messages").
+    uint64_t src = scratch_ + KiB(4);
+    for (const auto& k : writes) {
+      auto& mem = node_->memory();
+      mem.store_pod<uint32_t>(src, 0);              // lock released
+      mem.store_pod<uint32_t>(src + 4, k.version + 1);
+      mem.store(src + 8, k.value);
+      simrdma::SendWr wr;
+      wr.opcode = simrdma::Opcode::kWrite;
+      wr.local_addr = src;
+      wr.length = 8 + static_cast<uint32_t>(k.value.size());
+      wr.remote_addr = k.addr;
+      wr.rkey = raw_clients_[static_cast<size_t>(k.shard)]->server_rkey();
+      wr.signaled = false;
+      co_await raw_clients_[static_cast<size_t>(k.shard)]->post_raw(wr);
+      src += align_up(8 + value_bytes_, 64);
+    }
+  } else {
+    std::vector<int> cshards;
+    for (size_t s = 0; s < rpc_clients_.size(); ++s) {
+      if (shard_writes[s].empty()) {
+        continue;
+      }
+      Writer w;
+      w.u16(static_cast<uint16_t>(shard_writes[s].size()));
+      for (const auto* k : shard_writes[s]) {
+        w.u64(k->key);
+        w.bytes(k->value);
+      }
+      rpc_clients_[s]->stage(kTxCommitRpcOp, w.take());
+      cshards.push_back(static_cast<int>(s));
+    }
+    co_await flush_involved(cshards, &responses);
+  }
+
+  stats_.commits++;
+  co_return TxnOutcome{true, false};
+}
+
+}  // namespace scalerpc::txn

@@ -1,0 +1,94 @@
+// ScaleTX coordinator (paper Section 4.2, Fig. 15): optimistic concurrency
+// control with two-phase commit across sharded participants.
+//
+// Phases:
+//  1. Execution — one kTxExec RPC per involved participant: locks the write
+//     set, returns values + versions + item addresses for both sets.
+//  2. Validation — re-checks read-set versions. ScaleTX posts one-sided
+//     RDMA reads of the 8-byte {lock, version} headers; ScaleTX-O (and the
+//     baseline transports) use kTxValidate RPCs.
+//  3. Log + Commit — kTxLog RPCs append redo entries; then ScaleTX posts
+//     one-sided RDMA writes of {lock=0, version+1, value} per written item
+//     (no response needed), while the RPC-only path sends kTxCommitRpc.
+#ifndef SRC_TXN_COORDINATOR_H_
+#define SRC_TXN_COORDINATOR_H_
+
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/scalerpc/client.h"
+
+namespace scalerpc::txn {
+
+struct TxnRequest {
+  std::vector<uint64_t> read_set;
+  std::vector<std::pair<uint64_t, rpc::Bytes>> write_set;
+
+  // Optional application logic run after the execution phase, with the
+  // values observed under the execution-phase locks/versions: receives
+  // (key, observed value) for every read- and write-set key and may replace
+  // the write values. This is how OCC applications derive writes from reads
+  // (classic read-modify-write transactions).
+  using Observed = std::vector<std::pair<uint64_t, rpc::Bytes>>;
+  std::function<void(const Observed& observed,
+                     std::vector<std::pair<uint64_t, rpc::Bytes>>* writes)>
+      compute;
+};
+
+struct TxnOutcome {
+  bool committed = false;
+  bool read_only = false;
+};
+
+struct CoordinatorStats {
+  uint64_t commits = 0;
+  uint64_t aborts = 0;
+  uint64_t lock_failures = 0;
+  uint64_t validation_failures = 0;
+};
+
+class Coordinator {
+ public:
+  // `rpc_clients[i]` talks to participant i. `raw_clients` (same indexing)
+  // enables the one-sided paths and may be empty (RPC-only mode); entries
+  // are ScaleRPC clients whose RC QPs are co-used for raw verbs.
+  Coordinator(simrdma::Node* node, std::vector<rpc::RpcClient*> rpc_clients,
+              std::vector<core::ScaleRpcClient*> raw_clients, uint32_t value_bytes);
+
+  // Runs one transaction attempt (no internal retry; callers retry aborts).
+  sim::Task<TxnOutcome> execute(const TxnRequest& txn);
+
+  const CoordinatorStats& stats() const { return stats_; }
+  int num_participants() const { return static_cast<int>(rpc_clients_.size()); }
+  int shard_of(uint64_t key) const {
+    return static_cast<int>(key % rpc_clients_.size());
+  }
+  bool one_sided() const { return !raw_clients_.empty(); }
+
+ private:
+  struct KeyInfo {
+    uint64_t key = 0;
+    int shard = 0;
+    bool found = false;
+    uint32_t version = 0;
+    uint64_t addr = 0;
+    rpc::Bytes value;     // value to commit (writes) / observed (reads)
+    rpc::Bytes observed;  // value seen during the execution phase
+  };
+
+  sim::Task<bool> flush_involved(const std::vector<int>& shards,
+                                 std::vector<std::vector<rpc::Bytes>>* responses);
+  sim::Task<void> abort_locks(const std::vector<KeyInfo>& writes);
+
+  simrdma::Node* node_;
+  std::vector<rpc::RpcClient*> rpc_clients_;
+  std::vector<core::ScaleRpcClient*> raw_clients_;
+  uint32_t value_bytes_;
+  uint32_t next_txn_id_ = 1;
+  uint64_t scratch_;  // one-sided read landing / write staging area
+  CoordinatorStats stats_;
+};
+
+}  // namespace scalerpc::txn
+
+#endif  // SRC_TXN_COORDINATOR_H_

@@ -1,0 +1,186 @@
+#include "src/txn/participant.h"
+
+namespace scalerpc::txn {
+
+Participant::Participant(simrdma::Node* node, rpc::RpcServer* server,
+                         uint64_t kv_capacity, uint32_t value_bytes)
+    : node_(node),
+      store_(node, kv_capacity, value_bytes),
+      log_base_(node->alloc(MiB(4), 4096)),
+      log_size_(MiB(4)) {
+  register_handlers(server);
+}
+
+void Participant::register_handlers(rpc::RpcServer* server) {
+  // --- Execution phase: lock the write set, return values+versions+addrs
+  // for both sets. Request: | txn_id:u32 | nr:u16 | r keys | nw:u16 | w keys |.
+  // Response: | ok:u8 | per key (r then w): found:u8 version:u32 addr:u64
+  //             value:bytes |. On lock conflict: ok=0, all locks released.
+  server->handlers().register_handler(
+      kTxExec, [this](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        Reader r(req);
+        const uint32_t txn_id = r.u32();
+        std::vector<uint64_t> reads(r.u16());
+        for (auto& k : reads) {
+          k = r.u64();
+        }
+        std::vector<uint64_t> writes(r.u16());
+        for (auto& k : writes) {
+          k = r.u64();
+        }
+
+        rpc::HandlerResult res;
+        Nanos cpu = 120;  // dispatch + response assembly
+
+        // Lock the write set first (sorted by caller for deadlock freedom).
+        size_t locked = 0;
+        bool ok = true;
+        for (; locked < writes.size(); ++locked) {
+          cpu += store_.probe_cost(writes[locked]);
+          if (!store_.try_lock(writes[locked], txn_id)) {
+            ok = false;
+            lock_conflicts_++;
+            break;
+          }
+        }
+        if (!ok) {
+          for (size_t i = 0; i < locked; ++i) {
+            store_.unlock(writes[i]);
+          }
+          res.response = {0};
+          res.cpu_ns = cpu;
+          return res;
+        }
+
+        Writer w;
+        w.u8(1);
+        auto emit = [&](uint64_t key) {
+          cpu += store_.probe_cost(key);
+          auto view = store_.lookup(key);
+          if (!view.has_value()) {
+            w.u8(0);
+            return;
+          }
+          w.u8(1);
+          w.u32(view->version);
+          w.u64(view->header_addr);
+          w.bytes(view->value);
+        };
+        for (uint64_t k : reads) {
+          emit(k);
+        }
+        for (uint64_t k : writes) {
+          emit(k);
+        }
+        res.response = w.take();
+        res.cpu_ns = cpu;
+        return res;
+      });
+
+  // --- Validation (RPC-only path): | n:u16 | keys | -> | per key: lock:u32
+  // version:u32 |.
+  server->handlers().register_handler(
+      kTxValidate, [this](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        Reader r(req);
+        const uint16_t n = r.u16();
+        Writer w;
+        rpc::HandlerResult res;
+        Nanos cpu = 80;
+        for (uint16_t i = 0; i < n; ++i) {
+          const uint64_t key = r.u64();
+          cpu += store_.probe_cost(key);
+          auto view = store_.lookup(key);
+          w.u32(view.has_value() ? view->lock : ~0u);
+          w.u32(view.has_value() ? view->version : 0);
+        }
+        res.response = w.take();
+        res.cpu_ns = cpu;
+        return res;
+      });
+
+  // --- Redo log append: payload is opaque; we charge the copy.
+  server->handlers().register_handler(
+      kTxLog, [this](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        rpc::HandlerResult res;
+        const uint64_t len = align_up(req.size(), 64);
+        if (log_head_ + len > log_size_) {
+          log_head_ = 0;  // ring wrap (simulated persistence)
+        }
+        node_->memory().store(log_base_ + log_head_, req);
+        res.cpu_ns = 90 + node_->llc().cpu_write(log_base_ + log_head_,
+                                                 static_cast<uint32_t>(req.size()));
+        log_head_ += len;
+        log_appends_++;
+        res.response = {1};
+        return res;
+      });
+
+  // --- Commit (RPC-only path): | n:u16 | per key: key:u64 value:bytes |.
+  server->handlers().register_handler(
+      kTxCommitRpc, [this](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        Reader r(req);
+        const uint16_t n = r.u16();
+        rpc::HandlerResult res;
+        Nanos cpu = 80;
+        for (uint16_t i = 0; i < n; ++i) {
+          const uint64_t key = r.u64();
+          const auto value = r.bytes();
+          cpu += store_.probe_cost(key);
+          SCALERPC_CHECK(store_.commit_update(key, value));
+        }
+        res.response = {1};
+        res.cpu_ns = cpu;
+        return res;
+      });
+
+  // --- Abort: release locks held by this transaction.
+  server->handlers().register_handler(
+      kTxAbort, [this](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        Reader r(req);
+        const uint16_t n = r.u16();
+        rpc::HandlerResult res;
+        Nanos cpu = 60;
+        for (uint16_t i = 0; i < n; ++i) {
+          const uint64_t key = r.u64();
+          cpu += store_.probe_cost(key);
+          store_.unlock(key);
+        }
+        res.response = {1};
+        res.cpu_ns = cpu;
+        return res;
+      });
+
+  // --- Plain KV ops (quickstart/example traffic) ---
+  server->handlers().register_handler(
+      kKvGet, [this](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        Reader r(req);
+        const uint64_t key = r.u64();
+        rpc::HandlerResult res;
+        res.cpu_ns = 60 + store_.probe_cost(key);
+        auto view = store_.lookup(key);
+        Writer w;
+        w.u8(view.has_value() ? 1 : 0);
+        if (view.has_value()) {
+          w.bytes(view->value);
+        }
+        res.response = w.take();
+        return res;
+      });
+  server->handlers().register_handler(
+      kKvPut, [this](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        Reader r(req);
+        const uint64_t key = r.u64();
+        const auto value = r.bytes();
+        rpc::HandlerResult res;
+        res.cpu_ns = 90 + store_.probe_cost(key);
+        if (store_.lookup(key).has_value()) {
+          store_.commit_update(key, value);
+        } else {
+          store_.insert(key, value);
+        }
+        res.response = {1};
+        return res;
+      });
+}
+
+}  // namespace scalerpc::txn

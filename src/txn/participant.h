@@ -1,0 +1,48 @@
+// ScaleTX participant (paper Section 4.2): a KV shard plus the transaction
+// handlers (execute-and-lock, validate, log, commit, abort) registered on
+// whatever RPC transport serves this storage node.
+#ifndef SRC_TXN_PARTICIPANT_H_
+#define SRC_TXN_PARTICIPANT_H_
+
+#include <memory>
+
+#include "src/common/codec.h"
+#include "src/kv/hashstore.h"
+#include "src/rpc/rpc.h"
+
+namespace scalerpc::txn {
+
+// RPC opcodes.
+constexpr uint8_t kTxExec = 10;       // lock write set + read r/w values
+constexpr uint8_t kTxValidate = 11;   // re-read versions (RPC-only path)
+constexpr uint8_t kTxLog = 12;        // append redo-log entry
+constexpr uint8_t kTxCommitRpc = 13;  // apply writes + unlock (RPC-only path)
+constexpr uint8_t kTxAbort = 14;      // release locks
+constexpr uint8_t kKvGet = 20;        // plain KV ops for examples
+constexpr uint8_t kKvPut = 21;
+
+class Participant {
+ public:
+  Participant(simrdma::Node* node, rpc::RpcServer* server, uint64_t kv_capacity,
+              uint32_t value_bytes);
+
+  kv::HashStore& store() { return store_; }
+  simrdma::Node* node() { return node_; }
+  uint64_t log_appends() const { return log_appends_; }
+  uint64_t lock_conflicts() const { return lock_conflicts_; }
+
+ private:
+  void register_handlers(rpc::RpcServer* server);
+
+  simrdma::Node* node_;
+  kv::HashStore store_;
+  uint64_t log_base_;
+  uint64_t log_size_;
+  uint64_t log_head_ = 0;
+  uint64_t log_appends_ = 0;
+  uint64_t lock_conflicts_ = 0;
+};
+
+}  // namespace scalerpc::txn
+
+#endif  // SRC_TXN_PARTICIPANT_H_

@@ -1,0 +1,205 @@
+#include "src/txn/testbed.h"
+
+namespace scalerpc::txn {
+
+using harness::TransportKind;
+
+ScaleTxTestbed::ScaleTxTestbed(ScaleTxConfig cfg)
+    : cfg_(cfg), cluster_(cfg.sim), rng_(cfg.seed) {
+  SCALERPC_CHECK(!cfg_.one_sided || cfg_.kind == TransportKind::kScaleRpc);
+
+  // Participant (storage server) nodes.
+  for (int p = 0; p < cfg_.participants; ++p) {
+    participant_nodes_.push_back(
+        cluster_.add_node_with_skewed_clock("participant" + std::to_string(p), rng_));
+    simrdma::Node* node = participant_nodes_.back();
+    std::unique_ptr<rpc::RpcServer> server;
+    switch (cfg_.kind) {
+      case TransportKind::kRawWrite:
+        server = std::make_unique<transport::RawWriteServer>(node, cfg_.rpc);
+        break;
+      case TransportKind::kHerd:
+        server = std::make_unique<transport::HerdServer>(node, cfg_.rpc);
+        break;
+      case TransportKind::kFasst:
+        server = std::make_unique<transport::FasstServer>(node, cfg_.rpc);
+        break;
+      case TransportKind::kSelfRpc:
+        server = std::make_unique<transport::SelfRpcServer>(node, cfg_.rpc);
+        break;
+      case TransportKind::kScaleRpc: {
+        auto s = std::make_unique<core::ScaleRpcServer>(node, cfg_.rpc);
+        scalerpc_servers_.push_back(s.get());
+        server = std::move(s);
+        break;
+      }
+    }
+    participants_.push_back(std::make_unique<Participant>(
+        node, server.get(), cfg_.keys_per_shard * 2, cfg_.value_bytes));
+    servers_.push_back(std::move(server));
+  }
+
+  // Global synchronization between ScaleRPC servers (Section 4.2).
+  if (cfg_.kind == TransportKind::kScaleRpc) {
+    time_server_ = std::make_unique<core::TimeSyncServer>(participant_nodes_[0]);
+    core::TimeSyncServer* ts = time_server_.get();
+    scalerpc_servers_[0]->set_synced_clock([ts] { return ts->global_now(); });
+    for (int p = 1; p < cfg_.participants; ++p) {
+      followers_.push_back(std::make_unique<core::TimeSyncFollower>(
+          participant_nodes_[static_cast<size_t>(p)], ts));
+      sim::run_blocking(cluster_.loop(), followers_.back()->connect());
+      core::TimeSyncFollower* f = followers_.back().get();
+      scalerpc_servers_[static_cast<size_t>(p)]->set_synced_clock(
+          [f] { return f->global_now(); });
+    }
+  }
+
+  // Coordinator (client) nodes and coordinators.
+  for (int i = 0; i < cfg_.coordinator_nodes; ++i) {
+    coord_nodes_.push_back(cluster_.add_node("coordinator" + std::to_string(i)));
+    cpu_pools_.push_back(std::make_unique<rpc::CpuPool>(cluster_.loop(), 24));
+  }
+  for (int c = 0; c < cfg_.num_coordinators; ++c) {
+    const auto node_idx = static_cast<size_t>(c) % coord_nodes_.size();
+    transport::ClientEnv env{coord_nodes_[node_idx], cpu_pools_[node_idx].get()};
+    std::vector<rpc::RpcClient*> rpc_clients;
+    std::vector<core::ScaleRpcClient*> raw_clients;
+    for (int p = 0; p < cfg_.participants; ++p) {
+      std::unique_ptr<rpc::RpcClient> client;
+      switch (cfg_.kind) {
+        case TransportKind::kRawWrite:
+          client = std::make_unique<transport::RawWriteClient>(
+              env, static_cast<transport::RawWriteServer*>(servers_[static_cast<size_t>(p)].get()));
+          break;
+        case TransportKind::kHerd:
+          client = std::make_unique<transport::HerdClient>(
+              env, static_cast<transport::HerdServer*>(servers_[static_cast<size_t>(p)].get()));
+          break;
+        case TransportKind::kFasst:
+          client = std::make_unique<transport::FasstClient>(
+              env, static_cast<transport::FasstServer*>(servers_[static_cast<size_t>(p)].get()));
+          break;
+        case TransportKind::kSelfRpc:
+          client = std::make_unique<transport::SelfRpcClient>(
+              env, static_cast<transport::SelfRpcServer*>(servers_[static_cast<size_t>(p)].get()));
+          break;
+        case TransportKind::kScaleRpc: {
+          auto sc = std::make_unique<core::ScaleRpcClient>(
+              env, scalerpc_servers_[static_cast<size_t>(p)]);
+          if (cfg_.one_sided) {
+            raw_clients.push_back(sc.get());
+          }
+          client = std::move(sc);
+          break;
+        }
+      }
+      sim::run_blocking(cluster_.loop(), client->connect());
+      rpc_clients.push_back(client.get());
+      owned_clients_.push_back(std::move(client));
+    }
+    coordinators_.push_back(std::make_unique<Coordinator>(
+        coord_nodes_[node_idx], std::move(rpc_clients), std::move(raw_clients),
+        cfg_.value_bytes));
+  }
+}
+
+void ScaleTxTestbed::preload() {
+  const uint64_t total = cfg_.keys_per_shard * static_cast<uint64_t>(cfg_.participants);
+  rpc::Bytes zero(cfg_.value_bytes, 0);
+  for (uint64_t key = 0; key < total; ++key) {
+    const auto shard = static_cast<size_t>(key % static_cast<uint64_t>(cfg_.participants));
+    SCALERPC_CHECK(participants_[shard]->store().insert(key, zero).has_value());
+  }
+}
+
+void ScaleTxTestbed::start() {
+  for (auto& s : servers_) {
+    s->start();
+  }
+  if (time_server_ != nullptr) {
+    time_server_->start();
+    for (auto& f : followers_) {
+      f->start();
+    }
+    // Let followers converge before transactions begin.
+    cluster_.loop().run_for(msec(1));
+  }
+}
+
+void ScaleTxTestbed::stop() {
+  for (auto& s : servers_) {
+    s->stop();
+  }
+  if (time_server_ != nullptr) {
+    time_server_->stop();
+    for (auto& f : followers_) {
+      f->stop();
+    }
+  }
+}
+
+namespace {
+
+struct RunState {
+  bool stop = false;
+  bool measuring = false;
+  uint64_t committed = 0;
+  uint64_t attempts = 0;
+};
+
+sim::Task<void> coordinator_actor(sim::EventLoop* loop, Coordinator* coordinator,
+                                  std::function<TxnRequest(Rng&)>* workload, Rng rng,
+                                  RunState* st) {
+  while (!st->stop) {
+    const TxnRequest txn = (*workload)(rng);
+    int attempts = 0;
+    bool committed = false;
+    while (!committed && attempts < 64 && !st->stop) {
+      attempts++;
+      const TxnOutcome out = co_await coordinator->execute(txn);
+      committed = out.committed;
+      if (!committed) {
+        // Bounded randomized backoff before retrying.
+        co_await loop->delay(static_cast<Nanos>(rng.next_in(1, 4)) * usec(1) * attempts);
+      }
+    }
+    if (st->measuring) {
+      st->attempts += static_cast<uint64_t>(attempts);
+      st->committed += committed ? 1 : 0;
+    }
+  }
+}
+
+}  // namespace
+
+TxnRunResult run_transactions_erased(ScaleTxTestbed& bed,
+                                     std::function<TxnRequest(Rng&)> workload,
+                                     Nanos warmup, Nanos measure, uint64_t seed) {
+  auto& loop = bed.loop();
+  RunState st;
+  for (size_t c = 0; c < bed.num_coordinators(); ++c) {
+    sim::spawn(loop, coordinator_actor(&loop, &bed.coordinator(c), &workload,
+                                       Rng(seed * 7919 + c), &st));
+  }
+  loop.run_for(warmup);
+  st.measuring = true;
+  const Nanos t0 = loop.now();
+  loop.run_for(measure);
+  st.measuring = false;
+  const Nanos elapsed = loop.now() - t0;
+  st.stop = true;
+  loop.run_for(usec(200));
+
+  TxnRunResult result;
+  result.committed = st.committed;
+  result.attempts = st.attempts;
+  result.committed_ktps =
+      static_cast<double>(st.committed) * 1e6 / static_cast<double>(elapsed);
+  result.abort_rate =
+      st.attempts == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(st.committed) / static_cast<double>(st.attempts);
+  return result;
+}
+
+}  // namespace scalerpc::txn

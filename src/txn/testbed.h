@@ -1,0 +1,103 @@
+// Multi-server transactional testbed (paper Section 4.2): P participant
+// nodes each running a KV shard behind an RPC server, and many coordinator
+// clients (each connected to every participant) running OCC+2PC.
+//
+// With the ScaleRPC transport, the servers' context switches are aligned by
+// the NTP-like TimeSync so a client's groups are live on all participants
+// simultaneously; priority scheduling is disabled so group membership is
+// identical across servers (both per Section 4.2).
+#ifndef SRC_TXN_TESTBED_H_
+#define SRC_TXN_TESTBED_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/harness/harness.h"
+#include "src/scalerpc/timesync.h"
+#include "src/txn/participant.h"
+#include "src/txn/coordinator.h"
+#include "src/txn/workloads.h"
+
+namespace scalerpc::txn {
+
+struct ScaleTxConfig {
+  harness::TransportKind kind = harness::TransportKind::kScaleRpc;
+  // One-sided validation/commit (ScaleTX); false = RPC-only (ScaleTX-O and
+  // all baseline transports).
+  bool one_sided = true;
+  int participants = 3;
+  int num_coordinators = 80;
+  int coordinator_nodes = 8;
+  uint64_t keys_per_shard = 200000;
+  uint32_t value_bytes = 40;
+  core::ScaleRpcConfig rpc;
+  simrdma::SimParams sim;
+  uint64_t seed = 1;
+
+  ScaleTxConfig() {
+    sim.host_memory_bytes = MiB(128);
+    rpc.dynamic_priority = false;  // identical grouping across servers
+  }
+};
+
+class ScaleTxTestbed {
+ public:
+  explicit ScaleTxTestbed(ScaleTxConfig cfg);
+
+  sim::EventLoop& loop() { return cluster_.loop(); }
+  const ScaleTxConfig& config() const { return cfg_; }
+  size_t num_coordinators() const { return coordinators_.size(); }
+  Coordinator& coordinator(size_t i) { return *coordinators_[i]; }
+  Participant& participant(size_t i) { return *participants_[i]; }
+  rpc::RpcServer& server(size_t i) { return *servers_[i]; }
+
+  // Loads `keys_per_shard * participants` keys (0..n-1) with zero values.
+  void preload();
+  // Starts servers (and time synchronization for ScaleRPC).
+  void start();
+  void stop();
+
+ private:
+  ScaleTxConfig cfg_;
+  simrdma::Cluster cluster_;
+  Rng rng_;
+  std::vector<simrdma::Node*> participant_nodes_;
+  std::vector<std::unique_ptr<rpc::RpcServer>> servers_;
+  std::vector<core::ScaleRpcServer*> scalerpc_servers_;
+  std::vector<std::unique_ptr<Participant>> participants_;
+  std::unique_ptr<core::TimeSyncServer> time_server_;
+  std::vector<std::unique_ptr<core::TimeSyncFollower>> followers_;
+  std::vector<simrdma::Node*> coord_nodes_;
+  std::vector<std::unique_ptr<rpc::CpuPool>> cpu_pools_;
+  std::vector<std::unique_ptr<rpc::RpcClient>> owned_clients_;
+  std::vector<std::unique_ptr<Coordinator>> coordinators_;
+};
+
+struct TxnRunResult {
+  double committed_ktps = 0;  // thousand committed txns per second
+  double abort_rate = 0;
+  uint64_t committed = 0;
+  uint64_t attempts = 0;
+};
+
+// Drives every coordinator in a closed loop over `workload` (a callable
+// Rng& -> TxnRequest), measuring over [warmup, warmup+measure].
+template <typename WorkloadFn>
+TxnRunResult run_transactions(ScaleTxTestbed& bed, WorkloadFn workload, Nanos warmup,
+                              Nanos measure, uint64_t seed = 7);
+
+// Explicit instantiations live in testbed.cc via this type-erased runner.
+TxnRunResult run_transactions_erased(ScaleTxTestbed& bed,
+                                     std::function<TxnRequest(Rng&)> workload,
+                                     Nanos warmup, Nanos measure, uint64_t seed);
+
+template <typename WorkloadFn>
+TxnRunResult run_transactions(ScaleTxTestbed& bed, WorkloadFn workload, Nanos warmup,
+                              Nanos measure, uint64_t seed) {
+  return run_transactions_erased(bed, std::move(workload), warmup, measure, seed);
+}
+
+}  // namespace scalerpc::txn
+
+#endif  // SRC_TXN_TESTBED_H_

@@ -1,0 +1,96 @@
+#include "src/txn/workloads.h"
+
+#include <algorithm>
+
+namespace scalerpc::txn {
+
+namespace {
+rpc::Bytes value_of(uint64_t v, uint32_t value_bytes) {
+  rpc::Bytes out(value_bytes, 0);
+  std::memcpy(out.data(), &v, sizeof(v));
+  return out;
+}
+}  // namespace
+
+TxnRequest ObjectStoreWorkload::next(Rng& rng) const {
+  TxnRequest txn;
+  // Draw distinct keys for the whole transaction.
+  std::vector<uint64_t> keys;
+  while (keys.size() < static_cast<size_t>(reads_ + writes_)) {
+    const uint64_t k = rng.next_below(keys_);
+    if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+      keys.push_back(k);
+    }
+  }
+  for (int i = 0; i < reads_; ++i) {
+    txn.read_set.push_back(keys[static_cast<size_t>(i)]);
+  }
+  for (int i = 0; i < writes_; ++i) {
+    txn.write_set.emplace_back(keys[static_cast<size_t>(reads_ + i)],
+                               value_of(rng.next(), value_bytes_));
+  }
+  return txn;
+}
+
+SmallBankWorkload::Op SmallBankWorkload::pick_op(Rng& rng) const {
+  // 15% balance (read-only) / 85% updates, per the paper.
+  const uint64_t roll = rng.next_below(100);
+  if (roll < 15) {
+    return Op::kBalance;
+  }
+  if (roll < 40) {
+    return Op::kDepositChecking;
+  }
+  if (roll < 65) {
+    return Op::kTransactSavings;
+  }
+  if (roll < 85) {
+    return Op::kAmalgamate;
+  }
+  return Op::kWriteCheck;
+}
+
+uint64_t SmallBankWorkload::pick_account(Rng& rng) const {
+  if (rng.next_bool(hot_probability_)) {
+    return rng.next_below(hot_accounts_);
+  }
+  return hot_accounts_ + rng.next_below(accounts_ - hot_accounts_);
+}
+
+rpc::Bytes SmallBankWorkload::amount(Rng& rng) const {
+  return value_of(rng.next_in(1, 1000), value_bytes_);
+}
+
+TxnRequest SmallBankWorkload::next(Rng& rng) const {
+  TxnRequest txn;
+  const Op op = pick_op(rng);
+  const uint64_t a = pick_account(rng);
+  switch (op) {
+    case Op::kBalance:
+      txn.read_set = {key_of(a, kChecking), key_of(a, kSavings)};
+      break;
+    case Op::kDepositChecking:
+      txn.write_set.emplace_back(key_of(a, kChecking), amount(rng));
+      break;
+    case Op::kTransactSavings:
+      txn.write_set.emplace_back(key_of(a, kSavings), amount(rng));
+      break;
+    case Op::kAmalgamate: {
+      uint64_t b = pick_account(rng);
+      if (b == a) {
+        b = (a + 1) % accounts_;
+      }
+      txn.read_set = {key_of(a, kSavings)};
+      txn.write_set.emplace_back(key_of(a, kChecking), amount(rng));
+      txn.write_set.emplace_back(key_of(b, kChecking), amount(rng));
+      break;
+    }
+    case Op::kWriteCheck:
+      txn.read_set = {key_of(a, kSavings)};
+      txn.write_set.emplace_back(key_of(a, kChecking), amount(rng));
+      break;
+  }
+  return txn;
+}
+
+}  // namespace scalerpc::txn

@@ -1,0 +1,78 @@
+// Transaction workload generators (paper Section 4.2.1):
+//  * Object store — r reads and w writes per transaction over random keys
+//    (the read-intensive OLTP benchmark from FaSST).
+//  * SmallBank — write-intensive banking mix (85% update transactions),
+//    1M accounts per server, 4% hot accounts receiving 60% of traffic.
+#ifndef SRC_TXN_WORKLOADS_H_
+#define SRC_TXN_WORKLOADS_H_
+
+#include "src/common/rng.h"
+#include "src/txn/coordinator.h"
+
+namespace scalerpc::txn {
+
+class ObjectStoreWorkload {
+ public:
+  ObjectStoreWorkload(uint64_t keys_per_shard, int shards, int reads, int writes,
+                      uint32_t value_bytes)
+      : keys_(keys_per_shard * static_cast<uint64_t>(shards)),
+        reads_(reads),
+        writes_(writes),
+        value_bytes_(value_bytes) {}
+
+  TxnRequest next(Rng& rng) const;
+
+  uint64_t total_keys() const { return keys_; }
+
+ private:
+  uint64_t keys_;
+  int reads_;
+  int writes_;
+  uint32_t value_bytes_;
+};
+
+// SmallBank: two "tables" (checking/savings) encoded in the key space:
+// key = account * 2 + table.
+class SmallBankWorkload {
+ public:
+  enum class Op : uint8_t {
+    kBalance,          // read both balances (read-only)
+    kDepositChecking,  // update checking
+    kTransactSavings,  // update savings
+    kAmalgamate,       // move everything from A to B's checking
+    kWriteCheck,       // read both, update checking
+  };
+
+  SmallBankWorkload(uint64_t accounts, uint32_t value_bytes,
+                    double hot_fraction = 0.04, double hot_probability = 0.60)
+      : accounts_(accounts),
+        value_bytes_(value_bytes),
+        hot_accounts_(std::max<uint64_t>(1, static_cast<uint64_t>(
+                                                static_cast<double>(accounts) * hot_fraction))),
+        hot_probability_(hot_probability) {}
+
+  static constexpr uint64_t kChecking = 0;
+  static constexpr uint64_t kSavings = 1;
+  static uint64_t key_of(uint64_t account, uint64_t table) {
+    return account * 2 + table;
+  }
+
+  TxnRequest next(Rng& rng) const;
+  Op pick_op(Rng& rng) const;
+  uint64_t pick_account(Rng& rng) const;
+
+  uint64_t accounts() const { return accounts_; }
+  uint64_t total_keys() const { return accounts_ * 2; }
+
+ private:
+  rpc::Bytes amount(Rng& rng) const;
+
+  uint64_t accounts_;
+  uint32_t value_bytes_;
+  uint64_t hot_accounts_;
+  double hot_probability_;
+};
+
+}  // namespace scalerpc::txn
+
+#endif  // SRC_TXN_WORKLOADS_H_

@@ -1,0 +1,132 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace scalerpc {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next() == b.next());
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+  EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Rng, NextInInclusiveBounds) {
+  Rng rng(5);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t v = rng.next_in(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleIsUnitInterval) {
+  Rng rng(11);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformityChiSquaredSanity) {
+  Rng rng(17);
+  constexpr int kBins = 16;
+  constexpr int kDraws = 160000;
+  std::vector<int> bins(kBins, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    bins[rng.next_below(kBins)]++;
+  }
+  const double expected = static_cast<double>(kDraws) / kBins;
+  double chi2 = 0.0;
+  for (int c : bins) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 dof; p=0.001 critical value is ~37.7.
+  EXPECT_LT(chi2, 37.7);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(23);
+  double sum = 0.0;
+  double sq = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Zipf, DegenerateThetaZeroIsUniformish) {
+  ZipfGenerator zipf(100, 0.0);
+  Rng rng(31);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100000; ++i) {
+    counts[zipf.next(rng)]++;
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 500);
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnHead) {
+  ZipfGenerator zipf(1000, 0.99);
+  Rng rng(37);
+  int head = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.next(rng) < 10) {
+      head++;
+    }
+  }
+  // With theta=0.99 over 1000 keys, the top-10 keys absorb a large fraction.
+  EXPECT_GT(head, kDraws / 3);
+}
+
+TEST(Zipf, AllDrawsInUniverse) {
+  ZipfGenerator zipf(8, 1.2);
+  Rng rng(41);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(zipf.next(rng), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace scalerpc

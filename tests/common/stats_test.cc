@@ -1,0 +1,130 @@
+#include "src/common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace scalerpc {
+namespace {
+
+TEST(Histogram, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_TRUE(h.cdf().empty());
+}
+
+TEST(Histogram, SingleValue) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42u);
+  EXPECT_EQ(h.max(), 42u);
+  EXPECT_EQ(h.percentile(50), 42u);
+  EXPECT_EQ(h.percentile(100), 42u);
+}
+
+TEST(Histogram, SmallValuesExact) {
+  // Values below 2*kSubBuckets are stored exactly.
+  Histogram h;
+  for (uint64_t v = 0; v < 64; ++v) {
+    h.record(v);
+  }
+  EXPECT_EQ(h.count(), 64u);
+  EXPECT_GE(h.percentile(50), 31u);
+  EXPECT_LE(h.percentile(50), 32u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 63u);
+}
+
+TEST(Histogram, QuantileRelativeErrorBounded) {
+  Histogram h;
+  Rng rng(7);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t v = rng.next_in(1, 10'000'000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const uint64_t exact = values[static_cast<size_t>(values.size() * p / 100.0)];
+    const uint64_t approx = h.percentile(p);
+    const double rel = std::abs(static_cast<double>(approx) - static_cast<double>(exact)) /
+                       static_cast<double>(exact);
+    EXPECT_LT(rel, 0.05) << "p=" << p << " exact=" << exact << " approx=" << approx;
+  }
+}
+
+TEST(Histogram, LargeValuesDoNotOverflowBuckets) {
+  Histogram h;
+  h.record(~0ULL);
+  h.record(1ULL << 62);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), ~0ULL);
+  EXPECT_GE(h.percentile(100), (1ULL << 62));
+}
+
+TEST(Histogram, MergeCombinesCountsAndBounds) {
+  Histogram a;
+  Histogram b;
+  a.record(10);
+  a.record(20);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(Histogram, CdfIsMonotonic) {
+  Histogram h;
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    h.record(rng.next_in(1, 100000));
+  }
+  auto points = h.cdf();
+  ASSERT_FALSE(points.empty());
+  double prev_frac = 0.0;
+  uint64_t prev_value = 0;
+  for (const auto& [value, frac] : points) {
+    EXPECT_GE(value, prev_value);
+    EXPECT_GE(frac, prev_frac);
+    prev_value = value;
+    prev_frac = frac;
+  }
+  EXPECT_DOUBLE_EQ(points.back().second, 1.0);
+}
+
+TEST(Histogram, ResetClears) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Summary, TracksMinMeanMax) {
+  Summary s;
+  s.add(1.0);
+  s.add(3.0);
+  s.add(2.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+}
+
+TEST(Mops, Formatting) {
+  // 1000 ops in 1000 ns = 1000 Mops/s.
+  EXPECT_DOUBLE_EQ(mops_per_sec(1000, 1000), 1000.0);
+  // 5M ops in 1 second = 5 Mops/s.
+  EXPECT_DOUBLE_EQ(mops_per_sec(5'000'000, 1'000'000'000), 5.0);
+  EXPECT_EQ(format_mops(5'000'000, 1'000'000'000), "5.00 Mops/s");
+  EXPECT_DOUBLE_EQ(mops_per_sec(1, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace scalerpc

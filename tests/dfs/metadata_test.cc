@@ -1,0 +1,108 @@
+#include "src/dfs/metadata.h"
+
+#include <gtest/gtest.h>
+
+namespace scalerpc::dfs {
+namespace {
+
+TEST(MetadataStore, RootExists) {
+  MetadataStore store;
+  Attributes attrs;
+  EXPECT_EQ(store.stat("/", &attrs), DfsStatus::kOk);
+  EXPECT_EQ(attrs.type, FileType::kDirectory);
+}
+
+TEST(MetadataStore, MknodStatRoundTrip) {
+  MetadataStore store;
+  EXPECT_EQ(store.mknod("/a", 100), DfsStatus::kOk);
+  Attributes attrs;
+  EXPECT_EQ(store.stat("/a", &attrs), DfsStatus::kOk);
+  EXPECT_EQ(attrs.type, FileType::kFile);
+  EXPECT_EQ(attrs.ctime, 100);
+}
+
+TEST(MetadataStore, MknodRequiresParent) {
+  MetadataStore store;
+  EXPECT_EQ(store.mknod("/no/such/dir/f", 0), DfsStatus::kNotFound);
+}
+
+TEST(MetadataStore, MknodRejectsDuplicates) {
+  MetadataStore store;
+  EXPECT_EQ(store.mknod("/a", 0), DfsStatus::kOk);
+  EXPECT_EQ(store.mknod("/a", 0), DfsStatus::kExists);
+}
+
+TEST(MetadataStore, MknodRejectsFileParent) {
+  MetadataStore store;
+  store.mknod("/f", 0);
+  EXPECT_EQ(store.mknod("/f/child", 0), DfsStatus::kNotDirectory);
+}
+
+TEST(MetadataStore, InvalidPaths) {
+  MetadataStore store;
+  EXPECT_EQ(store.mknod("", 0), DfsStatus::kInvalid);
+  EXPECT_EQ(store.mknod("relative", 0), DfsStatus::kInvalid);
+  EXPECT_EQ(store.mknod("/trailing/", 0), DfsStatus::kInvalid);
+  EXPECT_EQ(store.mknod("/", 0), DfsStatus::kInvalid);
+  EXPECT_EQ(store.rmnod("/"), DfsStatus::kInvalid);
+}
+
+TEST(MetadataStore, ReaddirListsChildrenSorted) {
+  MetadataStore store;
+  EXPECT_EQ(store.mkdir("/d", 0), DfsStatus::kOk);
+  store.mknod("/d/b", 0);
+  store.mknod("/d/a", 0);
+  store.mknod("/d/c", 0);
+  std::vector<std::string> names;
+  EXPECT_EQ(store.readdir("/d", &names), DfsStatus::kOk);
+  EXPECT_EQ(names, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(MetadataStore, ReaddirOnFileFails) {
+  MetadataStore store;
+  store.mknod("/f", 0);
+  std::vector<std::string> names;
+  EXPECT_EQ(store.readdir("/f", &names), DfsStatus::kNotDirectory);
+}
+
+TEST(MetadataStore, RmnodRemovesAndUpdatesParent) {
+  MetadataStore store;
+  store.mkdir("/d", 0);
+  store.mknod("/d/f", 0);
+  EXPECT_EQ(store.rmnod("/d/f"), DfsStatus::kOk);
+  Attributes attrs;
+  EXPECT_EQ(store.stat("/d/f", &attrs), DfsStatus::kNotFound);
+  std::vector<std::string> names;
+  store.readdir("/d", &names);
+  EXPECT_TRUE(names.empty());
+}
+
+TEST(MetadataStore, RmnodRejectsNonEmptyDirectory) {
+  MetadataStore store;
+  store.mkdir("/d", 0);
+  store.mknod("/d/f", 0);
+  EXPECT_EQ(store.rmnod("/d"), DfsStatus::kNotEmpty);
+  store.rmnod("/d/f");
+  EXPECT_EQ(store.rmnod("/d"), DfsStatus::kOk);
+}
+
+TEST(MetadataStore, InodesAreUnique) {
+  MetadataStore store;
+  store.mknod("/a", 0);
+  store.mknod("/b", 0);
+  Attributes a;
+  Attributes b;
+  store.stat("/a", &a);
+  store.stat("/b", &b);
+  EXPECT_NE(a.inode, b.inode);
+}
+
+TEST(MetadataStore, UpdateOpsCostMoreThanReadOps) {
+  // The paper's Fig. 1a premise: Mknod is software-bound, Stat is not.
+  MetadataStore store;
+  EXPECT_GT(store.mknod_cost(), 4 * store.stat_cost());
+  EXPECT_GT(store.rmnod_cost(), 4 * store.readdir_cost(0));
+}
+
+}  // namespace
+}  // namespace scalerpc::dfs

@@ -1,0 +1,95 @@
+// DFS over RPC transports end-to-end (Fig. 1a / 13 substrate), including an
+// mdtest smoke run on selfRPC and ScaleRPC.
+#include <gtest/gtest.h>
+
+#include "src/dfs/workload.h"
+
+namespace scalerpc::dfs {
+namespace {
+
+using harness::Testbed;
+using harness::TestbedConfig;
+using harness::TransportKind;
+
+TestbedConfig dfs_config(TransportKind kind, int clients) {
+  TestbedConfig cfg;
+  cfg.kind = kind;
+  cfg.num_clients = clients;
+  cfg.num_client_nodes = 4;
+  cfg.rpc.group_size = 8;
+  return cfg;
+}
+
+TEST(DfsService, FullLifecycleOverScaleRpc) {
+  Testbed bed(dfs_config(TransportKind::kScaleRpc, 1));
+  MetadataStore store;
+  register_metadata_service(&bed.server(), &store, &bed.loop());
+  bed.server().start();
+
+  DfsClient client(&bed.client(0));
+  auto body = [&]() -> sim::Task<void> {
+    EXPECT_EQ(co_await client.mkdir("/home"), DfsStatus::kOk);
+    EXPECT_EQ(co_await client.mknod("/home/a.txt"), DfsStatus::kOk);
+    EXPECT_EQ(co_await client.mknod("/home/b.txt"), DfsStatus::kOk);
+    EXPECT_EQ(co_await client.mknod("/home/a.txt"), DfsStatus::kExists);
+
+    Attributes attrs;
+    EXPECT_EQ(co_await client.stat("/home/a.txt", &attrs), DfsStatus::kOk);
+    EXPECT_EQ(attrs.type, FileType::kFile);
+
+    std::vector<std::string> names;
+    EXPECT_EQ(co_await client.readdir("/home", &names), DfsStatus::kOk);
+    EXPECT_EQ(names, (std::vector<std::string>{"a.txt", "b.txt"}));
+
+    EXPECT_EQ(co_await client.rmnod("/home/a.txt"), DfsStatus::kOk);
+    EXPECT_EQ(co_await client.stat("/home/a.txt", &attrs), DfsStatus::kNotFound);
+  };
+  auto t = body();
+  sim::run_blocking(bed.loop(), std::move(t));
+}
+
+TEST(DfsService, ErrorsPropagateOverSelfRpc) {
+  Testbed bed(dfs_config(TransportKind::kSelfRpc, 1));
+  MetadataStore store;
+  register_metadata_service(&bed.server(), &store, &bed.loop());
+  bed.server().start();
+
+  DfsClient client(&bed.client(0));
+  auto body = [&]() -> sim::Task<void> {
+    EXPECT_EQ(co_await client.rmnod("/ghost"), DfsStatus::kNotFound);
+    EXPECT_EQ(co_await client.mknod("/a/b"), DfsStatus::kNotFound);
+    std::vector<std::string> names;
+    EXPECT_EQ(co_await client.readdir("/ghost", &names), DfsStatus::kNotFound);
+  };
+  auto t = body();
+  sim::run_blocking(bed.loop(), std::move(t));
+}
+
+class MdtestTransportTest : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(MdtestTransportTest, SmokeRunCompletesAndReportsSaneRates) {
+  Testbed bed(dfs_config(GetParam(), 8));
+  MdtestConfig cfg;
+  cfg.files_per_client = 24;
+  cfg.batch = 4;
+  cfg.stat_rounds = 2;
+  cfg.readdir_rounds = 8;
+  const MdtestResult r = run_mdtest(bed, cfg);
+  EXPECT_GT(r.mknod_mops, 0.0);
+  EXPECT_GT(r.stat_mops, 0.0);
+  EXPECT_GT(r.readdir_mops, 0.0);
+  EXPECT_GT(r.rmnod_mops, 0.0);
+  // Read ops are software-cheap: they must outpace creates.
+  EXPECT_GT(r.stat_mops, r.mknod_mops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, MdtestTransportTest,
+                         ::testing::Values(TransportKind::kSelfRpc,
+                                           TransportKind::kScaleRpc,
+                                           TransportKind::kRawWrite),
+                         [](const ::testing::TestParamInfo<TransportKind>& info) {
+                           return std::string(harness::to_string(info.param));
+                         });
+
+}  // namespace
+}  // namespace scalerpc::dfs

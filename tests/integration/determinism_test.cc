@@ -1,0 +1,50 @@
+// The simulator is deterministic: identical configurations produce
+// identical traces (op counts, latencies, counters). This is what makes
+// every figure in bench/ exactly reproducible.
+#include <gtest/gtest.h>
+
+#include "src/harness/harness.h"
+#include "src/harness/rawverbs.h"
+
+namespace scalerpc::harness {
+namespace {
+
+EchoResult run_once(TransportKind kind) {
+  TestbedConfig cfg;
+  cfg.kind = kind;
+  cfg.num_clients = 24;
+  cfg.num_client_nodes = 3;
+  cfg.rpc.group_size = 8;
+  Testbed bed(cfg);
+  EchoWorkload wl;
+  wl.batch = 4;
+  wl.measure = msec(2);
+  return run_echo(bed, wl);
+}
+
+TEST(Determinism, EchoRunsAreBitIdentical) {
+  for (TransportKind kind : {TransportKind::kScaleRpc, TransportKind::kFasst}) {
+    const EchoResult a = run_once(kind);
+    const EchoResult b = run_once(kind);
+    EXPECT_EQ(a.ops, b.ops) << to_string(kind);
+    EXPECT_EQ(a.elapsed, b.elapsed);
+    EXPECT_EQ(a.batch_latency.count(), b.batch_latency.count());
+    EXPECT_EQ(a.batch_latency.max(), b.batch_latency.max());
+    EXPECT_EQ(a.server_pcm.pcie_rd_cur, b.server_pcm.pcie_rd_cur);
+    EXPECT_EQ(a.server_pcm.pcie_itom, b.server_pcm.pcie_itom);
+    EXPECT_EQ(a.server_qp_cache_misses, b.server_qp_cache_misses);
+  }
+}
+
+TEST(Determinism, RawVerbRunsAreBitIdentical) {
+  RawVerbConfig cfg;
+  cfg.num_clients = 80;
+  cfg.measure = msec(1);
+  const RawVerbResult a = run_outbound_write(cfg);
+  const RawVerbResult b = run_outbound_write(cfg);
+  EXPECT_DOUBLE_EQ(a.mops, b.mops);
+  EXPECT_DOUBLE_EQ(a.pcie_rd_mops, b.pcie_rd_mops);
+}
+
+}  // namespace
+}  // namespace scalerpc::harness

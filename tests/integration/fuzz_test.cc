@@ -1,0 +1,286 @@
+// Randomized/property tests: model-based fuzzing of the stores against
+// reference implementations, message framing round-trips under random
+// sizes, codec round-trips, and transports under randomized op/payload
+// sequences.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+
+#include "src/common/codec.h"
+#include "src/common/rng.h"
+#include "src/dfs/metadata.h"
+#include "src/harness/harness.h"
+#include "src/kv/hashstore.h"
+#include "src/rpc/large_transfer.h"
+#include "src/simrdma/nic.h"
+
+namespace scalerpc {
+namespace {
+
+TEST(Fuzz, HashStoreMatchesReferenceModel) {
+  simrdma::Cluster cluster;
+  auto* node = cluster.add_node("kv");
+  kv::HashStore store(node, 512, 16);
+  std::unordered_map<uint64_t, std::vector<uint8_t>> model;
+  Rng rng(99);
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t key = rng.next_below(300);
+    const int op = static_cast<int>(rng.next_below(3));
+    if (op == 0 && model.size() < 250) {  // insert
+      std::vector<uint8_t> value(16);
+      for (auto& b : value) {
+        b = static_cast<uint8_t>(rng.next());
+      }
+      const bool inserted = store.insert(key, value).has_value();
+      EXPECT_EQ(inserted, model.count(key) == 0);
+      if (inserted) {
+        model[key] = value;
+      }
+    } else if (op == 1) {  // lookup
+      auto view = store.lookup(key);
+      ASSERT_EQ(view.has_value(), model.count(key) != 0) << "key " << key;
+      if (view.has_value()) {
+        EXPECT_EQ(view->value, model[key]);
+      }
+    } else if (model.count(key) != 0) {  // update
+      std::vector<uint8_t> value(16);
+      for (auto& b : value) {
+        b = static_cast<uint8_t>(rng.next());
+      }
+      EXPECT_TRUE(store.commit_update(key, value));
+      model[key] = value;
+    }
+  }
+}
+
+TEST(Fuzz, MetadataStoreMatchesReferenceModel) {
+  dfs::MetadataStore store;
+  std::map<std::string, bool> model;  // path -> is_dir
+  model["/"] = true;
+  Rng rng(7);
+  auto random_path = [&rng] {
+    std::string p = "/d" + std::to_string(rng.next_below(4));
+    if (rng.next_bool(0.6)) {
+      p += "/f" + std::to_string(rng.next_below(6));
+    }
+    return p;
+  };
+  for (int step = 0; step < 20000; ++step) {
+    const std::string path = random_path();
+    const auto slash = path.find_last_of('/');
+    const std::string parent = slash == 0 ? "/" : path.substr(0, slash);
+    switch (rng.next_below(4)) {
+      case 0: {  // mknod
+        const auto s = store.mknod(path, step);
+        const bool ok = model.count(path) == 0 && model.count(parent) != 0 &&
+                        model[parent];
+        EXPECT_EQ(s == dfs::DfsStatus::kOk, ok) << path;
+        if (s == dfs::DfsStatus::kOk) {
+          model[path] = false;
+        }
+        break;
+      }
+      case 1: {  // mkdir
+        const auto s = store.mkdir(path, step);
+        if (s == dfs::DfsStatus::kOk) {
+          model[path] = true;
+        }
+        break;
+      }
+      case 2: {  // stat
+        dfs::Attributes attrs;
+        const auto s = store.stat(path, &attrs);
+        EXPECT_EQ(s == dfs::DfsStatus::kOk, model.count(path) != 0) << path;
+        break;
+      }
+      default: {  // rmnod (only safe when no children in model)
+        bool has_children = false;
+        for (const auto& [p, _] : model) {
+          if (p.size() > path.size() && p.compare(0, path.size(), path) == 0 &&
+              p[path.size()] == '/') {
+            has_children = true;
+          }
+        }
+        const auto s = store.rmnod(path);
+        if (model.count(path) != 0 && !has_children && path != "/") {
+          EXPECT_EQ(s, dfs::DfsStatus::kOk) << path;
+          model.erase(path);
+        } else {
+          EXPECT_NE(s, dfs::DfsStatus::kOk) << path;
+        }
+        break;
+      }
+    }
+  }
+}
+
+TEST(Fuzz, MsgFormatRoundTripsRandomSizes) {
+  simrdma::HostMemory mem(KiB(64));
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t block = 1u << rng.next_in(6, 13);  // 64B..8KB
+    rpc::Bytes data(rng.next_below(rpc::max_payload(block) + 1));
+    for (auto& b : data) {
+      b = static_cast<uint8_t>(rng.next());
+    }
+    const auto op = static_cast<uint8_t>(rng.next_below(256));
+    const auto flags = static_cast<uint8_t>(rng.next_below(256));
+    rpc::MessageView msg;
+    msg.op = op;
+    msg.flags = flags;
+    msg.data = data;
+    rpc::place_in_block(mem, simrdma::kMemoryBase, block, msg);
+    auto decoded = rpc::decode_block(mem, simrdma::kMemoryBase, block);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->op, op);
+    EXPECT_EQ(decoded->flags, flags);
+    EXPECT_EQ(decoded->data, data);
+    rpc::clear_block(mem, simrdma::kMemoryBase, block);
+  }
+}
+
+TEST(Fuzz, CodecRoundTripsRandomRecords) {
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    Writer w;
+    const uint8_t a = static_cast<uint8_t>(rng.next());
+    const uint16_t b = static_cast<uint16_t>(rng.next());
+    const uint32_t c = static_cast<uint32_t>(rng.next());
+    const uint64_t d = rng.next();
+    const int64_t e = static_cast<int64_t>(rng.next());
+    std::vector<uint8_t> blob(rng.next_below(100));
+    for (auto& x : blob) {
+      x = static_cast<uint8_t>(rng.next());
+    }
+    const std::string s = "str" + std::to_string(rng.next_below(1000));
+    w.u8(a);
+    w.u16(b);
+    w.u32(c);
+    w.u64(d);
+    w.i64(e);
+    w.bytes(blob);
+    w.str(s);
+    auto buf = w.take();
+    Reader r(buf);
+    EXPECT_EQ(r.u8(), a);
+    EXPECT_EQ(r.u16(), b);
+    EXPECT_EQ(r.u32(), c);
+    EXPECT_EQ(r.u64(), d);
+    EXPECT_EQ(r.i64(), e);
+    EXPECT_EQ(r.bytes(), blob);
+    EXPECT_EQ(r.str(), s);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+// Randomized op/payload sequences over every transport; responses must
+// echo a deterministic transform of the request.
+class TransportFuzz : public ::testing::TestWithParam<harness::TransportKind> {};
+
+TEST_P(TransportFuzz, RandomizedBatchesRoundTrip) {
+  harness::TestbedConfig cfg;
+  cfg.kind = GetParam();
+  cfg.num_clients = 6;
+  cfg.num_client_nodes = 2;
+  cfg.rpc.group_size = 3;
+  cfg.rpc.time_slice = usec(40);
+  harness::Testbed bed(cfg);
+  for (uint8_t op = 1; op <= 3; ++op) {
+    bed.server().handlers().register_handler(
+        op, [op](const rpc::RequestContext&, std::span<const uint8_t> req) {
+          rpc::Bytes out(req.begin(), req.end());
+          for (auto& b : out) {
+            b = static_cast<uint8_t>(b + op);
+          }
+          return rpc::HandlerResult{std::move(out), 0, 80};
+        });
+  }
+  bed.server().start();
+
+  int failures = 0;
+  int done = 0;
+  auto actor = [&failures](harness::Testbed* b, size_t idx, int* fin) -> sim::Task<void> {
+    Rng rng(1000 + idx);
+    for (int round = 0; round < 30; ++round) {
+      const int batch = static_cast<int>(rng.next_in(1, 8));
+      std::vector<std::pair<uint8_t, rpc::Bytes>> sent;
+      for (int i = 0; i < batch; ++i) {
+        const auto op = static_cast<uint8_t>(rng.next_in(1, 3));
+        rpc::Bytes payload(rng.next_in(0, 900));
+        for (auto& x : payload) {
+          x = static_cast<uint8_t>(rng.next());
+        }
+        b->client(idx).stage(op, payload);
+        sent.emplace_back(op, std::move(payload));
+      }
+      auto resp = co_await b->client(idx).flush();
+      if (resp.size() != sent.size()) {
+        failures++;
+        continue;
+      }
+      for (size_t i = 0; i < resp.size(); ++i) {
+        rpc::Bytes expect = sent[i].second;
+        for (auto& x : expect) {
+          x = static_cast<uint8_t>(x + sent[i].first);
+        }
+        if (resp[i] != expect) {
+          failures++;
+        }
+      }
+    }
+    (*fin)++;
+  };
+  for (size_t c = 0; c < bed.num_clients(); ++c) {
+    sim::spawn(bed.loop(), actor(&bed, c, &done));
+  }
+  const Nanos horizon = bed.loop().now() + 2 * kSecond;
+  while (done < 6 && bed.loop().now() < horizon) {
+    bed.loop().run_for(msec(5));
+  }
+  EXPECT_EQ(done, 6);
+  EXPECT_EQ(failures, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransports, TransportFuzz,
+                         ::testing::Values(harness::TransportKind::kRawWrite,
+                                           harness::TransportKind::kHerd,
+                                           harness::TransportKind::kFasst,
+                                           harness::TransportKind::kSelfRpc,
+                                           harness::TransportKind::kScaleRpc),
+                         [](const ::testing::TestParamInfo<harness::TransportKind>& i) {
+                           return std::string(harness::to_string(i.param));
+                         });
+
+// Large-transfer helpers (Section 5.1) deliver the payload intact.
+TEST(Fuzz, LargeTransfersDeliverBytesIntact) {
+  simrdma::SimParams params;
+  params.host_memory_bytes = MiB(24);
+  simrdma::Cluster cluster(params);
+  auto* a = cluster.add_node("a");
+  auto* b = cluster.add_node("b");
+  const uint64_t len = MiB(2) + 12345;
+  const uint64_t src = a->alloc(len, 4096);
+  const uint64_t dst = b->alloc(len, 4096);
+  Rng rng(5);
+  for (uint64_t off = 0; off < len; off += 8) {
+    a->memory().store_pod<uint64_t>(src + off, rng.next());
+  }
+  auto* cqa = a->create_cq();
+  auto* cqb = b->create_cq();
+  auto* qa = a->create_qp(simrdma::QpType::kRC, cqa, cqa);
+  auto* qb = b->create_qp(simrdma::QpType::kRC, cqb, cqb);
+  cluster.connect(qa, qb);
+  auto body = [&]() -> sim::Task<void> {
+    const auto r =
+        co_await rpc::rc_write_transfer(qa, src, dst, b->arena_mr()->rkey, len);
+    EXPECT_EQ(r.bytes, len);
+    EXPECT_GT(r.gbytes_per_sec(), 1.0);
+  };
+  auto t = body();
+  sim::run_blocking(cluster.loop(), std::move(t));
+  EXPECT_EQ(std::memcmp(a->memory().raw(src), b->memory().raw(dst), len), 0);
+}
+
+}  // namespace
+}  // namespace scalerpc

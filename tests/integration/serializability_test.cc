@@ -1,0 +1,128 @@
+// End-to-end OCC correctness: concurrent transfer transactions must
+// conserve total money (serializability), for both the one-sided (ScaleTX)
+// and RPC-only (ScaleTX-O) commit paths and for a baseline transport.
+#include <gtest/gtest.h>
+
+#include "src/txn/testbed.h"
+
+namespace scalerpc::txn {
+namespace {
+
+using harness::TransportKind;
+
+constexpr uint64_t kAccounts = 64;
+constexpr uint64_t kInitial = 1000;
+
+uint64_t balance_of(ScaleTxTestbed& bed, uint64_t key) {
+  const auto shard = static_cast<size_t>(key % 3);
+  auto view = bed.participant(shard).store().lookup(key);
+  SCALERPC_CHECK(view.has_value());
+  uint64_t v = 0;
+  std::memcpy(&v, view->value.data(), sizeof(v));
+  return v;
+}
+
+rpc::Bytes value_bytes(uint64_t v) {
+  rpc::Bytes out(40, 0);
+  std::memcpy(&out[0], &v, sizeof(v));
+  return out;
+}
+
+// A transfer: a single read-modify-write transaction. Both accounts are in
+// the write set (locked through commit); the compute callback derives the
+// new balances from the values observed in the execution phase. Any lost
+// update or misrouted commit would create/destroy money.
+sim::Task<void> transfer_actor(ScaleTxTestbed* bed, size_t coord, Rng rng, int txns,
+                               int* done) {
+  Coordinator& co = bed->coordinator(coord);
+  for (int i = 0; i < txns; ++i) {
+    uint64_t a = rng.next_below(kAccounts);
+    uint64_t b = rng.next_below(kAccounts);
+    if (a == b) {
+      b = (b + 1) % kAccounts;
+    }
+    const uint64_t roll = rng.next();
+    TxnRequest txn;
+    txn.write_set.emplace_back(a, value_bytes(0));
+    txn.write_set.emplace_back(b, value_bytes(0));
+    txn.compute = [a, b, roll](const TxnRequest::Observed& observed,
+                               std::vector<std::pair<uint64_t, rpc::Bytes>>* writes) {
+      uint64_t bal_a = 0;
+      uint64_t bal_b = 0;
+      for (const auto& [key, value] : observed) {
+        uint64_t v = 0;
+        std::memcpy(&v, value.data(), sizeof(v));
+        (key == a ? bal_a : bal_b) = v;
+      }
+      const uint64_t amount = bal_a == 0 ? 0 : 1 + roll % bal_a;
+      writes->emplace_back(a, value_bytes(bal_a - amount));
+      writes->emplace_back(b, value_bytes(bal_b + amount));
+    };
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const TxnOutcome out = co_await co.execute(txn);
+      if (out.committed) {
+        break;
+      }
+      co_await bed->loop().delay(usec(rng.next_in(1, 5)));
+    }
+  }
+  (*done)++;
+}
+
+class SerializabilityTest
+    : public ::testing::TestWithParam<std::pair<TransportKind, bool>> {};
+
+TEST_P(SerializabilityTest, ConcurrentTransfersConserveTotalBalance) {
+  const auto [kind, one_sided] = GetParam();
+  ScaleTxConfig cfg;
+  cfg.kind = kind;
+  cfg.one_sided = one_sided;
+  cfg.num_coordinators = 8;
+  cfg.coordinator_nodes = 4;
+  cfg.keys_per_shard = kAccounts;  // covers keys 0..3*kAccounts
+  cfg.rpc.group_size = 8;
+  ScaleTxTestbed bed(cfg);
+  bed.preload();
+  // Seed balances.
+  for (uint64_t k = 0; k < kAccounts; ++k) {
+    bed.participant(k % 3).store().commit_update(k, value_bytes(kInitial));
+  }
+  bed.start();
+
+  int done = 0;
+  constexpr int kTxnsPerActor = 25;
+  for (size_t c = 0; c < bed.num_coordinators(); ++c) {
+    sim::spawn(bed.loop(), transfer_actor(&bed, c, Rng(17 * (c + 1)), kTxnsPerActor,
+                                          &done));
+  }
+  const Nanos horizon = bed.loop().now() + 5 * kSecond;
+  while (done < static_cast<int>(bed.num_coordinators()) &&
+         bed.loop().now() < horizon) {
+    bed.loop().run_for(msec(5));
+  }
+  ASSERT_EQ(done, static_cast<int>(bed.num_coordinators()))
+      << "transfer actors did not finish";
+  bed.stop();
+  bed.loop().run_for(msec(1));  // let fire-and-forget commits land
+
+  uint64_t total = 0;
+  for (uint64_t k = 0; k < kAccounts; ++k) {
+    total += balance_of(bed, k);
+    // And no lock may leak.
+    EXPECT_EQ(bed.participant(k % 3).store().lookup(k)->lock, 0u) << "key " << k;
+  }
+  EXPECT_EQ(total, kAccounts * kInitial);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Modes, SerializabilityTest,
+    ::testing::Values(std::make_pair(TransportKind::kScaleRpc, true),
+                      std::make_pair(TransportKind::kScaleRpc, false),
+                      std::make_pair(TransportKind::kRawWrite, false)),
+    [](const ::testing::TestParamInfo<std::pair<TransportKind, bool>>& info) {
+      return std::string(harness::to_string(info.param.first)) +
+             (info.param.second ? "_OneSided" : "_RpcOnly");
+    });
+
+}  // namespace
+}  // namespace scalerpc::txn

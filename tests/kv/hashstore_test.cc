@@ -1,0 +1,125 @@
+#include "src/kv/hashstore.h"
+
+#include <gtest/gtest.h>
+
+#include "src/simrdma/cluster.h"
+
+namespace scalerpc::kv {
+namespace {
+
+struct Fixture {
+  simrdma::Cluster cluster;
+  simrdma::Node* node = cluster.add_node("kv");
+  HashStore store{node, 1024, 40};
+};
+
+std::vector<uint8_t> value_of(uint64_t v) {
+  std::vector<uint8_t> out(40, 0);
+  std::memcpy(out.data(), &v, sizeof(v));
+  return out;
+}
+
+TEST(HashStore, InsertLookupRoundTrip) {
+  Fixture f;
+  ASSERT_TRUE(f.store.insert(42, value_of(7)).has_value());
+  auto v = f.store.lookup(42);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->version, 1u);
+  EXPECT_EQ(v->lock, 0u);
+  uint64_t got = 0;
+  std::memcpy(&got, v->value.data(), sizeof(got));
+  EXPECT_EQ(got, 7u);
+}
+
+TEST(HashStore, MissingKeyLookupFails) {
+  Fixture f;
+  EXPECT_FALSE(f.store.lookup(999).has_value());
+}
+
+TEST(HashStore, DuplicateInsertRejected) {
+  Fixture f;
+  ASSERT_TRUE(f.store.insert(1, value_of(1)).has_value());
+  EXPECT_FALSE(f.store.insert(1, value_of(2)).has_value());
+  EXPECT_EQ(f.store.size(), 1u);
+}
+
+TEST(HashStore, LinearProbingHandlesCollisions) {
+  Fixture f;
+  // Insert enough keys that probing chains must form.
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(f.store.insert(k, value_of(k)).has_value()) << k;
+  }
+  for (uint64_t k = 0; k < 500; ++k) {
+    auto v = f.store.lookup(k);
+    ASSERT_TRUE(v.has_value()) << k;
+    uint64_t got = 0;
+    std::memcpy(&got, v->value.data(), sizeof(got));
+    EXPECT_EQ(got, k);
+  }
+}
+
+TEST(HashStore, LockProtocol) {
+  Fixture f;
+  f.store.insert(5, value_of(5));
+  EXPECT_TRUE(f.store.try_lock(5, 100));
+  EXPECT_FALSE(f.store.try_lock(5, 200));  // already held
+  auto v = f.store.lookup(5);
+  EXPECT_EQ(v->lock, 100u);
+  f.store.unlock(5);
+  EXPECT_TRUE(f.store.try_lock(5, 200));
+  f.store.unlock(5);
+}
+
+TEST(HashStore, CommitUpdateBumpsVersionAndReleasesLock) {
+  Fixture f;
+  f.store.insert(9, value_of(1));
+  ASSERT_TRUE(f.store.try_lock(9, 77));
+  EXPECT_TRUE(f.store.commit_update(9, value_of(2)));
+  auto v = f.store.lookup(9);
+  EXPECT_EQ(v->version, 2u);
+  EXPECT_EQ(v->lock, 0u);
+  uint64_t got = 0;
+  std::memcpy(&got, v->value.data(), sizeof(got));
+  EXPECT_EQ(got, 2u);
+}
+
+TEST(HashStore, HeaderAddressLayoutMatchesOneSidedFormat) {
+  // A one-sided commit writes {lock:u32, version:u32, value} at
+  // header_addr; verify the layout by writing through raw memory.
+  Fixture f;
+  const auto slot = f.store.insert(33, value_of(1));
+  ASSERT_TRUE(slot.has_value());
+  const uint64_t hdr = f.store.header_addr(*slot);
+  auto& mem = f.node->memory();
+  mem.store_pod<uint32_t>(hdr, 0);        // lock
+  mem.store_pod<uint32_t>(hdr + 4, 42);   // version
+  mem.store_pod<uint64_t>(hdr + 8, 555);  // first 8 bytes of value
+  auto v = f.store.lookup(33);
+  EXPECT_EQ(v->version, 42u);
+  uint64_t got = 0;
+  std::memcpy(&got, v->value.data(), sizeof(got));
+  EXPECT_EQ(got, 555u);
+  EXPECT_EQ(v->header_addr, hdr);
+  EXPECT_EQ(f.store.commit_bytes(), 48u);
+}
+
+TEST(HashStore, FullTableRejectsInsert) {
+  simrdma::Cluster cluster;
+  simrdma::Node* node = cluster.add_node("kv");
+  HashStore tiny(node, 4, 40);
+  for (uint64_t k = 0; k < 4; ++k) {
+    ASSERT_TRUE(tiny.insert(k, value_of(k)).has_value());
+  }
+  EXPECT_FALSE(tiny.insert(99, value_of(99)).has_value());
+}
+
+TEST(HashStore, ProbeCostReflectsLlc) {
+  Fixture f;
+  f.store.insert(3, value_of(3));
+  const Nanos cold = f.store.probe_cost(3);
+  const Nanos warm = f.store.probe_cost(3);
+  EXPECT_GT(cold, warm);  // second probe hits the LLC
+}
+
+}  // namespace
+}  // namespace scalerpc::kv

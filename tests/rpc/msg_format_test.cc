@@ -1,0 +1,120 @@
+#include "src/rpc/msg_format.h"
+
+#include <gtest/gtest.h>
+
+namespace scalerpc::rpc {
+namespace {
+
+using simrdma::HostMemory;
+using simrdma::kMemoryBase;
+
+TEST(MsgFormat, EncodeDecodeRoundTripInBlock) {
+  HostMemory mem(8192);
+  const uint64_t block = kMemoryBase;
+  const uint32_t block_bytes = 4096;
+  Bytes data = {1, 2, 3, 4, 5};
+  const uint32_t total = kHeaderBytes + 5 + kTailBytes;
+  encode_at(mem, aligned_target(block, block_bytes, total), 7, 3, data);
+  ASSERT_TRUE(block_has_message(mem, block, block_bytes));
+  auto msg = decode_block(mem, block, block_bytes);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->op, 7);
+  EXPECT_EQ(msg->flags, 3);
+  EXPECT_EQ(msg->data, data);
+  EXPECT_EQ(msg->total_bytes(), total);
+}
+
+TEST(MsgFormat, EmptyBlockHasNoMessage) {
+  HostMemory mem(8192);
+  EXPECT_FALSE(block_has_message(mem, kMemoryBase, 4096));
+  EXPECT_FALSE(decode_block(mem, kMemoryBase, 4096).has_value());
+}
+
+TEST(MsgFormat, ClearBlockInvalidates) {
+  HostMemory mem(8192);
+  const uint64_t block = kMemoryBase;
+  Bytes data = {9};
+  const uint32_t total = kHeaderBytes + 1 + kTailBytes;
+  encode_at(mem, aligned_target(block, 4096, total), 1, 0, data);
+  clear_block(mem, block, 4096);
+  EXPECT_FALSE(decode_block(mem, block, 4096).has_value());
+}
+
+TEST(MsgFormat, EmptyPayloadMessage) {
+  HostMemory mem(8192);
+  const uint64_t block = kMemoryBase;
+  const uint32_t total = kHeaderBytes + kTailBytes;
+  encode_at(mem, aligned_target(block, 256, total), 4, 0, {});
+  auto msg = decode_block(mem, block, 256);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->data.empty());
+}
+
+TEST(MsgFormat, CorruptLengthRejected) {
+  HostMemory mem(8192);
+  const uint64_t block = kMemoryBase;
+  const uint32_t block_bytes = 256;
+  // Valid magic but absurd length.
+  mem.store_pod<uint8_t>(block + block_bytes - 1, kValidMagic);
+  mem.store_pod<uint32_t>(block + block_bytes - kTailBytes, 100000);
+  EXPECT_FALSE(decode_block(mem, block, block_bytes).has_value());
+}
+
+TEST(MsgFormat, MaxPayloadFitsExactly) {
+  HostMemory mem(8192);
+  const uint32_t block_bytes = 512;
+  Bytes data(max_payload(block_bytes), 0x5A);
+  const uint32_t total = kHeaderBytes + static_cast<uint32_t>(data.size()) + kTailBytes;
+  EXPECT_EQ(total, block_bytes);
+  encode_at(mem, aligned_target(kMemoryBase, block_bytes, total), 2, 0, data);
+  auto msg = decode_block(mem, kMemoryBase, block_bytes);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->data.size(), max_payload(block_bytes));
+}
+
+TEST(MsgFormat, StagedRecordsRoundTripSequentially) {
+  HostMemory mem(8192);
+  uint64_t off = kMemoryBase;
+  Bytes a = {1, 2};
+  Bytes b = {3, 4, 5};
+  const uint32_t ua = encode_staged(mem, off, 10, 0, a);
+  const uint32_t ub = encode_staged(mem, off + ua, 11, 1, b);
+
+  auto ra = decode_staged(mem, kMemoryBase, ua + ub);
+  ASSERT_TRUE(ra.has_value());
+  EXPECT_EQ(ra->first.op, 10);
+  EXPECT_EQ(ra->first.data, a);
+  EXPECT_EQ(ra->second, ua);
+  auto rb = decode_staged(mem, kMemoryBase + ua, ub);
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_EQ(rb->first.op, 11);
+  EXPECT_EQ(rb->first.flags, 1);
+  EXPECT_EQ(rb->first.data, b);
+}
+
+TEST(MsgFormat, StagedDecodeRejectsTruncation) {
+  HostMemory mem(8192);
+  Bytes a = {1, 2, 3, 4};
+  const uint32_t used = encode_staged(mem, kMemoryBase, 1, 0, a);
+  EXPECT_FALSE(decode_staged(mem, kMemoryBase, used - 1).has_value());
+  EXPECT_FALSE(decode_staged(mem, kMemoryBase, 3).has_value());
+}
+
+TEST(MsgFormat, PlaceInBlockRightAligns) {
+  HostMemory mem(8192);
+  MessageView msg;
+  msg.op = 6;
+  msg.flags = 2;
+  msg.data = {7, 8, 9};
+  place_in_block(mem, kMemoryBase, 1024, msg);
+  auto decoded = decode_block(mem, kMemoryBase, 1024);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->op, 6);
+  EXPECT_EQ(decoded->flags, 2);
+  EXPECT_EQ(decoded->data, msg.data);
+  // Valid byte must be the last byte of the block.
+  EXPECT_EQ(mem.load_pod<uint8_t>(kMemoryBase + 1023), kValidMagic);
+}
+
+}  // namespace
+}  // namespace scalerpc::rpc

@@ -1,0 +1,170 @@
+// Cross-transport correctness: every transport must deliver the same RPC
+// semantics (echo, batches, multiple ops, concurrent clients, larger
+// payloads). Parameterized over all five implementations.
+#include <gtest/gtest.h>
+
+#include "src/harness/harness.h"
+
+namespace scalerpc::harness {
+namespace {
+
+class TransportTest : public ::testing::TestWithParam<TransportKind> {
+ protected:
+  TestbedConfig base_config(int clients) {
+    TestbedConfig cfg;
+    cfg.kind = GetParam();
+    cfg.num_clients = clients;
+    cfg.num_client_nodes = 2;
+    // Small groups/slices so ScaleRPC actually rotates in short tests.
+    cfg.rpc.group_size = 4;
+    cfg.rpc.time_slice = usec(50);
+    return cfg;
+  }
+};
+
+TEST_P(TransportTest, SingleEchoCall) {
+  Testbed bed(base_config(1));
+  bed.server().handlers().register_handler(7, rpc::make_echo_handler(100));
+  bed.server().start();
+  auto body = [&]() -> sim::Task<void> {
+    rpc::Bytes req = {1, 2, 3, 4};
+    rpc::Bytes resp = co_await bed.client(0).call(7, req);
+    EXPECT_EQ(resp, req);
+  };
+  auto t = body();
+  sim::run_blocking(bed.loop(), std::move(t));
+  EXPECT_EQ(bed.server().requests_served(), 1u);
+}
+
+TEST_P(TransportTest, BatchedCallsReturnInOrder) {
+  Testbed bed(base_config(1));
+  bed.server().handlers().register_handler(1, rpc::make_echo_handler(50));
+  bed.server().start();
+  auto body = [&]() -> sim::Task<void> {
+    for (int round = 0; round < 3; ++round) {
+      for (uint8_t i = 0; i < 8; ++i) {
+        bed.client(0).stage(1, {static_cast<uint8_t>(round), i});
+      }
+      auto resp = co_await bed.client(0).flush();
+      EXPECT_EQ(resp.size(), 8u);
+      SCALERPC_CHECK(resp.size() == 8u);
+      for (uint8_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(resp[i], (rpc::Bytes{static_cast<uint8_t>(round), i}));
+      }
+    }
+  };
+  auto t = body();
+  sim::run_blocking(bed.loop(), std::move(t));
+  EXPECT_EQ(bed.server().requests_served(), 24u);
+}
+
+TEST_P(TransportTest, DistinctOpsDispatchToDistinctHandlers) {
+  Testbed bed(base_config(1));
+  bed.server().handlers().register_handler(
+      1, [](const rpc::RequestContext&, std::span<const uint8_t>) {
+        return rpc::HandlerResult{{11}, 0, 10};
+      });
+  bed.server().handlers().register_handler(
+      2, [](const rpc::RequestContext&, std::span<const uint8_t>) {
+        return rpc::HandlerResult{{22}, 0, 10};
+      });
+  bed.server().start();
+  auto body = [&]() -> sim::Task<void> {
+    rpc::Bytes empty;
+    rpc::Bytes r1 = co_await bed.client(0).call(1, empty);
+    rpc::Bytes r2 = co_await bed.client(0).call(2, empty);
+    EXPECT_EQ(r1, (rpc::Bytes{11}));
+    EXPECT_EQ(r2, (rpc::Bytes{22}));
+  };
+  auto t = body();
+  sim::run_blocking(bed.loop(), std::move(t));
+}
+
+TEST_P(TransportTest, LargePayloadRoundTrip) {
+  Testbed bed(base_config(1));
+  bed.server().handlers().register_handler(3, rpc::make_echo_handler(200));
+  bed.server().start();
+  auto body = [&]() -> sim::Task<void> {
+    rpc::Bytes req(2048);
+    for (size_t i = 0; i < req.size(); ++i) {
+      req[i] = static_cast<uint8_t>(i * 31);
+    }
+    rpc::Bytes resp = co_await bed.client(0).call(3, req);
+    EXPECT_EQ(resp, req);
+  };
+  auto t = body();
+  sim::run_blocking(bed.loop(), std::move(t));
+}
+
+TEST_P(TransportTest, ManyConcurrentClients) {
+  Testbed bed(base_config(12));
+  bed.server().handlers().register_handler(
+      1, [](const rpc::RequestContext&, std::span<const uint8_t> req) {
+        // Identity-with-transform so responses must match senders.
+        rpc::Bytes out(req.begin(), req.end());
+        for (auto& b : out) {
+          b ^= 0xFF;
+        }
+        return rpc::HandlerResult{std::move(out), 0, 100};
+      });
+  bed.server().start();
+
+  int completed = 0;
+  auto one_client = [](Testbed* b, size_t idx, int* done) -> sim::Task<void> {
+    for (int round = 0; round < 10; ++round) {
+      rpc::Bytes req = {static_cast<uint8_t>(idx), static_cast<uint8_t>(round)};
+      rpc::Bytes resp = co_await b->client(idx).call(1, req);
+      EXPECT_EQ(resp.size(), 2u);
+      SCALERPC_CHECK(resp.size() == 2u);
+      EXPECT_EQ(resp[0], static_cast<uint8_t>(idx ^ 0xFF));
+      EXPECT_EQ(resp[1], static_cast<uint8_t>(round ^ 0xFF));
+    }
+    (*done)++;
+  };
+  for (size_t c = 0; c < bed.num_clients(); ++c) {
+    sim::spawn(bed.loop(), one_client(&bed, c, &completed));
+  }
+  bed.loop().run_for(msec(100));
+  EXPECT_EQ(completed, 12);
+  EXPECT_EQ(bed.server().requests_served(), 120u);
+}
+
+TEST_P(TransportTest, ClientIdsAreUniqueAndDense) {
+  Testbed bed(base_config(5));
+  std::vector<bool> seen(5, false);
+  for (size_t c = 0; c < bed.num_clients(); ++c) {
+    const int id = bed.client(c).client_id();
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, 5);
+    EXPECT_FALSE(seen[static_cast<size_t>(id)]);
+    seen[static_cast<size_t>(id)] = true;
+  }
+}
+
+TEST_P(TransportTest, EmptyResponsePayload) {
+  Testbed bed(base_config(1));
+  bed.server().handlers().register_handler(
+      9, [](const rpc::RequestContext&, std::span<const uint8_t>) {
+        return rpc::HandlerResult{{}, 0, 10};
+      });
+  bed.server().start();
+  auto body = [&]() -> sim::Task<void> {
+    rpc::Bytes req = {1, 2, 3};
+    rpc::Bytes resp = co_await bed.client(0).call(9, req);
+    EXPECT_TRUE(resp.empty());
+  };
+  auto t = body();
+  sim::run_blocking(bed.loop(), std::move(t));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransports, TransportTest,
+    ::testing::Values(TransportKind::kRawWrite, TransportKind::kHerd,
+                      TransportKind::kFasst, TransportKind::kSelfRpc,
+                      TransportKind::kScaleRpc),
+    [](const ::testing::TestParamInfo<TransportKind>& info) {
+      return std::string(to_string(info.param));
+    });
+
+}  // namespace
+}  // namespace scalerpc::harness

@@ -1,0 +1,105 @@
+// Fig. 8 shape assertions: ScaleRPC stays ~flat as clients grow while
+// RawWrite collapses; ScaleRPC saturates with fewer client nodes than the
+// UD-based RPCs; Fig. 10's counter behaviour.
+#include <gtest/gtest.h>
+
+#include "src/harness/harness.h"
+
+namespace scalerpc::harness {
+namespace {
+
+double measure(TransportKind kind, int clients, int batch, int client_nodes = 8) {
+  TestbedConfig cfg;
+  cfg.kind = kind;
+  cfg.num_clients = clients;
+  cfg.num_client_nodes = client_nodes;
+  Testbed bed(cfg);
+  EchoWorkload wl;
+  wl.batch = batch;
+  wl.warmup = usec(600);
+  wl.measure = msec(2);
+  return run_echo(bed, wl).mops;
+}
+
+TEST(Fig8Shape, ScaleRpcStaysFlatRawWriteCollapses) {
+  const double scale_40 = measure(TransportKind::kScaleRpc, 40, 8);
+  const double scale_400 = measure(TransportKind::kScaleRpc, 400, 8);
+  const double raw_40 = measure(TransportKind::kRawWrite, 40, 8);
+  const double raw_400 = measure(TransportKind::kRawWrite, 400, 8);
+
+  // RawWrite loses most of its throughput; ScaleRPC keeps the bulk of it.
+  EXPECT_LT(raw_400, 0.55 * raw_40) << "raw40=" << raw_40 << " raw400=" << raw_400;
+  EXPECT_GT(scale_400, 0.7 * scale_40)
+      << "scale40=" << scale_40 << " scale400=" << scale_400;
+  // And at 400 clients ScaleRPC clearly beats RawWrite.
+  EXPECT_GT(scale_400, 1.5 * raw_400);
+}
+
+TEST(Fig8Shape, FasstAlsoScalesFlat) {
+  const double f40 = measure(TransportKind::kFasst, 40, 8);
+  const double f400 = measure(TransportKind::kFasst, 400, 8);
+  EXPECT_GT(f400, 0.7 * f40) << "f40=" << f40 << " f400=" << f400;
+}
+
+TEST(Fig8Shape, ScaleRpcSaturatesWithFewerClientNodes) {
+  // Right half of Fig. 8: 40 client threads on 1..5 physical nodes. The
+  // RC-based transports saturate with ~2 nodes; UD-based ones keep gaining
+  // as nodes are added because each op burns more client CPU.
+  const double scale_1node = measure(TransportKind::kScaleRpc, 40, 8, 1);
+  const double scale_4node = measure(TransportKind::kScaleRpc, 40, 8, 4);
+  const double fasst_1node = measure(TransportKind::kFasst, 40, 8, 1);
+  const double fasst_4node = measure(TransportKind::kFasst, 40, 8, 4);
+
+  const double scale_gain = scale_4node / scale_1node;
+  const double fasst_gain = fasst_4node / fasst_1node;
+  EXPECT_GT(fasst_gain, scale_gain)
+      << "scale 1->4: " << scale_1node << "->" << scale_4node
+      << ", fasst 1->4: " << fasst_1node << "->" << fasst_4node;
+}
+
+TEST(Fig10Shape, ScaleRpcKeepsPcieReadsPerOpLow) {
+  auto reads_per_op = [](TransportKind kind, int clients) {
+    TestbedConfig cfg;
+    cfg.kind = kind;
+    cfg.num_clients = clients;
+    cfg.num_client_nodes = 8;
+    Testbed bed(cfg);
+    EchoWorkload wl;
+    wl.batch = 8;
+    wl.warmup = usec(600);
+    wl.measure = msec(2);
+    const EchoResult r = run_echo(bed, wl);
+    return static_cast<double>(r.server_pcm.pcie_rd_cur) /
+           static_cast<double>(std::max<uint64_t>(1, r.ops));
+  };
+  const double raw = reads_per_op(TransportKind::kRawWrite, 300);
+  const double scale = reads_per_op(TransportKind::kScaleRpc, 300);
+  // RawWrite refetches QP/WQE state from host memory on most responses;
+  // ScaleRPC's bounded working set keeps reads near the payload-only level.
+  EXPECT_GT(raw, scale + 0.8) << "raw=" << raw << " scale=" << scale;
+}
+
+TEST(Fig10Shape, ScaleRpcAllocatingWritesStayFlatWithClients) {
+  auto itom_per_op = [](int clients) {
+    TestbedConfig cfg;
+    cfg.kind = TransportKind::kScaleRpc;
+    cfg.num_clients = clients;
+    cfg.num_client_nodes = 8;
+    Testbed bed(cfg);
+    EchoWorkload wl;
+    wl.batch = 8;
+    wl.warmup = usec(600);
+    wl.measure = msec(2);
+    const EchoResult r = run_echo(bed, wl);
+    return static_cast<double>(r.server_pcm.pcie_itom) /
+           static_cast<double>(std::max<uint64_t>(1, r.ops));
+  };
+  const double at_80 = itom_per_op(80);
+  const double at_320 = itom_per_op(320);
+  // Virtualized mapping: one physical pool regardless of client count, so
+  // allocating writes per op do not grow with clients.
+  EXPECT_LT(at_320, at_80 + 0.2) << "80=" << at_80 << " 320=" << at_320;
+}
+
+}  // namespace
+}  // namespace scalerpc::harness

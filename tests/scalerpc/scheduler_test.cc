@@ -1,0 +1,139 @@
+#include "src/scalerpc/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace scalerpc::core {
+namespace {
+
+std::vector<int> ids(int n) {
+  std::vector<int> v(static_cast<size_t>(n));
+  std::iota(v.begin(), v.end(), 0);
+  return v;
+}
+
+std::set<int> members_of(const std::vector<Group>& groups) {
+  std::set<int> all;
+  for (const auto& g : groups) {
+    for (int m : g.members) {
+      all.insert(m);
+    }
+  }
+  return all;
+}
+
+TEST(GroupScheduler, StaticChunksByGroupSize) {
+  GroupScheduler sched(40, usec(100), /*dynamic=*/false);
+  auto groups = sched.build_static(ids(120));
+  ASSERT_EQ(groups.size(), 3u);
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.members.size(), 40u);
+    EXPECT_EQ(g.slice, usec(100));
+  }
+}
+
+TEST(GroupScheduler, StaticMergesRuntTrailingGroup) {
+  GroupScheduler sched(40, usec(100), false);
+  // 90 clients: 40 + 40 + 10; the runt (10 < G/2) merges into group 2.
+  auto groups = sched.build_static(ids(90));
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members.size(), 40u);
+  EXPECT_EQ(groups[1].members.size(), 50u);
+  EXPECT_LE(static_cast<int>(groups[1].members.size()), sched.max_size());
+}
+
+TEST(GroupScheduler, StaticKeepsLegalTrailingGroup) {
+  GroupScheduler sched(40, usec(100), false);
+  // 100 clients: 40 + 40 + 20; 20 == G/2 is legal, stays separate.
+  auto groups = sched.build_static(ids(100));
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[2].members.size(), 20u);
+}
+
+TEST(GroupScheduler, AllClientsCoveredExactlyOnce) {
+  GroupScheduler sched(40, usec(100), true);
+  std::vector<ClientStats> stats;
+  for (int i = 0; i < 173; ++i) {
+    stats.push_back({i, static_cast<uint64_t>(i * 7 % 50), 32});
+  }
+  auto groups = sched.rebuild(stats);
+  size_t total = 0;
+  for (const auto& g : groups) {
+    total += g.members.size();
+  }
+  EXPECT_EQ(total, 173u);
+  EXPECT_EQ(members_of(groups).size(), 173u);
+}
+
+TEST(GroupScheduler, DynamicGivesBusyClientsSmallerGroupsLongerSlices) {
+  GroupScheduler sched(40, usec(100), true);
+  std::vector<ClientStats> stats;
+  // Clients 0..39 are busy (high rate, small msgs); 40..119 are idle.
+  for (int i = 0; i < 120; ++i) {
+    const uint64_t reqs = i < 40 ? 10000 : 10;
+    stats.push_back({i, reqs, reqs * 32});
+  }
+  auto groups = sched.rebuild(stats);
+  ASSERT_GE(groups.size(), 2u);
+  // The first group holds the busiest clients, is at most G/2+..., and has
+  // a stretched slice; the last group is large with a shrunk slice.
+  const Group& hot = groups.front();
+  const Group& cold = groups.back();
+  EXPECT_LE(hot.members.size(), static_cast<size_t>(sched.group_size()));
+  EXPECT_GT(hot.slice, sched.default_slice());
+  EXPECT_GE(cold.members.size(), static_cast<size_t>(sched.group_size()));
+  EXPECT_LT(cold.slice, sched.default_slice());
+  // Busy ids should be concentrated in the front groups.
+  int busy_in_hot = 0;
+  for (int m : hot.members) {
+    busy_in_hot += (m < 40) ? 1 : 0;
+  }
+  EXPECT_EQ(busy_in_hot, static_cast<int>(hot.members.size()));
+}
+
+TEST(GroupScheduler, DynamicGroupSizesWithinLegalBand) {
+  GroupScheduler sched(40, usec(100), true);
+  std::vector<ClientStats> stats;
+  for (int i = 0; i < 400; ++i) {
+    stats.push_back({i, static_cast<uint64_t>((i * 131) % 997), 32});
+  }
+  auto groups = sched.rebuild(stats);
+  for (const auto& g : groups) {
+    EXPECT_GE(static_cast<int>(g.members.size()), 1);
+    EXPECT_LE(static_cast<int>(g.members.size()), sched.max_size());
+  }
+}
+
+TEST(GroupScheduler, StaticModeRebuildIgnoresPriorities) {
+  GroupScheduler sched(4, usec(100), false);
+  std::vector<ClientStats> stats;
+  for (int i = 0; i < 8; ++i) {
+    stats.push_back({i, static_cast<uint64_t>(1000 - i), 32});
+  }
+  auto groups = sched.rebuild(stats);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].members, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(groups[1].members, (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(ClientStats, PriorityPrefersFrequentSmallRequests) {
+  ClientStats frequent_small{0, 1000, 1000 * 32};
+  ClientStats frequent_large{1, 1000, 1000 * 4096};
+  ClientStats rare_small{2, 10, 10 * 32};
+  ClientStats idle{3, 0, 0};
+  EXPECT_GT(frequent_small.priority(), frequent_large.priority());
+  EXPECT_GT(frequent_small.priority(), rare_small.priority());
+  EXPECT_EQ(idle.priority(), 0.0);
+}
+
+TEST(GroupScheduler, SingleClient) {
+  GroupScheduler sched(40, usec(100), true);
+  auto groups = sched.rebuild({ClientStats{0, 5, 160}});
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].members, (std::vector<int>{0}));
+}
+
+}  // namespace
+}  // namespace scalerpc::core

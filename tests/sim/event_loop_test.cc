@@ -1,0 +1,77 @@
+#include "src/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scalerpc::sim {
+namespace {
+
+TEST(EventLoop, StartsAtZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.now(), 0);
+  EXPECT_EQ(loop.pending(), 0u);
+  EXPECT_FALSE(loop.step());
+}
+
+TEST(EventLoop, CallbacksFireInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.call_at(30, [&] { order.push_back(3); });
+  loop.call_at(10, [&] { order.push_back(1); });
+  loop.call_at(20, [&] { order.push_back(2); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 30);
+}
+
+TEST(EventLoop, SameTimeFifoOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.call_at(5, [&order, i] { order.push_back(i); });
+  }
+  loop.run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundaryInclusive) {
+  EventLoop loop;
+  int fired = 0;
+  loop.call_at(10, [&] { fired++; });
+  loop.call_at(20, [&] { fired++; });
+  loop.call_at(21, [&] { fired++; });
+  loop.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 20);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoop, RunUntilAdvancesClockWhenIdle) {
+  EventLoop loop;
+  loop.run_until(1000);
+  EXPECT_EQ(loop.now(), 1000);
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  std::vector<Nanos> times;
+  loop.call_at(10, [&] {
+    times.push_back(loop.now());
+    loop.call_in(5, [&] { times.push_back(loop.now()); });
+  });
+  loop.run();
+  EXPECT_EQ(times, (std::vector<Nanos>{10, 15}));
+}
+
+TEST(EventLoopDeathTest, SchedulingInThePastAborts) {
+  EventLoop loop;
+  loop.call_at(100, [] {});
+  loop.run();
+  EXPECT_DEATH(loop.call_at(50, [] {}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace scalerpc::sim

@@ -1,0 +1,170 @@
+#include "src/sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+
+namespace scalerpc::sim {
+namespace {
+
+Task<void> wait_event(Event& e, std::vector<int>* order, int id) {
+  co_await e.wait();
+  order->push_back(id);
+}
+
+TEST(Event, SetWakesAllWaitersInParkOrder) {
+  EventLoop loop;
+  Event event(loop);
+  std::vector<int> order;
+  spawn(loop, wait_event(event, &order, 1));
+  spawn(loop, wait_event(event, &order, 2));
+  spawn(loop, wait_event(event, &order, 3));
+  loop.run_until(10);
+  EXPECT_TRUE(order.empty());
+  event.set();
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Event, WaitAfterSetIsImmediate) {
+  EventLoop loop;
+  Event event(loop);
+  event.set();
+  std::vector<int> order;
+  run_blocking(loop, wait_event(event, &order, 7));
+  EXPECT_EQ(order, (std::vector<int>{7}));
+}
+
+TEST(Event, ResetBlocksAgain) {
+  EventLoop loop;
+  Event event(loop);
+  event.set();
+  event.reset();
+  std::vector<int> order;
+  spawn(loop, wait_event(event, &order, 1));
+  loop.run_until(5);
+  EXPECT_TRUE(order.empty());
+  event.set();
+  loop.run();
+  EXPECT_EQ(order.size(), 1u);
+}
+
+Task<void> wait_notification(Notification& n, int* count) {
+  co_await n.wait();
+  (*count)++;
+}
+
+TEST(Notification, WakesExactlyOne) {
+  EventLoop loop;
+  Notification n(loop);
+  int count = 0;
+  spawn(loop, wait_notification(n, &count));
+  spawn(loop, wait_notification(n, &count));
+  loop.run_until(1);
+  n.notify();
+  loop.run_until(2);
+  EXPECT_EQ(count, 1);
+  n.notify();
+  loop.run_until(3);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Notification, StickyWhenNobodyWaiting) {
+  EventLoop loop;
+  Notification n(loop);
+  n.notify();
+  n.notify();  // coalesces: still a single token
+  int count = 0;
+  spawn(loop, wait_notification(n, &count));
+  spawn(loop, wait_notification(n, &count));
+  loop.run_until(1);
+  EXPECT_EQ(count, 1);
+}
+
+Task<void> hold_semaphore(EventLoop& loop, Semaphore& sem, Nanos hold,
+                          std::vector<Nanos>* acquire_times) {
+  co_await sem.acquire();
+  acquire_times->push_back(loop.now());
+  co_await loop.delay(hold);
+  sem.release();
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  EventLoop loop;
+  Semaphore sem(loop, 2);
+  std::vector<Nanos> times;
+  for (int i = 0; i < 6; ++i) {
+    spawn(loop, hold_semaphore(loop, sem, 100, &times));
+  }
+  loop.run();
+  ASSERT_EQ(times.size(), 6u);
+  // Two at t=0, two at t=100, two at t=200.
+  EXPECT_EQ(times, (std::vector<Nanos>{0, 0, 100, 100, 200, 200}));
+}
+
+TEST(Semaphore, ReleaseWithoutWaitersAccumulates) {
+  EventLoop loop;
+  Semaphore sem(loop, 0);
+  sem.release();
+  sem.release();
+  EXPECT_EQ(sem.available(), 2);
+  std::vector<Nanos> times;
+  spawn(loop, hold_semaphore(loop, sem, 10, &times));
+  loop.run();
+  EXPECT_EQ(times.size(), 1u);
+}
+
+TEST(FifoResource, SerializesWhenSingleUnit) {
+  EventLoop loop;
+  FifoResource res(loop, 1);
+  std::vector<Nanos> done_times;
+  auto user = [](EventLoop& l, FifoResource& r, Nanos service,
+                 std::vector<Nanos>* done) -> Task<void> {
+    co_await r.use(service);
+    done->push_back(l.now());
+  };
+  spawn(loop, user(loop, res, 10, &done_times));
+  spawn(loop, user(loop, res, 20, &done_times));
+  spawn(loop, user(loop, res, 5, &done_times));
+  loop.run();
+  EXPECT_EQ(done_times, (std::vector<Nanos>{10, 30, 35}));
+}
+
+TEST(FifoResource, ParallelUnitsOverlap) {
+  EventLoop loop;
+  FifoResource res(loop, 3);
+  std::vector<Nanos> done_times;
+  auto user = [](EventLoop& l, FifoResource& r, Nanos service,
+                 std::vector<Nanos>* done) -> Task<void> {
+    co_await r.use(service);
+    done->push_back(l.now());
+  };
+  for (int i = 0; i < 3; ++i) {
+    spawn(loop, user(loop, res, 50, &done_times));
+  }
+  loop.run();
+  EXPECT_EQ(done_times, (std::vector<Nanos>{50, 50, 50}));
+}
+
+TEST(WaitQueue, WakeOneIsFifo) {
+  EventLoop loop;
+  Notification n(loop);
+  std::vector<int> order;
+  auto waiter = [](Notification& note, std::vector<int>* out, int id) -> Task<void> {
+    co_await note.wait();
+    out->push_back(id);
+  };
+  spawn(loop, waiter(n, &order, 1));
+  spawn(loop, waiter(n, &order, 2));
+  loop.run_until(1);
+  n.notify();
+  n.notify();
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace scalerpc::sim

@@ -1,0 +1,109 @@
+// Property sweeps over the LLC and NIC-cache models: capacity invariants
+// must hold under arbitrary interleavings of CPU/DMA traffic.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/simrdma/llc.h"
+#include "src/simrdma/nic_cache.h"
+
+namespace scalerpc::simrdma {
+namespace {
+
+class LlcPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LlcPropertyTest, OccupancyInvariantsUnderRandomTraffic) {
+  SimParams p;
+  p.llc_bytes = KiB(64);
+  LastLevelCache llc(p);
+  Rng rng(GetParam());
+  const uint64_t span = MiB(1);
+  for (int step = 0; step < 50000; ++step) {
+    const uint64_t addr = align_down(rng.next_below(span), 8);
+    const uint32_t len = static_cast<uint32_t>(rng.next_in(1, 256));
+    switch (rng.next_below(4)) {
+      case 0:
+        llc.cpu_read(addr, len);
+        break;
+      case 1:
+        llc.cpu_write(addr, len);
+        break;
+      case 2:
+        llc.dma_write(addr, len);
+        break;
+      default:
+        llc.dma_read(addr, len);
+        break;
+    }
+    ASSERT_LE(llc.resident_lines(), llc.capacity_lines());
+    ASSERT_LE(llc.ddio_lines(), llc.ddio_capacity_lines());
+    ASSERT_LE(llc.ddio_lines(), llc.resident_lines());
+  }
+  // Counters are consistent: every CPU access is a hit or a miss.
+  const auto& pcm = llc.pcm();
+  EXPECT_GT(pcm.l3_hits + pcm.l3_misses, 0u);
+  // Writes were counted either as full-line or partial-line.
+  EXPECT_GT(pcm.itom + pcm.rfo, 0u);
+  // Allocating writes are a subset of all DMA writes.
+  EXPECT_LE(pcm.pcie_itom, pcm.itom + pcm.rfo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LlcPropertyTest, ::testing::Values(1, 2, 3, 5, 8, 13));
+
+class NicCachePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(NicCachePropertyTest, SizeNeverExceedsCapacityAndStatsBalance) {
+  const size_t capacity = GetParam();
+  NicCache cache(capacity);
+  Rng rng(capacity * 31);
+  uint64_t consumed_hits = 0;
+  for (int step = 0; step < 30000; ++step) {
+    const uint64_t key = rng.next_below(3 * capacity);
+    switch (rng.next_below(4)) {
+      case 0:
+        cache.access(key);
+        break;
+      case 1:
+        cache.touch_insert(key);
+        break;
+      case 2:
+        consumed_hits += cache.consume(key) ? 1 : 0;
+        break;
+      default:
+        cache.invalidate(key);
+        break;
+    }
+    ASSERT_LE(cache.size(), capacity);
+  }
+  EXPECT_GT(cache.misses(), 0u);
+  EXPECT_GE(cache.hits(), consumed_hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, NicCachePropertyTest,
+                         ::testing::Values(1, 2, 7, 64, 1024));
+
+TEST(LlcProperty, WorkingSetAtCapacityBoundaryBehavesSharply) {
+  // Sweep working sets around the capacity: below => ~100% hits on the
+  // second pass, above (cyclic) => ~0% hits. The sharpness of this edge is
+  // what produces the paper's knees.
+  SimParams p;
+  p.llc_bytes = KiB(64);  // 1024 lines
+  for (const uint64_t lines : {512ULL, 1023ULL, 1025ULL, 2048ULL}) {
+    LastLevelCache llc(p);
+    for (int pass = 0; pass < 2; ++pass) {
+      for (uint64_t i = 0; i < lines; ++i) {
+        llc.cpu_read(i * kCacheLineSize, 8);
+      }
+    }
+    const auto& pcm = llc.pcm();
+    const double hit_rate =
+        static_cast<double>(pcm.l3_hits) / static_cast<double>(pcm.l3_hits + pcm.l3_misses);
+    if (lines <= 1023) {
+      EXPECT_GT(hit_rate, 0.45) << lines;  // second pass all hits
+    } else {
+      EXPECT_LT(hit_rate, 0.05) << lines;  // LRU + cyclic scan: all misses
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scalerpc::simrdma

@@ -1,0 +1,165 @@
+#include "src/simrdma/llc.h"
+
+#include <gtest/gtest.h>
+
+namespace scalerpc::simrdma {
+namespace {
+
+SimParams small_params() {
+  SimParams p;
+  p.llc_bytes = KiB(64);  // 1024 lines, 102 DDIO lines
+  return p;
+}
+
+TEST(Llc, CapacityDerivation) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  EXPECT_EQ(llc.capacity_lines(), 1024u);
+  EXPECT_EQ(llc.ddio_capacity_lines(), 102u);
+  EXPECT_EQ(llc.resident_lines(), 0u);
+}
+
+TEST(Llc, CpuReadMissThenHit) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  EXPECT_EQ(llc.cpu_read(0x1000, 8), p.llc_miss_ns);
+  EXPECT_EQ(llc.pcm().l3_misses, 1u);
+  EXPECT_EQ(llc.cpu_read(0x1000, 8), p.llc_hit_ns);
+  EXPECT_EQ(llc.pcm().l3_hits, 1u);
+  EXPECT_EQ(llc.resident_lines(), 1u);
+}
+
+TEST(Llc, MultiLineAccessTouchesEachLine) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  // 130 bytes starting mid-line -> 3 lines.
+  llc.cpu_read(0x1020, 130);
+  EXPECT_EQ(llc.pcm().l3_misses, 3u);
+  EXPECT_EQ(llc.resident_lines(), 3u);
+}
+
+TEST(Llc, DmaWriteHitIsWriteUpdate) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  llc.cpu_read(0x2000, 64);  // bring line in
+  const Nanos cost = llc.dma_write(0x2000, 64);
+  EXPECT_EQ(cost, p.dma_llc_hit_ns);
+  EXPECT_EQ(llc.pcm().pcie_itom, 0u);  // no allocation
+  EXPECT_EQ(llc.pcm().itom, 1u);       // full-line write
+}
+
+TEST(Llc, DmaWriteMissAllocatesInDdio) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  const Nanos cost = llc.dma_write(0x3000, 64);
+  EXPECT_EQ(cost, p.dma_llc_miss_ns);
+  EXPECT_EQ(llc.pcm().pcie_itom, 1u);
+  EXPECT_EQ(llc.ddio_lines(), 1u);
+}
+
+TEST(Llc, PartialLineDmaWriteCountsRfo) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  llc.dma_write(0x3000, 32);
+  EXPECT_EQ(llc.pcm().rfo, 1u);
+  EXPECT_EQ(llc.pcm().itom, 0u);
+}
+
+TEST(Llc, DdioPartitionIsCapped) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  // Write-allocate far more lines than the DDIO partition holds.
+  for (uint64_t i = 0; i < 500; ++i) {
+    llc.dma_write(0x10000 + i * kCacheLineSize, 64);
+  }
+  EXPECT_LE(llc.ddio_lines(), llc.ddio_capacity_lines());
+  EXPECT_EQ(llc.pcm().pcie_itom, 500u);  // every one was an allocation
+}
+
+TEST(Llc, CpuTouchPromotesDdioLineOutOfPartition) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  llc.dma_write(0x5000, 64);
+  EXPECT_EQ(llc.ddio_lines(), 1u);
+  llc.cpu_read(0x5000, 8);  // server polls the message: promote
+  EXPECT_EQ(llc.ddio_lines(), 0u);
+  EXPECT_EQ(llc.resident_lines(), 1u);
+  // A re-write of the same line is now a cheap update even though the DDIO
+  // partition has been churned in between.
+  for (uint64_t i = 0; i < 300; ++i) {
+    llc.dma_write(0x20000 + i * kCacheLineSize, 64);
+  }
+  EXPECT_EQ(llc.dma_write(0x5000, 64), p.dma_llc_hit_ns);
+}
+
+TEST(Llc, SmallRecycledPoolStaysResidentLargePoolThrashes) {
+  // The virtualized-mapping effect in miniature: a pool smaller than the
+  // DDIO partition gets write-updates on the second pass; a pool larger
+  // than the LLC allocates every time.
+  SimParams p = small_params();
+  {
+    LastLevelCache llc(p);
+    const uint64_t pool_lines = 50;  // < 102 DDIO lines
+    for (int pass = 0; pass < 2; ++pass) {
+      for (uint64_t i = 0; i < pool_lines; ++i) {
+        llc.dma_write(i * kCacheLineSize, 64);
+      }
+    }
+    EXPECT_EQ(llc.pcm().pcie_itom, pool_lines);  // only the first pass allocated
+  }
+  {
+    LastLevelCache llc(p);
+    const uint64_t pool_lines = 4096;  // 4x the LLC
+    for (int pass = 0; pass < 2; ++pass) {
+      for (uint64_t i = 0; i < pool_lines; ++i) {
+        llc.dma_write(i * kCacheLineSize, 64);
+      }
+    }
+    EXPECT_EQ(llc.pcm().pcie_itom, 2 * pool_lines);  // both passes allocated
+  }
+}
+
+TEST(Llc, GeneralPartitionEvictsLruUnderPressure) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  for (uint64_t i = 0; i < 1024; ++i) {
+    llc.cpu_read(i * kCacheLineSize, 8);
+  }
+  EXPECT_EQ(llc.resident_lines(), 1024u);
+  // One more read evicts line 0 (the LRU).
+  llc.cpu_read(2048 * kCacheLineSize, 8);
+  EXPECT_EQ(llc.resident_lines(), 1024u);
+  EXPECT_EQ(llc.cpu_read(0, 8), p.llc_miss_ns);
+}
+
+TEST(Llc, DmaReadNeverAllocates) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  EXPECT_EQ(llc.dma_read(0x9000, 64), p.dma_llc_miss_ns);
+  EXPECT_EQ(llc.resident_lines(), 0u);
+  EXPECT_EQ(llc.pcm().pcie_rd_cur, 1u);
+  llc.cpu_read(0x9000, 8);
+  EXPECT_EQ(llc.dma_read(0x9000, 64), p.dma_llc_hit_ns);
+  EXPECT_EQ(llc.pcm().pcie_rd_cur, 2u);
+}
+
+TEST(Llc, ClearDropsResidency) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  llc.cpu_read(0x100, 64);
+  llc.dma_write(0x200, 64);
+  llc.clear();
+  EXPECT_EQ(llc.resident_lines(), 0u);
+  EXPECT_EQ(llc.ddio_lines(), 0u);
+}
+
+TEST(Llc, ZeroLengthAccessIsFree) {
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  EXPECT_EQ(llc.cpu_read(0x100, 0), 0);
+  EXPECT_EQ(llc.dma_write(0x100, 0), 0);
+  EXPECT_EQ(llc.resident_lines(), 0u);
+}
+
+}  // namespace
+}  // namespace scalerpc::simrdma

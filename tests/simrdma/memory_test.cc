@@ -1,0 +1,96 @@
+#include "src/simrdma/memory.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace scalerpc::simrdma {
+namespace {
+
+TEST(HostMemory, StoreLoadRoundTrip) {
+  HostMemory mem(4096);
+  std::array<uint8_t, 4> in = {1, 2, 3, 4};
+  mem.store(kMemoryBase + 100, in);
+  std::array<uint8_t, 4> out = {};
+  mem.load(kMemoryBase + 100, out);
+  EXPECT_EQ(in, out);
+}
+
+TEST(HostMemory, PodHelpers) {
+  HostMemory mem(4096);
+  mem.store_pod<uint64_t>(kMemoryBase + 8, 0xdeadbeefULL);
+  EXPECT_EQ(mem.load_pod<uint64_t>(kMemoryBase + 8), 0xdeadbeefULL);
+}
+
+TEST(HostMemory, ContainsBoundaries) {
+  HostMemory mem(4096);
+  EXPECT_TRUE(mem.contains(kMemoryBase, 4096));
+  EXPECT_FALSE(mem.contains(kMemoryBase, 4097));
+  EXPECT_FALSE(mem.contains(kMemoryBase - 1, 1));
+  EXPECT_TRUE(mem.contains(kMemoryBase + 4095, 1));
+  EXPECT_FALSE(mem.contains(kMemoryBase + 4096, 1));
+}
+
+TEST(HostMemory, DmaStoreFiresOverlappingWatcher) {
+  HostMemory mem(4096);
+  int fired = 0;
+  mem.add_watcher(kMemoryBase + 100, 50, [&] { fired++; });
+  std::array<uint8_t, 8> bytes = {};
+  mem.dma_store(kMemoryBase + 120, bytes);  // inside
+  EXPECT_EQ(fired, 1);
+  mem.dma_store(kMemoryBase + 200, bytes);  // outside
+  EXPECT_EQ(fired, 1);
+  mem.dma_store(kMemoryBase + 145, bytes);  // straddles the end
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(HostMemory, PlainStoreDoesNotFireWatchers) {
+  HostMemory mem(4096);
+  int fired = 0;
+  mem.add_watcher(kMemoryBase, 4096, [&] { fired++; });
+  std::array<uint8_t, 8> bytes = {};
+  mem.store(kMemoryBase + 10, bytes);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(HostMemory, RemoveWatcherStopsDelivery) {
+  HostMemory mem(4096);
+  int fired = 0;
+  const uint64_t id = mem.add_watcher(kMemoryBase, 100, [&] { fired++; });
+  std::array<uint8_t, 4> bytes = {};
+  mem.dma_store(kMemoryBase, bytes);
+  mem.remove_watcher(id);
+  mem.dma_store(kMemoryBase, bytes);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(HostMemory, MultipleWatchersAllFire) {
+  HostMemory mem(4096);
+  int a = 0;
+  int b = 0;
+  mem.add_watcher(kMemoryBase, 100, [&] { a++; });
+  mem.add_watcher(kMemoryBase + 50, 100, [&] { b++; });
+  std::array<uint8_t, 4> bytes = {};
+  mem.dma_store(kMemoryBase + 60, bytes);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(MemoryRegion, Covers) {
+  MemoryRegion mr;
+  mr.addr = 1000;
+  mr.length = 100;
+  EXPECT_TRUE(mr.covers(1000, 100));
+  EXPECT_TRUE(mr.covers(1050, 50));
+  EXPECT_FALSE(mr.covers(1050, 51));
+  EXPECT_FALSE(mr.covers(999, 1));
+}
+
+TEST(HostMemoryDeathTest, OutOfRangeAccessAborts) {
+  HostMemory mem(128);
+  std::array<uint8_t, 4> bytes = {};
+  EXPECT_DEATH(mem.store(kMemoryBase + 126, bytes), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace scalerpc::simrdma

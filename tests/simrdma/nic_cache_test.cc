@@ -1,0 +1,72 @@
+#include "src/simrdma/nic_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace scalerpc::simrdma {
+namespace {
+
+TEST(NicCache, MissThenHit) {
+  NicCache cache(4);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(NicCache, EvictsLeastRecentlyUsed) {
+  NicCache cache(3);
+  cache.access(1);
+  cache.access(2);
+  cache.access(3);
+  cache.access(1);  // 2 is now LRU
+  cache.access(4);  // evicts 2
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(NicCache, WorkingSetWithinCapacityAlwaysHitsAfterWarmup) {
+  NicCache cache(64);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t k = 0; k < 64; ++k) {
+      cache.access(k);
+    }
+  }
+  EXPECT_EQ(cache.misses(), 64u);
+  EXPECT_EQ(cache.hits(), 128u);
+}
+
+TEST(NicCache, WorkingSetBeyondCapacityThrashesUnderRoundRobin) {
+  // Round-robin over capacity+1 keys defeats LRU completely: every access
+  // misses. This is exactly the paper's QP-state thrash pattern.
+  NicCache cache(64);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t k = 0; k < 65; ++k) {
+      cache.access(k);
+    }
+  }
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(NicCache, InvalidateRemovesEntry) {
+  NicCache cache(4);
+  cache.access(7);
+  cache.invalidate(7);
+  EXPECT_FALSE(cache.contains(7));
+  EXPECT_EQ(cache.size(), 0u);
+  cache.invalidate(99);  // no-op
+}
+
+TEST(NicCache, ClearResetsContentsButNotCounters) {
+  NicCache cache(4);
+  cache.access(1);
+  cache.access(1);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace scalerpc::simrdma

@@ -1,0 +1,248 @@
+// Shape-level validation of the paper's motivation experiments (Fig. 1b /
+// 3a / 3b): outbound RC write collapses as connections grow (NIC cache
+// thrash), inbound RC write stays flat for small pools, and inbound
+// collapses once the touched pool outgrows the LLC.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/simrdma/cluster.h"
+#include "src/simrdma/nic.h"
+#include "src/simrdma/node.h"
+
+namespace scalerpc::simrdma {
+namespace {
+
+constexpr int kServerWorkers = 10;
+constexpr uint32_t kMsgBytes = 32;
+constexpr int kWindow = 16;
+
+struct OutboundResult {
+  double mops;
+  double pcie_reads_per_op;
+};
+
+// A server-side sender pipelining `kWindow` writes round-robin over its
+// share of client connections.
+sim::Task<void> outbound_worker(sim::EventLoop& loop, CompletionQueue* cq,
+                                std::vector<QueuePair*> qps,
+                                std::vector<SendWr> wrs, uint64_t* ops,
+                                const bool* done) {
+  size_t next = 0;
+  int outstanding = 0;
+  while (!*done) {
+    while (outstanding < kWindow) {
+      co_await qps[next]->post_send(wrs[next]);
+      next = (next + 1) % qps.size();
+      outstanding++;
+    }
+    co_await cq->next();
+    outstanding--;
+    (*ops)++;
+  }
+  (void)loop;
+}
+
+OutboundResult run_outbound(int num_clients) {
+  Cluster cluster;
+  Node* server = cluster.add_node("server");
+  std::vector<Node*> cnodes;
+  for (int i = 0; i < 8; ++i) {
+    cnodes.push_back(cluster.add_node("client" + std::to_string(i)));
+  }
+
+  const uint64_t src = server->alloc(kMsgBytes);
+  std::vector<std::vector<QueuePair*>> worker_qps(kServerWorkers);
+  std::vector<std::vector<SendWr>> worker_wrs(kServerWorkers);
+  std::vector<CompletionQueue*> worker_cqs;
+  for (int w = 0; w < kServerWorkers; ++w) {
+    worker_cqs.push_back(server->create_cq());
+  }
+
+  for (int c = 0; c < num_clients; ++c) {
+    Node* cn = cnodes[static_cast<size_t>(c) % cnodes.size()];
+    const int w = c % kServerWorkers;
+    CompletionQueue* ccq = cn->create_cq();
+    QueuePair* sqp = server->create_qp(QpType::kRC, worker_cqs[static_cast<size_t>(w)],
+                                       worker_cqs[static_cast<size_t>(w)]);
+    QueuePair* cqp = cn->create_qp(QpType::kRC, ccq, ccq);
+    cluster.connect(sqp, cqp);
+    const uint64_t dst = cn->alloc(kMsgBytes);
+    MemoryRegion* mr = cn->register_mr(dst, kMsgBytes);
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = kMsgBytes;
+    wr.remote_addr = dst;
+    wr.rkey = mr->rkey;
+    worker_qps[static_cast<size_t>(w)].push_back(sqp);
+    worker_wrs[static_cast<size_t>(w)].push_back(wr);
+  }
+
+  uint64_t ops = 0;
+  bool done = false;
+  for (int w = 0; w < kServerWorkers; ++w) {
+    sim::spawn(cluster.loop(),
+               outbound_worker(cluster.loop(), worker_cqs[static_cast<size_t>(w)],
+                               worker_qps[static_cast<size_t>(w)],
+                               worker_wrs[static_cast<size_t>(w)], &ops, &done));
+  }
+
+  cluster.loop().run_for(usec(300));  // warmup
+  const uint64_t ops0 = ops;
+  const PcmCounters pcm0 = server->pcm_total();
+  const Nanos t0 = cluster.loop().now();
+  cluster.loop().run_for(msec(2));
+  const uint64_t delta_ops = ops - ops0;
+  const PcmCounters pcm = server->pcm_total() - pcm0;
+  const Nanos elapsed = cluster.loop().now() - t0;
+  done = true;
+  return OutboundResult{
+      mops_per_sec(delta_ops, static_cast<uint64_t>(elapsed)),
+      delta_ops == 0 ? 0.0
+                     : static_cast<double>(pcm.pcie_rd_cur) / static_cast<double>(delta_ops),
+  };
+}
+
+// Client-side writer pipelining writes into its server-side block ring.
+// Successive messages to a block land at successive offsets (log-style), so
+// the reuse footprint is the full block, as in the paper's setup.
+sim::Task<void> inbound_client(QueuePair* qp, uint64_t src, uint32_t rkey,
+                               std::vector<uint64_t> block_bases, uint32_t block_bytes,
+                               CompletionQueue* cq, uint64_t* ops, const bool* done) {
+  size_t next = 0;
+  uint64_t iter = 0;
+  int outstanding = 0;
+  const int window = 8;
+  while (!*done) {
+    while (outstanding < window) {
+      SendWr wr;
+      wr.opcode = Opcode::kWrite;
+      wr.local_addr = src;
+      wr.length = kMsgBytes;
+      wr.remote_addr = block_bases[next] + (iter * kMsgBytes) % block_bytes;
+      wr.rkey = rkey;
+      co_await qp->post_send(wr);
+      next = (next + 1) % block_bases.size();
+      if (next == 0) {
+        iter++;
+      }
+      outstanding++;
+    }
+    co_await cq->next();
+    outstanding--;
+    (*ops)++;
+  }
+}
+
+// Server-side poller that consumes messages (promoting their lines into the
+// general LLC partition, as a polling RPC server does).
+sim::Task<void> inbound_poller(Node* server, uint64_t pool_base, uint64_t pool_len,
+                               const bool* done) {
+  sim::Notification note(server->loop());
+  server->memory().add_watcher(pool_base, pool_len, [&note] { note.notify(); });
+  const uint64_t lines = pool_len / kCacheLineSize;
+  uint64_t cursor = 0;
+  while (!*done) {
+    co_await note.wait();
+    // Touch a sweep of recently written lines (cheap scan emulation).
+    for (int i = 0; i < 32 && cursor < lines; ++i, ++cursor) {
+      co_await server->loop().delay(
+          server->read_cost(pool_base + (cursor % lines) * kCacheLineSize, 8));
+    }
+    if (cursor >= lines) {
+      cursor = 0;
+    }
+  }
+}
+
+double run_inbound(int num_clients, uint32_t block_bytes, int blocks_per_client,
+                   double* l3_miss_rate = nullptr) {
+  Cluster cluster;
+  Node* server = cluster.add_node("server");
+  std::vector<Node*> cnodes;
+  for (int i = 0; i < 8; ++i) {
+    cnodes.push_back(cluster.add_node("client" + std::to_string(i)));
+  }
+
+  const uint64_t pool_len =
+      static_cast<uint64_t>(num_clients) * blocks_per_client * block_bytes;
+  const uint64_t pool = server->alloc(pool_len, 4096);
+  MemoryRegion* mr = server->register_mr(pool, pool_len);
+
+  uint64_t ops = 0;
+  bool done = false;
+  for (int c = 0; c < num_clients; ++c) {
+    Node* cn = cnodes[static_cast<size_t>(c) % cnodes.size()];
+    CompletionQueue* scq = server->create_cq();
+    CompletionQueue* ccq = cn->create_cq();
+    QueuePair* sqp = server->create_qp(QpType::kRC, scq, scq);
+    QueuePair* cqp = cn->create_qp(QpType::kRC, ccq, ccq);
+    cluster.connect(sqp, cqp);
+    const uint64_t src = cn->alloc(kMsgBytes);
+    std::vector<uint64_t> bases;
+    for (int b = 0; b < blocks_per_client; ++b) {
+      bases.push_back(pool + (static_cast<uint64_t>(c) * blocks_per_client +
+                              static_cast<uint64_t>(b)) *
+                                 block_bytes);
+    }
+    sim::spawn(cluster.loop(), inbound_client(cqp, src, mr->rkey, std::move(bases),
+                                              block_bytes, ccq, &ops, &done));
+  }
+  sim::spawn(cluster.loop(), inbound_poller(server, pool, pool_len, &done));
+
+  cluster.loop().run_for(usec(300));
+  const uint64_t ops0 = ops;
+  const PcmCounters pcm0 = server->pcm_total();
+  const Nanos t0 = cluster.loop().now();
+  cluster.loop().run_for(msec(2));
+  const uint64_t delta_ops = ops - ops0;
+  const PcmCounters pcm = server->pcm_total() - pcm0;
+  done = true;
+  if (l3_miss_rate != nullptr) {
+    *l3_miss_rate = pcm.l3_miss_rate();
+  }
+  return mops_per_sec(delta_ops, static_cast<uint64_t>(cluster.loop().now() - t0));
+}
+
+TEST(RawVerbScalability, OutboundWriteCollapsesWithManyConnections) {
+  const OutboundResult few = run_outbound(40);
+  const OutboundResult many = run_outbound(400);
+  // Paper Fig 1b: ~20 Mops at 10-40 clients down to ~2-4 Mops at 400+.
+  EXPECT_GT(few.mops, 8.0) << "peak outbound should be in the tens of Mops";
+  EXPECT_GT(few.mops, 2.0 * many.mops)
+      << "few=" << few.mops << " many=" << many.mops;
+}
+
+TEST(RawVerbScalability, OutboundThrashExplodesPcieReadRate) {
+  const OutboundResult few = run_outbound(40);
+  const OutboundResult many = run_outbound(400);
+  // Fig 3a: past the knee, PCIe reads per op jump (QP state + WQE refetch).
+  EXPECT_GT(many.pcie_reads_per_op, few.pcie_reads_per_op + 1.0)
+      << "few=" << few.pcie_reads_per_op << " many=" << many.pcie_reads_per_op;
+}
+
+TEST(RawVerbScalability, InboundWriteStaysFlat) {
+  const double few = run_inbound(50, 64, 4);
+  const double many = run_inbound(400, 64, 4);
+  // Paper Fig 1b: inbound write throughput unaffected by client count.
+  EXPECT_GT(few, 15.0);
+  EXPECT_GT(many, 0.7 * few) << "few=" << few << " many=" << many;
+}
+
+TEST(RawVerbScalability, InboundCollapsesOnceFootprintExceedsLlc) {
+  // Fig 3b: 400 clients x 20 blocks; beyond 2KB blocks the footprint
+  // (400*20*block) no longer fits and throughput collapses while the L3
+  // miss rate climbs.
+  double miss_small = 0.0;
+  double miss_large = 0.0;
+  const double small_blocks = run_inbound(400, 256, 20, &miss_small);
+  const double large_blocks = run_inbound(400, 8192, 20, &miss_large);
+  EXPECT_GT(small_blocks, 1.7 * large_blocks)
+      << "small=" << small_blocks << " large=" << large_blocks;
+  EXPECT_GT(miss_large, miss_small);
+}
+
+}  // namespace
+}  // namespace scalerpc::simrdma

@@ -1,0 +1,222 @@
+// ScaleTX end-to-end: OCC serializability mechanics, one-sided vs RPC-only
+// parity, conflict handling, and workload generators.
+#include <gtest/gtest.h>
+
+#include "src/txn/testbed.h"
+
+namespace scalerpc::txn {
+namespace {
+
+using harness::TransportKind;
+
+ScaleTxConfig small_config(TransportKind kind, bool one_sided, int coordinators = 4) {
+  ScaleTxConfig cfg;
+  cfg.kind = kind;
+  cfg.one_sided = one_sided;
+  cfg.participants = 3;
+  cfg.num_coordinators = coordinators;
+  cfg.coordinator_nodes = 2;
+  cfg.keys_per_shard = 512;
+  cfg.rpc.group_size = 8;
+  return cfg;
+}
+
+uint64_t value_u64(const rpc::Bytes& v) {
+  uint64_t out = 0;
+  std::memcpy(&out, v.data(), sizeof(out));
+  return out;
+}
+
+rpc::Bytes make_value(uint64_t v, uint32_t bytes = 40) {
+  rpc::Bytes out(bytes, 0);
+  std::memcpy(out.data(), &v, sizeof(v));
+  return out;
+}
+
+TEST(ScaleTx, ReadYourOwnCommit) {
+  for (const bool one_sided : {true, false}) {
+    ScaleTxTestbed bed(small_config(TransportKind::kScaleRpc, one_sided, 1));
+    bed.preload();
+    bed.start();
+    auto body = [&]() -> sim::Task<void> {
+      TxnRequest w;
+      w.write_set.emplace_back(7, make_value(1234));
+      const TxnOutcome o1 = co_await bed.coordinator(0).execute(w);
+      EXPECT_TRUE(o1.committed);
+      // One-sided commits are fire-and-forget; give the write time to land.
+      co_await bed.loop().delay(usec(20));
+      TxnRequest r;
+      r.read_set = {7};
+      const TxnOutcome o2 = co_await bed.coordinator(0).execute(r);
+      EXPECT_TRUE(o2.committed);
+      co_return;
+    };
+    auto t = body();
+    sim::run_blocking(bed.loop(), std::move(t));
+    // The committed value is visible in the owning shard.
+    auto view = bed.participant(7 % 3).store().lookup(7);
+    ASSERT_TRUE(view.has_value());
+    EXPECT_EQ(value_u64(view->value), 1234u) << "one_sided=" << one_sided;
+    EXPECT_EQ(view->version, 2u);
+    EXPECT_EQ(view->lock, 0u);
+    bed.stop();
+  }
+}
+
+TEST(ScaleTx, CrossShardTransactionTouchesAllParticipants) {
+  ScaleTxTestbed bed(small_config(TransportKind::kScaleRpc, true, 1));
+  bed.preload();
+  bed.start();
+  auto body = [&]() -> sim::Task<void> {
+    TxnRequest txn;
+    txn.read_set = {0, 1};  // shards 0 and 1
+    txn.write_set.emplace_back(2, make_value(99));  // shard 2
+    const TxnOutcome out = co_await bed.coordinator(0).execute(txn);
+    EXPECT_TRUE(out.committed);
+    co_await bed.loop().delay(usec(20));
+  };
+  auto t = body();
+  sim::run_blocking(bed.loop(), std::move(t));
+  EXPECT_EQ(value_u64(bed.participant(2).store().lookup(2)->value), 99u);
+  EXPECT_GE(bed.participant(2).log_appends(), 1u);
+  bed.stop();
+}
+
+TEST(ScaleTx, WriteConflictAbortsOneTransaction) {
+  ScaleTxTestbed bed(small_config(TransportKind::kScaleRpc, true, 2));
+  bed.preload();
+  bed.start();
+  int committed = 0;
+  int aborted = 0;
+  auto contender = [&](size_t c) -> sim::Task<void> {
+    TxnRequest txn;
+    txn.write_set.emplace_back(5, make_value(100 + c));
+    const TxnOutcome out = co_await bed.coordinator(c).execute(txn);
+    (out.committed ? committed : aborted)++;
+  };
+  // Launch both at the same instant: their lock phases race on key 5.
+  sim::spawn(bed.loop(), contender(0));
+  sim::spawn(bed.loop(), contender(1));
+  bed.loop().run_for(msec(5));
+  EXPECT_EQ(committed + aborted, 2);
+  EXPECT_GE(committed, 1);
+  // Whatever happened, the lock must not leak.
+  EXPECT_EQ(bed.participant(5 % 3).store().lookup(5)->lock, 0u);
+  bed.stop();
+}
+
+TEST(ScaleTx, ValidationCatchesConcurrentModification) {
+  // Manually drive OCC: modify a read key between execution and a second
+  // transaction's validation by committing a writer in between.
+  ScaleTxTestbed bed(small_config(TransportKind::kScaleRpc, false, 2));
+  bed.preload();
+  bed.start();
+  auto body = [&]() -> sim::Task<void> {
+    // Writer bumps key 9's version.
+    TxnRequest w;
+    w.write_set.emplace_back(9, make_value(1));
+    EXPECT_TRUE((co_await bed.coordinator(0).execute(w)).committed);
+    // A read-only txn sees the new version and commits fine afterwards.
+    TxnRequest r;
+    r.read_set = {9};
+    EXPECT_TRUE((co_await bed.coordinator(1).execute(r)).committed);
+  };
+  auto t = body();
+  sim::run_blocking(bed.loop(), std::move(t));
+  bed.stop();
+}
+
+class TxnTransportTest : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(TxnTransportTest, SmallBankRunsAndBalancesConserveLocks) {
+  ScaleTxConfig cfg = small_config(GetParam(), false, 6);
+  ScaleTxTestbed bed(cfg);
+  bed.preload();
+  bed.start();
+  SmallBankWorkload wl(cfg.keys_per_shard * 3 / 2, cfg.value_bytes);
+  const TxnRunResult r = run_transactions(
+      bed, [&wl](Rng& rng) { return wl.next(rng); }, usec(300), msec(2));
+  EXPECT_GT(r.committed, 50u);
+  EXPECT_LT(r.abort_rate, 0.5);
+  bed.stop();
+  // No lock may remain held after the run drains.
+  bed.loop().run_for(msec(1));
+  for (int p = 0; p < 3; ++p) {
+    for (uint64_t key = p; key < 64; key += 3) {
+      auto v = bed.participant(static_cast<size_t>(p)).store().lookup(key);
+      if (v.has_value()) {
+        EXPECT_EQ(v->lock, 0u) << "key " << key;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, TxnTransportTest,
+                         ::testing::Values(TransportKind::kRawWrite,
+                                           TransportKind::kFasst,
+                                           TransportKind::kScaleRpc),
+                         [](const ::testing::TestParamInfo<TransportKind>& info) {
+                           return std::string(harness::to_string(info.param));
+                         });
+
+TEST(ScaleTx, OneSidedBeatsRpcOnlyOnWriteHeavyLoad) {
+  // DESIGN.md ablation #3 (the ScaleTX vs ScaleTX-O gap, Fig. 16b).
+  auto run_mode = [](bool one_sided) {
+    ScaleTxConfig cfg = small_config(TransportKind::kScaleRpc, one_sided, 24);
+    cfg.coordinator_nodes = 4;
+    cfg.keys_per_shard = 4096;
+    ScaleTxTestbed bed(cfg);
+    bed.preload();
+    bed.start();
+    SmallBankWorkload wl(cfg.keys_per_shard * 3 / 2, cfg.value_bytes);
+    const TxnRunResult r = run_transactions(
+        bed, [&wl](Rng& rng) { return wl.next(rng); }, usec(500), msec(3));
+    bed.stop();
+    return r.committed_ktps;
+  };
+  const double scaletx = run_mode(true);
+  const double scaletx_o = run_mode(false);
+  EXPECT_GT(scaletx, scaletx_o) << "ScaleTX=" << scaletx << " -O=" << scaletx_o;
+}
+
+TEST(Workloads, ObjectStoreShapes) {
+  ObjectStoreWorkload wl(1000, 3, 3, 1, 40);
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const TxnRequest txn = wl.next(rng);
+    EXPECT_EQ(txn.read_set.size(), 3u);
+    EXPECT_EQ(txn.write_set.size(), 1u);
+    for (uint64_t k : txn.read_set) {
+      EXPECT_LT(k, 3000u);
+    }
+  }
+}
+
+TEST(Workloads, SmallBankMixIsWriteHeavy) {
+  SmallBankWorkload wl(10000, 40);
+  Rng rng(11);
+  int read_only = 0;
+  constexpr int kN = 10000;
+  for (int i = 0; i < kN; ++i) {
+    const TxnRequest txn = wl.next(rng);
+    read_only += txn.write_set.empty() ? 1 : 0;
+  }
+  // 15% balance transactions.
+  EXPECT_NEAR(static_cast<double>(read_only) / kN, 0.15, 0.02);
+}
+
+TEST(Workloads, SmallBankHotSetSkew) {
+  SmallBankWorkload wl(10000, 40);
+  Rng rng(13);
+  const uint64_t hot_bound = 400;  // 4% of 10000
+  int hot = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    hot += wl.pick_account(rng) < hot_bound ? 1 : 0;
+  }
+  // 60% of traffic hits the hot 4%.
+  EXPECT_NEAR(static_cast<double>(hot) / kN, 0.60, 0.03);
+}
+
+}  // namespace
+}  // namespace scalerpc::txn
