@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01b_raw_verbs.dir/bench_fig01b_raw_verbs.cc.o"
+  "CMakeFiles/bench_fig01b_raw_verbs.dir/bench_fig01b_raw_verbs.cc.o.d"
+  "bench_fig01b_raw_verbs"
+  "bench_fig01b_raw_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01b_raw_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03a_pcie.dir/bench_fig03a_pcie.cc.o"
+  "CMakeFiles/bench_fig03a_pcie.dir/bench_fig03a_pcie.cc.o.d"
+  "bench_fig03a_pcie"
+  "bench_fig03a_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03a_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig03b_blocksize.cc" "bench/CMakeFiles/bench_fig03b_blocksize.dir/bench_fig03b_blocksize.cc.o" "gcc" "bench/CMakeFiles/bench_fig03b_blocksize.dir/bench_fig03b_blocksize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/scalerpc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalerpc/CMakeFiles/scalerpc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/scalerpc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/scalerpc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrdma/CMakeFiles/scalerpc_simrdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scalerpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scalerpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

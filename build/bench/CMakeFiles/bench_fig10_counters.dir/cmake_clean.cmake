@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_counters.dir/bench_fig10_counters.cc.o"
+  "CMakeFiles/bench_fig10_counters.dir/bench_fig10_counters.cc.o.d"
+  "bench_fig10_counters"
+  "bench_fig10_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

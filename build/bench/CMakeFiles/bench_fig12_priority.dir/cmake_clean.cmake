@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_priority.dir/bench_fig12_priority.cc.o"
+  "CMakeFiles/bench_fig12_priority.dir/bench_fig12_priority.cc.o.d"
+  "bench_fig12_priority"
+  "bench_fig12_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

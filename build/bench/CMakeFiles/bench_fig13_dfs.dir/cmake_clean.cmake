@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_dfs.dir/bench_fig13_dfs.cc.o"
+  "CMakeFiles/bench_fig13_dfs.dir/bench_fig13_dfs.cc.o.d"
+  "bench_fig13_dfs"
+  "bench_fig13_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

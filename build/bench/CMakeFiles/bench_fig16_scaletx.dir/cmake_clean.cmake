@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_scaletx.dir/bench_fig16_scaletx.cc.o"
+  "CMakeFiles/bench_fig16_scaletx.dir/bench_fig16_scaletx.cc.o.d"
+  "bench_fig16_scaletx"
+  "bench_fig16_scaletx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_scaletx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

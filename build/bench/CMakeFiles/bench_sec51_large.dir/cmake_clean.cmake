@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec51_large.dir/bench_sec51_large.cc.o"
+  "CMakeFiles/bench_sec51_large.dir/bench_sec51_large.cc.o.d"
+  "bench_sec51_large"
+  "bench_sec51_large.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec51_large.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_verbs.dir/bench_table1_verbs.cc.o"
+  "CMakeFiles/bench_table1_verbs.dir/bench_table1_verbs.cc.o.d"
+  "bench_table1_verbs"
+  "bench_table1_verbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_verbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bank_transactions.dir/bank_transactions.cpp.o"
+  "CMakeFiles/bank_transactions.dir/bank_transactions.cpp.o.d"
+  "bank_transactions"
+  "bank_transactions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bank_transactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesystem_metadata.dir/filesystem_metadata.cpp.o"
+  "CMakeFiles/filesystem_metadata.dir/filesystem_metadata.cpp.o.d"
+  "filesystem_metadata"
+  "filesystem_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesystem_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_cache_server.dir/kv_cache_server.cpp.o"
+  "CMakeFiles/kv_cache_server.dir/kv_cache_server.cpp.o.d"
+  "kv_cache_server"
+  "kv_cache_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_cache_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

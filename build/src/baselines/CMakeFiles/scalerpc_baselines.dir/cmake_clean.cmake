@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_baselines.dir/fasst.cc.o"
+  "CMakeFiles/scalerpc_baselines.dir/fasst.cc.o.d"
+  "CMakeFiles/scalerpc_baselines.dir/herd.cc.o"
+  "CMakeFiles/scalerpc_baselines.dir/herd.cc.o.d"
+  "CMakeFiles/scalerpc_baselines.dir/rawwrite.cc.o"
+  "CMakeFiles/scalerpc_baselines.dir/rawwrite.cc.o.d"
+  "CMakeFiles/scalerpc_baselines.dir/selfrpc.cc.o"
+  "CMakeFiles/scalerpc_baselines.dir/selfrpc.cc.o.d"
+  "libscalerpc_baselines.a"
+  "libscalerpc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_common.dir/logging.cc.o"
+  "CMakeFiles/scalerpc_common.dir/logging.cc.o.d"
+  "CMakeFiles/scalerpc_common.dir/rng.cc.o"
+  "CMakeFiles/scalerpc_common.dir/rng.cc.o.d"
+  "CMakeFiles/scalerpc_common.dir/stats.cc.o"
+  "CMakeFiles/scalerpc_common.dir/stats.cc.o.d"
+  "libscalerpc_common.a"
+  "libscalerpc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

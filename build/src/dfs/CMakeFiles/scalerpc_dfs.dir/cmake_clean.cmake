@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_dfs.dir/metadata.cc.o"
+  "CMakeFiles/scalerpc_dfs.dir/metadata.cc.o.d"
+  "CMakeFiles/scalerpc_dfs.dir/service.cc.o"
+  "CMakeFiles/scalerpc_dfs.dir/service.cc.o.d"
+  "CMakeFiles/scalerpc_dfs.dir/workload.cc.o"
+  "CMakeFiles/scalerpc_dfs.dir/workload.cc.o.d"
+  "libscalerpc_dfs.a"
+  "libscalerpc_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

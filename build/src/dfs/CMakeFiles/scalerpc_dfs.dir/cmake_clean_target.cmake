@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libscalerpc_dfs.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_harness.dir/harness.cc.o"
+  "CMakeFiles/scalerpc_harness.dir/harness.cc.o.d"
+  "CMakeFiles/scalerpc_harness.dir/rawverbs.cc.o"
+  "CMakeFiles/scalerpc_harness.dir/rawverbs.cc.o.d"
+  "libscalerpc_harness.a"
+  "libscalerpc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

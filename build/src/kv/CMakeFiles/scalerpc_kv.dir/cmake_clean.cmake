@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_kv.dir/hashstore.cc.o"
+  "CMakeFiles/scalerpc_kv.dir/hashstore.cc.o.d"
+  "libscalerpc_kv.a"
+  "libscalerpc_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

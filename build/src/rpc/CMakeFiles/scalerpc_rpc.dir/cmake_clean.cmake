@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_rpc.dir/large_transfer.cc.o"
+  "CMakeFiles/scalerpc_rpc.dir/large_transfer.cc.o.d"
+  "CMakeFiles/scalerpc_rpc.dir/msg_format.cc.o"
+  "CMakeFiles/scalerpc_rpc.dir/msg_format.cc.o.d"
+  "CMakeFiles/scalerpc_rpc.dir/rpc.cc.o"
+  "CMakeFiles/scalerpc_rpc.dir/rpc.cc.o.d"
+  "libscalerpc_rpc.a"
+  "libscalerpc_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

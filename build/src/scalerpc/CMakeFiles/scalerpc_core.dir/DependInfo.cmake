@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scalerpc/client.cc" "src/scalerpc/CMakeFiles/scalerpc_core.dir/client.cc.o" "gcc" "src/scalerpc/CMakeFiles/scalerpc_core.dir/client.cc.o.d"
+  "/root/repo/src/scalerpc/scheduler.cc" "src/scalerpc/CMakeFiles/scalerpc_core.dir/scheduler.cc.o" "gcc" "src/scalerpc/CMakeFiles/scalerpc_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/scalerpc/server.cc" "src/scalerpc/CMakeFiles/scalerpc_core.dir/server.cc.o" "gcc" "src/scalerpc/CMakeFiles/scalerpc_core.dir/server.cc.o.d"
+  "/root/repo/src/scalerpc/timesync.cc" "src/scalerpc/CMakeFiles/scalerpc_core.dir/timesync.cc.o" "gcc" "src/scalerpc/CMakeFiles/scalerpc_core.dir/timesync.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/scalerpc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/scalerpc_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/simrdma/CMakeFiles/scalerpc_simrdma.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/scalerpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scalerpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_core.dir/client.cc.o"
+  "CMakeFiles/scalerpc_core.dir/client.cc.o.d"
+  "CMakeFiles/scalerpc_core.dir/scheduler.cc.o"
+  "CMakeFiles/scalerpc_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/scalerpc_core.dir/server.cc.o"
+  "CMakeFiles/scalerpc_core.dir/server.cc.o.d"
+  "CMakeFiles/scalerpc_core.dir/timesync.cc.o"
+  "CMakeFiles/scalerpc_core.dir/timesync.cc.o.d"
+  "libscalerpc_core.a"
+  "libscalerpc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_sim.dir/event_loop.cc.o"
+  "CMakeFiles/scalerpc_sim.dir/event_loop.cc.o.d"
+  "libscalerpc_sim.a"
+  "libscalerpc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

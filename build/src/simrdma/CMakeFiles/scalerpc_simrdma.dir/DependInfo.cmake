@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simrdma/cluster.cc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/cluster.cc.o" "gcc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/cluster.cc.o.d"
+  "/root/repo/src/simrdma/llc.cc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/llc.cc.o" "gcc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/llc.cc.o.d"
+  "/root/repo/src/simrdma/memory.cc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/memory.cc.o" "gcc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/memory.cc.o.d"
+  "/root/repo/src/simrdma/nic.cc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/nic.cc.o" "gcc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/nic.cc.o.d"
+  "/root/repo/src/simrdma/node.cc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/node.cc.o" "gcc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/node.cc.o.d"
+  "/root/repo/src/simrdma/verbs.cc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/verbs.cc.o" "gcc" "src/simrdma/CMakeFiles/scalerpc_simrdma.dir/verbs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/scalerpc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/scalerpc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

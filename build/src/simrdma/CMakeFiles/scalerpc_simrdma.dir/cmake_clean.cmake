@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_simrdma.dir/cluster.cc.o"
+  "CMakeFiles/scalerpc_simrdma.dir/cluster.cc.o.d"
+  "CMakeFiles/scalerpc_simrdma.dir/llc.cc.o"
+  "CMakeFiles/scalerpc_simrdma.dir/llc.cc.o.d"
+  "CMakeFiles/scalerpc_simrdma.dir/memory.cc.o"
+  "CMakeFiles/scalerpc_simrdma.dir/memory.cc.o.d"
+  "CMakeFiles/scalerpc_simrdma.dir/nic.cc.o"
+  "CMakeFiles/scalerpc_simrdma.dir/nic.cc.o.d"
+  "CMakeFiles/scalerpc_simrdma.dir/node.cc.o"
+  "CMakeFiles/scalerpc_simrdma.dir/node.cc.o.d"
+  "CMakeFiles/scalerpc_simrdma.dir/verbs.cc.o"
+  "CMakeFiles/scalerpc_simrdma.dir/verbs.cc.o.d"
+  "libscalerpc_simrdma.a"
+  "libscalerpc_simrdma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_simrdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

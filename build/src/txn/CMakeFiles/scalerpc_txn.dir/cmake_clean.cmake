@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_txn.dir/coordinator.cc.o"
+  "CMakeFiles/scalerpc_txn.dir/coordinator.cc.o.d"
+  "CMakeFiles/scalerpc_txn.dir/participant.cc.o"
+  "CMakeFiles/scalerpc_txn.dir/participant.cc.o.d"
+  "CMakeFiles/scalerpc_txn.dir/testbed.cc.o"
+  "CMakeFiles/scalerpc_txn.dir/testbed.cc.o.d"
+  "CMakeFiles/scalerpc_txn.dir/workloads.cc.o"
+  "CMakeFiles/scalerpc_txn.dir/workloads.cc.o.d"
+  "libscalerpc_txn.a"
+  "libscalerpc_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

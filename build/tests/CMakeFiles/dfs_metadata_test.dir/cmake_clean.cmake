@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_metadata_test.dir/dfs/metadata_test.cc.o"
+  "CMakeFiles/dfs_metadata_test.dir/dfs/metadata_test.cc.o.d"
+  "dfs_metadata_test"
+  "dfs_metadata_test.pdb"
+  "dfs_metadata_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_metadata_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

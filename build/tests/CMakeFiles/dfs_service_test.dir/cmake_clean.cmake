@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_service_test.dir/dfs/service_test.cc.o"
+  "CMakeFiles/dfs_service_test.dir/dfs/service_test.cc.o.d"
+  "dfs_service_test"
+  "dfs_service_test.pdb"
+  "dfs_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_churn_test.dir/integration/churn_test.cc.o"
+  "CMakeFiles/integration_churn_test.dir/integration/churn_test.cc.o.d"
+  "integration_churn_test"
+  "integration_churn_test.pdb"
+  "integration_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

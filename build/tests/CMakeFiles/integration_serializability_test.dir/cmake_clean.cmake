@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_serializability_test.dir/integration/serializability_test.cc.o"
+  "CMakeFiles/integration_serializability_test.dir/integration/serializability_test.cc.o.d"
+  "integration_serializability_test"
+  "integration_serializability_test.pdb"
+  "integration_serializability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_serializability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_hashstore_test.dir/kv/hashstore_test.cc.o"
+  "CMakeFiles/kv_hashstore_test.dir/kv/hashstore_test.cc.o.d"
+  "kv_hashstore_test"
+  "kv_hashstore_test.pdb"
+  "kv_hashstore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_hashstore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_large_transfer_test.dir/rpc/large_transfer_test.cc.o"
+  "CMakeFiles/rpc_large_transfer_test.dir/rpc/large_transfer_test.cc.o.d"
+  "rpc_large_transfer_test"
+  "rpc_large_transfer_test.pdb"
+  "rpc_large_transfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_large_transfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_msg_format_test.dir/rpc/msg_format_test.cc.o"
+  "CMakeFiles/rpc_msg_format_test.dir/rpc/msg_format_test.cc.o.d"
+  "rpc_msg_format_test"
+  "rpc_msg_format_test.pdb"
+  "rpc_msg_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_msg_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_transports_test.dir/rpc/transports_test.cc.o"
+  "CMakeFiles/rpc_transports_test.dir/rpc/transports_test.cc.o.d"
+  "rpc_transports_test"
+  "rpc_transports_test.pdb"
+  "rpc_transports_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_transports_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_scaling_test.dir/scalerpc/scaling_test.cc.o"
+  "CMakeFiles/scalerpc_scaling_test.dir/scalerpc/scaling_test.cc.o.d"
+  "scalerpc_scaling_test"
+  "scalerpc_scaling_test.pdb"
+  "scalerpc_scaling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_scaling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

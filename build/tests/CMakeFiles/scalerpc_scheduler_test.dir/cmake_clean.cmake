@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_scheduler_test.dir/scalerpc/scheduler_test.cc.o"
+  "CMakeFiles/scalerpc_scheduler_test.dir/scalerpc/scheduler_test.cc.o.d"
+  "scalerpc_scheduler_test"
+  "scalerpc_scheduler_test.pdb"
+  "scalerpc_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

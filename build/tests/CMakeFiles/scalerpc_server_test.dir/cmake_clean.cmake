@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_server_test.dir/scalerpc/server_test.cc.o"
+  "CMakeFiles/scalerpc_server_test.dir/scalerpc/server_test.cc.o.d"
+  "scalerpc_server_test"
+  "scalerpc_server_test.pdb"
+  "scalerpc_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

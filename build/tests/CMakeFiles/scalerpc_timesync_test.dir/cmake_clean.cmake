@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalerpc_timesync_test.dir/scalerpc/timesync_test.cc.o"
+  "CMakeFiles/scalerpc_timesync_test.dir/scalerpc/timesync_test.cc.o.d"
+  "scalerpc_timesync_test"
+  "scalerpc_timesync_test.pdb"
+  "scalerpc_timesync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalerpc_timesync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrdma_llc_property_test.dir/simrdma/llc_property_test.cc.o"
+  "CMakeFiles/simrdma_llc_property_test.dir/simrdma/llc_property_test.cc.o.d"
+  "simrdma_llc_property_test"
+  "simrdma_llc_property_test.pdb"
+  "simrdma_llc_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrdma_llc_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrdma_memory_test.dir/simrdma/memory_test.cc.o"
+  "CMakeFiles/simrdma_memory_test.dir/simrdma/memory_test.cc.o.d"
+  "simrdma_memory_test"
+  "simrdma_memory_test.pdb"
+  "simrdma_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrdma_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrdma_nic_cache_test.dir/simrdma/nic_cache_test.cc.o"
+  "CMakeFiles/simrdma_nic_cache_test.dir/simrdma/nic_cache_test.cc.o.d"
+  "simrdma_nic_cache_test"
+  "simrdma_nic_cache_test.pdb"
+  "simrdma_nic_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrdma_nic_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrdma_scalability_test.dir/simrdma/scalability_test.cc.o"
+  "CMakeFiles/simrdma_scalability_test.dir/simrdma/scalability_test.cc.o.d"
+  "simrdma_scalability_test"
+  "simrdma_scalability_test.pdb"
+  "simrdma_scalability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrdma_scalability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

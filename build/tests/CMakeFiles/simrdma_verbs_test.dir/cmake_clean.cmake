@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simrdma_verbs_test.dir/simrdma/verbs_test.cc.o"
+  "CMakeFiles/simrdma_verbs_test.dir/simrdma/verbs_test.cc.o.d"
+  "simrdma_verbs_test"
+  "simrdma_verbs_test.pdb"
+  "simrdma_verbs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simrdma_verbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/common_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_event_loop_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_task_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/simrdma_llc_test[1]_include.cmake")
+include("/root/repo/build/tests/simrdma_nic_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/simrdma_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/simrdma_verbs_test[1]_include.cmake")
+include("/root/repo/build/tests/simrdma_scalability_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_msg_format_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_transports_test[1]_include.cmake")
+include("/root/repo/build/tests/scalerpc_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/scalerpc_server_test[1]_include.cmake")
+include("/root/repo/build/tests/scalerpc_timesync_test[1]_include.cmake")
+include("/root/repo/build/tests/scalerpc_scaling_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_hashstore_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_metadata_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_service_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_serializability_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_churn_test[1]_include.cmake")
+include("/root/repo/build/tests/simrdma_llc_property_test[1]_include.cmake")
+include("/root/repo/build/tests/rpc_large_transfer_test[1]_include.cmake")
