@@ -4,12 +4,15 @@
 // accepts:
 //   --quick       fewer sweep points / shorter windows (CI-friendly)
 //   --seed=N      workload seed
+//   --json=PATH   additionally emit machine-readable rows to PATH
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace scalerpc::bench {
@@ -17,6 +20,7 @@ namespace scalerpc::bench {
 struct Options {
   bool quick = false;
   uint64_t seed = 1;
+  std::string json_path;  // empty: no JSON output
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -26,8 +30,10 @@ inline Options parse_options(int argc, char** argv) {
       opt.quick = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      opt.json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--quick] [--seed=N]\n", argv[0]);
+      std::printf("usage: %s [--quick] [--seed=N] [--json=PATH]\n", argv[0]);
       std::exit(0);
     }
   }
@@ -40,6 +46,84 @@ inline void header(const std::string& title, const std::string& paper_ref) {
   std::printf("reproduces: %s\n", paper_ref.c_str());
   std::printf("==============================================================\n");
 }
+
+// Machine-readable output: a flat list of rows, each a set of key/value
+// fields. Benchmarks call begin_row()/field() while printing the human
+// table, then write_file(opt.json_path) at exit. The format is one stable
+// JSON object per benchmark:
+//   {"bench": "<name>", "rows": [{"k": v, ...}, ...]}
+class JsonRows {
+ public:
+  void begin_row() { rows_.emplace_back(); }
+
+  void field(const char* key, const std::string& v) {
+    add(key, "\"" + escape(v) + "\"");
+  }
+  void field(const char* key, const char* v) { field(key, std::string(v)); }
+  void field(const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    add(key, buf);
+  }
+  void field(const char* key, uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    add(key, buf);
+  }
+  void field(const char* key, int64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    add(key, buf);
+  }
+  void field(const char* key, int v) { field(key, static_cast<int64_t>(v)); }
+  void field(const char* key, bool v) { add(key, v ? "true" : "false"); }
+
+  // Writes {"bench": name, "rows": [...]} to `path`. No-op when `path` is
+  // empty (the --json flag was not given). Returns false on I/O failure.
+  bool write_file(const std::string& path, const std::string& bench_name) const {
+    if (path.empty()) {
+      return true;
+    }
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", escape(bench_name).c_str());
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "    {");
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        std::fprintf(f, "%s\"%s\": %s", i == 0 ? "" : ", ", rows_[r][i].first.c_str(),
+                     rows_[r][i].second.c_str());
+      }
+      std::fprintf(f, "}%s\n", r + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void add(const char* key, std::string rendered) {
+    if (rows_.empty()) {
+      rows_.emplace_back();
+    }
+    rows_.back().emplace_back(key, std::move(rendered));
+  }
+  static std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+      }
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 }  // namespace scalerpc::bench
 

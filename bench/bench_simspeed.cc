@@ -1,0 +1,133 @@
+// Simulator wall-clock speed benchmark (not a paper figure).
+//
+// Drives a fixed Fig-8-style echo workload through three transports that
+// stress the three simulator hot paths differently:
+//   * scalerpc/batch8 — event-loop bound (deep pipelining, many coroutines)
+//   * rawwrite/batch1 — NIC QP-cache bound (per-client RC QPs thrash the LRU)
+//   * fasst/batch8    — LLC/DDIO bound (UD pools touch many lines)
+// and reports, per config and in aggregate, how fast the simulator itself
+// runs: events/sec of wall time and simulated Mops per wall-second. The
+// workload (clients, batch, window, seed) is pinned so numbers are
+// comparable across commits; CI trends come from the --json output
+// (committed as BENCH_simspeed.json at the repo root).
+#include <chrono>
+
+#include "bench/bench_common.h"
+#include "src/harness/harness.h"
+
+using namespace scalerpc;
+using namespace scalerpc::harness;
+
+namespace {
+
+struct Config {
+  const char* name;
+  TransportKind kind;
+  int clients;
+  int batch;
+};
+
+struct SpeedRow {
+  uint64_t events = 0;
+  uint64_t ops = 0;
+  double wall_s = 0.0;
+};
+
+constexpr int kRepeats = 3;
+
+SpeedRow measure_once(const Config& c, uint64_t seed, bool quick) {
+  TestbedConfig cfg;
+  cfg.kind = c.kind;
+  cfg.num_clients = c.clients;
+  cfg.num_client_nodes = 11;
+  (void)seed;  // workload is closed-loop and deterministic; seed reserved
+  Testbed bed(cfg);
+  EchoWorkload wl;
+  wl.batch = c.batch;
+  wl.warmup = usec(600);
+  wl.measure = quick ? msec(2) : msec(8);
+
+  const uint64_t events_before = bed.loop().events_processed();
+  const auto wall_start = std::chrono::steady_clock::now();
+  EchoResult res = run_echo(bed, wl);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  SpeedRow row;
+  row.events = bed.loop().events_processed() - events_before;
+  row.ops = res.ops;
+  row.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+  return row;
+}
+
+// Best-of-N wall time. The simulation is deterministic, so every repeat
+// processes the identical event sequence; the minimum wall time is the
+// standard estimator for the run least disturbed by other load on the
+// machine.
+SpeedRow measure(const Config& c, uint64_t seed, bool quick) {
+  SpeedRow best = measure_once(c, seed, quick);
+  for (int r = 1; r < kRepeats; ++r) {
+    const SpeedRow row = measure_once(c, seed, quick);
+    SCALERPC_CHECK(row.events == best.events && row.ops == best.ops);
+    if (row.wall_s < best.wall_s) {
+      best = row;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  const Config configs[] = {
+      {"scalerpc_b8", TransportKind::kScaleRpc, 200, 8},
+      {"rawwrite_b1", TransportKind::kRawWrite, 200, 1},
+      {"fasst_b8", TransportKind::kFasst, 200, 8},
+  };
+
+  bench::header("Simulator speed: wall-clock events/sec on a Fig-8 workload",
+                "infrastructure benchmark (no paper figure)");
+  std::printf("%-14s%-14s%-12s%-16s%-16s\n", "config", "events", "wall_ms",
+              "events/sec", "sim-Mops/wall-s");
+
+  bench::JsonRows json;
+  uint64_t total_events = 0;
+  uint64_t total_ops = 0;
+  double total_wall = 0.0;
+  for (const auto& c : configs) {
+    const SpeedRow row = measure(c, opt.seed, opt.quick);
+    const double eps = static_cast<double>(row.events) / row.wall_s;
+    const double mops_per_s = static_cast<double>(row.ops) / row.wall_s / 1e6;
+    std::printf("%-14s%-14" PRIu64 "%-12.1f%-16.3g%-16.3g\n", c.name, row.events,
+                row.wall_s * 1e3, eps, mops_per_s);
+    json.begin_row();
+    json.field("config", c.name);
+    json.field("clients", c.clients);
+    json.field("batch", c.batch);
+    json.field("repeats", kRepeats);
+    json.field("events", row.events);
+    json.field("sim_ops", row.ops);
+    json.field("wall_s", row.wall_s);
+    json.field("events_per_sec", eps);
+    json.field("sim_mops_per_wall_s", mops_per_s);
+    total_events += row.events;
+    total_ops += row.ops;
+    total_wall += row.wall_s;
+  }
+
+  const double agg_eps = static_cast<double>(total_events) / total_wall;
+  std::printf("%-14s%-14" PRIu64 "%-12.1f%-16.3g%-16.3g\n", "TOTAL", total_events,
+              total_wall * 1e3, agg_eps,
+              static_cast<double>(total_ops) / total_wall / 1e6);
+  json.begin_row();
+  json.field("config", "TOTAL");
+  json.field("events", total_events);
+  json.field("sim_ops", total_ops);
+  json.field("wall_s", total_wall);
+  json.field("events_per_sec", agg_eps);
+  json.field("sim_mops_per_wall_s", static_cast<double>(total_ops) / total_wall / 1e6);
+  if (!json.write_file(opt.json_path, "simspeed")) {
+    return 1;
+  }
+  return 0;
+}

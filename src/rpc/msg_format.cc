@@ -20,11 +20,6 @@ uint32_t encode_at(simrdma::HostMemory& mem, uint64_t addr, uint8_t op, uint8_t 
   return total;
 }
 
-bool block_has_message(const simrdma::HostMemory& mem, uint64_t block_base,
-                       uint32_t block_bytes) {
-  return mem.load_pod<uint8_t>(block_base + block_bytes - 1) == kValidMagic;
-}
-
 std::optional<MessageView> decode_block(const simrdma::HostMemory& mem,
                                         uint64_t block_base, uint32_t block_bytes) {
   if (!block_has_message(mem, block_base, block_bytes)) {

@@ -61,9 +61,12 @@ constexpr uint64_t aligned_target(uint64_t block_base, uint32_t block_bytes,
 }
 
 // True when the block's Valid byte carries the magic (cheap 1-byte check —
-// callers charge the LLC cost of reading that byte themselves).
-bool block_has_message(const simrdma::HostMemory& mem, uint64_t block_base,
-                       uint32_t block_bytes);
+// callers charge the LLC cost of reading that byte themselves). Inline: this
+// sits in every server's poll loop.
+inline bool block_has_message(const simrdma::HostMemory& mem, uint64_t block_base,
+                              uint32_t block_bytes) {
+  return mem.load_pod<uint8_t>(block_base + block_bytes - 1) == kValidMagic;
+}
 
 // Decodes the right-aligned message in a block; nullopt if Valid is unset
 // or the length field is corrupt.

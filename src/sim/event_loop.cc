@@ -1,44 +1,351 @@
 #include "src/sim/event_loop.h"
 
 namespace scalerpc::sim {
+namespace {
+
+// First occupied slot in cyclic order from `start`: returns the distance
+// d in [0, 256) such that slot = (start + d) & 255, or -1 if the level is
+// empty. Touches at most five 64-bit words.
+int scan_cyclic(const std::array<uint64_t, 4>& occ, int start) {
+  const int sw = start >> 6;
+  const int sb = start & 63;
+  for (int i = 0; i <= 4; ++i) {
+    const int w = (sw + i) & 3;
+    uint64_t word = occ[static_cast<size_t>(w)];
+    if (i == 0) {
+      word &= ~uint64_t{0} << sb;
+    } else if (i == 4) {
+      word &= sb != 0 ? (uint64_t{1} << sb) - 1 : uint64_t{0};
+    }
+    if (word != 0) {
+      const int slot = (w << 6) | __builtin_ctzll(word);
+      return (slot - start) & 255;
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  pool_.reserve(1024);
+  overflow_.reserve(16);
+  fns_.reserve(64);
+  fn_free_.reserve(64);
+}
+
+uint32_t EventLoop::alloc_item() {
+  if (free_head_ != kNil) {
+    const uint32_t idx = free_head_;
+    free_head_ = pool_[idx].next;
+    return idx;
+  }
+  pool_.emplace_back();
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+void EventLoop::free_item(uint32_t idx) {
+  Item& it = pool_[idx];
+  it.handle = nullptr;
+  it.raw_fn = nullptr;
+  it.raw_arg = nullptr;
+  it.fn_idx = kNil;
+  it.next = free_head_;
+  free_head_ = idx;
+}
 
 void EventLoop::schedule_at(Nanos at, std::coroutine_handle<> h) {
   SCALERPC_CHECK(at >= now_);
-  queue_.push(Item{at, next_seq_++, h, nullptr});
+  const uint32_t idx = alloc_item();
+  Item& it = pool_[idx];
+  it.at = at;
+  it.seq = next_seq_++;
+  it.handle = h;
+  it.next = kNil;
+  size_++;
+  enqueue(idx);
+}
+
+void EventLoop::call_at(Nanos at, RawFn fn, void* arg) {
+  SCALERPC_CHECK(at >= now_);
+  const uint32_t idx = alloc_item();
+  Item& it = pool_[idx];
+  it.at = at;
+  it.seq = next_seq_++;
+  it.raw_fn = fn;
+  it.raw_arg = arg;
+  it.next = kNil;
+  size_++;
+  enqueue(idx);
 }
 
 void EventLoop::call_at(Nanos at, std::function<void()> fn) {
   SCALERPC_CHECK(at >= now_);
-  queue_.push(Item{at, next_seq_++, nullptr, std::move(fn)});
+  uint32_t fslot;
+  if (!fn_free_.empty()) {
+    fslot = fn_free_.back();
+    fn_free_.pop_back();
+    fns_[fslot] = std::move(fn);
+  } else {
+    fslot = static_cast<uint32_t>(fns_.size());
+    fns_.push_back(std::move(fn));
+  }
+  const uint32_t idx = alloc_item();
+  Item& it = pool_[idx];
+  it.at = at;
+  it.seq = next_seq_++;
+  it.fn_idx = fslot;
+  it.next = kNil;
+  size_++;
+  enqueue(idx);
 }
 
-bool EventLoop::step() {
-  if (queue_.empty()) {
+void EventLoop::enqueue(uint32_t idx) {
+  if (pool_[idx].at - cursor_ >= kSpan) {
+    overflow_push(idx);
+  } else {
+    wheel_insert(idx);
+  }
+}
+
+void EventLoop::wheel_insert(uint32_t idx) {
+  const Nanos at = pool_[idx].at;
+  const Nanos delta = at - cursor_;
+  const int level = delta == 0 ? 0 : (63 - __builtin_clzll(static_cast<uint64_t>(delta))) >> 3;
+  const int slot =
+      static_cast<int>((static_cast<uint64_t>(at) >> (kLevelBits * level)) & 255);
+  if (level == 0) {
+    slot_insert_sorted(slot, idx);
+  } else {
+    slot_append(level, slot, idx);
+  }
+  level_size_[static_cast<size_t>(level)]++;
+  occ_[static_cast<size_t>(level)][static_cast<size_t>(slot >> 6)] |= uint64_t{1}
+                                                                      << (slot & 63);
+}
+
+void EventLoop::slot_append(int level, int slot, uint32_t idx) {
+  Slot& s = wheel_[static_cast<size_t>(level)][static_cast<size_t>(slot)];
+  if (s.tail == kNil) {
+    s.head = s.tail = idx;
+  } else {
+    pool_[s.tail].next = idx;
+    s.tail = idx;
+  }
+}
+
+void EventLoop::slot_insert_sorted(int slot, uint32_t idx) {
+  // Every item in a level-0 slot carries the same timestamp, so ordering
+  // within the slot is pure insertion-sequence order. Direct schedules
+  // always carry the largest seq so far (O(1) append); only items cascading
+  // down from outer levels or migrating from the overflow heap splice in.
+  Slot& s = wheel_[0][static_cast<size_t>(slot)];
+  if (s.tail == kNil) {
+    s.head = s.tail = idx;
+    return;
+  }
+  const uint64_t seq = pool_[idx].seq;
+  if (pool_[s.tail].seq < seq) {
+    pool_[s.tail].next = idx;
+    s.tail = idx;
+    return;
+  }
+  uint32_t prev = kNil;
+  uint32_t cur = s.head;
+  while (cur != kNil && pool_[cur].seq < seq) {
+    prev = cur;
+    cur = pool_[cur].next;
+  }
+  pool_[idx].next = cur;
+  if (prev == kNil) {
+    s.head = idx;
+  } else {
+    pool_[prev].next = idx;
+  }
+  if (cur == kNil) {
+    s.tail = idx;
+  }
+}
+
+void EventLoop::cascade(int level, int slot, Nanos bucket_start) {
+  cursor_ = bucket_start;
+  Slot& s = wheel_[static_cast<size_t>(level)][static_cast<size_t>(slot)];
+  uint32_t idx = s.head;
+  s.head = s.tail = kNil;
+  occ_[static_cast<size_t>(level)][static_cast<size_t>(slot >> 6)] &=
+      ~(uint64_t{1} << (slot & 63));
+  while (idx != kNil) {
+    const uint32_t nxt = pool_[idx].next;
+    pool_[idx].next = kNil;
+    level_size_[static_cast<size_t>(level)]--;
+    wheel_insert(idx);
+    idx = nxt;
+  }
+}
+
+bool EventLoop::settle(Nanos bound) {
+  if (size_ == 0) {
     return false;
   }
-  Item item = queue_.top();
-  queue_.pop();
-  now_ = item.at;
-  if (item.handle) {
-    item.handle.resume();
+  for (;;) {
+    // Migrate overflow events that have come within the wheel horizon. If
+    // only overflow events remain, jump the cursor straight to the earliest.
+    while (!overflow_.empty()) {
+      const Nanos top_at = pool_[overflow_[0]].at;
+      if (top_at - cursor_ < kSpan) {
+        wheel_insert(overflow_pop());
+        continue;
+      }
+      if (size_ == overflow_.size()) {
+        if (top_at > bound) {
+          return false;
+        }
+        cursor_ = top_at;
+        continue;
+      }
+      break;
+    }
+
+    Nanos t0 = kMaxTime;
+    if (level_size_[0] != 0) {
+      const int s0 = static_cast<int>(static_cast<uint64_t>(cursor_) & 255);
+      const int d = scan_cyclic(occ_[0], s0);
+      if (d >= 0) {
+        t0 = cursor_ + d;
+      }
+    }
+
+    // Earliest non-empty bucket per outer level. Scanning starts one past
+    // the cursor's own slot: every bucket is flattened the moment the
+    // cursor enters it (see below), so an occupied cursor slot at level l
+    // can only mean the bucket one full wheel revolution ahead.
+    int cand_slot[kLevels];
+    Nanos cand_start[kLevels];
+    Nanos bstart = kMaxTime;
+    for (int l = 1; l < kLevels; ++l) {
+      cand_start[l] = kMaxTime;
+      if (level_size_[static_cast<size_t>(l)] == 0) {
+        continue;
+      }
+      const uint64_t cl = static_cast<uint64_t>(cursor_) >> (kLevelBits * l);
+      const int sl = static_cast<int>(cl & 255);
+      const int d = scan_cyclic(occ_[static_cast<size_t>(l)], (sl + 1) & 255);
+      if (d < 0) {
+        continue;
+      }
+      cand_start[l] =
+          static_cast<Nanos>((cl + static_cast<uint64_t>(d) + 1) << (kLevelBits * l));
+      cand_slot[l] = (sl + 1 + d) & 255;
+      if (cand_start[l] < bstart) {
+        bstart = cand_start[l];
+      }
+    }
+
+    // A bucket starting at or before the earliest level-0 event may hold
+    // events that fire sooner (or tie on time with a smaller seq): it must
+    // be flattened before the next event is known. Several levels can have
+    // buckets starting at the same instant (a wide bucket's range opens
+    // exactly where a narrower one does); all of them must be flattened in
+    // this step — otherwise the cursor would come to rest at the start of a
+    // still-occupied bucket whose slot index equals the cursor's own
+    // residue, which the sl+1 scan above would misread as a bucket one
+    // revolution ahead. Widest level first, so its items trickle down
+    // before narrower tied buckets are themselves flattened.
+    if (bstart != kMaxTime && bstart <= t0) {
+      if (bstart > bound) {
+        return false;
+      }
+      for (int l = kLevels - 1; l >= 1; --l) {
+        if (cand_start[l] == bstart) {
+          cascade(l, cand_slot[l], bstart);
+        }
+      }
+      continue;
+    }
+    SCALERPC_CHECK(t0 != kMaxTime);
+    if (t0 > bound) {
+      return false;
+    }
+    next_at_ = t0;
+    return true;
+  }
+}
+
+bool EventLoop::fire_next(Nanos bound) {
+  if (!settle(bound)) {
+    return false;
+  }
+  const int slot = static_cast<int>(static_cast<uint64_t>(next_at_) & 255);
+  Slot& s = wheel_[0][static_cast<size_t>(slot)];
+  const uint32_t idx = s.head;
+  s.head = pool_[idx].next;
+  if (s.head == kNil) {
+    s.tail = kNil;
+    occ_[0][static_cast<size_t>(slot >> 6)] &= ~(uint64_t{1} << (slot & 63));
+  }
+  level_size_[0]--;
+  size_--;
+  const Item it = pool_[idx];
+  free_item(idx);
+  now_ = cursor_ = it.at;
+  events_processed_++;
+  if (it.handle) {
+    it.handle.resume();
+  } else if (it.raw_fn != nullptr) {
+    it.raw_fn(it.raw_arg);
   } else {
-    item.fn();
+    auto fn = std::move(fns_[it.fn_idx]);
+    fns_[it.fn_idx] = nullptr;
+    fn_free_.push_back(it.fn_idx);
+    fn();
   }
   return true;
 }
 
-void EventLoop::run() {
-  while (step()) {
-  }
-}
-
 void EventLoop::run_until(Nanos t) {
-  while (!queue_.empty() && queue_.top().at <= t) {
-    step();
+  while (fire_next(t)) {
   }
   if (now_ < t) {
     now_ = t;
   }
+  if (cursor_ < now_) {
+    cursor_ = now_;
+  }
+}
+
+void EventLoop::overflow_push(uint32_t idx) {
+  overflow_.push_back(idx);
+  size_t i = overflow_.size() - 1;
+  while (i > 0) {
+    const size_t p = (i - 1) / 4;
+    if (!overflow_less(overflow_[i], overflow_[p])) {
+      break;
+    }
+    std::swap(overflow_[i], overflow_[p]);
+    i = p;
+  }
+}
+
+uint32_t EventLoop::overflow_pop() {
+  const uint32_t top = overflow_[0];
+  overflow_[0] = overflow_.back();
+  overflow_.pop_back();
+  const size_t n = overflow_.size();
+  size_t i = 0;
+  for (;;) {
+    size_t best = i;
+    for (size_t c = 4 * i + 1; c <= 4 * i + 4 && c < n; ++c) {
+      if (overflow_less(overflow_[c], overflow_[best])) {
+        best = c;
+      }
+    }
+    if (best == i) {
+      break;
+    }
+    std::swap(overflow_[i], overflow_[best]);
+    i = best;
+  }
+  return top;
 }
 
 }  // namespace scalerpc::sim

@@ -4,12 +4,24 @@
 // think time — is expressed as coroutines (see task.h) that suspend on this
 // loop. Events fire in (time, insertion-order) order, so runs are exactly
 // reproducible: same seed, same trace.
+//
+// Internally the loop is a hierarchical timing wheel over a slab of fixed
+// `Item` records: 6 levels of 256 slots at 2^(8*level) ns granularity cover
+// 2^48 ns of lookahead with O(1) insertion; rarer far-future events spill
+// into a small 4-ary heap and migrate into the wheel as the clock
+// approaches. Nothing on the schedule/fire path allocates once the slab has
+// grown to the peak number of in-flight events (see DESIGN.md, "Simulator
+// performance"). Events tied at the same timestamp always end up in the
+// same level-0 slot, kept sorted by insertion sequence, which preserves the
+// exact (time, seq) trace of the original priority-queue implementation.
 #ifndef SRC_SIM_EVENT_LOOP_H_
 #define SRC_SIM_EVENT_LOOP_H_
 
+#include <array>
 #include <coroutine>
+#include <cstdint>
 #include <functional>
-#include <queue>
+#include <limits>
 #include <vector>
 
 #include "src/common/logging.h"
@@ -21,7 +33,11 @@ using scalerpc::Nanos;
 
 class EventLoop {
  public:
-  EventLoop() = default;
+  // Allocation-free callback: a plain function pointer plus context. The
+  // argument must stay valid until the event fires.
+  using RawFn = void (*)(void*);
+
+  EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 
@@ -38,18 +54,29 @@ class EventLoop {
   void call_at(Nanos at, std::function<void()> fn);
   void call_in(Nanos delay, std::function<void()> fn) { call_at(now_ + delay, std::move(fn)); }
 
+  // Allocation-free callback scheduling for hot paths (e.g. per-packet
+  // switch delivery): no type erasure, no capture storage.
+  void call_at(Nanos at, RawFn fn, void* arg);
+  void call_in(Nanos delay, RawFn fn, void* arg) { call_at(now_ + delay, fn, arg); }
+
   // Runs a single event. Returns false when the queue is empty.
-  bool step();
+  bool step() { return fire_next(kMaxTime); }
 
   // Runs until the queue drains.
-  void run();
+  void run() {
+    while (fire_next(kMaxTime)) {
+    }
+  }
 
   // Runs until simulated time reaches `t` (events at exactly `t` included)
   // or the queue drains. Advances now() to `t` if the queue drains early.
   void run_until(Nanos t);
   void run_for(Nanos d) { run_until(now_ + d); }
 
-  size_t pending() const { return queue_.size(); }
+  size_t pending() const { return size_; }
+
+  // Total events fired since construction (wall-clock speed metric).
+  uint64_t events_processed() const { return events_processed_; }
 
   // Awaitable: suspends the calling coroutine for `d` simulated nanoseconds.
   // Usage: co_await loop.delay(usec(5));
@@ -68,24 +95,73 @@ class EventLoop {
   auto yield() { return delay(0); }
 
  private:
+  static constexpr int kLevelBits = 8;
+  static constexpr int kSlotsPerLevel = 1 << kLevelBits;  // 256
+  static constexpr int kLevels = 6;
+  static constexpr Nanos kSpan = Nanos{1} << (kLevelBits * kLevels);  // 2^48 ns
+  static constexpr uint32_t kNil = 0xffffffffu;
+  static constexpr Nanos kMaxTime = std::numeric_limits<Nanos>::max();
+
   struct Item {
-    Nanos at;
-    uint64_t seq;
-    std::coroutine_handle<> handle;   // exactly one of handle / fn is set
-    std::function<void()> fn;
+    Nanos at = 0;
+    uint64_t seq = 0;
+    std::coroutine_handle<> handle = nullptr;  // coroutine resume, or:
+    RawFn raw_fn = nullptr;                    // raw callback, or:
+    uint32_t fn_idx = kNil;                    // index into fns_
+    void* raw_arg = nullptr;
+    uint32_t next = kNil;  // intrusive slot / free list
   };
-  struct ItemCompare {
-    bool operator()(const Item& a, const Item& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
-    }
+  struct Slot {
+    uint32_t head = kNil;
+    uint32_t tail = kNil;
   };
 
+  uint32_t alloc_item();
+  void free_item(uint32_t idx);
+  void enqueue(uint32_t idx);          // places a pending item by (at, seq)
+  void wheel_insert(uint32_t idx);     // wheel portion of enqueue
+  void slot_append(int level, int slot, uint32_t idx);
+  void slot_insert_sorted(int slot, uint32_t idx);  // level 0, seq order
+  // Redistributes every item of wheel_[level][slot] into lower levels after
+  // advancing cursor_ to the slot's bucket start.
+  void cascade(int level, int slot, Nanos bucket_start);
+  // Locates the earliest pending event; returns true iff its time is <=
+  // `bound` (next_at_ is then its timestamp and it sits at the head of its
+  // level-0 slot). Never advances cursor_ past `bound`.
+  bool settle(Nanos bound);
+  bool fire_next(Nanos bound);
+
+  void overflow_push(uint32_t idx);
+  uint32_t overflow_pop();
+  bool overflow_less(uint32_t a, uint32_t b) const {
+    const Item &ia = pool_[a], &ib = pool_[b];
+    return ia.at != ib.at ? ia.at < ib.at : ia.seq < ib.seq;
+  }
+
   Nanos now_ = 0;
+  // Wheel reference time. Equals now_ between events; settle() may run it
+  // ahead transiently (never past the next event time) while cascading.
+  Nanos cursor_ = 0;
   uint64_t next_seq_ = 0;
-  std::priority_queue<Item, std::vector<Item>, ItemCompare> queue_;
+  uint64_t events_processed_ = 0;
+  size_t size_ = 0;        // total pending (wheel + overflow)
+  Nanos next_at_ = 0;      // valid after settle() returns true
+
+  std::vector<Item> pool_;
+  uint32_t free_head_ = kNil;
+
+  std::array<std::array<Slot, kSlotsPerLevel>, kLevels> wheel_{};
+  // Occupancy bitmap per level: bit s set iff wheel_[l][s] is non-empty.
+  std::array<std::array<uint64_t, kSlotsPerLevel / 64>, kLevels> occ_{};
+  // Items resident per level; lets settle() skip bitmap scans of empty
+  // levels (outer levels are usually empty in steady state).
+  std::array<uint32_t, kLevels> level_size_{};
+
+  std::vector<uint32_t> overflow_;  // 4-ary heap of pool indices, (at, seq)
+
+  // Type-erased callbacks live outside the POD slab; slots are recycled.
+  std::vector<std::function<void()>> fns_;
+  std::vector<uint32_t> fn_free_;
 };
 
 }  // namespace scalerpc::sim

@@ -16,6 +16,7 @@
 
 #include "src/common/logging.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/pool.h"
 
 namespace scalerpc::sim {
 
@@ -27,6 +28,12 @@ namespace task_detail {
 struct PromiseBase {
   std::coroutine_handle<> continuation;
   bool detached = false;
+
+  // Coroutine frames (one or more per simulated message) are recycled
+  // through BytePool. The sized delete form is required so release() can
+  // find the right freelist without a block header.
+  static void* operator new(std::size_t n) { return BytePool::alloc(n); }
+  static void operator delete(void* p, std::size_t n) { BytePool::release(p, n); }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 

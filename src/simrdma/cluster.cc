@@ -35,8 +35,28 @@ void Cluster::route(Packet pkt) {
   SCALERPC_CHECK(pkt.dst_node >= 0 &&
                  pkt.dst_node < static_cast<int>(nodes_.size()));
   Node* dst = nodes_[static_cast<size_t>(pkt.dst_node)].get();
-  loop_.call_in(params_.switch_latency_ns,
-                [dst, pkt = std::move(pkt)]() mutable { dst->nic().deliver(std::move(pkt)); });
+  uint32_t slot;
+  if (!in_flight_free_.empty()) {
+    slot = in_flight_free_.back();
+    in_flight_free_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(in_flight_.size());
+    in_flight_.push_back(std::make_unique<InFlight>());
+    in_flight_.back()->cluster = this;
+    in_flight_.back()->slot = slot;
+  }
+  InFlight* f = in_flight_[slot].get();
+  f->dst = dst;
+  f->pkt = std::move(pkt);
+  loop_.call_in(params_.switch_latency_ns, &Cluster::deliver_in_flight, f);
+}
+
+void Cluster::deliver_in_flight(void* arg) {
+  auto* f = static_cast<InFlight*>(arg);
+  Node* dst = f->dst;
+  Packet pkt = std::move(f->pkt);
+  f->cluster->in_flight_free_.push_back(f->slot);
+  dst->nic().deliver(std::move(pkt));
 }
 
 }  // namespace scalerpc::simrdma

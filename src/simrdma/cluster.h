@@ -36,9 +36,23 @@ class Cluster {
   void route(Packet pkt);
 
  private:
+  // In-flight packets parked in a recycled pool while they cross the
+  // switch, so routing costs no allocation (the event loop's raw-callback
+  // path carries a pointer to the pool entry). Entries are individually
+  // heap-allocated once so their addresses stay stable as the pool grows.
+  struct InFlight {
+    Cluster* cluster = nullptr;
+    Node* dst = nullptr;
+    uint32_t slot = 0;
+    Packet pkt;
+  };
+  static void deliver_in_flight(void* arg);
+
   SimParams params_;
   sim::EventLoop loop_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<InFlight>> in_flight_;
+  std::vector<uint32_t> in_flight_free_;
 };
 
 }  // namespace scalerpc::simrdma

@@ -1,0 +1,189 @@
+// Allocation-free LRU building blocks shared by the NIC cache and the LLC
+// model.
+//
+// Both caches used to be std::list + std::unordered_map, which costs a node
+// allocation per insert and two dependent pointer chases per touch. The hot
+// figure sweeps (Fig. 8/10/11) do one such touch per simulated cache line,
+// so the simulator itself was bound by them. The replacement keeps every
+// structure in a handful of flat arrays sized once at construction:
+//
+//  * FlatHashIndex — open-addressing (linear probing, backward-shift
+//    deletion) map from uint64 key to a uint32 slot index. Power-of-two
+//    table at most half full; one probe run per lookup, no tombstones.
+//  * LruList — intrusive doubly-linked list threaded through a caller-owned
+//    LruLink array; push/move/erase are pure index writes.
+//
+// Zero heap allocations after construction — verified by
+// tests/simrdma/hotpath_alloc_test.cc with a counting global allocator.
+#ifndef SRC_SIMRDMA_FLAT_LRU_H_
+#define SRC_SIMRDMA_FLAT_LRU_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace scalerpc::simrdma {
+
+inline constexpr uint32_t kLruNil = 0xffffffffu;
+
+// Open-addressing hash index: uint64 key -> uint32 value (a slot index,
+// which must be < 0xffffffff). At most `max_entries` live keys; the table
+// is sized to keep load factor <= 0.5 so probe runs stay short.
+class FlatHashIndex {
+ public:
+  explicit FlatHashIndex(size_t max_entries) {
+    size_t cap = 4;
+    while (cap < 2 * max_entries) {
+      cap <<= 1;
+    }
+    mask_ = cap - 1;
+    entries_.assign(cap, Entry{0, kLruNil});
+  }
+
+  // Returns the value for `key`, or kLruNil if absent.
+  uint32_t find(uint64_t key) const {
+    for (size_t i = bucket_of(key);; i = (i + 1) & mask_) {
+      const Entry& e = entries_[i];
+      if (e.val == kLruNil) {
+        return kLruNil;
+      }
+      if (e.key == key) {
+        return e.val;
+      }
+    }
+  }
+
+  // Inserts `key` -> `value`. The key must not already be present.
+  void insert(uint64_t key, uint32_t value) {
+    size_++;
+    SCALERPC_CHECK(2 * size_ <= mask_ + 1);
+    for (size_t i = bucket_of(key);; i = (i + 1) & mask_) {
+      if (entries_[i].val == kLruNil) {
+        entries_[i] = Entry{key, value};
+        return;
+      }
+    }
+  }
+
+  // Removes `key` if present; returns true when it was. Uses backward-shift
+  // deletion so lookups never have to skip tombstones.
+  bool erase(uint64_t key) {
+    size_t i = bucket_of(key);
+    for (;; i = (i + 1) & mask_) {
+      if (entries_[i].val == kLruNil) {
+        return false;
+      }
+      if (entries_[i].key == key) {
+        break;
+      }
+    }
+    size_--;
+    size_t hole = i;
+    for (size_t j = (hole + 1) & mask_;; j = (j + 1) & mask_) {
+      if (entries_[j].val == kLruNil) {
+        break;
+      }
+      const size_t home = bucket_of(entries_[j].key);
+      // Move j into the hole only if that does not hop it before its home
+      // bucket (cyclic distance test).
+      if (((j - home) & mask_) >= ((j - hole) & mask_)) {
+        entries_[hole] = entries_[j];
+        hole = j;
+      }
+    }
+    entries_[hole].val = kLruNil;
+    return true;
+  }
+
+  size_t size() const { return size_; }
+
+  void clear() {
+    size_ = 0;
+    entries_.assign(entries_.size(), Entry{0, kLruNil});
+  }
+
+ private:
+  // Key and value share a cache line so a probe costs one memory access;
+  // the tables model multi-megabyte LLCs, making every probe a likely miss.
+  struct Entry {
+    uint64_t key;
+    uint32_t val;  // kLruNil marks an empty bucket
+  };
+
+  size_t bucket_of(uint64_t key) const {
+    // Fibonacci (multiplicative) hashing; top bits give the bucket.
+    const uint64_t h = key * 0x9e3779b97f4a7c15ull;
+    return static_cast<size_t>(h >> 32) & mask_;
+  }
+
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  std::vector<Entry> entries_;
+};
+
+struct LruLink {
+  uint32_t prev = kLruNil;
+  uint32_t next = kLruNil;
+};
+
+// Intrusive MRU-at-front list over an external LruLink array. A given link
+// slot may belong to at most one list at a time.
+class LruList {
+ public:
+  bool empty() const { return head_ == kLruNil; }
+  size_t size() const { return size_; }
+  uint32_t front() const { return head_; }  // MRU
+  uint32_t back() const { return tail_; }   // LRU
+
+  void push_front(LruLink* links, uint32_t i) {
+    links[i].prev = kLruNil;
+    links[i].next = head_;
+    if (head_ != kLruNil) {
+      links[head_].prev = i;
+    } else {
+      tail_ = i;
+    }
+    head_ = i;
+    size_++;
+  }
+
+  void erase(LruLink* links, uint32_t i) {
+    const uint32_t p = links[i].prev;
+    const uint32_t n = links[i].next;
+    if (p != kLruNil) {
+      links[p].next = n;
+    } else {
+      head_ = n;
+    }
+    if (n != kLruNil) {
+      links[n].prev = p;
+    } else {
+      tail_ = p;
+    }
+    size_--;
+  }
+
+  void move_to_front(LruLink* links, uint32_t i) {
+    if (head_ == i) {
+      return;
+    }
+    erase(links, i);
+    push_front(links, i);
+  }
+
+  void clear() {
+    head_ = tail_ = kLruNil;
+    size_ = 0;
+  }
+
+ private:
+  uint32_t head_ = kLruNil;
+  uint32_t tail_ = kLruNil;
+  size_t size_ = 0;
+};
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_FLAT_LRU_H_

@@ -7,145 +7,89 @@ namespace scalerpc::simrdma {
 LastLevelCache::LastLevelCache(const SimParams& params)
     : params_(params),
       capacity_lines_(params.derived_llc_lines()),
-      ddio_capacity_lines_(params.derived_ddio_lines()) {
+      ddio_capacity_lines_(params.derived_ddio_lines()),
+      index_(capacity_lines_),
+      slot_line_(capacity_lines_),
+      links_(capacity_lines_),
+      partition_(capacity_lines_, Partition::kGeneral) {
   SCALERPC_CHECK(capacity_lines_ > 0);
   SCALERPC_CHECK(ddio_capacity_lines_ > 0);
-  lines_.reserve(capacity_lines_);
+  free_.reserve(capacity_lines_);
+  for (uint64_t i = capacity_lines_; i > 0; --i) {
+    free_.push_back(static_cast<uint32_t>(i - 1));
+  }
 }
 
-void LastLevelCache::touch(uint64_t line) {
-  auto it = lines_.find(line);
-  SCALERPC_CHECK(it != lines_.end());
-  auto& lru = it->second.partition == Partition::kGeneral ? general_lru_ : ddio_lru_;
-  lru.splice(lru.begin(), lru, it->second.lru_pos);
+uint32_t LastLevelCache::take_free_slot(uint64_t line) {
+  const uint32_t slot = free_.back();
+  free_.pop_back();
+  slot_line_[slot] = line;
+  index_.insert(line, slot);
+  return slot;
+}
+
+void LastLevelCache::release_slot(uint32_t slot) {
+  index_.erase(slot_line_[slot]);
+  free_.push_back(slot);
 }
 
 void LastLevelCache::insert_general(uint64_t line) {
-  if (lines_.size() >= capacity_lines_) {
+  if (resident_lines() >= capacity_lines_) {
     if (!general_lru_.empty()) {
       evict_one_general();
     } else {
       evict_one_ddio();
     }
   }
-  general_lru_.push_front(line);
-  lines_.emplace(line, LineState{Partition::kGeneral, general_lru_.begin()});
+  const uint32_t slot = take_free_slot(line);
+  partition_[slot] = Partition::kGeneral;
+  general_lru_.push_front(links_.data(), slot);
 }
 
 void LastLevelCache::insert_ddio(uint64_t line) {
   if (ddio_lru_.size() >= ddio_capacity_lines_) {
     evict_one_ddio();
-  } else if (lines_.size() >= capacity_lines_) {
+  } else if (resident_lines() >= capacity_lines_) {
     if (!ddio_lru_.empty()) {
       evict_one_ddio();
     } else {
       evict_one_general();
     }
   }
-  ddio_lru_.push_front(line);
-  lines_.emplace(line, LineState{Partition::kDdio, ddio_lru_.begin()});
+  const uint32_t slot = take_free_slot(line);
+  partition_[slot] = Partition::kDdio;
+  ddio_lru_.push_front(links_.data(), slot);
 }
 
 void LastLevelCache::evict_one_general() {
   SCALERPC_CHECK(!general_lru_.empty());
-  lines_.erase(general_lru_.back());
-  general_lru_.pop_back();
+  const uint32_t victim = general_lru_.back();
+  general_lru_.erase(links_.data(), victim);
+  release_slot(victim);
 }
 
 void LastLevelCache::evict_one_ddio() {
   SCALERPC_CHECK(!ddio_lru_.empty());
-  lines_.erase(ddio_lru_.back());
-  ddio_lru_.pop_back();
+  const uint32_t victim = ddio_lru_.back();
+  ddio_lru_.erase(links_.data(), victim);
+  release_slot(victim);
 }
 
-void LastLevelCache::promote_to_general(uint64_t line) {
-  auto it = lines_.find(line);
-  SCALERPC_CHECK(it != lines_.end() && it->second.partition == Partition::kDdio);
-  ddio_lru_.erase(it->second.lru_pos);
-  general_lru_.push_front(line);
-  it->second.partition = Partition::kGeneral;
-  it->second.lru_pos = general_lru_.begin();
-}
-
-template <typename PerLine>
-Nanos LastLevelCache::for_each_line(uint64_t addr, uint32_t len, PerLine fn) {
-  Nanos cost = 0;
-  if (len == 0) {
-    return 0;
-  }
-  const uint64_t first = align_down(addr, kCacheLineSize);
-  const uint64_t last = align_down(addr + len - 1, kCacheLineSize);
-  for (uint64_t line = first; line <= last; line += kCacheLineSize) {
-    // fn returns per-line cost; also knows whether the touch covers the
-    // whole line (full-line DMA writes count as ItoM rather than RFO).
-    const uint64_t lo = line < addr ? addr : line;
-    const uint64_t hi = (line + kCacheLineSize) > (addr + len) ? (addr + len)
-                                                               : (line + kCacheLineSize);
-    cost += fn(line, static_cast<uint32_t>(hi - lo) == kCacheLineSize);
-  }
-  return cost;
-}
-
-Nanos LastLevelCache::cpu_read(uint64_t addr, uint32_t len) {
-  return for_each_line(addr, len, [this](uint64_t line, bool) -> Nanos {
-    auto it = lines_.find(line);
-    if (it != lines_.end()) {
-      pcm_.l3_hits++;
-      if (it->second.partition == Partition::kDdio) {
-        promote_to_general(line);
-      } else {
-        touch(line);
-      }
-      return params_.llc_hit_ns;
-    }
-    pcm_.l3_misses++;
-    insert_general(line);
-    return params_.llc_miss_ns;
-  });
-}
-
-Nanos LastLevelCache::cpu_write(uint64_t addr, uint32_t len) {
-  // Same residency behaviour as a read (write-allocate), same counters.
-  return cpu_read(addr, len);
-}
-
-Nanos LastLevelCache::dma_write(uint64_t addr, uint32_t len) {
-  return for_each_line(addr, len, [this](uint64_t line, bool full_line) -> Nanos {
-    if (full_line) {
-      pcm_.itom++;
-    } else {
-      pcm_.rfo++;
-    }
-    auto it = lines_.find(line);
-    if (it != lines_.end()) {
-      // Write Update: data lands in the already-resident line.
-      touch(line);
-      return params_.dma_llc_hit_ns;
-    }
-    // Write Allocate: restricted to the DDIO partition. Partial-line
-    // allocations additionally pay a read-for-ownership from DRAM.
-    pcm_.pcie_itom++;
-    insert_ddio(line);
-    return full_line ? params_.dma_llc_miss_ns : params_.dma_llc_miss_partial_ns;
-  });
-}
-
-Nanos LastLevelCache::dma_read(uint64_t addr, uint32_t len) {
-  return for_each_line(addr, len, [this](uint64_t line, bool) -> Nanos {
-    pcm_.pcie_rd_cur++;
-    auto it = lines_.find(line);
-    if (it != lines_.end()) {
-      touch(line);
-      return params_.dma_llc_hit_ns;
-    }
-    return params_.dma_llc_miss_ns;
-  });
+void LastLevelCache::promote_to_general(uint32_t slot) {
+  SCALERPC_CHECK(partition_[slot] == Partition::kDdio);
+  ddio_lru_.erase(links_.data(), slot);
+  partition_[slot] = Partition::kGeneral;
+  general_lru_.push_front(links_.data(), slot);
 }
 
 void LastLevelCache::clear() {
+  index_.clear();
   general_lru_.clear();
   ddio_lru_.clear();
-  lines_.clear();
+  free_.clear();
+  for (uint64_t i = capacity_lines_; i > 0; --i) {
+    free_.push_back(static_cast<uint32_t>(i - 1));
+  }
 }
 
 }  // namespace scalerpc::simrdma

@@ -9,16 +9,23 @@
 // no allocation). A CPU access to a DDIO line promotes it to the general
 // partition — this is what makes ScaleRPC's small recycled message pool stay
 // resident while static per-client pools thrash.
+//
+// Line tracking is flat (see flat_lru.h): one slot per potential resident
+// line, preallocated at construction, with both partition LRUs threaded
+// intrusively through the same link array and a single open-addressing
+// index over line addresses. A multi-line touch costs one index probe per
+// line — no node allocation, no list splice, no rehash — and replacement
+// order matches the previous std::list-based implementation exactly.
 #ifndef SRC_SIMRDMA_LLC_H_
 #define SRC_SIMRDMA_LLC_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "src/common/units.h"
 #include "src/simrdma/counters.h"
+#include "src/simrdma/flat_lru.h"
 #include "src/simrdma/params.h"
 
 namespace scalerpc::simrdma {
@@ -26,6 +33,12 @@ namespace scalerpc::simrdma {
 class LastLevelCache {
  public:
   explicit LastLevelCache(const SimParams& params);
+
+  // The four access entry points are defined inline below the class: they
+  // run once per simulated line touch (tens of millions of times in a
+  // figure sweep), and the hit path must inline down to a single index
+  // probe plus an LRU relink. Only the miss/eviction machinery stays
+  // out-of-line in llc.cc.
 
   // CPU load touching [addr, addr+len). Returns the simulated cost.
   Nanos cpu_read(uint64_t addr, uint32_t len);
@@ -38,7 +51,7 @@ class LastLevelCache {
   Nanos dma_read(uint64_t addr, uint32_t len);
 
   const PcmCounters& pcm() const { return pcm_; }
-  size_t resident_lines() const { return lines_.size(); }
+  size_t resident_lines() const { return general_lru_.size() + ddio_lru_.size(); }
   size_t ddio_lines() const { return ddio_lru_.size(); }
   uint64_t capacity_lines() const { return capacity_lines_; }
   uint64_t ddio_capacity_lines() const { return ddio_capacity_lines_; }
@@ -48,18 +61,16 @@ class LastLevelCache {
 
  private:
   enum class Partition : uint8_t { kGeneral, kDdio };
-  struct LineState {
-    Partition partition;
-    std::list<uint64_t>::iterator lru_pos;
-  };
 
-  bool resident(uint64_t line) const { return lines_.count(line) != 0; }
-  void touch(uint64_t line);
+  // Moves `slot` to the MRU end of its partition.
+  void touch(uint32_t slot);
   void insert_general(uint64_t line);
   void insert_ddio(uint64_t line);
   void evict_one_general();
   void evict_one_ddio();
-  void promote_to_general(uint64_t line);
+  void promote_to_general(uint32_t slot);
+  uint32_t take_free_slot(uint64_t line);
+  void release_slot(uint32_t slot);
 
   template <typename PerLine>
   Nanos for_each_line(uint64_t addr, uint32_t len, PerLine fn);
@@ -67,12 +78,100 @@ class LastLevelCache {
   const SimParams& params_;
   uint64_t capacity_lines_;
   uint64_t ddio_capacity_lines_;
-  // MRU at front.
-  std::list<uint64_t> general_lru_;
-  std::list<uint64_t> ddio_lru_;
-  std::unordered_map<uint64_t, LineState> lines_;
+  FlatHashIndex index_;               // line address -> slot
+  std::vector<uint64_t> slot_line_;   // line address stored in each slot
+  std::vector<LruLink> links_;        // intrusive links, shared by both LRUs
+  std::vector<Partition> partition_;  // which LRU a slot currently sits in
+  std::vector<uint32_t> free_;        // unused slots
+  LruList general_lru_;  // MRU at front
+  LruList ddio_lru_;     // MRU at front
   PcmCounters pcm_;
 };
+
+inline void LastLevelCache::touch(uint32_t slot) {
+  auto& lru = partition_[slot] == Partition::kGeneral ? general_lru_ : ddio_lru_;
+  lru.move_to_front(links_.data(), slot);
+}
+
+template <typename PerLine>
+Nanos LastLevelCache::for_each_line(uint64_t addr, uint32_t len, PerLine fn) {
+  Nanos cost = 0;
+  if (len == 0) {
+    return 0;
+  }
+  const uint64_t first = align_down(addr, kCacheLineSize);
+  const uint64_t last = align_down(addr + len - 1, kCacheLineSize);
+  if (first == last) {
+    // Single-line touch: by far the most common shape (poll-byte reads,
+    // header probes).
+    return fn(first, index_.find(first), addr == first && len == kCacheLineSize);
+  }
+  for (uint64_t line = first; line <= last; line += kCacheLineSize) {
+    // fn probes the index once and gets the resident slot (or kLruNil); it
+    // also knows whether the touch covers the whole line (full-line DMA
+    // writes count as ItoM rather than RFO).
+    const uint64_t lo = line < addr ? addr : line;
+    const uint64_t hi = (line + kCacheLineSize) > (addr + len) ? (addr + len)
+                                                               : (line + kCacheLineSize);
+    cost += fn(line, index_.find(line),
+               static_cast<uint32_t>(hi - lo) == kCacheLineSize);
+  }
+  return cost;
+}
+
+inline Nanos LastLevelCache::cpu_read(uint64_t addr, uint32_t len) {
+  return for_each_line(addr, len, [this](uint64_t line, uint32_t slot, bool) -> Nanos {
+    if (slot != kLruNil) {
+      pcm_.l3_hits++;
+      if (partition_[slot] == Partition::kDdio) {
+        promote_to_general(slot);
+      } else {
+        touch(slot);
+      }
+      return params_.llc_hit_ns;
+    }
+    pcm_.l3_misses++;
+    insert_general(line);
+    return params_.llc_miss_ns;
+  });
+}
+
+inline Nanos LastLevelCache::cpu_write(uint64_t addr, uint32_t len) {
+  // Same residency behaviour as a read (write-allocate), same counters.
+  return cpu_read(addr, len);
+}
+
+inline Nanos LastLevelCache::dma_write(uint64_t addr, uint32_t len) {
+  return for_each_line(addr, len,
+                       [this](uint64_t line, uint32_t slot, bool full_line) -> Nanos {
+    if (full_line) {
+      pcm_.itom++;
+    } else {
+      pcm_.rfo++;
+    }
+    if (slot != kLruNil) {
+      // Write Update: data lands in the already-resident line.
+      touch(slot);
+      return params_.dma_llc_hit_ns;
+    }
+    // Write Allocate: restricted to the DDIO partition. Partial-line
+    // allocations additionally pay a read-for-ownership from DRAM.
+    pcm_.pcie_itom++;
+    insert_ddio(line);
+    return full_line ? params_.dma_llc_miss_ns : params_.dma_llc_miss_partial_ns;
+  });
+}
+
+inline Nanos LastLevelCache::dma_read(uint64_t addr, uint32_t len) {
+  return for_each_line(addr, len, [this](uint64_t, uint32_t slot, bool) -> Nanos {
+    pcm_.pcie_rd_cur++;
+    if (slot != kLruNil) {
+      touch(slot);
+      return params_.dma_llc_hit_ns;
+    }
+    return params_.dma_llc_miss_ns;
+  });
+}
 
 }  // namespace scalerpc::simrdma
 

@@ -1,34 +1,51 @@
 #include "src/simrdma/memory.h"
 
+#include <algorithm>
+
 namespace scalerpc::simrdma {
 
 void HostMemory::dma_store(uint64_t addr, std::span<const uint8_t> bytes) {
   SCALERPC_CHECK(contains(addr, bytes.size()));
   std::memcpy(raw(addr), bytes.data(), bytes.size());
-  if (watchers_.empty() || bytes.empty()) {
+  if (watch_ranges_.empty() || bytes.empty()) {
     return;
   }
   const uint64_t lo = addr;
   const uint64_t hi = addr + bytes.size();
-  // Collect first: a watcher callback may add/remove watchers.
-  std::vector<std::function<void()>*> to_fire;
-  for (auto& [id, w] : watchers_) {
+  // Collect ids first: a watcher callback may add/remove watchers. Firing
+  // goes by id so a watcher removed by an earlier callback is skipped
+  // rather than dereferenced.
+  fire_scratch_.clear();
+  for (const auto& w : watch_ranges_) {
     if (w.lo < hi && lo < w.hi) {
-      to_fire.push_back(&w.fn);
+      fire_scratch_.push_back(w.id);
     }
   }
-  for (auto* fn : to_fire) {
-    (*fn)();
+  for (const uint64_t id : fire_scratch_) {
+    const auto it =
+        std::find_if(watch_ranges_.begin(), watch_ranges_.end(),
+                     [id](const WatchRange& w) { return w.id == id; });
+    if (it != watch_ranges_.end()) {
+      watch_fns_[static_cast<size_t>(it - watch_ranges_.begin())]();
+    }
   }
 }
 
 uint64_t HostMemory::add_watcher(uint64_t addr, uint64_t len, std::function<void()> fn) {
   SCALERPC_CHECK(contains(addr, len));
   const uint64_t id = next_watcher_id_++;
-  watchers_.emplace(id, Watcher{addr, addr + len, std::move(fn)});
+  watch_ranges_.push_back(WatchRange{id, addr, addr + len});
+  watch_fns_.push_back(std::move(fn));
   return id;
 }
 
-void HostMemory::remove_watcher(uint64_t id) { watchers_.erase(id); }
+void HostMemory::remove_watcher(uint64_t id) {
+  const auto it = std::find_if(watch_ranges_.begin(), watch_ranges_.end(),
+                               [id](const WatchRange& w) { return w.id == id; });
+  if (it != watch_ranges_.end()) {
+    watch_fns_.erase(watch_fns_.begin() + (it - watch_ranges_.begin()));
+    watch_ranges_.erase(it);
+  }
+}
 
 }  // namespace scalerpc::simrdma

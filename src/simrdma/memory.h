@@ -12,7 +12,6 @@
 #include <cstdint>
 #include <cstring>
 #include <functional>
-#include <map>
 #include <span>
 #include <vector>
 
@@ -79,14 +78,21 @@ class HostMemory {
   void remove_watcher(uint64_t id);
 
  private:
-  struct Watcher {
+  struct WatchRange {
+    uint64_t id;
     uint64_t lo;
     uint64_t hi;
-    std::function<void()> fn;
   };
 
   std::vector<uint8_t> data_;
-  std::map<uint64_t, Watcher> watchers_;
+  // Flat, id-ascending (= registration order, matching the previous
+  // std::map's firing order). The set is small and long-lived while
+  // dma_store runs millions of times, so the overlap scan walks a dense
+  // POD array; callbacks live in a parallel vector so the scan doesn't
+  // drag std::function objects through the cache.
+  std::vector<WatchRange> watch_ranges_;
+  std::vector<std::function<void()>> watch_fns_;  // parallel to watch_ranges_
+  std::vector<uint64_t> fire_scratch_;  // reused id buffer, no per-store alloc
   uint64_t next_watcher_id_ = 1;
 };
 

@@ -110,7 +110,7 @@ sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
        wr.opcode == Opcode::kSend) &&
       wr.length > 0;
 
-  std::vector<uint8_t> payload;
+  sim::PooledBytes payload;
   if (carries_payload) {
     payload.resize(wr.length);
     node_->memory().load(wr.local_addr, payload);
@@ -286,7 +286,7 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
   Nanos cost = params_.nic_recv_base_ns;
   WcStatus status = WcStatus::kSuccess;
   uint64_t atomic_old = 0;
-  std::vector<uint8_t> read_payload;
+  sim::PooledBytes read_payload;
 
   uint64_t store_addr = 0;
   bool do_store = false;

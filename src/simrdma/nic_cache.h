@@ -6,41 +6,44 @@
 // evicted state from host memory — the paper's root cause for outbound
 // collapse (Section 2.3). Modeled as a single LRU over opaque keys; the NIC
 // charges one PCIe read per miss.
+//
+// Storage is flat (see flat_lru.h): a slot vector sized to `capacity` with
+// an intrusive LRU list and an open-addressing index. Every operation is
+// one index probe plus O(1) link updates; nothing allocates after
+// construction. Replacement order is identical to the previous
+// std::list + std::unordered_map implementation.
 #ifndef SRC_SIMRDMA_NIC_CACHE_H_
 #define SRC_SIMRDMA_NIC_CACHE_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <list>
-#include <unordered_map>
+#include <vector>
 
 #include "src/common/logging.h"
+#include "src/simrdma/flat_lru.h"
 
 namespace scalerpc::simrdma {
 
 class NicCache {
  public:
-  explicit NicCache(size_t capacity) : capacity_(capacity) {
+  explicit NicCache(size_t capacity)
+      : capacity_(capacity), index_(capacity), keys_(capacity), links_(capacity) {
     SCALERPC_CHECK(capacity > 0);
+    free_.reserve(capacity);
+    reset_free_list();
   }
 
   // Looks up `key`, inserting it (and evicting the LRU entry if full) on a
   // miss. Returns true on hit.
   bool access(uint64_t key) {
-    auto it = map_.find(key);
-    if (it != map_.end()) {
+    const uint32_t slot = index_.find(key);
+    if (slot != kLruNil) {
       hits_++;
-      lru_.splice(lru_.begin(), lru_, it->second);
+      lru_.move_to_front(links_.data(), slot);
       return true;
     }
     misses_++;
-    if (map_.size() >= capacity_) {
-      map_.erase(lru_.back());
-      lru_.pop_back();
-      evictions_++;
-    }
-    lru_.push_front(key);
-    map_[key] = lru_.begin();
+    insert_new(key);
     return false;
   }
 
@@ -50,18 +53,12 @@ class NicCache {
   // and overlapped (the paper's inbound verbs stay flat while bidirectional
   // RC traffic collapses). Returns true if the key was already present.
   bool touch_insert(uint64_t key) {
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      lru_.splice(lru_.begin(), lru_, it->second);
+    const uint32_t slot = index_.find(key);
+    if (slot != kLruNil) {
+      lru_.move_to_front(links_.data(), slot);
       return true;
     }
-    if (map_.size() >= capacity_) {
-      map_.erase(lru_.back());
-      lru_.pop_back();
-      evictions_++;
-    }
-    lru_.push_front(key);
-    map_[key] = lru_.begin();
+    insert_new(key);
     return false;
   }
 
@@ -71,43 +68,71 @@ class NicCache {
   // entries that are prefetched at post time but may be evicted before the
   // NIC gets to execute them.
   bool consume(uint64_t key) {
-    auto it = map_.find(key);
-    if (it == map_.end()) {
+    const uint32_t slot = index_.find(key);
+    if (slot == kLruNil) {
       misses_++;
       return false;
     }
     hits_++;
-    lru_.erase(it->second);
-    map_.erase(it);
+    remove_slot(key, slot);
     return true;
   }
 
-  bool contains(uint64_t key) const { return map_.count(key) != 0; }
+  bool contains(uint64_t key) const { return index_.find(key) != kLruNil; }
 
   // Invalidates an entry (e.g. QP destroyed).
   void invalidate(uint64_t key) {
-    auto it = map_.find(key);
-    if (it != map_.end()) {
-      lru_.erase(it->second);
-      map_.erase(it);
+    const uint32_t slot = index_.find(key);
+    if (slot != kLruNil) {
+      remove_slot(key, slot);
     }
   }
 
   void clear() {
+    index_.clear();
     lru_.clear();
-    map_.clear();
+    reset_free_list();
   }
 
-  size_t size() const { return map_.size(); }
+  size_t size() const { return lru_.size(); }
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_; }
 
  private:
+  void insert_new(uint64_t key) {
+    if (lru_.size() >= capacity_) {
+      const uint32_t victim = lru_.back();
+      remove_slot(keys_[victim], victim);
+      evictions_++;
+    }
+    const uint32_t slot = free_.back();
+    free_.pop_back();
+    keys_[slot] = key;
+    index_.insert(key, slot);
+    lru_.push_front(links_.data(), slot);
+  }
+
+  void remove_slot(uint64_t key, uint32_t slot) {
+    lru_.erase(links_.data(), slot);
+    index_.erase(key);
+    free_.push_back(slot);
+  }
+
+  void reset_free_list() {
+    free_.clear();
+    for (size_t i = capacity_; i > 0; --i) {
+      free_.push_back(static_cast<uint32_t>(i - 1));
+    }
+  }
+
   size_t capacity_;
-  std::list<uint64_t> lru_;  // MRU at front
-  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> map_;
+  FlatHashIndex index_;
+  std::vector<uint64_t> keys_;   // key stored in each slot
+  std::vector<LruLink> links_;   // intrusive LRU links, MRU at front
+  std::vector<uint32_t> free_;   // unused slots
+  LruList lru_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;

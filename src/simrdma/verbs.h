@@ -105,7 +105,9 @@ struct Packet {
   bool has_imm = false;
   bool signaled = true;
   uint64_t resp_local_addr = 0;  // requester-side scatter target (reads)
-  std::vector<uint8_t> payload;
+  // Pool-backed so the per-hop payload buffer never hits malloc in steady
+  // state (packets are created and consumed at wire rate).
+  sim::PooledBytes payload;
   WcStatus status = WcStatus::kSuccess;
   uint64_t atomic_compare = 0;
   uint64_t atomic_swap_or_add = 0;
@@ -115,10 +117,16 @@ struct Packet {
 class CompletionQueue {
  public:
   CompletionQueue(sim::EventLoop& loop, Nanos poll_cost)
-      : loop_(loop), poll_cost_(poll_cost), ready_(loop) {}
+      : loop_(loop), poll_cost_(poll_cost), ready_(loop) {
+    ring_.resize(64);
+  }
 
   void push(const Completion& c) {
-    entries_.push_back(c);
+    if (count_ == ring_.size()) {
+      grow();
+    }
+    ring_[(head_ + count_) & (ring_.size() - 1)] = c;
+    count_++;
     ready_.notify();
   }
 
@@ -126,9 +134,8 @@ class CompletionQueue {
   // model that themselves if they busy-poll.
   size_t poll(size_t max, std::vector<Completion>* out) {
     size_t n = 0;
-    while (n < max && !entries_.empty()) {
-      out->push_back(entries_.front());
-      entries_.pop_front();
+    while (n < max && count_ != 0) {
+      out->push_back(pop_front());
       ++n;
     }
     return n;
@@ -138,23 +145,42 @@ class CompletionQueue {
   sim::Task<Completion> next() {
     for (;;) {
       co_await loop_.delay(poll_cost_);
-      if (!entries_.empty()) {
-        Completion c = entries_.front();
-        entries_.pop_front();
-        co_return c;
+      if (count_ != 0) {
+        co_return pop_front();
       }
       co_await ready_.wait();
     }
   }
 
-  size_t depth() const { return entries_.size(); }
+  size_t depth() const { return count_; }
   sim::EventLoop& loop() { return loop_; }
 
  private:
+  Completion pop_front() {
+    Completion c = ring_[head_];
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    count_--;
+    return c;
+  }
+
+  void grow() {
+    // Doubling ring (power-of-two capacity); completions are copied into
+    // FIFO order starting at index 0. Growth stops once the CQ has seen its
+    // peak depth, so the steady state never allocates.
+    std::vector<Completion> bigger(ring_.size() * 2);
+    for (size_t i = 0; i < count_; ++i) {
+      bigger[i] = ring_[(head_ + i) & (ring_.size() - 1)];
+    }
+    head_ = 0;
+    ring_ = std::move(bigger);
+  }
+
   sim::EventLoop& loop_;
   Nanos poll_cost_;
   sim::Notification ready_;
-  std::deque<Completion> entries_;
+  std::vector<Completion> ring_;  // power-of-two circular buffer
+  size_t head_ = 0;
+  size_t count_ = 0;
 };
 
 class QueuePair {

@@ -3,6 +3,9 @@
 // every figure in bench/ exactly reproducible.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "src/harness/harness.h"
 #include "src/harness/rawverbs.h"
 
@@ -33,6 +36,41 @@ TEST(Determinism, EchoRunsAreBitIdentical) {
     EXPECT_EQ(a.server_pcm.pcie_rd_cur, b.server_pcm.pcie_rd_cur);
     EXPECT_EQ(a.server_pcm.pcie_itom, b.server_pcm.pcie_itom);
     EXPECT_EQ(a.server_qp_cache_misses, b.server_qp_cache_misses);
+  }
+}
+
+// Formats every observable of a run into one string; two runs of the same
+// configuration must produce byte-identical dumps. This is the regression
+// gate for event-loop and cache-model rewrites: any reordering of tied
+// events or any divergence in LRU replacement shows up here as a diff.
+std::string counter_dump(const EchoResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "ops=%llu elapsed=%lld lat_count=%llu lat_max=%lld lat_p50=%lld "
+                "lat_p99=%lld pcie_rd=%llu rfo=%llu itom=%llu pcie_itom=%llu "
+                "l3_hits=%llu l3_misses=%llu qp_misses=%llu",
+                static_cast<unsigned long long>(r.ops),
+                static_cast<long long>(r.elapsed),
+                static_cast<unsigned long long>(r.batch_latency.count()),
+                static_cast<long long>(r.batch_latency.max()),
+                static_cast<long long>(r.batch_latency.percentile(50)),
+                static_cast<long long>(r.batch_latency.percentile(99)),
+                static_cast<unsigned long long>(r.server_pcm.pcie_rd_cur),
+                static_cast<unsigned long long>(r.server_pcm.rfo),
+                static_cast<unsigned long long>(r.server_pcm.itom),
+                static_cast<unsigned long long>(r.server_pcm.pcie_itom),
+                static_cast<unsigned long long>(r.server_pcm.l3_hits),
+                static_cast<unsigned long long>(r.server_pcm.l3_misses),
+                static_cast<unsigned long long>(r.server_qp_cache_misses));
+  return buf;
+}
+
+TEST(Determinism, CounterDumpsAreByteIdentical) {
+  for (TransportKind kind : {TransportKind::kScaleRpc, TransportKind::kRawWrite,
+                             TransportKind::kFasst}) {
+    const std::string a = counter_dump(run_once(kind));
+    const std::string b = counter_dump(run_once(kind));
+    EXPECT_EQ(a, b) << to_string(kind);
   }
 }
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <set>
+#include <utility>
 #include <vector>
 
 namespace scalerpc::sim {
@@ -71,6 +74,167 @@ TEST(EventLoopDeathTest, SchedulingInThePastAborts) {
   loop.call_at(100, [] {});
   loop.run();
   EXPECT_DEATH(loop.call_at(50, [] {}), "CHECK failed");
+}
+
+// --- Timing-wheel regressions. ---
+// The wheel (6 levels x 256 slots + overflow heap) must fire in exactly
+// (time, insertion-seq) order — the same order as the original
+// priority-queue loop — including cascades between levels, bucket starts
+// tied across several levels, events scheduled at the current instant while
+// the cursor sits mid-cascade, and far-future events migrating out of the
+// overflow heap.
+
+TEST(EventLoopWheel, SameTimeTiesAcrossCascadePreserveFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  // All at one far time (level >= 2 on insertion, cascades down to level 0),
+  // interleaved with events at other times so the slot is built up in
+  // several passes.
+  const Nanos t = 0x123456;
+  for (int i = 0; i < 50; ++i) {
+    loop.call_at(t, [&order, i] { order.push_back(i); });
+    loop.call_at(0x1000 + i, [] {});
+    loop.call_at(0x200000 + i, [] {});
+  }
+  loop.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventLoopWheel, FarFutureOverflowMigratesAndFiresInOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  // Beyond the 2^48 ns wheel span: these sit in the overflow heap first.
+  loop.call_at(Nanos{1} << 49, [&] { order.push_back(3); });
+  loop.call_at((Nanos{1} << 48) + 5, [&] { order.push_back(2); });
+  loop.call_at((Nanos{1} << 48) + 5, [&] { order.push_back(20); });  // tie
+  loop.call_at(1000, [&] { order.push_back(1); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 20, 3}));
+  EXPECT_EQ(loop.now(), Nanos{1} << 49);
+}
+
+TEST(EventLoopWheel, RunUntilJumpsAcrossEmptySpans) {
+  EventLoop loop;
+  loop.run_until(Nanos{1} << 50);
+  EXPECT_EQ(loop.now(), Nanos{1} << 50);
+  int fired = 0;
+  loop.call_in(7, [&] { fired++; });
+  loop.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(loop.now(), (Nanos{1} << 50) + 7);
+}
+
+namespace wheel_oracle {
+
+uint64_t mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// Deterministic workload: event `id` spawns children_of(id) children with
+// delta_of(id, k) offsets from its own firing time. Ties (delta 0) are
+// common on purpose: scheduling at the current instant while the cursor
+// rests mid-bucket is what the historical stranding bug needed.
+int children_of(uint64_t seed, int id, int total_so_far, int cap) {
+  if (total_so_far >= cap) {
+    return 0;
+  }
+  return static_cast<int>(mix(seed ^ static_cast<uint64_t>(id)) % 3);
+}
+
+Nanos delta_of(uint64_t seed, int id, int k, int max_exp) {
+  const uint64_t h = mix(seed ^ (static_cast<uint64_t>(id) << 20) ^
+                         static_cast<uint64_t>(k));
+  const int exp = static_cast<int>(h % static_cast<uint64_t>(max_exp + 1));
+  return static_cast<Nanos>(mix(h) & ((uint64_t{1} << exp) - 1));
+}
+
+// Replays the workload against a sorted-set oracle with explicit
+// (time, insertion-seq) keys and against the real EventLoop; the two firing
+// sequences must match element for element.
+void run_oracle(uint64_t seed, int max_exp, int n_init, int cap) {
+  // Oracle pass.
+  std::vector<int> expected;
+  {
+    std::set<std::pair<std::pair<Nanos, uint64_t>, int>> pending;
+    uint64_t seq = 0;
+    int next_id = 0;
+    int inserted = 0;
+    for (; next_id < n_init; ++next_id) {
+      pending.insert({{delta_of(seed, -1 - next_id, 0, max_exp), seq++}, next_id});
+      inserted++;
+    }
+    while (!pending.empty()) {
+      const auto it = pending.begin();
+      const Nanos at = it->first.first;
+      const int id = it->second;
+      pending.erase(it);
+      expected.push_back(id);
+      const int kids = children_of(seed, id, inserted, cap);
+      for (int k = 0; k < kids; ++k) {
+        pending.insert({{at + delta_of(seed, id, k, max_exp), seq++}, next_id++});
+        inserted++;
+      }
+    }
+  }
+
+  // Live pass.
+  std::vector<int> fired;
+  {
+    EventLoop loop;
+    int next_id = 0;
+    int inserted = 0;
+    std::function<void(int, int)> fire = [&](int id, int) {
+      fired.push_back(id);
+      const int kids = children_of(seed, id, inserted, cap);
+      for (int k = 0; k < kids; ++k) {
+        const int child = next_id++;
+        inserted++;
+        loop.call_in(delta_of(seed, id, k, max_exp),
+                     [&fire, child] { fire(child, 0); });
+      }
+    };
+    for (; next_id < n_init; ++next_id) {
+      const int id = next_id;
+      inserted++;
+      loop.call_at(delta_of(seed, -1 - id, 0, max_exp),
+                   [&fire, id] { fire(id, 0); });
+    }
+    loop.run();
+  }
+
+  ASSERT_EQ(fired.size(), expected.size()) << "seed=" << seed;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(fired[i], expected[i]) << "seed=" << seed << " pos=" << i;
+  }
+}
+
+}  // namespace wheel_oracle
+
+TEST(EventLoopWheel, MatchesSortedOracleNearDeltas) {
+  // Deltas up to 2^16: everything lives in levels 0-2, heavy tie traffic.
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    wheel_oracle::run_oracle(seed, 16, 100, 2000);
+  }
+}
+
+TEST(EventLoopWheel, MatchesSortedOracleMidDeltas) {
+  // Deltas up to 2^40: exercises cascades through all six levels.
+  for (uint64_t seed : {4u, 5u, 6u}) {
+    wheel_oracle::run_oracle(seed, 40, 100, 2000);
+  }
+}
+
+TEST(EventLoopWheel, MatchesSortedOracleOverflowDeltas) {
+  // Deltas up to 2^49 > the 2^48 wheel span: overflow heap migration.
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    wheel_oracle::run_oracle(seed, 49, 100, 2000);
+  }
 }
 
 }  // namespace

@@ -161,5 +161,41 @@ TEST(Llc, ZeroLengthAccessIsFree) {
   EXPECT_EQ(llc.resident_lines(), 0u);
 }
 
+TEST(Llc, PromotionFreesDdioQuotaAtFullPartition) {
+  // Fill the DDIO partition to its cap, promote one line via a CPU touch,
+  // and check the freed quota lets the next DMA allocation proceed without
+  // evicting any DDIO resident.
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  const uint64_t cap = llc.ddio_capacity_lines();
+  for (uint64_t i = 0; i < cap; ++i) {
+    llc.dma_write(0x40000 + i * kCacheLineSize, 64);
+  }
+  EXPECT_EQ(llc.ddio_lines(), cap);
+  llc.cpu_read(0x40000, 8);  // promote line 0 out of DDIO
+  EXPECT_EQ(llc.ddio_lines(), cap - 1);
+  EXPECT_EQ(llc.resident_lines(), cap);  // still resident, just re-homed
+  llc.dma_write(0x80000, 64);  // allocates into the freed quota
+  EXPECT_EQ(llc.ddio_lines(), cap);
+  // No DDIO line was evicted: every original line except the promoted one
+  // is still a cheap write-update.
+  for (uint64_t i = 1; i < cap; ++i) {
+    EXPECT_EQ(llc.dma_write(0x40000 + i * kCacheLineSize, 64), p.dma_llc_hit_ns);
+  }
+}
+
+TEST(Llc, PromotedLineCompetesInGeneralPartition) {
+  // After promotion the line lives under general-partition replacement: a
+  // CPU working-set sweep bigger than the LLC must evict it.
+  SimParams p = small_params();
+  LastLevelCache llc(p);
+  llc.dma_write(0x5000, 64);
+  llc.cpu_read(0x5000, 8);  // promote
+  for (uint64_t i = 0; i < 2048; ++i) {  // 2x capacity sweep
+    llc.cpu_read(0x100000 + i * kCacheLineSize, 8);
+  }
+  EXPECT_EQ(llc.cpu_read(0x5000, 8), p.llc_miss_ns);  // it was evicted
+}
+
 }  // namespace
 }  // namespace scalerpc::simrdma

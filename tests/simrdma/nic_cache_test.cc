@@ -68,5 +68,55 @@ TEST(NicCache, ClearResetsContentsButNotCounters) {
   EXPECT_EQ(cache.hits(), 1u);
 }
 
+TEST(NicCache, TouchInsertRefreshesRecencyAndEvictsLru) {
+  NicCache cache(3);
+  cache.access(1);
+  cache.access(2);
+  cache.access(3);
+  // Responder touch of 1 makes 2 the LRU; a touch_insert of a new key must
+  // evict 2, exactly as a charged access would.
+  EXPECT_TRUE(cache.touch_insert(1));
+  EXPECT_FALSE(cache.touch_insert(4));
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_TRUE(cache.contains(4));
+  EXPECT_EQ(cache.evictions(), 1u);
+}
+
+TEST(NicCache, TouchInsertDoesNotChargeHitOrMiss) {
+  NicCache cache(2);
+  cache.touch_insert(1);  // miss-shaped, but uncharged
+  cache.touch_insert(1);  // hit-shaped, but uncharged
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(NicCache, CapacityOneEvictsOnEveryNewKey) {
+  NicCache cache(1);
+  EXPECT_FALSE(cache.access(1));
+  EXPECT_TRUE(cache.access(1));
+  EXPECT_FALSE(cache.access(2));  // evicts 1
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_FALSE(cache.touch_insert(3));  // evicts 2, still uncharged
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(NicCache, ConsumeRemovesResidentEntry) {
+  NicCache cache(4);
+  cache.touch_insert(10);
+  EXPECT_TRUE(cache.consume(10));   // resident: executed from cache
+  EXPECT_FALSE(cache.contains(10));
+  EXPECT_FALSE(cache.consume(10));  // gone: refetch, counted as miss
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
 }  // namespace
 }  // namespace scalerpc::simrdma
