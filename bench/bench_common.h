@@ -5,11 +5,15 @@
 //   --quick       fewer sweep points / shorter windows (CI-friendly)
 //   --seed=N      workload seed
 //   --json=PATH   additionally emit machine-readable rows to PATH
+//   --threads=N   worker threads for the sweep (default: all hardware
+//                 cores; 1 runs every point inline on the main thread).
+//                 Output is byte-identical for every N.
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
@@ -20,6 +24,7 @@ namespace scalerpc::bench {
 struct Options {
   bool quick = false;
   uint64_t seed = 1;
+  int threads = 0;  // 0: one sweep worker per hardware core
   std::string json_path;  // empty: no JSON output
 };
 
@@ -30,10 +35,13 @@ inline Options parse_options(int argc, char** argv) {
       opt.quick = true;
     } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
       opt.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      opt.threads = static_cast<int>(std::strtol(argv[i] + 10, nullptr, 10));
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       opt.json_path = argv[i] + 7;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--quick] [--seed=N] [--json=PATH]\n", argv[0]);
+      std::printf("usage: %s [--quick] [--seed=N] [--threads=N] [--json=PATH]\n",
+                  argv[0]);
       std::exit(0);
     }
   }
@@ -114,10 +122,30 @@ class JsonRows {
     std::string out;
     out.reserve(s.size());
     for (char c : s) {
-      if (c == '"' || c == '\\') {
-        out.push_back('\\');
+      switch (c) {
+        case '"':
+        case '\\':
+          out.push_back('\\');
+          out.push_back(c);
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out.push_back(c);
+          }
       }
-      out.push_back(c);
     }
     return out;
   }

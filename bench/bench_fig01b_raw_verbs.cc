@@ -1,30 +1,49 @@
 // Fig. 1b: raw throughput of RDMA verbs vs number of clients. Outbound RC
 // write collapses past the NIC QP-cache knee; inbound RC write and UD send
 // stay flat.
+#include <string>
+
 #include "bench/bench_common.h"
 #include "src/harness/rawverbs.h"
+#include "src/harness/sweep.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
-  bench::header("Fig 1b: raw verb throughput vs #clients",
-                "outbound write 20->2 Mops; inbound write & UD send flat");
   std::vector<int> clients = opt.quick ? std::vector<int>{10, 100, 400}
                                        : std::vector<int>{10, 50, 100, 200, 400, 800};
-  std::printf("%-8s %-16s %-16s %-16s\n", "clients", "outbound(Mops)",
-              "inbound(Mops)", "ud_send(Mops)");
-  for (int n : clients) {
+
+  Sweep sweep;
+  struct Row {
+    RawVerbResult out, in, ud;
+  };
+  std::vector<Row> rows(clients.size());
+  for (size_t idx = 0; idx < clients.size(); ++idx) {
     RawVerbConfig cfg;
-    cfg.num_clients = n;
+    cfg.num_clients = clients[idx];
+    cfg.seed = opt.seed;
     if (opt.quick) {
       cfg.measure = msec(1);
     }
-    const auto out = run_outbound_write(cfg);
-    const auto in = run_inbound_write(cfg);
-    const auto ud = run_ud_send(cfg);
-    std::printf("%-8d %-16.2f %-16.2f %-16.2f\n", n, out.mops, in.mops, ud.mops);
+    const std::string label = "clients=" + std::to_string(clients[idx]);
+    sweep.add(label + "/outbound",
+              [cfg, slot = &rows[idx].out] { *slot = run_outbound_write(cfg); });
+    sweep.add(label + "/inbound",
+              [cfg, slot = &rows[idx].in] { *slot = run_inbound_write(cfg); });
+    sweep.add(label + "/ud_send",
+              [cfg, slot = &rows[idx].ud] { *slot = run_ud_send(cfg); });
+  }
+  sweep.run(opt.threads);
+
+  bench::header("Fig 1b: raw verb throughput vs #clients",
+                "outbound write 20->2 Mops; inbound write & UD send flat");
+  std::printf("%-8s %-16s %-16s %-16s\n", "clients", "outbound(Mops)",
+              "inbound(Mops)", "ud_send(Mops)");
+  for (size_t idx = 0; idx < clients.size(); ++idx) {
+    std::printf("%-8d %-16.2f %-16.2f %-16.2f\n", clients[idx], rows[idx].out.mops,
+                rows[idx].in.mops, rows[idx].ud.mops);
   }
   return 0;
 }

@@ -1,29 +1,47 @@
 // Fig. 3a: inbound/outbound RC write throughput vs the PCIe read rate at
 // the server. Before the knee PCIe reads track the write rate (payload
 // gathers); past it they explode (QP state + WQE refetches).
+#include <string>
+
 #include "bench/bench_common.h"
 #include "src/harness/rawverbs.h"
+#include "src/harness/sweep.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
-  bench::header("Fig 3a: RC write throughput vs PCIe read rate", "paper Fig 3a");
   std::vector<int> clients = opt.quick ? std::vector<int>{10, 100, 400}
                                        : std::vector<int>{10, 50, 100, 200, 400, 800};
-  std::printf("%-8s %-15s %-15s %-15s %-15s\n", "clients", "out(Mops)",
-              "out_pcie_rd(M/s)", "in(Mops)", "in_pcie_rd(M/s)");
-  for (int n : clients) {
+
+  Sweep sweep;
+  struct Row {
+    RawVerbResult out, in;
+  };
+  std::vector<Row> rows(clients.size());
+  for (size_t idx = 0; idx < clients.size(); ++idx) {
     RawVerbConfig cfg;
-    cfg.num_clients = n;
+    cfg.num_clients = clients[idx];
+    cfg.seed = opt.seed;
     if (opt.quick) {
       cfg.measure = msec(1);
     }
-    const auto out = run_outbound_write(cfg);
-    const auto in = run_inbound_write(cfg);
-    std::printf("%-8d %-15.2f %-15.2f %-15.2f %-15.2f\n", n, out.mops,
-                out.pcie_rd_mops, in.mops, in.pcie_rd_mops);
+    const std::string label = "clients=" + std::to_string(clients[idx]);
+    sweep.add(label + "/outbound",
+              [cfg, slot = &rows[idx].out] { *slot = run_outbound_write(cfg); });
+    sweep.add(label + "/inbound",
+              [cfg, slot = &rows[idx].in] { *slot = run_inbound_write(cfg); });
+  }
+  sweep.run(opt.threads);
+
+  bench::header("Fig 3a: RC write throughput vs PCIe read rate", "paper Fig 3a");
+  std::printf("%-8s %-15s %-15s %-15s %-15s\n", "clients", "out(Mops)",
+              "out_pcie_rd(M/s)", "in(Mops)", "in_pcie_rd(M/s)");
+  for (size_t idx = 0; idx < clients.size(); ++idx) {
+    std::printf("%-8d %-15.2f %-15.2f %-15.2f %-15.2f\n", clients[idx],
+                rows[idx].out.mops, rows[idx].out.pcie_rd_mops, rows[idx].in.mops,
+                rows[idx].in.pcie_rd_mops);
   }
   return 0;
 }

@@ -2,34 +2,47 @@
 // 20 blocks each, 32-byte messages walking through the blocks). Once the
 // touched footprint outgrows the LLC, throughput collapses and the L3 miss
 // rate climbs.
+#include <string>
+
 #include "bench/bench_common.h"
 #include "src/harness/rawverbs.h"
+#include "src/harness/sweep.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
-  bench::header("Fig 3b: inbound RC write vs message block size",
-                "sharp drop past 2KB blocks (35 -> <10 Mops), rising L3 misses");
   std::vector<uint32_t> sizes =
       opt.quick ? std::vector<uint32_t>{256, 2048, 8192}
                 : std::vector<uint32_t>{64, 256, 1024, 2048, 4096, 8192, 16384};
-  std::printf("%-12s %-14s %-14s %-12s\n", "block(B)", "footprint(MB)",
-              "inbound(Mops)", "l3_miss");
-  for (uint32_t block : sizes) {
+
+  Sweep sweep;
+  std::vector<RawVerbResult> results(sizes.size());
+  for (size_t idx = 0; idx < sizes.size(); ++idx) {
     RawVerbConfig cfg;
     cfg.num_clients = 400;
     cfg.blocks_per_client = 20;
-    cfg.block_bytes = block;
+    cfg.block_bytes = sizes[idx];
+    cfg.seed = opt.seed;
     // Writes walk log-style through each block, so one full reuse cycle is
     // blocks * block/msg writes per client; warm long enough that resident
     // pools actually reach steady state.
     cfg.warmup = opt.quick ? msec(6) : msec(16);
     cfg.measure = opt.quick ? msec(2) : msec(4);
-    const auto r = run_inbound_write(cfg);
-    const double mb = 400.0 * 20 * block / (1 << 20);
-    std::printf("%-12u %-14.1f %-14.2f %-12.3f\n", block, mb, r.mops, r.l3_miss_rate);
+    sweep.add("block=" + std::to_string(sizes[idx]),
+              [cfg, slot = &results[idx]] { *slot = run_inbound_write(cfg); });
+  }
+  sweep.run(opt.threads);
+
+  bench::header("Fig 3b: inbound RC write vs message block size",
+                "sharp drop past 2KB blocks (35 -> <10 Mops), rising L3 misses");
+  std::printf("%-12s %-14s %-14s %-12s\n", "block(B)", "footprint(MB)",
+              "inbound(Mops)", "l3_miss");
+  for (size_t idx = 0; idx < sizes.size(); ++idx) {
+    const double mb = 400.0 * 20 * sizes[idx] / (1 << 20);
+    std::printf("%-12u %-14.1f %-14.2f %-12.3f\n", sizes[idx], mb, results[idx].mops,
+                results[idx].l3_miss_rate);
   }
   return 0;
 }

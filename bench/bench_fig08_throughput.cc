@@ -1,14 +1,18 @@
 // Fig. 8: RPC throughput. Left half: 40-400 clients (11 client nodes),
 // batch sizes 1 and 8, all four RPC implementations. Right half: 40 client
 // threads packed onto 1-5 physical client nodes.
+#include <string>
+
 #include "bench/bench_common.h"
 #include "src/harness/harness.h"
+#include "src/harness/sweep.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
 
 namespace {
-double measure(TransportKind kind, int clients, int batch, int nodes, bool quick) {
+double measure(TransportKind kind, int clients, int batch, int nodes, uint64_t seed,
+               bool quick) {
   TestbedConfig cfg;
   cfg.kind = kind;
   cfg.num_clients = clients;
@@ -16,6 +20,7 @@ double measure(TransportKind kind, int clients, int batch, int nodes, bool quick
   Testbed bed(cfg);
   EchoWorkload wl;
   wl.batch = batch;
+  wl.seed = seed;
   wl.warmup = usec(600);
   wl.measure = quick ? msec(1) : msec(2);
   return run_echo(bed, wl).mops;
@@ -27,10 +32,46 @@ int main(int argc, char** argv) {
   const std::vector<TransportKind> kinds = {TransportKind::kRawWrite,
                                             TransportKind::kHerd, TransportKind::kFasst,
                                             TransportKind::kScaleRpc};
-  bench::header("Fig 8 (left): throughput vs #clients",
-                "RawWrite collapses; HERD degrades; FaSST & ScaleRPC stay flat");
   const std::vector<int> clients =
       opt.quick ? std::vector<int>{40, 400} : std::vector<int>{40, 120, 200, 300, 400};
+  const std::vector<int> nodes = opt.quick ? std::vector<int>{1, 4}
+                                           : std::vector<int>{1, 2, 3, 4, 5};
+
+  // Register every sweep point up front, run them across the worker pool,
+  // then print from the result slots in registration order — tables are
+  // byte-identical for any --threads value.
+  Sweep sweep;
+  std::vector<double> left(2 * clients.size() * kinds.size());
+  std::vector<double> right(2 * nodes.size() * kinds.size());
+  size_t i = 0;
+  for (int batch : {1, 8}) {
+    for (int n : clients) {
+      for (auto k : kinds) {
+        sweep.add(std::string("left/") + to_string(k) + "/b" + std::to_string(batch) +
+                      "/c" + std::to_string(n),
+                  [&opt, k, n, batch, slot = &left[i++]] {
+                    *slot = measure(k, n, batch, 11, opt.seed, opt.quick);
+                  });
+      }
+    }
+  }
+  i = 0;
+  for (int batch : {1, 8}) {
+    for (int n : nodes) {
+      for (auto k : kinds) {
+        sweep.add(std::string("right/") + to_string(k) + "/b" + std::to_string(batch) +
+                      "/n" + std::to_string(n),
+                  [&opt, k, n, batch, slot = &right[i++]] {
+                    *slot = measure(k, 40, batch, n, opt.seed, opt.quick);
+                  });
+      }
+    }
+  }
+  sweep.run(opt.threads);
+
+  bench::header("Fig 8 (left): throughput vs #clients",
+                "RawWrite collapses; HERD degrades; FaSST & ScaleRPC stay flat");
+  i = 0;
   for (int batch : {1, 8}) {
     std::printf("\nbatch=%d\n%-10s", batch, "clients");
     for (auto k : kinds) {
@@ -39,8 +80,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
     for (int n : clients) {
       std::printf("%-10d", n);
-      for (auto k : kinds) {
-        std::printf("%-12.2f", measure(k, n, batch, 11, opt.quick));
+      for (size_t k = 0; k < kinds.size(); ++k) {
+        std::printf("%-12.2f", left[i++]);
       }
       std::printf("\n");
     }
@@ -48,8 +89,7 @@ int main(int argc, char** argv) {
 
   bench::header("Fig 8 (right): 40 client threads on 1-5 physical nodes",
                 "RC-based RPCs saturate with ~2 nodes; UD-based need more");
-  const std::vector<int> nodes = opt.quick ? std::vector<int>{1, 4}
-                                           : std::vector<int>{1, 2, 3, 4, 5};
+  i = 0;
   for (int batch : {1, 8}) {
     std::printf("\nbatch=%d\n%-10s", batch, "nodes");
     for (auto k : kinds) {
@@ -58,8 +98,8 @@ int main(int argc, char** argv) {
     std::printf("\n");
     for (int n : nodes) {
       std::printf("%-10d", n);
-      for (auto k : kinds) {
-        std::printf("%-12.2f", measure(k, 40, batch, n, opt.quick));
+      for (size_t k = 0; k < kinds.size(); ++k) {
+        std::printf("%-12.2f", right[i++]);
       }
       std::printf("\n");
     }

@@ -2,33 +2,52 @@
 // plus the median/average/max table. ScaleRPC is bimodal: most batches are
 // served within its slice at very low latency; the rest wait for the
 // group's next turn.
+#include <string>
+
 #include "bench/bench_common.h"
 #include "src/harness/harness.h"
+#include "src/harness/sweep.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
-  bench::header("Fig 9: latency CDF + summary, 120 clients",
-                "ScaleRPC: low median, bimodal; UD RPCs: wide 20-200us spectrum");
   const std::vector<TransportKind> kinds = {TransportKind::kRawWrite,
                                             TransportKind::kHerd, TransportKind::kFasst,
                                             TransportKind::kScaleRpc};
+
+  Sweep sweep;
+  std::vector<EchoResult> results(2 * kinds.size());
+  size_t i = 0;
+  for (int batch : {1, 8}) {
+    for (auto k : kinds) {
+      sweep.add(std::string(to_string(k)) + "/b" + std::to_string(batch),
+                [&opt, k, batch, slot = &results[i++]] {
+                  TestbedConfig cfg;
+                  cfg.kind = k;
+                  cfg.num_clients = 120;
+                  Testbed bed(cfg);
+                  EchoWorkload wl;
+                  wl.batch = batch;
+                  wl.seed = opt.seed;
+                  wl.warmup = usec(600);
+                  wl.measure = opt.quick ? msec(2) : msec(4);
+                  *slot = run_echo(bed, wl);
+                });
+    }
+  }
+  sweep.run(opt.threads);
+
+  bench::header("Fig 9: latency CDF + summary, 120 clients",
+                "ScaleRPC: low median, bimodal; UD RPCs: wide 20-200us spectrum");
+  i = 0;
   for (int batch : {1, 8}) {
     std::printf("\n--- batch=%d ---\n", batch);
     std::printf("%-10s %-10s %-10s %-10s %-10s %-12s\n", "rpc", "p50(us)",
                 "avg(us)", "p99(us)", "max(us)", "tput(Mops)");
     for (auto k : kinds) {
-      TestbedConfig cfg;
-      cfg.kind = k;
-      cfg.num_clients = 120;
-      Testbed bed(cfg);
-      EchoWorkload wl;
-      wl.batch = batch;
-      wl.warmup = usec(600);
-      wl.measure = opt.quick ? msec(2) : msec(4);
-      const EchoResult r = run_echo(bed, wl);
+      const EchoResult& r = results[i++];
       std::printf("%-10s %-10llu %-10.1f %-10llu %-10llu %-12.2f\n", to_string(k),
                   (unsigned long long)r.batch_latency.percentile(50),
                   r.batch_latency.mean(),

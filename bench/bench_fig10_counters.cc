@@ -2,37 +2,57 @@
 // explodes for RawWrite past the knee (QP/WQE refetches) while tracking
 // throughput for ScaleRPC; PCIeItoM (allocating writes) grows for RawWrite
 // with client count but stays flat for ScaleRPC's recycled pool.
+#include <string>
+
 #include "bench/bench_common.h"
 #include "src/harness/harness.h"
+#include "src/harness/sweep.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
-  bench::header("Fig 10: PCM counters, RawWrite vs ScaleRPC", "paper Fig 10");
   const std::vector<int> clients =
       opt.quick ? std::vector<int>{40, 300} : std::vector<int>{40, 100, 150, 200, 300, 400};
+  const TransportKind kinds[] = {TransportKind::kRawWrite, TransportKind::kScaleRpc};
+
+  Sweep sweep;
+  std::vector<EchoResult> results(clients.size() * 2);
+  size_t i = 0;
+  for (int n : clients) {
+    for (auto k : kinds) {
+      sweep.add(std::string(to_string(k)) + "/c" + std::to_string(n),
+                [&opt, k, n, slot = &results[i++]] {
+                  TestbedConfig cfg;
+                  cfg.kind = k;
+                  cfg.num_clients = n;
+                  Testbed bed(cfg);
+                  EchoWorkload wl;
+                  wl.batch = 8;
+                  wl.seed = opt.seed;
+                  wl.warmup = usec(600);
+                  wl.measure = opt.quick ? msec(1) : msec(2);
+                  *slot = run_echo(bed, wl);
+                });
+    }
+  }
+  sweep.run(opt.threads);
+
+  bench::header("Fig 10: PCM counters, RawWrite vs ScaleRPC", "paper Fig 10");
   std::printf("%-8s | %-10s %-12s %-12s | %-10s %-12s %-12s\n", "clients",
               "raw(Mops)", "rdcur(M/s)", "itom(M/s)", "scale(Mops)", "rdcur(M/s)",
               "itom(M/s)");
+  i = 0;
   for (int n : clients) {
     double vals[6];
-    int i = 0;
-    for (auto k : {TransportKind::kRawWrite, TransportKind::kScaleRpc}) {
-      TestbedConfig cfg;
-      cfg.kind = k;
-      cfg.num_clients = n;
-      Testbed bed(cfg);
-      EchoWorkload wl;
-      wl.batch = 8;
-      wl.warmup = usec(600);
-      wl.measure = opt.quick ? msec(1) : msec(2);
-      const EchoResult r = run_echo(bed, wl);
+    int v = 0;
+    for (size_t k = 0; k < 2; ++k) {
+      const EchoResult& r = results[i++];
       const double secs = static_cast<double>(r.elapsed) / 1e9;
-      vals[i++] = r.mops;
-      vals[i++] = static_cast<double>(r.server_pcm.pcie_rd_cur) / secs / 1e6;
-      vals[i++] = static_cast<double>(r.server_pcm.pcie_itom) / secs / 1e6;
+      vals[v++] = r.mops;
+      vals[v++] = static_cast<double>(r.server_pcm.pcie_rd_cur) / secs / 1e6;
+      vals[v++] = static_cast<double>(r.server_pcm.pcie_itom) / secs / 1e6;
     }
     std::printf("%-8d | %-10.2f %-12.2f %-12.2f | %-10.2f %-12.2f %-12.2f\n", n,
                 vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]);

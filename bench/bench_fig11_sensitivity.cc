@@ -1,14 +1,18 @@
 // Fig. 11: sensitivity of ScaleRPC to (a) the time slice (80 clients,
 // group 40) and (b) the group size (two groups), plus the warmup ablation
 // from DESIGN.md.
+#include <string>
+
 #include "bench/bench_common.h"
 #include "src/harness/harness.h"
+#include "src/harness/sweep.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
 
 namespace {
-EchoResult run_cfg(int clients, int group, Nanos slice, bool warmup, bool quick) {
+EchoResult run_cfg(int clients, int group, Nanos slice, bool warmup, uint64_t seed,
+                   bool quick) {
   TestbedConfig cfg;
   cfg.kind = TransportKind::kScaleRpc;
   cfg.num_clients = clients;
@@ -19,6 +23,7 @@ EchoResult run_cfg(int clients, int group, Nanos slice, bool warmup, bool quick)
   Testbed bed(cfg);
   EchoWorkload wl;
   wl.batch = 1;
+  wl.seed = seed;
   wl.warmup = usec(600);
   wl.measure = quick ? msec(2) : msec(4);
   return run_echo(bed, wl);
@@ -27,15 +32,42 @@ EchoResult run_cfg(int clients, int group, Nanos slice, bool warmup, bool quick)
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
-  bench::header("Fig 11a: time slice sensitivity (80 clients, group 40)",
-                "throughput grows ~7.6 -> ~8.9 Mops from 30us to 250us slices");
   const std::vector<int> slices =
       opt.quick ? std::vector<int>{30, 100, 250} : std::vector<int>{30, 50, 100, 150, 200, 250};
+  const std::vector<int> groups =
+      opt.quick ? std::vector<int>{10, 40, 70} : std::vector<int>{10, 20, 30, 40, 50, 60, 70};
+
+  Sweep sweep;
+  std::vector<EchoResult> slice_res(slices.size());
+  std::vector<EchoResult> group_res(groups.size());
+  EchoResult warm_res[2];
+  for (size_t idx = 0; idx < slices.size(); ++idx) {
+    sweep.add("slice=" + std::to_string(slices[idx]),
+              [&opt, s = slices[idx], slot = &slice_res[idx]] {
+                *slot = run_cfg(80, 40, usec(s), true, opt.seed, opt.quick);
+              });
+  }
+  for (size_t idx = 0; idx < groups.size(); ++idx) {
+    sweep.add("group=" + std::to_string(groups[idx]),
+              [&opt, g = groups[idx], slot = &group_res[idx]] {
+                *slot = run_cfg(2 * g, g, usec(100), true, opt.seed, opt.quick);
+              });
+  }
+  for (int w = 0; w < 2; ++w) {
+    sweep.add(std::string("warmup=") + (w == 0 ? "on" : "off"),
+              [&opt, w, slot = &warm_res[w]] {
+                *slot = run_cfg(120, 40, usec(100), w == 0, opt.seed, opt.quick);
+              });
+  }
+  sweep.run(opt.threads);
+
+  bench::header("Fig 11a: time slice sensitivity (80 clients, group 40)",
+                "throughput grows ~7.6 -> ~8.9 Mops from 30us to 250us slices");
   std::printf("%-12s %-12s %-10s %-10s\n", "slice(us)", "tput(Mops)", "p50(us)",
               "max(us)");
-  for (int s : slices) {
-    const EchoResult r = run_cfg(80, 40, usec(s), true, opt.quick);
-    std::printf("%-12d %-12.2f %-10llu %-10llu\n", s, r.mops,
+  for (size_t idx = 0; idx < slices.size(); ++idx) {
+    const EchoResult& r = slice_res[idx];
+    std::printf("%-12d %-12.2f %-10llu %-10llu\n", slices[idx], r.mops,
                 (unsigned long long)r.batch_latency.percentile(50),
                 (unsigned long long)r.batch_latency.max());
   }
@@ -43,21 +75,19 @@ int main(int argc, char** argv) {
   bench::header("Fig 11b: group size sensitivity (two groups)",
                 "interior optimum near group=40; small groups starve the NIC,"
                 " large ones contend");
-  const std::vector<int> groups =
-      opt.quick ? std::vector<int>{10, 40, 70} : std::vector<int>{10, 20, 30, 40, 50, 60, 70};
   std::printf("%-12s %-12s %-10s\n", "group", "tput(Mops)", "max(us)");
-  for (int g : groups) {
-    const EchoResult r = run_cfg(2 * g, g, usec(100), true, opt.quick);
-    std::printf("%-12d %-12.2f %-10llu\n", g, r.mops,
+  for (size_t idx = 0; idx < groups.size(); ++idx) {
+    const EchoResult& r = group_res[idx];
+    std::printf("%-12d %-12.2f %-10llu\n", groups[idx], r.mops,
                 (unsigned long long)r.batch_latency.max());
   }
 
   bench::header("Ablation: requests warmup on/off (DESIGN.md #2)",
                 "warmup hides the context-switch gap (parity or better here;"
                 " see EXPERIMENTS.md)");
-  for (bool warm : {true, false}) {
-    const EchoResult r = run_cfg(120, 40, usec(100), warm, opt.quick);
-    std::printf("warmup=%-5s  %-12.2f Mops  p50=%llu us\n", warm ? "on" : "off",
+  for (int w = 0; w < 2; ++w) {
+    const EchoResult& r = warm_res[w];
+    std::printf("warmup=%-5s  %-12.2f Mops  p50=%llu us\n", w == 0 ? "on" : "off",
                 r.mops, (unsigned long long)r.batch_latency.percentile(50));
   }
   return 0;

@@ -3,10 +3,12 @@
 // (Gaussian in the exponent, sigma = 0.8 / 1.0 as in the paper); Dynamic
 // groups busy clients together and stretches their slices.
 #include <cmath>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "src/common/rng.h"
 #include "src/harness/harness.h"
+#include "src/harness/sweep.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
@@ -23,6 +25,7 @@ double run_mode(bool dynamic, double sigma, uint64_t seed, bool quick) {
   Testbed bed(cfg);
   EchoWorkload wl;
   wl.batch = 4;
+  wl.seed = seed;
   wl.warmup = msec(2);  // give the scheduler time to learn priorities
   wl.measure = quick ? msec(3) : msec(6);
   Rng rng(seed);
@@ -40,15 +43,33 @@ double run_mode(bool dynamic, double sigma, uint64_t seed, bool quick) {
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
+  const std::vector<double> sigmas = {0.8, 1.0};
+
+  Sweep sweep;
+  struct Row {
+    double stat = 0, dyn = 0;
+  };
+  std::vector<Row> rows(sigmas.size());
+  for (size_t idx = 0; idx < sigmas.size(); ++idx) {
+    const double sigma = sigmas[idx];
+    sweep.add("static/sigma=" + std::to_string(sigma),
+              [&opt, sigma, slot = &rows[idx].stat] {
+                *slot = run_mode(false, sigma, opt.seed, opt.quick);
+              });
+    sweep.add("dynamic/sigma=" + std::to_string(sigma),
+              [&opt, sigma, slot = &rows[idx].dyn] {
+                *slot = run_mode(true, sigma, opt.seed, opt.quick);
+              });
+  }
+  sweep.run(opt.threads);
+
   bench::header("Fig 12: Dynamic vs Static scheduling under skewed AFD",
                 "Dynamic outperforms Static by ~9-10%");
   std::printf("%-8s %-14s %-14s %-8s\n", "sigma", "Static(Mops)", "Dynamic(Mops)",
               "gain");
-  for (double sigma : {0.8, 1.0}) {
-    const double stat = run_mode(false, sigma, opt.seed, opt.quick);
-    const double dyn = run_mode(true, sigma, opt.seed, opt.quick);
-    std::printf("%-8.1f %-14.2f %-14.2f %+.1f%%\n", sigma, stat, dyn,
-                (dyn / stat - 1.0) * 100.0);
+  for (size_t idx = 0; idx < sigmas.size(); ++idx) {
+    std::printf("%-8.1f %-14.2f %-14.2f %+.1f%%\n", sigmas[idx], rows[idx].stat,
+                rows[idx].dyn, (rows[idx].dyn / rows[idx].stat - 1.0) * 100.0);
   }
   return 0;
 }

@@ -1,8 +1,11 @@
 // Fig. 13: DFS metadata performance with selfRPC vs ScaleRPC. Read-oriented
 // ops (Stat/ReadDir) gain ~50-90% at 80-120 clients; software-bound
 // Mknod/Rmnod gain only ~5%.
+#include <string>
+
 #include "bench/bench_common.h"
 #include "src/dfs/workload.h"
+#include "src/harness/sweep.h"
 
 using namespace scalerpc;
 using namespace scalerpc::dfs;
@@ -10,38 +13,51 @@ using namespace scalerpc::harness;
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
-  bench::header("Fig 13: DFS metadata ops, selfRPC vs ScaleRPC", "paper Fig 13");
   const std::vector<int> clients =
       opt.quick ? std::vector<int>{40, 120} : std::vector<int>{40, 80, 120};
+  const TransportKind kinds[] = {TransportKind::kSelfRpc, TransportKind::kScaleRpc};
+
+  Sweep sweep;
+  std::vector<MdtestResult> results(clients.size() * 2);
+  size_t i = 0;
+  for (int n : clients) {
+    for (auto kind : kinds) {
+      sweep.add(std::string(to_string(kind)) + "/c" + std::to_string(n),
+                [kind, n, slot = &results[i++]] {
+                  TestbedConfig cfg;
+                  cfg.kind = kind;
+                  cfg.num_clients = n;
+                  cfg.num_client_nodes = 8;
+                  // Uniform workload: static grouping avoids rebuild-induced
+                  // stragglers that would dominate mdtest's
+                  // barrier-synchronized phases.
+                  cfg.rpc.dynamic_priority = false;
+                  Testbed bed(cfg);
+                  MdtestConfig mc;
+                  mc.files_per_client = 60;
+                  *slot = run_mdtest(bed, mc);
+                });
+    }
+  }
+  sweep.run(opt.threads);
+
+  bench::header("Fig 13: DFS metadata ops, selfRPC vs ScaleRPC", "paper Fig 13");
   std::printf("%-8s %-9s | %-10s %-10s %-10s %-10s\n", "clients", "rpc", "Mknod",
               "Stat", "ReadDir", "Rmnod");
+  i = 0;
   for (int n : clients) {
-    MdtestResult results[2];
-    int i = 0;
-    for (auto kind : {TransportKind::kSelfRpc, TransportKind::kScaleRpc}) {
-      TestbedConfig cfg;
-      cfg.kind = kind;
-      cfg.num_clients = n;
-      cfg.num_client_nodes = 8;
-      // Uniform workload: static grouping avoids rebuild-induced stragglers
-      // that would dominate mdtest's barrier-synchronized phases.
-      cfg.rpc.dynamic_priority = false;
-      Testbed bed(cfg);
-      MdtestConfig mc;
-      mc.files_per_client = 60;
-  
-      results[i] = run_mdtest(bed, mc);
+    const MdtestResult* pair = &results[i];
+    for (auto kind : kinds) {
+      const MdtestResult& r = results[i++];
       std::printf("%-8d %-9s | %-10.3f %-10.3f %-10.3f %-10.3f\n", n,
                   kind == TransportKind::kSelfRpc ? "selfRPC" : "ScaleRPC",
-                  results[i].mknod_mops, results[i].stat_mops,
-                  results[i].readdir_mops, results[i].rmnod_mops);
-      i++;
+                  r.mknod_mops, r.stat_mops, r.readdir_mops, r.rmnod_mops);
     }
     std::printf("%-8s %-9s | %+9.1f%% %+9.1f%% %+9.1f%% %+9.1f%%\n", "", "gain",
-                (results[1].mknod_mops / results[0].mknod_mops - 1) * 100,
-                (results[1].stat_mops / results[0].stat_mops - 1) * 100,
-                (results[1].readdir_mops / results[0].readdir_mops - 1) * 100,
-                (results[1].rmnod_mops / results[0].rmnod_mops - 1) * 100);
+                (pair[1].mknod_mops / pair[0].mknod_mops - 1) * 100,
+                (pair[1].stat_mops / pair[0].stat_mops - 1) * 100,
+                (pair[1].readdir_mops / pair[0].readdir_mops - 1) * 100,
+                (pair[1].rmnod_mops / pair[0].rmnod_mops - 1) * 100);
   }
   return 0;
 }

@@ -3,7 +3,10 @@
 //  (b) SmallBank (85% writes, 4% hot accounts get 60% of traffic).
 // Systems: RawWrite / HERD / FaSST / ScaleTX-O (all RPC-only) and ScaleTX
 // (ScaleRPC + one-sided validation & commit).
+#include <string>
+
 #include "bench/bench_common.h"
+#include "src/harness/sweep.h"
 #include "src/txn/testbed.h"
 
 using namespace scalerpc;
@@ -25,6 +28,7 @@ const System kSystems[] = {
     {"ScaleTX-O", TransportKind::kScaleRpc, false},
     {"ScaleTX", TransportKind::kScaleRpc, true},
 };
+constexpr size_t kNumSystems = sizeof(kSystems) / sizeof(kSystems[0]);
 
 template <typename WorkloadFn>
 TxnRunResult run_system(const System& sys, int coordinators, uint64_t keys_per_shard,
@@ -51,12 +55,45 @@ int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
   const std::vector<int> client_counts =
       opt.quick ? std::vector<int>{80} : std::vector<int>{80, 160};
-
-  bench::header("Fig 16a: object store transactions (r reads, w writes)",
-                "ScaleTX best at 160 clients; RawWrite collapses beyond 80");
   const std::vector<std::pair<int, int>> mixes =
       opt.quick ? std::vector<std::pair<int, int>>{{3, 1}}
                 : std::vector<std::pair<int, int>>{{4, 0}, {3, 1}, {2, 2}};
+
+  Sweep sweep;
+  std::vector<TxnRunResult> obj_res(mixes.size() * client_counts.size() * kNumSystems);
+  std::vector<TxnRunResult> bank_res(client_counts.size() * kNumSystems);
+  size_t i = 0;
+  for (const auto& [r, w] : mixes) {
+    for (int clients : client_counts) {
+      for (const System& sys : kSystems) {
+        sweep.add(std::string("obj/") + sys.name + "/r" + std::to_string(r) + "w" +
+                      std::to_string(w) + "/c" + std::to_string(clients),
+                  [&opt, &sys, r = r, w = w, clients, slot = &obj_res[i++]] {
+                    ObjectStoreWorkload wl(20000, 3, r, w, 40);
+                    *slot = run_system(sys, clients, 20000,
+                                       [&wl](Rng& rng) { return wl.next(rng); },
+                                       opt.quick, opt.seed);
+                  });
+      }
+    }
+  }
+  i = 0;
+  for (int clients : client_counts) {
+    for (const System& sys : kSystems) {
+      sweep.add(std::string("smallbank/") + sys.name + "/c" + std::to_string(clients),
+                [&opt, &sys, clients, slot = &bank_res[i++]] {
+                  SmallBankWorkload wl(100000, 40);
+                  *slot = run_system(sys, clients, 100000 * 2 / 3 + 1,
+                                     [&wl](Rng& rng) { return wl.next(rng); },
+                                     opt.quick, opt.seed);
+                });
+    }
+  }
+  sweep.run(opt.threads);
+
+  bench::header("Fig 16a: object store transactions (r reads, w writes)",
+                "ScaleTX best at 160 clients; RawWrite collapses beyond 80");
+  i = 0;
   for (const auto& [r, w] : mixes) {
     std::printf("\n(r=%d, w=%d)\n%-10s", r, w, "clients");
     for (const auto& sys : kSystems) {
@@ -65,12 +102,8 @@ int main(int argc, char** argv) {
     std::printf("   (ktxn/s)\n");
     for (int clients : client_counts) {
       std::printf("%-10d", clients);
-      for (const auto& sys : kSystems) {
-        ObjectStoreWorkload wl(20000, 3, r, w, 40);
-        const TxnRunResult res =
-            run_system(sys, clients, 20000,
-                       [&wl](Rng& rng) { return wl.next(rng); }, opt.quick, opt.seed);
-        std::printf("%-12.1f", res.committed_ktps);
+      for (size_t s = 0; s < kNumSystems; ++s) {
+        std::printf("%-12.1f", obj_res[i++].committed_ktps);
       }
       std::printf("\n");
     }
@@ -84,13 +117,11 @@ int main(int argc, char** argv) {
     std::printf("%-12s", sys.name);
   }
   std::printf("   (ktxn/s, abort%%)\n");
+  i = 0;
   for (int clients : client_counts) {
     std::printf("%-10d", clients);
-    for (const auto& sys : kSystems) {
-      SmallBankWorkload wl(100000, 40);
-      const TxnRunResult res =
-          run_system(sys, clients, 100000 * 2 / 3 + 1,
-                     [&wl](Rng& rng) { return wl.next(rng); }, opt.quick, opt.seed);
+    for (size_t s = 0; s < kNumSystems; ++s) {
+      const TxnRunResult& res = bank_res[i++];
       std::printf("%-5.1f/%-5.1f ", res.committed_ktps, res.abort_rate * 100);
     }
     std::printf("\n");

@@ -4,6 +4,7 @@
 // measured 0.8 GB/s for ordered UD transfer vs ~6.4 GB/s for RC (12.5%);
 // pipelining helps but pushes reassembly complexity into software.
 #include "bench/bench_common.h"
+#include "src/harness/sweep.h"
 #include "src/rpc/large_transfer.h"
 #include "src/simrdma/nic.h"
 
@@ -12,44 +13,50 @@ using namespace scalerpc::simrdma;
 
 int main(int argc, char** argv) {
   const auto opt = bench::parse_options(argc, argv);
-  bench::header("Sec 5.1: large transfers, RC write vs sliced UD",
-                "ordered UD ~12.5% of RC bandwidth; pipelining recovers some");
   const uint64_t len = opt.quick ? MiB(4) : MiB(16);
 
-  SimParams params;
-  params.host_memory_bytes = len + MiB(8);
-  Cluster cluster(params);
-  Node* a = cluster.add_node("sender");
-  Node* b = cluster.add_node("receiver");
-  const uint64_t src = a->alloc(len, 4096);
-  const uint64_t dst = b->alloc(len, 4096);
-  const uint32_t rkey = b->arena_mr()->rkey;
-
-  auto* rc_cq_a = a->create_cq();
-  auto* rc_cq_b = b->create_cq();
-  QueuePair* rc_a = a->create_qp(QpType::kRC, rc_cq_a, rc_cq_a);
-  QueuePair* rc_b = b->create_qp(QpType::kRC, rc_cq_b, rc_cq_b);
-  cluster.connect(rc_a, rc_b);
-
-  auto* ud_scq = a->create_cq();
-  auto* ud_rcq = a->create_cq();
-  QueuePair* ud_a = a->create_qp(QpType::kUD, ud_scq, ud_rcq);
-  auto* ud_scq_b = b->create_cq();
-  auto* ud_rcq_b = b->create_cq();
-  QueuePair* ud_b = b->create_qp(QpType::kUD, ud_scq_b, ud_rcq_b);
-
-  std::printf("%-24s %-12s %-12s %-10s\n", "method", "bytes", "time(us)", "GB/s");
+  // The three transfers share one cluster and run back-to-back on its
+  // clock, so they are a single sweep task, not three.
   rpc::TransferResult rc{};
   rpc::TransferResult ud{};
   rpc::TransferResult udp{};
-  auto body = [&]() -> sim::Task<void> {
-    rc = co_await rpc::rc_write_transfer(rc_a, src, dst, rkey, len);
-    ud = co_await rpc::ud_chunked_transfer(ud_a, ud_b, src, dst, len);
-    udp = co_await rpc::ud_pipelined_transfer(ud_a, ud_b, src, dst, len, 16);
-  };
-  auto t = body();
-  sim::run_blocking(cluster.loop(), std::move(t));
+  harness::Sweep sweep;
+  sweep.add("large_transfers", [len, &rc, &ud, &udp] {
+    SimParams params;
+    params.host_memory_bytes = len + MiB(8);
+    Cluster cluster(params);
+    Node* a = cluster.add_node("sender");
+    Node* b = cluster.add_node("receiver");
+    const uint64_t src = a->alloc(len, 4096);
+    const uint64_t dst = b->alloc(len, 4096);
+    const uint32_t rkey = b->arena_mr()->rkey;
 
+    auto* rc_cq_a = a->create_cq();
+    auto* rc_cq_b = b->create_cq();
+    QueuePair* rc_a = a->create_qp(QpType::kRC, rc_cq_a, rc_cq_a);
+    QueuePair* rc_b = b->create_qp(QpType::kRC, rc_cq_b, rc_cq_b);
+    cluster.connect(rc_a, rc_b);
+
+    auto* ud_scq = a->create_cq();
+    auto* ud_rcq = a->create_cq();
+    QueuePair* ud_a = a->create_qp(QpType::kUD, ud_scq, ud_rcq);
+    auto* ud_scq_b = b->create_cq();
+    auto* ud_rcq_b = b->create_cq();
+    QueuePair* ud_b = b->create_qp(QpType::kUD, ud_scq_b, ud_rcq_b);
+
+    auto body = [&]() -> sim::Task<void> {
+      rc = co_await rpc::rc_write_transfer(rc_a, src, dst, rkey, len);
+      ud = co_await rpc::ud_chunked_transfer(ud_a, ud_b, src, dst, len);
+      udp = co_await rpc::ud_pipelined_transfer(ud_a, ud_b, src, dst, len, 16);
+    };
+    auto t = body();
+    sim::run_blocking(cluster.loop(), std::move(t));
+  });
+  sweep.run(opt.threads);
+
+  bench::header("Sec 5.1: large transfers, RC write vs sliced UD",
+                "ordered UD ~12.5% of RC bandwidth; pipelining recovers some");
+  std::printf("%-24s %-12s %-12s %-10s\n", "method", "bytes", "time(us)", "GB/s");
   auto row = [len](const char* name, const rpc::TransferResult& r) {
     std::printf("%-24s %-12llu %-12.1f %-10.2f\n", name, (unsigned long long)len,
                 static_cast<double>(r.elapsed) / 1000.0, r.gbytes_per_sec());

@@ -10,10 +10,15 @@
 // workload (clients, batch, window, seed) is pinned so numbers are
 // comparable across commits; CI trends come from the --json output
 // (committed as BENCH_simspeed.json at the repo root).
+//
+// A second pass re-runs the same config×repeat grid through the parallel
+// sweep engine (src/harness/sweep.h) and reports the serial-vs-parallel
+// wall-time ratio — the speedup every figure bench gets from --threads=N.
 #include <chrono>
 
 #include "bench/bench_common.h"
 #include "src/harness/harness.h"
+#include "src/harness/sweep.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
@@ -40,10 +45,10 @@ SpeedRow measure_once(const Config& c, uint64_t seed, bool quick) {
   cfg.kind = c.kind;
   cfg.num_clients = c.clients;
   cfg.num_client_nodes = 11;
-  (void)seed;  // workload is closed-loop and deterministic; seed reserved
   Testbed bed(cfg);
   EchoWorkload wl;
   wl.batch = c.batch;
+  wl.seed = seed;
   wl.warmup = usec(600);
   wl.measure = quick ? msec(2) : msec(8);
 
@@ -84,6 +89,7 @@ int main(int argc, char** argv) {
       {"rawwrite_b1", TransportKind::kRawWrite, 200, 1},
       {"fasst_b8", TransportKind::kFasst, 200, 8},
   };
+  constexpr size_t kNumConfigs = sizeof(configs) / sizeof(configs[0]);
 
   bench::header("Simulator speed: wall-clock events/sec on a Fig-8 workload",
                 "infrastructure benchmark (no paper figure)");
@@ -94,8 +100,15 @@ int main(int argc, char** argv) {
   uint64_t total_events = 0;
   uint64_t total_ops = 0;
   double total_wall = 0.0;
-  for (const auto& c : configs) {
+  SpeedRow serial_best[kNumConfigs];
+  // Wall-clock the whole serial pass (the parallel pass below runs the same
+  // config×repeat grid, so both include testbed construction/teardown —
+  // measure_once's internal wall deliberately excludes it).
+  const auto serial_start = std::chrono::steady_clock::now();
+  for (size_t ci = 0; ci < kNumConfigs; ++ci) {
+    const Config& c = configs[ci];
     const SpeedRow row = measure(c, opt.seed, opt.quick);
+    serial_best[ci] = row;
     const double eps = static_cast<double>(row.events) / row.wall_s;
     const double mops_per_s = static_cast<double>(row.ops) / row.wall_s / 1e6;
     std::printf("%-14s%-14" PRIu64 "%-12.1f%-16.3g%-16.3g\n", c.name, row.events,
@@ -114,6 +127,8 @@ int main(int argc, char** argv) {
     total_ops += row.ops;
     total_wall += row.wall_s;
   }
+  const double serial_sweep_wall = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - serial_start).count();
 
   const double agg_eps = static_cast<double>(total_events) / total_wall;
   std::printf("%-14s%-14" PRIu64 "%-12.1f%-16.3g%-16.3g\n", "TOTAL", total_events,
@@ -126,6 +141,50 @@ int main(int argc, char** argv) {
   json.field("wall_s", total_wall);
   json.field("events_per_sec", agg_eps);
   json.field("sim_mops_per_wall_s", static_cast<double>(total_ops) / total_wall / 1e6);
+
+  // Parallel pass: the same config×repeat grid, but as one Sweep. Each task
+  // is an independent simulation instance; the engine fans them out across
+  // worker threads and the results must be bit-identical to the serial pass.
+  const int threads =
+      opt.threads <= 0 ? Sweep::hardware_threads() : opt.threads;
+  Sweep sweep;
+  SpeedRow par_rows[kNumConfigs][kRepeats];
+  for (size_t ci = 0; ci < kNumConfigs; ++ci) {
+    for (int r = 0; r < kRepeats; ++r) {
+      sweep.add(std::string(configs[ci].name) + "/rep" + std::to_string(r),
+                [&opt, c = configs[ci], slot = &par_rows[ci][r]] {
+                  *slot = measure_once(c, opt.seed, opt.quick);
+                });
+    }
+  }
+  const size_t num_tasks = sweep.size();
+  const auto par_start = std::chrono::steady_clock::now();
+  sweep.run(threads);
+  const auto par_end = std::chrono::steady_clock::now();
+  const double parallel_wall =
+      std::chrono::duration<double>(par_end - par_start).count();
+  for (size_t ci = 0; ci < kNumConfigs; ++ci) {
+    for (int r = 0; r < kRepeats; ++r) {
+      SCALERPC_CHECK(par_rows[ci][r].events == serial_best[ci].events &&
+                     par_rows[ci][r].ops == serial_best[ci].ops);
+    }
+  }
+  const double speedup = serial_sweep_wall / parallel_wall;
+
+  std::printf("\nparallel sweep: %zu tasks (%zu configs x %d repeats) on %d "
+              "thread%s\n",
+              num_tasks, kNumConfigs, kRepeats, threads, threads == 1 ? "" : "s");
+  std::printf("%-20s%-20s%-10s\n", "serial_wall_ms", "parallel_wall_ms",
+              "speedup");
+  std::printf("%-20.1f%-20.1f%.2fx\n", serial_sweep_wall * 1e3,
+              parallel_wall * 1e3, speedup);
+  json.begin_row();
+  json.field("config", "PARALLEL_SWEEP");
+  json.field("threads", threads);
+  json.field("tasks", static_cast<uint64_t>(num_tasks));
+  json.field("serial_wall_s", serial_sweep_wall);
+  json.field("parallel_wall_s", parallel_wall);
+  json.field("speedup", speedup);
   if (!json.write_file(opt.json_path, "simspeed")) {
     return 1;
   }

@@ -2,6 +2,7 @@
 // by probing the simulated verbs layer (successful ops measure latency;
 // forbidden combinations are enforced by the API and asserted in tests).
 #include "bench/bench_common.h"
+#include "src/harness/sweep.h"
 #include "src/simrdma/cluster.h"
 #include "src/simrdma/nic.h"
 #include "src/simrdma/node.h"
@@ -50,19 +51,39 @@ Nanos probe(QpType type, Opcode op) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::parse_options(argc, argv);
+  const auto opt = bench::parse_options(argc, argv);
+
+  struct Probe {
+    const char* label;
+    QpType type;
+    Opcode op;
+  };
+  const Probe probes[] = {
+      {"rc_send", QpType::kRC, Opcode::kSend},
+      {"rc_write", QpType::kRC, Opcode::kWrite},
+      {"rc_read", QpType::kRC, Opcode::kRead},
+      {"uc_send", QpType::kUC, Opcode::kSend},
+      {"uc_write", QpType::kUC, Opcode::kWrite},
+      {"ud_send", QpType::kUD, Opcode::kSend},
+  };
+  harness::Sweep sweep;
+  Nanos lat[6] = {};
+  for (size_t idx = 0; idx < 6; ++idx) {
+    sweep.add(probes[idx].label, [p = probes[idx], slot = &lat[idx]] {
+      *slot = probe(p.type, p.op);
+    });
+  }
+  sweep.run(opt.threads);
+
   bench::header("Table 1: verbs and MTU per transport mode", "paper Table 1");
   std::printf("%-5s %-11s %-11s %-13s %s\n", "mode", "send/recv", "write/imm",
               "read/atomic", "MTU");
   std::printf("RC    yes (%4lldns) yes (%4lldns) yes (%4lldns)  2 GB\n",
-              (long long)probe(QpType::kRC, Opcode::kSend),
-              (long long)probe(QpType::kRC, Opcode::kWrite),
-              (long long)probe(QpType::kRC, Opcode::kRead));
+              (long long)lat[0], (long long)lat[1], (long long)lat[2]);
   std::printf("UC    yes (%4lldns) yes (%4lldns) no            2 GB\n",
-              (long long)probe(QpType::kUC, Opcode::kSend),
-              (long long)probe(QpType::kUC, Opcode::kWrite));
+              (long long)lat[3], (long long)lat[4]);
   std::printf("UD    yes (%4lldns) no          no            4 KB\n",
-              (long long)probe(QpType::kUD, Opcode::kSend));
+              (long long)lat[5]);
   std::printf("\n(forbidden cells abort at the verbs layer; asserted in "
               "tests/simrdma/verbs_test.cc death tests)\n");
   return 0;

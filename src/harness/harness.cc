@@ -1,5 +1,7 @@
 #include "src/harness/harness.h"
 
+#include "src/common/rng.h"
+
 namespace scalerpc::harness {
 
 const char* to_string(TransportKind kind) {
@@ -118,8 +120,13 @@ struct DriverState {
 };
 
 sim::Task<void> echo_client(sim::EventLoop* loop, rpc::RpcClient* client,
-                            const EchoWorkload* wl, Nanos think, DriverState* st) {
+                            const EchoWorkload* wl, size_t client_idx, Nanos think,
+                            DriverState* st) {
   rpc::Bytes payload(wl->msg_bytes, 0xAB);
+  Rng payload_rng(wl->seed ^ (0x9E3779B97F4A7C15ull * (client_idx + 1)));
+  for (uint8_t& b : payload) {
+    b = static_cast<uint8_t>(payload_rng.next());
+  }
   while (!st->stop) {
     if (think > 0) {
       co_await loop->delay(think);
@@ -148,7 +155,7 @@ EchoResult run_echo(Testbed& bed, const EchoWorkload& wl) {
   for (size_t c = 0; c < bed.num_clients(); ++c) {
     const Nanos think =
         c < wl.per_client_think.size() ? wl.per_client_think[c] : 0;
-    sim::spawn(loop, echo_client(&loop, &bed.client(c), &wl, think, &st));
+    sim::spawn(loop, echo_client(&loop, &bed.client(c), &wl, c, think, &st));
   }
 
   loop.run_for(wl.warmup);

@@ -1,5 +1,8 @@
 #include "src/harness/rawverbs.h"
 
+#include <vector>
+
+#include "src/common/rng.h"
 #include "src/sim/task.h"
 
 namespace scalerpc::harness {
@@ -85,6 +88,17 @@ sim::Task<void> pool_poller(Node* server, uint64_t base, uint64_t len, Counters*
   }
 }
 
+// Fills the buffer a sender will DMA out of with seed-derived bytes (one
+// stream per sender index, as run_echo does for RPC payloads).
+void fill_seeded(Node* node, uint64_t addr, uint32_t len, uint64_t seed, int idx) {
+  Rng rng(seed ^ (0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(idx) + 1)));
+  std::vector<uint8_t> bytes(len);
+  for (uint8_t& b : bytes) {
+    b = static_cast<uint8_t>(rng.next());
+  }
+  node->memory().store(addr, bytes);
+}
+
 RawVerbResult measure_window(Cluster& cluster, Node* server, Counters* st,
                              Nanos warmup, Nanos measure) {
   cluster.loop().run_for(warmup);
@@ -114,6 +128,7 @@ RawVerbResult run_outbound_write(const RawVerbConfig& cfg) {
     cnodes.push_back(cluster.add_node("c" + std::to_string(i)));
   }
   const uint64_t src = server->alloc(cfg.msg_bytes);
+  fill_seeded(server, src, cfg.msg_bytes, cfg.seed, 0);
   std::vector<std::vector<QueuePair*>> qps(static_cast<size_t>(cfg.server_threads));
   std::vector<std::vector<SendWr>> wrs(static_cast<size_t>(cfg.server_threads));
   std::vector<CompletionQueue*> cqs;
@@ -169,6 +184,7 @@ RawVerbResult run_inbound_write(const RawVerbConfig& cfg) {
     QueuePair* cq = cn->create_qp(QpType::kRC, ccq, ccq);
     cluster.connect(sq, cq);
     const uint64_t src = cn->alloc(cfg.msg_bytes);
+    fill_seeded(cn, src, cfg.msg_bytes, cfg.seed, c);
     std::vector<uint64_t> blocks;
     for (int b = 0; b < cfg.blocks_per_client; ++b) {
       blocks.push_back(pool + (static_cast<uint64_t>(c) * cfg.blocks_per_client +
@@ -253,6 +269,7 @@ RawVerbResult run_ud_send(const RawVerbConfig& cfg) {
     auto* ccq = cn->create_cq();
     QueuePair* qp = cn->create_qp(QpType::kUD, ccq, ccq);
     const uint64_t src = cn->alloc(cfg.msg_bytes);
+    fill_seeded(cn, src, cfg.msg_bytes, cfg.seed, c);
     const auto& target = sqps[static_cast<size_t>(c % cfg.server_threads)];
     sim::spawn(cluster.loop(),
                ud_client(qp, ccq, src, server->id(), target.qp->qpn(), cfg.msg_bytes,

@@ -22,6 +22,10 @@ struct RawVerbConfig {
   bool server_polls = true;  // consume messages CPU-side (promotes lines)
   Nanos warmup = usec(300);
   Nanos measure = msec(2);
+  // Shapes the bytes senders DMA out of their source buffers. Content never
+  // influences simulated timing; plumbing --seed here makes the flag reach
+  // the data plane instead of being silently dropped.
+  uint64_t seed = 1;
 };
 
 struct RawVerbResult {

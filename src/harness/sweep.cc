@@ -1,0 +1,68 @@
+#include "src/harness/sweep.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/sim/pool.h"
+
+namespace scalerpc::harness {
+
+size_t Sweep::add(std::string label, std::function<void()> fn) {
+  SCALERPC_CHECK(fn != nullptr);
+  tasks_.push_back(TaskEntry{std::move(label), std::move(fn)});
+  return tasks_.size() - 1;
+}
+
+int Sweep::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void Sweep::run(int threads) {
+  if (threads <= 0) {
+    threads = hardware_threads();
+  }
+  if (threads > static_cast<int>(tasks_.size())) {
+    threads = static_cast<int>(tasks_.size());
+  }
+
+  if (threads <= 1) {
+    // Serial mode: no worker threads, no atomics — byte-for-byte the
+    // pre-sweep behavior, and the reference the parallel path must match.
+    for (TaskEntry& task : tasks_) {
+      task.fn();
+    }
+    tasks_.clear();
+    return;
+  }
+
+  // Fixed pool, work-claiming in submission order. Task indices are handed
+  // out through one atomic cursor; each task runs on exactly one worker,
+  // whose thread_local simulator pools isolate it from the others.
+  std::atomic<size_t> next{0};
+  auto worker = [this, &next] {
+    for (;;) {
+      const size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= tasks_.size()) {
+        break;
+      }
+      tasks_[i].fn();
+    }
+    // Workers die with the run; don't strand their block caches.
+    sim::BytePool::drain_thread_cache();
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  tasks_.clear();
+}
+
+}  // namespace scalerpc::harness

@@ -1,0 +1,66 @@
+// Parallel sweep engine for the figure benchmarks.
+//
+// Every figure reproduction is a sweep of independent simulations: each
+// point builds its own Testbed (own EventLoop, Cluster, transports), runs,
+// and reports a few numbers. The simulations are deterministic and share no
+// mutable state (src/sim/pool.h is thread_local; everything else is
+// per-instance), so the sweep is embarrassingly parallel.
+//
+// Usage (the declarative registration pattern every bench binary follows):
+//
+//   Sweep sweep;
+//   for (int n : clients)
+//     sweep.add("clients=" + std::to_string(n),
+//               [n, &slot = results[i++]] { slot = measure(n); });
+//   sweep.run(opt.threads);            // <=0: one worker per hardware core
+//   ... print tables from `results` in registration order ...
+//
+// Determinism rule: tasks compute into caller-owned slots and never print;
+// all output happens after run() returns, indexed in task-submission order.
+// That makes stdout and --json rows byte-identical for any thread count,
+// including --threads=1, which executes tasks inline in submission order
+// with no worker threads at all (exactly the pre-sweep serial behavior).
+#ifndef SRC_HARNESS_SWEEP_H_
+#define SRC_HARNESS_SWEEP_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace scalerpc::harness {
+
+class Sweep {
+ public:
+  // Registers a task. `label` names the sweep point (error reporting and
+  // future progress output); `fn` must be self-contained: it builds, runs,
+  // and tears down its simulation entirely on whichever thread executes it,
+  // writing results only to memory no other task touches. Returns the
+  // task's submission index.
+  size_t add(std::string label, std::function<void()> fn);
+
+  // Executes every registered task and returns once all have finished.
+  //   threads <= 0  one worker per hardware core (hardware_threads())
+  //   threads == 1  inline on the calling thread, in submission order
+  //   threads >  1  that many workers, claiming tasks in submission order
+  // The task list is cleared afterwards so a Sweep can be reused for a
+  // second phase.
+  void run(int threads);
+
+  size_t size() const { return tasks_.size(); }
+
+  // Worker count used for `threads <= 0`: std::thread::hardware_concurrency
+  // clamped to at least 1.
+  static int hardware_threads();
+
+ private:
+  struct TaskEntry {
+    std::string label;
+    std::function<void()> fn;
+  };
+
+  std::vector<TaskEntry> tasks_;
+};
+
+}  // namespace scalerpc::harness
+
+#endif  // SRC_HARNESS_SWEEP_H_

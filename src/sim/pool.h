@@ -1,17 +1,28 @@
 // Size-class freelists for hot-path transients.
 //
-// The simulator is single-threaded and creates short-lived objects at a
-// per-simulated-message rate: coroutine frames (one or more per message) and
-// packet payload buffers (one per wire hop). Routing those through malloc
-// made the allocator the largest hidden cost on the hot path. BytePool
-// recycles blocks through per-size freelists instead: after a brief warmup
-// every alloc/release is a two-instruction freelist pop/push and the steady
-// state performs zero heap allocations (verified by
+// Each simulation instance is single-threaded and creates short-lived
+// objects at a per-simulated-message rate: coroutine frames (one or more per
+// message) and packet payload buffers (one per wire hop). Routing those
+// through malloc made the allocator the largest hidden cost on the hot path.
+// BytePool recycles blocks through per-size freelists instead: after a brief
+// warmup every alloc/release is a two-instruction freelist pop/push and the
+// steady state performs zero heap allocations (verified by
 // tests/simrdma/hotpath_alloc_test.cc).
 //
-// Blocks are kept for the life of the process; the working set is bounded by
-// the peak number of live transients, which the simulation bounds itself
-// (NIC engine counts, in-flight message windows).
+// The freelists are thread_local so independent simulations can run on
+// concurrent threads (the parallel sweep engine, src/harness/sweep.h)
+// without sharing any mutable state: a block allocated on a thread is
+// released back to that thread's freelist, never another's. A simulation
+// must therefore live entirely on one thread — Testbed construction, the
+// event loop, and destruction — which is exactly how sweep workers run
+// tasks. Pool reuse only changes which heap addresses back a transient,
+// never simulated behavior, so per-thread pools keep runs byte-identical
+// to serial execution (tests/sim/pool_threading_test.cc).
+//
+// Blocks are kept for the life of the thread (drain_thread_cache() frees
+// them, e.g. when a sweep worker exits); the working set is bounded by the
+// peak number of live transients, which the simulation bounds itself (NIC
+// engine counts, in-flight message windows).
 #ifndef SRC_SIM_POOL_H_
 #define SRC_SIM_POOL_H_
 
@@ -24,7 +35,12 @@ namespace scalerpc::sim {
 struct BytePool {
   static constexpr size_t kGranuleShift = 6;  // 64-byte size classes
   static constexpr size_t kBuckets = 65;      // freelists cover up to 4 KiB
-  static inline void* free_lists[kBuckets] = {};
+  static inline thread_local void* free_lists[kBuckets] = {};
+  // This thread's blocks handed out and not yet released (pooled and
+  // oversize alike). Balances back to its pre-run value once every
+  // transient of a simulation has been destroyed; the threading test uses
+  // it to prove no block crossed threads.
+  static inline thread_local uint64_t outstanding_blocks = 0;
 
   static constexpr size_t bucket_of(size_t n) {
     return (n + (size_t{1} << kGranuleShift) - 1) >> kGranuleShift;
@@ -38,6 +54,7 @@ struct BytePool {
   }
 
   static void* alloc(size_t n) {
+    outstanding_blocks++;
     const size_t b = bucket_of(n);
     if (b >= kBuckets) {
       return ::operator new(n);  // oversize: fall through to the heap
@@ -51,6 +68,7 @@ struct BytePool {
   }
 
   static void release(void* p, size_t n) {
+    outstanding_blocks--;
     const size_t b = bucket_of(n);
     if (b >= kBuckets) {
       ::operator delete(p);
@@ -58,6 +76,22 @@ struct BytePool {
     }
     *static_cast<void**>(p) = free_lists[b];
     free_lists[b] = p;
+  }
+
+  // Returns every cached block of the calling thread to the heap. Only safe
+  // once no transient allocated on this thread is still alive; sweep
+  // workers call it after their last task so short-lived threads don't
+  // strand their caches.
+  static void drain_thread_cache() {
+    for (size_t b = 0; b < kBuckets; ++b) {
+      void* p = free_lists[b];
+      while (p != nullptr) {
+        void* next = *static_cast<void**>(p);
+        ::operator delete(p);
+        p = next;
+      }
+      free_lists[b] = nullptr;
+    }
   }
 };
 

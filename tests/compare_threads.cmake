@@ -1,0 +1,34 @@
+# ctest helper: runs BENCH twice (--threads=1 and --threads=N) and fails if
+# stdout differs by a single byte. Guards the sweep engine's determinism
+# contract on a real figure benchmark, not just the unit harness.
+#
+# Usage: cmake -DBENCH=<path> -DTHREADS=<n> -DWORKDIR=<dir> -P compare_threads.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED THREADS OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "compare_threads.cmake needs -DBENCH, -DTHREADS, -DWORKDIR")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} --quick --threads=1
+  OUTPUT_FILE ${WORKDIR}/compare_threads_serial.out
+  RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --threads=1 exited with ${serial_rc}")
+endif()
+
+execute_process(
+  COMMAND ${BENCH} --quick --threads=${THREADS}
+  OUTPUT_FILE ${WORKDIR}/compare_threads_parallel.out
+  RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} --threads=${THREADS} exited with ${parallel_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/compare_threads_serial.out
+          ${WORKDIR}/compare_threads_parallel.out
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+          "--threads=${THREADS} output differs from --threads=1 for ${BENCH}")
+endif()

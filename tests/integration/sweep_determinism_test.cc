@@ -1,0 +1,104 @@
+// The parallel sweep engine must be invisible in the results: running a set
+// of independent simulations through Sweep on worker threads produces
+// observables byte-identical to running them serially on the main thread.
+// This is the regression gate for the --threads flag on the figure benches.
+#include "src/harness/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/harness/harness.h"
+
+namespace scalerpc::harness {
+namespace {
+
+struct Point {
+  TransportKind kind;
+  int clients;
+  int batch;
+};
+
+EchoResult run_point(const Point& p) {
+  TestbedConfig cfg;
+  cfg.kind = p.kind;
+  cfg.num_clients = p.clients;
+  cfg.num_client_nodes = 3;
+  cfg.rpc.group_size = 8;
+  Testbed bed(cfg);
+  EchoWorkload wl;
+  wl.batch = p.batch;
+  wl.measure = msec(1);
+  return run_echo(bed, wl);
+}
+
+// Formats every observable of a run into one string; serial and parallel
+// sweeps must produce byte-identical dumps for each point.
+std::string counter_dump(const EchoResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "ops=%llu elapsed=%lld lat_count=%llu lat_max=%lld lat_p50=%lld "
+                "lat_p99=%lld pcie_rd=%llu rfo=%llu itom=%llu pcie_itom=%llu "
+                "l3_hits=%llu l3_misses=%llu qp_misses=%llu",
+                static_cast<unsigned long long>(r.ops),
+                static_cast<long long>(r.elapsed),
+                static_cast<unsigned long long>(r.batch_latency.count()),
+                static_cast<long long>(r.batch_latency.max()),
+                static_cast<long long>(r.batch_latency.percentile(50)),
+                static_cast<long long>(r.batch_latency.percentile(99)),
+                static_cast<unsigned long long>(r.server_pcm.pcie_rd_cur),
+                static_cast<unsigned long long>(r.server_pcm.rfo),
+                static_cast<unsigned long long>(r.server_pcm.itom),
+                static_cast<unsigned long long>(r.server_pcm.pcie_itom),
+                static_cast<unsigned long long>(r.server_pcm.l3_hits),
+                static_cast<unsigned long long>(r.server_pcm.l3_misses),
+                static_cast<unsigned long long>(r.server_qp_cache_misses));
+  return buf;
+}
+
+const std::vector<Point>& points() {
+  static const std::vector<Point> pts = {
+      {TransportKind::kScaleRpc, 24, 4}, {TransportKind::kScaleRpc, 16, 8},
+      {TransportKind::kRawWrite, 24, 1}, {TransportKind::kFasst, 24, 4},
+      {TransportKind::kHerd, 16, 2},     {TransportKind::kSelfRpc, 16, 4},
+  };
+  return pts;
+}
+
+std::vector<std::string> sweep_dumps(int threads) {
+  Sweep sweep;
+  std::vector<std::string> dumps(points().size());
+  for (size_t i = 0; i < points().size(); ++i) {
+    sweep.add("point" + std::to_string(i),
+              [p = points()[i], slot = &dumps[i]] { *slot = counter_dump(run_point(p)); });
+  }
+  sweep.run(threads);
+  return dumps;
+}
+
+TEST(SweepDeterminism, ParallelMatchesSerialByteForByte) {
+  const std::vector<std::string> serial = sweep_dumps(1);
+  const std::vector<std::string> parallel = sweep_dumps(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "point " << i;
+  }
+}
+
+TEST(SweepDeterminism, RepeatedParallelRunsAgree) {
+  const std::vector<std::string> a = sweep_dumps(4);
+  const std::vector<std::string> b = sweep_dumps(4);
+  EXPECT_EQ(a, b);
+}
+
+TEST(SweepDeterminism, OversubscribedThreadsClampToTasks) {
+  // More workers than tasks is fine; results still match serial.
+  const std::vector<std::string> serial = sweep_dumps(1);
+  const std::vector<std::string> wide = sweep_dumps(64);
+  EXPECT_EQ(serial, wide);
+}
+
+}  // namespace
+}  // namespace scalerpc::harness
