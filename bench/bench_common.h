@@ -8,6 +8,12 @@
 //   --threads=N   worker threads for the sweep (default: all hardware
 //                 cores; 1 runs every point inline on the main thread).
 //                 Output is byte-identical for every N.
+//   --trace=PATH  emit a Chrome-trace-event / Perfetto JSON of the run
+//                 (sim-time timestamps; see docs/tracing.md)
+//   --timeline=PATH
+//                 emit per-interval counter deltas (PCM + NIC timelines)
+//   --timeline-interval=USEC
+//                 timeline sampling window in simulated µs (default 100)
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
@@ -19,13 +25,19 @@
 #include <utility>
 #include <vector>
 
+#include "src/harness/sweep.h"
+#include "src/trace/collector.h"
+
 namespace scalerpc::bench {
 
 struct Options {
   bool quick = false;
   uint64_t seed = 1;
   int threads = 0;  // 0: one sweep worker per hardware core
-  std::string json_path;  // empty: no JSON output
+  std::string json_path;      // empty: no JSON output
+  std::string trace_path;     // empty: tracing off
+  std::string timeline_path;  // empty: counter timelines off
+  int64_t timeline_interval_us = 100;  // PCM-style sampling window
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -39,14 +51,62 @@ inline Options parse_options(int argc, char** argv) {
       opt.threads = static_cast<int>(std::strtol(argv[i] + 10, nullptr, 10));
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       opt.json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      opt.trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
+      opt.timeline_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--timeline-interval=", 20) == 0) {
+      opt.timeline_interval_us = std::strtoll(argv[i] + 20, nullptr, 10);
+      if (opt.timeline_interval_us <= 0) {
+        opt.timeline_interval_us = 100;
+      }
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--quick] [--seed=N] [--threads=N] [--json=PATH]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--quick] [--seed=N] [--threads=N] [--json=PATH]"
+          " [--trace=PATH] [--timeline=PATH] [--timeline-interval=USEC]\n",
+          argv[0]);
       std::exit(0);
     }
   }
   return opt;
 }
+
+// Observability wiring shared by the sweep benches: owns the trace
+// collector configured from --trace/--timeline, installs it on the sweep,
+// and writes the output files once the run (and table printing) is done.
+// With neither flag given, every method is a no-op and the sweep runs
+// exactly as before — the tracing-off invariants rest on this.
+class Observability {
+ public:
+  Observability(const Options& opt, std::string bench_name)
+      : trace_path_(opt.trace_path),
+        timeline_path_(opt.timeline_path),
+        bench_name_(std::move(bench_name)),
+        collector_(trace::CollectorConfig{
+            !opt.trace_path.empty(), !opt.timeline_path.empty(),
+            trace::kAllCategories, opt.timeline_interval_us * 1000,
+            trace::Tracer::kDefaultMaxEvents}) {}
+
+  void attach(harness::Sweep& sweep) {
+    if (collector_.enabled()) {
+      sweep.set_collector(&collector_);
+    }
+  }
+
+  // Writes --trace / --timeline outputs (no-op when the flags are absent).
+  bool write() {
+    const bool trace_ok = collector_.write_trace(trace_path_);
+    const bool timeline_ok =
+        collector_.write_timeline(timeline_path_, bench_name_);
+    return trace_ok && timeline_ok;
+  }
+
+ private:
+  std::string trace_path_;
+  std::string timeline_path_;
+  std::string bench_name_;
+  trace::Collector collector_;
+};
 
 inline void header(const std::string& title, const std::string& paper_ref) {
   std::printf("==============================================================\n");

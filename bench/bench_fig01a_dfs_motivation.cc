@@ -34,6 +34,8 @@ int main(int argc, char** argv) {
                 *slot = run_mdtest(bed, mc);
               });
   }
+  bench::Observability obs(opt, "fig01a_dfs_motivation");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 1a: DFS metadata throughput vs #clients (selfRPC)",
@@ -46,5 +48,5 @@ int main(int argc, char** argv) {
                 r.stat_mops, r.readdir_mops, r.rmnod_mops);
   }
   std::printf("(Mops per op type)\n");
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
     sweep.add(label + "/ud_send",
               [cfg, slot = &rows[idx].ud] { *slot = run_ud_send(cfg); });
   }
+  bench::Observability obs(opt, "fig01b_raw_verbs");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 1b: raw verb throughput vs #clients",
@@ -45,5 +47,5 @@ int main(int argc, char** argv) {
     std::printf("%-8d %-16.2f %-16.2f %-16.2f\n", clients[idx], rows[idx].out.mops,
                 rows[idx].in.mops, rows[idx].ud.mops);
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
     sweep.add(label + "/inbound",
               [cfg, slot = &rows[idx].in] { *slot = run_inbound_write(cfg); });
   }
+  bench::Observability obs(opt, "fig03a_pcie");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 3a: RC write throughput vs PCIe read rate", "paper Fig 3a");
@@ -43,5 +45,5 @@ int main(int argc, char** argv) {
                 rows[idx].out.mops, rows[idx].out.pcie_rd_mops, rows[idx].in.mops,
                 rows[idx].in.pcie_rd_mops);
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
     sweep.add("block=" + std::to_string(sizes[idx]),
               [cfg, slot = &results[idx]] { *slot = run_inbound_write(cfg); });
   }
+  bench::Observability obs(opt, "fig03b_blocksize");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 3b: inbound RC write vs message block size",
@@ -44,5 +46,5 @@ int main(int argc, char** argv) {
     std::printf("%-12u %-14.1f %-14.2f %-12.3f\n", sizes[idx], mb, results[idx].mops,
                 results[idx].l3_miss_rate);
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
       }
     }
   }
+  bench::Observability obs(opt, "fig08_throughput");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 8 (left): throughput vs #clients",
@@ -104,5 +106,5 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -37,6 +37,8 @@ int main(int argc, char** argv) {
                 });
     }
   }
+  bench::Observability obs(opt, "fig09_latency");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 9: latency CDF + summary, 120 clients",
@@ -69,5 +71,5 @@ int main(int argc, char** argv) {
       }
     }
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -37,6 +37,8 @@ int main(int argc, char** argv) {
                 });
     }
   }
+  bench::Observability obs(opt, "fig10_counters");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 10: PCM counters, RawWrite vs ScaleRPC", "paper Fig 10");
@@ -57,5 +59,5 @@ int main(int argc, char** argv) {
     std::printf("%-8d | %-10.2f %-12.2f %-12.2f | %-10.2f %-12.2f %-12.2f\n", n,
                 vals[0], vals[1], vals[2], vals[3], vals[4], vals[5]);
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -59,6 +59,8 @@ int main(int argc, char** argv) {
                 *slot = run_cfg(120, 40, usec(100), w == 0, opt.seed, opt.quick);
               });
   }
+  bench::Observability obs(opt, "fig11_sensitivity");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 11a: time slice sensitivity (80 clients, group 40)",
@@ -90,5 +92,5 @@ int main(int argc, char** argv) {
     std::printf("warmup=%-5s  %-12.2f Mops  p50=%llu us\n", w == 0 ? "on" : "off",
                 r.mops, (unsigned long long)r.batch_latency.percentile(50));
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -61,6 +61,8 @@ int main(int argc, char** argv) {
                 *slot = run_mode(true, sigma, opt.seed, opt.quick);
               });
   }
+  bench::Observability obs(opt, "fig12_priority");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 12: Dynamic vs Static scheduling under skewed AFD",
@@ -71,5 +73,5 @@ int main(int argc, char** argv) {
     std::printf("%-8.1f %-14.2f %-14.2f %+.1f%%\n", sigmas[idx], rows[idx].stat,
                 rows[idx].dyn, (rows[idx].dyn / rows[idx].stat - 1.0) * 100.0);
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

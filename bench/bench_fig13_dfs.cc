@@ -39,6 +39,8 @@ int main(int argc, char** argv) {
                 });
     }
   }
+  bench::Observability obs(opt, "fig13_dfs");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 13: DFS metadata ops, selfRPC vs ScaleRPC", "paper Fig 13");
@@ -59,5 +61,5 @@ int main(int argc, char** argv) {
                 (pair[1].readdir_mops / pair[0].readdir_mops - 1) * 100,
                 (pair[1].rmnod_mops / pair[0].rmnod_mops - 1) * 100);
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -89,6 +89,8 @@ int main(int argc, char** argv) {
                 });
     }
   }
+  bench::Observability obs(opt, "fig16_scaletx");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Fig 16a: object store transactions (r reads, w writes)",
@@ -126,5 +128,5 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

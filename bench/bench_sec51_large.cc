@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
     auto t = body();
     sim::run_blocking(cluster.loop(), std::move(t));
   });
+  bench::Observability obs(opt, "sec51_large");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Sec 5.1: large transfers, RC write vs sliced UD",
@@ -66,5 +68,5 @@ int main(int argc, char** argv) {
   row("UD sliced, window=16", udp);
   std::printf("\nordered-UD / RC bandwidth ratio: %.1f%% (paper: ~12.5%%)\n",
               100.0 * ud.gbytes_per_sec() / rc.gbytes_per_sec());
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -148,6 +148,8 @@ int main(int argc, char** argv) {
   const int threads =
       opt.threads <= 0 ? Sweep::hardware_threads() : opt.threads;
   Sweep sweep;
+  bench::Observability obs(opt, "simspeed");
+  obs.attach(sweep);
   SpeedRow par_rows[kNumConfigs][kRepeats];
   for (size_t ci = 0; ci < kNumConfigs; ++ci) {
     for (int r = 0; r < kRepeats; ++r) {
@@ -188,5 +190,5 @@ int main(int argc, char** argv) {
   if (!json.write_file(opt.json_path, "simspeed")) {
     return 1;
   }
-  return 0;
+  return obs.write() ? 0 : 1;
 }

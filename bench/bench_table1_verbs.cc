@@ -73,6 +73,8 @@ int main(int argc, char** argv) {
       *slot = probe(p.type, p.op);
     });
   }
+  bench::Observability obs(opt, "table1_verbs");
+  obs.attach(sweep);
   sweep.run(opt.threads);
 
   bench::header("Table 1: verbs and MTU per transport mode", "paper Table 1");
@@ -86,5 +88,5 @@ int main(int argc, char** argv) {
               (long long)lat[5]);
   std::printf("\n(forbidden cells abort at the verbs layer; asserted in "
               "tests/simrdma/verbs_test.cc death tests)\n");
-  return 0;
+  return obs.write() ? 0 : 1;
 }

@@ -1,6 +1,11 @@
 // Scenario: SmallBank transactions over ScaleTX (Section 4.2) — OCC + 2PC
 // across three storage shards, with one-sided RDMA validation and commit
 // co-used with ScaleRPC on the same reliable connections.
+//
+// Expected output: two lines comparing ScaleTX-O (RPC-only commit path)
+// against ScaleTX (one-sided validate/commit), e.g. ~330k vs ~450k
+// committed txn/s with a lower abort rate for ScaleTX — the write-path
+// offload argument behind the paper's Fig. 16b.
 #include <cstdio>
 
 #include "src/txn/testbed.h"

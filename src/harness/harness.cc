@@ -1,6 +1,8 @@
 #include "src/harness/harness.h"
 
 #include "src/common/rng.h"
+#include "src/harness/observe.h"
+#include "src/trace/trace.h"
 
 namespace scalerpc::harness {
 
@@ -137,6 +139,11 @@ sim::Task<void> echo_client(sim::EventLoop* loop, rpc::RpcClient* client,
     }
     std::vector<rpc::Bytes> resp = co_await client->flush();
     SCALERPC_CHECK(resp.size() == static_cast<size_t>(wl->batch));
+    if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
+      t->complete(trace::kRpc, "rpc.batch", t1, loop->now() - t1,
+                  static_cast<uint32_t>(1000 + client_idx), "batch",
+                  static_cast<uint64_t>(wl->batch));
+    }
     if (st->measuring) {
       st->ops += static_cast<uint64_t>(wl->batch);
       st->latency_us.record(static_cast<uint64_t>((loop->now() - t1) / 1000));
@@ -163,8 +170,10 @@ EchoResult run_echo(Testbed& bed, const EchoWorkload& wl) {
   const auto nic0 = bed.server_node()->nic().counters();
   st.measuring = true;
   const Nanos t0 = loop.now();
+  begin_timeline(bed.server_node(), &st.measuring, &st.ops);
   loop.run_for(wl.measure);
   st.measuring = false;
+  end_timeline(bed.server_node(), st.ops);
   const Nanos elapsed = loop.now() - t0;
   st.stop = true;
   loop.run_for(usec(50));  // let in-flight batches land
@@ -178,6 +187,9 @@ EchoResult run_echo(Testbed& bed, const EchoWorkload& wl) {
   result.server_pcm = bed.server_node()->pcm_total() - pcm0;
   result.server_qp_cache_misses =
       bed.server_node()->nic().counters().qp_cache_misses - nic0.qp_cache_misses;
+  if (trace::TimelineSink* sink = trace::timeline()) {
+    sink->set_latency(latency_summary(result.batch_latency));
+  }
   return result;
 }
 

@@ -1,0 +1,115 @@
+#include "src/harness/observe.h"
+
+#include "src/common/logging.h"
+#include "src/simrdma/nic.h"
+#include "src/trace/trace.h"
+
+namespace scalerpc::harness {
+
+namespace {
+
+// Periodic sampler: one sample per timeline interval while *live holds. The
+// coroutine adds only its own wakeup events to the loop; it never touches
+// workload state, so enabling it cannot shift any simulated timing.
+sim::Task<void> counter_sampler(simrdma::Node* node, const bool* live,
+                                const uint64_t* ops) {
+  auto& loop = node->loop();
+  const Nanos interval = trace::timeline_interval_ns();
+  while (*live) {
+    co_await loop.delay(interval);
+    if (!*live) {
+      break;
+    }
+    sample_observed(node, ops != nullptr ? *ops : 0);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> observed_columns() {
+  return {"pcie_rd_cur", "rfo",           "itom",
+          "pcie_itom",   "l3_hits",       "l3_misses",
+          "qp_cache_hits", "qp_cache_misses", "send_wqes",
+          "inbound_packets", "acks_sent", "bytes_tx",
+          "bytes_rx",    "ops"};
+}
+
+void fill_observed(simrdma::Node* node, uint64_t ops, uint64_t* out) {
+  const simrdma::PcmCounters pcm = node->pcm_total();
+  const simrdma::NicCounters& nic = node->nic().counters();
+  size_t i = 0;
+  out[i++] = pcm.pcie_rd_cur;
+  out[i++] = pcm.rfo;
+  out[i++] = pcm.itom;
+  out[i++] = pcm.pcie_itom;
+  out[i++] = pcm.l3_hits;
+  out[i++] = pcm.l3_misses;
+  out[i++] = nic.qp_cache_hits;
+  out[i++] = nic.qp_cache_misses;
+  out[i++] = nic.send_wqes;
+  out[i++] = nic.inbound_packets;
+  out[i++] = nic.acks_sent;
+  out[i++] = nic.bytes_tx;
+  out[i++] = nic.bytes_rx;
+  out[i++] = ops;
+  SCALERPC_CHECK(i == kObservedColumns);
+}
+
+void sample_observed(simrdma::Node* node, uint64_t ops) {
+  trace::TimelineSink* sink = trace::timeline();
+  if (sink == nullptr) {
+    return;
+  }
+  const int64_t now = node->loop().now();
+  uint64_t values[kObservedColumns];
+  fill_observed(node, ops, values);
+  sink->sample(now, values, kObservedColumns);
+  // Mirror the headline series onto Perfetto counter tracks when a tracer
+  // rides along, so --trace output shows the same curves the timeline file
+  // records (as absolute values; Perfetto plots them directly).
+  if (trace::Tracer* t = trace::tracer(trace::kLlc)) {
+    const simrdma::PcmCounters pcm = node->pcm_total();
+    t->counter(trace::kLlc, "pcm", now, "pcie_rd_cur", pcm.pcie_rd_cur, "rfo",
+               pcm.rfo, "itom", pcm.itom, "pcie_itom", pcm.pcie_itom);
+  }
+  if (trace::Tracer* t = trace::tracer(trace::kNic)) {
+    const simrdma::NicCounters& nic = node->nic().counters();
+    t->counter(trace::kNic, "nic_cache", now, "qp_hits", nic.qp_cache_hits,
+               "qp_misses", nic.qp_cache_misses);
+  }
+}
+
+void begin_timeline(simrdma::Node* node, const bool* live, const uint64_t* ops) {
+  trace::TimelineSink* sink = trace::timeline();
+  if (sink == nullptr) {
+    return;
+  }
+  sink->set_columns(observed_columns());
+  sink->reset_baseline();
+  sample_observed(node, ops != nullptr ? *ops : 0);
+  sim::spawn(node->loop(), counter_sampler(node, live, ops));
+}
+
+void end_timeline(simrdma::Node* node, uint64_t ops) {
+  trace::TimelineSink* sink = trace::timeline();
+  if (sink == nullptr) {
+    return;
+  }
+  if (sink->has_baseline() && node->loop().now() > sink->last_sample_t()) {
+    sample_observed(node, ops);
+  }
+}
+
+trace::TimelineSink::LatencySummary latency_summary(const Histogram& h) {
+  trace::TimelineSink::LatencySummary s;
+  s.valid = true;
+  s.count = h.count();
+  s.mean_us = h.mean();
+  s.p50_us = h.percentile(50.0);
+  s.p99_us = h.percentile(99.0);
+  s.p999_us = h.percentile(99.9);
+  s.max_us = h.max();
+  return s;
+}
+
+}  // namespace scalerpc::harness

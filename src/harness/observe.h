@@ -1,0 +1,61 @@
+// Counter-timeline sampling shared by the harness drivers (run_echo and the
+// raw-verbs microbenchmarks).
+//
+// The timeline schema is one fixed set of server-side columns — the PCM
+// uncore counters plus NIC-internal statistics and the driver's completed-op
+// count — so every figure bench emits rows a single plotting script can
+// consume. The sink (src/trace/timeline.h) turns the absolute values
+// sampled here into per-window deltas, the simulator analog of running
+// Intel PCM with a sampling interval.
+//
+// All entry points are no-ops when no thread-local timeline sink is
+// installed (i.e. the bench ran without --timeline), so drivers call them
+// unconditionally and the tracing-off hot path stays allocation-free.
+#ifndef SRC_HARNESS_OBSERVE_H_
+#define SRC_HARNESS_OBSERVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/sim/task.h"
+#include "src/simrdma/node.h"
+#include "src/trace/timeline.h"
+
+namespace scalerpc::harness {
+
+// Number of columns in the shared schema (see observed_columns()).
+inline constexpr size_t kObservedColumns = 14;
+
+// Column names, in row order: pcie_rd_cur, rfo, itom, pcie_itom, l3_hits,
+// l3_misses, qp_cache_hits, qp_cache_misses, send_wqes, inbound_packets,
+// acks_sent, bytes_tx, bytes_rx, ops.
+std::vector<std::string> observed_columns();
+
+// Fills `out[0..kObservedColumns)` with the absolute counter values for
+// `node` plus the driver-maintained `ops` count.
+void fill_observed(simrdma::Node* node, uint64_t ops, uint64_t* out);
+
+// Records one sample into the thread-local timeline sink (and, when a
+// tracer is also installed, emits Perfetto counter-track points for the key
+// PCM/NIC series). No-op without a sink.
+void sample_observed(simrdma::Node* node, uint64_t ops);
+
+// Starts timeline sampling over a measurement window: installs the schema,
+// records the baseline sample at the current sim time, and spawns a
+// periodic sampler that fires every trace::timeline_interval_ns() while
+// *live holds. `ops` may be null (sampled as 0). No-op without a sink.
+void begin_timeline(simrdma::Node* node, const bool* live, const uint64_t* ops);
+
+// Records the final partial window at the current sim time, if time
+// advanced past the last periodic sample. No-op without a sink.
+void end_timeline(simrdma::Node* node, uint64_t ops);
+
+// Condenses a microsecond-valued latency histogram into the summary stored
+// alongside a timeline (count/mean/p50/p99/p999/max).
+trace::TimelineSink::LatencySummary latency_summary(const Histogram& h);
+
+}  // namespace scalerpc::harness
+
+#endif  // SRC_HARNESS_OBSERVE_H_

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/harness/observe.h"
 #include "src/sim/task.h"
 
 namespace scalerpc::harness {
@@ -23,6 +24,7 @@ constexpr int kClientNodes = 8;
 struct Counters {
   uint64_t ops = 0;
   bool done = false;
+  bool measuring = false;  // timeline sampler runs while this holds
 };
 
 // Windowed sender: keeps `window` writes outstanding round-robin over its
@@ -105,7 +107,11 @@ RawVerbResult measure_window(Cluster& cluster, Node* server, Counters* st,
   const uint64_t ops0 = st->ops;
   const auto pcm0 = server->pcm_total();
   const Nanos t0 = cluster.loop().now();
+  st->measuring = true;
+  begin_timeline(server, &st->measuring, &st->ops);
   cluster.loop().run_for(measure);
+  st->measuring = false;
+  end_timeline(server, st->ops);
   const uint64_t delta_ops = st->ops - ops0;
   const auto pcm = server->pcm_total() - pcm0;
   const auto elapsed = static_cast<uint64_t>(cluster.loop().now() - t0);

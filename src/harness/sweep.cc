@@ -20,6 +20,18 @@ int Sweep::hardware_threads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+void Sweep::run_task(size_t i) {
+  if (collector_ != nullptr && collector_->enabled()) {
+    // One collector slot per submission index: the task's tracer/timeline
+    // live in slot i regardless of which worker executes it, so the merged
+    // output files are byte-identical for any thread count.
+    trace::ScopedSession session(collector_->open(i, tasks_[i].label));
+    tasks_[i].fn();
+  } else {
+    tasks_[i].fn();
+  }
+}
+
 void Sweep::run(int threads) {
   if (threads <= 0) {
     threads = hardware_threads();
@@ -27,12 +39,15 @@ void Sweep::run(int threads) {
   if (threads > static_cast<int>(tasks_.size())) {
     threads = static_cast<int>(tasks_.size());
   }
+  if (collector_ != nullptr && collector_->enabled()) {
+    collector_->resize(tasks_.size());
+  }
 
   if (threads <= 1) {
     // Serial mode: no worker threads, no atomics — byte-for-byte the
     // pre-sweep behavior, and the reference the parallel path must match.
-    for (TaskEntry& task : tasks_) {
-      task.fn();
+    for (size_t i = 0; i < tasks_.size(); ++i) {
+      run_task(i);
     }
     tasks_.clear();
     return;
@@ -48,7 +63,7 @@ void Sweep::run(int threads) {
       if (i >= tasks_.size()) {
         break;
       }
-      tasks_[i].fn();
+      run_task(i);
     }
     // Workers die with the run; don't strand their block caches.
     sim::BytePool::drain_thread_cache();

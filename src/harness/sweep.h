@@ -27,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "src/trace/collector.h"
+
 namespace scalerpc::harness {
 
 class Sweep {
@@ -48,6 +50,12 @@ class Sweep {
 
   size_t size() const { return tasks_.size(); }
 
+  // Attaches an observability collector (--trace / --timeline): run() then
+  // installs a per-task trace::ScopedSession around every task, with one
+  // collector slot per submission index. The collector must outlive run();
+  // null (the default) leaves tasks un-instrumented.
+  void set_collector(trace::Collector* collector) { collector_ = collector; }
+
   // Worker count used for `threads <= 0`: std::thread::hardware_concurrency
   // clamped to at least 1.
   static int hardware_threads();
@@ -58,7 +66,10 @@ class Sweep {
     std::function<void()> fn;
   };
 
+  void run_task(size_t i);
+
   std::vector<TaskEntry> tasks_;
+  trace::Collector* collector_ = nullptr;
 };
 
 }  // namespace scalerpc::harness

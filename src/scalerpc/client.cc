@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/trace/trace.h"
+
 namespace scalerpc::core {
 
 using simrdma::Opcode;
@@ -94,6 +96,11 @@ sim::Task<void> ScaleRpcClient::post_entry(const std::vector<int>& slots) {
   wr.rkey = entry_rkey_;
   wr.signaled = false;
   wr.inline_data = true;
+  if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
+    t->instant(trace::kRpc, "scalerpc.post_entry", env_.node->loop().now(),
+               1000 + id_, "batch", static_cast<uint64_t>(slots.size()),
+               "epoch", entry_epoch_);
+  }
   co_await qp_->post_send(wr);
   state_ = State::kWarmup;
   warmup_rounds_++;
@@ -118,6 +125,11 @@ sim::Task<void> ScaleRpcClient::write_direct(int slot) {
   wr.signaled = false;
   wr.inline_data =
       cfg_.inline_requests && total <= env_.node->params().max_inline_bytes;
+  if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
+    t->instant(trace::kRpc, "scalerpc.direct_write", env_.node->loop().now(),
+               1000 + id_, "slot", static_cast<uint64_t>(slot), "bytes",
+               total);
+  }
   co_await qp_->post_send(wr);
 }
 
@@ -221,6 +233,10 @@ sim::Task<std::vector<rpc::Bytes>> ScaleRpcClient::flush() {
       // Lost-write race at a context switch (rare): re-post the missing
       // slots through the warmup path.
       timeouts_++;
+      if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
+        t->instant(trace::kRpc, "scalerpc.timeout", loop.now(), 1000 + id_,
+                   "missing", static_cast<uint64_t>(n - collected));
+      }
       std::vector<int> missing;
       for (size_t i = 0; i < n; ++i) {
         if (!got[i]) {

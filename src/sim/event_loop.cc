@@ -1,5 +1,7 @@
 #include "src/sim/event_loop.h"
 
+#include "src/trace/trace.h"
+
 namespace scalerpc::sim {
 namespace {
 
@@ -32,7 +34,14 @@ EventLoop::EventLoop() {
   overflow_.reserve(16);
   fns_.reserve(64);
   fn_free_.reserve(64);
+  // Publish this loop's clock to the (thread-local) trace layer so hooks in
+  // the NIC/LLC models can timestamp events without a loop reference. A
+  // simulation lives entirely on one thread, so the newest loop on this
+  // thread is the active one.
+  trace::bind_clock(&now_);
 }
+
+EventLoop::~EventLoop() { trace::unbind_clock(&now_); }
 
 uint32_t EventLoop::alloc_item() {
   if (free_head_ != kNil) {
@@ -289,6 +298,15 @@ bool EventLoop::fire_next(Nanos bound) {
   free_item(idx);
   now_ = cursor_ = it.at;
   events_processed_++;
+  // Coarse scheduler telemetry: queue occupancy every 4096 fired events.
+  // The stride check keeps the tracing-off cost to one predicted branch on
+  // the simulator's hottest path.
+  if ((events_processed_ & 4095) == 0) {
+    if (trace::Tracer* t = trace::tracer(trace::kSched)) {
+      t->counter(trace::kSched, "sim.queue", now_, "pending",
+                 static_cast<uint64_t>(size_), "fired", events_processed_);
+    }
+  }
   if (it.handle) {
     it.handle.resume();
   } else if (it.raw_fn != nullptr) {

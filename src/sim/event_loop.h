@@ -38,6 +38,7 @@ class EventLoop {
   using RawFn = void (*)(void*);
 
   EventLoop();
+  ~EventLoop();
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
 

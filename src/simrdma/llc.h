@@ -27,6 +27,7 @@
 #include "src/simrdma/counters.h"
 #include "src/simrdma/flat_lru.h"
 #include "src/simrdma/params.h"
+#include "src/trace/trace.h"
 
 namespace scalerpc::simrdma {
 
@@ -151,11 +152,19 @@ inline Nanos LastLevelCache::dma_write(uint64_t addr, uint32_t len) {
     }
     if (slot != kLruNil) {
       // Write Update: data lands in the already-resident line.
+      if (trace::Tracer* t = trace::tracer(trace::kLlc)) {
+        t->instant(trace::kLlc, "ddio.write_update", trace::now(), 0, "line",
+                   line, "full", static_cast<uint64_t>(full_line));
+      }
       touch(slot);
       return params_.dma_llc_hit_ns;
     }
     // Write Allocate: restricted to the DDIO partition. Partial-line
     // allocations additionally pay a read-for-ownership from DRAM.
+    if (trace::Tracer* t = trace::tracer(trace::kLlc)) {
+      t->instant(trace::kLlc, "ddio.write_alloc", trace::now(), 0, "line",
+                 line, "full", static_cast<uint64_t>(full_line));
+    }
     pcm_.pcie_itom++;
     insert_ddio(line);
     return full_line ? params_.dma_llc_miss_ns : params_.dma_llc_miss_partial_ns;

@@ -6,6 +6,7 @@
 #include "src/common/logging.h"
 #include "src/simrdma/cluster.h"
 #include "src/simrdma/node.h"
+#include "src/trace/trace.h"
 
 namespace scalerpc::simrdma {
 
@@ -58,6 +59,11 @@ void Nic::submit_send(QueuePair* qp, SendWr wr) {
     wqe_key = kWqeKeyBase + next_wqe_id_++;
     wqe_cache_.touch_insert(wqe_key);
   }
+  if (trace::Tracer* t = trace::tracer(trace::kNic)) {
+    t->instant(trace::kNic,
+               wr.inline_data ? "nic.doorbell_inline" : "nic.doorbell",
+               loop_.now(), node_->id(), "qpn", qp->qpn(), "wqe", wqe_key);
+  }
   sim::spawn(loop_, send_path(qp, std::move(wr), wqe_key));
 }
 
@@ -68,19 +74,32 @@ Nanos Nic::charge_connection_state(QueuePair* qp, uint64_t wqe_key) {
   const uint64_t base_key = qp->qpn();
   // QP connection state entry. A miss refetches both the QP context and
   // its send-queue ICM page: two PCIe reads.
+  trace::Tracer* t = trace::tracer(trace::kNic);
   if (qp_cache_.access(base_key)) {
     counters_.qp_cache_hits++;
+    if (t) {
+      t->instant(trace::kNic, "nic.qp_hit", loop_.now(), node_->id(), "qpn",
+                 base_key);
+    }
   } else {
     counters_.qp_cache_misses++;
     node_->count_pcie_read();
     node_->count_pcie_read();
     extra += 2 * params_.nic_cache_miss_ns;
+    if (t) {
+      t->instant(trace::kNic, "nic.qp_miss", loop_.now(), node_->id(), "qpn",
+                 base_key);
+    }
   }
   // The prefetched WQE: evicted before execution means a PCIe refetch.
   if (wqe_key != 0 && !wqe_cache_.consume(wqe_key)) {
     counters_.qp_cache_misses++;
     node_->count_pcie_read();
     extra += params_.nic_cache_miss_ns;
+    if (t) {
+      t->instant(trace::kNic, "nic.wqe_refetch", loop_.now(), node_->id(),
+                 "qpn", base_key, "wqe", wqe_key);
+    }
   }
   return extra;
 }

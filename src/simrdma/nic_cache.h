@@ -21,6 +21,7 @@
 
 #include "src/common/logging.h"
 #include "src/simrdma/flat_lru.h"
+#include "src/trace/trace.h"
 
 namespace scalerpc::simrdma {
 
@@ -104,6 +105,10 @@ class NicCache {
   void insert_new(uint64_t key) {
     if (lru_.size() >= capacity_) {
       const uint32_t victim = lru_.back();
+      if (trace::Tracer* t = trace::tracer(trace::kNic)) {
+        t->instant(trace::kNic, "nic.cache_evict", trace::now(), 0, "victim",
+                   keys_[victim], "for", key);
+      }
       remove_slot(keys_[victim], victim);
       evictions_++;
     }

@@ -1,0 +1,95 @@
+#include "src/trace/collector.h"
+
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace scalerpc::trace {
+
+void Collector::resize(size_t slots) {
+  SCALERPC_CHECK_MSG(slots_.empty() || slots_.size() == slots,
+                     "collector resized mid-run");
+  slots_.resize(slots);
+}
+
+Session Collector::open(size_t slot, const std::string& label) {
+  SCALERPC_CHECK(slot < slots_.size());
+  Slot& s = slots_[slot];
+  s.label = label;
+  Session session;
+  if (cfg_.trace) {
+    s.tracer = std::make_unique<Tracer>(cfg_.categories, cfg_.max_events_per_slot);
+    session.tracer = s.tracer.get();
+  }
+  if (cfg_.timeline) {
+    s.timeline = std::make_unique<TimelineSink>();
+    session.timeline = s.timeline.get();
+  }
+  session.timeline_interval_ns = cfg_.timeline_interval_ns;
+  return session;
+}
+
+namespace {
+bool write_string(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+}  // namespace
+
+bool Collector::write_trace(const std::string& path) const {
+  if (path.empty() || !cfg_.trace) {
+    return true;
+  }
+  std::string out;
+  out.reserve(1u << 20);
+  out += "{\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n";
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].tracer != nullptr) {
+      slots_[i].tracer->serialize(out, static_cast<int>(i), slots_[i].label);
+    }
+  }
+  // Every serialized record ends with ",\n"; drop the final separator.
+  if (out.size() >= 2 && out[out.size() - 2] == ',') {
+    out.erase(out.size() - 2, 1);
+  }
+  out += "]}\n";
+  return write_string(path, out);
+}
+
+bool Collector::write_timeline(const std::string& path,
+                               const std::string& bench_name) const {
+  if (path.empty() || !cfg_.timeline) {
+    return true;
+  }
+  std::string out;
+  out += "{\n  \"bench\": \"";
+  json_escape(out, bench_name);
+  out += "\",\n  \"interval_us\": ";
+  append_us(out, cfg_.timeline_interval_ns);
+  out += ",\n  \"timeline\": [\n";
+  bool first = true;
+  for (const Slot& s : slots_) {
+    if (s.timeline == nullptr) {
+      continue;
+    }
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "    ";
+    s.timeline->serialize(out, s.label);
+  }
+  out += "\n  ]\n}\n";
+  return write_string(path, out);
+}
+
+}  // namespace scalerpc::trace

@@ -1,0 +1,67 @@
+// Per-sweep-slot collection of tracers and timeline sinks, merged into one
+// output file in *submission* order — the same slot-then-print pattern that
+// keeps figure tables byte-identical for every --threads value (PR 2).
+//
+// The sweep engine calls resize() once before workers start, then open(i)
+// from whichever worker runs task i. Slots are touched by exactly one task,
+// so no synchronization is needed beyond the run()'s join.
+#ifndef SRC_TRACE_COLLECTOR_H_
+#define SRC_TRACE_COLLECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/trace/timeline.h"
+#include "src/trace/trace.h"
+
+namespace scalerpc::trace {
+
+struct CollectorConfig {
+  bool trace = false;
+  bool timeline = false;
+  uint32_t categories = kAllCategories;
+  int64_t timeline_interval_ns = 100'000;  // 100 µs PCM-style window
+  size_t max_events_per_slot = Tracer::kDefaultMaxEvents;
+};
+
+class Collector {
+ public:
+  explicit Collector(CollectorConfig cfg) : cfg_(cfg) {}
+
+  bool enabled() const { return cfg_.trace || cfg_.timeline; }
+
+  // Pre-sizes the slot table; must be called before tasks execute.
+  void resize(size_t slots);
+
+  // Creates the slot's tracer/sink (on the calling worker thread) and
+  // returns a Session wired to them, ready for ScopedSession.
+  Session open(size_t slot, const std::string& label);
+
+  size_t slots() const { return slots_.size(); }
+  const Tracer* tracer(size_t slot) const { return slots_[slot].tracer.get(); }
+  const TimelineSink* timeline(size_t slot) const {
+    return slots_[slot].timeline.get();
+  }
+
+  // Writes the merged Chrome trace-event JSON ({"traceEvents": [...]}).
+  // No-op returning true when path is empty or tracing was not requested.
+  bool write_trace(const std::string& path) const;
+
+  // Writes {"bench": name, "timeline": [per-slot objects in order]}.
+  bool write_timeline(const std::string& path, const std::string& bench_name) const;
+
+ private:
+  struct Slot {
+    std::string label;
+    std::unique_ptr<Tracer> tracer;
+    std::unique_ptr<TimelineSink> timeline;
+  };
+
+  CollectorConfig cfg_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace scalerpc::trace
+
+#endif  // SRC_TRACE_COLLECTOR_H_

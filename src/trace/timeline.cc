@@ -1,0 +1,83 @@
+#include "src/trace/timeline.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/trace/trace.h"
+
+namespace scalerpc::trace {
+
+void TimelineSink::set_columns(std::vector<std::string> columns) {
+  if (columns_.empty()) {
+    columns_ = std::move(columns);
+    prev_.assign(columns_.size(), 0);
+    return;
+  }
+  SCALERPC_CHECK_MSG(columns.size() == columns_.size(),
+                     "timeline column schema changed mid-run");
+}
+
+void TimelineSink::sample(int64_t t_ns, const uint64_t* values, size_t n) {
+  SCALERPC_CHECK_MSG(n == columns_.size(), "timeline sample width != columns");
+  if (!have_baseline_) {
+    for (size_t i = 0; i < n; ++i) {
+      prev_[i] = values[i];
+    }
+    prev_t_ns_ = t_ns;
+    have_baseline_ = true;
+    return;
+  }
+  rows_.emplace_back();
+  Row& row = rows_.back();
+  row.t_ns = t_ns;
+  row.dt_ns = t_ns - prev_t_ns_;
+  row.delta.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    row.delta[i] = values[i] - prev_[i];
+    prev_[i] = values[i];
+  }
+  prev_t_ns_ = t_ns;
+}
+
+void TimelineSink::serialize(std::string& out, const std::string& label) const {
+  char buf[48];
+  out += "{\"label\": \"";
+  json_escape(out, label);
+  out += "\", \"rows\": [";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const Row& row = rows_[r];
+    out += r == 0 ? "\n" : ",\n";
+    out += "      {\"t_us\": ";
+    append_us(out, row.t_ns);
+    out += ", \"dt_us\": ";
+    append_us(out, row.dt_ns);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out += ", \"";
+      json_escape(out, columns_[c]);
+      std::snprintf(buf, sizeof(buf), "\": %" PRIu64, row.delta[c]);
+      out += buf;
+    }
+    out.push_back('}');
+  }
+  out += rows_.empty() ? "]" : "\n    ]";
+  if (latency_.valid) {
+    out += ",\n    \"latency\": {\"count\": ";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, latency_.count);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"mean_us\": %.3f", latency_.mean_us);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"p50_us\": %" PRIu64, latency_.p50_us);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"p99_us\": %" PRIu64, latency_.p99_us);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"p999_us\": %" PRIu64, latency_.p999_us);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), ", \"max_us\": %" PRIu64, latency_.max_us);
+    out += buf;
+    out.push_back('}');
+  }
+  out.push_back('}');
+}
+
+}  // namespace scalerpc::trace

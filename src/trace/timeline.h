@@ -1,0 +1,85 @@
+// Counter timelines: interval-sampled deltas of monotonically increasing
+// hardware counters, the simulator's analog of running Intel PCM with a
+// sampling interval (paper §3.6.3) instead of one end-of-window snapshot.
+//
+// The sink is column-oriented and source-agnostic: the harness decides what
+// a "row" of counters is (PCM + NIC fields; see src/harness/harness.cc) and
+// feeds *absolute* values; the sink turns consecutive samples into
+// per-window deltas. The first sample only establishes the baseline — a
+// timeline over N samples has N-1 rows. Windows where nothing moved are
+// kept as all-zero rows so plots have uniform time axes.
+#ifndef SRC_TRACE_TIMELINE_H_
+#define SRC_TRACE_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalerpc::trace {
+
+class TimelineSink {
+ public:
+  struct Row {
+    int64_t t_ns = 0;   // window end, sim time
+    int64_t dt_ns = 0;  // window length
+    std::vector<uint64_t> delta;
+  };
+
+  // Latency distribution of the run the timeline belongs to (filled by the
+  // harness from its per-RPC histogram; microseconds).
+  struct LatencySummary {
+    bool valid = false;
+    uint64_t count = 0;
+    double mean_us = 0;
+    uint64_t p50_us = 0;
+    uint64_t p99_us = 0;
+    uint64_t p999_us = 0;
+    uint64_t max_us = 0;
+  };
+
+  // Sets the column names. First caller wins; later calls must pass the
+  // same number of columns (checked) — the harness calls this on every
+  // sampling setup with its fixed schema.
+  void set_columns(std::vector<std::string> columns);
+  bool has_columns() const { return !columns_.empty(); }
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  // Records absolute counter values at sim time `t_ns`. `n` must equal the
+  // column count. The first call sets the baseline and appends no row;
+  // every later call appends the delta over (prev_t, t_ns]. Counters are
+  // expected to be monotone; deltas use wrapping subtraction, matching the
+  // PcmCounters/NicCounters operator- convention.
+  void sample(int64_t t_ns, const uint64_t* values, size_t n);
+
+  // Drops the baseline so the next sample() starts a fresh window series
+  // (rows already recorded are kept). Used between warmup and measurement.
+  void reset_baseline() { have_baseline_ = false; }
+
+  bool has_baseline() const { return have_baseline_; }
+  // Sim time of the most recent sample (baseline or row end). Only
+  // meaningful while has_baseline() — used by samplers to decide whether a
+  // final partial window is still worth recording.
+  int64_t last_sample_t() const { return prev_t_ns_; }
+
+  const std::vector<Row>& rows() const { return rows_; }
+
+  void set_latency(const LatencySummary& s) { latency_ = s; }
+  const LatencySummary& latency() const { return latency_; }
+
+  // Appends this sink as one JSON object:
+  //   {"label": ..., "rows": [{"t_us":..,"dt_us":..,"<col>":..},..],
+  //    "latency": {...}}            (latency omitted when not set)
+  void serialize(std::string& out, const std::string& label) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<uint64_t> prev_;
+  int64_t prev_t_ns_ = 0;
+  bool have_baseline_ = false;
+  std::vector<Row> rows_;
+  LatencySummary latency_;
+};
+
+}  // namespace scalerpc::trace
+
+#endif  // SRC_TRACE_TIMELINE_H_

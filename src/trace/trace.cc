@@ -1,0 +1,212 @@
+#include "src/trace/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace scalerpc::trace {
+
+thread_local Session* g_session = nullptr;
+thread_local const int64_t* g_clock = nullptr;
+
+void bind_clock(const int64_t* clock) { g_clock = clock; }
+
+void unbind_clock(const int64_t* clock) {
+  if (g_clock == clock) {
+    g_clock = nullptr;
+  }
+}
+
+namespace {
+// Index must match the bit positions in Category.
+constexpr const char* kCategoryNames[] = {"sched", "nic", "llc", "rpc"};
+
+uint8_t category_bit(Category c) {
+  uint8_t bit = 0;
+  uint32_t v = static_cast<uint32_t>(c);
+  while (v > 1) {
+    v >>= 1;
+    bit++;
+  }
+  return bit;
+}
+}  // namespace
+
+const char* category_name(Category c) { return kCategoryNames[category_bit(c)]; }
+
+Tracer::Tracer(uint32_t categories, size_t max_events)
+    : categories_(categories), max_events_(max_events) {}
+
+Tracer::Event* Tracer::append(Category cat, char ph, const char* name, int64_t ts,
+                              int64_t dur, uint32_t tid) {
+  if (events_.size() >= max_events_) {
+    dropped_++;
+    return nullptr;
+  }
+  events_.emplace_back();
+  Event& e = events_.back();
+  e.name = name;
+  e.ts = ts;
+  e.dur = dur;
+  e.tid = tid;
+  e.ph = ph;
+  e.cat_bit = category_bit(cat);
+  e.nargs = 0;
+  return &e;
+}
+
+void Tracer::instant(Category cat, const char* name, int64_t ts_ns, uint32_t tid) {
+  append(cat, 'i', name, ts_ns, 0, tid);
+}
+
+void Tracer::instant(Category cat, const char* name, int64_t ts_ns, uint32_t tid,
+                     const char* k0, uint64_t v0) {
+  if (Event* e = append(cat, 'i', name, ts_ns, 0, tid)) {
+    e->args[e->nargs++] = Arg{k0, v0};
+  }
+}
+
+void Tracer::instant(Category cat, const char* name, int64_t ts_ns, uint32_t tid,
+                     const char* k0, uint64_t v0, const char* k1, uint64_t v1) {
+  if (Event* e = append(cat, 'i', name, ts_ns, 0, tid)) {
+    e->args[e->nargs++] = Arg{k0, v0};
+    e->args[e->nargs++] = Arg{k1, v1};
+  }
+}
+
+void Tracer::complete(Category cat, const char* name, int64_t ts_ns, int64_t dur_ns,
+                      uint32_t tid) {
+  append(cat, 'X', name, ts_ns, dur_ns, tid);
+}
+
+void Tracer::complete(Category cat, const char* name, int64_t ts_ns, int64_t dur_ns,
+                      uint32_t tid, const char* k0, uint64_t v0) {
+  if (Event* e = append(cat, 'X', name, ts_ns, dur_ns, tid)) {
+    e->args[e->nargs++] = Arg{k0, v0};
+  }
+}
+
+void Tracer::complete(Category cat, const char* name, int64_t ts_ns, int64_t dur_ns,
+                      uint32_t tid, const char* k0, uint64_t v0, const char* k1,
+                      uint64_t v1) {
+  if (Event* e = append(cat, 'X', name, ts_ns, dur_ns, tid)) {
+    e->args[e->nargs++] = Arg{k0, v0};
+    e->args[e->nargs++] = Arg{k1, v1};
+  }
+}
+
+void Tracer::counter(Category cat, const char* name, int64_t ts_ns, const char* k0,
+                     uint64_t v0) {
+  if (Event* e = append(cat, 'C', name, ts_ns, 0, 0)) {
+    e->args[e->nargs++] = Arg{k0, v0};
+  }
+}
+
+void Tracer::counter(Category cat, const char* name, int64_t ts_ns, const char* k0,
+                     uint64_t v0, const char* k1, uint64_t v1) {
+  if (Event* e = append(cat, 'C', name, ts_ns, 0, 0)) {
+    e->args[e->nargs++] = Arg{k0, v0};
+    e->args[e->nargs++] = Arg{k1, v1};
+  }
+}
+
+void Tracer::counter(Category cat, const char* name, int64_t ts_ns, const char* k0,
+                     uint64_t v0, const char* k1, uint64_t v1, const char* k2,
+                     uint64_t v2, const char* k3, uint64_t v3) {
+  if (Event* e = append(cat, 'C', name, ts_ns, 0, 0)) {
+    e->args[e->nargs++] = Arg{k0, v0};
+    e->args[e->nargs++] = Arg{k1, v1};
+    e->args[e->nargs++] = Arg{k2, v2};
+    e->args[e->nargs++] = Arg{k3, v3};
+  }
+}
+
+void json_escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+      case '\\':
+        out.push_back('\\');
+        out.push_back(c);
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void append_us(std::string& out, int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 ".%03" PRId64, ns / 1000, ns % 1000);
+  out += buf;
+}
+
+void Tracer::serialize(std::string& out, int pid,
+                       const std::string& process_name) const {
+  char buf[64];
+  out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+  std::snprintf(buf, sizeof(buf), "%d", pid);
+  out += buf;
+  out += ",\"tid\":0,\"args\":{\"name\":\"";
+  json_escape(out, process_name);
+  out += "\"}},\n";
+  if (dropped_ != 0) {
+    out += "{\"name\":\"trace.dropped_events\",\"cat\":\"sched\",\"ph\":\"i\",\"ts\":0.000,\"pid\":";
+    std::snprintf(buf, sizeof(buf), "%d", pid);
+    out += buf;
+    out += ",\"tid\":0,\"s\":\"p\",\"args\":{\"count\":";
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, dropped_);
+    out += buf;
+    out += "}},\n";
+  }
+  for (const Event& e : events_) {
+    out += "{\"name\":\"";
+    json_escape(out, e.name);
+    out += "\",\"cat\":\"";
+    out += kCategoryNames[e.cat_bit];
+    out += "\",\"ph\":\"";
+    out.push_back(e.ph);
+    out += "\",\"ts\":";
+    append_us(out, e.ts);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      append_us(out, e.dur);
+    }
+    std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%u", pid, e.tid);
+    out += buf;
+    if (e.ph == 'i') {
+      out += ",\"s\":\"t\"";
+    }
+    if (e.nargs > 0) {
+      out += ",\"args\":{";
+      for (uint8_t a = 0; a < e.nargs; ++a) {
+        if (a != 0) {
+          out.push_back(',');
+        }
+        out += "\"";
+        json_escape(out, e.args[a].key);
+        out += "\":";
+        std::snprintf(buf, sizeof(buf), "%" PRIu64, e.args[a].value);
+        out += buf;
+      }
+      out.push_back('}');
+    }
+    out += "},\n";
+  }
+}
+
+}  // namespace scalerpc::trace

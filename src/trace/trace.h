@@ -1,0 +1,192 @@
+// Deterministic tracing: Chrome-trace-event / Perfetto-compatible records
+// keyed by *simulated* time.
+//
+// Design constraints (DESIGN.md §6 invariants apply):
+//  * Zero overhead when off. Every hook first reads one thread_local
+//    session pointer; with no session installed the hook is a predicted
+//    branch and nothing else — no allocation, no atomic, no lock. The
+//    counting-allocator test (tests/simrdma/hotpath_alloc_test.cc) keeps
+//    this honest.
+//  * Deterministic when on. Events carry sim-time timestamps and are
+//    buffered per sweep slot (see collector.h), so a merged trace is
+//    byte-identical for any --threads value — the same slot-then-print
+//    pattern the figure tables use.
+//  * One simulation per thread. The session, the tracer, and the sim clock
+//    are all thread_local, matching the sweep engine's execution model
+//    (src/harness/sweep.h): a simulation lives entirely on one thread.
+//
+// Name/key strings passed to the record methods must be string literals
+// (or otherwise outlive the tracer): events store the pointers, not copies.
+#ifndef SRC_TRACE_TRACE_H_
+#define SRC_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalerpc::trace {
+
+// Event categories, used both to filter at record time and as the "cat"
+// field Perfetto groups tracks by.
+enum Category : uint32_t {
+  kSched = 1u << 0,  // event-loop occupancy
+  kNic = 1u << 1,    // doorbells, QP-cache hit/miss/evict, WQE refetches
+  kLlc = 1u << 2,    // DDIO WriteAllocate / WriteUpdate
+  kRpc = 1u << 3,    // per-RPC spans and client state transitions
+  kAllCategories = kSched | kNic | kLlc | kRpc,
+};
+
+const char* category_name(Category c);
+
+class Tracer {
+ public:
+  // `max_events` bounds memory and trace-file size; once reached, further
+  // records are counted (dropped_events()) but not stored, which keeps the
+  // cap itself deterministic.
+  explicit Tracer(uint32_t categories = kAllCategories,
+                  size_t max_events = kDefaultMaxEvents);
+
+  bool wants(Category c) const { return (categories_ & c) != 0; }
+
+  // ph "i": an instant marker (scope "t": thread).
+  void instant(Category cat, const char* name, int64_t ts_ns, uint32_t tid);
+  void instant(Category cat, const char* name, int64_t ts_ns, uint32_t tid,
+               const char* k0, uint64_t v0);
+  void instant(Category cat, const char* name, int64_t ts_ns, uint32_t tid,
+               const char* k0, uint64_t v0, const char* k1, uint64_t v1);
+
+  // ph "X": a complete span [ts, ts+dur).
+  void complete(Category cat, const char* name, int64_t ts_ns, int64_t dur_ns,
+                uint32_t tid);
+  void complete(Category cat, const char* name, int64_t ts_ns, int64_t dur_ns,
+                uint32_t tid, const char* k0, uint64_t v0);
+  void complete(Category cat, const char* name, int64_t ts_ns, int64_t dur_ns,
+                uint32_t tid, const char* k0, uint64_t v0, const char* k1,
+                uint64_t v1);
+
+  // ph "C": a counter sample; each key becomes a counter-track series.
+  void counter(Category cat, const char* name, int64_t ts_ns, const char* k0,
+               uint64_t v0);
+  void counter(Category cat, const char* name, int64_t ts_ns, const char* k0,
+               uint64_t v0, const char* k1, uint64_t v1);
+  void counter(Category cat, const char* name, int64_t ts_ns, const char* k0,
+               uint64_t v0, const char* k1, uint64_t v1, const char* k2,
+               uint64_t v2, const char* k3, uint64_t v3);
+
+  size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  uint64_t dropped_events() const { return dropped_; }
+
+  // Appends this tracer's events as Chrome trace-event JSON objects (one
+  // per line, each followed by a comma) to `out`. `pid` identifies the
+  // sweep slot; a process_name metadata record labelled `process_name` is
+  // emitted first. Timestamps are rendered as microseconds with nanosecond
+  // precision ("ts": 12.345), in fixed-point so output is reproducible.
+  void serialize(std::string& out, int pid, const std::string& process_name) const;
+
+  static constexpr size_t kDefaultMaxEvents = 1u << 20;  // 1M events/slot
+
+ private:
+  static constexpr int kMaxArgs = 4;
+  struct Arg {
+    const char* key;
+    uint64_t value;
+  };
+  struct Event {
+    const char* name;
+    int64_t ts;
+    int64_t dur;  // only for ph 'X'
+    uint32_t tid;
+    char ph;
+    uint8_t cat_bit;  // index into category_name order
+    uint8_t nargs;
+    Arg args[kMaxArgs];
+  };
+
+  Event* append(Category cat, char ph, const char* name, int64_t ts, int64_t dur,
+                uint32_t tid);
+
+  uint32_t categories_;
+  size_t max_events_;
+  uint64_t dropped_ = 0;
+  std::vector<Event> events_;
+};
+
+// ---------------------------------------------------------------------------
+// Thread-local session: the hook side of the subsystem.
+
+class TimelineSink;
+
+// What the instrumentation sees. Installed per sweep task (ScopedSession);
+// all fields may be null / defaulted independently (--trace without
+// --timeline and vice versa).
+struct Session {
+  Tracer* tracer = nullptr;
+  TimelineSink* timeline = nullptr;
+  int64_t timeline_interval_ns = 100'000;  // 100 µs, the PCM-interval analog
+};
+
+// Null when tracing is off — the single load every hook performs.
+extern thread_local Session* g_session;
+// Address of the active EventLoop's clock, bound by its constructor. Lets
+// hooks deep in the LLC/NIC models timestamp events without plumbing the
+// loop through every layer.
+extern thread_local const int64_t* g_clock;
+
+inline Session* session() { return g_session; }
+
+// The active tracer if tracing is on AND category `c` is enabled.
+inline Tracer* tracer(Category c) {
+  Session* s = g_session;
+  return (s != nullptr && s->tracer != nullptr && s->tracer->wants(c))
+             ? s->tracer
+             : nullptr;
+}
+
+inline TimelineSink* timeline() {
+  Session* s = g_session;
+  return s != nullptr ? s->timeline : nullptr;
+}
+
+inline int64_t timeline_interval_ns() {
+  Session* s = g_session;
+  return s != nullptr ? s->timeline_interval_ns : 100'000;
+}
+
+// Current simulated time as seen by the bound EventLoop (0 if none bound).
+inline int64_t now() {
+  const int64_t* c = g_clock;
+  return c != nullptr ? *c : 0;
+}
+
+void bind_clock(const int64_t* clock);
+// Clears the binding only if `clock` is still the bound one (a destroyed
+// loop must not unbind a newer loop's clock).
+void unbind_clock(const int64_t* clock);
+
+// RAII session installer. Holds the Session by value so the caller can pass
+// a temporary; restores the previous session (usually null) on destruction.
+class ScopedSession {
+ public:
+  explicit ScopedSession(Session s) : session_(s), prev_(g_session) {
+    g_session = &session_;
+  }
+  ~ScopedSession() { g_session = prev_; }
+  ScopedSession(const ScopedSession&) = delete;
+  ScopedSession& operator=(const ScopedSession&) = delete;
+
+ private:
+  Session session_;
+  Session* prev_;
+};
+
+// Escapes a string for embedding in a JSON string literal (shared with the
+// timeline/collector serializers).
+void json_escape(std::string& out, const std::string& s);
+
+// Fixed-point ns → µs rendering shared by all serializers: 12345 → "12.345".
+void append_us(std::string& out, int64_t ns);
+
+}  // namespace scalerpc::trace
+
+#endif  // SRC_TRACE_TRACE_H_

@@ -1,0 +1,89 @@
+// End-to-end observability: run the echo harness with a session installed
+// and check the timeline rows, latency summary, and trace events that the
+// --trace/--timeline plumbing in bench_common.h relies on.
+#include "src/harness/observe.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/harness/harness.h"
+#include "src/trace/trace.h"
+
+namespace scalerpc::harness {
+namespace {
+
+TestbedConfig small_config() {
+  TestbedConfig cfg;
+  cfg.kind = TransportKind::kScaleRpc;
+  cfg.num_clients = 8;
+  cfg.num_client_nodes = 2;
+  return cfg;
+}
+
+EchoWorkload short_workload() {
+  EchoWorkload wl;
+  wl.warmup = usec(100);
+  wl.measure = msec(1);
+  return wl;
+}
+
+TEST(Observe, SchemaMatchesDeclaredWidth) {
+  auto cols = observed_columns();
+  ASSERT_EQ(cols.size(), kObservedColumns);
+  EXPECT_EQ(cols.front(), "pcie_rd_cur");
+  EXPECT_EQ(cols.back(), "ops");
+}
+
+TEST(Observe, EchoRunFillsTimelineAndTrace) {
+  trace::Tracer tracer;
+  trace::TimelineSink sink;
+  trace::ScopedSession scope(trace::Session{&tracer, &sink, 100'000});
+
+  Testbed bed(small_config());
+  EchoResult result = run_echo(bed, short_workload());
+  ASSERT_GT(result.ops, 0u);
+
+  // ~1 ms window at a 100 µs interval plus the final partial window.
+  ASSERT_GE(sink.rows().size(), 5u);
+  ASSERT_EQ(sink.columns().size(), kObservedColumns);
+
+  // Window deltas of the driver's op counter must add up to exactly the
+  // ops the harness reported: the baseline lands at measurement start and
+  // end_timeline records the tail.
+  auto cols = sink.columns();
+  size_t ops_col =
+      static_cast<size_t>(std::find(cols.begin(), cols.end(), "ops") -
+                          cols.begin());
+  ASSERT_LT(ops_col, cols.size());
+  uint64_t ops_sum = 0;
+  for (const auto& row : sink.rows()) {
+    ASSERT_EQ(row.delta.size(), kObservedColumns);
+    ops_sum += row.delta[ops_col];
+  }
+  EXPECT_EQ(ops_sum, result.ops);
+
+  // run_echo attaches the latency summary to the sink.
+  std::string out;
+  sink.serialize(out, "echo");
+  EXPECT_NE(out.find("\"latency\""), std::string::npos);
+
+  // The instrumented layers emitted events: per-RPC spans at minimum.
+  EXPECT_GT(tracer.size(), 0u);
+  std::string trace_json;
+  tracer.serialize(trace_json, 0, "echo");
+  EXPECT_NE(trace_json.find("rpc.batch"), std::string::npos);
+}
+
+TEST(Observe, EndTimelineWithoutSinkIsNoOp) {
+  // All entry points must tolerate running with no session installed —
+  // this is how every bench runs without --timeline.
+  ASSERT_EQ(trace::session(), nullptr);
+  Testbed bed(small_config());
+  begin_timeline(bed.server_node(), nullptr, nullptr);
+  sample_observed(bed.server_node(), 0);
+  end_timeline(bed.server_node(), 0);
+}
+
+}  // namespace
+}  // namespace scalerpc::harness

@@ -1,0 +1,115 @@
+// TimelineSink: interval-delta arithmetic, window boundaries, empty
+// windows, baseline resets, and serialization format.
+#include "src/trace/timeline.h"
+
+#include <gtest/gtest.h>
+
+namespace scalerpc::trace {
+namespace {
+
+std::vector<std::string> two_cols() { return {"a", "b"}; }
+
+TEST(TimelineSink, FirstSampleIsBaselineOnly) {
+  TimelineSink sink;
+  sink.set_columns(two_cols());
+  const uint64_t v[] = {10, 20};
+  sink.sample(1000, v, 2);
+  EXPECT_TRUE(sink.rows().empty());
+  EXPECT_TRUE(sink.has_baseline());
+  EXPECT_EQ(sink.last_sample_t(), 1000);
+}
+
+TEST(TimelineSink, DeltasSpanConsecutiveWindows) {
+  TimelineSink sink;
+  sink.set_columns(two_cols());
+  const uint64_t v0[] = {10, 20};
+  const uint64_t v1[] = {15, 20};
+  const uint64_t v2[] = {115, 300};
+  sink.sample(1000, v0, 2);
+  sink.sample(2000, v1, 2);
+  sink.sample(3500, v2, 2);
+
+  ASSERT_EQ(sink.rows().size(), 2u);
+  EXPECT_EQ(sink.rows()[0].t_ns, 2000);
+  EXPECT_EQ(sink.rows()[0].dt_ns, 1000);
+  EXPECT_EQ(sink.rows()[0].delta, (std::vector<uint64_t>{5, 0}));
+  EXPECT_EQ(sink.rows()[1].t_ns, 3500);
+  EXPECT_EQ(sink.rows()[1].dt_ns, 1500);
+  EXPECT_EQ(sink.rows()[1].delta, (std::vector<uint64_t>{100, 280}));
+}
+
+TEST(TimelineSink, EmptyWindowKeepsZeroRow) {
+  // A window where nothing moved must still appear (uniform time axis).
+  TimelineSink sink;
+  sink.set_columns(two_cols());
+  const uint64_t v[] = {7, 9};
+  sink.sample(0, v, 2);
+  sink.sample(100, v, 2);
+  ASSERT_EQ(sink.rows().size(), 1u);
+  EXPECT_EQ(sink.rows()[0].dt_ns, 100);
+  EXPECT_EQ(sink.rows()[0].delta, (std::vector<uint64_t>{0, 0}));
+}
+
+TEST(TimelineSink, ResetBaselineSkipsWarmupDelta) {
+  TimelineSink sink;
+  sink.set_columns(two_cols());
+  const uint64_t warm[] = {1000, 1000};
+  const uint64_t m0[] = {5000, 6000};
+  const uint64_t m1[] = {5001, 6002};
+  sink.sample(10, warm, 2);
+  sink.reset_baseline();
+  EXPECT_FALSE(sink.has_baseline());
+  // The next sample is a fresh baseline: the warmup-to-measure jump never
+  // becomes a row.
+  sink.sample(500, m0, 2);
+  sink.sample(600, m1, 2);
+  ASSERT_EQ(sink.rows().size(), 1u);
+  EXPECT_EQ(sink.rows()[0].t_ns, 600);
+  EXPECT_EQ(sink.rows()[0].delta, (std::vector<uint64_t>{1, 2}));
+}
+
+TEST(TimelineSink, FirstColumnsCallWins) {
+  TimelineSink sink;
+  sink.set_columns(two_cols());
+  sink.set_columns({"x", "y"});  // same width: accepted, ignored
+  EXPECT_EQ(sink.columns()[0], "a");
+}
+
+TEST(TimelineSink, SerializeEmitsRowsAndLatency) {
+  TimelineSink sink;
+  sink.set_columns(two_cols());
+  const uint64_t v0[] = {0, 0};
+  const uint64_t v1[] = {3, 4};
+  sink.sample(0, v0, 2);
+  sink.sample(100'000, v1, 2);
+
+  TimelineSink::LatencySummary lat;
+  lat.valid = true;
+  lat.count = 42;
+  lat.mean_us = 1.5;
+  lat.p50_us = 1;
+  lat.p99_us = 3;
+  lat.p999_us = 4;
+  lat.max_us = 9;
+  sink.set_latency(lat);
+
+  std::string out;
+  sink.serialize(out, "point \"x\"");
+  EXPECT_NE(out.find("\"label\": \"point \\\"x\\\"\""), std::string::npos);
+  EXPECT_NE(out.find("\"t_us\": 100.000"), std::string::npos);
+  EXPECT_NE(out.find("\"dt_us\": 100.000"), std::string::npos);
+  EXPECT_NE(out.find("\"a\": 3"), std::string::npos);
+  EXPECT_NE(out.find("\"b\": 4"), std::string::npos);
+  EXPECT_NE(out.find("\"p999_us\": 4"), std::string::npos);
+}
+
+TEST(TimelineSink, SerializeOmitsLatencyWhenUnset) {
+  TimelineSink sink;
+  sink.set_columns(two_cols());
+  std::string out;
+  sink.serialize(out, "empty");
+  EXPECT_EQ(out.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scalerpc::trace

@@ -1,0 +1,131 @@
+// Tracer/session layer: zero-overhead-when-off hooks, category filtering,
+// the deterministic event cap, serialization format, and clock binding.
+#include "src/trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+#include "src/trace/timeline.h"
+
+namespace scalerpc::trace {
+namespace {
+
+TEST(TraceSession, HooksAreNullWithNoSession) {
+  ASSERT_EQ(session(), nullptr);
+  EXPECT_EQ(tracer(kNic), nullptr);
+  EXPECT_EQ(timeline(), nullptr);
+  EXPECT_EQ(timeline_interval_ns(), 100'000);
+}
+
+TEST(TraceSession, ScopedSessionInstallsAndRestores) {
+  Tracer t;
+  TimelineSink sink;
+  {
+    ScopedSession scope(Session{&t, &sink, 250'000});
+    EXPECT_EQ(tracer(kRpc), &t);
+    EXPECT_EQ(timeline(), &sink);
+    EXPECT_EQ(timeline_interval_ns(), 250'000);
+    {
+      // Nested sessions restore the outer one, not null.
+      Tracer inner;
+      ScopedSession nested(Session{&inner, nullptr, 100'000});
+      EXPECT_EQ(tracer(kRpc), &inner);
+      EXPECT_EQ(timeline(), nullptr);
+    }
+    EXPECT_EQ(tracer(kRpc), &t);
+  }
+  EXPECT_EQ(session(), nullptr);
+}
+
+TEST(TraceSession, CategoryFilterGatesTracerLookup) {
+  Tracer nic_only(kNic);
+  ScopedSession scope(Session{&nic_only, nullptr, 100'000});
+  EXPECT_EQ(tracer(kNic), &nic_only);
+  EXPECT_EQ(tracer(kLlc), nullptr);
+  EXPECT_EQ(tracer(kSched), nullptr);
+  EXPECT_TRUE(nic_only.wants(kNic));
+  EXPECT_FALSE(nic_only.wants(kRpc));
+}
+
+TEST(TraceSession, CategoryNames) {
+  EXPECT_STREQ(category_name(kSched), "sched");
+  EXPECT_STREQ(category_name(kNic), "nic");
+  EXPECT_STREQ(category_name(kLlc), "llc");
+  EXPECT_STREQ(category_name(kRpc), "rpc");
+}
+
+TEST(Tracer, EventCapDropsDeterministically) {
+  Tracer t(kAllCategories, /*max_events=*/2);
+  t.instant(kNic, "a", 1, 0);
+  t.instant(kNic, "b", 2, 0);
+  t.instant(kNic, "c", 3, 0);
+  t.complete(kRpc, "d", 4, 1, 0);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dropped_events(), 2u);
+
+  std::string out;
+  t.serialize(out, 0, "capped");
+  EXPECT_NE(out.find("\"trace.dropped_events\""), std::string::npos);
+  EXPECT_NE(out.find("\"count\":2"), std::string::npos);
+  EXPECT_EQ(out.find("\"name\":\"c\""), std::string::npos);
+}
+
+TEST(Tracer, SerializeInstantExactFormat) {
+  Tracer t;
+  t.instant(kNic, "nic.qp_hit", 12345, 7, "qpn", 42);
+  std::string out;
+  t.serialize(out, 3, "slot \"a\"");
+  EXPECT_EQ(out,
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,\"tid\":0,"
+            "\"args\":{\"name\":\"slot \\\"a\\\"\"}},\n"
+            "{\"name\":\"nic.qp_hit\",\"cat\":\"nic\",\"ph\":\"i\","
+            "\"ts\":12.345,\"pid\":3,\"tid\":7,\"s\":\"t\","
+            "\"args\":{\"qpn\":42}},\n");
+}
+
+TEST(Tracer, SerializeSpanAndCounter) {
+  Tracer t;
+  t.complete(kRpc, "rpc.batch", 2'000'000, 16'000, 1001, "batch", 16);
+  t.counter(kLlc, "pcm", 100'000, "itom", 5, "rfo", 6);
+  std::string out;
+  t.serialize(out, 0, "p");
+  EXPECT_NE(out.find("\"ph\":\"X\",\"ts\":2000.000,\"dur\":16.000"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"C\",\"ts\":100.000"), std::string::npos);
+  EXPECT_NE(out.find("\"args\":{\"itom\":5,\"rfo\":6}"), std::string::npos);
+}
+
+TEST(TraceClock, BindAndUnbindAreOwnerChecked) {
+  EXPECT_EQ(now(), 0);
+  int64_t older = 5;
+  int64_t newer = 9;
+  bind_clock(&older);
+  EXPECT_EQ(now(), 5);
+  bind_clock(&newer);
+  // Destroying an older loop must not unbind a newer loop's clock.
+  unbind_clock(&older);
+  EXPECT_EQ(now(), 9);
+  newer = 11;
+  EXPECT_EQ(now(), 11);
+  unbind_clock(&newer);
+  EXPECT_EQ(now(), 0);
+}
+
+TEST(TraceClock, EventLoopBindsItsClock) {
+  {
+    sim::EventLoop loop;
+    EXPECT_EQ(now(), loop.now());
+    bool fired = false;
+    sim::run_blocking(loop, [](sim::EventLoop& l, bool* f) -> sim::Task<void> {
+      co_await l.delay(1'500);
+      EXPECT_EQ(now(), 1'500);
+      *f = true;
+    }(loop, &fired));
+    EXPECT_TRUE(fired);
+  }
+  EXPECT_EQ(now(), 0);  // destructor unbound its own clock
+}
+
+}  // namespace
+}  // namespace scalerpc::trace

@@ -1,0 +1,58 @@
+# ctest helper guarding the observability invariants on a real figure bench:
+#   1. stdout with --trace/--timeline on is byte-equal to a plain run
+#      (tracing is purely observational; it cannot shift simulated timing);
+#   2. the trace and timeline files are byte-identical for --threads=1 and
+#      --threads=N (per-slot buffers merged in submission order);
+#   3. the trace validates as Perfetto-loadable JSON (tools/trace2perfetto.py),
+#      when a python interpreter was found at configure time.
+#
+# Usage: cmake -DBENCH=<path> -DTHREADS=<n> -DWORKDIR=<dir>
+#              [-DPYTHON=<python3> -DTOOL=<trace2perfetto.py>]
+#              -P trace_check.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED THREADS OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "trace_check.cmake needs -DBENCH, -DTHREADS, -DWORKDIR")
+endif()
+
+function(run_bench out_stdout trace timeline threads)
+  set(extra "")
+  if(NOT trace STREQUAL "")
+    list(APPEND extra --trace=${trace} --timeline=${timeline})
+  endif()
+  execute_process(
+    COMMAND ${BENCH} --quick --threads=${threads} ${extra}
+    OUTPUT_FILE ${out_stdout}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${BENCH} --threads=${threads} ${extra} exited with ${rc}")
+  endif()
+endfunction()
+
+function(must_match a b what)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "${what}: ${a} differs from ${b}")
+  endif()
+endfunction()
+
+set(W ${WORKDIR}/trace_check)
+file(MAKE_DIRECTORY ${W})
+
+run_bench(${W}/plain.out "" "" 1)
+run_bench(${W}/traced1.out ${W}/trace1.json ${W}/timeline1.json 1)
+run_bench(${W}/tracedN.out ${W}/traceN.json ${W}/timelineN.json ${THREADS})
+
+must_match(${W}/plain.out ${W}/traced1.out "stdout changed by --trace/--timeline")
+must_match(${W}/traced1.out ${W}/tracedN.out "stdout differs across --threads")
+must_match(${W}/trace1.json ${W}/traceN.json "trace differs across --threads")
+must_match(${W}/timeline1.json ${W}/timelineN.json "timeline differs across --threads")
+
+if(DEFINED PYTHON AND DEFINED TOOL)
+  execute_process(
+    COMMAND ${PYTHON} ${TOOL} ${W}/trace1.json
+    RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "trace2perfetto rejected ${W}/trace1.json")
+  endif()
+endif()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Docs health check, wired into ctest as `docs_check`.
+
+Two classes of rot this catches:
+
+1. Broken intra-repo links: every relative markdown link in every *.md must
+   resolve to an existing file (anchors are stripped; external http(s)/
+   mailto links are ignored).
+
+2. Phantom flags: every `--flag` token mentioned in a markdown file must
+   either be printed by the benches' own `--help` output (pass one or more
+   bench binaries via --help-from) or belong to the small allowlist of
+   cmake/ctest flags the build instructions use. This keeps EXPERIMENTS.md
+   and docs/ honest when bench options change.
+
+Usage: tools/docs_check.py --repo DIR [--help-from BENCH]...
+Exits 0 when clean; prints each violation and exits 1 otherwise.
+"""
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+FLAG_RE = re.compile(r"--[a-z][a-z0-9_-]+")
+
+# Flags that belong to the toolchain (cmake/ctest), not to our benches.
+TOOLCHAIN_FLAGS = {"--build", "--help", "--output-on-failure", "--test-dir"}
+
+SKIP_DIRS = {"build", ".git", "third_party"}
+
+
+def markdown_files(repo):
+    for root, dirs, files in os.walk(repo):
+        dirs[:] = [
+            d for d in dirs if d not in SKIP_DIRS and not d.startswith(("build", "."))
+        ]
+        for f in files:
+            if f.endswith(".md"):
+                yield os.path.join(root, f)
+
+
+def help_flags(binaries):
+    flags = set()
+    for b in binaries:
+        out = subprocess.run(
+            [b, "--help"], capture_output=True, text=True, check=True
+        ).stdout
+        flags.update(FLAG_RE.findall(out))
+    return flags
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--repo", required=True)
+    ap.add_argument("--help-from", action="append", default=[])
+    args = ap.parse_args()
+
+    allowed = help_flags(args.help_from) | TOOLCHAIN_FLAGS
+    errors = []
+
+    for md in markdown_files(args.repo):
+        rel = os.path.relpath(md, args.repo)
+        text = open(md, "r", encoding="utf-8").read()
+
+        for m in LINK_RE.finditer(text):
+            target = m.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = os.path.normpath(os.path.join(os.path.dirname(md), path))
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link -> {target}")
+
+        if args.help_from:
+            for flag in sorted(set(FLAG_RE.findall(text))):
+                if flag not in allowed:
+                    errors.append(f"{rel}: flag {flag} not in any --help output")
+
+    if errors:
+        for e in errors:
+            print(f"docs_check: {e}", file=sys.stderr)
+        print(f"docs_check: FAIL ({len(errors)} problems)", file=sys.stderr)
+        return 1
+    print("docs_check: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Validate a --trace output file for Perfetto / chrome://tracing.
+
+Chrome trace-event JSON loads directly in both viewers, so there is no
+conversion step — this tool is the machine check that a file emitted by a
+bench's `--trace=<path>` flag actually conforms to the format (see
+docs/tracing.md for the schema the simulator emits):
+
+  * top level: {"displayTimeUnit": ..., "traceEvents": [...]}
+  * every event has a phase "ph" in {M, i, X, C}
+  * non-metadata events carry name/cat/ts/pid/tid; "X" spans carry a
+    non-negative "dur"; "i" instants carry scope "s"; "C" counters carry a
+    numeric "args" map
+
+(Events need not be ts-sorted in the file — spans are recorded when they
+close, with their start timestamp — and the viewers sort on load.)
+
+On success it prints a one-line summary per process (sweep slot) and exits
+0; any violation is reported with its event index and exits 1.
+
+Usage: tools/trace2perfetto.py TRACE.json [--quiet]
+"""
+
+import json
+import sys
+
+
+VALID_PHASES = {"M", "i", "X", "C"}
+
+
+def fail(msg):
+    print(f"trace2perfetto: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(i, ev):
+    if not isinstance(ev, dict):
+        fail(f"event {i}: not an object")
+    ph = ev.get("ph")
+    if ph not in VALID_PHASES:
+        fail(f"event {i}: unknown phase {ph!r}")
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        fail(f"event {i}: missing name")
+    if not isinstance(ev.get("pid"), int):
+        fail(f"event {i}: missing integer pid")
+    if ph == "M":
+        return  # metadata: no ts/cat required
+    if not isinstance(ev.get("cat"), str) or not ev["cat"]:
+        fail(f"event {i}: missing category")
+    if not isinstance(ev.get("ts"), (int, float)) or ev["ts"] < 0:
+        fail(f"event {i}: missing or negative ts")
+    if not isinstance(ev.get("tid"), int):
+        fail(f"event {i}: missing integer tid")
+    if ph == "X":
+        if not isinstance(ev.get("dur"), (int, float)) or ev["dur"] < 0:
+            fail(f"event {i}: 'X' span without non-negative dur")
+    if ph == "i":
+        if ev.get("s") not in ("t", "p", "g"):
+            fail(f"event {i}: 'i' instant without scope 's'")
+    if ph == "C":
+        args = ev.get("args")
+        if not isinstance(args, dict) or not args:
+            fail(f"event {i}: 'C' counter without args")
+        for k, v in args.items():
+            if not isinstance(v, (int, float)):
+                fail(f"event {i}: counter series {k!r} is not numeric")
+
+
+def main(argv):
+    args = [a for a in argv[1:] if a != "--quiet"]
+    quiet = "--quiet" in argv[1:]
+    if len(args) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        with open(args[0], "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args[0]}: {e}")
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+
+    names = {}  # pid -> process_name
+    counts = {}  # pid -> event count
+    for i, ev in enumerate(events):
+        check_event(i, ev)
+        if ev["ph"] == "M":
+            if ev["name"] == "process_name":
+                names[ev["pid"]] = ev.get("args", {}).get("name", "?")
+            continue
+        counts[ev["pid"]] = counts.get(ev["pid"], 0) + 1
+
+    if not quiet:
+        print(f"trace2perfetto: OK: {len(events)} events, {len(names)} slots")
+        for pid in sorted(names):
+            print(f"  pid {pid}: {counts.get(pid, 0):>8} events  {names[pid]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
