@@ -14,6 +14,9 @@
 //                 emit per-interval counter deltas (PCM + NIC timelines)
 //   --timeline-interval=USEC
 //                 timeline sampling window in simulated µs (default 100)
+//   --faults=PATH attach a fault plan (docs/faults.md) to every testbed the
+//                 bench builds; omitted means a lossless fabric with the
+//                 fault machinery fully off
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
@@ -21,10 +24,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/fault/plan.h"
 #include "src/harness/sweep.h"
 #include "src/trace/collector.h"
 
@@ -38,6 +43,7 @@ struct Options {
   std::string trace_path;     // empty: tracing off
   std::string timeline_path;  // empty: counter timelines off
   int64_t timeline_interval_us = 100;  // PCM-style sampling window
+  std::string faults_path;    // empty: lossless fabric, no injector
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -60,15 +66,33 @@ inline Options parse_options(int argc, char** argv) {
       if (opt.timeline_interval_us <= 0) {
         opt.timeline_interval_us = 100;
       }
+    } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
+      opt.faults_path = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--quick] [--seed=N] [--threads=N] [--json=PATH]"
-          " [--trace=PATH] [--timeline=PATH] [--timeline-interval=USEC]\n",
+          " [--trace=PATH] [--timeline=PATH] [--timeline-interval=USEC]"
+          " [--faults=PATH]\n",
           argv[0]);
       std::exit(0);
     }
   }
   return opt;
+}
+
+// Loads the plan named by --faults, exiting with the parse error on
+// failure. nullopt when the flag was not given.
+inline std::optional<fault::FaultPlan> load_faults(const Options& opt) {
+  if (opt.faults_path.empty()) {
+    return std::nullopt;
+  }
+  std::string err;
+  auto plan = fault::FaultPlan::load(opt.faults_path, &err);
+  if (!plan.has_value()) {
+    std::fprintf(stderr, "error: %s: %s\n", opt.faults_path.c_str(), err.c_str());
+    std::exit(1);
+  }
+  return plan;
 }
 
 // Observability wiring shared by the sweep benches: owns the trace

@@ -1,0 +1,250 @@
+// Fault injection x recovery: goodput under link loss, corruption, latency
+// inflation, NIC slowdown, QP failure, and a server crash/restart, on the
+// ScaleRPC recovery path (docs/faults.md). Reports whole-run goodput, the
+// worst 50us window (the dip), time from fault clearance back to within 5%
+// of the pre-fault rate, and the retry amplification that bought it.
+//
+// --faults=PATH appends one extra row driven by the given plan file.
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/harness/harness.h"
+#include "src/harness/sweep.h"
+
+using namespace scalerpc;
+using namespace scalerpc::harness;
+
+namespace {
+
+constexpr Nanos kWindow = usec(50);
+
+struct RowResult {
+  double goodput = 0.0;     // mops over the whole measure span
+  double min_window = 0.0;  // worst window (mops)
+  double recovery_us = -1.0;  // fault clearance -> back within 5%
+  bool recovered = false;
+  bool has_fault_window = false;  // timed fault (dip/recovery meaningful)
+  uint64_t ops = 0;
+  uint64_t timeouts = 0;
+  uint64_t reconnects = 0;
+  uint64_t dups = 0;
+  uint64_t retx = 0;        // transport retransmissions (all NICs)
+  uint64_t drops = 0;       // injector: packets eaten by the fabric
+  uint64_t crash_drops = 0;
+  double amp = 1.0;         // (ops + retx + dups) / ops
+};
+
+struct DriverState {
+  bool stop = false;
+  bool measuring = false;
+  uint64_t ops = 0;
+};
+
+sim::Task<void> echo_client(sim::EventLoop* loop, rpc::RpcClient* client, int batch,
+                            uint32_t msg_bytes, uint64_t seed, size_t client_idx,
+                            DriverState* st) {
+  rpc::Bytes payload(msg_bytes, 0);
+  Rng payload_rng(seed ^ (0x9E3779B97F4A7C15ull * (client_idx + 1)));
+  for (uint8_t& b : payload) {
+    b = static_cast<uint8_t>(payload_rng.next());
+  }
+  while (!st->stop) {
+    for (int b = 0; b < batch; ++b) {
+      client->stage(0, payload);
+    }
+    std::vector<rpc::Bytes> resp = co_await client->flush();
+    SCALERPC_CHECK(resp.size() == static_cast<size_t>(batch));
+    if (st->measuring) {
+      st->ops += static_cast<uint64_t>(batch);
+    }
+  }
+}
+
+// Builds a 20-client testbed with the plan attached (recovery on), drives a
+// closed-loop echo load, and samples goodput per 50us window. `fault_start`/
+// `fault_end` bound the plan's timed disturbance (kNever end: steady fault,
+// no recovery phase to time).
+RowResult measure(const fault::FaultPlan& plan, Nanos fault_start, Nanos fault_end,
+                  uint64_t seed, bool quick) {
+  TestbedConfig cfg;
+  cfg.num_clients = 20;
+  cfg.num_client_nodes = 5;
+  // Recovery timings sized to the fault windows below: RPC retries a few
+  // times per slice-length, the transport gives up on a dead peer well
+  // before the restart lands.
+  cfg.rpc.client_timeout = usec(150);
+  cfg.rpc.client_timeout_max = usec(600);
+  cfg.sim.rc_retransmit_timeout_ns = 8000;
+  cfg.sim.rc_retry_count = 5;
+  cfg.faults = plan.empty() ? nullptr : &plan;
+  cfg.fault_seed = seed;
+  Testbed bed(cfg);
+  auto& loop = bed.loop();
+
+  bed.server().handlers().register_handler(0, rpc::make_echo_handler(100));
+  bed.server().start();
+  DriverState st;
+  for (size_t c = 0; c < bed.num_clients(); ++c) {
+    sim::spawn(loop, echo_client(&loop, &bed.client(c), /*batch=*/4,
+                                 /*msg_bytes=*/64, seed, c, &st));
+  }
+
+  const Nanos warmup = usec(400);
+  const Nanos span = quick ? msec(2) : msec(3);
+  loop.run_for(warmup);
+  st.measuring = true;
+  const Nanos t0 = loop.now();
+  std::vector<double> window_mops;
+  uint64_t last_ops = 0;
+  while (loop.now() - t0 < span) {
+    loop.run_for(kWindow);
+    const uint64_t delta = st.ops - last_ops;
+    last_ops = st.ops;
+    window_mops.push_back(mops_per_sec(delta, static_cast<uint64_t>(kWindow)));
+  }
+  const Nanos elapsed = loop.now() - t0;
+  st.measuring = false;
+  st.stop = true;
+  loop.run_for(msec(1));  // drain: let retried batches finish
+  bed.server().stop();
+
+  RowResult r;
+  r.ops = st.ops;
+  r.goodput = mops_per_sec(st.ops, static_cast<uint64_t>(elapsed));
+  r.min_window = window_mops.empty() ? 0.0 : window_mops[0];
+  for (double w : window_mops) {
+    r.min_window = w < r.min_window ? w : r.min_window;
+  }
+  r.has_fault_window = fault_start > t0 && fault_end != fault::kNever;
+  if (r.has_fault_window) {
+    double pre_sum = 0.0;
+    int pre_n = 0;
+    for (size_t w = 0; w < window_mops.size(); ++w) {
+      const Nanos w_end = t0 + static_cast<Nanos>(w + 1) * kWindow;
+      if (w_end <= fault_start) {
+        pre_sum += window_mops[w];
+        pre_n++;
+      }
+    }
+    const double pre_avg = pre_n > 0 ? pre_sum / pre_n : 0.0;
+    for (size_t w = 0; w < window_mops.size(); ++w) {
+      const Nanos w_start = t0 + static_cast<Nanos>(w) * kWindow;
+      const Nanos w_end = w_start + kWindow;
+      if (w_start < fault_end || pre_avg <= 0.0) {
+        continue;
+      }
+      if (window_mops[w] >= 0.95 * pre_avg) {
+        r.recovery_us = static_cast<double>(w_end - fault_end) / 1000.0;
+        r.recovered = true;
+        break;
+      }
+    }
+  }
+
+  for (size_t c = 0; c < bed.num_clients(); ++c) {
+    if (core::ScaleRpcClient* sc = bed.scalerpc_client(c)) {
+      r.timeouts += sc->timeouts();
+      r.reconnects += sc->reconnects();
+    }
+  }
+  if (bed.scalerpc() != nullptr) {
+    r.dups = bed.scalerpc()->dup_rpcs();
+  }
+  for (size_t n = 0; n < bed.cluster().num_nodes(); ++n) {
+    r.retx += bed.cluster().node(static_cast<int>(n))->nic().counters().rc_retransmits;
+  }
+  if (fault::FaultInjector* inj = bed.cluster().faults()) {
+    r.drops = inj->counters().drops;
+    r.crash_drops = inj->counters().crash_drops;
+  }
+  if (r.ops > 0) {
+    r.amp = static_cast<double>(r.ops + r.retx + r.dups) / static_cast<double>(r.ops);
+  }
+  return r;
+}
+
+struct Row {
+  std::string label;
+  fault::FaultPlan plan;
+  Nanos fault_start = 0;
+  Nanos fault_end = fault::kNever;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opt = bench::parse_options(argc, argv);
+  const auto custom = bench::load_faults(opt);
+
+  // Timed faults hit at 1.2ms (800us into the measure span) so there is a
+  // clean pre-fault baseline, and clear at 1.45ms leaving >500us to recover
+  // even under --quick.
+  const Nanos f0 = msec(1) + usec(200);
+  const Nanos f1 = f0 + usec(250);
+  std::vector<Row> rows;
+  rows.push_back({"none", fault::FaultPlan{}, 0, fault::kNever});
+  for (double p : {0.001, 0.01, 0.05}) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "drop p=%g", p);
+    rows.push_back({label, fault::FaultPlan{}.drop(p), 0, fault::kNever});
+  }
+  rows.push_back({"corrupt p=0.01", fault::FaultPlan{}.corrupt(0.01), 0, fault::kNever});
+  rows.push_back({"delay +2us", fault::FaultPlan{}.delay(2000, f0, f1), f0, f1});
+  rows.push_back({"nic_slow x4", fault::FaultPlan{}.nic_slow(0, 4.0, f0, f1), f0, f1});
+  rows.push_back({"qp_error", fault::FaultPlan{}.qp_error(0, 3, f0), f0, f0});
+  rows.push_back({"crash 250us", fault::FaultPlan{}.crash(0, f0, f1), f0, f1});
+  if (custom.has_value()) {
+    rows.push_back({"custom (--faults)", *custom, 0, fault::kNever});
+  }
+
+  Sweep sweep;
+  std::vector<RowResult> results(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    sweep.add("fault/" + rows[i].label, [&opt, &rows, &results, i] {
+      results[i] = measure(rows[i].plan, rows[i].fault_start, rows[i].fault_end,
+                           opt.seed, opt.quick);
+    });
+  }
+  bench::Observability obs(opt, "fault_recovery");
+  obs.attach(sweep);
+  sweep.run(opt.threads);
+
+  bench::header("Fault injection x ScaleRPC recovery",
+                "goodput dip + recovery time under injected faults (docs/faults.md)");
+  std::printf("%-18s%-10s%-10s%-12s%-10s%-10s%-10s%-8s%-10s%-8s\n", "fault", "mops",
+              "min_win", "recov_us", "timeouts", "reconn", "dups", "retx", "drops",
+              "amp");
+  bench::JsonRows json;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RowResult& r = results[i];
+    char recov[24];
+    if (!r.has_fault_window) {
+      std::snprintf(recov, sizeof(recov), "-");
+    } else if (r.recovered) {
+      std::snprintf(recov, sizeof(recov), "%.1f", r.recovery_us);
+    } else {
+      std::snprintf(recov, sizeof(recov), "never");
+    }
+    std::printf("%-18s%-10.2f%-10.2f%-12s%-10" PRIu64 "%-10" PRIu64 "%-10" PRIu64
+                "%-8" PRIu64 "%-10" PRIu64 "%-8.3f\n",
+                rows[i].label.c_str(), r.goodput, r.min_window, recov, r.timeouts,
+                r.reconnects, r.dups, r.retx, r.drops, r.amp);
+    json.begin_row();
+    json.field("fault", rows[i].label);
+    json.field("mops", r.goodput);
+    json.field("min_window_mops", r.min_window);
+    json.field("recovery_us", r.recovery_us);
+    json.field("recovered_within_5pct", r.recovered);
+    json.field("ops", r.ops);
+    json.field("timeouts", r.timeouts);
+    json.field("reconnects", r.reconnects);
+    json.field("dup_rpcs", r.dups);
+    json.field("rc_retransmits", r.retx);
+    json.field("fabric_drops", r.drops);
+    json.field("crash_drops", r.crash_drops);
+    json.field("retry_amplification", r.amp);
+  }
+  const bool json_ok = json.write_file(opt.json_path, "fault_recovery");
+  return obs.write() && json_ok ? 0 : 1;
+}

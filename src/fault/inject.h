@@ -1,0 +1,117 @@
+// FaultInjector: the runtime half of the fault subsystem. A Cluster owns
+// at most one injector (attach_faults); the NIC / switch hot paths consult
+// it through nullable-pointer hooks, so a run with no plan attached does
+// zero extra work and produces a byte-identical event sequence — the same
+// standard src/trace holds itself to.
+//
+// All per-packet randomness (did *this* packet drop?) comes from the
+// injector's own Rng, seeded `plan.seed ^ salt`. The simulation is
+// single-threaded, so the draw order is fixed by the event order and the
+// whole run stays deterministic.
+#ifndef SRC_FAULT_INJECT_H_
+#define SRC_FAULT_INJECT_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/fault/plan.h"
+
+namespace scalerpc::fault {
+
+// Injected-event totals, for bench output and trace correlation.
+struct FaultCounters {
+  uint64_t drops = 0;          // packets vanished in the fabric
+  uint64_t corruptions = 0;    // packets delivered damaged (ICRC discard)
+  uint64_t delayed_packets = 0;
+  uint64_t crash_drops = 0;    // packets dropped because a node was down
+  uint64_t qp_errors = 0;      // forced QP error transitions fired
+  uint64_t crashes = 0;        // crash windows entered
+  uint64_t restarts = 0;       // crash windows exited
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, uint64_t salt)
+      : plan_(plan), rng_(plan.seed ^ salt) {}
+
+  // --- Link hooks (switch routing path) ---
+  bool should_drop(Nanos now, int src, int dst) {
+    for (const FaultRule& r : plan_.rules()) {
+      if (r.kind == FaultKind::kDrop && r.matches_link(now, src, dst) &&
+          rng_.next_bool(r.probability)) {
+        counters_.drops++;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool should_corrupt(Nanos now, int src, int dst) {
+    for (const FaultRule& r : plan_.rules()) {
+      if (r.kind == FaultKind::kCorrupt && r.matches_link(now, src, dst) &&
+          rng_.next_bool(r.probability)) {
+        counters_.corruptions++;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Nanos extra_delay(Nanos now, int src, int dst) {
+    Nanos extra = 0;
+    for (const FaultRule& r : plan_.rules()) {
+      if (r.kind == FaultKind::kDelay && r.matches_link(now, src, dst)) {
+        extra += r.extra_ns;
+      }
+    }
+    if (extra > 0) {
+      counters_.delayed_packets++;
+    }
+    return extra;
+  }
+
+  // --- NIC hooks ---
+  // Scales a NIC processing cost by any active kNicSlow window on `node`.
+  // factor == 0 (full stall) pushes the work past the end of the window.
+  Nanos scale_cost(Nanos now, int node, Nanos cost) const {
+    for (const FaultRule& r : plan_.rules()) {
+      if (r.kind == FaultKind::kNicSlow && r.active(now) &&
+          (r.node == kAnyNode || r.node == node)) {
+        if (r.factor == 0.0) {
+          cost += r.end - now;
+        } else {
+          cost = static_cast<Nanos>(static_cast<double>(cost) * r.factor);
+        }
+      }
+    }
+    return cost;
+  }
+
+  // True while `node` is inside a crash window.
+  bool node_down(Nanos now, int node) const {
+    for (const FaultRule& r : plan_.rules()) {
+      if (r.kind == FaultKind::kCrash && r.node == node && r.active(now)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void count_crash_drop() { counters_.crash_drops++; }
+  void count_qp_error() { counters_.qp_errors++; }
+  void count_crash() { counters_.crashes++; }
+  void count_restart() { counters_.restarts++; }
+
+  const FaultPlan& plan() const { return plan_; }
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  FaultPlan plan_;  // by value: the injector outlives the caller's plan
+  Rng rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace scalerpc::fault
+
+#endif  // SRC_FAULT_INJECT_H_

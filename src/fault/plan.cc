@@ -1,0 +1,331 @@
+#include "src/fault/plan.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace scalerpc::fault {
+
+const char* to_string(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kNicSlow:
+      return "nic_slow";
+    case FaultKind::kQpError:
+      return "qp_error";
+    case FaultKind::kCrash:
+      return "crash";
+  }
+  return "?";
+}
+
+FaultPlan& FaultPlan::drop(double p, Nanos from, Nanos until, int src, int dst) {
+  FaultRule r;
+  r.kind = FaultKind::kDrop;
+  r.probability = p;
+  r.start = from;
+  r.end = until;
+  r.src_node = src;
+  r.node = dst;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(double p, Nanos from, Nanos until, int src, int dst) {
+  FaultRule r;
+  r.kind = FaultKind::kCorrupt;
+  r.probability = p;
+  r.start = from;
+  r.end = until;
+  r.src_node = src;
+  r.node = dst;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::delay(Nanos extra, Nanos from, Nanos until, int src, int dst) {
+  FaultRule r;
+  r.kind = FaultKind::kDelay;
+  r.extra_ns = extra;
+  r.start = from;
+  r.end = until;
+  r.src_node = src;
+  r.node = dst;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::nic_slow(int node, double factor, Nanos from, Nanos until) {
+  FaultRule r;
+  r.kind = FaultKind::kNicSlow;
+  r.node = node;
+  r.factor = factor;
+  r.start = from;
+  r.end = until;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::qp_error(int node, uint32_t qpn, Nanos at) {
+  FaultRule r;
+  r.kind = FaultKind::kQpError;
+  r.node = node;
+  r.qpn = qpn;
+  r.start = at;
+  r.end = kNever;
+  rules_.push_back(r);
+  return *this;
+}
+
+FaultPlan& FaultPlan::crash(int node, Nanos at, Nanos restart) {
+  FaultRule r;
+  r.kind = FaultKind::kCrash;
+  r.node = node;
+  r.start = at;
+  r.end = restart;
+  rules_.push_back(r);
+  return *this;
+}
+
+namespace {
+
+// "2us" / "1500" / "3ms" / "1s" -> nanoseconds. Returns false on garbage.
+bool parse_time(const std::string& tok, Nanos* out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (end == tok.c_str()) {
+    return false;
+  }
+  const std::string suffix(end);
+  if (suffix.empty() || suffix == "ns") {
+    *out = v;
+  } else if (suffix == "us") {
+    *out = usec(v);
+  } else if (suffix == "ms") {
+    *out = msec(v);
+  } else if (suffix == "s") {
+    *out = v * kSecond;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool parse_node(const std::string& tok, int* out) {
+  if (tok == "*") {
+    *out = kAnyNode;
+    return true;
+  }
+  char* end = nullptr;
+  const long v = std::strtol(tok.c_str(), &end, 10);
+  if (end == tok.c_str() || *end != '\0' || v < 0) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+struct KvArgs {
+  std::vector<std::pair<std::string, std::string>> kv;
+  const std::string* find(const std::string& key) const {
+    for (const auto& [k, v] : kv) {
+      if (k == key) {
+        return &v;
+      }
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace
+
+std::optional<FaultPlan> FaultPlan::load(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) {
+      *error = "cannot open " + path;
+    }
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), error);
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text, std::string* error) {
+  FaultPlan plan;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + why;
+    }
+    return std::nullopt;
+  };
+
+  while (std::getline(in, line)) {
+    lineno++;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::istringstream ls(line);
+    std::string verb;
+    if (!(ls >> verb)) {
+      continue;  // blank / comment-only line
+    }
+    if (verb == "seed") {
+      std::string num;
+      if (!(ls >> num) || !std::isdigit(static_cast<unsigned char>(num[0]))) {
+        return fail("seed takes the form 'seed N'");
+      }
+      plan.seed = std::strtoull(num.c_str(), nullptr, 10);
+      continue;
+    }
+    KvArgs args;
+    std::string tok;
+    while (ls >> tok) {
+      const size_t eq = tok.find('=');
+      if (eq == std::string::npos) {
+        return fail("expected key=value, got '" + tok + "'");
+      }
+      args.kv.emplace_back(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+    auto get_time = [&](const char* key, Nanos fallback, Nanos* out) -> bool {
+      const std::string* v = args.find(key);
+      if (v == nullptr) {
+        *out = fallback;
+        return true;
+      }
+      return parse_time(*v, out);
+    };
+    auto get_node = [&](const char* key, int fallback, int* out) -> bool {
+      const std::string* v = args.find(key);
+      if (v == nullptr) {
+        *out = fallback;
+        return true;
+      }
+      return parse_node(*v, out);
+    };
+
+    Nanos from = 0;
+    Nanos until = kNever;
+    int src = kAnyNode;
+    int dst = kAnyNode;
+    if (!get_time("from", 0, &from) || !get_time("until", kNever, &until)) {
+      return fail("bad time value (use N[ns|us|ms|s])");
+    }
+    if (!get_node("src", kAnyNode, &src) || !get_node("dst", kAnyNode, &dst)) {
+      return fail("bad node value (use * or a node id)");
+    }
+
+    if (verb == "drop" || verb == "corrupt") {
+      const std::string* p = args.find("p");
+      if (p == nullptr) {
+        return fail(verb + " needs p=PROB");
+      }
+      const double prob = std::strtod(p->c_str(), nullptr);
+      if (prob < 0.0 || prob > 1.0) {
+        return fail("p must be in [0, 1]");
+      }
+      if (verb == "drop") {
+        plan.drop(prob, from, until, src, dst);
+      } else {
+        plan.corrupt(prob, from, until, src, dst);
+      }
+    } else if (verb == "delay") {
+      Nanos extra = 0;
+      const std::string* add = args.find("add");
+      if (add == nullptr || !parse_time(*add, &extra) || extra < 0) {
+        return fail("delay needs add=TIME");
+      }
+      plan.delay(extra, from, until, src, dst);
+    } else if (verb == "nic_slow" || verb == "nic_stall") {
+      int node = kAnyNode;
+      if (!get_node("node", kAnyNode, &node) || node == kAnyNode) {
+        return fail(verb + " needs node=N");
+      }
+      double factor = 0.0;
+      if (verb == "nic_slow") {
+        const std::string* f = args.find("factor");
+        if (f == nullptr || (factor = std::strtod(f->c_str(), nullptr)) < 1.0) {
+          return fail("nic_slow needs factor>=1");
+        }
+      }
+      if (until == kNever) {
+        return fail(verb + " needs until=TIME (stalls must end)");
+      }
+      plan.nic_slow(node, factor, from, until);
+    } else if (verb == "qp_error") {
+      int node = kAnyNode;
+      if (!get_node("node", kAnyNode, &node) || node == kAnyNode) {
+        return fail("qp_error needs node=N");
+      }
+      const std::string* q = args.find("qpn");
+      Nanos at = 0;
+      if (q == nullptr || !get_time("at", -1, &at) || at < 0) {
+        return fail("qp_error needs qpn=N at=TIME");
+      }
+      plan.qp_error(node, static_cast<uint32_t>(std::strtoul(q->c_str(), nullptr, 10)),
+                    at);
+    } else if (verb == "crash") {
+      int node = kAnyNode;
+      Nanos at = 0;
+      Nanos restart = kNever;
+      if (!get_node("node", kAnyNode, &node) || node == kAnyNode) {
+        return fail("crash needs node=N");
+      }
+      if (!get_time("at", -1, &at) || at < 0 ||
+          !get_time("restart", kNever, &restart) || restart <= at) {
+        return fail("crash needs at=TIME restart=TIME (restart > at)");
+      }
+      plan.crash(node, at, restart);
+    } else {
+      return fail("unknown fault '" + verb + "'");
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlan::summary() const {
+  std::ostringstream out;
+  out << rules_.size() << (rules_.size() == 1 ? " rule" : " rules");
+  for (const auto& r : rules_) {
+    out << " | " << to_string(r.kind);
+    switch (r.kind) {
+      case FaultKind::kDrop:
+      case FaultKind::kCorrupt: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " p=%g", r.probability);
+        out << buf;
+        break;
+      }
+      case FaultKind::kDelay:
+        out << " +" << r.extra_ns << "ns";
+        break;
+      case FaultKind::kNicSlow: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), " node=%d x%g", r.node, r.factor);
+        out << buf;
+        break;
+      }
+      case FaultKind::kQpError:
+        out << " node=" << r.node << " qpn=" << r.qpn;
+        break;
+      case FaultKind::kCrash:
+        out << " node=" << r.node;
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace scalerpc::fault

@@ -1,0 +1,103 @@
+// Deterministic fault plans: a seeded, sim-time-keyed schedule of fabric
+// and host faults.
+//
+// A FaultPlan is pure data — a list of rules, each scoped to a sim-time
+// window [start, end) and (for link faults) a (src, dst) endpoint filter.
+// It is either built programmatically (tests, benches) or loaded from a
+// small line-based text file (`--faults=PATH`, see docs/faults.md for the
+// schema). The plan itself draws no randomness; the per-run randomness
+// (did *this* packet drop?) lives in FaultInjector (inject.h), which owns
+// an Rng seeded from the plan, so identical seed+plan ⇒ byte-identical
+// runs regardless of host or thread count.
+//
+// This library depends only on src/common — the simulator consults it, not
+// the other way around, so the fabric model stays layered.
+#ifndef SRC_FAULT_PLAN_H_
+#define SRC_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace scalerpc::fault {
+
+constexpr int kAnyNode = -1;
+constexpr Nanos kNever = std::numeric_limits<Nanos>::max();
+
+enum class FaultKind : uint8_t {
+  kDrop,     // packet vanishes in the fabric with `probability`
+  kCorrupt,  // packet arrives damaged; the receiving NIC's ICRC check
+             // discards it (same recovery path as a drop, counted apart)
+  kDelay,    // every matching hop takes `extra_ns` longer
+  kNicSlow,  // NIC engine processing on `node` is scaled by `factor`;
+             // factor 0 means a full stall until the window ends
+  kQpError,  // QP (`node`, `qpn`) is forced into the error state at `start`
+  kCrash,    // `node` is unreachable during [start, end): its NIC drops
+             // all inbound/outbound packets and every local QP is errored
+             // at crash time. Host memory persists across the restart (the
+             // paper's systems target persistent memory).
+};
+
+const char* to_string(FaultKind k);
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kDrop;
+  Nanos start = 0;
+  Nanos end = kNever;       // active window [start, end)
+  int src_node = kAnyNode;  // link faults: source filter (-1: any)
+  int node = kAnyNode;      // destination / affected node (-1: any)
+  double probability = 1.0; // kDrop / kCorrupt per-packet probability
+  Nanos extra_ns = 0;       // kDelay: added per-hop latency
+  double factor = 1.0;      // kNicSlow: processing-cost multiplier
+  uint32_t qpn = 0;         // kQpError target
+
+  bool active(Nanos now) const { return now >= start && now < end; }
+  bool matches_link(Nanos now, int src, int dst) const {
+    return active(now) && (src_node == kAnyNode || src_node == src) &&
+           (node == kAnyNode || node == dst);
+  }
+};
+
+class FaultPlan {
+ public:
+  // Seed mixed into the injector's Rng (together with the run's salt).
+  uint64_t seed = 1;
+
+  // --- Builders (return *this for chaining) ---
+  FaultPlan& drop(double p, Nanos from = 0, Nanos until = kNever,
+                  int src = kAnyNode, int dst = kAnyNode);
+  FaultPlan& corrupt(double p, Nanos from = 0, Nanos until = kNever,
+                     int src = kAnyNode, int dst = kAnyNode);
+  FaultPlan& delay(Nanos extra, Nanos from = 0, Nanos until = kNever,
+                   int src = kAnyNode, int dst = kAnyNode);
+  // factor > 1 slows the NIC down; factor == 0 stalls it until `until`.
+  FaultPlan& nic_slow(int node, double factor, Nanos from, Nanos until);
+  FaultPlan& qp_error(int node, uint32_t qpn, Nanos at);
+  FaultPlan& crash(int node, Nanos at, Nanos restart);
+
+  const std::vector<FaultRule>& rules() const { return rules_; }
+  bool empty() const { return rules_.empty(); }
+  size_t size() const { return rules_.size(); }
+
+  // Parses the text schema (docs/faults.md). Returns nullopt and fills
+  // `error` (if non-null) with "line N: reason" on malformed input.
+  static std::optional<FaultPlan> load(const std::string& path,
+                                       std::string* error = nullptr);
+  static std::optional<FaultPlan> parse(const std::string& text,
+                                        std::string* error = nullptr);
+
+  // Deterministic human-readable one-liner ("3 rules: drop ...") used in
+  // bench headers; never includes pointers or host state.
+  std::string summary() const;
+
+ private:
+  std::vector<FaultRule> rules_;
+};
+
+}  // namespace scalerpc::fault
+
+#endif  // SRC_FAULT_PLAN_H_

@@ -53,6 +53,12 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), cluster_(cfg.sim) {
     cpu_pools_.push_back(
         std::make_unique<rpc::CpuPool>(cluster_.loop(), cfg_.cores_per_client_node));
   }
+  if (cfg_.faults != nullptr && !cfg_.faults->empty()) {
+    cluster_.attach_faults(*cfg_.faults, cfg_.fault_seed);
+    // Recovery must be on before the server is built: admission sizes the
+    // per-client dedup state and the request header grows a seq field.
+    cfg_.rpc.recovery_enabled = true;
+  }
 
   switch (cfg_.kind) {
     case TransportKind::kRawWrite:
@@ -187,6 +193,21 @@ EchoResult run_echo(Testbed& bed, const EchoWorkload& wl) {
   result.server_pcm = bed.server_node()->pcm_total() - pcm0;
   result.server_qp_cache_misses =
       bed.server_node()->nic().counters().qp_cache_misses - nic0.qp_cache_misses;
+  for (size_t c = 0; c < bed.num_clients(); ++c) {
+    if (core::ScaleRpcClient* sc = bed.scalerpc_client(c)) {
+      result.client_timeouts += sc->timeouts();
+      result.client_reconnects += sc->reconnects();
+    }
+  }
+  if (bed.scalerpc() != nullptr) {
+    result.server_dup_rpcs = bed.scalerpc()->dup_rpcs();
+  }
+  if (bed.cluster().faults() == nullptr) {
+    // On a lossless fabric the client timeout path must never fire; a
+    // nonzero count here means a lost-response bug, not an injected fault.
+    SCALERPC_CHECK_MSG(result.client_timeouts == 0,
+                       "client timeouts on a lossless fabric");
+  }
   if (trace::TimelineSink* sink = trace::timeline()) {
     sink->set_latency(latency_summary(result.batch_latency));
   }

@@ -14,6 +14,7 @@
 #include "src/baselines/rawwrite.h"
 #include "src/baselines/selfrpc.h"
 #include "src/common/stats.h"
+#include "src/fault/plan.h"
 #include "src/scalerpc/client.h"
 #include "src/scalerpc/server.h"
 
@@ -37,6 +38,12 @@ struct TestbedConfig {
   int cores_per_client_node = 24;  // E5-2650 v4 (single socket's worth)
   core::ScaleRpcConfig rpc;        // superset of TransportConfig
   simrdma::SimParams sim;
+  // Optional fault plan (docs/faults.md), attached to the fabric before any
+  // traffic and — for ScaleRPC — before the server is built, so recovery
+  // mode is on from the first admit. Null keeps the fabric lossless and
+  // every fault/recovery path compiled out of the hot path.
+  const fault::FaultPlan* faults = nullptr;
+  uint64_t fault_seed = 0;  // salt mixed into the injector's Rng
 };
 
 // A constructed testbed: cluster + server + connected clients.
@@ -87,6 +94,12 @@ struct EchoResult {
   Histogram batch_latency;  // microseconds
   simrdma::PcmCounters server_pcm;  // delta over the measurement window
   uint64_t server_qp_cache_misses = 0;
+  // ScaleRPC recovery stats (all zero on a lossless fabric — run_echo
+  // asserts the first one is, so a fault-free figure bench can never hide
+  // a timeout regression).
+  uint64_t client_timeouts = 0;
+  uint64_t client_reconnects = 0;
+  uint64_t server_dup_rpcs = 0;
 };
 
 // Registers an echo handler, starts the server, drives all clients in a

@@ -40,17 +40,23 @@ sim::Task<void> ScaleRpcClient::connect() {
 
 void ScaleRpcClient::stage(uint8_t op, rpc::Bytes request) {
   SCALERPC_CHECK(static_cast<int>(staged_.size()) < cfg_.slots_per_client);
-  SCALERPC_CHECK(request.size() + kEnvelopeBytes + kRequestIdBytes <=
-                 rpc::max_payload(cfg_.block_bytes));
-  staged_.push_back(Staged{op, std::move(request)});
+  const size_t header = kEnvelopeBytes + kRequestIdBytes +
+                        (cfg_.recovery_enabled ? kRequestSeqBytes : 0);
+  SCALERPC_CHECK(request.size() + header <= rpc::max_payload(cfg_.block_bytes));
+  staged_.push_back(Staged{op, std::move(request), ++next_req_seq_});
 }
 
-rpc::Bytes ScaleRpcClient::with_sender_id(const rpc::Bytes& payload) const {
-  rpc::Bytes data(kRequestIdBytes + payload.size());
+rpc::Bytes ScaleRpcClient::request_header(const Staged& s) const {
+  const uint32_t hdr =
+      kRequestIdBytes + (cfg_.recovery_enabled ? kRequestSeqBytes : 0);
+  rpc::Bytes data(hdr + s.data.size());
   const auto id = static_cast<uint16_t>(id_);
   std::memcpy(data.data(), &id, sizeof(id));
-  if (!payload.empty()) {
-    std::memcpy(data.data() + kRequestIdBytes, payload.data(), payload.size());
+  if (cfg_.recovery_enabled) {
+    std::memcpy(data.data() + kRequestIdBytes, &s.seq, sizeof(s.seq));
+  }
+  if (!s.data.empty()) {
+    std::memcpy(data.data() + hdr, s.data.data(), s.data.size());
   }
   return data;
 }
@@ -71,7 +77,7 @@ sim::Task<void> ScaleRpcClient::post_entry(const std::vector<int>& slots) {
     const Staged& s = staged_[static_cast<size_t>(slot)];
     const uint32_t used = rpc::encode_staged(mem, staging_ + off, s.op,
                                              static_cast<uint8_t>(slot),
-                                             with_sender_id(s.data));
+                                             request_header(s));
     cost += env_.node->write_cost(staging_ + off, used);
     off += used;
   }
@@ -112,7 +118,7 @@ sim::Task<void> ScaleRpcClient::write_direct(int slot) {
   co_await env_.cpu->work(cfg_.client_costs.request_prep_ns);
   const uint64_t src = req_src_ + static_cast<uint64_t>(slot) * cfg_.block_bytes;
   const uint32_t total = rpc::encode_at(mem, src, s.op, static_cast<uint8_t>(slot),
-                                        with_sender_id(s.data));
+                                        request_header(s));
   const uint64_t zone = pool_base_[process_pool_] +
                         static_cast<uint64_t>(process_zone_) * zone_bytes_;
   SendWr wr;
@@ -174,7 +180,9 @@ sim::Task<std::vector<rpc::Bytes>> ScaleRpcClient::flush() {
   size_t collected = 0;
   bool saw_switch = false;
   Envelope last_env{};
-  Nanos deadline = loop.now() + cfg_.client_timeout;
+  Nanos window = cfg_.client_timeout;
+  int flush_timeouts = 0;
+  Nanos deadline = loop.now() + window;
 
   while (collected < n) {
     bool progress = false;
@@ -193,12 +201,27 @@ sim::Task<std::vector<rpc::Bytes>> ScaleRpcClient::flush() {
                                    msg->total_bytes());
       rpc::clear_block(mem, block, cfg_.block_bytes);
       cost += cfg_.client_costs.response_parse_ns;
-      SCALERPC_CHECK(msg->data.size() >= kEnvelopeBytes);
+      size_t body = kEnvelopeBytes;
+      if (cfg_.recovery_enabled) {
+        // Responses echo the request seq; a replay of an older retry (or a
+        // straggler from before a reconnect) is discarded and the slot keeps
+        // waiting for the response that matches what is staged now.
+        body += kRequestSeqBytes;
+        if (msg->data.size() < body) {
+          continue;
+        }
+        uint32_t rseq = 0;
+        std::memcpy(&rseq, msg->data.data() + kEnvelopeBytes, sizeof(rseq));
+        if (rseq != staged_[i].seq) {
+          continue;
+        }
+      }
+      SCALERPC_CHECK(msg->data.size() >= body);
       last_env = read_envelope(msg->data.data());
       if ((msg->flags & rpc::kFlagContextSwitch) != 0) {
         saw_switch = true;
       }
-      out[i].assign(msg->data.begin() + kEnvelopeBytes, msg->data.end());
+      out[i].assign(msg->data.begin() + static_cast<long>(body), msg->data.end());
       got[i] = true;
       collected++;
       progress = true;
@@ -230,12 +253,28 @@ sim::Task<std::vector<rpc::Bytes>> ScaleRpcClient::flush() {
       }
     }
     if (loop.now() >= deadline) {
-      // Lost-write race at a context switch (rare): re-post the missing
-      // slots through the warmup path.
+      // Fault-free runs only hit this on a lost-write race at a context
+      // switch (rare): re-post the missing slots through the warmup path.
+      // In recovery mode this is the retry engine: exponential back-off,
+      // bounded attempts, and a connection teardown once the timeouts look
+      // like a sick QP rather than a sick fabric.
       timeouts_++;
+      flush_timeouts++;
       if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
         t->instant(trace::kRpc, "scalerpc.timeout", loop.now(), 1000 + id_,
                    "missing", static_cast<uint64_t>(n - collected));
+      }
+      if (cfg_.recovery_enabled) {
+        SCALERPC_CHECK_MSG(flush_timeouts <= cfg_.max_rpc_retries,
+                           "RPC retries exhausted");
+        if (qp_->in_error() ||
+            flush_timeouts >= cfg_.reconnect_after_timeouts) {
+          co_await reconnect();
+        }
+        const auto widened =
+            static_cast<Nanos>(static_cast<double>(window) * cfg_.timeout_backoff);
+        window = widened < cfg_.client_timeout_max ? widened
+                                                   : cfg_.client_timeout_max;
       }
       std::vector<int> missing;
       for (size_t i = 0; i < n; ++i) {
@@ -244,7 +283,7 @@ sim::Task<std::vector<rpc::Bytes>> ScaleRpcClient::flush() {
         }
       }
       co_await post_entry(missing);
-      deadline = loop.now() + cfg_.client_timeout;
+      deadline = loop.now() + window;
       continue;
     }
     arm_watchdog(deadline);
@@ -261,6 +300,28 @@ sim::Task<std::vector<rpc::Bytes>> ScaleRpcClient::flush() {
     process_seq_ = last_env.seq;
   }
   co_return out;
+}
+
+sim::Task<void> ScaleRpcClient::reconnect() {
+  // Error the sick connection first so queued WRs flush and any transport
+  // retransmit watchers on it unwind, then model the control-plane cost of
+  // the teardown + re-establish round.
+  qp_->force_error();
+  co_await env_.node->loop().delay(cfg_.reconnect_delay);
+  simrdma::QueuePair* fresh = env_.node->create_qp(QpType::kRC, cq_, cq_);
+  if (!server_->readmit(id_, fresh)) {
+    // Server node is down; park the unused QP in error so stray posts flush
+    // and try again after the next timeout.
+    fresh->force_error();
+    co_return;
+  }
+  qp_ = fresh;
+  reconnects_++;
+  state_ = State::kIdle;
+  if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
+    t->instant(trace::kRpc, "scalerpc.reconnect", env_.node->loop().now(),
+               1000 + id_, "count", reconnects_);
+  }
 }
 
 sim::Task<void> ScaleRpcClient::post_raw(SendWr wr) { co_await qp_->post_send(wr); }

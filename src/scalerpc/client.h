@@ -40,6 +40,7 @@ class ScaleRpcClient : public rpc::RpcClient {
   uint64_t warmup_rounds() const { return warmup_rounds_; }
   uint64_t direct_batches() const { return direct_batches_; }
   uint64_t timeouts() const { return timeouts_; }
+  uint64_t reconnects() const { return reconnects_; }
 
   // --- one-sided co-use (ScaleTX) ---
   // Posts a raw verb on the RPC connection (charges the doorbell).
@@ -55,13 +56,21 @@ class ScaleRpcClient : public rpc::RpcClient {
   struct Staged {
     uint8_t op;
     rpc::Bytes data;
+    // Per-client monotonic request id; serialized on the wire only in
+    // recovery mode (see kRequestSeqBytes).
+    uint32_t seq = 0;
   };
 
   bool control_says_stale() const;
-  rpc::Bytes with_sender_id(const rpc::Bytes& payload) const;
+  rpc::Bytes request_header(const Staged& s) const;
   sim::Task<void> post_entry(const std::vector<int>& slots);
   sim::Task<void> write_direct(int slot);
   void arm_watchdog(Nanos deadline);
+  // Recovery mode: tears down the (errored or unresponsive) QP, creates a
+  // fresh one and re-admits it with the server while keeping the client id,
+  // grouping and dedup state. No-op failure if the server node is down —
+  // the caller keeps retrying on later timeouts.
+  sim::Task<void> reconnect();
 
   transport::ClientEnv env_;
   ScaleRpcServer* server_;
@@ -93,10 +102,12 @@ class ScaleRpcClient : public rpc::RpcClient {
   std::deque<Staged> staged_;
   uint64_t watchdog_gen_ = 0;
   bool watchdog_armed_ = false;
+  uint32_t next_req_seq_ = 0;
 
   uint64_t warmup_rounds_ = 0;
   uint64_t direct_batches_ = 0;
   uint64_t timeouts_ = 0;
+  uint64_t reconnects_ = 0;
 };
 
 }  // namespace scalerpc::core

@@ -36,6 +36,25 @@ struct ScaleRpcConfig : transport::TransportConfig {
   // observed to exceed this, later calls of that op run on the legacy
   // executor thread outside the sliced fast path.
   Nanos long_rpc_threshold_ns = usec(20);
+
+  // --- Fault recovery (docs/faults.md) ---
+  // Off by default: the lossless fast path carries no per-request sequence
+  // numbers and performs no dedup bookkeeping, so the wire format and
+  // timing of fault-free runs are unchanged. The harness enables it when a
+  // fault plan is attached to the fabric.
+  bool recovery_enabled = false;
+  // Client timeout back-off: each successive timeout of the same flush
+  // multiplies the wait window, capped at client_timeout_max.
+  double timeout_backoff = 2.0;
+  Nanos client_timeout_max = msec(20);
+  // A flush that times out more than this many times aborts (SCALERPC_CHECK)
+  // — the invariant "every RPC eventually succeeds exactly once" failed.
+  int max_rpc_retries = 64;
+  // After this many consecutive timeouts the client assumes the connection
+  // (not the fabric) is sick and tears down / re-establishes its QP.
+  int reconnect_after_timeouts = 3;
+  // Modeled control-plane cost of a QP teardown + re-connect.
+  Nanos reconnect_delay = usec(10);
 };
 
 }  // namespace scalerpc::core

@@ -32,6 +32,12 @@ constexpr uint32_t kEnvelopeBytes = 6;
 // still answered correctly (and told to re-warm) instead of being
 // misattributed.
 constexpr uint32_t kRequestIdBytes = 2;
+// Recovery mode only (ScaleRpcConfig::recovery_enabled): a per-client
+// monotonic request sequence number follows the sender id, and responses
+// echo it right after the envelope. The server dedups retried requests by
+// (client, slot, seq) — exactly-once execution — and the client discards
+// replayed responses whose seq is not the one currently staged.
+constexpr uint32_t kRequestSeqBytes = 4;
 
 struct EndpointEntry {
   uint64_t staged_addr = 0;

@@ -60,6 +60,9 @@ ScaleRpcServer::Admission ScaleRpcServer::admit(simrdma::QueuePair* client_qp,
   state->control_remote = control;
   state->client_rkey = client_rkey;
   state->entry_addr = node_->alloc(64, 64);  // one line per entry
+  if (cfg_.recovery_enabled) {
+    state->dedup.resize(static_cast<size_t>(cfg_.slots_per_client));
+  }
   Admission adm;
   adm.client_id = state->id;
   adm.entry_addr = state->entry_addr;
@@ -71,6 +74,53 @@ ScaleRpcServer::Admission ScaleRpcServer::admit(simrdma::QueuePair* client_qp,
   pending_clients_.push_back(state->id);
   clients_.push_back(std::move(state));
   return adm;
+}
+
+bool ScaleRpcServer::readmit(int client_id, simrdma::QueuePair* client_qp) {
+  SCALERPC_CHECK(client_id >= 0 &&
+                 static_cast<size_t>(client_id) < clients_.size());
+  ClientState& c = *clients_[static_cast<size_t>(client_id)];
+  if (c.qp != nullptr) {
+    c.qp->force_error();  // tear down the server half of the old connection
+  }
+  if (node_->is_down()) {
+    return false;  // crashed: the client retries after its next timeout
+  }
+  c.qp = node_->create_qp(QpType::kRC, sched_cq_, sched_cq_);
+  node_->cluster()->connect(c.qp, client_qp);
+  readmits_++;
+  return true;
+}
+
+bool ScaleRpcServer::parse_request_header(rpc::MessageView& msg, uint16_t* sender,
+                                          uint32_t* rseq) const {
+  const size_t hdr =
+      kRequestIdBytes + (cfg_.recovery_enabled ? kRequestSeqBytes : 0);
+  if (msg.data.size() < hdr) {
+    return false;
+  }
+  std::memcpy(sender, msg.data.data(), sizeof(*sender));
+  if (*sender >= clients_.size()) {
+    return false;
+  }
+  *rseq = 0;
+  if (cfg_.recovery_enabled) {
+    std::memcpy(rseq, msg.data.data() + kRequestIdBytes, sizeof(*rseq));
+  }
+  msg.data.erase(msg.data.begin(), msg.data.begin() + static_cast<long>(hdr));
+  return true;
+}
+
+int ScaleRpcServer::dedup_disposition(ClientState& c, int slot, uint32_t seq) {
+  if (slot < 0 || static_cast<size_t>(slot) >= c.dedup.size()) {
+    return 2;
+  }
+  SlotSeen& d = c.dedup[static_cast<size_t>(slot)];
+  if (seq > d.seen_seq) {
+    d.seen_seq = seq;
+    return 0;
+  }
+  return seq == d.resp_seq ? 1 : 2;
 }
 
 void ScaleRpcServer::start() {
@@ -143,25 +193,47 @@ sim::Task<void> ScaleRpcServer::sweep_and_remap(size_t group_idx, int pool_idx) 
             zone_addr(pool_idx, z) + static_cast<uint64_t>(s) * cfg_.block_bytes;
         cost += node_->read_cost(block + cfg_.block_bytes - 1, 1);
         auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
-        if (!msg.has_value() || msg->data.size() < kRequestIdBytes) {
+        if (!msg.has_value()) {
           continue;
         }
         rpc::clear_block(mem, block, cfg_.block_bytes);
         uint16_t sender = 0;
-        std::memcpy(&sender, msg->data.data(), sizeof(sender));
-        if (sender >= clients_.size()) {
+        uint32_t rseq = 0;
+        if (!parse_request_header(*msg, &sender, &rseq)) {
           continue;
         }
-        msg->data.erase(msg->data.begin(), msg->data.begin() + kRequestIdBytes);
+        ClientState& sc = *clients_[sender];
+        const int resp_slot = msg->flags;
+        if (cfg_.recovery_enabled) {
+          const int verdict = dedup_disposition(sc, resp_slot, rseq);
+          if (verdict != 0) {
+            dup_rpcs_++;
+            if (verdict == 1) {
+              const SlotSeen& cache = sc.dedup[static_cast<size_t>(resp_slot)];
+              co_await loop.delay(cost);
+              cost = 0;
+              co_await respond(/*worker_index=*/0, sc, resp_slot, cache.op,
+                               cache.flags, cache.response, rseq);
+            }
+            continue;
+          }
+        }
         rpc::RequestContext ctx{sender, msg->op};
         rpc::HandlerResult result = handlers_.dispatch(ctx, msg->data);
         cost += cfg_.handler_base_ns + result.cpu_ns;
         requests_served_++;
         late_sweep_serves_++;
+        if (cfg_.recovery_enabled) {
+          SlotSeen& cache = sc.dedup[static_cast<size_t>(resp_slot)];
+          cache.resp_seq = rseq;
+          cache.op = msg->op;
+          cache.flags = result.flags;
+          cache.response = result.response;
+        }
         co_await loop.delay(cost);
         cost = 0;
-        co_await respond(/*worker_index=*/0, *clients_[sender], msg->flags, msg->op,
-                         result.flags, result.response);
+        co_await respond(/*worker_index=*/0, sc, resp_slot, msg->op,
+                         result.flags, result.response, rseq);
       }
     }
   }
@@ -273,7 +345,12 @@ sim::Task<void> ScaleRpcServer::fetch_group(size_t group_idx, int pool_idx, bool
     // Unpack completed reads into the pool's zones.
     for (int k = 0; k < posted; ++k) {
       const simrdma::Completion comp = co_await sched_cq_->next();
-      SCALERPC_CHECK(comp.status == simrdma::WcStatus::kSuccess);
+      if (comp.status != simrdma::WcStatus::kSuccess) {
+        // Fault mode: a flushed or retry-exhausted warmup read (QP error,
+        // crash, readmit teardown). Nothing landed in scratch; the client
+        // re-posts its entry with a fresh epoch after its timeout.
+        continue;
+      }
       const auto z = static_cast<size_t>(comp.wr_id);
       uint64_t off = scratch_base_ + z * staging_max_;
       uint32_t remaining = comp.byte_len;
@@ -428,18 +505,21 @@ sim::Task<void> ScaleRpcServer::scheduler_loop() {
 
 sim::Task<void> ScaleRpcServer::respond(int worker_index, ClientState& c, int slot,
                                         uint8_t op, uint8_t extra_flags,
-                                        const rpc::Bytes& payload) {
+                                        const rpc::Bytes& payload, uint32_t rseq) {
   auto& mem = node_->memory();
   const auto wi = static_cast<size_t>(worker_index);
   const uint64_t src = worker_resp_ring_[wi] +
                        static_cast<uint64_t>(worker_ring_next_[wi]) * cfg_.block_bytes;
   worker_ring_next_[wi] = (worker_ring_next_[wi] + 1) % kWorkerRingBlocks;
 
-  // Envelope + payload as the response data field. The envelope always
-  // describes the *active* mapping; if this client is no longer in it (its
-  // slice just ended — legacy responses can straggle), tell it to re-enter
-  // the warmup path instead of handing it a stale zone.
-  rpc::Bytes data(kEnvelopeBytes + payload.size());
+  // Envelope (+ echoed request seq in recovery mode) + payload as the
+  // response data field. The envelope always describes the *active*
+  // mapping; if this client is no longer in it (its slice just ended —
+  // legacy responses can straggle), tell it to re-enter the warmup path
+  // instead of handing it a stale zone.
+  const uint32_t prefix =
+      kEnvelopeBytes + (cfg_.recovery_enabled ? kRequestSeqBytes : 0);
+  rpc::Bytes data(prefix + payload.size());
   Envelope env;
   env.pool = static_cast<uint8_t>(active_pool_);
   env.seq = switch_seq_;
@@ -452,8 +532,11 @@ sim::Task<void> ScaleRpcServer::respond(int worker_index, ClientState& c, int sl
     }
   }
   write_envelope(data.data(), env);
+  if (cfg_.recovery_enabled) {
+    std::memcpy(data.data() + kEnvelopeBytes, &rseq, sizeof(rseq));
+  }
   if (!payload.empty()) {
-    std::memcpy(data.data() + kEnvelopeBytes, payload.data(), payload.size());
+    std::memcpy(data.data() + prefix, payload.data(), payload.size());
   }
   uint8_t flags = extra_flags;
   if (draining_ || !live) {
@@ -505,20 +588,41 @@ sim::Task<void> ScaleRpcServer::worker(int index) {
 
         // The request's data starts with the sender id; a straggler write
         // from the zone's previous owner is answered to that owner.
-        SCALERPC_CHECK(msg->data.size() >= kRequestIdBytes);
         uint16_t sender = 0;
-        std::memcpy(&sender, msg->data.data(), sizeof(sender));
-        SCALERPC_CHECK(sender < clients_.size());
+        uint32_t rseq = 0;
+        if (!parse_request_header(*msg, &sender, &rseq)) {
+          continue;
+        }
         ClientState& src_client = *clients_[sender];
-        msg->data.erase(msg->data.begin(), msg->data.begin() + kRequestIdBytes);
 
         src_client.window_reqs++;
         src_client.window_bytes += msg->data.size();
         const int resp_slot = msg->flags;  // request flags carry the slot
 
+        if (cfg_.recovery_enabled) {
+          // A retried request must not execute twice: replay the cached
+          // response if its first execution completed, drop it silently if
+          // that execution is still in flight (worker suspension or legacy
+          // queue) — the client's next retry hits the cache.
+          const int verdict = dedup_disposition(src_client, resp_slot, rseq);
+          if (verdict != 0) {
+            dup_rpcs_++;
+            served++;
+            if (verdict == 1) {
+              const SlotSeen& cache =
+                  src_client.dedup[static_cast<size_t>(resp_slot)];
+              co_await loop.delay(cost);
+              cost = 0;
+              co_await respond(index, src_client, resp_slot, cache.op,
+                               cache.flags, cache.response, rseq);
+            }
+            continue;
+          }
+        }
+
         if (long_ops_.count(msg->op) != 0) {
           // Legacy mode: divert to the dedicated executor.
-          legacy_queue_.push_back(LegacyJob{sender, resp_slot, std::move(*msg)});
+          legacy_queue_.push_back(LegacyJob{sender, resp_slot, rseq, std::move(*msg)});
           legacy_wake_->notify();
           served++;
           continue;
@@ -531,10 +635,17 @@ sim::Task<void> ScaleRpcServer::worker(int index) {
         if (result.cpu_ns > cfg_.long_rpc_threshold_ns) {
           long_ops_.insert(msg->op);
         }
+        if (cfg_.recovery_enabled) {
+          SlotSeen& cache = src_client.dedup[static_cast<size_t>(resp_slot)];
+          cache.resp_seq = rseq;
+          cache.op = msg->op;
+          cache.flags = result.flags;
+          cache.response = result.response;
+        }
         co_await loop.delay(cost);
         cost = 0;
         co_await respond(index, src_client, resp_slot, msg->op, result.flags,
-                         result.response);
+                         result.response, rseq);
         served++;
       }
     }
@@ -562,8 +673,16 @@ sim::Task<void> ScaleRpcServer::legacy_executor() {
     co_await loop.delay(cfg_.handler_base_ns + result.cpu_ns);
     requests_served_++;
     legacy_executions_++;
+    if (cfg_.recovery_enabled && job.slot >= 0 &&
+        static_cast<size_t>(job.slot) < c.dedup.size()) {
+      SlotSeen& cache = c.dedup[static_cast<size_t>(job.slot)];
+      cache.resp_seq = job.seq;
+      cache.op = job.msg.op;
+      cache.flags = result.flags;
+      cache.response = result.response;
+    }
     co_await respond(/*worker_index=*/0, c, job.slot, job.msg.op, result.flags,
-                     result.response);
+                     result.response, job.seq);
   }
 }
 

@@ -56,6 +56,15 @@ class ScaleRpcServer : public rpc::RpcServer {
   Admission admit(simrdma::QueuePair* client_qp, uint64_t resp_base, uint64_t control,
                   uint32_t client_rkey);
 
+  // Recovery mode: re-establishes the connection for an already-admitted
+  // client on a fresh pair of QPs. The old server-side QP is errored (its
+  // pending WRs flush), a new one is connected to `client_qp`, and the
+  // client keeps its id, group membership, entry epoch and dedup state —
+  // the rejoin does not perturb other clients' grouping or slices. Returns
+  // false (no state change besides the old QP teardown) while this node is
+  // crashed; the client retries after its next timeout.
+  bool readmit(int client_id, simrdma::QueuePair* client_qp);
+
   // Aligns context switches to a shared clock (returns estimated global
   // time). Used by ScaleTX's NTP-like synchronization (Section 4.2).
   void set_synced_clock(std::function<Nanos()> global_now) {
@@ -70,8 +79,24 @@ class ScaleRpcServer : public rpc::RpcServer {
   uint64_t late_sweep_serves() const { return late_sweep_serves_; }
   size_t num_groups() const { return groups_.size(); }
   uint32_t switch_seq() const { return switch_seq_; }
+  // Recovery mode: retried requests suppressed or answered from the
+  // response cache (each one would have been a duplicate execution).
+  uint64_t dup_rpcs() const { return dup_rpcs_; }
+  uint64_t readmits() const { return readmits_; }
 
  private:
+  // Recovery mode, per (client, slot): the newest request seq accepted for
+  // execution and the cached response of the last completed one, so a
+  // retried request is either dropped (still in flight) or answered from
+  // the cache (exactly-once execution).
+  struct SlotSeen {
+    uint32_t seen_seq = 0;
+    uint32_t resp_seq = 0;
+    uint8_t op = 0;
+    uint8_t flags = 0;
+    rpc::Bytes response;
+  };
+
   struct ClientState {
     int id = 0;
     simrdma::QueuePair* qp = nullptr;
@@ -82,11 +107,13 @@ class ScaleRpcServer : public rpc::RpcServer {
     uint16_t last_entry_epoch = 0;
     uint64_t window_reqs = 0;
     uint64_t window_bytes = 0;
+    std::vector<SlotSeen> dedup;  // sized only in recovery mode
   };
 
   struct LegacyJob {
     int client_id;
     int slot;
+    uint32_t seq = 0;
     rpc::MessageView msg;
   };
 
@@ -100,10 +127,22 @@ class ScaleRpcServer : public rpc::RpcServer {
   // then remaps the pool's zones to `group_idx` and clears every slot.
   sim::Task<void> sweep_and_remap(size_t group_idx, int pool_idx);
 
-  // Composes a response (with envelope) in the worker's ring and
-  // RDMA-writes it into the client's response block for `slot`.
+  // Composes a response (with envelope, plus the echoed request seq in
+  // recovery mode) in the worker's ring and RDMA-writes it into the
+  // client's response block for `slot`.
   sim::Task<void> respond(int worker_index, ClientState& c, int slot, uint8_t op,
-                          uint8_t extra_flags, const rpc::Bytes& payload);
+                          uint8_t extra_flags, const rpc::Bytes& payload,
+                          uint32_t rseq);
+
+  // Parses (and strips) the request header: sender id, plus the request
+  // seq in recovery mode. Returns false if the header is short or the
+  // sender id is out of range.
+  bool parse_request_header(rpc::MessageView& msg, uint16_t* sender,
+                            uint32_t* rseq) const;
+  // Recovery-mode dedup verdict for a request: 0 = execute, 1 = replay the
+  // cached response, 2 = drop (an older retry, or the original is still in
+  // flight — the client will retry and hit the cache once it completes).
+  int dedup_disposition(ClientState& c, int slot, uint32_t seq);
 
   void integrate_pending_and_rebuild();
   uint64_t zone_addr(int pool, int zone) const {
@@ -151,6 +190,8 @@ class ScaleRpcServer : public rpc::RpcServer {
   uint64_t notify_writes_ = 0;
   uint64_t legacy_executions_ = 0;
   uint64_t late_sweep_serves_ = 0;
+  uint64_t dup_rpcs_ = 0;
+  uint64_t readmits_ = 0;
 };
 
 }  // namespace scalerpc::core

@@ -1,6 +1,7 @@
 #include "src/simrdma/cluster.h"
 
 #include "src/simrdma/nic.h"
+#include "src/trace/trace.h"
 
 namespace scalerpc::simrdma {
 
@@ -31,9 +32,65 @@ void Cluster::connect(QueuePair* a, QueuePair* b) {
   b->set_peer(a->node()->id(), a->qpn());
 }
 
+void Cluster::attach_faults(const fault::FaultPlan& plan, uint64_t salt) {
+  SCALERPC_CHECK_MSG(faults_ == nullptr, "fault plan already attached");
+  faults_ = std::make_unique<fault::FaultInjector>(plan, salt);
+  // Timed rules become event-loop callbacks now; targets resolve at fire
+  // time so plans can be attached before the affected nodes/QPs exist.
+  for (const fault::FaultRule& r : plan.rules()) {
+    if (r.kind == fault::FaultKind::kQpError) {
+      loop_.call_at(r.start, [this, r] {
+        Node* n = node(r.node);
+        if (QueuePair* qp = n->find_qp(r.qpn)) {
+          faults_->count_qp_error();
+          if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+            t->instant(trace::kFault, "fault.qp_error", loop_.now(), r.node,
+                       "qpn", r.qpn);
+          }
+          qp->force_error();
+        }
+      });
+    } else if (r.kind == fault::FaultKind::kCrash) {
+      loop_.call_at(r.start, [this, r] {
+        Node* n = node(r.node);
+        faults_->count_crash();
+        if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+          t->instant(trace::kFault, "fault.crash", loop_.now(), r.node);
+        }
+        n->set_down(true);
+        n->fail_all_qps();
+      });
+      if (r.end != fault::kNever) {
+        loop_.call_at(r.end, [this, r] {
+          faults_->count_restart();
+          if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+            t->instant(trace::kFault, "fault.restart", loop_.now(), r.node);
+          }
+          node(r.node)->set_down(false);
+        });
+      }
+    }
+  }
+}
+
 void Cluster::route(Packet pkt) {
   SCALERPC_CHECK(pkt.dst_node >= 0 &&
                  pkt.dst_node < static_cast<int>(nodes_.size()));
+  Nanos hop = params_.switch_latency_ns;
+  if (faults_ != nullptr) {
+    const Nanos now = loop_.now();
+    if (faults_->should_drop(now, pkt.src_node, pkt.dst_node)) {
+      if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+        t->instant(trace::kFault, "fault.drop", loop_.now(), pkt.src_node,
+                   "dst", pkt.dst_node, "psn", pkt.psn);
+      }
+      return;  // the fabric ate it; payload buffer recycles on destruction
+    }
+    if (faults_->should_corrupt(now, pkt.src_node, pkt.dst_node)) {
+      pkt.corrupt = true;
+    }
+    hop += faults_->extra_delay(now, pkt.src_node, pkt.dst_node);
+  }
   Node* dst = nodes_[static_cast<size_t>(pkt.dst_node)].get();
   uint32_t slot;
   if (!in_flight_free_.empty()) {
@@ -48,7 +105,7 @@ void Cluster::route(Packet pkt) {
   InFlight* f = in_flight_[slot].get();
   f->dst = dst;
   f->pkt = std::move(pkt);
-  loop_.call_in(params_.switch_latency_ns, &Cluster::deliver_in_flight, f);
+  loop_.call_in(hop, &Cluster::deliver_in_flight, f);
 }
 
 void Cluster::deliver_in_flight(void* arg) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/fault/inject.h"
 #include "src/sim/event_loop.h"
 #include "src/simrdma/node.h"
 #include "src/simrdma/params.h"
@@ -35,6 +36,18 @@ class Cluster {
   // Switch: delivers `pkt` to its destination NIC after one hop latency.
   void route(Packet pkt);
 
+  // --- Fault injection ---
+  // Attaches a fault plan to this fabric: link faults fire inside route(),
+  // NIC faults inside the NIC pipelines, and timed rules (QP error, crash/
+  // restart) are scheduled on the event loop here. Call once, before
+  // running traffic; `salt` is mixed into the injector's Rng so sweeps can
+  // vary the fault realization with a fixed plan. Attaching after nodes
+  // exist is fine — timed rules resolve their targets at fire time.
+  void attach_faults(const fault::FaultPlan& plan, uint64_t salt = 0);
+  // The attached injector, or nullptr (the common case: lossless fabric,
+  // zero fault-path overhead — same null-check pattern as trace::tracer()).
+  fault::FaultInjector* faults() const { return faults_.get(); }
+
  private:
   // In-flight packets parked in a recycled pool while they cross the
   // switch, so routing costs no allocation (the event loop's raw-callback
@@ -53,6 +66,7 @@ class Cluster {
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<InFlight>> in_flight_;
   std::vector<uint32_t> in_flight_free_;
+  std::unique_ptr<fault::FaultInjector> faults_;
 };
 
 }  // namespace scalerpc::simrdma

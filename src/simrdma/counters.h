@@ -55,6 +55,11 @@ struct NicCounters {
   uint64_t acks_sent = 0;
   uint64_t bytes_tx = 0;
   uint64_t bytes_rx = 0;
+  // Fault-mode reliability events (always zero in a lossless run).
+  uint64_t rc_retransmits = 0;      // requester timeout-driven resends
+  uint64_t rc_retry_exhausted = 0;  // WRs that gave up and errored the QP
+  uint64_t rc_dup_requests = 0;     // responder-side duplicates suppressed
+  uint64_t flushed_wrs = 0;         // WRs flushed by QP error transitions
 
   NicCounters operator-(const NicCounters& rhs) const {
     NicCounters d;
@@ -67,6 +72,10 @@ struct NicCounters {
     d.acks_sent = acks_sent - rhs.acks_sent;
     d.bytes_tx = bytes_tx - rhs.bytes_tx;
     d.bytes_rx = bytes_rx - rhs.bytes_rx;
+    d.rc_retransmits = rc_retransmits - rhs.rc_retransmits;
+    d.rc_retry_exhausted = rc_retry_exhausted - rhs.rc_retry_exhausted;
+    d.rc_dup_requests = rc_dup_requests - rhs.rc_dup_requests;
+    d.flushed_wrs = flushed_wrs - rhs.flushed_wrs;
     return d;
   }
 };

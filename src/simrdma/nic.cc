@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/fault/inject.h"
 #include "src/simrdma/cluster.h"
 #include "src/simrdma/node.h"
 #include "src/trace/trace.h"
@@ -67,7 +68,29 @@ void Nic::submit_send(QueuePair* qp, SendWr wr) {
   sim::spawn(loop_, send_path(qp, std::move(wr), wqe_key));
 }
 
-void Nic::deliver(Packet pkt) { sim::spawn(loop_, inbound_path(std::move(pkt))); }
+void Nic::deliver(Packet pkt) {
+  if (fault::FaultInjector* inj = faults()) {
+    if (node_->is_down()) {
+      // Dead host: the wire ends here. Peers discover via their own
+      // retransmission timeouts.
+      inj->count_crash_drop();
+      return;
+    }
+    if (pkt.corrupt) {
+      // The ICRC check rejects the damaged packet before it reaches a
+      // processing engine; recovery is identical to a fabric drop.
+      counters_.bytes_rx += pkt.payload.size() + params_.packet_header_bytes;
+      if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+        t->instant(trace::kFault, "fault.icrc_discard", loop_.now(),
+                   node_->id(), "src", pkt.src_node, "psn", pkt.psn);
+      }
+      return;
+    }
+  }
+  sim::spawn(loop_, inbound_path(std::move(pkt)));
+}
+
+fault::FaultInjector* Nic::faults() const { return node_->cluster()->faults(); }
 
 Nanos Nic::charge_connection_state(QueuePair* qp, uint64_t wqe_key) {
   Nanos extra = 0;
@@ -117,9 +140,9 @@ void Nic::complete_send(QueuePair* qp, const SendWr& wr, WcStatus status,
   qp->send_cq()->push(c);
 }
 
-sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
+sim::Task<void> Nic::transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key,
+                                      uint64_t psn) {
   co_await send_units_.acquire();
-  counters_.send_wqes++;
 
   Nanos cost = params_.nic_send_base_ns;
   cost += charge_connection_state(qp, wqe_key);
@@ -144,6 +167,9 @@ sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
     }
   }
 
+  if (fault::FaultInjector* inj = faults()) {
+    cost = inj->scale_cost(loop_.now(), node_->id(), cost);
+  }
   co_await loop_.delay(cost);
   send_units_.release();
 
@@ -171,11 +197,40 @@ sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
   pkt.payload = std::move(payload);
   pkt.atomic_compare = wr.compare;
   pkt.atomic_swap_or_add = wr.swap_or_add;
+  pkt.psn = psn;
 
   const uint32_t wire_payload = carries_payload ? wr.length : 0;
   co_await tx_port_.use(params_.wire_time(wire_payload));
   counters_.bytes_tx += wire_payload + params_.packet_header_bytes;
   node_->cluster()->route(std::move(pkt));
+}
+
+sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
+  // Errored QP or dead host: the WQE flushes. Signaled WRs still complete
+  // (with an error) so posted-vs-completed accounting never hangs.
+  if (qp->in_error() || node_->is_down()) {
+    counters_.flushed_wrs++;
+    if (wr.signaled) {
+      complete_send(qp, wr, WcStatus::kWrFlushErr);
+    }
+    co_return;
+  }
+  counters_.send_wqes++;
+
+  // With a fault plan attached, RC requests are tracked by PSN so lost
+  // packets retransmit. The lossless fast path never assigns PSNs: zero
+  // extra events, zero extra state.
+  uint64_t psn = 0;
+  if (faults() != nullptr && qp->type() == QpType::kRC) {
+    psn = qp->alloc_psn();
+    qp->add_outstanding(wr, psn);
+  }
+
+  co_await transmit_request(qp, wr, wqe_key, psn);
+
+  if (psn != 0 && qp->find_outstanding(psn) != nullptr) {
+    sim::spawn(loop_, retransmit_watcher(qp, psn));
+  }
 
   // Local completion policy:
   //  * RC write/send: completion arrives with the ack.
@@ -184,6 +239,51 @@ sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
   if (qp->type() != QpType::kRC && wr.signaled) {
     complete_send(qp, wr, WcStatus::kSuccess);
   }
+}
+
+sim::Task<void> Nic::retransmit_watcher(QueuePair* qp, uint64_t psn) {
+  Nanos timeout = params_.rc_retransmit_timeout_ns;
+  for (int retry = 0; retry <= params_.rc_retry_count; ++retry) {
+    co_await loop_.delay(timeout);
+    QueuePair::Outstanding* o = qp->find_outstanding(psn);
+    if (o == nullptr || qp->in_error()) {
+      co_return;  // acked, responded, or flushed while we slept
+    }
+    if (retry == params_.rc_retry_count) {
+      break;  // retries exhausted
+    }
+    o->retries = retry + 1;
+    counters_.rc_retransmits++;
+    if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+      t->instant(trace::kFault, "fault.rc_retransmit", loop_.now(),
+                 node_->id(), "qpn", qp->qpn(), "psn", psn);
+    }
+    // While our own host is down nothing reaches the wire; burn the attempt
+    // and keep backing off. Note the payload is re-gathered from host
+    // memory at resend time — like a real NIC, a retransmit of a WR whose
+    // source buffer was reused sends the new bytes.
+    if (!node_->is_down()) {
+      const SendWr wr = o->wr;  // copy: the entry may move while suspended
+      co_await transmit_request(qp, wr, 0, psn);
+      if (qp->find_outstanding(psn) == nullptr || qp->in_error()) {
+        co_return;
+      }
+    }
+    timeout *= 2;
+  }
+  // Transport gives up: complete the WR with RETRY_EXCEEDED and error the
+  // QP (remaining WRs flush), as a real RC QP does.
+  const QueuePair::Outstanding o = *qp->find_outstanding(psn);
+  qp->erase_outstanding(psn);
+  counters_.rc_retry_exhausted++;
+  if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+    t->instant(trace::kFault, "fault.rc_retry_exhausted", loop_.now(),
+               node_->id(), "qpn", qp->qpn(), "psn", psn);
+  }
+  if (o.wr.signaled) {
+    complete_send(qp, o.wr, WcStatus::kRetryExceeded);
+  }
+  qp->force_error();
 }
 
 sim::Task<void> Nic::inbound_path(Packet pkt) {
@@ -207,6 +307,11 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
     co_await recv_units_.acquire();
     co_await loop_.delay(ack_cost);
     recv_units_.release();
+    if (pkt.psn != 0 && !qp->erase_outstanding(pkt.psn)) {
+      // Duplicate ack (the original and a retransmit both got through), or
+      // the WR already flushed/errored. Either way it completed once.
+      co_return;
+    }
     if (pkt.signaled) {
       Completion c;
       c.wr_id = pkt.wr_id;
@@ -242,10 +347,17 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
           static_cast<uint32_t>(pkt.payload.size()), params_);
     }
     co_await loop_.delay(cost);
+    if (pkt.psn != 0 && qp->find_outstanding(pkt.psn) == nullptr) {
+      recv_units_.release();
+      co_return;  // duplicate response; the data already landed once
+    }
     if (pkt.status == WcStatus::kSuccess && !pkt.payload.empty()) {
       node_->memory().dma_store(pkt.resp_local_addr, pkt.payload);
     }
     recv_units_.release();
+    if (pkt.psn != 0) {
+      qp->erase_outstanding(pkt.psn);
+    }
     if (pkt.signaled) {
       Completion c;
       c.wr_id = pkt.wr_id;
@@ -268,6 +380,66 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
   // occupancy evicts requester state under bidirectional load).
   if (pkt.transport != QpType::kUD) {
     qp_cache_.touch_insert(qp->qpn());
+  }
+
+  // Fault mode (tracked PSNs only): an errored responder QP silently drops
+  // requests — the requester discovers via its retransmission timeout — and
+  // a PSN already seen is a retransmission of an executed request, which is
+  // re-acknowledged without re-executing (transport-level exactly-once).
+  // Reads are idempotent and side-effect free, so they re-execute instead.
+  const bool track_dedup = pkt.psn != 0 && pkt.transport == QpType::kRC &&
+                           pkt.opcode != Opcode::kRead;
+  if (pkt.psn != 0 && pkt.transport == QpType::kRC && qp->in_error()) {
+    co_return;
+  }
+  if (track_dedup) {
+    if (QueuePair::SeenPsn* dup = qp->responder_find(pkt.psn)) {
+      counters_.rc_dup_requests++;
+      if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+        t->instant(trace::kFault, "fault.dup_request", loop_.now(),
+                   node_->id(), "qpn", qp->qpn(), "psn", pkt.psn);
+      }
+      if (!dup->done) {
+        co_return;  // the original is still executing; drop the copy
+      }
+      // Replay the acknowledgement from the dedup ring.
+      co_await loop_.delay(params_.rc_ack_latency_ns);
+      if (pkt.opcode == Opcode::kCompSwap || pkt.opcode == Opcode::kFetchAdd) {
+        Packet resp;
+        resp.kind = Packet::Kind::kAtomicResponse;
+        resp.opcode = pkt.opcode;
+        resp.status = dup->status;
+        resp.src_node = node_->id();
+        resp.src_qpn = pkt.dst_qpn;
+        resp.dst_node = pkt.src_node;
+        resp.dst_qpn = pkt.src_qpn;
+        resp.wr_id = pkt.wr_id;
+        resp.signaled = pkt.signaled;
+        resp.atomic_old = dup->atomic_old;
+        resp.psn = pkt.psn;
+        co_await tx_port_.use(params_.wire_time(0));
+        counters_.bytes_tx += params_.packet_header_bytes;
+        node_->cluster()->route(std::move(resp));
+      } else {
+        Packet ack;
+        ack.kind = dup->status == WcStatus::kSuccess ? Packet::Kind::kAck
+                                                     : Packet::Kind::kNak;
+        ack.opcode = pkt.opcode;
+        ack.status = dup->status;
+        ack.src_node = node_->id();
+        ack.src_qpn = pkt.dst_qpn;
+        ack.dst_node = pkt.src_node;
+        ack.dst_qpn = pkt.src_qpn;
+        ack.wr_id = pkt.wr_id;
+        ack.signaled = pkt.signaled;
+        ack.length = pkt.length;
+        ack.psn = pkt.psn;
+        counters_.acks_sent++;
+        node_->cluster()->route(std::move(ack));
+      }
+      co_return;
+    }
+    qp->responder_insert(pkt.psn);
   }
 
   // RC sends / write_imm need a receive descriptor; honor RNR retry.
@@ -295,6 +467,7 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
       nak.dst_qpn = pkt.src_qpn;
       nak.wr_id = pkt.wr_id;
       nak.signaled = pkt.signaled;
+      nak.psn = pkt.psn;
       node_->cluster()->route(std::move(nak));
       co_return;
     }
@@ -395,10 +568,22 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
     }
   }
 
+  if (fault::FaultInjector* inj = faults()) {
+    cost = inj->scale_cost(loop_.now(), node_->id(), cost);
+  }
   co_await loop_.delay(cost);
 
   if (do_store && status == WcStatus::kSuccess) {
     node_->memory().dma_store(store_addr, pkt.payload);
+  }
+  if (track_dedup) {
+    // Mark the PSN executed so a late retransmission replays this outcome
+    // instead of re-executing (re-find: the ring slot may have rotated).
+    if (QueuePair::SeenPsn* s = qp->responder_find(pkt.psn)) {
+      s->status = status;
+      s->atomic_old = atomic_old;
+      s->done = true;
+    }
   }
   if (push_recv_cqe) {
     Completion c;
@@ -434,6 +619,7 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
       resp.resp_local_addr = pkt.resp_local_addr;
       resp.payload = std::move(read_payload);
       resp.atomic_old = atomic_old;
+      resp.psn = pkt.psn;
       const auto resp_bytes = static_cast<uint32_t>(resp.payload.size());
       co_await loop_.delay(params_.rc_ack_latency_ns);
       co_await tx_port_.use(params_.wire_time(resp_bytes));
@@ -451,6 +637,7 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
       ack.wr_id = pkt.wr_id;
       ack.signaled = pkt.signaled;
       ack.length = pkt.length;
+      ack.psn = pkt.psn;
       counters_.acks_sent++;
       co_await loop_.delay(params_.rc_ack_latency_ns);
       node_->cluster()->route(std::move(ack));

@@ -12,6 +12,10 @@
 #include "src/simrdma/params.h"
 #include "src/simrdma/verbs.h"
 
+namespace scalerpc::fault {
+class FaultInjector;
+}  // namespace scalerpc::fault
+
 namespace scalerpc::simrdma {
 
 class Node;
@@ -26,6 +30,9 @@ class Nic {
   // Entry from the fabric when a packet arrives.
   void deliver(Packet pkt);
 
+  // QP error transitions report each flushed WR here (verbs.cc).
+  void note_flushed_wr() { counters_.flushed_wrs++; }
+
   const NicCounters& counters() const { return counters_; }
   NicCache& qp_cache() { return qp_cache_; }
   const NicCache& qp_cache() const { return qp_cache_; }
@@ -35,6 +42,16 @@ class Nic {
  private:
   sim::Task<void> send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key);
   sim::Task<void> inbound_path(Packet pkt);
+
+  // Shared by the first transmission and retransmissions: charges the NIC
+  // pipeline costs, builds the request packet, and routes it.
+  sim::Task<void> transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key,
+                                   uint64_t psn);
+  // Fault mode only: armed per tracked RC request; resends on timeout with
+  // exponential back-off, errors the QP once retries are exhausted.
+  sim::Task<void> retransmit_watcher(QueuePair* qp, uint64_t psn);
+  // The cluster's injector, or nullptr when no fault plan is attached.
+  fault::FaultInjector* faults() const;
 
   // Charges NIC-cache lookups for an outbound WQE on `qp`; returns the added
   // processing cost and bumps PCIe-read counters on misses.

@@ -72,6 +72,14 @@ QueuePair* Node::find_qp(uint32_t qpn) {
   return it == qps_.end() ? nullptr : it->second.get();
 }
 
+void Node::fail_all_qps() {
+  for (uint32_t qpn = 1; qpn < next_qpn_; ++qpn) {
+    if (QueuePair* qp = find_qp(qpn)) {
+      qp->force_error();
+    }
+  }
+}
+
 Nanos Node::local_time() const {
   const double t = static_cast<double>(loop().now());
   return clock_offset_ + static_cast<Nanos>(t * (1.0 + clock_drift_ppm_ * 1e-6));

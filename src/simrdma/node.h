@@ -69,6 +69,17 @@ class Node {
   QueuePair* create_qp(QpType type, CompletionQueue* send_cq, CompletionQueue* recv_cq);
   QueuePair* find_qp(uint32_t qpn);
 
+  // --- Crash state (fault mode) ---
+  // While down, the NIC drops every inbound packet and flushes every
+  // outbound WQE. Host memory persists across the window (the paper's
+  // systems target persistent memory).
+  bool is_down() const { return down_; }
+  void set_down(bool down) { down_ = down; }
+  // Forces every QP on this node into the error state (crash semantics:
+  // peer-visible connection loss). Iterates qpns in creation order so the
+  // flush-completion order is deterministic.
+  void fail_all_qps();
+
   // --- Local clock (offset + drift vs simulated global time) ---
   void set_clock(Nanos offset, double drift_ppm) {
     clock_offset_ = offset;
@@ -91,6 +102,7 @@ class Node {
   uint32_t next_key_ = 1;
   uint32_t next_qpn_ = 1;
   MemoryRegion* arena_mr_ = nullptr;
+  bool down_ = false;
   std::vector<std::unique_ptr<MemoryRegion>> mrs_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   std::unordered_map<uint32_t, std::unique_ptr<QueuePair>> qps_;

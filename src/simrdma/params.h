@@ -74,6 +74,10 @@ struct SimParams {
   // --- Reliability ---
   Nanos rc_ack_latency_ns = 150;  // receiver NIC turnaround for an ack
   Nanos rnr_retry_delay_ns = 5000;  // RC send met empty recv queue
+  // Requester retransmission (exercised only when a fault plan is attached;
+  // a lossless fabric never times out). The timeout doubles per retry.
+  Nanos rc_retransmit_timeout_ns = 16000;
+  int rc_retry_count = 7;
 
   // --- Clock model (for the NTP-like global synchronizer) ---
   double clock_drift_ppm_max = 20.0;  // per-node drift drawn in +/- this

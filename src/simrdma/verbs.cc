@@ -43,11 +43,28 @@ const char* to_string(WcStatus s) {
       return "REMOTE_ACCESS_ERROR";
     case WcStatus::kRetryExceeded:
       return "RETRY_EXCEEDED";
+    case WcStatus::kWrFlushErr:
+      return "WR_FLUSH_ERR";
   }
   return "?";
 }
 
 sim::Task<void> QueuePair::post_send(SendWr wr) {
+  if (error_) {
+    // Errored QP: the WR flushes immediately, as ibv_post_send on a QP in
+    // IBV_QPS_ERR would. No doorbell cost — the NIC never sees it.
+    node_->nic().note_flushed_wr();
+    if (wr.signaled) {
+      Completion c;
+      c.wr_id = wr.wr_id;
+      c.status = WcStatus::kWrFlushErr;
+      c.opcode = wr.opcode;
+      c.byte_len = wr.length;
+      c.qpn = qpn_;
+      send_cq_->push(c);
+    }
+    co_return;
+  }
   const SimParams& p = node_->params();
   // Transport capability matrix (paper Table 1).
   switch (type_) {
@@ -75,7 +92,52 @@ sim::Task<void> QueuePair::post_send(SendWr wr) {
 
 sim::Task<void> QueuePair::post_recv(RecvWr wr) {
   co_await node_->loop().delay(node_->params().post_recv_ns);
+  if (error_) {
+    node_->nic().note_flushed_wr();
+    Completion c;
+    c.wr_id = wr.wr_id;
+    c.status = WcStatus::kWrFlushErr;
+    c.is_recv = true;
+    c.qpn = qpn_;
+    recv_cq_->push(c);
+    co_return;
+  }
   recv_queue_.push_back(wr);
+}
+
+void QueuePair::force_error() {
+  if (error_) {
+    return;
+  }
+  error_ = true;
+  // Flush queued receive descriptors.
+  while (!recv_queue_.empty()) {
+    const RecvWr rwr = recv_queue_.front();
+    recv_queue_.pop_front();
+    node_->nic().note_flushed_wr();
+    Completion c;
+    c.wr_id = rwr.wr_id;
+    c.status = WcStatus::kWrFlushErr;
+    c.is_recv = true;
+    c.qpn = qpn_;
+    recv_cq_->push(c);
+  }
+  // Flush un-acked sends (their retransmit watchers see the error state and
+  // stand down). Signaled WRs complete with an error so callers counting
+  // posted-vs-completed never hang.
+  for (const Outstanding& o : outstanding_) {
+    node_->nic().note_flushed_wr();
+    if (o.wr.signaled) {
+      Completion c;
+      c.wr_id = o.wr.wr_id;
+      c.status = WcStatus::kWrFlushErr;
+      c.opcode = o.wr.opcode;
+      c.byte_len = o.wr.length;
+      c.qpn = qpn_;
+      send_cq_->push(c);
+    }
+  }
+  outstanding_.clear();
 }
 
 }  // namespace scalerpc::simrdma

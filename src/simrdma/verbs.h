@@ -8,6 +8,7 @@
 #ifndef SRC_SIMRDMA_VERBS_H_
 #define SRC_SIMRDMA_VERBS_H_
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -38,6 +39,7 @@ enum class WcStatus : uint8_t {
   kSuccess,
   kRemoteAccessError,
   kRetryExceeded,
+  kWrFlushErr,  // WR flushed because the QP entered the error state
 };
 
 const char* to_string(QpType t);
@@ -112,6 +114,11 @@ struct Packet {
   uint64_t atomic_compare = 0;
   uint64_t atomic_swap_or_add = 0;
   uint64_t atomic_old = 0;
+  // Fault-mode reliability state. psn == 0 means "untracked" — the lossless
+  // fast path never assigns PSNs, so the fault machinery costs nothing when
+  // no plan is attached. Acks/naks/responses echo the request's psn.
+  uint64_t psn = 0;
+  bool corrupt = false;  // fabric damaged the packet; receiver ICRC drops it
 };
 
 class CompletionQueue {
@@ -221,6 +228,68 @@ class QueuePair {
     return wr;
   }
 
+  // --- Error state (fault mode) ---
+  // Transitions the QP to the error state: every queued recv descriptor and
+  // every outstanding (un-acked) send flushes to its CQ as kWrFlushErr, and
+  // all future posts flush immediately. Idempotent. Mirrors IBV_QPS_ERR.
+  void force_error();
+  bool in_error() const { return error_; }
+
+  // --- Requester retransmission state (fault mode; psn 0 = untracked) ---
+  struct Outstanding {
+    SendWr wr;
+    uint64_t psn = 0;
+    int retries = 0;
+  };
+  uint64_t alloc_psn() { return ++next_psn_; }
+  void add_outstanding(const SendWr& wr, uint64_t psn) {
+    outstanding_.push_back(Outstanding{wr, psn, 0});
+  }
+  Outstanding* find_outstanding(uint64_t psn) {
+    for (auto& o : outstanding_) {
+      if (o.psn == psn) {
+        return &o;
+      }
+    }
+    return nullptr;
+  }
+  bool erase_outstanding(uint64_t psn) {
+    for (auto& o : outstanding_) {
+      if (o.psn == psn) {
+        o = outstanding_.back();
+        outstanding_.pop_back();
+        return true;
+      }
+    }
+    return false;
+  }
+  size_t outstanding_count() const { return outstanding_.size(); }
+
+  // --- Responder dedup (fault mode) ---
+  // Ring of recently seen request PSNs so a retransmitted request is
+  // acknowledged without being executed twice. `done == false` marks an
+  // execution still in flight (its duplicate is silently dropped; the
+  // requester retries again later if the eventual ack is lost too).
+  struct SeenPsn {
+    uint64_t psn = 0;  // 0 = empty slot
+    WcStatus status = WcStatus::kSuccess;
+    uint64_t atomic_old = 0;
+    bool done = false;
+  };
+  SeenPsn* responder_find(uint64_t psn) {
+    for (auto& s : seen_) {
+      if (s.psn == psn) {
+        return &s;
+      }
+    }
+    return nullptr;
+  }
+  SeenPsn* responder_insert(uint64_t psn) {
+    SeenPsn& s = seen_[seen_next_++ % seen_.size()];
+    s = SeenPsn{psn, WcStatus::kSuccess, 0, false};
+    return &s;
+  }
+
  private:
   Node* node_;
   QpType type_;
@@ -230,6 +299,11 @@ class QueuePair {
   int peer_node_ = -1;
   uint32_t peer_qpn_ = 0;
   std::deque<RecvWr> recv_queue_;
+  bool error_ = false;
+  uint64_t next_psn_ = 0;
+  std::vector<Outstanding> outstanding_;
+  std::array<SeenPsn, 128> seen_{};
+  size_t seen_next_ = 0;
 };
 
 }  // namespace scalerpc::simrdma

@@ -18,7 +18,7 @@ void unbind_clock(const int64_t* clock) {
 
 namespace {
 // Index must match the bit positions in Category.
-constexpr const char* kCategoryNames[] = {"sched", "nic", "llc", "rpc"};
+constexpr const char* kCategoryNames[] = {"sched", "nic", "llc", "rpc", "fault"};
 
 uint8_t category_bit(Category c) {
   uint8_t bit = 0;

@@ -33,7 +33,8 @@ enum Category : uint32_t {
   kNic = 1u << 1,    // doorbells, QP-cache hit/miss/evict, WQE refetches
   kLlc = 1u << 2,    // DDIO WriteAllocate / WriteUpdate
   kRpc = 1u << 3,    // per-RPC spans and client state transitions
-  kAllCategories = kSched | kNic | kLlc | kRpc,
+  kFault = 1u << 4,  // injected faults, retransmits, QP errors, recovery
+  kAllCategories = kSched | kNic | kLlc | kRpc | kFault,
 };
 
 const char* category_name(Category c);

@@ -2,14 +2,20 @@
 # stdout differs by a single byte. Guards the sweep engine's determinism
 # contract on a real figure benchmark, not just the unit harness.
 #
-# Usage: cmake -DBENCH=<path> -DTHREADS=<n> -DWORKDIR=<dir> -P compare_threads.cmake
+# Usage: cmake -DBENCH=<path> -DTHREADS=<n> -DWORKDIR=<dir>
+#              [-DPREFIX=<name>] -P compare_threads.cmake
+# PREFIX names the scratch files, so several ctest entries can share WORKDIR
+# without clobbering each other under `ctest -j`.
 if(NOT DEFINED BENCH OR NOT DEFINED THREADS OR NOT DEFINED WORKDIR)
   message(FATAL_ERROR "compare_threads.cmake needs -DBENCH, -DTHREADS, -DWORKDIR")
+endif()
+if(NOT DEFINED PREFIX)
+  set(PREFIX compare_threads)
 endif()
 
 execute_process(
   COMMAND ${BENCH} --quick --threads=1
-  OUTPUT_FILE ${WORKDIR}/compare_threads_serial.out
+  OUTPUT_FILE ${WORKDIR}/${PREFIX}_serial.out
   RESULT_VARIABLE serial_rc)
 if(NOT serial_rc EQUAL 0)
   message(FATAL_ERROR "${BENCH} --threads=1 exited with ${serial_rc}")
@@ -17,7 +23,7 @@ endif()
 
 execute_process(
   COMMAND ${BENCH} --quick --threads=${THREADS}
-  OUTPUT_FILE ${WORKDIR}/compare_threads_parallel.out
+  OUTPUT_FILE ${WORKDIR}/${PREFIX}_parallel.out
   RESULT_VARIABLE parallel_rc)
 if(NOT parallel_rc EQUAL 0)
   message(FATAL_ERROR "${BENCH} --threads=${THREADS} exited with ${parallel_rc}")
@@ -25,8 +31,8 @@ endif()
 
 execute_process(
   COMMAND ${CMAKE_COMMAND} -E compare_files
-          ${WORKDIR}/compare_threads_serial.out
-          ${WORKDIR}/compare_threads_parallel.out
+          ${WORKDIR}/${PREFIX}_serial.out
+          ${WORKDIR}/${PREFIX}_parallel.out
   RESULT_VARIABLE diff_rc)
 if(NOT diff_rc EQUAL 0)
   message(FATAL_ERROR

@@ -1,0 +1,147 @@
+// Unit tests for the fault-plan schema (parse + builders) and the
+// injector's deterministic randomness.
+#include <gtest/gtest.h>
+
+#include "src/fault/inject.h"
+#include "src/fault/plan.h"
+
+namespace scalerpc::fault {
+namespace {
+
+TEST(FaultPlan, ParsesEveryVerb) {
+  const char* text = R"(# full schema exercise
+seed 42
+drop p=0.01 from=10us until=2ms src=0 dst=1
+corrupt p=0.5
+delay add=2us from=1ms until=2ms
+nic_slow node=0 factor=4 from=1ms until=2ms
+nic_stall node=2 until=1ms   # factor-0 slowdown
+qp_error node=0 qpn=3 at=1ms
+crash node=1 at=1ms restart=1500us
+)";
+  std::string err;
+  auto plan = FaultPlan::parse(text, &err);
+  ASSERT_TRUE(plan.has_value()) << err;
+  EXPECT_EQ(plan->seed, 42u);
+  ASSERT_EQ(plan->size(), 7u);
+  const auto& r = plan->rules();
+  EXPECT_EQ(r[0].kind, FaultKind::kDrop);
+  EXPECT_DOUBLE_EQ(r[0].probability, 0.01);
+  EXPECT_EQ(r[0].start, usec(10));
+  EXPECT_EQ(r[0].end, msec(2));
+  EXPECT_EQ(r[0].src_node, 0);
+  EXPECT_EQ(r[0].node, 1);
+  EXPECT_EQ(r[1].kind, FaultKind::kCorrupt);
+  EXPECT_EQ(r[1].end, kNever);
+  EXPECT_EQ(r[1].src_node, kAnyNode);
+  EXPECT_EQ(r[2].kind, FaultKind::kDelay);
+  EXPECT_EQ(r[2].extra_ns, usec(2));
+  EXPECT_EQ(r[3].kind, FaultKind::kNicSlow);
+  EXPECT_DOUBLE_EQ(r[3].factor, 4.0);
+  EXPECT_EQ(r[4].kind, FaultKind::kNicSlow);
+  EXPECT_DOUBLE_EQ(r[4].factor, 0.0);  // nic_stall
+  EXPECT_EQ(r[5].kind, FaultKind::kQpError);
+  EXPECT_EQ(r[5].qpn, 3u);
+  EXPECT_EQ(r[5].start, msec(1));
+  EXPECT_EQ(r[6].kind, FaultKind::kCrash);
+  EXPECT_EQ(r[6].start, msec(1));
+  EXPECT_EQ(r[6].end, usec(1500));
+}
+
+TEST(FaultPlan, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(FaultPlan::parse("explode p=1\n", &err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos);
+  EXPECT_FALSE(FaultPlan::parse("drop\n", &err).has_value());  // missing p
+  EXPECT_FALSE(FaultPlan::parse("drop p=1.5\n", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("drop p=0.1 from=xyz\n", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("delay p=0.1\n", &err).has_value());  // no add
+  EXPECT_FALSE(FaultPlan::parse("nic_slow factor=2 until=1ms\n", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("nic_slow node=0 factor=0.5 until=1ms\n", &err)
+                   .has_value());
+  EXPECT_FALSE(FaultPlan::parse("nic_stall node=0\n", &err).has_value());  // no end
+  EXPECT_FALSE(FaultPlan::parse("qp_error node=0\n", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("crash node=0 at=2ms restart=1ms\n", &err)
+                   .has_value());
+  EXPECT_FALSE(FaultPlan::parse("drop p=0.1 junk\n", &err).has_value());
+  EXPECT_FALSE(FaultPlan::parse("seed x\n", &err).has_value());
+}
+
+TEST(FaultPlan, BuildersMatchParsedRules) {
+  FaultPlan built;
+  built.seed = 42;
+  built.drop(0.01, usec(10), msec(2), 0, 1).crash(1, msec(1), usec(1500));
+  auto parsed = FaultPlan::parse(
+      "seed 42\ndrop p=0.01 from=10us until=2ms src=0 dst=1\n"
+      "crash node=1 at=1ms restart=1500us\n");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), built.size());
+  for (size_t i = 0; i < built.size(); ++i) {
+    EXPECT_EQ(parsed->rules()[i].kind, built.rules()[i].kind);
+    EXPECT_EQ(parsed->rules()[i].start, built.rules()[i].start);
+    EXPECT_EQ(parsed->rules()[i].end, built.rules()[i].end);
+  }
+  EXPECT_EQ(built.summary(), parsed->summary());
+}
+
+TEST(FaultPlan, RuleWindowsAndLinkFilters) {
+  FaultRule r;
+  r.start = usec(10);
+  r.end = usec(20);
+  r.src_node = 1;
+  r.node = kAnyNode;
+  EXPECT_FALSE(r.active(usec(9)));
+  EXPECT_TRUE(r.active(usec(10)));
+  EXPECT_FALSE(r.active(usec(20)));  // [start, end)
+  EXPECT_TRUE(r.matches_link(usec(15), 1, 7));
+  EXPECT_FALSE(r.matches_link(usec(15), 2, 7));
+  EXPECT_FALSE(r.matches_link(usec(25), 1, 7));
+}
+
+TEST(FaultInjector, SameSeedSameDecisions) {
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop(0.3);
+  FaultInjector a(plan, /*salt=*/0);
+  FaultInjector b(plan, /*salt=*/0);
+  FaultInjector c(plan, /*salt=*/1);
+  int diverged_salt = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const bool da = a.should_drop(i, 0, 1);
+    EXPECT_EQ(da, b.should_drop(i, 0, 1));
+    diverged_salt += da != c.should_drop(i, 0, 1) ? 1 : 0;
+  }
+  EXPECT_EQ(a.counters().drops, b.counters().drops);
+  EXPECT_GT(a.counters().drops, 200u);  // ~300 expected
+  EXPECT_LT(a.counters().drops, 400u);
+  EXPECT_GT(diverged_salt, 0);  // a different salt is a different realization
+}
+
+TEST(FaultInjector, ScaleCostAndCrashWindows) {
+  FaultPlan plan;
+  plan.nic_slow(0, 4.0, usec(10), usec(20));
+  plan.nic_slow(1, 0.0, usec(10), usec(20));  // stall
+  plan.crash(2, usec(10), usec(20));
+  FaultInjector inj(plan, 0);
+  EXPECT_EQ(inj.scale_cost(usec(5), 0, 100), 100);    // outside window
+  EXPECT_EQ(inj.scale_cost(usec(15), 0, 100), 400);   // x4
+  EXPECT_EQ(inj.scale_cost(usec(15), 3, 100), 100);   // other node
+  // A stalled NIC parks the operation until the window ends.
+  EXPECT_EQ(inj.scale_cost(usec(15), 1, 100), 100 + usec(5));
+  EXPECT_FALSE(inj.node_down(usec(5), 2));
+  EXPECT_TRUE(inj.node_down(usec(15), 2));
+  EXPECT_FALSE(inj.node_down(usec(25), 2));
+  EXPECT_FALSE(inj.node_down(usec(15), 0));
+}
+
+TEST(FaultInjector, DelayAccumulatesAcrossMatchingRules) {
+  FaultPlan plan;
+  plan.delay(500).delay(250, 0, kNever, 0, kAnyNode);
+  FaultInjector inj(plan, 0);
+  EXPECT_EQ(inj.extra_delay(0, 0, 1), 750);
+  EXPECT_EQ(inj.extra_delay(0, 2, 1), 500);  // second rule filters src=0
+  EXPECT_EQ(inj.counters().delayed_packets, 2u);
+}
+
+}  // namespace
+}  // namespace scalerpc::fault

@@ -10,9 +10,11 @@
 #include "src/common/codec.h"
 #include "src/common/rng.h"
 #include "src/dfs/metadata.h"
+#include "src/fault/plan.h"
 #include "src/harness/harness.h"
 #include "src/kv/hashstore.h"
 #include "src/rpc/large_transfer.h"
+#include "src/sim/pool.h"
 #include "src/simrdma/nic.h"
 
 namespace scalerpc {
@@ -251,6 +253,118 @@ INSTANTIATE_TEST_SUITE_P(AllTransports, TransportFuzz,
                          [](const ::testing::TestParamInfo<harness::TransportKind>& i) {
                            return std::string(harness::to_string(i.param));
                          });
+
+// Property test over random fault plans (docs/faults.md): whatever mix of
+// loss, corruption, delay, slowdown, QP errors, and a server crash the plan
+// throws at ScaleRPC, every RPC executes exactly once on the server, no
+// completion is lost silently (every actor finishes), and the sim drains —
+// no coroutine frame or pool block outlives the testbed.
+TEST(Fuzz, RandomFaultPlansExactlyOnceAndDrained) {
+  Rng meta(4242);
+  for (int iter = 0; iter < 5; ++iter) {
+    const uint64_t pool_baseline = sim::BytePool::outstanding_blocks;
+    fault::FaultPlan plan;
+    plan.seed = meta.next() | 1;
+    // Always at least a little loss; layer other faults on at random.
+    plan.drop(0.001 + 0.03 * static_cast<double>(meta.next_below(1000)) / 1000.0);
+    if (meta.next_bool(0.5)) {
+      plan.corrupt(0.02 * static_cast<double>(meta.next_below(1000)) / 1000.0);
+    }
+    if (meta.next_bool(0.5)) {
+      const Nanos from = usec(meta.next_in(200, 400));
+      plan.delay(static_cast<Nanos>(meta.next_in(200, 3000)), from,
+                 from + usec(meta.next_in(50, 200)));
+    }
+    if (meta.next_bool(0.4)) {
+      const Nanos from = usec(meta.next_in(200, 400));
+      plan.nic_slow(static_cast<int>(meta.next_below(3)),
+                    1.0 + static_cast<double>(meta.next_below(6)), from,
+                    from + usec(meta.next_in(50, 200)));
+    }
+    if (meta.next_bool(0.4)) {
+      plan.qp_error(0, static_cast<uint32_t>(meta.next_in(1, 6)),
+                    usec(meta.next_in(200, 500)));
+    }
+    if (meta.next_bool(0.4)) {
+      const Nanos at = usec(meta.next_in(200, 500));
+      plan.crash(0, at, at + usec(meta.next_in(100, 300)));
+    }
+
+    std::unordered_map<uint64_t, int> exec_counts;
+    constexpr int kActors = 6;
+    constexpr int kRounds = 40;
+    constexpr int kBatch = 4;
+    int done = 0;
+    {
+      harness::TestbedConfig cfg;
+      cfg.kind = harness::TransportKind::kScaleRpc;
+      cfg.num_clients = kActors;
+      cfg.num_client_nodes = 2;
+      cfg.rpc.group_size = 3;
+      cfg.rpc.time_slice = usec(40);
+      cfg.rpc.client_timeout = usec(150);
+      cfg.rpc.client_timeout_max = usec(600);
+      cfg.sim.rc_retransmit_timeout_ns = 8000;
+      cfg.sim.rc_retry_count = 5;
+      cfg.faults = &plan;
+      cfg.fault_seed = static_cast<uint64_t>(iter);
+      harness::Testbed bed(cfg);
+      bed.server().handlers().register_handler(
+          1, [&exec_counts](const rpc::RequestContext&,
+                            std::span<const uint8_t> req) {
+            SCALERPC_CHECK(req.size() >= sizeof(uint64_t));
+            uint64_t id = 0;
+            std::memcpy(&id, req.data(), sizeof(id));
+            exec_counts[id]++;
+            rpc::Bytes out(req.begin(), req.end());
+            return rpc::HandlerResult{std::move(out), 0, 80};
+          });
+      bed.server().start();
+
+      auto actor = [](harness::Testbed* b, size_t idx, int* fin) -> sim::Task<void> {
+        for (int round = 0; round < kRounds; ++round) {
+          uint64_t ids[kBatch];
+          for (int i = 0; i < kBatch; ++i) {
+            ids[i] = (static_cast<uint64_t>(idx) << 32) |
+                     static_cast<uint64_t>(round * kBatch + i);
+            rpc::Bytes payload(24, 0);
+            std::memcpy(payload.data(), &ids[i], sizeof(ids[i]));
+            b->client(idx).stage(1, payload);
+          }
+          auto resp = co_await b->client(idx).flush();
+          EXPECT_EQ(resp.size(), static_cast<size_t>(kBatch));
+          for (size_t i = 0; i < resp.size(); ++i) {
+            uint64_t echoed = 0;
+            SCALERPC_CHECK(resp[i].size() >= sizeof(echoed));
+            std::memcpy(&echoed, resp[i].data(), sizeof(echoed));
+            EXPECT_EQ(echoed, ids[i]);
+          }
+        }
+        (*fin)++;
+      };
+      for (size_t c = 0; c < bed.num_clients(); ++c) {
+        sim::spawn(bed.loop(), actor(&bed, c, &done));
+      }
+      const Nanos horizon = bed.loop().now() + 2 * kSecond;
+      while (done < kActors && bed.loop().now() < horizon) {
+        bed.loop().run_for(msec(1));
+      }
+      EXPECT_EQ(done, kActors) << "a completion was lost silently, iter " << iter;
+      bed.loop().run_for(msec(2));  // drain late retransmits and sweeps
+      bed.server().stop();
+      bed.loop().run_for(msec(1));  // let stopped coroutines unwind
+    }
+    EXPECT_EQ(sim::BytePool::outstanding_blocks, pool_baseline)
+        << "leaked coroutine/pool blocks, iter " << iter << " plan: "
+        << plan.summary();
+    EXPECT_EQ(exec_counts.size(),
+              static_cast<size_t>(kActors) * kRounds * kBatch);
+    for (const auto& [id, count] : exec_counts) {
+      EXPECT_EQ(count, 1) << "request executed twice, iter " << iter
+                          << " plan: " << plan.summary();
+    }
+  }
+}
 
 // Large-transfer helpers (Section 5.1) deliver the payload intact.
 TEST(Fuzz, LargeTransfersDeliverBytesIntact) {

@@ -1,0 +1,174 @@
+#!/usr/bin/env python3
+"""Compare two bench --json files within a tolerance.
+
+Every figure bench writes `{"bench": NAME, "rows": [{field: value, ...}]}`
+via --json=PATH. This tool diffs a baseline capture against a candidate:
+rows are matched by position, string/bool fields must be identical, and
+numeric fields may differ by a relative tolerance (--tolerance, default 5%)
+with an absolute floor (--abs-floor) so near-zero counters don't trip the
+relative test. Use --ignore FIELD for legitimately volatile fields.
+
+Exit status: 0 when the files agree, 1 on any mismatch (each printed),
+2 on malformed input.
+
+Typical use — regression-check a committed capture:
+    bench_fig08_throughput --quick --json=/tmp/now.json
+    tools/bench_compare.py BENCH.json /tmp/now.json --tolerance 0.1
+
+`--self-test` runs the built-in checks (wired into ctest as
+bench_compare_selftest) and ignores the positional arguments.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "rows" not in doc or not isinstance(
+        doc["rows"], list
+    ):
+        raise ValueError(f"{path}: not a bench --json file (need a 'rows' list)")
+    return doc
+
+
+def numbers_close(a, b, rel, abs_floor):
+    if abs(a - b) <= abs_floor:
+        return True
+    scale = max(abs(a), abs(b))
+    return abs(a - b) <= rel * scale
+
+
+def compare(base, cand, rel, abs_floor, ignore):
+    """Returns a list of human-readable mismatch strings (empty = equal)."""
+    errors = []
+    if base.get("bench") != cand.get("bench"):
+        errors.append(
+            f"bench name differs: {base.get('bench')!r} vs {cand.get('bench')!r}"
+        )
+    brows, crows = base["rows"], cand["rows"]
+    if len(brows) != len(crows):
+        errors.append(f"row count differs: {len(brows)} vs {len(crows)}")
+    for i, (br, cr) in enumerate(zip(brows, crows)):
+        for key in sorted(set(br) | set(cr)):
+            if key in ignore:
+                continue
+            if key not in br or key not in cr:
+                errors.append(f"row {i}: field {key!r} missing on one side")
+                continue
+            bv, cv = br[key], cr[key]
+            # bool is an int subclass; compare it exactly, not numerically.
+            if isinstance(bv, bool) or isinstance(cv, bool):
+                if bv != cv:
+                    errors.append(f"row {i}: {key} = {bv} vs {cv}")
+            elif isinstance(bv, (int, float)) and isinstance(cv, (int, float)):
+                if not numbers_close(float(bv), float(cv), rel, abs_floor):
+                    errors.append(
+                        f"row {i}: {key} = {bv} vs {cv} "
+                        f"(beyond {rel:.0%} / abs {abs_floor})"
+                    )
+            elif bv != cv:
+                errors.append(f"row {i}: {key} = {bv!r} vs {cv!r}")
+    return errors
+
+
+def self_test():
+    base = {
+        "bench": "demo",
+        "rows": [
+            {"label": "a", "mops": 10.0, "ops": 1000, "ok": True},
+            {"label": "b", "mops": 5.0, "ops": 0, "ok": False},
+        ],
+    }
+    import copy
+
+    # Identical files agree.
+    assert compare(base, copy.deepcopy(base), 0.05, 1e-9, set()) == []
+    # Within relative tolerance.
+    near = copy.deepcopy(base)
+    near["rows"][0]["mops"] = 10.4
+    assert compare(base, near, 0.05, 1e-9, set()) == []
+    # Beyond it.
+    far = copy.deepcopy(base)
+    far["rows"][0]["mops"] = 11.0
+    assert len(compare(base, far, 0.05, 1e-9, set())) == 1
+    # --ignore silences the field.
+    assert compare(base, far, 0.05, 1e-9, {"mops"}) == []
+    # Absolute floor admits small counter jitter around zero.
+    jitter = copy.deepcopy(base)
+    jitter["rows"][1]["ops"] = 2
+    assert len(compare(base, jitter, 0.05, 1e-9, set())) == 1
+    assert compare(base, jitter, 0.05, 2, set()) == []
+    # Bools and strings never get tolerance.
+    flipped = copy.deepcopy(base)
+    flipped["rows"][1]["ok"] = True
+    assert len(compare(base, flipped, 1.0, 1e9, set())) == 1
+    renamed = copy.deepcopy(base)
+    renamed["rows"][0]["label"] = "c"
+    assert len(compare(base, renamed, 1.0, 1e9, set())) == 1
+    # Structural drift is always an error.
+    short = copy.deepcopy(base)
+    short["rows"].pop()
+    assert any("row count" in e for e in compare(base, short, 0.05, 1e-9, set()))
+    missing = copy.deepcopy(base)
+    del missing["rows"][0]["ops"]
+    assert any("missing" in e for e in compare(base, missing, 0.05, 1e-9, set()))
+    print("bench_compare: self-test OK")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Diff two bench --json captures within a tolerance."
+    )
+    ap.add_argument("baseline", nargs="?", help="committed BENCH_*.json capture")
+    ap.add_argument("candidate", nargs="?", help="freshly produced --json file")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative tolerance for numeric fields (default 0.05)",
+    )
+    ap.add_argument(
+        "--abs-floor",
+        type=float,
+        default=1e-9,
+        help="absolute difference always accepted (default 1e-9)",
+    )
+    ap.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="FIELD",
+        help="field name to skip (repeatable)",
+    )
+    ap.add_argument(
+        "--self-test", action="store_true", help="run built-in checks and exit"
+    )
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if args.baseline is None or args.candidate is None:
+        ap.error("need BASELINE and CANDIDATE (or --self-test)")
+    try:
+        base = load(args.baseline)
+        cand = load(args.candidate)
+    except (OSError, ValueError, json.JSONDecodeError) as e:
+        print(f"bench_compare: {e}", file=sys.stderr)
+        return 2
+
+    errors = compare(base, cand, args.tolerance, args.abs_floor, set(args.ignore))
+    if errors:
+        for e in errors:
+            print(f"bench_compare: {e}", file=sys.stderr)
+        print(f"bench_compare: FAIL ({len(errors)} mismatches)", file=sys.stderr)
+        return 1
+    print(f"bench_compare: OK ({len(base['rows'])} rows within tolerance)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

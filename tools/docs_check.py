@@ -45,8 +45,11 @@ def markdown_files(repo):
 def help_flags(binaries):
     flags = set()
     for b in binaries:
+        # Python tools (tools/*.py) are documented too; run them through the
+        # current interpreter so the exec bit / shebang doesn't matter.
+        cmd = [sys.executable, b] if b.endswith(".py") else [b]
         out = subprocess.run(
-            [b, "--help"], capture_output=True, text=True, check=True
+            cmd + ["--help"], capture_output=True, text=True, check=True
         ).stdout
         flags.update(FLAG_RE.findall(out))
     return flags
