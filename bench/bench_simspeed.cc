@@ -6,19 +6,33 @@
 //   * rawwrite/batch1 — NIC QP-cache bound (per-client RC QPs thrash the LRU)
 //   * fasst/batch8    — LLC/DDIO bound (UD pools touch many lines)
 // and reports, per config and in aggregate, how fast the simulator itself
-// runs: events/sec of wall time and simulated Mops per wall-second. The
-// workload (clients, batch, window, seed) is pinned so numbers are
-// comparable across commits; CI trends come from the --json output
-// (committed as BENCH_simspeed.json at the repo root).
+// runs: events/sec of wall time, simulated Mops per wall-second, and the
+// config's peak RSS. Each serial config is measured in a forked child
+// process (where fork exists), so peak RSS is per-config instead of a
+// process-wide high-water mark; determinism makes the child's event counts
+// identical to an in-process run. The workload (clients, batch, window,
+// seed) is pinned so numbers are comparable across commits; CI trends come
+// from the --json output (committed as BENCH_simspeed.json at the repo
+// root and regression-checked by tools/bench_compare.py).
 //
-// A second pass re-runs the same config×repeat grid through the parallel
-// sweep engine (src/harness/sweep.h) and reports the serial-vs-parallel
-// wall-time ratio — the speedup every figure bench gets from --threads=N.
+// Two more passes exercise the sweep machinery itself:
+//   * WARM_START — repeats of one config via the copy-on-write snapshot
+//     (src/harness/sweep.h): one warmup, forked measurement phases; the
+//     row reports warm-vs-cold wall time and asserts identical results.
+//   * PARALLEL_SWEEP — the config×repeat grid through worker threads; the
+//     speedup is flagged invalid on single-core machines (speedup_valid),
+//     where it only measures scheduling overhead.
+#include <algorithm>
 #include <chrono>
+#include <cstring>
 
 #include "bench/bench_common.h"
 #include "src/harness/harness.h"
 #include "src/harness/sweep.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
@@ -38,7 +52,30 @@ struct SpeedRow {
   double wall_s = 0.0;
 };
 
+// Serial-pass result: best-of-N timing plus the measuring process's peak
+// RSS (trivially copyable; crosses the fork pipe as raw bytes).
+struct ConfigResult {
+  SpeedRow best;
+  uint64_t peak_rss_kb = 0;
+};
+
 constexpr int kRepeats = 3;
+
+uint64_t peak_rss_kb_self() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<uint64_t>(ru.ru_maxrss);  // KB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
 
 SpeedRow measure_once(const Config& c, uint64_t seed, bool quick) {
   TestbedConfig cfg;
@@ -80,6 +117,47 @@ SpeedRow measure(const Config& c, uint64_t seed, bool quick) {
   return best;
 }
 
+ConfigResult measure_config(const Config& c, uint64_t seed, bool quick) {
+  ConfigResult r;
+  r.best = measure(c, seed, quick);
+  r.peak_rss_kb = peak_rss_kb_self();
+  return r;
+}
+
+// Warm-start pass state: one warmed simulation whose measurement phase each
+// forked point replays (same shape as tests/integration/warmstart_test.cc).
+struct BenchWarmState {
+  BenchWarmState(const Config& c, uint64_t seed, bool quick) {
+    TestbedConfig cfg;
+    cfg.kind = c.kind;
+    cfg.num_clients = c.clients;
+    cfg.num_client_nodes = 11;
+    bed = std::make_unique<Testbed>(cfg);
+    EchoWorkload wl;
+    wl.batch = c.batch;
+    wl.seed = seed;
+    wl.warmup = usec(600);
+    wl.measure = quick ? msec(2) : msec(8);
+    events_at_snapshot = bed->loop().events_processed();
+    driver = std::make_unique<EchoDriver>(*bed, wl);
+  }
+  std::unique_ptr<Testbed> bed;
+  std::unique_ptr<EchoDriver> driver;
+  uint64_t events_at_snapshot = 0;
+};
+
+SpeedRow warm_point(BenchWarmState& s) {
+  const uint64_t events_before = s.bed->loop().events_processed();
+  const auto wall_start = std::chrono::steady_clock::now();
+  EchoResult res = s.driver->measure();
+  const auto wall_end = std::chrono::steady_clock::now();
+  SpeedRow row;
+  row.events = s.bed->loop().events_processed() - events_before;
+  row.ops = res.ops;
+  row.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
+  return row;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,26 +171,45 @@ int main(int argc, char** argv) {
 
   bench::header("Simulator speed: wall-clock events/sec on a Fig-8 workload",
                 "infrastructure benchmark (no paper figure)");
-  std::printf("%-14s%-14s%-12s%-16s%-16s\n", "config", "events", "wall_ms",
-              "events/sec", "sim-Mops/wall-s");
+  std::printf("%-14s%-14s%-12s%-16s%-16s%-12s\n", "config", "events", "wall_ms",
+              "events/sec", "sim-Mops/wall-s", "peak_rss_mb");
 
   bench::JsonRows json;
   uint64_t total_events = 0;
   uint64_t total_ops = 0;
   double total_wall = 0.0;
-  SpeedRow serial_best[kNumConfigs];
+  uint64_t max_rss_kb = 0;
+  ConfigResult serial[kNumConfigs];
   // Wall-clock the whole serial pass (the parallel pass below runs the same
   // config×repeat grid, so both include testbed construction/teardown —
-  // measure_once's internal wall deliberately excludes it).
+  // measure_once's internal wall deliberately excludes it). Each config runs
+  // in its own forked child where possible so peak RSS is per-config; the
+  // parent stays small, keeping the children's inherited baseline low.
   const auto serial_start = std::chrono::steady_clock::now();
+  if (internal::fork_supported()) {
+    internal::run_forked(
+        kNumConfigs, sizeof(ConfigResult), /*threads=*/1,
+        [&](size_t ci, void* dst) {
+          const ConfigResult r = measure_config(configs[ci], opt.seed, opt.quick);
+          std::memcpy(dst, &r, sizeof(r));
+        },
+        reinterpret_cast<uint8_t*>(serial));
+  } else {
+    for (size_t ci = 0; ci < kNumConfigs; ++ci) {
+      serial[ci] = measure_config(configs[ci], opt.seed, opt.quick);
+    }
+  }
+  const double serial_sweep_wall = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - serial_start).count();
+
   for (size_t ci = 0; ci < kNumConfigs; ++ci) {
     const Config& c = configs[ci];
-    const SpeedRow row = measure(c, opt.seed, opt.quick);
-    serial_best[ci] = row;
+    const SpeedRow& row = serial[ci].best;
+    const double rss_mb = static_cast<double>(serial[ci].peak_rss_kb) / 1024.0;
     const double eps = static_cast<double>(row.events) / row.wall_s;
     const double mops_per_s = static_cast<double>(row.ops) / row.wall_s / 1e6;
-    std::printf("%-14s%-14" PRIu64 "%-12.1f%-16.3g%-16.3g\n", c.name, row.events,
-                row.wall_s * 1e3, eps, mops_per_s);
+    std::printf("%-14s%-14" PRIu64 "%-12.1f%-16.3g%-16.3g%-12.1f\n", c.name,
+                row.events, row.wall_s * 1e3, eps, mops_per_s, rss_mb);
     json.begin_row();
     json.field("config", c.name);
     json.field("clients", c.clients);
@@ -123,17 +220,18 @@ int main(int argc, char** argv) {
     json.field("wall_s", row.wall_s);
     json.field("events_per_sec", eps);
     json.field("sim_mops_per_wall_s", mops_per_s);
+    json.field("peak_rss_mb", rss_mb);
     total_events += row.events;
     total_ops += row.ops;
     total_wall += row.wall_s;
+    max_rss_kb = std::max(max_rss_kb, serial[ci].peak_rss_kb);
   }
-  const double serial_sweep_wall = std::chrono::duration<double>(
-      std::chrono::steady_clock::now() - serial_start).count();
 
   const double agg_eps = static_cast<double>(total_events) / total_wall;
-  std::printf("%-14s%-14" PRIu64 "%-12.1f%-16.3g%-16.3g\n", "TOTAL", total_events,
-              total_wall * 1e3, agg_eps,
-              static_cast<double>(total_ops) / total_wall / 1e6);
+  const double max_rss_mb = static_cast<double>(max_rss_kb) / 1024.0;
+  std::printf("%-14s%-14" PRIu64 "%-12.1f%-16.3g%-16.3g%-12.1f\n", "TOTAL",
+              total_events, total_wall * 1e3, agg_eps,
+              static_cast<double>(total_ops) / total_wall / 1e6, max_rss_mb);
   json.begin_row();
   json.field("config", "TOTAL");
   json.field("events", total_events);
@@ -141,6 +239,56 @@ int main(int argc, char** argv) {
   json.field("wall_s", total_wall);
   json.field("events_per_sec", agg_eps);
   json.field("sim_mops_per_wall_s", static_cast<double>(total_ops) / total_wall / 1e6);
+  json.field("peak_rss_mb", max_rss_mb);
+
+  // Warm-start pass: kRepeats measurement phases of the flagship config,
+  // forked from ONE warmed snapshot, against the cold equivalent that
+  // replays construction+warmup per repeat. Identical results are asserted;
+  // the wall ratio is what figure sweeps with shared warmups save.
+  {
+    const Config& c = configs[0];
+    std::vector<std::function<SpeedRow(BenchWarmState&)>> points(
+        kRepeats, [](BenchWarmState& s) { return warm_point(s); });
+    auto warmup = [&c, &opt] {
+      return std::make_unique<BenchWarmState>(c, opt.seed, opt.quick);
+    };
+    WarmStartOptions cold_opt;
+    cold_opt.force_cold = true;
+    const auto cold_start = std::chrono::steady_clock::now();
+    const auto cold = warm_start_sweep<BenchWarmState, SpeedRow>(warmup, points,
+                                                                 cold_opt);
+    const double cold_wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - cold_start).count();
+
+    WarmStartOptions warm_opt;  // forked, one child at a time
+    const bool warm_forked = internal::fork_supported();
+    const auto warm_start = std::chrono::steady_clock::now();
+    const auto warm = warm_start_sweep<BenchWarmState, SpeedRow>(warmup, points,
+                                                                 warm_opt);
+    const double warm_wall = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - warm_start).count();
+
+    for (int r = 0; r < kRepeats; ++r) {
+      SCALERPC_CHECK_MSG(warm[static_cast<size_t>(r)].events ==
+                                 cold[static_cast<size_t>(r)].events &&
+                             warm[static_cast<size_t>(r)].ops ==
+                                 cold[static_cast<size_t>(r)].ops,
+                         "warm-started repeat diverged from cold run");
+    }
+    std::printf("\nwarm start (%s x%d): cold %.1f ms, warm %.1f ms (%.2fx, %s)\n",
+                c.name, kRepeats, cold_wall * 1e3, warm_wall * 1e3,
+                cold_wall / warm_wall,
+                warm_forked ? "forked snapshot" : "cold fallback");
+    json.begin_row();
+    json.field("config", "WARM_START");
+    json.field("points", kRepeats);
+    json.field("events", warm[0].events);
+    json.field("sim_ops", warm[0].ops);
+    json.field("cold_wall_s", cold_wall);
+    json.field("warm_wall_s", warm_wall);
+    json.field("warm_forked", warm_forked);
+    json.field("identical_to_cold", true);  // CHECKed above
+  }
 
   // Parallel pass: the same config×repeat grid, but as one Sweep. Each task
   // is an independent simulation instance; the engine fans them out across
@@ -167,19 +315,24 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(par_end - par_start).count();
   for (size_t ci = 0; ci < kNumConfigs; ++ci) {
     for (int r = 0; r < kRepeats; ++r) {
-      SCALERPC_CHECK(par_rows[ci][r].events == serial_best[ci].events &&
-                     par_rows[ci][r].ops == serial_best[ci].ops);
+      SCALERPC_CHECK(par_rows[ci][r].events == serial[ci].best.events &&
+                     par_rows[ci][r].ops == serial[ci].best.ops);
     }
   }
   const double speedup = serial_sweep_wall / parallel_wall;
+  // On a single hardware thread the "speedup" only measures scheduling
+  // overhead (typically ~1.0x); flag it so bench_compare.py doesn't diff it
+  // against a capture from a multi-core machine as a regression.
+  const bool speedup_valid = threads > 1;
 
   std::printf("\nparallel sweep: %zu tasks (%zu configs x %d repeats) on %d "
               "thread%s\n",
               num_tasks, kNumConfigs, kRepeats, threads, threads == 1 ? "" : "s");
   std::printf("%-20s%-20s%-10s\n", "serial_wall_ms", "parallel_wall_ms",
               "speedup");
-  std::printf("%-20.1f%-20.1f%.2fx\n", serial_sweep_wall * 1e3,
-              parallel_wall * 1e3, speedup);
+  std::printf("%-20.1f%-20.1f%.2fx%s\n", serial_sweep_wall * 1e3,
+              parallel_wall * 1e3, speedup,
+              speedup_valid ? "" : " (single thread: not meaningful)");
   json.begin_row();
   json.field("config", "PARALLEL_SWEEP");
   json.field("threads", threads);
@@ -187,6 +340,7 @@ int main(int argc, char** argv) {
   json.field("serial_wall_s", serial_sweep_wall);
   json.field("parallel_wall_s", parallel_wall);
   json.field("speedup", speedup);
+  json.field("speedup_valid", speedup_valid);
   if (!json.write_file(opt.json_path, "simspeed")) {
     return 1;
   }

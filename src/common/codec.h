@@ -9,8 +9,13 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/sim/pool.h"
 
 namespace scalerpc {
+
+// Writers build RPC payloads at per-op rate, so the backing vector draws
+// from the thread-local freelists (same type as rpc::Bytes — take() moves).
+using CodecBytes = std::vector<uint8_t, sim::PoolAllocator<uint8_t>>;
 
 class Writer {
  public:
@@ -27,15 +32,15 @@ class Writer {
     bytes(std::span(reinterpret_cast<const uint8_t*>(s.data()), s.size()));
   }
 
-  std::vector<uint8_t> take() { return std::move(buf_); }
-  const std::vector<uint8_t>& view() const { return buf_; }
+  CodecBytes take() { return std::move(buf_); }
+  const CodecBytes& view() const { return buf_; }
 
  private:
   void append(const void* p, size_t n) {
     const auto* b = static_cast<const uint8_t*>(p);
     buf_.insert(buf_.end(), b, b + n);
   }
-  std::vector<uint8_t> buf_;
+  CodecBytes buf_;
 };
 
 class Reader {
@@ -47,11 +52,11 @@ class Reader {
   uint32_t u32() { return take<uint32_t>(); }
   uint64_t u64() { return take<uint64_t>(); }
   int64_t i64() { return take<int64_t>(); }
-  std::vector<uint8_t> bytes() {
+  CodecBytes bytes() {
     const uint32_t n = u32();
     SCALERPC_CHECK(pos_ + n <= data_.size());
-    std::vector<uint8_t> out(data_.begin() + static_cast<long>(pos_),
-                             data_.begin() + static_cast<long>(pos_ + n));
+    CodecBytes out(data_.begin() + static_cast<long>(pos_),
+                   data_.begin() + static_cast<long>(pos_ + n));
     pos_ += n;
     return out;
   }

@@ -1,0 +1,112 @@
+// Lazily-committed zero-initialized memory.
+//
+// Big, sparsely-touched model state — per-node host-memory arenas, the
+// LLC's direct-mapped line index — is *addressable* at full size but
+// typically touches a small fraction of it. Backing it with anonymous
+// private mmap pages makes the untouched remainder free: no RSS, no
+// construction-time memset (a 12-node testbed used to zero ~a gigabyte of
+// vectors before the first event fired). Pages are demand-zeroed by the
+// kernel on first touch, and because the mapping is private, a fork()ed
+// warm-start child (src/harness/sweep.h) shares the committed pages
+// copy-on-write with its parent.
+#ifndef SRC_COMMON_LAZY_MEM_H_
+#define SRC_COMMON_LAZY_MEM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#define SCALERPC_LAZY_MEM_MMAP 1
+#endif
+
+#include "src/common/logging.h"
+
+namespace scalerpc {
+
+// A fixed-size byte range that reads as all-zero until written. Not
+// resizable: size is chosen once, at construction.
+class LazyBytes {
+ public:
+  explicit LazyBytes(size_t size) : size_(size) {
+    if (size_ == 0) {
+      data_ = nullptr;
+      return;
+    }
+#ifdef SCALERPC_LAZY_MEM_MMAP
+    void* p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    SCALERPC_CHECK_MSG(p != MAP_FAILED, "mmap failed for lazy arena");
+    data_ = static_cast<uint8_t*>(p);
+#else
+    data_ = new uint8_t[size_]();
+#endif
+  }
+  ~LazyBytes() {
+    if (data_ == nullptr) {
+      return;
+    }
+#ifdef SCALERPC_LAZY_MEM_MMAP
+    ::munmap(data_, size_);
+#else
+    delete[] data_;
+#endif
+  }
+  LazyBytes(const LazyBytes&) = delete;
+  LazyBytes& operator=(const LazyBytes&) = delete;
+  LazyBytes(LazyBytes&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  LazyBytes& operator=(LazyBytes&&) = delete;
+
+  uint8_t* data() { return data_; }
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  // Returns the range to all-zero, dropping committed pages back to the
+  // kernel where the platform allows it (anonymous private mappings
+  // re-zero on next touch).
+  void reset() {
+    if (data_ == nullptr) {
+      return;
+    }
+#if defined(SCALERPC_LAZY_MEM_MMAP) && defined(MADV_DONTNEED)
+    ::madvise(data_, size_, MADV_DONTNEED);
+#else
+    std::memset(data_, 0, size_);
+#endif
+  }
+
+ private:
+  uint8_t* data_;
+  size_t size_;
+};
+
+// Typed view over LazyBytes for flat index tables. T must be trivially
+// copyable and treat all-zero as its empty/initial value.
+template <typename T>
+class LazyArray {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+ public:
+  explicit LazyArray(size_t count) : bytes_(count * sizeof(T)), count_(count) {}
+
+  T* data() { return reinterpret_cast<T*>(bytes_.data()); }
+  const T* data() const { return reinterpret_cast<const T*>(bytes_.data()); }
+  T& operator[](size_t i) { return data()[i]; }
+  const T& operator[](size_t i) const { return data()[i]; }
+  size_t size() const { return count_; }
+  void reset() { bytes_.reset(); }
+
+ private:
+  LazyBytes bytes_;
+  size_t count_;
+};
+
+}  // namespace scalerpc
+
+#endif  // SRC_COMMON_LAZY_MEM_H_

@@ -159,19 +159,41 @@ sim::Task<void> echo_client(sim::EventLoop* loop, rpc::RpcClient* client,
 
 }  // namespace
 
-EchoResult run_echo(Testbed& bed, const EchoWorkload& wl) {
-  auto& loop = bed.loop();
-  bed.server().handlers().register_handler(0, rpc::make_echo_handler(wl.handler_cpu));
-  bed.server().start();
-
+// The driver copies the workload: client coroutines hold a pointer to it
+// across suspension, and the caller's copy need not outlive the driver.
+struct EchoDriver::Impl {
+  Impl(Testbed& b, const EchoWorkload& w) : bed(b), wl(w) {}
+  Testbed& bed;
+  EchoWorkload wl;
   DriverState st;
+  bool measured = false;
+};
+
+EchoDriver::EchoDriver(Testbed& bed, const EchoWorkload& wl)
+    : impl_(std::make_unique<Impl>(bed, wl)) {
+  auto& loop = bed.loop();
+  bed.server().handlers().register_handler(0,
+                                           rpc::make_echo_handler(wl.handler_cpu));
+  bed.server().start();
   for (size_t c = 0; c < bed.num_clients(); ++c) {
     const Nanos think =
         c < wl.per_client_think.size() ? wl.per_client_think[c] : 0;
-    sim::spawn(loop, echo_client(&loop, &bed.client(c), &wl, c, think, &st));
+    sim::spawn(loop,
+               echo_client(&loop, &bed.client(c), &impl_->wl, c, think, &impl_->st));
   }
-
   loop.run_for(wl.warmup);
+}
+
+EchoDriver::~EchoDriver() = default;
+
+EchoResult EchoDriver::measure() {
+  SCALERPC_CHECK_MSG(!impl_->measured, "measure() may only run once");
+  impl_->measured = true;
+  Testbed& bed = impl_->bed;
+  auto& loop = bed.loop();
+  DriverState& st = impl_->st;
+  const EchoWorkload& wl = impl_->wl;
+
   const auto pcm0 = bed.server_node()->pcm_total();
   const auto nic0 = bed.server_node()->nic().counters();
   st.measuring = true;
@@ -212,6 +234,11 @@ EchoResult run_echo(Testbed& bed, const EchoWorkload& wl) {
     sink->set_latency(latency_summary(result.batch_latency));
   }
   return result;
+}
+
+EchoResult run_echo(Testbed& bed, const EchoWorkload& wl) {
+  EchoDriver driver(bed, wl);
+  return driver.measure();
 }
 
 }  // namespace scalerpc::harness

@@ -102,8 +102,30 @@ struct EchoResult {
   uint64_t server_dup_rpcs = 0;
 };
 
+// Runs the echo workload in two phases around an explicit snapshot point:
+// construction registers the handler, starts the server, spawns every
+// client driver, and runs the warmup window; measure() runs the
+// measurement window and collects the result. Splitting the phases lets
+// warm-started sweeps snapshot a fully warmed simulation (fork +
+// copy-on-write, src/harness/sweep.h) and pay only the measurement phase
+// per point. measure() must be called exactly once.
+class EchoDriver {
+ public:
+  EchoDriver(Testbed& bed, const EchoWorkload& wl);
+  ~EchoDriver();
+  EchoDriver(const EchoDriver&) = delete;
+  EchoDriver& operator=(const EchoDriver&) = delete;
+
+  EchoResult measure();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 // Registers an echo handler, starts the server, drives all clients in a
-// closed loop, and measures over the configured window.
+// closed loop, and measures over the configured window. Equivalent to
+// EchoDriver(bed, wl).measure().
 EchoResult run_echo(Testbed& bed, const EchoWorkload& wl);
 
 }  // namespace scalerpc::harness

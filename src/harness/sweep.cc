@@ -1,11 +1,20 @@
 #include "src/harness/sweep.h"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <deque>
 #include <thread>
 #include <utility>
 
 #include "src/common/logging.h"
 #include "src/sim/pool.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define SCALERPC_SWEEP_FORK 1
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 namespace scalerpc::harness {
 
@@ -79,5 +88,114 @@ void Sweep::run(int threads) {
   }
   tasks_.clear();
 }
+
+namespace internal {
+
+bool fork_supported() {
+#ifdef SCALERPC_SWEEP_FORK
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef SCALERPC_SWEEP_FORK
+
+namespace {
+void read_exact(int fd, uint8_t* dst, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, dst + got, n - got);
+    if (r < 0) {
+      SCALERPC_CHECK_MSG(errno == EINTR, "warm-start pipe read failed");
+      continue;
+    }
+    SCALERPC_CHECK_MSG(r != 0, "warm-start child exited before writing its result");
+    got += static_cast<size_t>(r);
+  }
+}
+}  // namespace
+
+void run_forked(size_t n, size_t result_bytes, int threads,
+                const std::function<void(size_t, void*)>& job, uint8_t* results) {
+  // The child must be able to write its whole result and _exit without the
+  // parent draining concurrently, so it has to fit any pipe buffer.
+  SCALERPC_CHECK_MSG(result_bytes > 0 && result_bytes <= 4096,
+                     "warm-start result must fit the pipe buffer");
+  if (threads < 1) {
+    threads = 1;
+  }
+  struct Child {
+    pid_t pid;
+    int fd;
+    size_t index;
+  };
+  std::deque<Child> live;
+  auto reap_front = [&] {
+    const Child c = live.front();
+    live.pop_front();
+    read_exact(c.fd, results + c.index * result_bytes, result_bytes);
+    ::close(c.fd);
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(c.pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+    SCALERPC_CHECK(r == c.pid);
+    SCALERPC_CHECK_MSG(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+                       "warm-start child failed");
+  };
+
+  std::vector<uint8_t> buf(result_bytes);
+  for (size_t i = 0; i < n; ++i) {
+    if (live.size() >= static_cast<size_t>(threads)) {
+      reap_front();
+    }
+    int fds[2];
+    SCALERPC_CHECK(::pipe(fds) == 0);
+    // Pending buffered output would be duplicated into (and later flushed
+    // by) nothing — children _exit — but flushing here keeps parent output
+    // ordered around the forked section either way.
+    std::fflush(stdout);
+    std::fflush(stderr);
+    const pid_t pid = ::fork();
+    SCALERPC_CHECK_MSG(pid >= 0, "fork failed");
+    if (pid == 0) {
+      ::close(fds[0]);
+      job(i, buf.data());
+      size_t put = 0;
+      while (put < result_bytes) {
+        const ssize_t w = ::write(fds[1], buf.data() + put, result_bytes - put);
+        if (w < 0 && errno == EINTR) {
+          continue;
+        }
+        if (w <= 0) {
+          ::_exit(2);
+        }
+        put += static_cast<size_t>(w);
+      }
+      ::close(fds[1]);
+      // _exit, not exit: the child shares the parent's warmed heap and must
+      // not run static destructors or flush inherited stdio buffers.
+      ::_exit(0);
+    }
+    ::close(fds[1]);
+    live.push_back(Child{pid, fds[0], i});
+  }
+  while (!live.empty()) {
+    reap_front();
+  }
+}
+
+#else  // !SCALERPC_SWEEP_FORK
+
+void run_forked(size_t, size_t, int, const std::function<void(size_t, void*)>&,
+                uint8_t*) {
+  SCALERPC_CHECK_MSG(false, "fork-based warm start unsupported on this platform");
+}
+
+#endif
+
+}  // namespace internal
 
 }  // namespace scalerpc::harness

@@ -18,11 +18,15 @@
 #include <vector>
 
 #include "src/common/logging.h"
+#include "src/sim/pool.h"
 #include "src/simrdma/memory.h"
 
 namespace scalerpc::rpc {
 
-using Bytes = std::vector<uint8_t>;
+// Pool-backed: request/response buffers are created at per-op rate on the
+// hot path, so they draw from the same thread-local freelists as coroutine
+// frames and packet payloads instead of malloc (see src/sim/pool.h).
+using Bytes = std::vector<uint8_t, sim::PoolAllocator<uint8_t>>;
 
 constexpr uint32_t kTailBytes = 5;    // MsgLen:4 + Valid:1
 constexpr uint32_t kHeaderBytes = 2;  // op:1 + flags:1

@@ -110,6 +110,12 @@ void EventLoop::call_at(Nanos at, std::function<void()> fn) {
 }
 
 void EventLoop::enqueue(uint32_t idx) {
+  // While firing a batch every new event satisfies at >= now_ == next_at_,
+  // so this branch only trips for schedules placed between run_until()
+  // calls that undercut the remembered next event.
+  if (hot_ && pool_[idx].at < next_at_) {
+    hot_ = false;
+  }
   if (pool_[idx].at - cursor_ >= kSpan) {
     overflow_push(idx);
   } else {
@@ -280,10 +286,9 @@ bool EventLoop::settle(Nanos bound) {
   }
 }
 
-bool EventLoop::fire_next(Nanos bound) {
-  if (!settle(bound)) {
-    return false;
-  }
+// Detaches the head of the level-0 slot holding the next event (settle()
+// must have succeeded, or hot_ must hold). Returns the pool index.
+uint32_t EventLoop::pop_next_item() {
   const int slot = static_cast<int>(static_cast<uint64_t>(next_at_) & 255);
   Slot& s = wheel_[0][static_cast<size_t>(slot)];
   const uint32_t idx = s.head;
@@ -294,6 +299,18 @@ bool EventLoop::fire_next(Nanos bound) {
   }
   level_size_[0]--;
   size_--;
+  return idx;
+}
+
+bool EventLoop::fire_next(Nanos bound) {
+  if (hot_) {
+    if (next_at_ > bound) {
+      return false;
+    }
+  } else if (!settle(bound)) {
+    return false;
+  }
+  const uint32_t idx = pop_next_item();
   const Item it = pool_[idx];
   free_item(idx);
   now_ = cursor_ = it.at;
@@ -317,6 +334,10 @@ bool EventLoop::fire_next(Nanos bound) {
     fn_free_.push_back(it.fn_idx);
     fn();
   }
+  // Re-read the slot after the callback: anything still (or newly) queued
+  // there fires at exactly next_at_ — every item in a level-0 slot shares
+  // one timestamp — so the next fire_next() can skip settle().
+  hot_ = wheel_[0][static_cast<size_t>(static_cast<uint64_t>(it.at) & 255)].head != kNil;
   return true;
 }
 

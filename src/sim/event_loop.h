@@ -131,6 +131,7 @@ class EventLoop {
   // level-0 slot). Never advances cursor_ past `bound`.
   bool settle(Nanos bound);
   bool fire_next(Nanos bound);
+  uint32_t pop_next_item();
 
   void overflow_push(uint32_t idx);
   uint32_t overflow_pop();
@@ -147,6 +148,15 @@ class EventLoop {
   uint64_t events_processed_ = 0;
   size_t size_ = 0;        // total pending (wheel + overflow)
   Nanos next_at_ = 0;      // valid after settle() returns true
+  // Batch fast path: true iff the earliest pending event is known to sit at
+  // the head of level-0 slot (next_at_ & 255) at time next_at_, so the next
+  // fire can skip settle() entirely. Set after firing when the slot still
+  // holds items: every item in a level-0 slot shares one timestamp, so a
+  // same-timestamp run dispatches with one branch per event. Events newly
+  // scheduled at now_ during the batch land in the same slot in seq order
+  // and keep the claim true; an external schedule below next_at_ (only
+  // possible between run_until() calls) clears it.
+  bool hot_ = false;
 
   std::vector<Item> pool_;
   uint32_t free_head_ = kNil;

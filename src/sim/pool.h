@@ -95,6 +95,24 @@ struct BytePool {
   }
 };
 
+// Minimal allocator adapter so std::vector hot-path transients (RPC
+// request/response buffers, see rpc::Bytes) draw from the same freelists.
+// Stateless: all instances share the calling thread's BytePool.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>&) {}
+  T* allocate(size_t n) {
+    return static_cast<T*>(BytePool::alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) { BytePool::release(p, n * sizeof(T)); }
+  friend bool operator==(const PoolAllocator&, const PoolAllocator&) {
+    return true;
+  }
+};
+
 // A move-only byte buffer backed by BytePool. Replaces std::vector<uint8_t>
 // for packet payloads. resize() does NOT zero-fill grown bytes — every user
 // fills the buffer completely right after sizing it (memory loads, memcpy).

@@ -1,6 +1,7 @@
 #include "src/simrdma/llc.h"
 
 #include "src/common/logging.h"
+#include "src/simrdma/memory.h"
 
 namespace scalerpc::simrdma {
 
@@ -8,28 +9,37 @@ LastLevelCache::LastLevelCache(const SimParams& params)
     : params_(params),
       capacity_lines_(params.derived_llc_lines()),
       ddio_capacity_lines_(params.derived_ddio_lines()),
-      index_(capacity_lines_),
-      slot_line_(capacity_lines_),
-      links_(capacity_lines_),
-      partition_(capacity_lines_, Partition::kGeneral) {
+      // The direct map spans every address the model can touch: the
+      // registered arena ends at kMemoryBase + host_memory_bytes, and the
+      // sub-base range [0, kMemoryBase) is kept addressable for unit tests
+      // that exercise the LLC with raw scratch addresses.
+      addr_limit_(kMemoryBase + params.host_memory_bytes),
+      line_map_(addr_limit_ / kCacheLineSize) {
   SCALERPC_CHECK(capacity_lines_ > 0);
   SCALERPC_CHECK(ddio_capacity_lines_ > 0);
-  free_.reserve(capacity_lines_);
-  for (uint64_t i = capacity_lines_; i > 0; --i) {
-    free_.push_back(static_cast<uint32_t>(i - 1));
-  }
 }
 
 uint32_t LastLevelCache::take_free_slot(uint64_t line) {
-  const uint32_t slot = free_.back();
-  free_.pop_back();
+  uint32_t slot;
+  if (!free_.empty()) {
+    slot = free_.back();
+    free_.pop_back();
+  } else {
+    // Grow the pool on demand. Fresh ids come out sequentially, exactly as
+    // the old preallocated descending free list handed them out, so the
+    // slot-id sequence (and with it LRU replacement order) is unchanged.
+    slot = static_cast<uint32_t>(slot_line_.size());
+    slot_line_.push_back(0);
+    links_.push_back(LruLink{});
+    partition_.push_back(Partition::kGeneral);
+  }
   slot_line_[slot] = line;
-  index_.insert(line, slot);
+  line_map_[line / kCacheLineSize] = slot + 1;
   return slot;
 }
 
 void LastLevelCache::release_slot(uint32_t slot) {
-  index_.erase(slot_line_[slot]);
+  line_map_[slot_line_[slot] / kCacheLineSize] = 0;
   free_.push_back(slot);
 }
 
@@ -83,13 +93,21 @@ void LastLevelCache::promote_to_general(uint32_t slot) {
 }
 
 void LastLevelCache::clear() {
-  index_.clear();
+  // Un-map only the resident lines (walking both LRUs) rather than
+  // re-zeroing the whole direct map: resident count is bounded by use, the
+  // map by the address span.
+  for (uint32_t s = general_lru_.front(); s != kLruNil; s = links_[s].next) {
+    line_map_[slot_line_[s] / kCacheLineSize] = 0;
+  }
+  for (uint32_t s = ddio_lru_.front(); s != kLruNil; s = links_[s].next) {
+    line_map_[slot_line_[s] / kCacheLineSize] = 0;
+  }
   general_lru_.clear();
   ddio_lru_.clear();
+  slot_line_.clear();
+  links_.clear();
+  partition_.clear();
   free_.clear();
-  for (uint64_t i = capacity_lines_; i > 0; --i) {
-    free_.push_back(static_cast<uint32_t>(i - 1));
-  }
 }
 
 }  // namespace scalerpc::simrdma

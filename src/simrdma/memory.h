@@ -15,6 +15,7 @@
 #include <span>
 #include <vector>
 
+#include "src/common/lazy_mem.h"
 #include "src/common/logging.h"
 #include "src/common/units.h"
 
@@ -25,7 +26,9 @@ constexpr uint64_t kMemoryBase = 0x100000;
 
 class HostMemory {
  public:
-  explicit HostMemory(uint64_t size_bytes) : data_(size_bytes, 0) {}
+  // The arena is lazily committed: a 64 MiB node costs pages only where
+  // bytes are actually written, and construction does no zeroing.
+  explicit HostMemory(uint64_t size_bytes) : data_(size_bytes) {}
 
   uint64_t base() const { return kMemoryBase; }
   uint64_t size() const { return data_.size(); }
@@ -84,7 +87,7 @@ class HostMemory {
     uint64_t hi;
   };
 
-  std::vector<uint8_t> data_;
+  LazyBytes data_;
   // Flat, id-ascending (= registration order, matching the previous
   // std::map's firing order). The set is small and long-lived while
   // dma_store runs millions of times, so the overlap scan walks a dense

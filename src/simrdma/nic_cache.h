@@ -37,6 +37,14 @@ class NicCache {
   // Looks up `key`, inserting it (and evicting the LRU entry if full) on a
   // miss. Returns true on hit.
   bool access(uint64_t key) {
+    // MRU short-circuit: grouped traffic touches the same connection many
+    // times in a row (the paper's locality argument); re-accessing the MRU
+    // entry skips the index probe, and move_to_front would be a no-op.
+    const uint32_t front = lru_.front();
+    if (front != kLruNil && keys_[front] == key) {
+      hits_++;
+      return true;
+    }
     const uint32_t slot = index_.find(key);
     if (slot != kLruNil) {
       hits_++;
@@ -54,6 +62,10 @@ class NicCache {
   // and overlapped (the paper's inbound verbs stay flat while bidirectional
   // RC traffic collapses). Returns true if the key was already present.
   bool touch_insert(uint64_t key) {
+    const uint32_t front = lru_.front();
+    if (front != kLruNil && keys_[front] == key) {
+      return true;
+    }
     const uint32_t slot = index_.find(key);
     if (slot != kLruNil) {
       lru_.move_to_front(links_.data(), slot);

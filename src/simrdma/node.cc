@@ -60,23 +60,13 @@ CompletionQueue* Node::create_cq() {
 
 QueuePair* Node::create_qp(QpType type, CompletionQueue* send_cq,
                            CompletionQueue* recv_cq) {
-  const uint32_t qpn = next_qpn_++;
-  auto qp = std::make_unique<QueuePair>(this, type, qpn, send_cq, recv_cq);
-  QueuePair* raw = qp.get();
-  qps_.emplace(qpn, std::move(qp));
-  return raw;
-}
-
-QueuePair* Node::find_qp(uint32_t qpn) {
-  auto it = qps_.find(qpn);
-  return it == qps_.end() ? nullptr : it->second.get();
+  const uint32_t qpn = static_cast<uint32_t>(qps_.size()) + 1;
+  return &qps_.emplace_back(this, type, qpn, send_cq, recv_cq);
 }
 
 void Node::fail_all_qps() {
-  for (uint32_t qpn = 1; qpn < next_qpn_; ++qpn) {
-    if (QueuePair* qp = find_qp(qpn)) {
-      qp->force_error();
-    }
+  for (QueuePair& qp : qps_) {
+    qp.force_error();
   }
 }
 

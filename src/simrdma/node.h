@@ -3,9 +3,9 @@
 #ifndef SRC_SIMRDMA_NODE_H_
 #define SRC_SIMRDMA_NODE_H_
 
+#include <deque>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/sim/event_loop.h"
@@ -67,7 +67,11 @@ class Node {
   // --- Verbs factories ---
   CompletionQueue* create_cq();
   QueuePair* create_qp(QpType type, CompletionQueue* send_cq, CompletionQueue* recv_cq);
-  QueuePair* find_qp(uint32_t qpn);
+  // qpns are dense (1, 2, ...), so lookup is a bounds check plus an index
+  // into the pool — no hashing. This sits on every packet delivery.
+  QueuePair* find_qp(uint32_t qpn) {
+    return qpn >= 1 && qpn <= qps_.size() ? &qps_[qpn - 1] : nullptr;
+  }
 
   // --- Crash state (fault mode) ---
   // While down, the NIC drops every inbound packet and flushes every
@@ -100,12 +104,15 @@ class Node {
   uint64_t bump_ = 0;
   uint64_t extra_pcie_reads_ = 0;
   uint32_t next_key_ = 1;
-  uint32_t next_qpn_ = 1;
   MemoryRegion* arena_mr_ = nullptr;
   bool down_ = false;
   std::vector<std::unique_ptr<MemoryRegion>> mrs_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
-  std::unordered_map<uint32_t, std::unique_ptr<QueuePair>> qps_;
+  // QP pool: contiguous chunks in creation (= qpn) order, grown lazily as
+  // clients connect. QPs are never destroyed, and deque chunks never move,
+  // so QueuePair* stays stable while hot per-QP state packs densely instead
+  // of one heap object per QP behind a hash map.
+  std::deque<QueuePair> qps_;
   Nanos clock_offset_ = 0;
   double clock_drift_ppm_ = 0.0;
 };

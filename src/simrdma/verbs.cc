@@ -102,7 +102,19 @@ sim::Task<void> QueuePair::post_recv(RecvWr wr) {
     recv_cq_->push(c);
     co_return;
   }
-  recv_queue_.push_back(wr);
+  recv_push(wr);
+}
+
+void QueuePair::grow_recv_ring() {
+  // Doubling ring (power-of-two capacity, like CompletionQueue); descriptors
+  // are re-packed in FIFO order starting at index 0. Growth stops once the
+  // QP has seen its peak recv depth, so the steady state never allocates.
+  std::vector<RecvWr> bigger(recv_ring_.empty() ? 16 : recv_ring_.size() * 2);
+  for (size_t i = 0; i < recv_count_; ++i) {
+    bigger[i] = recv_ring_[(recv_head_ + i) & (recv_ring_.size() - 1)];
+  }
+  recv_head_ = 0;
+  recv_ring_ = std::move(bigger);
 }
 
 void QueuePair::force_error() {
@@ -111,9 +123,8 @@ void QueuePair::force_error() {
   }
   error_ = true;
   // Flush queued receive descriptors.
-  while (!recv_queue_.empty()) {
-    const RecvWr rwr = recv_queue_.front();
-    recv_queue_.pop_front();
+  while (has_recv()) {
+    const RecvWr rwr = pop_recv();
     node_->nic().note_flushed_wr();
     Completion c;
     c.wr_id = rwr.wr_id;
@@ -125,19 +136,21 @@ void QueuePair::force_error() {
   // Flush un-acked sends (their retransmit watchers see the error state and
   // stand down). Signaled WRs complete with an error so callers counting
   // posted-vs-completed never hang.
-  for (const Outstanding& o : outstanding_) {
-    node_->nic().note_flushed_wr();
-    if (o.wr.signaled) {
-      Completion c;
-      c.wr_id = o.wr.wr_id;
-      c.status = WcStatus::kWrFlushErr;
-      c.opcode = o.wr.opcode;
-      c.byte_len = o.wr.length;
-      c.qpn = qpn_;
-      send_cq_->push(c);
+  if (fault_ != nullptr) {
+    for (const Outstanding& o : fault_->outstanding) {
+      node_->nic().note_flushed_wr();
+      if (o.wr.signaled) {
+        Completion c;
+        c.wr_id = o.wr.wr_id;
+        c.status = WcStatus::kWrFlushErr;
+        c.opcode = o.wr.opcode;
+        c.byte_len = o.wr.length;
+        c.qpn = qpn_;
+        send_cq_->push(c);
+      }
     }
+    fault_->outstanding.clear();
   }
-  outstanding_.clear();
 }
 
 }  // namespace scalerpc::simrdma

@@ -11,7 +11,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <memory>
 #include <vector>
 
 #include "src/sim/event_loop.h"
@@ -218,13 +218,14 @@ class QueuePair {
   // Posts a receive descriptor (charges descriptor-write cost).
   sim::Task<void> post_recv(RecvWr wr);
   // Cost-free variant for bulk pre-population during setup.
-  void post_recv_immediate(RecvWr wr) { recv_queue_.push_back(wr); }
+  void post_recv_immediate(RecvWr wr) { recv_push(wr); }
 
-  bool has_recv() const { return !recv_queue_.empty(); }
-  size_t recv_depth() const { return recv_queue_.size(); }
+  bool has_recv() const { return recv_count_ != 0; }
+  size_t recv_depth() const { return recv_count_; }
   RecvWr pop_recv() {
-    RecvWr wr = recv_queue_.front();
-    recv_queue_.pop_front();
+    RecvWr wr = recv_ring_[recv_head_];
+    recv_head_ = (recv_head_ + 1) & (recv_ring_.size() - 1);
+    recv_count_--;
     return wr;
   }
 
@@ -241,12 +242,15 @@ class QueuePair {
     uint64_t psn = 0;
     int retries = 0;
   };
-  uint64_t alloc_psn() { return ++next_psn_; }
+  uint64_t alloc_psn() { return ++fault().next_psn; }
   void add_outstanding(const SendWr& wr, uint64_t psn) {
-    outstanding_.push_back(Outstanding{wr, psn, 0});
+    fault().outstanding.push_back(Outstanding{wr, psn, 0});
   }
   Outstanding* find_outstanding(uint64_t psn) {
-    for (auto& o : outstanding_) {
+    if (fault_ == nullptr) {
+      return nullptr;
+    }
+    for (auto& o : fault_->outstanding) {
       if (o.psn == psn) {
         return &o;
       }
@@ -254,16 +258,21 @@ class QueuePair {
     return nullptr;
   }
   bool erase_outstanding(uint64_t psn) {
-    for (auto& o : outstanding_) {
+    if (fault_ == nullptr) {
+      return false;
+    }
+    for (auto& o : fault_->outstanding) {
       if (o.psn == psn) {
-        o = outstanding_.back();
-        outstanding_.pop_back();
+        o = fault_->outstanding.back();
+        fault_->outstanding.pop_back();
         return true;
       }
     }
     return false;
   }
-  size_t outstanding_count() const { return outstanding_.size(); }
+  size_t outstanding_count() const {
+    return fault_ == nullptr ? 0 : fault_->outstanding.size();
+  }
 
   // --- Responder dedup (fault mode) ---
   // Ring of recently seen request PSNs so a retransmitted request is
@@ -277,7 +286,10 @@ class QueuePair {
     bool done = false;
   };
   SeenPsn* responder_find(uint64_t psn) {
-    for (auto& s : seen_) {
+    if (fault_ == nullptr) {
+      return nullptr;
+    }
+    for (auto& s : fault_->seen) {
       if (s.psn == psn) {
         return &s;
       }
@@ -285,25 +297,54 @@ class QueuePair {
     return nullptr;
   }
   SeenPsn* responder_insert(uint64_t psn) {
-    SeenPsn& s = seen_[seen_next_++ % seen_.size()];
+    FaultState& f = fault();
+    SeenPsn& s = f.seen[f.seen_next++ % f.seen.size()];
     s = SeenPsn{psn, WcStatus::kSuccess, 0, false};
     return &s;
   }
 
  private:
+  // Reliability state only the fault machinery touches (every caller is
+  // behind a `psn != 0` or attached-fault-plan guard). Allocated on first
+  // use so the common lossless QP stays small: the dedup ring alone is
+  // ~3 KB, which at hundreds of QPs per node dwarfed the hot fields.
+  struct FaultState {
+    uint64_t next_psn = 0;
+    std::vector<Outstanding> outstanding;
+    std::array<SeenPsn, 128> seen{};
+    size_t seen_next = 0;
+  };
+  FaultState& fault() {
+    if (fault_ == nullptr) {
+      fault_ = std::make_unique<FaultState>();
+    }
+    return *fault_;
+  }
+
+  void recv_push(const RecvWr& wr) {
+    if (recv_count_ == recv_ring_.size()) {
+      grow_recv_ring();
+    }
+    recv_ring_[(recv_head_ + recv_count_) & (recv_ring_.size() - 1)] = wr;
+    recv_count_++;
+  }
+  void grow_recv_ring();
+
   Node* node_;
   QpType type_;
+  bool error_ = false;
   uint32_t qpn_;
   CompletionQueue* send_cq_;
   CompletionQueue* recv_cq_;
   int peer_node_ = -1;
   uint32_t peer_qpn_ = 0;
-  std::deque<RecvWr> recv_queue_;
-  bool error_ = false;
-  uint64_t next_psn_ = 0;
-  std::vector<Outstanding> outstanding_;
-  std::array<SeenPsn, 128> seen_{};
-  size_t seen_next_ = 0;
+  // Power-of-two ring, empty until the first post (one-sided QPs never
+  // allocate it). Replaces std::deque, whose per-QP chunk allocation and
+  // pointer-chasing pop dominated recv-side QP footprint.
+  std::vector<RecvWr> recv_ring_;
+  size_t recv_head_ = 0;
+  size_t recv_count_ = 0;
+  std::unique_ptr<FaultState> fault_;
 };
 
 }  // namespace scalerpc::simrdma

@@ -4,25 +4,38 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "src/harness/harness.h"
 #include "src/harness/rawverbs.h"
+#include "src/harness/sweep.h"
 
 namespace scalerpc::harness {
 namespace {
 
-EchoResult run_once(TransportKind kind) {
+TestbedConfig echo_cfg(TransportKind kind) {
   TestbedConfig cfg;
   cfg.kind = kind;
   cfg.num_clients = 24;
   cfg.num_client_nodes = 3;
   cfg.rpc.group_size = 8;
-  Testbed bed(cfg);
+  return cfg;
+}
+
+EchoWorkload echo_wl() {
   EchoWorkload wl;
   wl.batch = 4;
   wl.measure = msec(2);
-  return run_echo(bed, wl);
+  return wl;
+}
+
+EchoResult run_once(TransportKind kind) {
+  Testbed bed(echo_cfg(kind));
+  return run_echo(bed, echo_wl());
 }
 
 TEST(Determinism, EchoRunsAreBitIdentical) {
@@ -71,6 +84,44 @@ TEST(Determinism, CounterDumpsAreByteIdentical) {
     const std::string a = counter_dump(run_once(kind));
     const std::string b = counter_dump(run_once(kind));
     EXPECT_EQ(a, b) << to_string(kind);
+  }
+}
+
+// Same gate for the snapshot/warm-start path: a measurement continued in a
+// forked child from a post-warmup snapshot must dump the same bytes as a
+// cold single-process run — and as the plain run_echo composition.
+struct WarmEcho {
+  Testbed bed;
+  EchoDriver driver;
+  explicit WarmEcho(TransportKind kind)
+      : bed(echo_cfg(kind)), driver(bed, echo_wl()) {}
+};
+
+std::string dump_via_sweep(TransportKind kind, bool warm) {
+  struct DumpResult {
+    char text[512];
+  };
+  std::vector<std::function<DumpResult(WarmEcho&)>> points;
+  points.emplace_back([](WarmEcho& s) {
+    DumpResult out{};
+    const std::string d = counter_dump(s.driver.measure());
+    std::snprintf(out.text, sizeof(out.text), "%s", d.c_str());
+    return out;
+  });
+  WarmStartOptions opt;
+  opt.force_cold = !warm;
+  const auto results = warm_start_sweep<WarmEcho, DumpResult>(
+      [kind] { return std::make_unique<WarmEcho>(kind); }, points, opt);
+  return results[0].text;
+}
+
+TEST(Determinism, WarmStartCounterDumpsMatchColdRuns) {
+  for (TransportKind kind : {TransportKind::kScaleRpc, TransportKind::kRawWrite,
+                             TransportKind::kFasst}) {
+    const std::string cold = dump_via_sweep(kind, /*warm=*/false);
+    const std::string warm = dump_via_sweep(kind, /*warm=*/true);
+    EXPECT_EQ(cold, warm) << to_string(kind);
+    EXPECT_EQ(warm, counter_dump(run_once(kind))) << to_string(kind);
   }
 }
 

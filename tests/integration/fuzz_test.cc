@@ -151,7 +151,7 @@ TEST(Fuzz, CodecRoundTripsRandomRecords) {
     const uint32_t c = static_cast<uint32_t>(rng.next());
     const uint64_t d = rng.next();
     const int64_t e = static_cast<int64_t>(rng.next());
-    std::vector<uint8_t> blob(rng.next_below(100));
+    CodecBytes blob(rng.next_below(100));
     for (auto& x : blob) {
       x = static_cast<uint8_t>(rng.next());
     }

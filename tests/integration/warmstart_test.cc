@@ -1,0 +1,128 @@
+// Copy-on-write warm start (src/harness/sweep.h): a sweep point forked
+// from a warmed snapshot must produce byte-identical results to a cold run
+// that replays the same warmup — for one child at a time and for several
+// concurrent children.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "src/harness/harness.h"
+#include "src/harness/sweep.h"
+
+namespace scalerpc::harness {
+namespace {
+
+// Everything a measurement phase produces, as a POD (it crosses the fork
+// pipe as raw bytes). Events-processed pins the exact event sequence, not
+// just the op totals.
+struct MeasureResult {
+  uint64_t ops = 0;
+  int64_t elapsed = 0;
+  uint64_t events = 0;
+  uint64_t server_qp_cache_misses = 0;
+  uint64_t pcm_l3_hits = 0;
+  uint64_t pcm_l3_misses = 0;
+
+  bool operator==(const MeasureResult& o) const {
+    return std::memcmp(this, &o, sizeof(*this)) == 0;
+  }
+};
+
+// A warmed simulation: testbed + echo driver paused after the warmup
+// window. Points continue it through the measurement window.
+struct WarmState {
+  explicit WarmState(TransportKind kind) {
+    TestbedConfig cfg;
+    cfg.kind = kind;
+    cfg.num_clients = 24;
+    cfg.num_client_nodes = 3;
+    bed = std::make_unique<Testbed>(cfg);
+    EchoWorkload wl;
+    wl.batch = 4;
+    wl.warmup = usec(300);
+    wl.measure = usec(800);
+    driver = std::make_unique<EchoDriver>(*bed, wl);
+  }
+  std::unique_ptr<Testbed> bed;
+  std::unique_ptr<EchoDriver> driver;
+};
+
+MeasureResult measure_point(WarmState& s) {
+  const uint64_t events_before = s.bed->loop().events_processed();
+  const EchoResult r = s.driver->measure();
+  MeasureResult out;
+  out.ops = r.ops;
+  out.elapsed = r.elapsed;
+  out.events = s.bed->loop().events_processed() - events_before;
+  out.server_qp_cache_misses = r.server_qp_cache_misses;
+  out.pcm_l3_hits = r.server_pcm.l3_hits;
+  out.pcm_l3_misses = r.server_pcm.l3_misses;
+  return out;
+}
+
+std::vector<MeasureResult> run_points(TransportKind kind, size_t n,
+                                      const WarmStartOptions& opt) {
+  std::vector<std::function<MeasureResult(WarmState&)>> points(
+      n, [](WarmState& s) { return measure_point(s); });
+  return warm_start_sweep<WarmState, MeasureResult>(
+      [kind] { return std::make_unique<WarmState>(kind); }, points, opt);
+}
+
+class WarmStartTransportTest : public ::testing::TestWithParam<TransportKind> {};
+
+TEST_P(WarmStartTransportTest, ForkedPointsMatchColdRunsByteForByte) {
+  if (!internal::fork_supported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  constexpr size_t kPoints = 3;
+  WarmStartOptions cold;
+  cold.force_cold = true;
+  const auto cold_results = run_points(GetParam(), kPoints, cold);
+  ASSERT_EQ(cold_results.size(), kPoints);
+  // Every cold repeat of the same config is identical (determinism).
+  for (size_t i = 1; i < kPoints; ++i) {
+    EXPECT_TRUE(cold_results[i] == cold_results[0]) << "cold repeat " << i;
+  }
+  EXPECT_GT(cold_results[0].ops, 0u);
+  EXPECT_GT(cold_results[0].events, 0u);
+
+  // Acceptance shape: warm-started children at 1 and at 4 concurrent forks
+  // both reproduce the cold results exactly.
+  for (const int threads : {1, 4}) {
+    WarmStartOptions warm;
+    warm.threads = threads;
+    const auto warm_results = run_points(GetParam(), kPoints, warm);
+    ASSERT_EQ(warm_results.size(), kPoints);
+    for (size_t i = 0; i < kPoints; ++i) {
+      EXPECT_TRUE(warm_results[i] == cold_results[i])
+          << "threads=" << threads << " point " << i << ": warm {ops="
+          << warm_results[i].ops << ", events=" << warm_results[i].events
+          << "} vs cold {ops=" << cold_results[i].ops
+          << ", events=" << cold_results[i].events << "}";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Transports, WarmStartTransportTest,
+                         ::testing::Values(TransportKind::kRawWrite,
+                                           TransportKind::kFasst,
+                                           TransportKind::kScaleRpc),
+                         [](const ::testing::TestParamInfo<TransportKind>& info) {
+                           return std::string(to_string(info.param));
+                         });
+
+TEST(WarmStart, ColdFallbackRunsWithoutFork) {
+  WarmStartOptions cold;
+  cold.force_cold = true;
+  const auto results = run_points(TransportKind::kRawWrite, 2, cold);
+  EXPECT_TRUE(results[0] == results[1]);
+  EXPECT_GT(results[0].ops, 0u);
+}
+
+TEST(WarmStart, EmptyPointListIsANoop) {
+  const auto results = run_points(TransportKind::kRawWrite, 0, WarmStartOptions{});
+  EXPECT_TRUE(results.empty());
+}
+
+}  // namespace
+}  // namespace scalerpc::harness

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <functional>
 #include <set>
 #include <utility>
@@ -234,6 +235,77 @@ TEST(EventLoopWheel, MatchesSortedOracleOverflowDeltas) {
   // Deltas up to 2^49 > the 2^48 wheel span: overflow heap migration.
   for (uint64_t seed : {7u, 8u, 9u}) {
     wheel_oracle::run_oracle(seed, 49, 100, 2000);
+  }
+}
+
+namespace wheel_oracle {
+
+// Randomized oracle for the same-timestamp batch fast path. The batched
+// dispatcher caches the level-0 slot cursor between fires; its contract is
+// that firing order is still exactly "stable sort by time of enqueue
+// order" — the (time, insertion-seq) rule — no matter how run_until()
+// segments execution. The workload deliberately hits every way the cached
+// cursor can be challenged: heavy duplicate timestamps (long batches),
+// delta-0 children appending to the batch currently being drained, and
+// external schedules between run_until() calls that land at or below the
+// remembered next-event time (the guard that must clear the cache).
+void run_segmented_oracle(uint64_t seed, int phases, int burst, int cap) {
+  EventLoop loop;
+  std::vector<std::pair<Nanos, int>> scheduled;  // (time, id) in enqueue order
+  std::vector<int> fired;
+  int next_id = 0;
+
+  std::function<void(Nanos)> sched_at;
+  std::function<void(int)> on_fire = [&](int id) {
+    fired.push_back(id);
+    const uint64_t h = mix(seed ^ (uint64_t{0xf1be} << 32) ^
+                           static_cast<uint64_t>(id));
+    const int kids = next_id < cap ? static_cast<int>(h % 3) : 0;
+    for (int k = 0; k < kids; ++k) {
+      const uint64_t h2 = mix(h + static_cast<uint64_t>(k));
+      // Half the children land at the parent's own timestamp: they must
+      // join the tail of the batch being drained right now.
+      const Nanos delta = (h2 & 1) ? 0 : static_cast<Nanos>(h2 % 16);
+      sched_at(loop.now() + delta);
+    }
+  };
+  sched_at = [&](Nanos at) {
+    const int id = next_id++;
+    scheduled.emplace_back(at, id);
+    loop.call_at(at, [&on_fire, id] { on_fire(id); });
+  };
+
+  for (int phase = 0; phase < phases; ++phase) {
+    const Nanos base = loop.now();
+    for (int j = 0; j < burst; ++j) {
+      const uint64_t h =
+          mix(seed ^ (static_cast<uint64_t>(phase) << 16) ^
+              static_cast<uint64_t>(j));
+      // Eight candidate times per phase => long duplicate runs. j==0 may
+      // schedule at `base` == now(), undercutting events left pending from
+      // the previous segment.
+      sched_at(base + static_cast<Nanos>(h % 8) * 7);
+    }
+    // Events past base+30 stay pending across the segment boundary, so the
+    // next phase's external schedules race the cached cursor.
+    loop.run_until(base + 30);
+  }
+  loop.run();
+
+  std::vector<std::pair<Nanos, int>> expected = scheduled;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  ASSERT_EQ(fired.size(), expected.size()) << "seed=" << seed;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(fired[i], expected[i].second) << "seed=" << seed << " pos=" << i;
+  }
+}
+
+}  // namespace wheel_oracle
+
+TEST(EventLoopWheel, BatchedDispatchMatchesOracleAcrossRunUntil) {
+  for (uint64_t seed : {11u, 12u, 13u, 14u, 15u, 16u, 17u, 18u}) {
+    wheel_oracle::run_segmented_oracle(seed, 20, 50, 4000);
   }
 }
 

@@ -21,7 +21,8 @@ ScaleTxConfig small_config(TransportKind kind, bool one_sided, int coordinators 
   return cfg;
 }
 
-uint64_t value_u64(const rpc::Bytes& v) {
+template <typename V>  // rpc::Bytes or the KV store's plain vector
+uint64_t value_u64(const V& v) {
   uint64_t out = 0;
   std::memcpy(&out, v.data(), sizeof(out));
   return out;

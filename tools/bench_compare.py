@@ -41,6 +41,14 @@ def numbers_close(a, b, rel, abs_floor):
     return abs(a - b) <= rel * scale
 
 
+# Wall-clock fields that are only comparable when the row says its speedup
+# measurement was meaningful (speedup_valid). bench_simspeed emits
+# speedup_valid=false on single-hardware-thread machines, where the
+# parallel "speedup" only measures scheduling overhead and would otherwise
+# diff against a multi-core capture as a fake regression.
+SPEEDUP_FIELDS = {"speedup", "serial_wall_s", "parallel_wall_s", "speedup_valid"}
+
+
 def compare(base, cand, rel, abs_floor, ignore):
     """Returns a list of human-readable mismatch strings (empty = equal)."""
     errors = []
@@ -52,8 +60,13 @@ def compare(base, cand, rel, abs_floor, ignore):
     if len(brows) != len(crows):
         errors.append(f"row count differs: {len(brows)} vs {len(crows)}")
     for i, (br, cr) in enumerate(zip(brows, crows)):
+        speedup_invalid = (
+            br.get("speedup_valid") is False or cr.get("speedup_valid") is False
+        )
         for key in sorted(set(br) | set(cr)):
             if key in ignore:
+                continue
+            if speedup_invalid and key in SPEEDUP_FIELDS:
                 continue
             if key not in br or key not in cr:
                 errors.append(f"row {i}: field {key!r} missing on one side")
@@ -115,6 +128,42 @@ def self_test():
     missing = copy.deepcopy(base)
     del missing["rows"][0]["ops"]
     assert any("missing" in e for e in compare(base, missing, 0.05, 1e-9, set()))
+    # A row flagged speedup_valid=false (single-core machine) exempts its
+    # wall/speedup fields — on either side — but nothing else.
+    sweep_base = {
+        "bench": "demo",
+        "rows": [
+            {
+                "config": "PARALLEL_SWEEP",
+                "threads": 8,
+                "speedup": 4.0,
+                "serial_wall_s": 8.0,
+                "parallel_wall_s": 2.0,
+                "speedup_valid": True,
+                "tasks": 9,
+            }
+        ],
+    }
+    one_core = copy.deepcopy(sweep_base)
+    one_core["rows"][0].update(
+        {
+            "threads": 1,
+            "speedup": 0.97,
+            "serial_wall_s": 8.0,
+            "parallel_wall_s": 8.2,
+            "speedup_valid": False,
+        }
+    )
+    errs = compare(sweep_base, one_core, 0.05, 1e-9, set())
+    assert all("speedup" not in e and "wall" not in e for e in errs), errs
+    assert any("threads" in e for e in errs), errs  # threads still compared
+    bad_tasks = copy.deepcopy(one_core)
+    bad_tasks["rows"][0]["tasks"] = 12
+    assert any("tasks" in e for e in compare(sweep_base, bad_tasks, 0.05, 1e-9, set()))
+    # Valid on both sides: speedup differences are real regressions again.
+    slower = copy.deepcopy(sweep_base)
+    slower["rows"][0]["speedup"] = 1.1
+    assert any("speedup" in e for e in compare(sweep_base, slower, 0.05, 1e-9, set()))
     print("bench_compare: self-test OK")
     return 0
 
