@@ -1,6 +1,17 @@
 // Fig. 8: RPC throughput. Left half: 40-400 clients (11 client nodes),
 // batch sizes 1 and 8, all four RPC implementations. Right half: 40 client
 // threads packed onto 1-5 physical client nodes.
+//
+// Batch size is a *workload* parameter: the two batch variants of each
+// (transport, clients, nodes) cell run against an identical testbed, so the
+// pair shares one construction via copy-on-write warm start
+// (src/harness/sweep.h) — the parent process forks one group per cell, the
+// group builds+admits the testbed once, and two grandchildren run the batch
+// variants from the shared snapshot. Determinism makes every warm-started
+// point byte-identical to a cold run (tests/integration/warmstart_test.cc);
+// --trace/--timeline need in-process tasks, so observed runs fall back to
+// the cold sweep.
+#include <cstring>
 #include <string>
 
 #include "bench/bench_common.h"
@@ -11,20 +22,48 @@ using namespace scalerpc;
 using namespace scalerpc::harness;
 
 namespace {
-double measure(TransportKind kind, int clients, int batch, int nodes, uint64_t seed,
-               bool quick) {
-  TestbedConfig cfg;
-  cfg.kind = kind;
-  cfg.num_clients = clients;
-  cfg.num_client_nodes = nodes;
-  Testbed bed(cfg);
+// Construction half of a sweep cell: testbed built and connected, no
+// workload yet. Both batch variants continue from this state.
+struct BedState {
+  BedState(TransportKind kind, int clients, int nodes) {
+    TestbedConfig cfg;
+    cfg.kind = kind;
+    cfg.num_clients = clients;
+    cfg.num_client_nodes = nodes;
+    bed = std::make_unique<Testbed>(cfg);
+  }
+  std::unique_ptr<Testbed> bed;
+};
+
+double run_point(BedState& s, int batch, uint64_t seed, bool quick) {
   EchoWorkload wl;
   wl.batch = batch;
   wl.seed = seed;
   wl.warmup = usec(600);
   wl.measure = quick ? msec(1) : msec(2);
-  return run_echo(bed, wl).mops;
+  return run_echo(*s.bed, wl).mops;
 }
+
+double measure(TransportKind kind, int clients, int batch, int nodes, uint64_t seed,
+               bool quick) {
+  BedState s(kind, clients, nodes);
+  return run_point(s, batch, seed, quick);
+}
+
+// One warm-start group: a (transport, clients, nodes) cell plus the result
+// slots its two batch variants fill.
+struct CellSpec {
+  TransportKind kind;
+  int clients;
+  int nodes;
+  size_t slot_b1;
+  size_t slot_b8;
+};
+
+struct CellResult {
+  double b1 = 0.0;
+  double b8 = 0.0;
+};
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -37,43 +76,95 @@ int main(int argc, char** argv) {
   const std::vector<int> nodes = opt.quick ? std::vector<int>{1, 4}
                                            : std::vector<int>{1, 2, 3, 4, 5};
 
-  // Register every sweep point up front, run them across the worker pool,
-  // then print from the result slots in registration order — tables are
-  // byte-identical for any --threads value.
-  Sweep sweep;
   std::vector<double> left(2 * clients.size() * kinds.size());
   std::vector<double> right(2 * nodes.size() * kinds.size());
-  size_t i = 0;
-  for (int batch : {1, 8}) {
-    for (int n : clients) {
-      for (auto k : kinds) {
-        sweep.add(std::string("left/") + to_string(k) + "/b" + std::to_string(batch) +
-                      "/c" + std::to_string(n),
-                  [&opt, k, n, batch, slot = &left[i++]] {
-                    *slot = measure(k, n, batch, 11, opt.seed, opt.quick);
-                  });
-      }
-    }
-  }
-  i = 0;
-  for (int batch : {1, 8}) {
-    for (int n : nodes) {
-      for (auto k : kinds) {
-        sweep.add(std::string("right/") + to_string(k) + "/b" + std::to_string(batch) +
-                      "/n" + std::to_string(n),
-                  [&opt, k, n, batch, slot = &right[i++]] {
-                    *slot = measure(k, 40, batch, n, opt.seed, opt.quick);
-                  });
-      }
-    }
-  }
+
   bench::Observability obs(opt, "fig08_throughput");
-  obs.attach(sweep);
-  sweep.run(opt.threads);
+  const bool observed = !opt.trace_path.empty() || !opt.timeline_path.empty();
+
+  if (!observed && internal::fork_supported()) {
+    // Both tables are laid out batch-major: slot(b, row, k) with b the
+    // outer index. The b1/b8 variants of one cell land 1*rows*kinds apart.
+    std::vector<CellSpec> cells;
+    const size_t left_stride = clients.size() * kinds.size();
+    for (size_t ni = 0; ni < clients.size(); ++ni) {
+      for (size_t ki = 0; ki < kinds.size(); ++ki) {
+        const size_t slot = ni * kinds.size() + ki;
+        cells.push_back(
+            {kinds[ki], clients[ni], 11, slot, left_stride + slot});
+      }
+    }
+    const size_t num_left_cells = cells.size();
+    const size_t right_stride = nodes.size() * kinds.size();
+    for (size_t ni = 0; ni < nodes.size(); ++ni) {
+      for (size_t ki = 0; ki < kinds.size(); ++ki) {
+        const size_t slot = ni * kinds.size() + ki;
+        cells.push_back({kinds[ki], 40, nodes[ni], slot, right_stride + slot});
+      }
+    }
+
+    const int threads = opt.threads <= 0 ? Sweep::hardware_threads() : opt.threads;
+    std::vector<CellResult> results(cells.size());
+    internal::run_forked(
+        cells.size(), sizeof(CellResult), threads,
+        [&](size_t ci, void* dst) {
+          const CellSpec& cell = cells[ci];
+          std::vector<std::function<double(BedState&)>> pts = {
+              [&opt](BedState& s) { return run_point(s, 1, opt.seed, opt.quick); },
+              [&opt](BedState& s) { return run_point(s, 8, opt.seed, opt.quick); }};
+          WarmStartOptions wopt;
+          wopt.threads = threads > 1 ? 2 : 1;
+          const auto out = warm_start_sweep<BedState, double>(
+              [&cell] {
+                return std::make_unique<BedState>(cell.kind, cell.clients,
+                                                  cell.nodes);
+              },
+              pts, wopt);
+          const CellResult r{out[0], out[1]};
+          std::memcpy(dst, &r, sizeof(r));
+        },
+        reinterpret_cast<uint8_t*>(results.data()));
+    for (size_t ci = 0; ci < cells.size(); ++ci) {
+      std::vector<double>& table = ci < num_left_cells ? left : right;
+      table[cells[ci].slot_b1] = results[ci].b1;
+      table[cells[ci].slot_b8] = results[ci].b8;
+    }
+  } else {
+    // Register every sweep point up front, run them across the worker pool,
+    // then print from the result slots in registration order — tables are
+    // byte-identical for any --threads value.
+    Sweep sweep;
+    size_t i = 0;
+    for (int batch : {1, 8}) {
+      for (int n : clients) {
+        for (auto k : kinds) {
+          sweep.add(std::string("left/") + to_string(k) + "/b" + std::to_string(batch) +
+                        "/c" + std::to_string(n),
+                    [&opt, k, n, batch, slot = &left[i++]] {
+                      *slot = measure(k, n, batch, 11, opt.seed, opt.quick);
+                    });
+        }
+      }
+    }
+    i = 0;
+    for (int batch : {1, 8}) {
+      for (int n : nodes) {
+        for (auto k : kinds) {
+          sweep.add(std::string("right/") + to_string(k) + "/b" + std::to_string(batch) +
+                        "/n" + std::to_string(n),
+                    [&opt, k, n, batch, slot = &right[i++]] {
+                      *slot = measure(k, 40, batch, n, opt.seed, opt.quick);
+                    });
+        }
+      }
+    }
+    obs.attach(sweep);
+    sweep.run(opt.threads);
+  }
 
   bench::header("Fig 8 (left): throughput vs #clients",
                 "RawWrite collapses; HERD degrades; FaSST & ScaleRPC stay flat");
-  i = 0;
+  size_t i = 0;
   for (int batch : {1, 8}) {
     std::printf("\nbatch=%d\n%-10s", batch, "clients");
     for (auto k : kinds) {

@@ -1,32 +1,75 @@
 // Fig. 11: sensitivity of ScaleRPC to (a) the time slice (80 clients,
 // group 40) and (b) the group size (two groups), plus the warmup ablation
 // from DESIGN.md.
+//
+// The slice sweep and the warmup ablation vary only *schedule* parameters
+// (time_slice, warmup_enabled) that the server consumes after start(), so
+// all their points share one constructed testbed: warm_start_sweep builds
+// it once and each forked child re-points the schedule before running the
+// workload (copy-on-write warm start, src/harness/sweep.h). The group sweep
+// changes the client count, so its points share nothing and run as plain
+// forked children. Determinism makes every warm-started point byte-identical
+// to a cold run (tests/integration/warmstart_test.cc pins the fixup path);
+// --trace/--timeline need in-process tasks, so observed runs fall back to
+// the cold sweep.
+#include <cstring>
 #include <string>
 
 #include "bench/bench_common.h"
 #include "src/harness/harness.h"
 #include "src/harness/sweep.h"
+#include "src/scalerpc/client.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
 
 namespace {
-EchoResult run_cfg(int clients, int group, Nanos slice, bool warmup, uint64_t seed,
-                   bool quick) {
-  TestbedConfig cfg;
-  cfg.kind = TransportKind::kScaleRpc;
-  cfg.num_clients = clients;
-  cfg.num_client_nodes = 8;
-  cfg.rpc.group_size = group;
-  cfg.rpc.time_slice = slice;
-  cfg.rpc.warmup_enabled = warmup;
-  Testbed bed(cfg);
+// The printed slice of an EchoResult (trivially copyable; crosses the
+// warm-start fork pipe as raw bytes).
+struct PodEcho {
+  double mops = 0.0;
+  int64_t p50_us = 0;
+  int64_t max_us = 0;
+};
+
+// Construction half of a point: the testbed with the group shape baked in.
+// Slice length and warmup mode stay at their defaults here; run_point()
+// fixes them up per point before the workload starts.
+struct SensBed {
+  SensBed(int clients, int group) {
+    TestbedConfig cfg;
+    cfg.kind = TransportKind::kScaleRpc;
+    cfg.num_clients = clients;
+    cfg.num_client_nodes = 8;
+    cfg.rpc.group_size = group;
+    bed = std::make_unique<Testbed>(cfg);
+  }
+  std::unique_ptr<Testbed> bed;
+};
+
+PodEcho run_point(SensBed& s, Nanos slice, bool warmup, uint64_t seed, bool quick) {
+  s.bed->scalerpc()->set_time_slice(slice);
+  s.bed->scalerpc()->set_warmup_enabled(warmup);
+  for (size_t c = 0; c < s.bed->num_clients(); ++c) {
+    s.bed->scalerpc_client(c)->set_time_slice(slice);
+  }
   EchoWorkload wl;
   wl.batch = 1;
   wl.seed = seed;
   wl.warmup = usec(600);
   wl.measure = quick ? msec(2) : msec(4);
-  return run_echo(bed, wl);
+  const EchoResult r = run_echo(*s.bed, wl);
+  PodEcho out;
+  out.mops = r.mops;
+  out.p50_us = static_cast<int64_t>(r.batch_latency.percentile(50));
+  out.max_us = static_cast<int64_t>(r.batch_latency.max());
+  return out;
+}
+
+PodEcho run_cfg(int clients, int group, Nanos slice, bool warmup, uint64_t seed,
+                bool quick) {
+  SensBed s(clients, group);
+  return run_point(s, slice, warmup, seed, quick);
 }
 }  // namespace
 
@@ -37,41 +80,80 @@ int main(int argc, char** argv) {
   const std::vector<int> groups =
       opt.quick ? std::vector<int>{10, 40, 70} : std::vector<int>{10, 20, 30, 40, 50, 60, 70};
 
-  Sweep sweep;
-  std::vector<EchoResult> slice_res(slices.size());
-  std::vector<EchoResult> group_res(groups.size());
-  EchoResult warm_res[2];
-  for (size_t idx = 0; idx < slices.size(); ++idx) {
-    sweep.add("slice=" + std::to_string(slices[idx]),
-              [&opt, s = slices[idx], slot = &slice_res[idx]] {
-                *slot = run_cfg(80, 40, usec(s), true, opt.seed, opt.quick);
-              });
-  }
-  for (size_t idx = 0; idx < groups.size(); ++idx) {
-    sweep.add("group=" + std::to_string(groups[idx]),
-              [&opt, g = groups[idx], slot = &group_res[idx]] {
-                *slot = run_cfg(2 * g, g, usec(100), true, opt.seed, opt.quick);
-              });
-  }
-  for (int w = 0; w < 2; ++w) {
-    sweep.add(std::string("warmup=") + (w == 0 ? "on" : "off"),
-              [&opt, w, slot = &warm_res[w]] {
-                *slot = run_cfg(120, 40, usec(100), w == 0, opt.seed, opt.quick);
-              });
-  }
+  std::vector<PodEcho> slice_res(slices.size());
+  std::vector<PodEcho> group_res(groups.size());
+  PodEcho warm_res[2];
+
   bench::Observability obs(opt, "fig11_sensitivity");
-  obs.attach(sweep);
-  sweep.run(opt.threads);
+  const bool observed = !opt.trace_path.empty() || !opt.timeline_path.empty();
+  const int threads = opt.threads <= 0 ? Sweep::hardware_threads() : opt.threads;
+
+  if (!observed && internal::fork_supported()) {
+    WarmStartOptions wopt;
+    wopt.threads = threads;
+    {
+      std::vector<std::function<PodEcho(SensBed&)>> pts;
+      for (int s : slices) {
+        pts.emplace_back([&opt, s](SensBed& b) {
+          return run_point(b, usec(s), true, opt.seed, opt.quick);
+        });
+      }
+      const auto out = warm_start_sweep<SensBed, PodEcho>(
+          [] { return std::make_unique<SensBed>(80, 40); }, pts, wopt);
+      std::copy(out.begin(), out.end(), slice_res.begin());
+    }
+    internal::run_forked(
+        groups.size(), sizeof(PodEcho), threads,
+        [&](size_t i, void* dst) {
+          const PodEcho r = run_cfg(2 * groups[i], groups[i], usec(100), true,
+                                    opt.seed, opt.quick);
+          std::memcpy(dst, &r, sizeof(r));
+        },
+        reinterpret_cast<uint8_t*>(group_res.data()));
+    {
+      std::vector<std::function<PodEcho(SensBed&)>> pts;
+      for (int w = 0; w < 2; ++w) {
+        pts.emplace_back([&opt, w](SensBed& b) {
+          return run_point(b, usec(100), w == 0, opt.seed, opt.quick);
+        });
+      }
+      const auto out = warm_start_sweep<SensBed, PodEcho>(
+          [] { return std::make_unique<SensBed>(120, 40); }, pts, wopt);
+      warm_res[0] = out[0];
+      warm_res[1] = out[1];
+    }
+  } else {
+    Sweep sweep;
+    for (size_t idx = 0; idx < slices.size(); ++idx) {
+      sweep.add("slice=" + std::to_string(slices[idx]),
+                [&opt, s = slices[idx], slot = &slice_res[idx]] {
+                  *slot = run_cfg(80, 40, usec(s), true, opt.seed, opt.quick);
+                });
+    }
+    for (size_t idx = 0; idx < groups.size(); ++idx) {
+      sweep.add("group=" + std::to_string(groups[idx]),
+                [&opt, g = groups[idx], slot = &group_res[idx]] {
+                  *slot = run_cfg(2 * g, g, usec(100), true, opt.seed, opt.quick);
+                });
+    }
+    for (int w = 0; w < 2; ++w) {
+      sweep.add(std::string("warmup=") + (w == 0 ? "on" : "off"),
+                [&opt, w, slot = &warm_res[w]] {
+                  *slot = run_cfg(120, 40, usec(100), w == 0, opt.seed, opt.quick);
+                });
+    }
+    obs.attach(sweep);
+    sweep.run(opt.threads);
+  }
 
   bench::header("Fig 11a: time slice sensitivity (80 clients, group 40)",
                 "throughput grows ~7.6 -> ~8.9 Mops from 30us to 250us slices");
   std::printf("%-12s %-12s %-10s %-10s\n", "slice(us)", "tput(Mops)", "p50(us)",
               "max(us)");
   for (size_t idx = 0; idx < slices.size(); ++idx) {
-    const EchoResult& r = slice_res[idx];
+    const PodEcho& r = slice_res[idx];
     std::printf("%-12d %-12.2f %-10llu %-10llu\n", slices[idx], r.mops,
-                (unsigned long long)r.batch_latency.percentile(50),
-                (unsigned long long)r.batch_latency.max());
+                (unsigned long long)r.p50_us, (unsigned long long)r.max_us);
   }
 
   bench::header("Fig 11b: group size sensitivity (two groups)",
@@ -79,18 +161,18 @@ int main(int argc, char** argv) {
                 " large ones contend");
   std::printf("%-12s %-12s %-10s\n", "group", "tput(Mops)", "max(us)");
   for (size_t idx = 0; idx < groups.size(); ++idx) {
-    const EchoResult& r = group_res[idx];
+    const PodEcho& r = group_res[idx];
     std::printf("%-12d %-12.2f %-10llu\n", groups[idx], r.mops,
-                (unsigned long long)r.batch_latency.max());
+                (unsigned long long)r.max_us);
   }
 
   bench::header("Ablation: requests warmup on/off (DESIGN.md #2)",
                 "warmup hides the context-switch gap (parity or better here;"
                 " see EXPERIMENTS.md)");
   for (int w = 0; w < 2; ++w) {
-    const EchoResult& r = warm_res[w];
+    const PodEcho& r = warm_res[w];
     std::printf("warmup=%-5s  %-12.2f Mops  p50=%llu us\n", w == 0 ? "on" : "off",
-                r.mops, (unsigned long long)r.batch_latency.percentile(50));
+                r.mops, (unsigned long long)r.p50_us);
   }
   return obs.write() ? 0 : 1;
 }

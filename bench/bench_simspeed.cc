@@ -29,6 +29,7 @@
 #include "bench/bench_common.h"
 #include "src/harness/harness.h"
 #include "src/harness/sweep.h"
+#include "src/simrdma/nic_engine.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
@@ -49,14 +50,21 @@ struct Config {
 struct SpeedRow {
   uint64_t events = 0;
   uint64_t ops = 0;
+  uint64_t steps = 0;  // engine_steps summed over all NICs (diagnostic)
   double wall_s = 0.0;
 };
 
 // Serial-pass result: best-of-N timing plus the measuring process's peak
-// RSS (trivially copyable; crosses the fork pipe as raw bytes).
+// RSS (trivially copyable; crosses the fork pipe as raw bytes). The two
+// transition counts come from one run under each NIC engine — the
+// state-machine pass counts SM transitions, the coroutine reference pass
+// counts frame resumes — over the identical event sequence (CHECKed), so
+// their ratio is a pure engine-bookkeeping comparison.
 struct ConfigResult {
   SpeedRow best;
   uint64_t peak_rss_kb = 0;
+  uint64_t sm_transitions = 0;
+  uint64_t coroutine_resumes = 0;
 };
 
 constexpr int kRepeats = 3;
@@ -97,6 +105,10 @@ SpeedRow measure_once(const Config& c, uint64_t seed, bool quick) {
   SpeedRow row;
   row.events = bed.loop().events_processed() - events_before;
   row.ops = res.ops;
+  for (size_t n = 0; n < bed.cluster().num_nodes(); ++n) {
+    row.steps +=
+        bed.cluster().node(static_cast<int>(n))->nic().counters().engine_steps;
+  }
   row.wall_s = std::chrono::duration<double>(wall_end - wall_start).count();
   return row;
 }
@@ -109,7 +121,8 @@ SpeedRow measure(const Config& c, uint64_t seed, bool quick) {
   SpeedRow best = measure_once(c, seed, quick);
   for (int r = 1; r < kRepeats; ++r) {
     const SpeedRow row = measure_once(c, seed, quick);
-    SCALERPC_CHECK(row.events == best.events && row.ops == best.ops);
+    SCALERPC_CHECK(row.events == best.events && row.ops == best.ops &&
+                   row.steps == best.steps);
     if (row.wall_s < best.wall_s) {
       best = row;
     }
@@ -119,8 +132,20 @@ SpeedRow measure(const Config& c, uint64_t seed, bool quick) {
 
 ConfigResult measure_config(const Config& c, uint64_t seed, bool quick) {
   ConfigResult r;
+  const simrdma::NicEngine prev = simrdma::nic_engine();
+  simrdma::set_nic_engine(simrdma::NicEngine::kStateMachine);
   r.best = measure(c, seed, quick);
+  r.sm_transitions = r.best.steps;
+  // Peak RSS snapshot before the coroutine reference pass: the high-water
+  // mark must reflect the default (state-machine) engine, not the frames of
+  // the comparison run below.
   r.peak_rss_kb = peak_rss_kb_self();
+  simrdma::set_nic_engine(simrdma::NicEngine::kCoroutine);
+  const SpeedRow coro = measure_once(c, seed, quick);
+  simrdma::set_nic_engine(prev);
+  SCALERPC_CHECK_MSG(coro.events == r.best.events && coro.ops == r.best.ops,
+                     "NIC engines diverged on the speed workload");
+  r.coroutine_resumes = coro.steps;
   return r;
 }
 
@@ -177,6 +202,8 @@ int main(int argc, char** argv) {
   bench::JsonRows json;
   uint64_t total_events = 0;
   uint64_t total_ops = 0;
+  uint64_t total_sm_transitions = 0;
+  uint64_t total_coroutine_resumes = 0;
   double total_wall = 0.0;
   uint64_t max_rss_kb = 0;
   ConfigResult serial[kNumConfigs];
@@ -221,9 +248,13 @@ int main(int argc, char** argv) {
     json.field("events_per_sec", eps);
     json.field("sim_mops_per_wall_s", mops_per_s);
     json.field("peak_rss_mb", rss_mb);
+    json.field("sm_transitions", serial[ci].sm_transitions);
+    json.field("coroutine_resumes", serial[ci].coroutine_resumes);
     total_events += row.events;
     total_ops += row.ops;
     total_wall += row.wall_s;
+    total_sm_transitions += serial[ci].sm_transitions;
+    total_coroutine_resumes += serial[ci].coroutine_resumes;
     max_rss_kb = std::max(max_rss_kb, serial[ci].peak_rss_kb);
   }
 
@@ -240,6 +271,8 @@ int main(int argc, char** argv) {
   json.field("events_per_sec", agg_eps);
   json.field("sim_mops_per_wall_s", static_cast<double>(total_ops) / total_wall / 1e6);
   json.field("peak_rss_mb", max_rss_mb);
+  json.field("sm_transitions", total_sm_transitions);
+  json.field("coroutine_resumes", total_coroutine_resumes);
 
   // Warm-start pass: kRepeats measurement phases of the flagship config,
   // forked from ONE warmed snapshot, against the cold equivalent that

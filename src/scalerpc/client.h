@@ -37,6 +37,13 @@ class ScaleRpcClient : public rpc::RpcClient {
   int client_id() const override { return id_; }
 
   State state() const { return state_; }
+
+  // Pre-start schedule fixup for warm-started sweeps: keeps the client's
+  // config copy (which sizes the lost-write watchdog window from the
+  // rotation period) in step with ScaleRpcServer::set_time_slice. The value
+  // is only read inside flush(), so apply it before the workload starts.
+  void set_time_slice(Nanos slice) { cfg_.time_slice = slice; }
+
   uint64_t warmup_rounds() const { return warmup_rounds_; }
   uint64_t direct_batches() const { return direct_batches_; }
   uint64_t timeouts() const { return timeouts_; }

@@ -51,6 +51,9 @@ class GroupScheduler {
 
   int group_size() const { return group_size_; }
   Nanos default_slice() const { return slice_; }
+  // Pre-start fixup hook for warm-started sweeps (the server forwards its
+  // set_time_slice here before any group has been built).
+  void set_default_slice(Nanos slice) { slice_ = slice; }
   bool dynamic() const { return dynamic_; }
 
   // Legal size band [G/2, 3G/2] (paper's empirical adjustment rule).

@@ -123,6 +123,17 @@ int ScaleRpcServer::dedup_disposition(ClientState& c, int slot, uint32_t seq) {
   return seq == d.resp_seq ? 1 : 2;
 }
 
+void ScaleRpcServer::set_time_slice(Nanos slice) {
+  SCALERPC_CHECK(!running_);
+  cfg_.time_slice = slice;
+  policy_.set_default_slice(slice);
+}
+
+void ScaleRpcServer::set_warmup_enabled(bool enabled) {
+  SCALERPC_CHECK(!running_);
+  cfg_.warmup_enabled = enabled;
+}
+
 void ScaleRpcServer::start() {
   SCALERPC_CHECK(!running_);
   running_ = true;

@@ -42,6 +42,16 @@ class ScaleRpcServer : public rpc::RpcServer {
   simrdma::Node* node() { return node_; }
   const ScaleRpcConfig& config() const { return cfg_; }
 
+  // Pre-start schedule fixups for warm-started sweeps (src/harness/sweep.h):
+  // a forked child re-points the parameter before the workload starts.
+  // Construction only copies these values — the scheduler loop reads them
+  // after start() and groups are first built on its opening iteration — so
+  // an update here is indistinguishable from constructing with the new
+  // value. Calling either after start() would change schedule state mid-run
+  // and is rejected.
+  void set_time_slice(Nanos slice);
+  void set_warmup_enabled(bool enabled);
+
   struct Admission {
     int client_id;
     uint64_t entry_addr;   // server-side endpoint entry to RDMA-write

@@ -30,6 +30,9 @@ int scan_cyclic(const std::array<uint64_t, 4>& occ, int start) {
 }  // namespace
 
 EventLoop::EventLoop() {
+  cand_start_.fill(kMaxTime);
+  cand_slot_.fill(-1);
+  cand_valid_.fill(true);
   pool_.reserve(1024);
   overflow_.reserve(16);
   fns_.reserve(64);
@@ -43,16 +46,6 @@ EventLoop::EventLoop() {
 
 EventLoop::~EventLoop() { trace::unbind_clock(&now_); }
 
-uint32_t EventLoop::alloc_item() {
-  if (free_head_ != kNil) {
-    const uint32_t idx = free_head_;
-    free_head_ = pool_[idx].next;
-    return idx;
-  }
-  pool_.emplace_back();
-  return static_cast<uint32_t>(pool_.size() - 1);
-}
-
 void EventLoop::free_item(uint32_t idx) {
   Item& it = pool_[idx];
   it.handle = nullptr;
@@ -61,31 +54,6 @@ void EventLoop::free_item(uint32_t idx) {
   it.fn_idx = kNil;
   it.next = free_head_;
   free_head_ = idx;
-}
-
-void EventLoop::schedule_at(Nanos at, std::coroutine_handle<> h) {
-  SCALERPC_CHECK(at >= now_);
-  const uint32_t idx = alloc_item();
-  Item& it = pool_[idx];
-  it.at = at;
-  it.seq = next_seq_++;
-  it.handle = h;
-  it.next = kNil;
-  size_++;
-  enqueue(idx);
-}
-
-void EventLoop::call_at(Nanos at, RawFn fn, void* arg) {
-  SCALERPC_CHECK(at >= now_);
-  const uint32_t idx = alloc_item();
-  Item& it = pool_[idx];
-  it.at = at;
-  it.seq = next_seq_++;
-  it.raw_fn = fn;
-  it.raw_arg = arg;
-  it.next = kNil;
-  size_++;
-  enqueue(idx);
 }
 
 void EventLoop::call_at(Nanos at, std::function<void()> fn) {
@@ -109,79 +77,6 @@ void EventLoop::call_at(Nanos at, std::function<void()> fn) {
   enqueue(idx);
 }
 
-void EventLoop::enqueue(uint32_t idx) {
-  // While firing a batch every new event satisfies at >= now_ == next_at_,
-  // so this branch only trips for schedules placed between run_until()
-  // calls that undercut the remembered next event.
-  if (hot_ && pool_[idx].at < next_at_) {
-    hot_ = false;
-  }
-  if (pool_[idx].at - cursor_ >= kSpan) {
-    overflow_push(idx);
-  } else {
-    wheel_insert(idx);
-  }
-}
-
-void EventLoop::wheel_insert(uint32_t idx) {
-  const Nanos at = pool_[idx].at;
-  const Nanos delta = at - cursor_;
-  const int level = delta == 0 ? 0 : (63 - __builtin_clzll(static_cast<uint64_t>(delta))) >> 3;
-  const int slot =
-      static_cast<int>((static_cast<uint64_t>(at) >> (kLevelBits * level)) & 255);
-  if (level == 0) {
-    slot_insert_sorted(slot, idx);
-  } else {
-    slot_append(level, slot, idx);
-  }
-  level_size_[static_cast<size_t>(level)]++;
-  occ_[static_cast<size_t>(level)][static_cast<size_t>(slot >> 6)] |= uint64_t{1}
-                                                                      << (slot & 63);
-}
-
-void EventLoop::slot_append(int level, int slot, uint32_t idx) {
-  Slot& s = wheel_[static_cast<size_t>(level)][static_cast<size_t>(slot)];
-  if (s.tail == kNil) {
-    s.head = s.tail = idx;
-  } else {
-    pool_[s.tail].next = idx;
-    s.tail = idx;
-  }
-}
-
-void EventLoop::slot_insert_sorted(int slot, uint32_t idx) {
-  // Every item in a level-0 slot carries the same timestamp, so ordering
-  // within the slot is pure insertion-sequence order. Direct schedules
-  // always carry the largest seq so far (O(1) append); only items cascading
-  // down from outer levels or migrating from the overflow heap splice in.
-  Slot& s = wheel_[0][static_cast<size_t>(slot)];
-  if (s.tail == kNil) {
-    s.head = s.tail = idx;
-    return;
-  }
-  const uint64_t seq = pool_[idx].seq;
-  if (pool_[s.tail].seq < seq) {
-    pool_[s.tail].next = idx;
-    s.tail = idx;
-    return;
-  }
-  uint32_t prev = kNil;
-  uint32_t cur = s.head;
-  while (cur != kNil && pool_[cur].seq < seq) {
-    prev = cur;
-    cur = pool_[cur].next;
-  }
-  pool_[idx].next = cur;
-  if (prev == kNil) {
-    s.head = idx;
-  } else {
-    pool_[prev].next = idx;
-  }
-  if (cur == kNil) {
-    s.tail = idx;
-  }
-}
-
 void EventLoop::cascade(int level, int slot, Nanos bucket_start) {
   cursor_ = bucket_start;
   Slot& s = wheel_[static_cast<size_t>(level)][static_cast<size_t>(slot)];
@@ -195,6 +90,17 @@ void EventLoop::cascade(int level, int slot, Nanos bucket_start) {
     level_size_[static_cast<size_t>(level)]--;
     wheel_insert(idx);
     idx = nxt;
+  }
+  // The flattened bucket is exactly the one the memo pointed at; the level's
+  // next bucket is unknown until the lazy rescan in settle(). (Items only
+  // ever leave an outer level through this function, so this is the sole
+  // invalidation point.)
+  if (level_size_[static_cast<size_t>(level)] == 0) {
+    cand_start_[static_cast<size_t>(level)] = kMaxTime;
+    cand_slot_[static_cast<size_t>(level)] = -1;
+    cand_valid_[static_cast<size_t>(level)] = true;
+  } else {
+    cand_valid_[static_cast<size_t>(level)] = false;
   }
 }
 
@@ -230,29 +136,31 @@ bool EventLoop::settle(Nanos bound) {
       }
     }
 
-    // Earliest non-empty bucket per outer level. Scanning starts one past
-    // the cursor's own slot: every bucket is flattened the moment the
-    // cursor enters it (see below), so an occupied cursor slot at level l
-    // can only mean the bucket one full wheel revolution ahead.
-    int cand_slot[kLevels];
-    Nanos cand_start[kLevels];
+    // Earliest non-empty bucket per outer level, from the memo. A stale
+    // memo (its bucket was just cascaded away) is rebuilt here by scanning
+    // the occupancy bitmap, starting one past the cursor's own slot: every
+    // bucket is flattened the moment the cursor enters it (see below), so
+    // an occupied cursor slot at level l can only mean the bucket one full
+    // wheel revolution ahead.
     Nanos bstart = kMaxTime;
     for (int l = 1; l < kLevels; ++l) {
-      cand_start[l] = kMaxTime;
       if (level_size_[static_cast<size_t>(l)] == 0) {
         continue;
       }
-      const uint64_t cl = static_cast<uint64_t>(cursor_) >> (kLevelBits * l);
-      const int sl = static_cast<int>(cl & 255);
-      const int d = scan_cyclic(occ_[static_cast<size_t>(l)], (sl + 1) & 255);
-      if (d < 0) {
-        continue;
+      if (!cand_valid_[static_cast<size_t>(l)]) {
+        const uint64_t cl = static_cast<uint64_t>(cursor_) >> (kLevelBits * l);
+        const int sl = static_cast<int>(cl & 255);
+        // The level is non-empty and all its buckets sit strictly ahead of
+        // the cursor's slot in cyclic order, so the scan always hits.
+        const int d = scan_cyclic(occ_[static_cast<size_t>(l)], (sl + 1) & 255);
+        SCALERPC_CHECK(d >= 0);
+        cand_start_[static_cast<size_t>(l)] =
+            static_cast<Nanos>((cl + static_cast<uint64_t>(d) + 1) << (kLevelBits * l));
+        cand_slot_[static_cast<size_t>(l)] = (sl + 1 + d) & 255;
+        cand_valid_[static_cast<size_t>(l)] = true;
       }
-      cand_start[l] =
-          static_cast<Nanos>((cl + static_cast<uint64_t>(d) + 1) << (kLevelBits * l));
-      cand_slot[l] = (sl + 1 + d) & 255;
-      if (cand_start[l] < bstart) {
-        bstart = cand_start[l];
+      if (cand_start_[static_cast<size_t>(l)] < bstart) {
+        bstart = cand_start_[static_cast<size_t>(l)];
       }
     }
 
@@ -271,8 +179,13 @@ bool EventLoop::settle(Nanos bound) {
         return false;
       }
       for (int l = kLevels - 1; l >= 1; --l) {
-        if (cand_start[l] == bstart) {
-          cascade(l, cand_slot[l], bstart);
+        // Items trickling down from a wider tied bucket land strictly after
+        // bstart at every narrower level, so they can never create a new tie
+        // mid-loop: matching against the live memo here is equivalent to the
+        // snapshot the pre-memo code took.
+        if (cand_valid_[static_cast<size_t>(l)] &&
+            cand_start_[static_cast<size_t>(l)] == bstart) {
+          cascade(l, cand_slot_[static_cast<size_t>(l)], bstart);
         }
       }
       continue;
@@ -324,10 +237,12 @@ bool EventLoop::fire_next(Nanos bound) {
                  static_cast<uint64_t>(size_), "fired", events_processed_);
     }
   }
-  if (it.handle) {
-    it.handle.resume();
-  } else if (it.raw_fn != nullptr) {
+  // Raw callbacks first: under the state-machine NIC engine they are the
+  // bulk of all events.
+  if (it.raw_fn != nullptr) {
     it.raw_fn(it.raw_arg);
+  } else if (it.handle) {
+    it.handle.resume();
   } else {
     auto fn = std::move(fns_[it.fn_idx]);
     fns_[it.fn_idx] = nullptr;

@@ -45,6 +45,8 @@ class EventLoop {
   Nanos now() const { return now_; }
 
   // Schedules a coroutine resume at absolute time `at` (must be >= now).
+  // Defined inline below: this and the raw call_at are the two per-event
+  // entry points, called from every TU that hosts simulated actors.
   void schedule_at(Nanos at, std::coroutine_handle<> h);
   // Schedules a coroutine resume `delay` ns from now.
   void schedule_in(Nanos delay, std::coroutine_handle<> h) {
@@ -56,7 +58,8 @@ class EventLoop {
   void call_in(Nanos delay, std::function<void()> fn) { call_at(now_ + delay, std::move(fn)); }
 
   // Allocation-free callback scheduling for hot paths (e.g. per-packet
-  // switch delivery): no type erasure, no capture storage.
+  // switch delivery, the NIC state machines): no type erasure, no capture
+  // storage.
   void call_at(Nanos at, RawFn fn, void* arg);
   void call_in(Nanos delay, RawFn fn, void* arg) { call_at(now_ + delay, fn, arg); }
 
@@ -167,6 +170,16 @@ class EventLoop {
   // Items resident per level; lets settle() skip bitmap scans of empty
   // levels (outer levels are usually empty in steady state).
   std::array<uint32_t, kLevels> level_size_{};
+  // Earliest-occupied-bucket memo per outer level (index 0 unused): the
+  // absolute start time and slot of the level's next bucket, or kMaxTime
+  // when the level is empty. Inserts keep it exact (a bucket start is
+  // computable from the item's timestamp alone); only cascade() — which
+  // empties the one bucket the memo points at — marks a level for lazy
+  // rescan. settle() then reduces to comparing five cached values instead
+  // of bitmap-scanning every occupied level on each non-batched fire.
+  std::array<Nanos, kLevels> cand_start_{};
+  std::array<int, kLevels> cand_slot_{};
+  std::array<bool, kLevels> cand_valid_{};
 
   std::vector<uint32_t> overflow_;  // 4-ary heap of pool indices, (at, seq)
 
@@ -174,6 +187,131 @@ class EventLoop {
   std::vector<std::function<void()>> fns_;
   std::vector<uint32_t> fn_free_;
 };
+
+// ---- Inline schedule path -------------------------------------------------
+// The whole insert chain (slab alloc -> wheel placement) lives in the header
+// so the per-event schedule calls — made from every actor TU, a million-plus
+// times per simulated second — compile down to straight-line code at the call
+// site instead of three cross-TU calls.
+
+inline uint32_t EventLoop::alloc_item() {
+  if (free_head_ != kNil) {
+    const uint32_t idx = free_head_;
+    free_head_ = pool_[idx].next;
+    return idx;
+  }
+  pool_.emplace_back();
+  return static_cast<uint32_t>(pool_.size() - 1);
+}
+
+inline void EventLoop::slot_append(int level, int slot, uint32_t idx) {
+  Slot& s = wheel_[static_cast<size_t>(level)][static_cast<size_t>(slot)];
+  if (s.tail == kNil) {
+    s.head = s.tail = idx;
+  } else {
+    pool_[s.tail].next = idx;
+    s.tail = idx;
+  }
+}
+
+inline void EventLoop::slot_insert_sorted(int slot, uint32_t idx) {
+  // Every item in a level-0 slot carries the same timestamp, so ordering
+  // within the slot is pure insertion-sequence order. Direct schedules
+  // always carry the largest seq so far (O(1) append); only items cascading
+  // down from outer levels or migrating from the overflow heap splice in.
+  Slot& s = wheel_[0][static_cast<size_t>(slot)];
+  if (s.tail == kNil) {
+    s.head = s.tail = idx;
+    return;
+  }
+  const uint64_t seq = pool_[idx].seq;
+  if (pool_[s.tail].seq < seq) {
+    pool_[s.tail].next = idx;
+    s.tail = idx;
+    return;
+  }
+  uint32_t prev = kNil;
+  uint32_t cur = s.head;
+  while (cur != kNil && pool_[cur].seq < seq) {
+    prev = cur;
+    cur = pool_[cur].next;
+  }
+  pool_[idx].next = cur;
+  if (prev == kNil) {
+    s.head = idx;
+  } else {
+    pool_[prev].next = idx;
+  }
+  if (cur == kNil) {
+    s.tail = idx;
+  }
+}
+
+inline void EventLoop::wheel_insert(uint32_t idx) {
+  const Nanos at = pool_[idx].at;
+  const Nanos delta = at - cursor_;
+  const int level = delta == 0 ? 0 : (63 - __builtin_clzll(static_cast<uint64_t>(delta))) >> 3;
+  const int slot =
+      static_cast<int>((static_cast<uint64_t>(at) >> (kLevelBits * level)) & 255);
+  if (level == 0) {
+    slot_insert_sorted(slot, idx);
+  } else {
+    slot_append(level, slot, idx);
+    // Keep the earliest-bucket memo exact: a new item can only move the
+    // level's candidate earlier. (When the memo is stale — cascade() just
+    // emptied the bucket it pointed at — settle() rescans before use, so
+    // skipping the update is safe.)
+    const Nanos bstart = static_cast<Nanos>(
+        (static_cast<uint64_t>(at) >> (kLevelBits * level)) << (kLevelBits * level));
+    if (cand_valid_[static_cast<size_t>(level)] &&
+        bstart < cand_start_[static_cast<size_t>(level)]) {
+      cand_start_[static_cast<size_t>(level)] = bstart;
+      cand_slot_[static_cast<size_t>(level)] = slot;
+    }
+  }
+  level_size_[static_cast<size_t>(level)]++;
+  occ_[static_cast<size_t>(level)][static_cast<size_t>(slot >> 6)] |= uint64_t{1}
+                                                                      << (slot & 63);
+}
+
+inline void EventLoop::enqueue(uint32_t idx) {
+  // While firing a batch every new event satisfies at >= now_ == next_at_,
+  // so this branch only trips for schedules placed between run_until()
+  // calls that undercut the remembered next event.
+  if (hot_ && pool_[idx].at < next_at_) {
+    hot_ = false;
+  }
+  if (pool_[idx].at - cursor_ >= kSpan) {
+    overflow_push(idx);
+  } else {
+    wheel_insert(idx);
+  }
+}
+
+inline void EventLoop::schedule_at(Nanos at, std::coroutine_handle<> h) {
+  SCALERPC_CHECK(at >= now_);
+  const uint32_t idx = alloc_item();
+  Item& it = pool_[idx];
+  it.at = at;
+  it.seq = next_seq_++;
+  it.handle = h;
+  it.next = kNil;
+  size_++;
+  enqueue(idx);
+}
+
+inline void EventLoop::call_at(Nanos at, RawFn fn, void* arg) {
+  SCALERPC_CHECK(at >= now_);
+  const uint32_t idx = alloc_item();
+  Item& it = pool_[idx];
+  it.at = at;
+  it.seq = next_seq_++;
+  it.raw_fn = fn;
+  it.raw_arg = arg;
+  it.next = kNil;
+  size_++;
+  enqueue(idx);
+}
 
 }  // namespace scalerpc::sim
 

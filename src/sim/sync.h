@@ -8,47 +8,97 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "src/sim/event_loop.h"
 #include "src/sim/task.h"
 
 namespace scalerpc::sim {
 
-// FIFO parking lot for suspended coroutines.
+// FIFO parking lot for suspended continuations. A waiter is either a
+// coroutine handle (the workload/client API) or a raw (fn, arg) callback
+// (the NIC data plane's state machines, see src/simrdma/nic.cc). Both are
+// woken the same way — one loop event at the current instant — so mixing
+// them in one queue preserves the exact (time, insertion-seq) wakeup order.
+//
+// Waiters live in a power-of-two ring, not a std::deque: a deque cycled
+// through push_back/pop_front allocates a fresh chunk every chunkful of
+// pushes even at constant occupancy, so it can never satisfy the simulator's
+// steady-state allocation-free rule. The ring only grows when occupancy
+// exceeds capacity, i.e. a bounded number of times over a run.
 class WaitQueue {
  public:
   explicit WaitQueue(EventLoop& loop) : loop_(loop) {}
 
-  void park(std::coroutine_handle<> h) { waiters_.push_back(h); }
+  void park(std::coroutine_handle<> h) { push(Waiter{h, nullptr, nullptr}); }
+  void park(EventLoop::RawFn fn, void* arg) {
+    push(Waiter{nullptr, fn, arg});
+  }
 
   // Wakes the oldest waiter (if any). Returns true if one was woken.
   bool wake_one() {
-    if (waiters_.empty()) {
+    if (count_ == 0) {
       return false;
     }
-    loop_.schedule_in(0, waiters_.front());
-    waiters_.pop_front();
+    wake(ring_[head_]);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    count_--;
     return true;
   }
 
   // Wakes all waiters; returns the number woken.
   size_t wake_all() {
-    const size_t n = waiters_.size();
-    for (auto h : waiters_) {
-      loop_.schedule_in(0, h);
+    const size_t n = count_;
+    for (size_t i = 0; i < n; ++i) {
+      wake(ring_[(head_ + i) & (ring_.size() - 1)]);
     }
-    waiters_.clear();
+    head_ = 0;
+    count_ = 0;
     return n;
   }
 
-  bool empty() const { return waiters_.empty(); }
-  size_t size() const { return waiters_.size(); }
+  bool empty() const { return count_ == 0; }
+  size_t size() const { return count_; }
   EventLoop& loop() { return loop_; }
 
  private:
+  struct Waiter {
+    std::coroutine_handle<> h;
+    EventLoop::RawFn fn;
+    void* arg;
+  };
+
+  void push(const Waiter& w) {
+    if (count_ == ring_.size()) {
+      grow();
+    }
+    ring_[(head_ + count_) & (ring_.size() - 1)] = w;
+    count_++;
+  }
+
+  // Doubles the ring (min 8 slots), re-linearizing so the oldest waiter
+  // lands at index 0.
+  void grow() {
+    std::vector<Waiter> next(ring_.empty() ? 8 : ring_.size() * 2);
+    for (size_t i = 0; i < count_; ++i) {
+      next[i] = ring_[(head_ + i) & (ring_.size() - 1)];
+    }
+    ring_ = std::move(next);
+    head_ = 0;
+  }
+
+  void wake(const Waiter& w) {
+    if (w.fn != nullptr) {
+      loop_.call_in(0, w.fn, w.arg);
+    } else {
+      loop_.schedule_in(0, w.h);
+    }
+  }
+
   EventLoop& loop_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::vector<Waiter> ring_;
+  size_t head_ = 0;
+  size_t count_ = 0;
 };
 
 // Manual-reset event: wait() is a no-op while set; set() wakes everyone.
@@ -134,6 +184,21 @@ class Semaphore {
     return Awaiter{this};
   }
 
+  // Callback form of acquire() for frame-free state machines. Returns true
+  // when the permit was taken inline (the caller continues synchronously —
+  // exactly the coroutine awaiter's await_ready fast path, no loop event);
+  // otherwise parks (fn, arg) and returns false — on release() the grant is
+  // handed over through one loop event at the then-current time, just like
+  // a parked coroutine resume.
+  bool acquire(EventLoop::RawFn fn, void* arg) {
+    if (permits_ > 0) {
+      permits_--;
+      return true;
+    }
+    waiters_.park(fn, arg);
+    return false;
+  }
+
   void release() {
     if (!waiters_.wake_one()) {
       permits_++;
@@ -162,10 +227,44 @@ class FifoResource {
     sem_.release();
   }
 
+  // Callback form of use() for frame-free state machines. The caller embeds
+  // a Ticket (it must stay valid until `done` fires) and gets the identical
+  // event sequence as the coroutine: acquire (inline when a unit is free,
+  // otherwise one grant event), one service-delay event, release, then
+  // done(arg) invoked synchronously — as the coroutine's final_suspend
+  // resumes its awaiter without a loop round-trip.
+  struct Ticket {
+    FifoResource* res = nullptr;
+    Nanos service = 0;
+    EventLoop::RawFn done = nullptr;
+    void* arg = nullptr;
+  };
+
+  void use(Ticket* t) {
+    t->res = this;
+    if (sem_.acquire(&FifoResource::on_grant, t)) {
+      on_grant(t);
+    }
+  }
+
   Semaphore& semaphore() { return sem_; }
   EventLoop& loop() { return loop_; }
 
  private:
+  static void on_grant(void* arg) {
+    auto* t = static_cast<Ticket*>(arg);
+    if (t->service <= 0) {
+      on_held(arg);
+      return;
+    }
+    t->res->loop_.call_in(t->service, &FifoResource::on_held, t);
+  }
+  static void on_held(void* arg) {
+    auto* t = static_cast<Ticket*>(arg);
+    t->res->sem_.release();
+    t->done(t->arg);
+  }
+
   EventLoop& loop_;
   Semaphore sem_;
 };

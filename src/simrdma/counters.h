@@ -60,6 +60,12 @@ struct NicCounters {
   uint64_t rc_retry_exhausted = 0;  // WRs that gave up and errored the QP
   uint64_t rc_dup_requests = 0;     // responder-side duplicates suppressed
   uint64_t flushed_wrs = 0;         // WRs flushed by QP error transitions
+  // Engine bookkeeping: how many times the NIC data plane's execution engine
+  // stepped. Under the callback engine this counts state-machine transitions
+  // (one per dispatched callback); under the coroutine reference engine it
+  // counts frame starts + coroutine resumes. Purely diagnostic — excluded
+  // from figure output and from the engine-oracle comparison.
+  uint64_t engine_steps = 0;
 
   NicCounters operator-(const NicCounters& rhs) const {
     NicCounters d;
@@ -76,6 +82,7 @@ struct NicCounters {
     d.rc_retry_exhausted = rc_retry_exhausted - rhs.rc_retry_exhausted;
     d.rc_dup_requests = rc_dup_requests - rhs.rc_dup_requests;
     d.flushed_wrs = flushed_wrs - rhs.flushed_wrs;
+    d.engine_steps = engine_steps - rhs.engine_steps;
     return d;
   }
 };

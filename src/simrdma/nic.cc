@@ -1,10 +1,12 @@
 #include "src/simrdma/nic.h"
 
 #include <algorithm>
+#include <new>
 #include <utility>
 
 #include "src/common/logging.h"
 #include "src/fault/inject.h"
+#include "src/sim/pool.h"
 #include "src/simrdma/cluster.h"
 #include "src/simrdma/node.h"
 #include "src/trace/trace.h"
@@ -47,48 +49,8 @@ Nic::Nic(sim::EventLoop& loop, Node* node, const SimParams& params)
       wqe_cache_(params.nic_wqe_cache_entries),
       send_units_(loop, params.nic_send_units),
       recv_units_(loop, params.nic_recv_units),
-      tx_port_(loop, 1) {}
-
-void Nic::submit_send(QueuePair* qp, SendWr wr) {
-  // The doorbell makes the NIC prefetch the WQE into its cache; whether it
-  // is still there when an engine executes it depends on how much other
-  // state (QP contexts, inbound touches, later WQEs) churned the cache in
-  // between. Inline WQEs ride in the doorbell itself (BlueFlame) and skip
-  // the cache entirely.
-  uint64_t wqe_key = 0;
-  if (!wr.inline_data) {
-    wqe_key = kWqeKeyBase + next_wqe_id_++;
-    wqe_cache_.touch_insert(wqe_key);
-  }
-  if (trace::Tracer* t = trace::tracer(trace::kNic)) {
-    t->instant(trace::kNic,
-               wr.inline_data ? "nic.doorbell_inline" : "nic.doorbell",
-               loop_.now(), node_->id(), "qpn", qp->qpn(), "wqe", wqe_key);
-  }
-  sim::spawn(loop_, send_path(qp, std::move(wr), wqe_key));
-}
-
-void Nic::deliver(Packet pkt) {
-  if (fault::FaultInjector* inj = faults()) {
-    if (node_->is_down()) {
-      // Dead host: the wire ends here. Peers discover via their own
-      // retransmission timeouts.
-      inj->count_crash_drop();
-      return;
-    }
-    if (pkt.corrupt) {
-      // The ICRC check rejects the damaged packet before it reaches a
-      // processing engine; recovery is identical to a fabric drop.
-      counters_.bytes_rx += pkt.payload.size() + params_.packet_header_bytes;
-      if (trace::Tracer* t = trace::tracer(trace::kFault)) {
-        t->instant(trace::kFault, "fault.icrc_discard", loop_.now(),
-                   node_->id(), "src", pkt.src_node, "psn", pkt.psn);
-      }
-      return;
-    }
-  }
-  sim::spawn(loop_, inbound_path(std::move(pkt)));
-}
+      tx_port_(loop, 1),
+      engine_(nic_engine()) {}
 
 fault::FaultInjector* Nic::faults() const { return node_->cluster()->faults(); }
 
@@ -140,9 +102,923 @@ void Nic::complete_send(QueuePair* qp, const SendWr& wr, WcStatus status,
   qp->send_cq()->push(c);
 }
 
+// ---------------------------------------------------------------------------
+// Callback state-machine engine (default).
+//
+// Each state function is an EventLoop::RawFn (or reached inline when a
+// semaphore permit / zero delay lets execution continue synchronously,
+// exactly where the coroutine awaiter's await_ready fast path would not
+// suspend). The contexts are BytePool-recycled, so the steady state stays
+// allocation-free. Every loop_.call_in / semaphore park below corresponds
+// one-to-one to a suspension point of the coroutine reference engine,
+// keeping the two engines event-for-event identical.
+// ---------------------------------------------------------------------------
+
+// WQE lifetime: doorbell spawn -> preamble -> transmit leg (engine unit,
+// pipeline delay, TX port) -> completion policy; for tracked RC requests
+// the same context then becomes the retransmission watcher, re-entering the
+// transmit leg on each resend.
+struct Nic::SendSm {
+  // Where control returns after the transmit leg finishes (on_wired).
+  enum class From : uint8_t { kSendPath, kWatcher };
+
+  Nic* nic = nullptr;
+  QueuePair* qp = nullptr;
+  SendWr wr;
+  uint64_t wqe_key = 0;
+  uint64_t psn = 0;
+  From from = From::kSendPath;
+
+  // Transmit-leg scratch.
+  sim::PooledBytes payload;
+  Packet pkt;
+  uint32_t wire_payload = 0;
+  sim::FifoResource::Ticket ticket;
+
+  // Watcher state.
+  Nanos timeout = 0;
+  int retry = 0;
+
+  static SendSm* make(Nic* nic, QueuePair* qp, SendWr wr, uint64_t wqe_key) {
+    auto* sm = new (sim::BytePool::alloc(sizeof(SendSm))) SendSm();
+    sm->nic = nic;
+    sm->qp = qp;
+    sm->wr = wr;
+    sm->wqe_key = wqe_key;
+    return sm;
+  }
+  void free() {
+    this->~SendSm();
+    sim::BytePool::release(this, sizeof(SendSm));
+  }
+
+  // Doorbell event fired: send_path preamble.
+  static void start(void* arg) {
+    auto* sm = static_cast<SendSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    // Errored QP or dead host: the WQE flushes. Signaled WRs still complete
+    // (with an error) so posted-vs-completed accounting never hangs.
+    if (sm->qp->in_error() || n->node_->is_down()) {
+      n->counters_.flushed_wrs++;
+      if (sm->wr.signaled) {
+        n->complete_send(sm->qp, sm->wr, WcStatus::kWrFlushErr);
+      }
+      sm->free();
+      return;
+    }
+    n->counters_.send_wqes++;
+
+    // With a fault plan attached, RC requests are tracked by PSN so lost
+    // packets retransmit. The lossless fast path never assigns PSNs: zero
+    // extra events, zero extra state.
+    if (n->faults() != nullptr && sm->qp->type() == QpType::kRC) {
+      sm->psn = sm->qp->alloc_psn();
+      sm->qp->add_outstanding(sm->wr, sm->psn);
+    }
+    tx_begin(sm);
+  }
+
+  // Transmit leg entry (first transmission and every retransmission).
+  static void tx_begin(SendSm* sm) {
+    if (sm->nic->send_units_.acquire(&SendSm::on_unit, sm)) {
+      on_unit(sm);
+    }
+  }
+
+  // A send engine unit is ours: charge pipeline costs, gather the payload.
+  static void on_unit(void* arg) {
+    auto* sm = static_cast<SendSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    Nanos cost = n->params_.nic_send_base_ns;
+    cost += n->charge_connection_state(sm->qp, sm->wqe_key);
+
+    const bool carries_payload =
+        (sm->wr.opcode == Opcode::kWrite || sm->wr.opcode == Opcode::kWriteImm ||
+         sm->wr.opcode == Opcode::kSend) &&
+        sm->wr.length > 0;
+    sm->wire_payload = carries_payload ? sm->wr.length : 0;
+
+    if (carries_payload) {
+      sm->payload.resize(sm->wr.length);
+      n->node_->memory().load(sm->wr.local_addr, sm->payload);
+      if (!sm->wr.inline_data) {
+        // Gather via DMA read: PCIe reads, possibly served from the LLC.
+        // Pipelined, so the serialization charge per line is small; bulk
+        // payloads stream at PCIe line rate.
+        cost += stream_cap(
+            n->node_->llc().dma_read(sm->wr.local_addr, sm->wr.length) / 4 +
+                static_cast<Nanos>(lines_touched(sm->wr.local_addr, sm->wr.length)) *
+                    n->params_.nic_payload_fetch_ns,
+            sm->wr.length, n->params_);
+      }
+    }
+
+    if (fault::FaultInjector* inj = n->faults()) {
+      cost = inj->scale_cost(n->loop_.now(), n->node_->id(), cost);
+    }
+    if (cost <= 0) {
+      on_processed(sm);
+    } else {
+      n->loop_.call_in(cost, &SendSm::on_processed, sm);
+    }
+  }
+
+  // Pipeline processing done: release the unit, build the packet, serialize
+  // it onto the TX port.
+  static void on_processed(void* arg) {
+    auto* sm = static_cast<SendSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    n->send_units_.release();
+
+    Packet pkt;
+    pkt.kind = Packet::Kind::kRequest;
+    pkt.transport = sm->qp->type();
+    pkt.opcode = sm->wr.opcode;
+    pkt.src_node = n->node_->id();
+    pkt.src_qpn = sm->qp->qpn();
+    if (sm->qp->type() == QpType::kUD) {
+      pkt.dst_node = sm->wr.dest_node;
+      pkt.dst_qpn = sm->wr.dest_qpn;
+    } else {
+      pkt.dst_node = sm->qp->peer_node();
+      pkt.dst_qpn = sm->qp->peer_qpn();
+    }
+    pkt.wr_id = sm->wr.wr_id;
+    pkt.remote_addr = sm->wr.remote_addr;
+    pkt.rkey = sm->wr.rkey;
+    pkt.length = sm->wr.length;
+    pkt.imm = sm->wr.imm;
+    pkt.has_imm = (sm->wr.opcode == Opcode::kWriteImm);
+    pkt.signaled = sm->wr.signaled;
+    pkt.resp_local_addr = sm->wr.local_addr;
+    pkt.payload = std::move(sm->payload);
+    pkt.atomic_compare = sm->wr.compare;
+    pkt.atomic_swap_or_add = sm->wr.swap_or_add;
+    pkt.psn = sm->psn;
+    sm->pkt = std::move(pkt);
+
+    sm->ticket.service = n->params_.wire_time(sm->wire_payload);
+    sm->ticket.done = &SendSm::on_wired;
+    sm->ticket.arg = sm;
+    n->tx_port_.use(&sm->ticket);
+  }
+
+  // The packet hit the wire: route it, then continue whichever pipeline the
+  // transmit leg was serving.
+  static void on_wired(void* arg) {
+    auto* sm = static_cast<SendSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    n->counters_.bytes_tx += sm->wire_payload + n->params_.packet_header_bytes;
+    n->node_->cluster()->route(std::move(sm->pkt));
+
+    if (sm->from == From::kWatcher) {
+      if (sm->qp->find_outstanding(sm->psn) == nullptr || sm->qp->in_error()) {
+        sm->free();
+        return;
+      }
+      watch_advance(sm);
+      return;
+    }
+
+    if (sm->psn != 0 && sm->qp->find_outstanding(sm->psn) != nullptr) {
+      // Arm the retransmission watcher, reusing this context. The spawn
+      // event mirrors the coroutine engine's sim::spawn of the watcher.
+      sm->from = From::kWatcher;
+      n->loop_.call_in(0, &SendSm::watch_start, sm);
+      return;
+    }
+
+    // Local completion policy:
+    //  * RC write/send: completion arrives with the ack.
+    //  * RC read/atomics: completion arrives with the response data.
+    //  * UC/UD: "transmitted" is all the fabric guarantees; complete now.
+    if (sm->qp->type() != QpType::kRC && sm->wr.signaled) {
+      n->complete_send(sm->qp, sm->wr, WcStatus::kSuccess);
+    }
+    sm->free();
+  }
+
+  // Watcher armed: first back-off timer.
+  static void watch_start(void* arg) {
+    auto* sm = static_cast<SendSm*>(arg);
+    sm->nic->counters_.engine_steps++;
+    sm->timeout = sm->nic->params_.rc_retransmit_timeout_ns;
+    sm->retry = 0;
+    sm->nic->loop_.call_in(sm->timeout, &SendSm::watch_fire, sm);
+  }
+
+  // Back-off timer fired: resend or give up.
+  static void watch_fire(void* arg) {
+    auto* sm = static_cast<SendSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    QueuePair::Outstanding* o = sm->qp->find_outstanding(sm->psn);
+    if (o == nullptr || sm->qp->in_error()) {
+      sm->free();  // acked, responded, or flushed while we slept
+      return;
+    }
+    if (sm->retry == n->params_.rc_retry_count) {
+      exhaust(sm);  // retries exhausted
+      return;
+    }
+    o->retries = sm->retry + 1;
+    n->counters_.rc_retransmits++;
+    if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+      t->instant(trace::kFault, "fault.rc_retransmit", n->loop_.now(),
+                 n->node_->id(), "qpn", sm->qp->qpn(), "psn", sm->psn);
+    }
+    // While our own host is down nothing reaches the wire; burn the attempt
+    // and keep backing off. Note the payload is re-gathered from host
+    // memory at resend time — like a real NIC, a retransmit of a WR whose
+    // source buffer was reused sends the new bytes.
+    if (!n->node_->is_down()) {
+      sm->wr = o->wr;  // copy: the entry may move while we wait for the port
+      sm->wqe_key = 0;
+      tx_begin(sm);  // re-enters on_wired with from == kWatcher
+      return;
+    }
+    watch_advance(sm);
+  }
+
+  // Loop tail: double the back-off and rearm.
+  static void watch_advance(SendSm* sm) {
+    sm->timeout *= 2;
+    sm->retry++;
+    sm->nic->loop_.call_in(sm->timeout, &SendSm::watch_fire, sm);
+  }
+
+  // Transport gives up: complete the WR with RETRY_EXCEEDED and error the
+  // QP (remaining WRs flush), as a real RC QP does.
+  static void exhaust(SendSm* sm) {
+    Nic* n = sm->nic;
+    const QueuePair::Outstanding o = *sm->qp->find_outstanding(sm->psn);
+    sm->qp->erase_outstanding(sm->psn);
+    n->counters_.rc_retry_exhausted++;
+    if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+      t->instant(trace::kFault, "fault.rc_retry_exhausted", n->loop_.now(),
+                 n->node_->id(), "qpn", sm->qp->qpn(), "psn", sm->psn);
+    }
+    if (o.wr.signaled) {
+      n->complete_send(sm->qp, o.wr, WcStatus::kRetryExceeded);
+    }
+    sm->qp->force_error();
+    sm->free();
+  }
+};
+
+// One inbound packet: ack/response requester bookkeeping, dedup replay,
+// RNR wait, request execution, and the RC reply legs.
+struct Nic::RecvSm {
+  Nic* nic = nullptr;
+  Packet pkt;
+  QueuePair* qp = nullptr;
+  Nanos cost = 0;
+  WcStatus status = WcStatus::kSuccess;
+  uint64_t atomic_old = 0;
+  sim::PooledBytes read_payload;
+  uint64_t store_addr = 0;
+  bool do_store = false;
+  bool push_recv_cqe = false;
+  bool track_dedup = false;
+  RecvWr rwr{};
+  uint32_t recv_byte_len = 0;
+  int rnr_retries = 0;
+  // Dedup-ring slot of a duplicate request; read again after the ack-latency
+  // delay, exactly as the coroutine engine dereferences it post-suspension.
+  QueuePair::SeenPsn* dup = nullptr;
+  // Outgoing ack/NAK/response and its wire payload size for the port leg.
+  Packet out;
+  uint32_t out_bytes = 0;
+  sim::FifoResource::Ticket ticket;
+
+  static RecvSm* make(Nic* nic, Packet pkt) {
+    auto* sm = new (sim::BytePool::alloc(sizeof(RecvSm))) RecvSm();
+    sm->nic = nic;
+    sm->pkt = std::move(pkt);
+    return sm;
+  }
+  void free() {
+    this->~RecvSm();
+    sim::BytePool::release(this, sizeof(RecvSm));
+  }
+
+  // Arrival event fired: classify the packet and enter the right leg.
+  static void start(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    n->counters_.bytes_rx +=
+        sm->pkt.payload.size() + n->params_.packet_header_bytes;
+
+    // --- Control traffic: acks and naks complete the original WQE. ---
+    // Processing an ack updates the QP's requester state, so it touches the
+    // NIC cache: with many interleaved RC peers this is what keeps evicting
+    // entries between a worker's response bursts (the outbound collapse).
+    if (sm->pkt.kind == Packet::Kind::kAck ||
+        sm->pkt.kind == Packet::Kind::kNak) {
+      sm->qp = n->node_->find_qp(sm->pkt.dst_qpn);
+      SCALERPC_CHECK(sm->qp != nullptr);
+      Nanos ack_cost = 20;
+      if (n->qp_cache_.access(sm->qp->qpn())) {
+        n->counters_.qp_cache_hits++;
+      } else {
+        n->counters_.qp_cache_misses++;
+        n->node_->count_pcie_read();
+        ack_cost += n->params_.nic_cache_miss_ns;
+      }
+      sm->cost = ack_cost;
+      if (n->recv_units_.acquire(&RecvSm::ack_on_unit, sm)) {
+        ack_on_unit(sm);
+      }
+      return;
+    }
+
+    // --- Read / atomic responses scatter into requester memory. ---
+    if (sm->pkt.kind == Packet::Kind::kReadResponse ||
+        sm->pkt.kind == Packet::Kind::kAtomicResponse) {
+      sm->qp = n->node_->find_qp(sm->pkt.dst_qpn);
+      SCALERPC_CHECK(sm->qp != nullptr);
+      if (n->recv_units_.acquire(&RecvSm::resp_on_unit, sm)) {
+        resp_on_unit(sm);
+      }
+      return;
+    }
+
+    // --- Requests. ---
+    sm->qp = n->node_->find_qp(sm->pkt.dst_qpn);
+    SCALERPC_CHECK_MSG(sm->qp != nullptr, "packet to unknown QP");
+
+    // Responder context occupies NIC cache space (touch-only: misses are
+    // overlapped and cost nothing, keeping pure-inbound traffic flat, but
+    // the occupancy evicts requester state under bidirectional load).
+    if (sm->pkt.transport != QpType::kUD) {
+      n->qp_cache_.touch_insert(sm->qp->qpn());
+    }
+
+    // Fault mode (tracked PSNs only): an errored responder QP silently drops
+    // requests — the requester discovers via its retransmission timeout —
+    // and a PSN already seen is a retransmission of an executed request,
+    // which is re-acknowledged without re-executing (transport-level
+    // exactly-once). Reads are idempotent and side-effect free, so they
+    // re-execute instead.
+    sm->track_dedup = sm->pkt.psn != 0 && sm->pkt.transport == QpType::kRC &&
+                      sm->pkt.opcode != Opcode::kRead;
+    if (sm->pkt.psn != 0 && sm->pkt.transport == QpType::kRC &&
+        sm->qp->in_error()) {
+      sm->free();
+      return;
+    }
+    if (sm->track_dedup) {
+      if (QueuePair::SeenPsn* dup = sm->qp->responder_find(sm->pkt.psn)) {
+        n->counters_.rc_dup_requests++;
+        if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+          t->instant(trace::kFault, "fault.dup_request", n->loop_.now(),
+                     n->node_->id(), "qpn", sm->qp->qpn(), "psn", sm->pkt.psn);
+        }
+        if (!dup->done) {
+          sm->free();  // the original is still executing; drop the copy
+          return;
+        }
+        // Replay the acknowledgement from the dedup ring.
+        sm->dup = dup;
+        const Nanos d = n->params_.rc_ack_latency_ns;
+        if (d <= 0) {
+          dup_acked(sm);
+        } else {
+          n->loop_.call_in(d, &RecvSm::dup_acked, sm);
+        }
+        return;
+      }
+      sm->qp->responder_insert(sm->pkt.psn);
+    }
+
+    // RC sends / write_imm need a receive descriptor; honor RNR retry.
+    const bool consumes_recv = sm->pkt.opcode == Opcode::kSend ||
+                               sm->pkt.opcode == Opcode::kWriteImm;
+    if (consumes_recv && !sm->qp->has_recv()) {
+      if (sm->pkt.transport == QpType::kUD) {
+        n->counters_.ud_drops++;
+        sm->free();  // unreliable: silently dropped
+        return;
+      }
+      n->counters_.rnr_events++;
+      sm->rnr_retries = 0;
+      rnr_check(sm);
+      return;
+    }
+    exec_begin(sm);
+  }
+
+  // -- Ack/NAK leg --
+
+  static void ack_on_unit(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    if (sm->cost <= 0) {
+      ack_done(sm);
+    } else {
+      n->loop_.call_in(sm->cost, &RecvSm::ack_done, sm);
+    }
+  }
+
+  static void ack_done(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    n->recv_units_.release();
+    if (sm->pkt.psn != 0 && !sm->qp->erase_outstanding(sm->pkt.psn)) {
+      // Duplicate ack (the original and a retransmit both got through), or
+      // the WR already flushed/errored. Either way it completed once.
+      sm->free();
+      return;
+    }
+    if (sm->pkt.signaled) {
+      Completion c;
+      c.wr_id = sm->pkt.wr_id;
+      c.status = sm->pkt.status;
+      c.opcode = sm->pkt.opcode;
+      c.byte_len = sm->pkt.length;
+      c.qpn = sm->qp->qpn();
+      sm->qp->send_cq()->push(c);
+    }
+    sm->free();
+  }
+
+  // -- Read / atomic response leg --
+
+  static void resp_on_unit(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    n->counters_.inbound_packets++;
+    Nanos cost = n->params_.nic_recv_base_ns;
+    // Read/atomic responses update requester state like acks do.
+    if (n->qp_cache_.access(sm->qp->qpn())) {
+      n->counters_.qp_cache_hits++;
+    } else {
+      n->counters_.qp_cache_misses++;
+      n->node_->count_pcie_read();
+      cost += n->params_.nic_cache_miss_ns;
+    }
+    if (sm->pkt.status == WcStatus::kSuccess && !sm->pkt.payload.empty()) {
+      cost += stream_cap(
+          n->node_->llc().dma_write(sm->pkt.resp_local_addr,
+                                    static_cast<uint32_t>(sm->pkt.payload.size())),
+          static_cast<uint32_t>(sm->pkt.payload.size()), n->params_);
+    }
+    if (cost <= 0) {
+      resp_done(sm);
+    } else {
+      n->loop_.call_in(cost, &RecvSm::resp_done, sm);
+    }
+  }
+
+  static void resp_done(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    if (sm->pkt.psn != 0 && sm->qp->find_outstanding(sm->pkt.psn) == nullptr) {
+      n->recv_units_.release();
+      sm->free();  // duplicate response; the data already landed once
+      return;
+    }
+    if (sm->pkt.status == WcStatus::kSuccess && !sm->pkt.payload.empty()) {
+      n->node_->memory().dma_store(sm->pkt.resp_local_addr, sm->pkt.payload);
+    }
+    n->recv_units_.release();
+    if (sm->pkt.psn != 0) {
+      sm->qp->erase_outstanding(sm->pkt.psn);
+    }
+    if (sm->pkt.signaled) {
+      Completion c;
+      c.wr_id = sm->pkt.wr_id;
+      c.status = sm->pkt.status;
+      c.opcode = sm->pkt.opcode;
+      c.byte_len = static_cast<uint32_t>(sm->pkt.payload.size());
+      c.qpn = sm->qp->qpn();
+      c.atomic_old = sm->pkt.atomic_old;
+      sm->qp->send_cq()->push(c);
+    }
+    sm->free();
+  }
+
+  // -- Duplicate-request replay leg --
+
+  static void dup_acked(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    if (sm->pkt.opcode == Opcode::kCompSwap ||
+        sm->pkt.opcode == Opcode::kFetchAdd) {
+      Packet resp;
+      resp.kind = Packet::Kind::kAtomicResponse;
+      resp.opcode = sm->pkt.opcode;
+      resp.status = sm->dup->status;
+      resp.src_node = n->node_->id();
+      resp.src_qpn = sm->pkt.dst_qpn;
+      resp.dst_node = sm->pkt.src_node;
+      resp.dst_qpn = sm->pkt.src_qpn;
+      resp.wr_id = sm->pkt.wr_id;
+      resp.signaled = sm->pkt.signaled;
+      resp.atomic_old = sm->dup->atomic_old;
+      resp.psn = sm->pkt.psn;
+      sm->out = std::move(resp);
+      sm->ticket.service = n->params_.wire_time(0);
+      sm->ticket.done = &RecvSm::dup_resp_wired;
+      sm->ticket.arg = sm;
+      n->tx_port_.use(&sm->ticket);
+      return;
+    }
+    Packet ack;
+    ack.kind = sm->dup->status == WcStatus::kSuccess ? Packet::Kind::kAck
+                                                     : Packet::Kind::kNak;
+    ack.opcode = sm->pkt.opcode;
+    ack.status = sm->dup->status;
+    ack.src_node = n->node_->id();
+    ack.src_qpn = sm->pkt.dst_qpn;
+    ack.dst_node = sm->pkt.src_node;
+    ack.dst_qpn = sm->pkt.src_qpn;
+    ack.wr_id = sm->pkt.wr_id;
+    ack.signaled = sm->pkt.signaled;
+    ack.length = sm->pkt.length;
+    ack.psn = sm->pkt.psn;
+    n->counters_.acks_sent++;
+    n->node_->cluster()->route(std::move(ack));
+    sm->free();
+  }
+
+  static void dup_resp_wired(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    n->counters_.bytes_tx += n->params_.packet_header_bytes;
+    n->node_->cluster()->route(std::move(sm->out));
+    sm->free();
+  }
+
+  // -- RNR wait loop --
+
+  static void rnr_check(RecvSm* sm) {
+    if (!sm->qp->has_recv() && sm->rnr_retries < kRnrRetryLimit) {
+      sm->nic->loop_.call_in(sm->nic->params_.rnr_retry_delay_ns,
+                             &RecvSm::rnr_fire, sm);
+      return;
+    }
+    after_rnr(sm);
+  }
+
+  static void rnr_fire(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    sm->nic->counters_.engine_steps++;
+    sm->rnr_retries++;
+    rnr_check(sm);
+  }
+
+  static void after_rnr(RecvSm* sm) {
+    Nic* n = sm->nic;
+    if (!sm->qp->has_recv()) {
+      Packet nak;
+      nak.kind = Packet::Kind::kNak;
+      nak.opcode = sm->pkt.opcode;
+      nak.status = WcStatus::kRetryExceeded;
+      nak.src_node = n->node_->id();
+      nak.src_qpn = sm->pkt.dst_qpn;
+      nak.dst_node = sm->pkt.src_node;
+      nak.dst_qpn = sm->pkt.src_qpn;
+      nak.wr_id = sm->pkt.wr_id;
+      nak.signaled = sm->pkt.signaled;
+      nak.psn = sm->pkt.psn;
+      n->node_->cluster()->route(std::move(nak));
+      sm->free();
+      return;
+    }
+    exec_begin(sm);
+  }
+
+  // -- Request execution --
+
+  static void exec_begin(RecvSm* sm) {
+    if (sm->nic->recv_units_.acquire(&RecvSm::exec_on_unit, sm)) {
+      exec_on_unit(sm);
+    }
+  }
+
+  static void exec_on_unit(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    n->counters_.inbound_packets++;
+    Nanos cost = n->params_.nic_recv_base_ns;
+    sm->status = WcStatus::kSuccess;
+    sm->atomic_old = 0;
+
+    switch (sm->pkt.opcode) {
+      case Opcode::kWrite:
+      case Opcode::kWriteImm: {
+        MemoryRegion* mr = n->node_->find_mr_by_rkey(
+            sm->pkt.rkey, sm->pkt.remote_addr, sm->pkt.length);
+        if (mr == nullptr) {
+          sm->status = WcStatus::kRemoteAccessError;
+          break;
+        }
+        if (sm->pkt.length > 0) {
+          cost += stream_cap(
+              n->node_->llc().dma_write(sm->pkt.remote_addr, sm->pkt.length),
+              sm->pkt.length, n->params_);
+          sm->store_addr = sm->pkt.remote_addr;
+          sm->do_store = true;
+        }
+        if (sm->pkt.opcode == Opcode::kWriteImm) {
+          // Consumes a descriptor and raises a recv completion carrying imm.
+          SCALERPC_CHECK(sm->qp->has_recv());
+          sm->rwr = sm->qp->pop_recv();
+          cost += n->params_.nic_recv_wqe_fetch_ns;
+          n->node_->count_pcie_read();
+          sm->push_recv_cqe = true;
+          sm->recv_byte_len = sm->pkt.length;
+        }
+        break;
+      }
+      case Opcode::kSend: {
+        SCALERPC_CHECK(sm->qp->has_recv());
+        sm->rwr = sm->qp->pop_recv();
+        cost += n->params_.nic_recv_wqe_fetch_ns;
+        n->node_->count_pcie_read();
+        const uint32_t grh =
+            sm->pkt.transport == QpType::kUD ? n->params_.grh_bytes : 0;
+        if (sm->pkt.length + grh > sm->rwr.length) {
+          sm->status = WcStatus::kRemoteAccessError;
+          sm->push_recv_cqe = true;
+          break;
+        }
+        if (sm->pkt.length > 0) {
+          sm->store_addr = sm->rwr.addr + grh;
+          cost += stream_cap(
+              n->node_->llc().dma_write(sm->store_addr, sm->pkt.length),
+              sm->pkt.length, n->params_);
+          sm->do_store = true;
+        }
+        sm->push_recv_cqe = true;
+        sm->recv_byte_len = sm->pkt.length + grh;
+        break;
+      }
+      case Opcode::kRead: {
+        MemoryRegion* mr = n->node_->find_mr_by_rkey(
+            sm->pkt.rkey, sm->pkt.remote_addr, sm->pkt.length);
+        if (mr == nullptr) {
+          sm->status = WcStatus::kRemoteAccessError;
+          break;
+        }
+        cost += stream_cap(
+            n->node_->llc().dma_read(sm->pkt.remote_addr, sm->pkt.length),
+            sm->pkt.length, n->params_);
+        sm->read_payload.resize(sm->pkt.length);
+        n->node_->memory().load(sm->pkt.remote_addr, sm->read_payload);
+        break;
+      }
+      case Opcode::kCompSwap:
+      case Opcode::kFetchAdd: {
+        MemoryRegion* mr =
+            n->node_->find_mr_by_rkey(sm->pkt.rkey, sm->pkt.remote_addr, 8);
+        if (mr == nullptr) {
+          sm->status = WcStatus::kRemoteAccessError;
+          break;
+        }
+        cost += n->params_.nic_atomic_extra_ns;
+        cost += n->node_->llc().dma_read(sm->pkt.remote_addr, 8);
+        sm->atomic_old = n->node_->memory().load_pod<uint64_t>(sm->pkt.remote_addr);
+        uint64_t new_value = sm->atomic_old;
+        if (sm->pkt.opcode == Opcode::kCompSwap) {
+          if (sm->atomic_old == sm->pkt.atomic_compare) {
+            new_value = sm->pkt.atomic_swap_or_add;
+          }
+        } else {
+          new_value = sm->atomic_old + sm->pkt.atomic_swap_or_add;
+        }
+        cost += n->node_->llc().dma_write(sm->pkt.remote_addr, 8);
+        n->node_->memory().store_pod(sm->pkt.remote_addr, new_value);
+        break;
+      }
+    }
+
+    if (fault::FaultInjector* inj = n->faults()) {
+      cost = inj->scale_cost(n->loop_.now(), n->node_->id(), cost);
+    }
+    if (cost <= 0) {
+      exec_done(sm);
+    } else {
+      n->loop_.call_in(cost, &RecvSm::exec_done, sm);
+    }
+  }
+
+  static void exec_done(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    if (sm->do_store && sm->status == WcStatus::kSuccess) {
+      n->node_->memory().dma_store(sm->store_addr, sm->pkt.payload);
+    }
+    if (sm->track_dedup) {
+      // Mark the PSN executed so a late retransmission replays this outcome
+      // instead of re-executing (re-find: the ring slot may have rotated).
+      if (QueuePair::SeenPsn* s = sm->qp->responder_find(sm->pkt.psn)) {
+        s->status = sm->status;
+        s->atomic_old = sm->atomic_old;
+        s->done = true;
+      }
+    }
+    if (sm->push_recv_cqe) {
+      Completion c;
+      c.wr_id = sm->rwr.wr_id;
+      c.status = sm->status;
+      c.opcode = sm->pkt.opcode;
+      c.is_recv = true;
+      c.byte_len = sm->recv_byte_len;
+      c.has_imm = sm->pkt.has_imm;
+      c.imm = sm->pkt.imm;
+      c.src_node = sm->pkt.src_node;
+      c.src_qpn = sm->pkt.src_qpn;
+      c.qpn = sm->qp->qpn();
+      sm->qp->recv_cq()->push(c);
+    }
+    n->recv_units_.release();
+
+    // Reliable transports acknowledge; reads/atomics respond with data.
+    if (sm->pkt.transport != QpType::kRC) {
+      sm->free();
+      return;
+    }
+    if (sm->pkt.opcode == Opcode::kRead || sm->pkt.opcode == Opcode::kCompSwap ||
+        sm->pkt.opcode == Opcode::kFetchAdd) {
+      Packet resp;
+      resp.kind = sm->pkt.opcode == Opcode::kRead
+                      ? Packet::Kind::kReadResponse
+                      : Packet::Kind::kAtomicResponse;
+      resp.opcode = sm->pkt.opcode;
+      resp.status = sm->status;
+      resp.src_node = n->node_->id();
+      resp.src_qpn = sm->pkt.dst_qpn;
+      resp.dst_node = sm->pkt.src_node;
+      resp.dst_qpn = sm->pkt.src_qpn;
+      resp.wr_id = sm->pkt.wr_id;
+      resp.signaled = sm->pkt.signaled;
+      resp.resp_local_addr = sm->pkt.resp_local_addr;
+      resp.payload = std::move(sm->read_payload);
+      resp.atomic_old = sm->atomic_old;
+      resp.psn = sm->pkt.psn;
+      sm->out_bytes = static_cast<uint32_t>(resp.payload.size());
+      sm->out = std::move(resp);
+      const Nanos d = n->params_.rc_ack_latency_ns;
+      if (d <= 0) {
+        reply_delayed(sm);
+      } else {
+        n->loop_.call_in(d, &RecvSm::reply_delayed, sm);
+      }
+      return;
+    }
+    Packet ack;
+    ack.kind = sm->status == WcStatus::kSuccess ? Packet::Kind::kAck
+                                                : Packet::Kind::kNak;
+    ack.opcode = sm->pkt.opcode;
+    ack.status = sm->status;
+    ack.src_node = n->node_->id();
+    ack.src_qpn = sm->pkt.dst_qpn;
+    ack.dst_node = sm->pkt.src_node;
+    ack.dst_qpn = sm->pkt.src_qpn;
+    ack.wr_id = sm->pkt.wr_id;
+    ack.signaled = sm->pkt.signaled;
+    ack.length = sm->pkt.length;
+    ack.psn = sm->pkt.psn;
+    n->counters_.acks_sent++;
+    sm->out = std::move(ack);
+    const Nanos d = n->params_.rc_ack_latency_ns;
+    if (d <= 0) {
+      ack_delayed(sm);
+    } else {
+      n->loop_.call_in(d, &RecvSm::ack_delayed, sm);
+    }
+  }
+
+  // -- RC reply legs --
+
+  static void reply_delayed(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    sm->nic->counters_.engine_steps++;
+    sm->ticket.service = sm->nic->params_.wire_time(sm->out_bytes);
+    sm->ticket.done = &RecvSm::reply_wired;
+    sm->ticket.arg = sm;
+    sm->nic->tx_port_.use(&sm->ticket);
+  }
+
+  static void reply_wired(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    n->counters_.bytes_tx += sm->out_bytes + n->params_.packet_header_bytes;
+    n->node_->cluster()->route(std::move(sm->out));
+    sm->free();
+  }
+
+  static void ack_delayed(void* arg) {
+    auto* sm = static_cast<RecvSm*>(arg);
+    Nic* n = sm->nic;
+    n->counters_.engine_steps++;
+    n->node_->cluster()->route(std::move(sm->out));
+    sm->free();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Entry points (shared by both engines up to the dispatch).
+// ---------------------------------------------------------------------------
+
+void Nic::submit_send(QueuePair* qp, SendWr wr) {
+  // The doorbell makes the NIC prefetch the WQE into its cache; whether it
+  // is still there when an engine executes it depends on how much other
+  // state (QP contexts, inbound touches, later WQEs) churned the cache in
+  // between. Inline WQEs ride in the doorbell itself (BlueFlame) and skip
+  // the cache entirely.
+  uint64_t wqe_key = 0;
+  if (!wr.inline_data) {
+    wqe_key = kWqeKeyBase + next_wqe_id_++;
+    wqe_cache_.touch_insert(wqe_key);
+  }
+  if (trace::Tracer* t = trace::tracer(trace::kNic)) {
+    t->instant(trace::kNic,
+               wr.inline_data ? "nic.doorbell_inline" : "nic.doorbell",
+               loop_.now(), node_->id(), "qpn", qp->qpn(), "wqe", wqe_key);
+  }
+  if (engine_ == NicEngine::kCoroutine) {
+    sim::spawn(loop_, send_path(qp, std::move(wr), wqe_key));
+    return;
+  }
+  SendSm* sm = SendSm::make(this, qp, std::move(wr), wqe_key);
+  loop_.call_in(0, &SendSm::start, sm);
+}
+
+void Nic::deliver(Packet pkt) {
+  if (fault::FaultInjector* inj = faults()) {
+    if (node_->is_down()) {
+      // Dead host: the wire ends here. Peers discover via their own
+      // retransmission timeouts.
+      inj->count_crash_drop();
+      return;
+    }
+    if (pkt.corrupt) {
+      // The ICRC check rejects the damaged packet before it reaches a
+      // processing engine; recovery is identical to a fabric drop.
+      counters_.bytes_rx += pkt.payload.size() + params_.packet_header_bytes;
+      if (trace::Tracer* t = trace::tracer(trace::kFault)) {
+        t->instant(trace::kFault, "fault.icrc_discard", loop_.now(),
+                   node_->id(), "src", pkt.src_node, "psn", pkt.psn);
+      }
+      return;
+    }
+  }
+  if (engine_ == NicEngine::kCoroutine) {
+    sim::spawn(loop_, inbound_path(std::move(pkt)));
+    return;
+  }
+  RecvSm* sm = RecvSm::make(this, std::move(pkt));
+  loop_.call_in(0, &RecvSm::start, sm);
+}
+
+// ---------------------------------------------------------------------------
+// Coroutine reference engine. Kept verbatim from the pre-flattening tree
+// (plus engine_steps accounting: one per frame start and per actual
+// coroutine resume — loop-driven wakeups and symmetric-transfer returns).
+// The engine-oracle ctest replays randomized schedules under both engines
+// and asserts identical event sequences, counters, and completions.
+// ---------------------------------------------------------------------------
+
+sim::Task<void> Nic::use_tx_port(Nanos service) {
+  counters_.engine_steps++;  // frame start
+  sim::Semaphore& sem = tx_port_.semaphore();
+  const bool parked = sem.available() <= 0;
+  co_await sem.acquire();
+  if (parked) {
+    counters_.engine_steps++;
+  }
+  co_await loop_.delay(service);
+  if (service > 0) {
+    counters_.engine_steps++;
+  }
+  sem.release();
+}
+
 sim::Task<void> Nic::transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key,
                                       uint64_t psn) {
+  counters_.engine_steps++;  // frame start
+  const bool parked = send_units_.available() <= 0;
   co_await send_units_.acquire();
+  if (parked) {
+    counters_.engine_steps++;
+  }
 
   Nanos cost = params_.nic_send_base_ns;
   cost += charge_connection_state(qp, wqe_key);
@@ -171,6 +1047,9 @@ sim::Task<void> Nic::transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key
     cost = inj->scale_cost(loop_.now(), node_->id(), cost);
   }
   co_await loop_.delay(cost);
+  if (cost > 0) {
+    counters_.engine_steps++;
+  }
   send_units_.release();
 
   Packet pkt;
@@ -200,12 +1079,14 @@ sim::Task<void> Nic::transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key
   pkt.psn = psn;
 
   const uint32_t wire_payload = carries_payload ? wr.length : 0;
-  co_await tx_port_.use(params_.wire_time(wire_payload));
+  co_await use_tx_port(params_.wire_time(wire_payload));
+  counters_.engine_steps++;  // resumed by use_tx_port's final transfer
   counters_.bytes_tx += wire_payload + params_.packet_header_bytes;
   node_->cluster()->route(std::move(pkt));
 }
 
 sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
+  counters_.engine_steps++;  // frame start
   // Errored QP or dead host: the WQE flushes. Signaled WRs still complete
   // (with an error) so posted-vs-completed accounting never hangs.
   if (qp->in_error() || node_->is_down()) {
@@ -227,6 +1108,7 @@ sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
   }
 
   co_await transmit_request(qp, wr, wqe_key, psn);
+  counters_.engine_steps++;  // resumed by transmit_request's final transfer
 
   if (psn != 0 && qp->find_outstanding(psn) != nullptr) {
     sim::spawn(loop_, retransmit_watcher(qp, psn));
@@ -242,9 +1124,11 @@ sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
 }
 
 sim::Task<void> Nic::retransmit_watcher(QueuePair* qp, uint64_t psn) {
+  counters_.engine_steps++;  // frame start
   Nanos timeout = params_.rc_retransmit_timeout_ns;
   for (int retry = 0; retry <= params_.rc_retry_count; ++retry) {
     co_await loop_.delay(timeout);
+    counters_.engine_steps++;
     QueuePair::Outstanding* o = qp->find_outstanding(psn);
     if (o == nullptr || qp->in_error()) {
       co_return;  // acked, responded, or flushed while we slept
@@ -265,6 +1149,7 @@ sim::Task<void> Nic::retransmit_watcher(QueuePair* qp, uint64_t psn) {
     if (!node_->is_down()) {
       const SendWr wr = o->wr;  // copy: the entry may move while suspended
       co_await transmit_request(qp, wr, 0, psn);
+      counters_.engine_steps++;  // resumed by transmit_request
       if (qp->find_outstanding(psn) == nullptr || qp->in_error()) {
         co_return;
       }
@@ -287,6 +1172,7 @@ sim::Task<void> Nic::retransmit_watcher(QueuePair* qp, uint64_t psn) {
 }
 
 sim::Task<void> Nic::inbound_path(Packet pkt) {
+  counters_.engine_steps++;  // frame start
   counters_.bytes_rx += pkt.payload.size() + params_.packet_header_bytes;
 
   // --- Control traffic: acks and naks complete the original WQE. ---
@@ -304,8 +1190,15 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
       node_->count_pcie_read();
       ack_cost += params_.nic_cache_miss_ns;
     }
+    const bool parked = recv_units_.available() <= 0;
     co_await recv_units_.acquire();
+    if (parked) {
+      counters_.engine_steps++;
+    }
     co_await loop_.delay(ack_cost);
+    if (ack_cost > 0) {
+      counters_.engine_steps++;
+    }
     recv_units_.release();
     if (pkt.psn != 0 && !qp->erase_outstanding(pkt.psn)) {
       // Duplicate ack (the original and a retransmit both got through), or
@@ -329,7 +1222,11 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
       pkt.kind == Packet::Kind::kAtomicResponse) {
     QueuePair* qp = node_->find_qp(pkt.dst_qpn);
     SCALERPC_CHECK(qp != nullptr);
+    const bool parked = recv_units_.available() <= 0;
     co_await recv_units_.acquire();
+    if (parked) {
+      counters_.engine_steps++;
+    }
     counters_.inbound_packets++;
     Nanos cost = params_.nic_recv_base_ns;
     // Read/atomic responses update requester state like acks do.
@@ -347,6 +1244,9 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
           static_cast<uint32_t>(pkt.payload.size()), params_);
     }
     co_await loop_.delay(cost);
+    if (cost > 0) {
+      counters_.engine_steps++;
+    }
     if (pkt.psn != 0 && qp->find_outstanding(pkt.psn) == nullptr) {
       recv_units_.release();
       co_return;  // duplicate response; the data already landed once
@@ -404,6 +1304,9 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
       }
       // Replay the acknowledgement from the dedup ring.
       co_await loop_.delay(params_.rc_ack_latency_ns);
+      if (params_.rc_ack_latency_ns > 0) {
+        counters_.engine_steps++;
+      }
       if (pkt.opcode == Opcode::kCompSwap || pkt.opcode == Opcode::kFetchAdd) {
         Packet resp;
         resp.kind = Packet::Kind::kAtomicResponse;
@@ -417,7 +1320,8 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
         resp.signaled = pkt.signaled;
         resp.atomic_old = dup->atomic_old;
         resp.psn = pkt.psn;
-        co_await tx_port_.use(params_.wire_time(0));
+        co_await use_tx_port(params_.wire_time(0));
+        counters_.engine_steps++;  // resumed by use_tx_port
         counters_.bytes_tx += params_.packet_header_bytes;
         node_->cluster()->route(std::move(resp));
       } else {
@@ -454,6 +1358,9 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
     int retries = 0;
     while (!qp->has_recv() && retries < kRnrRetryLimit) {
       co_await loop_.delay(params_.rnr_retry_delay_ns);
+      if (params_.rnr_retry_delay_ns > 0) {
+        counters_.engine_steps++;
+      }
       retries++;
     }
     if (!qp->has_recv()) {
@@ -473,7 +1380,11 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
     }
   }
 
+  const bool parked = recv_units_.available() <= 0;
   co_await recv_units_.acquire();
+  if (parked) {
+    counters_.engine_steps++;
+  }
   counters_.inbound_packets++;
   Nanos cost = params_.nic_recv_base_ns;
   WcStatus status = WcStatus::kSuccess;
@@ -572,6 +1483,9 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
     cost = inj->scale_cost(loop_.now(), node_->id(), cost);
   }
   co_await loop_.delay(cost);
+  if (cost > 0) {
+    counters_.engine_steps++;
+  }
 
   if (do_store && status == WcStatus::kSuccess) {
     node_->memory().dma_store(store_addr, pkt.payload);
@@ -622,7 +1536,11 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
       resp.psn = pkt.psn;
       const auto resp_bytes = static_cast<uint32_t>(resp.payload.size());
       co_await loop_.delay(params_.rc_ack_latency_ns);
-      co_await tx_port_.use(params_.wire_time(resp_bytes));
+      if (params_.rc_ack_latency_ns > 0) {
+        counters_.engine_steps++;
+      }
+      co_await use_tx_port(params_.wire_time(resp_bytes));
+      counters_.engine_steps++;  // resumed by use_tx_port
       counters_.bytes_tx += resp_bytes + params_.packet_header_bytes;
       node_->cluster()->route(std::move(resp));
     } else {
@@ -640,6 +1558,9 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
       ack.psn = pkt.psn;
       counters_.acks_sent++;
       co_await loop_.delay(params_.rc_ack_latency_ns);
+      if (params_.rc_ack_latency_ns > 0) {
+        counters_.engine_steps++;
+      }
       node_->cluster()->route(std::move(ack));
     }
   }

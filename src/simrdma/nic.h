@@ -1,6 +1,14 @@
 // NIC model: send pipeline (WQE processing with the NIC-cache effects that
 // kill outbound scalability), inbound pipeline (DDIO writes, recv-WQE
 // consumption, read/atomic responding), and a serializing TX port.
+//
+// The data plane runs under one of two execution engines (nic_engine.h):
+// flat pooled callback state machines (default — no coroutine frames, no
+// resume round-trips) or the original Task<void> coroutine pipelines, kept
+// as a reference model. Both issue the same event-loop schedule calls at the
+// same simulated times in the same insertion order, so every figure/trace/
+// counter except the diagnostic `engine_steps` is byte-identical between
+// them (tests/simrdma/engine_oracle_test.cc).
 #ifndef SRC_SIMRDMA_NIC_H_
 #define SRC_SIMRDMA_NIC_H_
 
@@ -9,6 +17,7 @@
 #include "src/sim/task.h"
 #include "src/simrdma/counters.h"
 #include "src/simrdma/nic_cache.h"
+#include "src/simrdma/nic_engine.h"
 #include "src/simrdma/params.h"
 #include "src/simrdma/verbs.h"
 
@@ -38,8 +47,18 @@ class Nic {
   const NicCache& qp_cache() const { return qp_cache_; }
   NicCache& wqe_cache() { return wqe_cache_; }
   const NicCache& wqe_cache() const { return wqe_cache_; }
+  NicEngine engine() const { return engine_; }
 
  private:
+  // Callback state machines (the default engine). SendSm covers the WQE
+  // lifetime: send_path preamble, transmit leg, and — for tracked RC
+  // requests — the retransmission watcher, reusing one pooled context.
+  // RecvSm covers one inbound packet: ack/response bookkeeping, dedup
+  // replay, RNR wait, request execution, and the RC reply legs.
+  struct SendSm;
+  struct RecvSm;
+
+  // Coroutine reference engine (kept test-only behind nic_engine()).
   sim::Task<void> send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key);
   sim::Task<void> inbound_path(Packet pkt);
 
@@ -50,6 +69,10 @@ class Nic {
   // Fault mode only: armed per tracked RC request; resends on timeout with
   // exponential back-off, errors the QP once retries are exhausted.
   sim::Task<void> retransmit_watcher(QueuePair* qp, uint64_t psn);
+  // Counted replica of tx_port_.use(service): same primitive operations on
+  // the same semaphore/loop (event-identical), plus engine_steps accounting
+  // for the reference engine.
+  sim::Task<void> use_tx_port(Nanos service);
   // The cluster's injector, or nullptr when no fault plan is attached.
   fault::FaultInjector* faults() const;
 
@@ -59,7 +82,6 @@ class Nic {
 
   void complete_send(QueuePair* qp, const SendWr& wr, WcStatus status,
                      uint64_t atomic_old = 0);
-  void send_packet_now(Packet pkt, uint32_t wire_payload_bytes);
 
   sim::EventLoop& loop_;
   Node* node_;
@@ -71,6 +93,7 @@ class Nic {
   sim::FifoResource tx_port_;
   NicCounters counters_;
   uint64_t next_wqe_id_ = 1;
+  const NicEngine engine_;
 };
 
 }  // namespace scalerpc::simrdma

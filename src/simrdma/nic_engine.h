@@ -1,0 +1,52 @@
+// Selects which execution engine drives the NIC data plane.
+//
+// The callback state-machine engine (default) and the original coroutine
+// pipeline are event-for-event identical — same schedule calls at the same
+// simulated times in the same insertion order — so every figure, trace, and
+// counter (except the diagnostic `engine_steps`) is byte-identical between
+// them. The coroutine path survives as a reference model: the engine-oracle
+// ctest replays randomized schedules under both and asserts they agree.
+//
+// The flag is process-wide and read once per Nic at construction, so a
+// parallel sweep whose workers construct testbeds concurrently sees a
+// consistent value as long as it is set before the sweep starts (benches and
+// tests set it from main / test setup; `SIMRDMA_NIC_ENGINE=coroutine` in the
+// environment flips the default).
+#ifndef SRC_SIMRDMA_NIC_ENGINE_H_
+#define SRC_SIMRDMA_NIC_ENGINE_H_
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace scalerpc::simrdma {
+
+enum class NicEngine {
+  kStateMachine,  // flat pooled callback state machines (frame-free)
+  kCoroutine,     // sim::Task<void> pipelines (reference model)
+};
+
+namespace internal {
+inline std::atomic<NicEngine>& nic_engine_flag() {
+  static std::atomic<NicEngine> flag = [] {
+    const char* env = std::getenv("SIMRDMA_NIC_ENGINE");
+    if (env != nullptr && std::strcmp(env, "coroutine") == 0) {
+      return NicEngine::kCoroutine;
+    }
+    return NicEngine::kStateMachine;
+  }();
+  return flag;
+}
+}  // namespace internal
+
+inline NicEngine nic_engine() {
+  return internal::nic_engine_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_nic_engine(NicEngine e) {
+  internal::nic_engine_flag().store(e, std::memory_order_relaxed);
+}
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_NIC_ENGINE_H_

@@ -8,6 +8,7 @@
 
 #include "src/harness/harness.h"
 #include "src/harness/sweep.h"
+#include "src/scalerpc/client.h"
 
 namespace scalerpc::harness {
 namespace {
@@ -110,6 +111,144 @@ INSTANTIATE_TEST_SUITE_P(Transports, WarmStartTransportTest,
                          [](const ::testing::TestParamInfo<TransportKind>& info) {
                            return std::string(to_string(info.param));
                          });
+
+// --- Figure-bench shapes ---
+//
+// bench_fig08_throughput and bench_fig11_sensitivity restructure their
+// sweeps around shared constructions; these tests pin the exact sharing
+// each bench relies on, at 1 and 4 concurrent children.
+
+MeasureResult echo_measure(Testbed& bed, int batch, Nanos slice_fixup,
+                           int warmup_fixup) {
+  if (slice_fixup > 0 || warmup_fixup >= 0) {
+    core::ScaleRpcServer* server = bed.scalerpc();
+    if (slice_fixup > 0) {
+      server->set_time_slice(slice_fixup);
+      for (size_t c = 0; c < bed.num_clients(); ++c) {
+        bed.scalerpc_client(c)->set_time_slice(slice_fixup);
+      }
+    }
+    if (warmup_fixup >= 0) {
+      server->set_warmup_enabled(warmup_fixup != 0);
+    }
+  }
+  EchoWorkload wl;
+  wl.batch = batch;
+  wl.warmup = usec(300);
+  wl.measure = usec(800);
+  const uint64_t events_before = bed.loop().events_processed();
+  const EchoResult r = run_echo(bed, wl);
+  MeasureResult out;
+  out.ops = r.ops;
+  out.elapsed = r.elapsed;
+  out.events = bed.loop().events_processed() - events_before;
+  out.server_qp_cache_misses = r.server_qp_cache_misses;
+  out.pcm_l3_hits = r.server_pcm.l3_hits;
+  out.pcm_l3_misses = r.server_pcm.l3_misses;
+  return out;
+}
+
+// fig08 cell: one testbed, two batch variants of the echo workload.
+struct Fig08Bed {
+  Fig08Bed() {
+    TestbedConfig cfg;
+    cfg.kind = TransportKind::kFasst;
+    cfg.num_clients = 24;
+    cfg.num_client_nodes = 3;
+    bed = std::make_unique<Testbed>(cfg);
+  }
+  std::unique_ptr<Testbed> bed;
+};
+
+TEST(WarmStart, Fig08BatchVariantsShareOneConstruction) {
+  if (!internal::fork_supported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  const std::vector<std::function<MeasureResult(Fig08Bed&)>> points = {
+      [](Fig08Bed& s) { return echo_measure(*s.bed, 1, 0, -1); },
+      [](Fig08Bed& s) { return echo_measure(*s.bed, 8, 0, -1); }};
+  const auto warmup = [] { return std::make_unique<Fig08Bed>(); };
+
+  WarmStartOptions cold;
+  cold.force_cold = true;
+  const auto cold_results =
+      warm_start_sweep<Fig08Bed, MeasureResult>(warmup, points, cold);
+  EXPECT_GT(cold_results[0].ops, 0u);
+  // The batch variants genuinely differ (otherwise sharing proves nothing).
+  EXPECT_FALSE(cold_results[0] == cold_results[1]);
+
+  for (const int threads : {1, 4}) {
+    WarmStartOptions warm;
+    warm.threads = threads;
+    const auto warm_results =
+        warm_start_sweep<Fig08Bed, MeasureResult>(warmup, points, warm);
+    for (size_t i = 0; i < points.size(); ++i) {
+      EXPECT_TRUE(warm_results[i] == cold_results[i])
+          << "threads=" << threads << " batch point " << i;
+    }
+  }
+}
+
+// fig11 cell: one testbed, points that re-point the schedule (time slice /
+// warmup mode) before the workload starts.
+struct Fig11Bed {
+  Fig11Bed() {
+    TestbedConfig cfg;
+    cfg.kind = TransportKind::kScaleRpc;
+    cfg.num_clients = 24;
+    cfg.num_client_nodes = 3;
+    cfg.rpc.group_size = 12;
+    bed = std::make_unique<Testbed>(cfg);
+  }
+  std::unique_ptr<Testbed> bed;
+};
+
+TEST(WarmStart, Fig11ScheduleFixupsShareOneConstruction) {
+  if (!internal::fork_supported()) {
+    GTEST_SKIP() << "no fork on this platform";
+  }
+  const std::vector<std::function<MeasureResult(Fig11Bed&)>> points = {
+      [](Fig11Bed& s) { return echo_measure(*s.bed, 4, usec(40), 1); },
+      [](Fig11Bed& s) { return echo_measure(*s.bed, 4, usec(120), 1); },
+      [](Fig11Bed& s) { return echo_measure(*s.bed, 4, usec(120), 0); }};
+  const auto warmup = [] { return std::make_unique<Fig11Bed>(); };
+
+  // The bench's byte-identity hinges on the fixup being indistinguishable
+  // from constructing with the parameter: pin that first, in-process.
+  {
+    TestbedConfig cfg;
+    cfg.kind = TransportKind::kScaleRpc;
+    cfg.num_clients = 24;
+    cfg.num_client_nodes = 3;
+    cfg.rpc.group_size = 12;
+    cfg.rpc.time_slice = usec(40);
+    Testbed ctor_bed(cfg);
+    const MeasureResult via_ctor = echo_measure(ctor_bed, 4, 0, -1);
+    Fig11Bed fixup_bed;
+    const MeasureResult via_fixup = echo_measure(*fixup_bed.bed, 4, usec(40), 1);
+    EXPECT_TRUE(via_ctor == via_fixup)
+        << "pre-start set_time_slice diverged from the constructor parameter";
+  }
+
+  WarmStartOptions cold;
+  cold.force_cold = true;
+  const auto cold_results =
+      warm_start_sweep<Fig11Bed, MeasureResult>(warmup, points, cold);
+  EXPECT_GT(cold_results[0].ops, 0u);
+  EXPECT_FALSE(cold_results[0] == cold_results[1]);  // slice matters
+  EXPECT_FALSE(cold_results[1] == cold_results[2]);  // warmup mode matters
+
+  for (const int threads : {1, 4}) {
+    WarmStartOptions warm;
+    warm.threads = threads;
+    const auto warm_results =
+        warm_start_sweep<Fig11Bed, MeasureResult>(warmup, points, warm);
+    for (size_t i = 0; i < points.size(); ++i) {
+      EXPECT_TRUE(warm_results[i] == cold_results[i])
+          << "threads=" << threads << " schedule point " << i;
+    }
+  }
+}
 
 TEST(WarmStart, ColdFallbackRunsWithoutFork) {
   WarmStartOptions cold;

@@ -14,8 +14,12 @@
 #include "src/sim/event_loop.h"
 #include "src/sim/pool.h"
 #include "src/sim/task.h"
+#include "src/simrdma/cluster.h"
 #include "src/simrdma/llc.h"
+#include "src/simrdma/nic.h"
 #include "src/simrdma/nic_cache.h"
+#include "src/simrdma/nic_engine.h"
+#include "src/simrdma/node.h"
 #include "src/simrdma/verbs.h"
 
 namespace {
@@ -222,6 +226,61 @@ TEST(HotPathAlloc, BatchedSameTimestampDispatchSteadyState) {
   const uint64_t before = g_allocations;
   run_bursts(1000);
   EXPECT_EQ(g_allocations, before);
+}
+
+namespace {
+// Drives the full NIC data plane — send pipeline, TX port, fabric hop,
+// inbound pipeline, RC ack leg — so the engine's per-message contexts
+// (pooled SendSm/RecvSm under the state-machine engine, pooled coroutine
+// frames under the reference engine) all cycle through their freelists.
+void churn_rc_writes(simrdma::Cluster& cluster, simrdma::QueuePair* qp,
+                     uint64_t src, uint64_t dst, uint32_t rkey, int rounds) {
+  auto body = [&](int n) -> Task<void> {
+    for (int i = 0; i < n; ++i) {
+      simrdma::SendWr wr;
+      wr.wr_id = static_cast<uint64_t>(i);
+      wr.opcode = simrdma::Opcode::kWrite;
+      wr.local_addr = src;
+      wr.length = 64;
+      wr.remote_addr = dst;
+      wr.rkey = rkey;
+      co_await qp->post_send(wr);
+      const simrdma::Completion c = co_await qp->send_cq()->next();
+      SCALERPC_CHECK(c.status == simrdma::WcStatus::kSuccess);
+    }
+  };
+  auto t = body(rounds);
+  run_blocking(cluster.loop(), std::move(t));
+}
+
+void expect_steady_state_alloc_free(simrdma::NicEngine engine) {
+  set_nic_engine(engine);
+  simrdma::Cluster cluster{simrdma::SimParams{}};
+  simrdma::Node* a = cluster.add_node("a");
+  simrdma::Node* b = cluster.add_node("b");
+  simrdma::CompletionQueue* cq_a = a->create_cq();
+  simrdma::CompletionQueue* cq_b = b->create_cq();
+  simrdma::QueuePair* qa = a->create_qp(simrdma::QpType::kRC, cq_a, cq_a);
+  simrdma::QueuePair* qb = b->create_qp(simrdma::QpType::kRC, cq_b, cq_b);
+  cluster.connect(qa, qb);
+  const uint64_t src = a->alloc(64);
+  const uint64_t dst = b->alloc(64);
+  simrdma::MemoryRegion* mr = b->register_mr(dst, 64);
+
+  churn_rc_writes(cluster, qa, src, dst, mr->rkey, 64);  // warm the pools
+  const uint64_t before = g_allocations;
+  churn_rc_writes(cluster, qa, src, dst, mr->rkey, 512);
+  EXPECT_EQ(g_allocations, before);
+  set_nic_engine(simrdma::NicEngine::kStateMachine);
+}
+}  // namespace
+
+TEST(HotPathAlloc, NicStateMachineContextsAreRecycled) {
+  expect_steady_state_alloc_free(simrdma::NicEngine::kStateMachine);
+}
+
+TEST(HotPathAlloc, NicCoroutineEngineSteadyState) {
+  expect_steady_state_alloc_free(simrdma::NicEngine::kCoroutine);
 }
 
 }  // namespace

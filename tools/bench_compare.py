@@ -6,7 +6,11 @@ via --json=PATH. This tool diffs a baseline capture against a candidate:
 rows are matched by position, string/bool fields must be identical, and
 numeric fields may differ by a relative tolerance (--tolerance, default 5%)
 with an absolute floor (--abs-floor) so near-zero counters don't trip the
-relative test. Use --ignore FIELD for legitimately volatile fields.
+relative test. Use --ignore FIELD for legitimately volatile fields, and
+--col-tolerance FIELD=REL to give one column a looser (or tighter) relative
+tolerance than the rest — e.g. peak RSS, which jitters with allocator and
+kernel behavior, gates at 33.4% (a 1.5x regression) while event counts stay
+exact.
 
 Exit status: 0 when the files agree, 1 on any mismatch (each printed),
 2 on malformed input.
@@ -49,8 +53,13 @@ def numbers_close(a, b, rel, abs_floor):
 SPEEDUP_FIELDS = {"speedup", "serial_wall_s", "parallel_wall_s", "speedup_valid"}
 
 
-def compare(base, cand, rel, abs_floor, ignore):
-    """Returns a list of human-readable mismatch strings (empty = equal)."""
+def compare(base, cand, rel, abs_floor, ignore, col_tol=None):
+    """Returns a list of human-readable mismatch strings (empty = equal).
+
+    `col_tol` maps a field name to the relative tolerance that overrides
+    `rel` for that column only.
+    """
+    col_tol = col_tol or {}
     errors = []
     if base.get("bench") != cand.get("bench"):
         errors.append(
@@ -77,10 +86,11 @@ def compare(base, cand, rel, abs_floor, ignore):
                 if bv != cv:
                     errors.append(f"row {i}: {key} = {bv} vs {cv}")
             elif isinstance(bv, (int, float)) and isinstance(cv, (int, float)):
-                if not numbers_close(float(bv), float(cv), rel, abs_floor):
+                key_rel = col_tol.get(key, rel)
+                if not numbers_close(float(bv), float(cv), key_rel, abs_floor):
                     errors.append(
                         f"row {i}: {key} = {bv} vs {cv} "
-                        f"(beyond {rel:.0%} / abs {abs_floor})"
+                        f"(beyond {key_rel:.0%} / abs {abs_floor})"
                     )
             elif bv != cv:
                 errors.append(f"row {i}: {key} = {bv!r} vs {cv!r}")
@@ -164,6 +174,43 @@ def self_test():
     slower = copy.deepcopy(sweep_base)
     slower["rows"][0]["speedup"] = 1.1
     assert any("speedup" in e for e in compare(sweep_base, slower, 0.05, 1e-9, set()))
+    # Per-column tolerance: a flagged column gets its own relative band
+    # while the others keep the global one. RSS-style row: +30% RSS passes
+    # under peak_rss_mb=0.334 (the 1.5x gate) but the exact columns do not
+    # inherit the loose band.
+    rss_base = {
+        "bench": "demo",
+        "rows": [{"config": "x", "events": 1000, "peak_rss_mb": 40.0,
+                  "sm_transitions": 500, "coroutine_resumes": 700}],
+    }
+    rss_up = copy.deepcopy(rss_base)
+    rss_up["rows"][0]["peak_rss_mb"] = 52.0  # 1.30x: inside the 1.5x gate
+    assert compare(rss_base, rss_up, 0.05, 1e-9, set(),
+                   {"peak_rss_mb": 0.334}) == []
+    rss_blown = copy.deepcopy(rss_base)
+    rss_blown["rows"][0]["peak_rss_mb"] = 64.0  # 1.6x: beyond the gate
+    errs = compare(rss_base, rss_blown, 0.05, 1e-9, set(), {"peak_rss_mb": 0.334})
+    assert any("peak_rss_mb" in e and "33%" in e for e in errs), errs
+    # The loose column must not leak: an events drift outside the global
+    # band still fails even with the RSS override present.
+    ev_drift = copy.deepcopy(rss_base)
+    ev_drift["rows"][0]["events"] = 1100
+    assert any("events" in e for e in compare(rss_base, ev_drift, 0.05, 1e-9,
+                                              set(), {"peak_rss_mb": 0.334}))
+    # Transition-count columns are deterministic: a tightened (zero) band
+    # catches a single-step drift that the global 5% would wave through.
+    steps_drift = copy.deepcopy(rss_base)
+    steps_drift["rows"][0]["sm_transitions"] = 510
+    assert compare(rss_base, steps_drift, 0.05, 1e-9, set()) == []
+    assert any("sm_transitions" in e
+               for e in compare(rss_base, steps_drift, 0.05, 1e-9, set(),
+                                {"sm_transitions": 0.0}))
+    # A flagged column composes with --ignore on another.
+    both = copy.deepcopy(rss_base)
+    both["rows"][0]["peak_rss_mb"] = 52.0
+    both["rows"][0]["coroutine_resumes"] = 9999
+    assert compare(rss_base, both, 0.05, 1e-9, {"coroutine_resumes"},
+                   {"peak_rss_mb": 0.334}) == []
     print("bench_compare: self-test OK")
     return 0
 
@@ -194,6 +241,14 @@ def main():
         help="field name to skip (repeatable)",
     )
     ap.add_argument(
+        "--col-tolerance",
+        action="append",
+        default=[],
+        metavar="FIELD=REL",
+        help="per-column relative tolerance overriding --tolerance "
+        "(repeatable), e.g. --col-tolerance peak_rss_mb=0.334",
+    )
+    ap.add_argument(
         "--self-test", action="store_true", help="run built-in checks and exit"
     )
     args = ap.parse_args()
@@ -202,6 +257,15 @@ def main():
         return self_test()
     if args.baseline is None or args.candidate is None:
         ap.error("need BASELINE and CANDIDATE (or --self-test)")
+    col_tol = {}
+    for spec in args.col_tolerance:
+        field, sep, value = spec.partition("=")
+        try:
+            if not sep or not field:
+                raise ValueError
+            col_tol[field] = float(value)
+        except ValueError:
+            ap.error(f"--col-tolerance needs FIELD=REL, got {spec!r}")
     try:
         base = load(args.baseline)
         cand = load(args.candidate)
@@ -209,7 +273,8 @@ def main():
         print(f"bench_compare: {e}", file=sys.stderr)
         return 2
 
-    errors = compare(base, cand, args.tolerance, args.abs_floor, set(args.ignore))
+    errors = compare(base, cand, args.tolerance, args.abs_floor,
+                     set(args.ignore), col_tol)
     if errors:
         for e in errors:
             print(f"bench_compare: {e}", file=sys.stderr)

@@ -27,7 +27,7 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 FLAG_RE = re.compile(r"--[a-z][a-z0-9_-]+")
 
 # Flags that belong to the toolchain (cmake/ctest), not to our benches.
-TOOLCHAIN_FLAGS = {"--build", "--help", "--output-on-failure", "--test-dir"}
+TOOLCHAIN_FLAGS = {"--build", "--help", "--output-on-failure", "--target", "--test-dir"}
 
 SKIP_DIRS = {"build", ".git", "third_party"}
 
