@@ -17,6 +17,17 @@
 //   --faults=PATH attach a fault plan (docs/faults.md) to every testbed the
 //                 bench builds; omitted means a lossless fabric with the
 //                 fault machinery fully off
+//   --metrics=PATH
+//                 emit the labeled metrics registry (per-QP / per-group /
+//                 per-client series, docs/metrics.md) as JSON; slots merged
+//                 in submission order, byte-identical across --threads
+//   --spans       carry the per-request seq on the wire so server-side
+//                 executions correlate with client spans (docs/tracing.md)
+//   --flight-recorder=PREFIX
+//                 ring-buffer flight recorder per sweep slot; triggered
+//                 slots dump to PREFIX.<slot>.json. Implied (with the
+//                 default prefix "<bench>.flight") whenever --faults is
+//                 given, so fault runs always leave a forensic artifact
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
@@ -30,7 +41,9 @@
 #include <vector>
 
 #include "src/fault/plan.h"
+#include "src/harness/harness.h"
 #include "src/harness/sweep.h"
+#include "src/metrics/collector.h"
 #include "src/trace/collector.h"
 
 namespace scalerpc::bench {
@@ -44,6 +57,9 @@ struct Options {
   std::string timeline_path;  // empty: counter timelines off
   int64_t timeline_interval_us = 100;  // PCM-style sampling window
   std::string faults_path;    // empty: lossless fabric, no injector
+  std::string metrics_path;   // empty: metrics registry off
+  bool spans = false;         // per-request seq on the wire
+  std::string flight_prefix;  // empty: flight recorder only with --faults
 };
 
 inline Options parse_options(int argc, char** argv) {
@@ -68,11 +84,18 @@ inline Options parse_options(int argc, char** argv) {
       }
     } else if (std::strncmp(argv[i], "--faults=", 9) == 0) {
       opt.faults_path = argv[i] + 9;
+    } else if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      opt.metrics_path = argv[i] + 10;
+    } else if (std::strcmp(argv[i], "--spans") == 0) {
+      opt.spans = true;
+    } else if (std::strncmp(argv[i], "--flight-recorder=", 18) == 0) {
+      opt.flight_prefix = argv[i] + 18;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       std::printf(
           "usage: %s [--quick] [--seed=N] [--threads=N] [--json=PATH]"
           " [--trace=PATH] [--timeline=PATH] [--timeline-interval=USEC]"
-          " [--faults=PATH]\n",
+          " [--faults=PATH] [--metrics=PATH] [--spans]"
+          " [--flight-recorder=PREFIX]\n",
           argv[0]);
       std::exit(0);
     }
@@ -105,31 +128,54 @@ class Observability {
   Observability(const Options& opt, std::string bench_name)
       : trace_path_(opt.trace_path),
         timeline_path_(opt.timeline_path),
+        metrics_path_(opt.metrics_path),
         bench_name_(std::move(bench_name)),
         collector_(trace::CollectorConfig{
             !opt.trace_path.empty(), !opt.timeline_path.empty(),
             trace::kAllCategories, opt.timeline_interval_us * 1000,
-            trace::Tracer::kDefaultMaxEvents}) {}
+            trace::Tracer::kDefaultMaxEvents}),
+        metrics_collector_(metrics::CollectorConfig{
+            !opt.metrics_path.empty(),
+            // A fault run always carries a flight recorder so failures are
+            // self-diagnosing; --flight-recorder turns it on (and names the
+            // dump prefix) for lossless runs too.
+            !opt.flight_prefix.empty() || !opt.faults_path.empty(),
+            opt.flight_prefix.empty() ? bench_name_ + ".flight"
+                                      : opt.flight_prefix,
+            metrics::FlightRecorder::kDefaultCapacity}) {
+    harness::set_spans_default(opt.spans);
+  }
 
   void attach(harness::Sweep& sweep) {
     if (collector_.enabled()) {
       sweep.set_collector(&collector_);
     }
+    if (metrics_collector_.enabled()) {
+      sweep.set_metrics(&metrics_collector_);
+    }
   }
 
-  // Writes --trace / --timeline outputs (no-op when the flags are absent).
+  metrics::Collector& metrics() { return metrics_collector_; }
+
+  // Writes --trace / --timeline / --metrics outputs and any triggered
+  // flight-recorder dumps (no-op when the flags are absent).
   bool write() {
     const bool trace_ok = collector_.write_trace(trace_path_);
     const bool timeline_ok =
         collector_.write_timeline(timeline_path_, bench_name_);
-    return trace_ok && timeline_ok;
+    const bool metrics_ok =
+        metrics_collector_.write_metrics(metrics_path_, bench_name_);
+    metrics_collector_.write_flight_dumps();
+    return trace_ok && timeline_ok && metrics_ok;
   }
 
  private:
   std::string trace_path_;
   std::string timeline_path_;
+  std::string metrics_path_;
   std::string bench_name_;
   trace::Collector collector_;
+  metrics::Collector metrics_collector_;
 };
 
 inline void header(const std::string& title, const std::string& paper_ref) {

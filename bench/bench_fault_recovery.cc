@@ -11,6 +11,8 @@
 #include "bench/bench_common.h"
 #include "src/harness/harness.h"
 #include "src/harness/sweep.h"
+#include "src/metrics/flight.h"
+#include "src/metrics/metrics.h"
 
 using namespace scalerpc;
 using namespace scalerpc::harness;
@@ -54,7 +56,18 @@ sim::Task<void> echo_client(sim::EventLoop* loop, rpc::RpcClient* client, int ba
       client->stage(0, payload);
     }
     std::vector<rpc::Bytes> resp = co_await client->flush();
-    SCALERPC_CHECK(resp.size() == static_cast<size_t>(batch));
+    if (resp.size() != static_cast<size_t>(batch)) {
+      // Name the incident before the assertion fires; the hook-written
+      // flight dump then records which client saw the short batch.
+      if (metrics::FlightRecorder* f = metrics::flight()) {
+        f->note("rpc.exactly_once_violation", loop->now(), -1,
+                static_cast<int64_t>(client_idx),
+                static_cast<int64_t>(resp.size()));
+        f->trigger("rpc.exactly_once_violation", loop->now());
+      }
+    }
+    SCALERPC_CHECK_MSG(resp.size() == static_cast<size_t>(batch),
+                       "exactly-once violation: batch response count mismatch");
     if (st->measuring) {
       st->ops += static_cast<uint64_t>(batch);
     }
@@ -174,7 +187,13 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto opt = bench::parse_options(argc, argv);
+  auto opt = bench::parse_options(argc, argv);
+  if (opt.flight_prefix.empty()) {
+    // Every row but the baseline injects faults, so this bench always
+    // carries the flight recorder; triggered rows (any injected fault)
+    // dump to fault_recovery.flight.<slot>.json.
+    opt.flight_prefix = "fault_recovery.flight";
+  }
   const auto custom = bench::load_faults(opt);
 
   // Timed faults hit at 1.2ms (800us into the measure span) so there is a

@@ -80,7 +80,11 @@ int main(int argc, char** argv) {
   std::vector<double> right(2 * nodes.size() * kinds.size());
 
   bench::Observability obs(opt, "fig08_throughput");
-  const bool observed = !opt.trace_path.empty() || !opt.timeline_path.empty();
+  // --trace/--timeline/--metrics/--flight-recorder all buffer in-process
+  // state that forked grandchildren would lose, so observed runs fall back
+  // to the cold in-process sweep.
+  const bool observed = !opt.trace_path.empty() || !opt.timeline_path.empty() ||
+                        !opt.metrics_path.empty() || !opt.flight_prefix.empty();
 
   if (!observed && internal::fork_supported()) {
     // Both tables are laid out batch-major: slot(b, row, k) with b the

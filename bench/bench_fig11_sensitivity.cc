@@ -85,7 +85,10 @@ int main(int argc, char** argv) {
   PodEcho warm_res[2];
 
   bench::Observability obs(opt, "fig11_sensitivity");
-  const bool observed = !opt.trace_path.empty() || !opt.timeline_path.empty();
+  // All observability sinks buffer in-process state that forked children
+  // would lose, so observed runs fall back to the cold in-process sweep.
+  const bool observed = !opt.trace_path.empty() || !opt.timeline_path.empty() ||
+                        !opt.metrics_path.empty() || !opt.flight_prefix.empty();
   const int threads = opt.threads <= 0 ? Sweep::hardware_threads() : opt.threads;
 
   if (!observed && internal::fork_supported()) {

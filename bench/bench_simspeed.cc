@@ -29,6 +29,8 @@
 #include "bench/bench_common.h"
 #include "src/harness/harness.h"
 #include "src/harness/sweep.h"
+#include "src/metrics/flight.h"
+#include "src/metrics/metrics.h"
 #include "src/simrdma/nic_engine.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -321,6 +323,49 @@ int main(int argc, char** argv) {
     json.field("warm_wall_s", warm_wall);
     json.field("warm_forked", warm_forked);
     json.field("identical_to_cold", true);  // CHECKed above
+  }
+
+  // Metrics overhead pass: the flagship config with a live metrics
+  // registry + flight recorder (every per-QP/span/group hook armed),
+  // against an identically-placed metrics-off run in the same process.
+  // The hooks are budgeted to stay within a few percent of wall time; CI
+  // trends the ratio from the JSON row.
+  {
+    const Config& c = configs[0];
+    // Interleave off/on repeats (off,on,off,on,...) and keep each side's
+    // best, so slow machine drift hits both sides equally instead of
+    // biasing whichever block ran later.
+    constexpr int kAbRepeats = 5;
+    SpeedRow off{};
+    SpeedRow on{};
+    for (int r = 0; r < kAbRepeats; ++r) {
+      const SpeedRow off_row = measure_once(c, opt.seed, opt.quick);
+      if (r == 0 || off_row.wall_s < off.wall_s) {
+        off = off_row;
+      }
+      SpeedRow on_row;
+      {
+        metrics::Registry reg;
+        metrics::FlightRecorder rec;
+        metrics::ScopedSession session(metrics::Session{&reg, &rec});
+        on_row = measure_once(c, opt.seed, opt.quick);
+      }
+      if (r == 0 || on_row.wall_s < on.wall_s) {
+        on = on_row;
+      }
+    }
+    SCALERPC_CHECK_MSG(on.events == off.events && on.ops == off.ops,
+                       "metrics session changed the simulation");
+    const double overhead_pct = (on.wall_s / off.wall_s - 1.0) * 100.0;
+    std::printf("\nmetrics overhead (%s): off %.1f ms, on %.1f ms (%+.1f%%)\n",
+                c.name, off.wall_s * 1e3, on.wall_s * 1e3, overhead_pct);
+    json.begin_row();
+    json.field("config", "METRICS_ON");
+    json.field("events", on.events);
+    json.field("sim_ops", on.ops);
+    json.field("metrics_off_wall_s", off.wall_s);
+    json.field("metrics_on_wall_s", on.wall_s);
+    json.field("metrics_overhead_pct", overhead_pct);
   }
 
   // Parallel pass: the same config×repeat grid, but as one Sweep. Each task

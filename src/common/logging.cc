@@ -26,6 +26,30 @@ bool set_log_level(const std::string& name) {
   return true;
 }
 
+namespace {
+CheckFailureHook& failure_hook() {
+  static CheckFailureHook hook = nullptr;
+  return hook;
+}
+}  // namespace
+
+void set_check_failure_hook(CheckFailureHook hook) {
+  if (failure_hook() == nullptr) {
+    failure_hook() = hook;
+  }
+}
+
+void run_check_failure_hook() {
+  static bool ran = false;
+  if (ran) {
+    return;  // a hook that CHECKs in turn must not recurse
+  }
+  ran = true;
+  if (CheckFailureHook hook = failure_hook()) {
+    hook();
+  }
+}
+
 namespace log_detail {
 
 namespace {

@@ -59,6 +59,18 @@ struct NullLine {
 
 }  // namespace log_detail
 
+// Hook run by SCALERPC_CHECK / SCALERPC_CHECK_MSG after printing the
+// failure and before abort(). The metrics library installs one that dumps
+// the calling thread's flight recorder, so a failing assertion leaves its
+// forensic window behind. Installation is sticky and idempotent; the hook
+// must be async-signal-safe-ish (we are already aborting — it should not
+// CHECK in turn).
+using CheckFailureHook = void (*)();
+void set_check_failure_hook(CheckFailureHook hook);
+// Invoked by the CHECK macros; runs the installed hook at most once per
+// process (a hook that fails a CHECK itself must not recurse).
+void run_check_failure_hook();
+
 }  // namespace scalerpc
 
 #define SCALERPC_LOG_ENABLED(level) \
@@ -83,6 +95,7 @@ struct NullLine {
     if (!(cond)) {                                                              \
       ::std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__, __LINE__, \
                      #cond);                                                    \
+      ::scalerpc::run_check_failure_hook();                                     \
       ::std::abort();                                                           \
     }                                                                           \
   } while (0)
@@ -92,6 +105,7 @@ struct NullLine {
     if (!(cond)) {                                                          \
       ::std::fprintf(stderr, "CHECK failed at %s:%d: %s (%s)\n", __FILE__,  \
                      __LINE__, #cond, msg);                                 \
+      ::scalerpc::run_check_failure_hook();                                 \
       ::std::abort();                                                       \
     }                                                                       \
   } while (0)

@@ -89,8 +89,15 @@ uint64_t Histogram::percentile(double p) const {
     return 0;
   }
   p = std::clamp(p, 0.0, 100.0);
-  const auto target =
-      static_cast<uint64_t>(static_cast<double>(count_) * p / 100.0 + 0.5);
+  if (p == 0.0) {
+    // p=0 is the smallest sample, exactly; the bucket scan below would
+    // report the first bucket's upper bound instead.
+    return min_;
+  }
+  // Never let the rank round down to 0: a tiny p must still land on the
+  // first occupied bucket rather than whichever bucket the scan sees first.
+  const auto target = std::max<uint64_t>(
+      1, static_cast<uint64_t>(static_cast<double>(count_) * p / 100.0 + 0.5));
   uint64_t seen = 0;
   for (size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
@@ -112,7 +119,10 @@ std::vector<std::pair<uint64_t, double>> Histogram::cdf() const {
       continue;
     }
     seen += buckets_[i];
-    points.emplace_back(bucket_upper_bound(static_cast<int>(i)),
+    // Clamp like percentile(): the last bucket's nominal upper bound can
+    // overshoot every recorded sample, which reads as phantom tail latency
+    // on a plotted CDF.
+    points.emplace_back(std::min(bucket_upper_bound(static_cast<int>(i)), max_),
                         static_cast<double>(seen) / static_cast<double>(count_));
   }
   return points;

@@ -16,6 +16,8 @@
 #include "src/common/rng.h"
 #include "src/common/units.h"
 #include "src/fault/plan.h"
+#include "src/metrics/flight.h"
+#include "src/metrics/metrics.h"
 
 namespace scalerpc::fault {
 
@@ -41,6 +43,10 @@ class FaultInjector {
       if (r.kind == FaultKind::kDrop && r.matches_link(now, src, dst) &&
           rng_.next_bool(r.probability)) {
         counters_.drops++;
+        if (metrics::FlightRecorder* f = metrics::flight()) {
+          f->note("fault.drop", now, src, dst);
+          f->trigger("fault.drop", now);
+        }
         return true;
       }
     }
@@ -52,6 +58,10 @@ class FaultInjector {
       if (r.kind == FaultKind::kCorrupt && r.matches_link(now, src, dst) &&
           rng_.next_bool(r.probability)) {
         counters_.corruptions++;
+        if (metrics::FlightRecorder* f = metrics::flight()) {
+          f->note("fault.corrupt", now, src, dst);
+          f->trigger("fault.corrupt", now);
+        }
         return true;
       }
     }

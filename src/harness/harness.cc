@@ -1,10 +1,21 @@
 #include "src/harness/harness.h"
 
+#include <cstdio>
+
 #include "src/common/rng.h"
 #include "src/harness/observe.h"
+#include "src/metrics/flight.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 
 namespace scalerpc::harness {
+
+namespace {
+bool g_spans_default = false;
+}  // namespace
+
+void set_spans_default(bool enabled) { g_spans_default = enabled; }
+bool spans_default() { return g_spans_default; }
 
 const char* to_string(TransportKind kind) {
   switch (kind) {
@@ -58,6 +69,11 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), cluster_(cfg.sim) {
     // Recovery must be on before the server is built: admission sizes the
     // per-client dedup state and the request header grows a seq field.
     cfg_.rpc.recovery_enabled = true;
+  }
+  if (spans_default()) {
+    // Like recovery, spans grow the request header, so the flag must be set
+    // before server and clients agree on the wire format.
+    cfg_.rpc.spans_enabled = true;
   }
 
   switch (cfg_.kind) {
@@ -144,7 +160,18 @@ sim::Task<void> echo_client(sim::EventLoop* loop, rpc::RpcClient* client,
       client->stage(0, payload);
     }
     std::vector<rpc::Bytes> resp = co_await client->flush();
-    SCALERPC_CHECK(resp.size() == static_cast<size_t>(wl->batch));
+    if (resp.size() != static_cast<size_t>(wl->batch)) {
+      // Exactly-once violation: name the incident before the assertion
+      // fires, so the hook-written flight dump records client and count.
+      if (metrics::FlightRecorder* f = metrics::flight()) {
+        f->note("rpc.exactly_once_violation", loop->now(), -1,
+                static_cast<int64_t>(client_idx),
+                static_cast<int64_t>(resp.size()));
+        f->trigger("rpc.exactly_once_violation", loop->now());
+      }
+    }
+    SCALERPC_CHECK_MSG(resp.size() == static_cast<size_t>(wl->batch),
+                       "exactly-once violation: batch response count mismatch");
     if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
       t->complete(trace::kRpc, "rpc.batch", t1, loop->now() - t1,
                   static_cast<uint32_t>(1000 + client_idx), "batch",
@@ -224,9 +251,30 @@ EchoResult EchoDriver::measure() {
   if (bed.scalerpc() != nullptr) {
     result.server_dup_rpcs = bed.scalerpc()->dup_rpcs();
   }
+  if (metrics::Registry* m = metrics::registry()) {
+    // End-of-run node gauges: the same column block the --timeline view
+    // samples periodically, recorded once as absolute totals.
+    uint64_t values[kObservedColumns];
+    fill_observed(bed.server_node(), st.ops, values);
+    const auto node_slot = static_cast<uint32_t>(bed.server_node()->id());
+    for (size_t i = 0; i < kObservedColumns; ++i) {
+      m->set(static_cast<metrics::Column>(metrics::kNodeObservedFirst +
+                                          static_cast<int>(i)),
+             node_slot, values[i]);
+    }
+    m->set(metrics::kNodeLoopEvents, 0, loop.events_processed());
+  }
   if (bed.cluster().faults() == nullptr) {
     // On a lossless fabric the client timeout path must never fire; a
     // nonzero count here means a lost-response bug, not an injected fault.
+    // Pre-trigger the flight recorder (when one rides along) so the dump
+    // the assertion hook writes names the real incident, and the failure
+    // output carries the dump path.
+    if (result.client_timeouts != 0) {
+      if (metrics::FlightRecorder* f = metrics::flight()) {
+        f->trigger("rpc.unexpected_timeout", loop.now());
+      }
+    }
     SCALERPC_CHECK_MSG(result.client_timeouts == 0,
                        "client timeouts on a lossless fabric");
   }

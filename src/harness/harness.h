@@ -24,6 +24,12 @@ enum class TransportKind { kRawWrite, kHerd, kFasst, kSelfRpc, kScaleRpc };
 
 const char* to_string(TransportKind kind);
 std::optional<TransportKind> parse_transport(const std::string& name);
+
+// Process-wide default for core::ScaleRpcConfig::spans_enabled, applied to
+// every Testbed at construction. The bench binaries set it from --spans
+// before any sweep runs; sweep workers only ever read it.
+void set_spans_default(bool enabled);
+bool spans_default();
 inline const std::vector<TransportKind>& all_transports() {
   static const std::vector<TransportKind> kAll = {
       TransportKind::kRawWrite, TransportKind::kHerd, TransportKind::kFasst,

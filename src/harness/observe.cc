@@ -27,11 +27,13 @@ sim::Task<void> counter_sampler(simrdma::Node* node, const bool* live,
 }  // namespace
 
 std::vector<std::string> observed_columns() {
-  return {"pcie_rd_cur", "rfo",           "itom",
-          "pcie_itom",   "l3_hits",       "l3_misses",
-          "qp_cache_hits", "qp_cache_misses", "send_wqes",
-          "inbound_packets", "acks_sent", "bytes_tx",
-          "bytes_rx",    "ops"};
+  std::vector<std::string> cols;
+  cols.reserve(kObservedColumns);
+  for (size_t i = 0; i < kObservedColumns; ++i) {
+    cols.emplace_back(
+        metrics::kColumns[metrics::kNodeObservedFirst + static_cast<int>(i)].name);
+  }
+  return cols;
 }
 
 void fill_observed(simrdma::Node* node, uint64_t ops, uint64_t* out) {

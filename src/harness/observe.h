@@ -19,18 +19,21 @@
 #include <vector>
 
 #include "src/common/stats.h"
+#include "src/metrics/schema.h"
 #include "src/sim/task.h"
 #include "src/simrdma/node.h"
 #include "src/trace/timeline.h"
 
 namespace scalerpc::harness {
 
-// Number of columns in the shared schema (see observed_columns()).
-inline constexpr size_t kObservedColumns = 14;
+// Number of columns in the shared schema: the kNode gauge block of the
+// metrics schema (src/metrics/schema.h), of which this file is a thin
+// timeline-shaped view.
+inline constexpr size_t kObservedColumns = metrics::kNodeObservedCount;
 
-// Column names, in row order: pcie_rd_cur, rfo, itom, pcie_itom, l3_hits,
-// l3_misses, qp_cache_hits, qp_cache_misses, send_wqes, inbound_packets,
-// acks_sent, bytes_tx, bytes_rx, ops.
+// Column names, in row order, generated from the metrics schema: pcie_rd_cur,
+// rfo, itom, pcie_itom, l3_hits, l3_misses, qp_cache_hits, qp_cache_misses,
+// send_wqes, inbound_packets, acks_sent, bytes_tx, bytes_rx, ops.
 std::vector<std::string> observed_columns();
 
 // Fills `out[0..kObservedColumns)` with the absolute counter values for

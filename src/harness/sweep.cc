@@ -30,11 +30,20 @@ int Sweep::hardware_threads() {
 }
 
 void Sweep::run_task(size_t i) {
-  if (collector_ != nullptr && collector_->enabled()) {
-    // One collector slot per submission index: the task's tracer/timeline
-    // live in slot i regardless of which worker executes it, so the merged
-    // output files are byte-identical for any thread count.
+  // One collector slot per submission index: the task's tracer/timeline/
+  // registry live in slot i regardless of which worker executes it, so the
+  // merged output files are byte-identical for any thread count.
+  const bool traced = collector_ != nullptr && collector_->enabled();
+  const bool metered = metrics_ != nullptr && metrics_->enabled();
+  if (traced && metered) {
     trace::ScopedSession session(collector_->open(i, tasks_[i].label));
+    metrics::ScopedSession msession(metrics_->open(i, tasks_[i].label));
+    tasks_[i].fn();
+  } else if (traced) {
+    trace::ScopedSession session(collector_->open(i, tasks_[i].label));
+    tasks_[i].fn();
+  } else if (metered) {
+    metrics::ScopedSession msession(metrics_->open(i, tasks_[i].label));
     tasks_[i].fn();
   } else {
     tasks_[i].fn();
@@ -50,6 +59,9 @@ void Sweep::run(int threads) {
   }
   if (collector_ != nullptr && collector_->enabled()) {
     collector_->resize(tasks_.size());
+  }
+  if (metrics_ != nullptr && metrics_->enabled()) {
+    metrics_->resize(tasks_.size());
   }
 
   if (threads <= 1) {

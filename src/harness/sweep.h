@@ -31,6 +31,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/metrics/collector.h"
 #include "src/trace/collector.h"
 
 namespace scalerpc::harness {
@@ -60,6 +61,12 @@ class Sweep {
   // null (the default) leaves tasks un-instrumented.
   void set_collector(trace::Collector* collector) { collector_ = collector; }
 
+  // Attaches a metrics collector (--metrics / --flight-recorder): run()
+  // installs a per-task metrics::ScopedSession the same way, one registry +
+  // flight-recorder slot per submission index. Composes with the trace
+  // collector; null (the default) leaves the metrics hooks dormant.
+  void set_metrics(metrics::Collector* collector) { metrics_ = collector; }
+
   // Worker count used for `threads <= 0`: std::thread::hardware_concurrency
   // clamped to at least 1.
   static int hardware_threads();
@@ -74,6 +81,7 @@ class Sweep {
 
   std::vector<TaskEntry> tasks_;
   trace::Collector* collector_ = nullptr;
+  metrics::Collector* metrics_ = nullptr;
 };
 
 // --- Copy-on-write warm start ---

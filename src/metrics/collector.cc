@@ -1,0 +1,107 @@
+#include "src/metrics/collector.h"
+
+#include <cstdio>
+
+#include "src/common/logging.h"
+
+namespace scalerpc::metrics {
+
+void Collector::resize(size_t slots) {
+  SCALERPC_CHECK_MSG(slots_.empty() || slots_.size() == slots,
+                     "metrics collector resized mid-run");
+  slots_.resize(slots);
+}
+
+Session Collector::open(size_t slot, const std::string& label) {
+  SCALERPC_CHECK(slot < slots_.size());
+  Slot& s = slots_[slot];
+  s.label = label;
+  Session session;
+  if (cfg_.metrics) {
+    s.registry = std::make_unique<Registry>();
+    session.registry = s.registry.get();
+  }
+  if (cfg_.flight) {
+    s.flight = std::make_unique<FlightRecorder>(cfg_.flight_capacity);
+    if (!cfg_.flight_prefix.empty()) {
+      s.flight->set_dump_path(cfg_.flight_prefix + "." + std::to_string(slot) +
+                              ".json");
+    }
+    session.flight = s.flight.get();
+  }
+  return session;
+}
+
+namespace {
+bool write_string(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) {
+    std::fprintf(stderr, "error: short write to %s\n", path.c_str());
+  }
+  return ok;
+}
+
+// Minimal JSON string escape for slot labels (bench-controlled, but keep
+// quotes/backslashes safe without pulling in the trace library).
+void escape(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+}
+}  // namespace
+
+bool Collector::write_metrics(const std::string& path,
+                              const std::string& bench_name) const {
+  if (path.empty() || !cfg_.metrics) {
+    return true;
+  }
+  std::string out;
+  out.reserve(1u << 16);
+  out += "{\n  \"bench\": \"";
+  escape(out, bench_name);
+  out += "\",\n  \"slots\": [\n";
+  bool first = true;
+  for (const Slot& s : slots_) {
+    if (s.registry == nullptr) {
+      continue;
+    }
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "    {\"label\": \"";
+    escape(out, s.label);
+    out += "\", \"metrics\": ";
+    s.registry->dump(out);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return write_string(path, out);
+}
+
+std::vector<std::string> Collector::write_flight_dumps() {
+  std::vector<std::string> paths;
+  for (Slot& s : slots_) {
+    if (s.flight == nullptr || !s.flight->triggered()) {
+      continue;
+    }
+    const std::string& path = s.flight->dump_now();
+    if (!path.empty()) {
+      std::fprintf(stderr, "flight recorder dump (%s, trigger: %s): %s\n",
+                   s.label.c_str(), s.flight->trigger_reason(), path.c_str());
+      paths.push_back(path);
+    }
+  }
+  return paths;
+}
+
+}  // namespace scalerpc::metrics

@@ -1,0 +1,69 @@
+// Per-sweep-slot metrics registries and flight recorders, merged into one
+// --metrics file in *submission* order — the same slot-then-print pattern
+// trace::Collector uses, so the dump is byte-identical for every --threads
+// value (PR 2).
+//
+// The sweep engine calls resize() once before workers start, then open(i)
+// from whichever worker runs task i. Slots are touched by exactly one task,
+// so no synchronization is needed beyond the run()'s join.
+#ifndef SRC_METRICS_COLLECTOR_H_
+#define SRC_METRICS_COLLECTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/metrics/flight.h"
+#include "src/metrics/metrics.h"
+
+namespace scalerpc::metrics {
+
+struct CollectorConfig {
+  bool metrics = false;            // install a Registry per slot
+  bool flight = false;             // install a FlightRecorder per slot
+  std::string flight_prefix;      // dumps land at <prefix>.<slot>.json
+  size_t flight_capacity = FlightRecorder::kDefaultCapacity;
+};
+
+class Collector {
+ public:
+  explicit Collector(CollectorConfig cfg) : cfg_(cfg) {}
+
+  bool enabled() const { return cfg_.metrics || cfg_.flight; }
+
+  // Pre-sizes the slot table; must be called before tasks execute.
+  void resize(size_t slots);
+
+  // Creates the slot's registry/recorder (on the calling worker thread) and
+  // returns a Session wired to them, ready for ScopedSession.
+  Session open(size_t slot, const std::string& label);
+
+  size_t slots() const { return slots_.size(); }
+  const Registry* registry(size_t slot) const {
+    return slots_[slot].registry.get();
+  }
+  FlightRecorder* flight(size_t slot) { return slots_[slot].flight.get(); }
+
+  // Writes {"bench": name, "slots": [{"label":..., "metrics":{...}}, ...]}.
+  // No-op returning true when path is empty or metrics were not requested.
+  bool write_metrics(const std::string& path, const std::string& bench_name) const;
+
+  // Dumps every *triggered* flight recorder to <prefix>.<slot>.json and
+  // returns the paths written (also announced on stderr so CI logs are
+  // self-diagnosing). Untriggered slots write nothing.
+  std::vector<std::string> write_flight_dumps();
+
+ private:
+  struct Slot {
+    std::string label;
+    std::unique_ptr<Registry> registry;
+    std::unique_ptr<FlightRecorder> flight;
+  };
+
+  CollectorConfig cfg_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace scalerpc::metrics
+
+#endif  // SRC_METRICS_COLLECTOR_H_

@@ -1,0 +1,66 @@
+#include "src/metrics/flight.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace scalerpc::metrics {
+
+FlightRecorder::FlightRecorder(size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+namespace {
+
+void append_i64(std::string& out, int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+void FlightRecorder::dump(std::string& out) const {
+  out += "{\"trigger\":\"";
+  out += trigger_reason_ != nullptr ? trigger_reason_ : "none";
+  out += "\",\"trigger_ts_ns\":";
+  append_i64(out, trigger_ts_);
+  out += ",\"events\":[\n";
+  // Oldest first: the ring head points at the next overwrite target, which
+  // is the oldest event once the ring has wrapped.
+  const size_t start = count_ == ring_.size() ? head_ : 0;
+  for (size_t i = 0; i < count_; ++i) {
+    const Event& e = ring_[(start + i) % ring_.size()];
+    if (i != 0) {
+      out += ",\n";
+    }
+    out += "{\"ts_ns\":";
+    append_i64(out, e.ts);
+    out += ",\"node\":";
+    append_i64(out, e.node);
+    out += ",\"name\":\"";
+    out += e.name;
+    out += "\",\"a\":";
+    append_i64(out, e.a);
+    out += ",\"b\":";
+    append_i64(out, e.b);
+    out += "}";
+  }
+  out += "\n]}\n";
+}
+
+const std::string& FlightRecorder::dump_now() const {
+  static const std::string kEmpty;
+  if (dump_path_.empty()) {
+    return kEmpty;
+  }
+  std::string body;
+  dump(body);
+  std::FILE* f = std::fopen(dump_path_.c_str(), "w");
+  if (f == nullptr) {
+    return kEmpty;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return dump_path_;
+}
+
+}  // namespace scalerpc::metrics

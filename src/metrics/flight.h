@@ -1,0 +1,105 @@
+// Flight recorder: an always-cheap fixed-size ring of recent span/metric
+// events that turns fault-recovery runs and failing assertions into
+// forensic artifacts.
+//
+// Producers append plain-POD notes (sim timestamp, node, a string-literal
+// name, two integer args) into a preallocated ring — no allocation, no
+// formatting, overwrite-oldest — so it can stay on for every fault-mode
+// run. When something goes wrong (an injected fault fires, a ScaleRPC
+// retry/timeout trips, a SCALERPC_CHECK fails) the recorder is `trigger`ed;
+// it records another half-capacity of aftermath and then freezes, so the
+// preserved window straddles the FIRST incident no matter how long the run
+// continues. Triggered recorders dump their window as JSON, either at
+// collector write time (metrics::Collector) or immediately on assertion
+// failure (the logging.h failure hook installed by metrics::ScopedSession).
+//
+// Name strings must be literals (pointers are stored, not copies) — the
+// same rule as trace::Tracer.
+#ifndef SRC_METRICS_FLIGHT_H_
+#define SRC_METRICS_FLIGHT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scalerpc::metrics {
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 1024;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity);
+
+  void note(const char* name, int64_t ts_ns, int32_t node, int64_t a = 0,
+            int64_t b = 0) {
+    if (frozen_) {
+      return;
+    }
+    Event& e = ring_[head_];
+    e.name = name;
+    e.ts = ts_ns;
+    e.node = node;
+    e.a = a;
+    e.b = b;
+    head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+    if (count_ < ring_.size()) {
+      count_++;
+    }
+    // Once triggered, record another half-capacity of aftermath and then
+    // freeze, so a dump taken long after the incident (collector write
+    // time, end of run) still shows the window AROUND the trigger instead
+    // of whatever the tail of the run overwrote it with.
+    if (trigger_reason_ != nullptr && ++post_trigger_ >= ring_.size() / 2) {
+      frozen_ = true;
+    }
+  }
+
+  // Marks the recorder dump-worthy. Idempotent: the first reason (and its
+  // timestamp) wins, so the dump names the event that started the incident.
+  void trigger(const char* reason, int64_t ts_ns) {
+    if (trigger_reason_ == nullptr) {
+      trigger_reason_ = reason;
+      trigger_ts_ = ts_ns;
+    }
+  }
+  bool triggered() const { return trigger_reason_ != nullptr; }
+  const char* trigger_reason() const { return trigger_reason_; }
+
+  size_t size() const { return count_; }
+  size_t capacity() const { return ring_.size(); }
+
+  // Where dump_now() writes; set by the collector (<prefix>.<slot>.json).
+  void set_dump_path(std::string path) { dump_path_ = std::move(path); }
+  const std::string& dump_path() const { return dump_path_; }
+
+  // Appends the window, oldest first, as a JSON object:
+  //   {"trigger":"...","trigger_ts_ns":...,"events":[
+  //     {"ts_ns":...,"node":...,"name":"...","a":...,"b":...}, ...]}
+  void dump(std::string& out) const;
+
+  // Writes dump() to dump_path(). Returns the path, or "" when no path is
+  // set or the write failed. Safe to call from the assertion-failure hook.
+  const std::string& dump_now() const;
+
+ private:
+  struct Event {
+    const char* name;
+    int64_t ts;
+    int64_t a;
+    int64_t b;
+    int32_t node;
+  };
+
+  std::vector<Event> ring_;
+  size_t head_ = 0;
+  size_t count_ = 0;
+  size_t post_trigger_ = 0;  // events recorded since the trigger
+  bool frozen_ = false;      // incident window captured; stop recording
+  const char* trigger_reason_ = nullptr;
+  int64_t trigger_ts_ = 0;
+  std::string dump_path_;
+};
+
+}  // namespace scalerpc::metrics
+
+#endif  // SRC_METRICS_FLIGHT_H_

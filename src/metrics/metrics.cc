@@ -1,0 +1,215 @@
+#include "src/metrics/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/metrics/flight.h"
+
+namespace scalerpc::metrics {
+
+thread_local Session g_session;
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kNode:
+      return "node";
+    case Kind::kQp:
+      return "qp";
+    case Kind::kGroup:
+      return "group";
+    case Kind::kClient:
+      return "client";
+  }
+  return "?";
+}
+
+Registry::Registry() { qp_labels_.reserve(64); }
+
+uint32_t Registry::qp_slot(uint32_t node, uint32_t qpn) {
+  const uint64_t label = qp_label(node, qpn);
+  auto it = qp_slots_.find(label);
+  if (it != qp_slots_.end()) {
+    return it->second;
+  }
+  const auto slot = static_cast<uint32_t>(qp_labels_.size());
+  qp_labels_.push_back(label);
+  qp_slots_.emplace(label, slot);
+  qp_counters_.emplace_back();
+  return slot;
+}
+
+void Registry::grow(Column c, uint32_t slot) {
+  SCALERPC_CHECK(c >= kQpColumnCount);  // kQp blocks come from qp_slot()
+  SCALERPC_CHECK(kColumns[c].instrument != Instrument::kHistogram);
+  scalars_[c].resize(slot + 1, 0);
+}
+
+void Registry::grow_hist(Column c, uint32_t slot) {
+  SCALERPC_CHECK(kColumns[c].instrument == Instrument::kHistogram);
+  hists_[c].resize(slot + 1);
+}
+
+uint64_t Registry::value(Column c, uint32_t slot) const {
+  if (c < kQpColumnCount) {
+    return slot < qp_counters_.size() ? qp_counters_[slot].v[c] : 0;
+  }
+  const auto& v = scalars_[c];
+  return slot < v.size() ? v[slot] : 0;
+}
+
+const Histogram* Registry::histogram(Column c, uint32_t slot) const {
+  const auto& h = hists_[c];
+  return slot < h.size() ? &h[slot] : nullptr;
+}
+
+namespace {
+
+void append_u64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+const char* instrument_name(Instrument i) {
+  switch (i) {
+    case Instrument::kCounter:
+      return "counter";
+    case Instrument::kGauge:
+      return "gauge";
+    case Instrument::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// Emits the entity label fields for one point. kQp slots carry a packed
+// (node, qpn) label; everything else is its own small dense id.
+void append_label(std::string& out, Kind kind, uint32_t slot,
+                  const std::vector<uint64_t>& qp_labels) {
+  if (kind == Kind::kQp) {
+    const uint64_t label = qp_labels[slot];
+    out += "\"node\":";
+    append_u64(out, qp_label_node(label));
+    out += ",\"qpn\":";
+    append_u64(out, qp_label_qpn(label));
+  } else {
+    out += "\"id\":";
+    append_u64(out, slot);
+  }
+}
+
+void append_hist(std::string& out, const Histogram& h) {
+  out += "\"count\":";
+  append_u64(out, h.count());
+  out += ",\"min\":";
+  append_u64(out, h.min());
+  out += ",\"p50\":";
+  append_u64(out, h.percentile(50));
+  out += ",\"p90\":";
+  append_u64(out, h.percentile(90));
+  out += ",\"p99\":";
+  append_u64(out, h.percentile(99));
+  out += ",\"max\":";
+  append_u64(out, h.max());
+}
+
+}  // namespace
+
+void Registry::dump(std::string& out) const {
+  // kQp slots are assigned in first-touch order; emit them sorted by label
+  // so the dump is independent of touch order (and thus identical across
+  // NIC engines even if they interleave first touches differently).
+  std::vector<uint32_t> qp_order(qp_labels_.size());
+  for (uint32_t i = 0; i < qp_order.size(); ++i) {
+    qp_order[i] = i;
+  }
+  std::sort(qp_order.begin(), qp_order.end(), [&](uint32_t a, uint32_t b) {
+    return qp_labels_[a] < qp_labels_[b];
+  });
+
+  out += "{\"series\":[";
+  bool first_col = true;
+  for (int c = 0; c < kColumnCount; ++c) {
+    const ColumnDesc& d = kColumns[c];
+    const bool is_hist = d.instrument == Instrument::kHistogram;
+    size_t n;
+    if (d.kind == Kind::kQp) {
+      // The fast per-QP hook writes counter blocks directly, so "touched"
+      // is value-derived for these columns: emitted iff any QP's sum is
+      // nonzero (deterministic — the sums are). An emitted kQp column
+      // lists one point per known QP entity, zeros included, so every qp
+      // series carries the same label set.
+      bool any = false;
+      for (const QpCounters& qc : qp_counters_) {
+        any |= qc.v[c] != 0;
+      }
+      if (!any) {
+        continue;
+      }
+      n = qp_labels_.size();
+    } else {
+      n = is_hist ? hists_[c].size() : scalars_[c].size();
+      if (n == 0) {
+        continue;
+      }
+    }
+    if (!first_col) {
+      out += ",";
+    }
+    first_col = false;
+    out += "{\"kind\":\"";
+    out += kind_name(d.kind);
+    out += "\",\"name\":\"";
+    out += d.name;
+    out += "\",\"instrument\":\"";
+    out += instrument_name(d.instrument);
+    out += "\",\"points\":[";
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t slot =
+          d.kind == Kind::kQp ? qp_order[i] : static_cast<uint32_t>(i);
+      if (i != 0) {
+        out += ",";
+      }
+      out += "{";
+      append_label(out, d.kind, slot, qp_labels_);
+      if (is_hist) {
+        out += ",";
+        append_hist(out, hists_[c][slot]);
+      } else {
+        out += ",\"value\":";
+        append_u64(out, value(static_cast<Column>(c), slot));
+      }
+      out += "}";
+    }
+    out += "]}";
+  }
+  out += "]}";
+}
+
+namespace {
+
+// SCALERPC_CHECK failure hook: dump the calling thread's flight recorder so
+// an aborting assertion still leaves its forensic window behind. Installed
+// once, by the first ScopedSession.
+void dump_flight_on_check_failure() {
+  FlightRecorder* f = flight();
+  if (f == nullptr) {
+    return;
+  }
+  f->trigger("check_failure", 0);
+  const std::string& path = f->dump_now();
+  if (!path.empty()) {
+    std::fprintf(stderr, "flight recorder dumped to %s\n", path.c_str());
+  }
+}
+
+}  // namespace
+
+ScopedSession::ScopedSession(Session s) : prev_(g_session) {
+  g_session = s;
+  set_check_failure_hook(&dump_flight_on_check_failure);
+}
+
+}  // namespace scalerpc::metrics

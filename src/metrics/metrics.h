@@ -1,0 +1,158 @@
+// Labeled metrics registry: counter/gauge/histogram instruments keyed by
+// {entity_kind, entity_id, name}, dense-slot storage.
+//
+// Same contract as src/trace (DESIGN.md §6):
+//  * Zero cost when off. Every hook first reads one thread_local session
+//    pointer; with no session installed the hook is a predicted branch and
+//    nothing else. The counting-allocator test covers the metrics-off path.
+//  * Deterministic when on. Values are plain sums of deterministic sim
+//    events, buffered per sweep slot (collector.h) and serialized sorted by
+//    entity label, so a merged dump is byte-identical for any --threads
+//    value and for both NIC engines (the hooks sit at engine-shared or
+//    event-parity sites; see tests/integration/metrics_determinism_test.cc).
+//  * One simulation per thread: the session is thread_local, matching the
+//    sweep engine's execution model.
+//
+// Series names come from the fixed schema (schema.h), so the hot path is
+// `registry->add(kQpBytesTx, slot, n)` — one bounds check + one array add.
+#ifndef SRC_METRICS_METRICS_H_
+#define SRC_METRICS_METRICS_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/metrics/schema.h"
+
+namespace scalerpc::metrics {
+
+class FlightRecorder;
+
+// One QP's counter block: the kQp schema columns, contiguous, indexed by
+// Column directly (they are the schema prefix). The NIC caches the block
+// pointer on the QueuePair, so a steady-state per-packet hook is one
+// member load + one field add — no slot lookup, no bounds check. Blocks
+// live in a deque inside the Registry: stable addresses across growth.
+struct QpCounters {
+  uint64_t v[kQpColumnCount] = {};
+};
+
+class Registry {
+ public:
+  Registry();
+
+  // Counters accumulate, gauges overwrite, histograms record samples. The
+  // caller passes the dense slot for the entity: for kQp columns that is a
+  // slot from qp_slot(); for node/group/client columns the natural small
+  // index (node id, group index, client id) is the slot.
+  void add(Column c, uint32_t slot, uint64_t delta) {
+    if (c < kQpColumnCount) {  // folds away: call sites pass a constant c
+      qp_counters_[slot].v[c] += delta;
+      return;
+    }
+    auto& v = scalars_[c];
+    if (slot >= v.size()) {
+      grow(c, slot);
+    }
+    v[slot] += delta;
+  }
+  void set(Column c, uint32_t slot, uint64_t value) {
+    if (c < kQpColumnCount) {
+      qp_counters_[slot].v[c] = value;
+      return;
+    }
+    auto& v = scalars_[c];
+    if (slot >= v.size()) {
+      grow(c, slot);
+    }
+    v[slot] = value;
+  }
+  void record(Column c, uint32_t slot, uint64_t value) {
+    auto& h = hists_[c];
+    if (slot >= h.size()) {
+      grow_hist(c, slot);
+    }
+    h[slot].record(value);
+  }
+
+  // Dense slot for a labeled kQp entity. O(1) amortized. Slots are assigned
+  // in first-touch order; the dump sorts by label, so assignment order
+  // never shows in the output. add()/set() on a kQp column require a slot
+  // from here (it allocates the counter block).
+  uint32_t qp_slot(uint32_t node, uint32_t qpn);
+
+  // The entity's counter block, for callers that can cache it (QueuePair
+  // does) — the hot-hook alternative to qp_slot()+add(). Stable address for
+  // the life of the registry.
+  QpCounters* qp_counters(uint32_t node, uint32_t qpn) {
+    return &qp_counters_[qp_slot(node, qpn)];
+  }
+
+  // Test/inspection accessors (0 / null when never touched).
+  uint64_t value(Column c, uint32_t slot) const;
+  const Histogram* histogram(Column c, uint32_t slot) const;
+
+  // Appends the registry as a deterministic JSON object:
+  //   {"series":[{"kind":..,"name":..,"instrument":..,"points":[..]},..]}
+  // Columns appear in schema order; untouched columns are omitted; points
+  // are sorted by entity label.
+  void dump(std::string& out) const;
+
+ private:
+  void grow(Column c, uint32_t slot);
+  void grow_hist(Column c, uint32_t slot);
+
+  // Non-kQp scalar columns (kQp entries of these arrays stay empty — their
+  // data lives in qp_counters_).
+  std::vector<uint64_t> scalars_[kColumnCount];
+  std::vector<Histogram> hists_[kColumnCount];
+  // kQp label <-> dense slot mapping, plus one counter block per slot
+  // (deque: block addresses survive growth, which is what lets QueuePair
+  // cache them).
+  std::unordered_map<uint64_t, uint32_t> qp_slots_;
+  std::vector<uint64_t> qp_labels_;  // slot -> label
+  std::deque<QpCounters> qp_counters_;
+};
+
+// ---------------------------------------------------------------------------
+// Thread-local session: the hook side, mirroring trace::Session.
+
+// All fields may be null independently (--metrics without a flight
+// recorder and vice versa — fault benches install only the recorder).
+struct Session {
+  Registry* registry = nullptr;
+  FlightRecorder* flight = nullptr;
+};
+
+// The session lives in TLS *by value* (two plain pointer fields, null when
+// metrics are off), so a hook is one TLS field load — no second pointer
+// chase and no null-session check. The NIC data plane runs these hooks per
+// packet event; that one removed indirection is what keeps the simspeed
+// metrics-on overhead gate green.
+extern thread_local Session g_session;
+
+inline Registry* registry() { return g_session.registry; }
+
+inline FlightRecorder* flight() { return g_session.flight; }
+
+// RAII session installer; restores the previous session on destruction.
+// Also installs (once per process) the SCALERPC_CHECK failure hook that
+// dumps the active flight recorder, so a failing assertion anywhere leaves
+// a forensic artifact.
+class ScopedSession {
+ public:
+  explicit ScopedSession(Session s);
+  ~ScopedSession() { g_session = prev_; }
+  ScopedSession(const ScopedSession&) = delete;
+  ScopedSession& operator=(const ScopedSession&) = delete;
+
+ private:
+  Session prev_;
+};
+
+}  // namespace scalerpc::metrics
+
+#endif  // SRC_METRICS_METRICS_H_

@@ -1,0 +1,139 @@
+// Canonical metric schema: every labeled series the tree produces, in one
+// place, so producers (simrdma, scalerpc, harness) and consumers (the
+// registry dump, tools/metrics2csv.py, observe.cc's timeline view) agree on
+// kinds, instrument types, and names — and so column ids are compile-time
+// constants and the hot path is a plain array increment.
+//
+// Adding a series = adding one Column enumerator and one kColumns row.
+// Column order is the dump order, so appending keeps old dumps comparable.
+#ifndef SRC_METRICS_SCHEMA_H_
+#define SRC_METRICS_SCHEMA_H_
+
+#include <cstdint>
+
+namespace scalerpc::metrics {
+
+// What a series is keyed by. kQp entities are labeled (node, qpn) packed by
+// qp_label(); the other kinds use small dense indices directly (node id,
+// group index, client id).
+enum class Kind : uint8_t { kNode = 0, kQp = 1, kGroup = 2, kClient = 3 };
+constexpr int kKindCount = 4;
+
+const char* kind_name(Kind k);
+
+enum class Instrument : uint8_t { kCounter, kGauge, kHistogram };
+
+enum Column : int {
+  // Per-QP NIC behavior (hooked in src/simrdma/nic.cc, both engines).
+  kQpCacheHits = 0,   // NIC connection-cache hits charged to this QP
+  kQpCacheMisses,     // ...and misses (each one a PCIe context fetch)
+  kQpWqeRefetches,    // WQE evicted between doorbell and execution
+  kQpBytesTx,         // wire bytes sent on this QP (payload + headers)
+  kQpBytesRx,         // wire bytes received on this QP
+  kQpRetransmits,     // RC retransmissions (fault mode only)
+
+  // Per-connection-group ScaleRPC server behavior (src/scalerpc/server.cc).
+  kGroupRequests,     // RPCs executed while the group was scheduled
+  kGroupBytes,        // request payload bytes
+  kGroupSwitchIns,    // times the scheduler switched this group in
+  kGroupCacheHits,    // NIC-cache hit delta attributed to this group's slice
+  kGroupCacheMisses,  // NIC-cache miss delta attributed to this group's slice
+
+  // Per-client ScaleRPC behavior (src/scalerpc/client.cc).
+  kClientRequests,    // spans closed (responses collected)
+  kClientTimeouts,    // flush timeouts observed
+  kClientReconnects,  // recovery reconnects
+
+  // Per-node gauges: the observed-timeline schema (src/harness/observe.cc
+  // renders exactly kNodeObservedCount of these, in this order) plus
+  // event-loop totals sampled at end of run.
+  kNodePcieRdCur,
+  kNodeRfo,
+  kNodeItom,
+  kNodePcieItom,
+  kNodeL3Hits,
+  kNodeL3Misses,
+  kNodeQpCacheHits,
+  kNodeQpCacheMisses,
+  kNodeSendWqes,
+  kNodeInboundPackets,
+  kNodeAcksSent,
+  kNodeBytesTx,
+  kNodeBytesRx,
+  kNodeOps,
+  kNodeLoopEvents,    // event-loop events dispatched (whole sim, id 0)
+
+  // Latency histograms, recorded at span close (values in microseconds).
+  kGroupLatencyUs,
+  kClientLatencyUs,
+
+  kColumnCount,
+};
+
+struct ColumnDesc {
+  Kind kind;
+  Instrument instrument;
+  const char* name;
+};
+
+inline constexpr ColumnDesc kColumns[kColumnCount] = {
+    {Kind::kQp, Instrument::kCounter, "qp_cache_hits"},
+    {Kind::kQp, Instrument::kCounter, "qp_cache_misses"},
+    {Kind::kQp, Instrument::kCounter, "wqe_refetches"},
+    {Kind::kQp, Instrument::kCounter, "bytes_tx"},
+    {Kind::kQp, Instrument::kCounter, "bytes_rx"},
+    {Kind::kQp, Instrument::kCounter, "retransmits"},
+    {Kind::kGroup, Instrument::kCounter, "requests"},
+    {Kind::kGroup, Instrument::kCounter, "bytes"},
+    {Kind::kGroup, Instrument::kCounter, "switch_ins"},
+    {Kind::kGroup, Instrument::kCounter, "qp_cache_hits"},
+    {Kind::kGroup, Instrument::kCounter, "qp_cache_misses"},
+    {Kind::kClient, Instrument::kCounter, "requests"},
+    {Kind::kClient, Instrument::kCounter, "timeouts"},
+    {Kind::kClient, Instrument::kCounter, "reconnects"},
+    {Kind::kNode, Instrument::kGauge, "pcie_rd_cur"},
+    {Kind::kNode, Instrument::kGauge, "rfo"},
+    {Kind::kNode, Instrument::kGauge, "itom"},
+    {Kind::kNode, Instrument::kGauge, "pcie_itom"},
+    {Kind::kNode, Instrument::kGauge, "l3_hits"},
+    {Kind::kNode, Instrument::kGauge, "l3_misses"},
+    {Kind::kNode, Instrument::kGauge, "qp_cache_hits"},
+    {Kind::kNode, Instrument::kGauge, "qp_cache_misses"},
+    {Kind::kNode, Instrument::kGauge, "send_wqes"},
+    {Kind::kNode, Instrument::kGauge, "inbound_packets"},
+    {Kind::kNode, Instrument::kGauge, "acks_sent"},
+    {Kind::kNode, Instrument::kGauge, "bytes_tx"},
+    {Kind::kNode, Instrument::kGauge, "bytes_rx"},
+    {Kind::kNode, Instrument::kGauge, "ops"},
+    {Kind::kNode, Instrument::kGauge, "loop_events"},
+    {Kind::kGroup, Instrument::kHistogram, "latency_us"},
+    {Kind::kClient, Instrument::kHistogram, "latency_us"},
+};
+
+// The observed-timeline view (observe.cc): 14 node gauges starting here, in
+// kColumns order. observe.cc's column-name table is generated from this.
+constexpr int kNodeObservedFirst = kNodePcieRdCur;
+constexpr int kNodeObservedCount = 14;
+
+// The kQp columns are the schema prefix (enum values 0..kQpColumnCount-1),
+// which lets the registry store each QP's counters as one contiguous block
+// indexed directly by Column — the layout the per-packet NIC hooks write.
+constexpr int kQpColumnCount = kQpRetransmits + 1;
+static_assert(kColumns[kQpColumnCount - 1].kind == Kind::kQp &&
+                  kColumns[kQpColumnCount].kind != Kind::kQp,
+              "kQp columns must be the contiguous schema prefix");
+
+// Label for a kQp entity: node id in the high half, qpn in the low half.
+constexpr uint64_t qp_label(uint32_t node, uint32_t qpn) {
+  return (static_cast<uint64_t>(node) << 32) | qpn;
+}
+constexpr uint32_t qp_label_node(uint64_t label) {
+  return static_cast<uint32_t>(label >> 32);
+}
+constexpr uint32_t qp_label_qpn(uint64_t label) {
+  return static_cast<uint32_t>(label);
+}
+
+}  // namespace scalerpc::metrics
+
+#endif  // SRC_METRICS_SCHEMA_H_

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/metrics/flight.h"
+#include "src/metrics/metrics.h"
 #include "src/trace/trace.h"
 
 namespace scalerpc::core {
@@ -41,18 +43,22 @@ sim::Task<void> ScaleRpcClient::connect() {
 void ScaleRpcClient::stage(uint8_t op, rpc::Bytes request) {
   SCALERPC_CHECK(static_cast<int>(staged_.size()) < cfg_.slots_per_client);
   const size_t header = kEnvelopeBytes + kRequestIdBytes +
-                        (cfg_.recovery_enabled ? kRequestSeqBytes : 0);
+                        (cfg_.wire_seq() ? kRequestSeqBytes : 0);
   SCALERPC_CHECK(request.size() + header <= rpc::max_payload(cfg_.block_bytes));
-  staged_.push_back(Staged{op, std::move(request), ++next_req_seq_});
+  const Nanos now = env_.node->loop().now();
+  staged_.push_back(Staged{op, std::move(request), ++next_req_seq_, now});
+  if (metrics::FlightRecorder* f = metrics::flight()) {
+    f->note("span.open", now, env_.node->id(), id_, next_req_seq_);
+  }
 }
 
 rpc::Bytes ScaleRpcClient::request_header(const Staged& s) const {
   const uint32_t hdr =
-      kRequestIdBytes + (cfg_.recovery_enabled ? kRequestSeqBytes : 0);
+      kRequestIdBytes + (cfg_.wire_seq() ? kRequestSeqBytes : 0);
   rpc::Bytes data(hdr + s.data.size());
   const auto id = static_cast<uint16_t>(id_);
   std::memcpy(data.data(), &id, sizeof(id));
-  if (cfg_.recovery_enabled) {
+  if (cfg_.wire_seq()) {
     std::memcpy(data.data() + kRequestIdBytes, &s.seq, sizeof(s.seq));
   }
   if (!s.data.empty()) {
@@ -224,17 +230,19 @@ sim::Task<std::vector<rpc::Bytes>> ScaleRpcClient::flush() {
       rpc::clear_block(mem, block, cfg_.block_bytes);
       cost += cfg_.client_costs.response_parse_ns;
       size_t body = kEnvelopeBytes;
-      if (cfg_.recovery_enabled) {
-        // Responses echo the request seq; a replay of an older retry (or a
-        // straggler from before a reconnect) is discarded and the slot keeps
-        // waiting for the response that matches what is staged now.
+      if (cfg_.wire_seq()) {
+        // Responses echo the request seq; in recovery mode a replay of an
+        // older retry (or a straggler from before a reconnect) is discarded
+        // and the slot keeps waiting for the response that matches what is
+        // staged now. Spans-only mode carries the seq but never retries, so
+        // there is nothing to discard.
         body += kRequestSeqBytes;
         if (msg->data.size() < body) {
           continue;
         }
         uint32_t rseq = 0;
         std::memcpy(&rseq, msg->data.data() + kEnvelopeBytes, sizeof(rseq));
-        if (rseq != staged_[i].seq) {
+        if (cfg_.recovery_enabled && rseq != staged_[i].seq) {
           continue;
         }
       }
@@ -247,6 +255,25 @@ sim::Task<std::vector<rpc::Bytes>> ScaleRpcClient::flush() {
       got[i] = true;
       collected++;
       progress = true;
+      // --- Span close: response collected for this request. ---
+      if (metrics::Registry* m = metrics::registry()) {
+        const auto us =
+            static_cast<uint64_t>((loop.now() - staged_[i].start_ns) / 1000);
+        m->add(metrics::kClientRequests, static_cast<uint32_t>(id_), 1);
+        m->record(metrics::kClientLatencyUs, static_cast<uint32_t>(id_), us);
+        const int grp = server_->group_of(id_);
+        if (grp >= 0) {
+          m->record(metrics::kGroupLatencyUs, static_cast<uint32_t>(grp), us);
+        }
+      }
+      if (metrics::FlightRecorder* f = metrics::flight()) {
+        f->note("span.close", loop.now(), env_.node->id(), id_, staged_[i].seq);
+      }
+      if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
+        t->complete(trace::kRpc, "rpc.span", staged_[i].start_ns,
+                    loop.now() - staged_[i].start_ns,
+                    1000 + static_cast<uint32_t>(id_), "seq", staged_[i].seq);
+      }
     }
     if (cost > 0) {
       co_await env_.cpu->work(cost);
@@ -282,6 +309,14 @@ sim::Task<std::vector<rpc::Bytes>> ScaleRpcClient::flush() {
       // like a sick QP rather than a sick fabric.
       timeouts_++;
       flush_timeouts++;
+      if (metrics::Registry* m = metrics::registry()) {
+        m->add(metrics::kClientTimeouts, static_cast<uint32_t>(id_), 1);
+      }
+      if (metrics::FlightRecorder* f = metrics::flight()) {
+        f->note("span.timeout", loop.now(), env_.node->id(), id_,
+                static_cast<int64_t>(n - collected));
+        f->trigger("rpc.timeout", loop.now());
+      }
       if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
         t->instant(trace::kRpc, "scalerpc.timeout", loop.now(), 1000 + id_,
                    "missing", static_cast<uint64_t>(n - collected));
@@ -339,6 +374,13 @@ sim::Task<void> ScaleRpcClient::reconnect() {
   }
   qp_ = fresh;
   reconnects_++;
+  if (metrics::Registry* m = metrics::registry()) {
+    m->add(metrics::kClientReconnects, static_cast<uint32_t>(id_), 1);
+  }
+  if (metrics::FlightRecorder* f = metrics::flight()) {
+    f->note("rpc.reconnect", env_.node->loop().now(), env_.node->id(), id_,
+            static_cast<int64_t>(reconnects_));
+  }
   state_ = State::kIdle;
   if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
     t->instant(trace::kRpc, "scalerpc.reconnect", env_.node->loop().now(),

@@ -63,9 +63,12 @@ class ScaleRpcClient : public rpc::RpcClient {
   struct Staged {
     uint8_t op;
     rpc::Bytes data;
-    // Per-client monotonic request id; serialized on the wire only in
-    // recovery mode (see kRequestSeqBytes).
+    // Per-client monotonic request id; serialized on the wire only when
+    // cfg_.wire_seq() (recovery or spans mode, see kRequestSeqBytes).
     uint32_t seq = 0;
+    // Span open time (stage call); the span closes when the response for
+    // this slot is collected in flush().
+    Nanos start_ns = 0;
   };
 
   bool control_says_stale() const;

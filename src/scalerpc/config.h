@@ -55,6 +55,18 @@ struct ScaleRpcConfig : transport::TransportConfig {
   int reconnect_after_timeouts = 3;
   // Modeled control-plane cost of a QP teardown + re-connect.
   Nanos reconnect_delay = usec(10);
+
+  // --- Per-RPC causal spans (docs/tracing.md) ---
+  // Off by default: client-side span latency (metrics histograms, Perfetto
+  // 'X' events) needs no wire change — responses land in the slot they were
+  // staged from — so it keys off the installed metrics/trace sessions.
+  // Turning this on additionally carries the 4-byte request seq on the wire
+  // (even without recovery mode) so server-side executions can be
+  // correlated with client spans by (client, seq).
+  bool spans_enabled = false;
+  // True when the per-request sequence number travels on the wire; dedup
+  // and replay-discard semantics stay recovery-gated.
+  bool wire_seq() const { return recovery_enabled || spans_enabled; }
 };
 
 }  // namespace scalerpc::core

@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#include "src/metrics/flight.h"
+#include "src/metrics/metrics.h"
+#include "src/simrdma/nic.h"
+#include "src/trace/trace.h"
+
 namespace scalerpc::core {
 
 using simrdma::Opcode;
@@ -95,7 +100,7 @@ bool ScaleRpcServer::readmit(int client_id, simrdma::QueuePair* client_qp) {
 bool ScaleRpcServer::parse_request_header(rpc::MessageView& msg, uint16_t* sender,
                                           uint32_t* rseq) const {
   const size_t hdr =
-      kRequestIdBytes + (cfg_.recovery_enabled ? kRequestSeqBytes : 0);
+      kRequestIdBytes + (cfg_.wire_seq() ? kRequestSeqBytes : 0);
   if (msg.data.size() < hdr) {
     return false;
   }
@@ -104,11 +109,28 @@ bool ScaleRpcServer::parse_request_header(rpc::MessageView& msg, uint16_t* sende
     return false;
   }
   *rseq = 0;
-  if (cfg_.recovery_enabled) {
+  if (cfg_.wire_seq()) {
     std::memcpy(rseq, msg.data.data() + kRequestIdBytes, sizeof(*rseq));
   }
   msg.data.erase(msg.data.begin(), msg.data.begin() + static_cast<long>(hdr));
   return true;
+}
+
+int ScaleRpcServer::group_of(int client_id) const {
+  if (client_id < 0 || static_cast<size_t>(client_id) >= client_group_.size()) {
+    return -1;
+  }
+  return client_group_[static_cast<size_t>(client_id)];
+}
+
+void ScaleRpcServer::count_group_request(int client_id, size_t bytes) {
+  if (metrics::Registry* m = metrics::registry()) {
+    const int grp = group_of(client_id);
+    if (grp >= 0) {
+      m->add(metrics::kGroupRequests, static_cast<uint32_t>(grp), 1);
+      m->add(metrics::kGroupBytes, static_cast<uint32_t>(grp), bytes);
+    }
+  }
 }
 
 int ScaleRpcServer::dedup_disposition(ClientState& c, int slot, uint32_t seq) {
@@ -181,6 +203,12 @@ void ScaleRpcServer::integrate_pending_and_rebuild() {
     groups_ = policy_.build_static(ids);
   }
   cursor_ = cursor_ < groups_.size() ? cursor_ : 0;
+  client_group_.assign(clients_.size(), -1);
+  for (size_t gi = 0; gi < groups_.size(); ++gi) {
+    for (int m : groups_[gi].members) {
+      client_group_[static_cast<size_t>(m)] = static_cast<int>(gi);
+    }
+  }
 }
 
 sim::Task<void> ScaleRpcServer::sweep_and_remap(size_t group_idx, int pool_idx) {
@@ -234,6 +262,7 @@ sim::Task<void> ScaleRpcServer::sweep_and_remap(size_t group_idx, int pool_idx) 
         cost += cfg_.handler_base_ns + result.cpu_ns;
         requests_served_++;
         late_sweep_serves_++;
+        count_group_request(sender, msg->data.size());
         if (cfg_.recovery_enabled) {
           SlotSeen& cache = sc.dedup[static_cast<size_t>(resp_slot)];
           cache.resp_seq = rseq;
@@ -412,6 +441,7 @@ sim::Task<void> ScaleRpcServer::scheduler_loop() {
     }
 
     const Group& g = groups_[cursor_];
+    const size_t served_idx = cursor_;
     const bool multi = groups_.size() > 1;
     const size_t next_idx = (cursor_ + 1) % groups_.size();
 
@@ -482,6 +512,18 @@ sim::Task<void> ScaleRpcServer::scheduler_loop() {
     cursor_ = next_idx;
     switch_seq_++;
     context_switches_++;
+    if (metrics::Registry* m = metrics::registry()) {
+      // The incoming group is switched in; the NIC qp-cache activity since
+      // the previous switch is attributed to the group that was live.
+      m->add(metrics::kGroupSwitchIns, static_cast<uint32_t>(cursor_), 1);
+      const simrdma::NicCounters& nc = node_->nic().counters();
+      m->add(metrics::kGroupCacheHits, static_cast<uint32_t>(served_idx),
+             nc.qp_cache_hits - last_cache_hits_);
+      m->add(metrics::kGroupCacheMisses, static_cast<uint32_t>(served_idx),
+             nc.qp_cache_misses - last_cache_misses_);
+      last_cache_hits_ = nc.qp_cache_hits;
+      last_cache_misses_ = nc.qp_cache_misses;
+    }
     if (cursor_ == 0) {
       rotations_since_rebuild_++;
     }
@@ -529,7 +571,7 @@ sim::Task<void> ScaleRpcServer::respond(int worker_index, ClientState& c, int sl
   // legacy responses can straggle), tell it to re-enter the warmup path
   // instead of handing it a stale zone.
   const uint32_t prefix =
-      kEnvelopeBytes + (cfg_.recovery_enabled ? kRequestSeqBytes : 0);
+      kEnvelopeBytes + (cfg_.wire_seq() ? kRequestSeqBytes : 0);
   rpc::Bytes data(prefix + payload.size());
   Envelope env;
   env.pool = static_cast<uint8_t>(active_pool_);
@@ -543,7 +585,7 @@ sim::Task<void> ScaleRpcServer::respond(int worker_index, ClientState& c, int sl
     }
   }
   write_envelope(data.data(), env);
-  if (cfg_.recovery_enabled) {
+  if (cfg_.wire_seq()) {
     std::memcpy(data.data() + kEnvelopeBytes, &rseq, sizeof(rseq));
   }
   if (!payload.empty()) {
@@ -608,6 +650,16 @@ sim::Task<void> ScaleRpcServer::worker(int index) {
 
         src_client.window_reqs++;
         src_client.window_bytes += msg->data.size();
+        count_group_request(sender, msg->data.size());
+        if (cfg_.spans_enabled) {
+          if (trace::Tracer* t = trace::tracer(trace::kRpc)) {
+            t->instant(trace::kRpc, "rpc.exec", loop.now(), 2000 + sender,
+                       "client", sender, "seq", rseq);
+          }
+          if (metrics::FlightRecorder* f = metrics::flight()) {
+            f->note("rpc.exec", loop.now(), node_->id(), sender, rseq);
+          }
+        }
         const int resp_slot = msg->flags;  // request flags carry the slot
 
         if (cfg_.recovery_enabled) {
@@ -684,6 +736,7 @@ sim::Task<void> ScaleRpcServer::legacy_executor() {
     co_await loop.delay(cfg_.handler_base_ns + result.cpu_ns);
     requests_served_++;
     legacy_executions_++;
+    count_group_request(job.client_id, job.msg.data.size());
     if (cfg_.recovery_enabled && job.slot >= 0 &&
         static_cast<size_t>(job.slot) < c.dedup.size()) {
       SlotSeen& cache = c.dedup[static_cast<size_t>(job.slot)];

@@ -89,6 +89,9 @@ class ScaleRpcServer : public rpc::RpcServer {
   uint64_t late_sweep_serves() const { return late_sweep_serves_; }
   size_t num_groups() const { return groups_.size(); }
   uint32_t switch_seq() const { return switch_seq_; }
+  // Current group index of an admitted client, or -1 before the first
+  // grouping pass. Used to label per-group metric series (src/metrics).
+  int group_of(int client_id) const;
   // Recovery mode: retried requests suppressed or answered from the
   // response cache (each one would have been a duplicate execution).
   uint64_t dup_rpcs() const { return dup_rpcs_; }
@@ -154,6 +157,10 @@ class ScaleRpcServer : public rpc::RpcServer {
   // flight — the client will retry and hit the cache once it completes).
   int dedup_disposition(ClientState& c, int slot, uint32_t seq);
 
+  // Per-group request accounting hook (no-op when no metrics session is
+  // installed); `bytes` is the request payload after the header strip.
+  void count_group_request(int client_id, size_t bytes);
+
   void integrate_pending_and_rebuild();
   uint64_t zone_addr(int pool, int zone) const {
     return pool_base_[pool] + static_cast<uint64_t>(zone) * zone_bytes();
@@ -178,6 +185,8 @@ class ScaleRpcServer : public rpc::RpcServer {
   uint64_t entries_base_ = 0;
 
   std::vector<Group> groups_;
+  // Dense client-id -> group-index map, rebuilt alongside groups_.
+  std::vector<int> client_group_;
   size_t cursor_ = 0;
   int active_pool_ = 0;
   uint32_t switch_seq_ = 1;
@@ -202,6 +211,10 @@ class ScaleRpcServer : public rpc::RpcServer {
   uint64_t late_sweep_serves_ = 0;
   uint64_t dup_rpcs_ = 0;
   uint64_t readmits_ = 0;
+  // NIC qp-cache counter values at the last context switch, so the delta
+  // accrued during a slice can be attributed to the group that was live.
+  uint64_t last_cache_hits_ = 0;
+  uint64_t last_cache_misses_ = 0;
 };
 
 }  // namespace scalerpc::core

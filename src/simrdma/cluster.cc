@@ -1,5 +1,7 @@
 #include "src/simrdma/cluster.h"
 
+#include "src/metrics/flight.h"
+#include "src/metrics/metrics.h"
 #include "src/simrdma/nic.h"
 #include "src/trace/trace.h"
 
@@ -47,6 +49,10 @@ void Cluster::attach_faults(const fault::FaultPlan& plan, uint64_t salt) {
             t->instant(trace::kFault, "fault.qp_error", loop_.now(), r.node,
                        "qpn", r.qpn);
           }
+          if (metrics::FlightRecorder* fr = metrics::flight()) {
+            fr->note("fault.qp_error", loop_.now(), r.node, r.qpn);
+            fr->trigger("fault.qp_error", loop_.now());
+          }
           qp->force_error();
         }
       });
@@ -57,6 +63,10 @@ void Cluster::attach_faults(const fault::FaultPlan& plan, uint64_t salt) {
         if (trace::Tracer* t = trace::tracer(trace::kFault)) {
           t->instant(trace::kFault, "fault.crash", loop_.now(), r.node);
         }
+        if (metrics::FlightRecorder* fr = metrics::flight()) {
+          fr->note("fault.crash", loop_.now(), r.node);
+          fr->trigger("fault.crash", loop_.now());
+        }
         n->set_down(true);
         n->fail_all_qps();
       });
@@ -65,6 +75,9 @@ void Cluster::attach_faults(const fault::FaultPlan& plan, uint64_t salt) {
           faults_->count_restart();
           if (trace::Tracer* t = trace::tracer(trace::kFault)) {
             t->instant(trace::kFault, "fault.restart", loop_.now(), r.node);
+          }
+          if (metrics::FlightRecorder* fr = metrics::flight()) {
+            fr->note("fault.restart", loop_.now(), r.node);
           }
           node(r.node)->set_down(false);
         });

@@ -6,6 +6,8 @@
 
 #include "src/common/logging.h"
 #include "src/fault/inject.h"
+#include "src/metrics/flight.h"
+#include "src/metrics/metrics.h"
 #include "src/sim/pool.h"
 #include "src/simrdma/cluster.h"
 #include "src/simrdma/node.h"
@@ -39,6 +41,27 @@ uint32_t lines_touched(uint64_t addr, uint32_t len) {
   const uint64_t last = (addr + len - 1) & kLineMask;
   return static_cast<uint32_t>((last - first) / kCacheLineSize) + 1;
 }
+
+// Per-QP labeled series (src/metrics): the QueuePair caches a pointer to
+// its counter block in the active registry, so the steady-state per-packet
+// hook is `if (auto* qc = qp_metrics(...)) qc->v[col] += delta` — one
+// cached-member load and one field add; the (node, qpn) label resolves
+// exactly once, on first touch. Hook sites sit at engine-shared code or at
+// event-parity points of both engines, so per-QP sums are identical under
+// SIMRDMA_NIC_ENGINE=coroutine and the state-machine default.
+inline metrics::QpCounters* qp_metrics(int node, QueuePair* qp) {
+  metrics::QpCounters* qc = qp->metrics_counters();
+  if (qc != nullptr) {
+    return qc;
+  }
+  metrics::Registry* m = metrics::registry();
+  if (m == nullptr) {
+    return nullptr;
+  }
+  qc = m->qp_counters(static_cast<uint32_t>(node), qp->qpn());
+  qp->set_metrics_counters(qc);
+  return qc;
+}
 }  // namespace
 
 Nic::Nic(sim::EventLoop& loop, Node* node, const SimParams& params)
@@ -60,14 +83,21 @@ Nanos Nic::charge_connection_state(QueuePair* qp, uint64_t wqe_key) {
   // QP connection state entry. A miss refetches both the QP context and
   // its send-queue ICM page: two PCIe reads.
   trace::Tracer* t = trace::tracer(trace::kNic);
+  metrics::QpCounters* qc = qp_metrics(node_->id(), qp);
   if (qp_cache_.access(base_key)) {
     counters_.qp_cache_hits++;
+    if (qc) {
+      qc->v[metrics::kQpCacheHits]++;
+    }
     if (t) {
       t->instant(trace::kNic, "nic.qp_hit", loop_.now(), node_->id(), "qpn",
                  base_key);
     }
   } else {
     counters_.qp_cache_misses++;
+    if (qc) {
+      qc->v[metrics::kQpCacheMisses]++;
+    }
     node_->count_pcie_read();
     node_->count_pcie_read();
     extra += 2 * params_.nic_cache_miss_ns;
@@ -79,6 +109,10 @@ Nanos Nic::charge_connection_state(QueuePair* qp, uint64_t wqe_key) {
   // The prefetched WQE: evicted before execution means a PCIe refetch.
   if (wqe_key != 0 && !wqe_cache_.consume(wqe_key)) {
     counters_.qp_cache_misses++;
+    if (qc) {
+      qc->v[metrics::kQpCacheMisses]++;
+      qc->v[metrics::kQpWqeRefetches]++;
+    }
     node_->count_pcie_read();
     extra += params_.nic_cache_miss_ns;
     if (t) {
@@ -273,6 +307,10 @@ struct Nic::SendSm {
     Nic* n = sm->nic;
     n->counters_.engine_steps++;
     n->counters_.bytes_tx += sm->wire_payload + n->params_.packet_header_bytes;
+    if (metrics::QpCounters* qc = qp_metrics(n->node_->id(), sm->qp)) {
+      qc->v[metrics::kQpBytesTx] +=
+          sm->wire_payload + n->params_.packet_header_bytes;
+    }
     n->node_->cluster()->route(std::move(sm->pkt));
 
     if (sm->from == From::kWatcher) {
@@ -327,6 +365,13 @@ struct Nic::SendSm {
     }
     o->retries = sm->retry + 1;
     n->counters_.rc_retransmits++;
+    if (metrics::QpCounters* qc = qp_metrics(n->node_->id(), sm->qp)) {
+      qc->v[metrics::kQpRetransmits]++;
+    }
+    if (metrics::FlightRecorder* f = metrics::flight()) {
+      f->note("nic.rc_retransmit", n->loop_.now(), n->node_->id(),
+              sm->qp->qpn(), static_cast<int64_t>(sm->psn));
+    }
     if (trace::Tracer* t = trace::tracer(trace::kFault)) {
       t->instant(trace::kFault, "fault.rc_retransmit", n->loop_.now(),
                  n->node_->id(), "qpn", sm->qp->qpn(), "psn", sm->psn);
@@ -358,6 +403,11 @@ struct Nic::SendSm {
     const QueuePair::Outstanding o = *sm->qp->find_outstanding(sm->psn);
     sm->qp->erase_outstanding(sm->psn);
     n->counters_.rc_retry_exhausted++;
+    if (metrics::FlightRecorder* f = metrics::flight()) {
+      f->note("nic.rc_retry_exhausted", n->loop_.now(), n->node_->id(),
+              sm->qp->qpn(), static_cast<int64_t>(sm->psn));
+      f->trigger("nic.rc_retry_exhausted", n->loop_.now());
+    }
     if (trace::Tracer* t = trace::tracer(trace::kFault)) {
       t->instant(trace::kFault, "fault.rc_retry_exhausted", n->loop_.now(),
                  n->node_->id(), "qpn", sm->qp->qpn(), "psn", sm->psn);
@@ -422,11 +472,22 @@ struct Nic::RecvSm {
         sm->pkt.kind == Packet::Kind::kNak) {
       sm->qp = n->node_->find_qp(sm->pkt.dst_qpn);
       SCALERPC_CHECK(sm->qp != nullptr);
+      metrics::QpCounters* qc = qp_metrics(n->node_->id(), sm->qp);
+      if (qc) {
+        qc->v[metrics::kQpBytesRx] +=
+            sm->pkt.payload.size() + n->params_.packet_header_bytes;
+      }
       Nanos ack_cost = 20;
       if (n->qp_cache_.access(sm->qp->qpn())) {
         n->counters_.qp_cache_hits++;
+        if (qc) {
+          qc->v[metrics::kQpCacheHits]++;
+        }
       } else {
         n->counters_.qp_cache_misses++;
+        if (qc) {
+          qc->v[metrics::kQpCacheMisses]++;
+        }
         n->node_->count_pcie_read();
         ack_cost += n->params_.nic_cache_miss_ns;
       }
@@ -442,6 +503,10 @@ struct Nic::RecvSm {
         sm->pkt.kind == Packet::Kind::kAtomicResponse) {
       sm->qp = n->node_->find_qp(sm->pkt.dst_qpn);
       SCALERPC_CHECK(sm->qp != nullptr);
+      if (metrics::QpCounters* qc = qp_metrics(n->node_->id(), sm->qp)) {
+        qc->v[metrics::kQpBytesRx] +=
+            sm->pkt.payload.size() + n->params_.packet_header_bytes;
+      }
       if (n->recv_units_.acquire(&RecvSm::resp_on_unit, sm)) {
         resp_on_unit(sm);
       }
@@ -451,6 +516,10 @@ struct Nic::RecvSm {
     // --- Requests. ---
     sm->qp = n->node_->find_qp(sm->pkt.dst_qpn);
     SCALERPC_CHECK_MSG(sm->qp != nullptr, "packet to unknown QP");
+    if (metrics::QpCounters* qc = qp_metrics(n->node_->id(), sm->qp)) {
+      qc->v[metrics::kQpBytesRx] +=
+          sm->pkt.payload.size() + n->params_.packet_header_bytes;
+    }
 
     // Responder context occupies NIC cache space (touch-only: misses are
     // overlapped and cost nothing, keeping pure-inbound traffic flat, but
@@ -558,10 +627,17 @@ struct Nic::RecvSm {
     n->counters_.inbound_packets++;
     Nanos cost = n->params_.nic_recv_base_ns;
     // Read/atomic responses update requester state like acks do.
+    metrics::QpCounters* qc = qp_metrics(n->node_->id(), sm->qp);
     if (n->qp_cache_.access(sm->qp->qpn())) {
       n->counters_.qp_cache_hits++;
+      if (qc) {
+        qc->v[metrics::kQpCacheHits]++;
+      }
     } else {
       n->counters_.qp_cache_misses++;
+      if (qc) {
+        qc->v[metrics::kQpCacheMisses]++;
+      }
       n->node_->count_pcie_read();
       cost += n->params_.nic_cache_miss_ns;
     }
@@ -657,6 +733,9 @@ struct Nic::RecvSm {
     Nic* n = sm->nic;
     n->counters_.engine_steps++;
     n->counters_.bytes_tx += n->params_.packet_header_bytes;
+    if (metrics::QpCounters* qc = qp_metrics(n->node_->id(), sm->qp)) {
+      qc->v[metrics::kQpBytesTx] += n->params_.packet_header_bytes;
+    }
     n->node_->cluster()->route(std::move(sm->out));
     sm->free();
   }
@@ -920,6 +999,10 @@ struct Nic::RecvSm {
     Nic* n = sm->nic;
     n->counters_.engine_steps++;
     n->counters_.bytes_tx += sm->out_bytes + n->params_.packet_header_bytes;
+    if (metrics::QpCounters* qc = qp_metrics(n->node_->id(), sm->qp)) {
+      qc->v[metrics::kQpBytesTx] +=
+          sm->out_bytes + n->params_.packet_header_bytes;
+    }
     n->node_->cluster()->route(std::move(sm->out));
     sm->free();
   }
@@ -1082,6 +1165,9 @@ sim::Task<void> Nic::transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key
   co_await use_tx_port(params_.wire_time(wire_payload));
   counters_.engine_steps++;  // resumed by use_tx_port's final transfer
   counters_.bytes_tx += wire_payload + params_.packet_header_bytes;
+  if (metrics::QpCounters* qc = qp_metrics(node_->id(), qp)) {
+    qc->v[metrics::kQpBytesTx] += wire_payload + params_.packet_header_bytes;
+  }
   node_->cluster()->route(std::move(pkt));
 }
 
@@ -1138,6 +1224,13 @@ sim::Task<void> Nic::retransmit_watcher(QueuePair* qp, uint64_t psn) {
     }
     o->retries = retry + 1;
     counters_.rc_retransmits++;
+    if (metrics::QpCounters* qc = qp_metrics(node_->id(), qp)) {
+      qc->v[metrics::kQpRetransmits]++;
+    }
+    if (metrics::FlightRecorder* f = metrics::flight()) {
+      f->note("nic.rc_retransmit", loop_.now(), node_->id(), qp->qpn(),
+              static_cast<int64_t>(psn));
+    }
     if (trace::Tracer* t = trace::tracer(trace::kFault)) {
       t->instant(trace::kFault, "fault.rc_retransmit", loop_.now(),
                  node_->id(), "qpn", qp->qpn(), "psn", psn);
@@ -1161,6 +1254,11 @@ sim::Task<void> Nic::retransmit_watcher(QueuePair* qp, uint64_t psn) {
   const QueuePair::Outstanding o = *qp->find_outstanding(psn);
   qp->erase_outstanding(psn);
   counters_.rc_retry_exhausted++;
+  if (metrics::FlightRecorder* f = metrics::flight()) {
+    f->note("nic.rc_retry_exhausted", loop_.now(), node_->id(), qp->qpn(),
+            static_cast<int64_t>(psn));
+    f->trigger("nic.rc_retry_exhausted", loop_.now());
+  }
   if (trace::Tracer* t = trace::tracer(trace::kFault)) {
     t->instant(trace::kFault, "fault.rc_retry_exhausted", loop_.now(),
                node_->id(), "qpn", qp->qpn(), "psn", psn);
@@ -1182,11 +1280,22 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
   if (pkt.kind == Packet::Kind::kAck || pkt.kind == Packet::Kind::kNak) {
     QueuePair* qp = node_->find_qp(pkt.dst_qpn);
     SCALERPC_CHECK(qp != nullptr);
+    metrics::QpCounters* qc = qp_metrics(node_->id(), qp);
+    if (qc) {
+      qc->v[metrics::kQpBytesRx] +=
+          pkt.payload.size() + params_.packet_header_bytes;
+    }
     Nanos ack_cost = 20;
     if (qp_cache_.access(qp->qpn())) {
       counters_.qp_cache_hits++;
+      if (qc) {
+        qc->v[metrics::kQpCacheHits]++;
+      }
     } else {
       counters_.qp_cache_misses++;
+      if (qc) {
+        qc->v[metrics::kQpCacheMisses]++;
+      }
       node_->count_pcie_read();
       ack_cost += params_.nic_cache_miss_ns;
     }
@@ -1222,6 +1331,11 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
       pkt.kind == Packet::Kind::kAtomicResponse) {
     QueuePair* qp = node_->find_qp(pkt.dst_qpn);
     SCALERPC_CHECK(qp != nullptr);
+    metrics::QpCounters* qc = qp_metrics(node_->id(), qp);
+    if (qc) {
+      qc->v[metrics::kQpBytesRx] +=
+          pkt.payload.size() + params_.packet_header_bytes;
+    }
     const bool parked = recv_units_.available() <= 0;
     co_await recv_units_.acquire();
     if (parked) {
@@ -1232,8 +1346,14 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
     // Read/atomic responses update requester state like acks do.
     if (qp_cache_.access(qp->qpn())) {
       counters_.qp_cache_hits++;
+      if (qc) {
+        qc->v[metrics::kQpCacheHits]++;
+      }
     } else {
       counters_.qp_cache_misses++;
+      if (qc) {
+        qc->v[metrics::kQpCacheMisses]++;
+      }
       node_->count_pcie_read();
       cost += params_.nic_cache_miss_ns;
     }
@@ -1274,6 +1394,10 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
   // --- Requests. ---
   QueuePair* qp = node_->find_qp(pkt.dst_qpn);
   SCALERPC_CHECK_MSG(qp != nullptr, "packet to unknown QP");
+  if (metrics::QpCounters* qc = qp_metrics(node_->id(), qp)) {
+    qc->v[metrics::kQpBytesRx] +=
+        pkt.payload.size() + params_.packet_header_bytes;
+  }
 
   // Responder context occupies NIC cache space (touch-only: misses are
   // overlapped and cost nothing, keeping pure-inbound traffic flat, but the
@@ -1323,6 +1447,9 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
         co_await use_tx_port(params_.wire_time(0));
         counters_.engine_steps++;  // resumed by use_tx_port
         counters_.bytes_tx += params_.packet_header_bytes;
+        if (metrics::QpCounters* qc = qp_metrics(node_->id(), qp)) {
+          qc->v[metrics::kQpBytesTx] += params_.packet_header_bytes;
+        }
         node_->cluster()->route(std::move(resp));
       } else {
         Packet ack;
@@ -1542,6 +1669,10 @@ sim::Task<void> Nic::inbound_path(Packet pkt) {
       co_await use_tx_port(params_.wire_time(resp_bytes));
       counters_.engine_steps++;  // resumed by use_tx_port
       counters_.bytes_tx += resp_bytes + params_.packet_header_bytes;
+      if (metrics::QpCounters* qc = qp_metrics(node_->id(), qp)) {
+        qc->v[metrics::kQpBytesTx] +=
+            resp_bytes + params_.packet_header_bytes;
+      }
       node_->cluster()->route(std::move(resp));
     } else {
       Packet ack;

@@ -19,6 +19,10 @@
 #include "src/sim/task.h"
 #include "src/simrdma/params.h"
 
+namespace scalerpc::metrics {
+struct QpCounters;
+}  // namespace scalerpc::metrics
+
 namespace scalerpc::simrdma {
 
 class Node;
@@ -303,6 +307,15 @@ class QueuePair {
     return &s;
   }
 
+  // --- Metrics (src/metrics) ---
+  // This QP's counter block in the active registry, cached here so the NIC
+  // hooks resolve the (node, qpn) label exactly once and then write fields
+  // directly. Null = metrics off or not yet resolved. A registry lives per
+  // sweep slot and outlives the sim it observes (and blocks have stable
+  // addresses), so the cache never needs invalidation.
+  metrics::QpCounters* metrics_counters() const { return metrics_counters_; }
+  void set_metrics_counters(metrics::QpCounters* c) { metrics_counters_ = c; }
+
  private:
   // Reliability state only the fault machinery touches (every caller is
   // behind a `psn != 0` or attached-fault-plan guard). Allocated on first
@@ -344,6 +357,7 @@ class QueuePair {
   std::vector<RecvWr> recv_ring_;
   size_t recv_head_ = 0;
   size_t recv_count_ = 0;
+  metrics::QpCounters* metrics_counters_ = nullptr;
   std::unique_ptr<FaultState> fault_;
 };
 

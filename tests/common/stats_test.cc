@@ -98,6 +98,77 @@ TEST(Histogram, CdfIsMonotonic) {
   EXPECT_DOUBLE_EQ(points.back().second, 1.0);
 }
 
+TEST(Histogram, PercentileZeroIsMin) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  // p=0 must be the smallest sample, not the upper bound of the bucket the
+  // scan happens to stop in (which for {100, 200} would be >100).
+  EXPECT_EQ(h.percentile(0), 100u);
+  EXPECT_EQ(h.percentile(100), 200u);
+}
+
+TEST(Histogram, TinyPercentileLandsOnFirstOccupiedBucket) {
+  Histogram h;
+  h.record(7);
+  for (int i = 0; i < 99; ++i) {
+    h.record(5000);
+  }
+  // 0.1% of 100 samples rounds to rank 0; the rank must floor at 1 so the
+  // answer is the first occupied bucket, never something below every sample.
+  EXPECT_EQ(h.percentile(0.1), 7u);
+}
+
+TEST(Histogram, MinOnEmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0u);
+  h.record(9);
+  h.reset();
+  EXPECT_EQ(h.min(), 0u);
+}
+
+TEST(Histogram, CdfClampedToRecordedMax) {
+  Histogram h;
+  // 5000 lands in a log bucket whose nominal upper bound exceeds 5000; the
+  // CDF must clamp to the recorded max like percentile() does.
+  h.record(5000);
+  auto points = h.cdf();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points.front().first, 5000u);
+  EXPECT_DOUBLE_EQ(points.front().second, 1.0);
+}
+
+TEST(Histogram, MergeDisjointRangesKeepsQuantiles) {
+  Histogram lo;
+  Histogram hi;
+  for (int i = 0; i < 50; ++i) {
+    lo.record(10);
+    hi.record(100000);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), 100u);
+  EXPECT_EQ(lo.percentile(0), 10u);
+  EXPECT_EQ(lo.percentile(25), 10u);
+  EXPECT_GE(lo.percentile(75), 90000u);
+  EXPECT_LE(lo.percentile(75), 100000u);
+  EXPECT_EQ(lo.percentile(100), 100000u);
+}
+
+TEST(Histogram, MergeIntoEmptyAdoptsBounds) {
+  Histogram empty;
+  Histogram h;
+  h.record(3);
+  h.record(17);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.min(), 3u);
+  EXPECT_EQ(empty.max(), 17u);
+  // And the other direction: merging an empty histogram changes nothing.
+  h.merge(Histogram{});
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 3u);
+}
+
 TEST(Histogram, ResetClears) {
   Histogram h;
   h.record(5);

@@ -1,0 +1,226 @@
+// Unit tests for the labeled metrics registry, the thread-local session,
+// and the flight recorder (src/metrics/).
+#include "src/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/metrics/collector.h"
+#include "src/metrics/flight.h"
+
+namespace scalerpc::metrics {
+namespace {
+
+TEST(Registry, CountersAccumulateGaugesOverwrite) {
+  Registry r;
+  r.add(kClientRequests, 3, 2);
+  r.add(kClientRequests, 3, 5);
+  EXPECT_EQ(r.value(kClientRequests, 3), 7u);
+  // Slots below the touched one exist and read zero.
+  EXPECT_EQ(r.value(kClientRequests, 0), 0u);
+
+  r.set(kNodeOps, 1, 10);
+  r.set(kNodeOps, 1, 4);
+  EXPECT_EQ(r.value(kNodeOps, 1), 4u);
+
+  // Untouched columns and out-of-range slots read zero.
+  EXPECT_EQ(r.value(kGroupRequests, 0), 0u);
+  EXPECT_EQ(r.value(kClientRequests, 99), 0u);
+}
+
+TEST(Registry, HistogramRecords) {
+  Registry r;
+  EXPECT_EQ(r.histogram(kClientLatencyUs, 0), nullptr);
+  r.record(kClientLatencyUs, 0, 10);
+  r.record(kClientLatencyUs, 0, 30);
+  const Histogram* h = r.histogram(kClientLatencyUs, 0);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count(), 2u);
+  EXPECT_EQ(h->min(), 10u);
+  EXPECT_EQ(h->max(), 30u);
+}
+
+TEST(Registry, QpSlotsAreStable) {
+  Registry r;
+  const uint32_t s0 = r.qp_slot(1, 7);
+  const uint32_t s1 = r.qp_slot(2, 7);
+  EXPECT_NE(s0, s1);
+  EXPECT_EQ(r.qp_slot(1, 7), s0);
+  EXPECT_EQ(r.qp_slot(2, 7), s1);
+}
+
+TEST(Registry, DumpSortsQpPointsByLabel) {
+  // Two registries touching the same QPs in opposite orders must dump
+  // byte-identically — the property the cross-engine determinism test
+  // leans on.
+  Registry a;
+  a.add(kQpBytesTx, a.qp_slot(1, 5), 100);
+  a.add(kQpBytesTx, a.qp_slot(0, 9), 50);
+  Registry b;
+  b.add(kQpBytesTx, b.qp_slot(0, 9), 50);
+  b.add(kQpBytesTx, b.qp_slot(1, 5), 100);
+  std::string da;
+  std::string db;
+  a.dump(da);
+  b.dump(db);
+  EXPECT_EQ(da, db);
+  // Sorted by packed label: node 0 before node 1.
+  const size_t n0 = da.find("\"node\":0");
+  const size_t n1 = da.find("\"node\":1");
+  ASSERT_NE(n0, std::string::npos);
+  ASSERT_NE(n1, std::string::npos);
+  EXPECT_LT(n0, n1);
+}
+
+TEST(Registry, DumpOmitsUntouchedColumns) {
+  Registry r;
+  std::string out;
+  r.dump(out);
+  EXPECT_EQ(out, "{\"series\":[]}");
+
+  r.add(kGroupRequests, 0, 1);
+  out.clear();
+  r.dump(out);
+  EXPECT_NE(out.find("\"kind\":\"group\",\"name\":\"requests\""),
+            std::string::npos);
+  EXPECT_EQ(out.find("\"client\""), std::string::npos);
+}
+
+TEST(Session, OffByDefault) {
+  EXPECT_EQ(registry(), nullptr);
+  EXPECT_EQ(flight(), nullptr);
+}
+
+TEST(Session, ScopedInstallAndRestore) {
+  Registry r;
+  FlightRecorder f;
+  {
+    ScopedSession outer(Session{&r, nullptr});
+    EXPECT_EQ(registry(), &r);
+    EXPECT_EQ(flight(), nullptr);
+    {
+      ScopedSession inner(Session{nullptr, &f});
+      EXPECT_EQ(registry(), nullptr);
+      EXPECT_EQ(flight(), &f);
+    }
+    EXPECT_EQ(registry(), &r);
+  }
+  EXPECT_EQ(registry(), nullptr);
+}
+
+TEST(Flight, RingOverwritesOldest) {
+  FlightRecorder f(4);
+  for (int i = 0; i < 10; ++i) {
+    f.note("ev", i, 0, i);
+  }
+  EXPECT_EQ(f.size(), 4u);
+  EXPECT_EQ(f.capacity(), 4u);
+  std::string out;
+  f.dump(out);
+  // Only the newest window survives, oldest first.
+  EXPECT_EQ(out.find("\"ts_ns\":5,"), std::string::npos);
+  const size_t p6 = out.find("\"ts_ns\":6,");
+  const size_t p9 = out.find("\"ts_ns\":9,");
+  ASSERT_NE(p6, std::string::npos);
+  ASSERT_NE(p9, std::string::npos);
+  EXPECT_LT(p6, p9);
+}
+
+TEST(Flight, FreezesHalfCapacityAfterTrigger) {
+  FlightRecorder f(8);
+  for (int i = 0; i < 4; ++i) {
+    f.note("pre", i, 0);
+  }
+  f.trigger("incident", 4);
+  for (int i = 4; i < 100; ++i) {
+    f.note("post", i, 0);
+  }
+  std::string out;
+  f.dump(out);
+  // The window straddles the trigger: pre-trigger context survives, and
+  // recording froze after capacity/2 post-trigger events instead of letting
+  // the rest of the run overwrite the incident.
+  EXPECT_NE(out.find("\"ts_ns\":0,"), std::string::npos);
+  EXPECT_NE(out.find("\"ts_ns\":3,"), std::string::npos);
+  EXPECT_NE(out.find("\"ts_ns\":7,"), std::string::npos);
+  EXPECT_EQ(out.find("\"ts_ns\":8,"), std::string::npos);
+}
+
+TEST(Flight, TriggerFirstReasonWins) {
+  FlightRecorder f;
+  EXPECT_FALSE(f.triggered());
+  f.trigger("first", 100);
+  f.trigger("second", 200);
+  EXPECT_TRUE(f.triggered());
+  EXPECT_STREQ(f.trigger_reason(), "first");
+  std::string out;
+  f.dump(out);
+  EXPECT_NE(out.find("\"trigger\":\"first\""), std::string::npos);
+}
+
+TEST(Flight, DumpNowNeedsAPath) {
+  FlightRecorder f;
+  f.note("ev", 1, 0);
+  f.trigger("t", 1);
+  EXPECT_EQ(f.dump_now(), "");
+
+  const std::string path = testing::TempDir() + "metrics_flight_test.json";
+  f.set_dump_path(path);
+  EXPECT_EQ(f.dump_now(), path);
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buf[256] = {};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  const std::string body(buf, n);
+  EXPECT_NE(body.find("\"trigger\":\"t\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"ev\""), std::string::npos);
+}
+
+TEST(Collector, MergesSlotsInSubmissionOrder) {
+  Collector c(CollectorConfig{/*metrics=*/true, /*flight=*/false, "", 16});
+  ASSERT_TRUE(c.enabled());
+  c.resize(2);
+  // Open in reverse order — the file must still list slot 0 first.
+  Session s1 = c.open(1, "second");
+  Session s0 = c.open(0, "first");
+  s1.registry->add(kClientRequests, 0, 2);
+  s0.registry->add(kClientRequests, 0, 1);
+
+  const std::string path = testing::TempDir() + "metrics_collector_test.json";
+  ASSERT_TRUE(c.write_metrics(path, "unit"));
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  std::string body(1 << 12, '\0');
+  body.resize(std::fread(body.data(), 1, body.size(), file));
+  std::fclose(file);
+  std::remove(path.c_str());
+
+  const size_t first = body.find("\"first\"");
+  const size_t second = body.find("\"second\"");
+  ASSERT_NE(first, std::string::npos);
+  ASSERT_NE(second, std::string::npos);
+  EXPECT_LT(first, second);
+}
+
+TEST(Collector, FlightDumpsOnlyTriggeredSlots) {
+  const std::string prefix = testing::TempDir() + "metrics_collector_flight";
+  Collector c(CollectorConfig{/*metrics=*/false, /*flight=*/true, prefix, 16});
+  c.resize(2);
+  Session s0 = c.open(0, "calm");
+  Session s1 = c.open(1, "stormy");
+  s0.flight->note("ok", 1, 0);
+  s1.flight->note("bad", 2, 0);
+  s1.flight->trigger("fault", 2);
+
+  const auto paths = c.write_flight_dumps();
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], prefix + ".1.json");
+  std::remove(paths[0].c_str());
+}
+
+}  // namespace
+}  // namespace scalerpc::metrics

@@ -10,6 +10,8 @@
 #include <cstdlib>
 #include <new>
 
+#include "src/metrics/flight.h"
+#include "src/metrics/metrics.h"
 #include "src/rpc/msg_format.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/pool.h"
@@ -281,6 +283,27 @@ TEST(HotPathAlloc, NicStateMachineContextsAreRecycled) {
 
 TEST(HotPathAlloc, NicCoroutineEngineSteadyState) {
   expect_steady_state_alloc_free(simrdma::NicEngine::kCoroutine);
+}
+
+TEST(HotPathAlloc, MetricsOffHotPathIsAllocationFree) {
+  // The per-QP metrics hooks compile into the NIC data plane; with no
+  // thread-local session installed (the default, and the state every
+  // figure bench runs in without --metrics) each hook must be a predicted
+  // branch and nothing else.
+  ASSERT_EQ(metrics::registry(), nullptr);
+  ASSERT_EQ(metrics::flight(), nullptr);
+  expect_steady_state_alloc_free(simrdma::NicEngine::kStateMachine);
+}
+
+TEST(HotPathAlloc, MetricsOnSteadyStateIsAllocationFree) {
+  // With a live session the warmup pass grows the registry's dense slots
+  // and the QP slot cache; after that, counter adds and flight notes are
+  // array writes — the "always-cheap" claim that lets fault benches keep
+  // the recorder on for every run.
+  metrics::Registry reg;
+  metrics::FlightRecorder rec(256);
+  metrics::ScopedSession session(metrics::Session{&reg, &rec});
+  expect_steady_state_alloc_free(simrdma::NicEngine::kStateMachine);
 }
 
 }  // namespace

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Flatten a --metrics JSON dump into CSV.
+
+A bench run with `--metrics=<path>` writes one JSON object (see
+docs/metrics.md for the schema the registry emits):
+
+  {"bench": "...", "slots": [
+      {"label": "<sweep point>", "metrics": {"series": [
+          {"kind": "qp"|"group"|"client"|"node",
+           "instrument": "counter"|"gauge"|"histogram",
+           "name": "...", "points": [...]}, ...]}}, ...]}
+
+This tool flattens it to one CSV row per (slot, series, point) so the
+labeled series can be pivoted in any spreadsheet / pandas one-liner:
+
+  slot,kind,name,instrument,node,qpn,id,value,count,min,p50,p90,p99,max
+
+Scalar points fill `value`; histogram points fill the quantile columns.
+kQp entities carry (node, qpn); other kinds carry their dense `id`. The
+input structure is validated along the way, so the tool doubles as the
+format check CI runs against a metrics dump.
+
+Usage: tools/metrics2csv.py METRICS.json [-o OUT.csv]
+"""
+
+import argparse
+import csv
+import json
+import sys
+
+FIELDS = ["slot", "kind", "name", "instrument", "node", "qpn", "id",
+          "value", "count", "min", "p50", "p90", "p99", "max"]
+KINDS = {"node", "qp", "group", "client"}
+INSTRUMENTS = {"counter", "gauge", "histogram"}
+HIST_KEYS = ("count", "min", "p50", "p90", "p99", "max")
+
+
+def fail(msg):
+    print(f"metrics2csv: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def flatten(doc):
+    if not isinstance(doc, dict) or "slots" not in doc:
+        fail("top level must be an object with a 'slots' array")
+    rows = []
+    for si, slot in enumerate(doc["slots"]):
+        label = slot.get("label")
+        metrics = slot.get("metrics")
+        if not isinstance(label, str) or not isinstance(metrics, dict):
+            fail(f"slot {si}: missing label or metrics object")
+        for series in metrics.get("series", []):
+            kind = series.get("kind")
+            name = series.get("name")
+            instrument = series.get("instrument")
+            if kind not in KINDS:
+                fail(f"slot {si}: unknown kind {kind!r}")
+            if instrument not in INSTRUMENTS:
+                fail(f"slot {si}: unknown instrument {instrument!r}")
+            if not isinstance(name, str) or not name:
+                fail(f"slot {si}: series without a name")
+            for pi, pt in enumerate(series.get("points", [])):
+                where = f"slot {si} series {kind}/{name} point {pi}"
+                row = {"slot": label, "kind": kind, "name": name,
+                       "instrument": instrument}
+                if kind == "qp":
+                    if not isinstance(pt.get("node"), int) or \
+                       not isinstance(pt.get("qpn"), int):
+                        fail(f"{where}: qp point without (node, qpn)")
+                    row["node"] = pt["node"]
+                    row["qpn"] = pt["qpn"]
+                else:
+                    if not isinstance(pt.get("id"), int):
+                        fail(f"{where}: point without integer id")
+                    row["id"] = pt["id"]
+                if instrument == "histogram":
+                    for k in HIST_KEYS:
+                        if not isinstance(pt.get(k), int):
+                            fail(f"{where}: histogram point missing {k!r}")
+                        row[k] = pt[k]
+                else:
+                    if not isinstance(pt.get("value"), int):
+                        fail(f"{where}: scalar point without integer value")
+                    row["value"] = pt["value"]
+                rows.append(row)
+    return rows
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Flatten a bench --metrics JSON dump into CSV "
+                    "(one row per slot/series/point).")
+    ap.add_argument("metrics_json", help="file written by a bench's --metrics flag")
+    ap.add_argument("-o", "--output", default="-",
+                    help="output CSV path (default: stdout)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.metrics_json, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(str(e))
+
+    rows = flatten(doc)
+    out = sys.stdout if args.output == "-" else open(args.output, "w",
+                                                     encoding="utf-8",
+                                                     newline="")
+    try:
+        w = csv.DictWriter(out, fieldnames=FIELDS)
+        w.writeheader()
+        w.writerows(rows)
+    finally:
+        if out is not sys.stdout:
+            out.close()
+    print(f"metrics2csv: {len(rows)} rows from "
+          f"{len(doc['slots'])} slot(s) of bench "
+          f"{doc.get('bench', '?')!r}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    try:
+        main()
+    except BrokenPipeError:  # e.g. piped into head
+        sys.exit(0)
