@@ -1,0 +1,474 @@
+// Million-client scale wall (docs/scaling.md).
+//
+// Sweeps fleet size per transport until memory or wall time gives out:
+// for each (transport, clients) cell it builds the whole fleet with
+// deferred connection, connects every client (timed), warms a small
+// active subset for at least one full rotation, then fork-snapshots the
+// warmed simulation (src/harness/sweep.h) and measures two points from
+// the identical state:
+//
+//   throughput  a measurement window of at least one rotation: simulated
+//               ops, loop events, wall time, child peak RSS
+//   ttfr        time-to-first-RPC of a connected-but-idle client — the
+//               group-scheduler scheduling delay the paper's grouping
+//               trades for cache locality (the "knee" grows linearly
+//               with the group count for ScaleRPC, stays flat for the
+//               shared-QP proxy)
+//
+// Each cell additionally runs in its own forked child so peak RSS is
+// per-cell, not cumulative, and a 100k-client ScaleRPC fleet cannot
+// bloat the proxy cell's footprint.
+//
+// Transports: rawwrite (per-client RC connections — the static wall),
+// scalerpc (grouped RC), sharedqp (RDMAvisor-style per-node proxy
+// agents, src/baselines/proxy.h).
+//
+// Beyond the common flags (see --help): --clients=N[,N...] overrides the
+// fleet-size sweep, --active=N sizes the driver subset (default 256),
+// --transports=a[,b...] restricts the transport set.
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/harness/harness.h"
+#include "src/harness/sweep.h"
+#include "src/rpc/rpc.h"
+#include "src/scalerpc/server.h"
+#include "src/sim/task.h"
+
+namespace scalerpc::bench {
+namespace {
+
+using harness::Testbed;
+using harness::TestbedConfig;
+using harness::TransportKind;
+
+uint64_t peak_rss_kb_self() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) {
+    return 0;
+  }
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(ru.ru_maxrss) / 1024;  // bytes on macOS
+#else
+  return static_cast<uint64_t>(ru.ru_maxrss);  // KB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct CellSpec {
+  TransportKind kind;
+  int clients;
+};
+
+// Crosses the cell child -> parent pipe as raw bytes.
+struct CellResult {
+  int kind = 0;
+  uint32_t clients = 0;
+  uint32_t active = 0;
+  uint32_t groups = 0;       // ScaleRPC group count (0 for other transports)
+  int64_t rotation_ns = 0;   // groups * (time_slice + drain_grace)
+  uint64_t sim_ops = 0;      // echo ops completed in the measurement window
+  int64_t sim_ns = 0;        // simulated length of the window
+  uint64_t events = 0;       // loop events fired in the window
+  int64_t ttfr_ns = 0;       // cold-client time-to-first-response (sim)
+  double connect_wall_s = 0; // wall time to connect the whole fleet
+  double measure_wall_s = 0; // wall time of the throughput window
+  uint64_t peak_rss_kb = 0;  // child peak RSS (fleet + measurement)
+};
+
+// Result of one warm-started point (also raw bytes over a pipe).
+struct PointResult {
+  uint64_t ops = 0;
+  int64_t sim_ns = 0;
+  uint64_t events = 0;
+  int64_t ttfr_ns = 0;
+  double wall_s = 0;
+  uint64_t rss_kb = 0;
+};
+
+struct DriverState {
+  uint64_t ops = 0;
+  bool measuring = false;
+};
+
+// Warmed simulation shared by the two measurement points via fork.
+struct ScaleState {
+  std::unique_ptr<Testbed> bed;
+  DriverState st;
+  Nanos window = 0;  // throughput measurement window
+};
+
+// Arena bytes per node. One SimParams value covers every node, so size
+// for the hungriest one: the RawWrite server owns per-client message
+// blocks (the O(clients) server memory the paper's grouping removes);
+// ScaleRPC client nodes hold per-client endpoints; the proxy keeps only
+// K x S wire slots per node regardless of fleet size. All arenas are
+// lazily mapped (src/common/lazy_mem.h), so oversizing costs address
+// space, not RSS.
+uint64_t arena_bytes(const CellSpec& spec) {
+  const uint64_t n = static_cast<uint64_t>(spec.clients);
+  switch (spec.kind) {
+    case TransportKind::kRawWrite:
+      return MiB(256) + n * KiB(96);
+    case TransportKind::kScaleRpc:
+      return MiB(256) + n * KiB(16);
+    default:
+      return MiB(512);
+  }
+}
+
+sim::Task<void> drive(rpc::RpcClient* client, DriverState* st, int batch,
+                      uint64_t seed, size_t idx) {
+  rpc::Bytes payload(32, 0);
+  uint64_t x = seed ^ (0x9E3779B97F4A7C15ull * (idx + 1));
+  for (uint8_t& b : payload) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    b = static_cast<uint8_t>(x >> 56);
+  }
+  for (;;) {
+    for (int b = 0; b < batch; ++b) {
+      client->stage(0, payload);
+    }
+    std::vector<rpc::Bytes> resp = co_await client->flush();
+    if (st->measuring) {
+      st->ops += resp.size();
+    }
+  }
+}
+
+sim::Task<void> probe_once(rpc::RpcClient* client) {
+  co_await client->call(0, rpc::Bytes(32, 0x5A));
+}
+
+// Runs one (transport, clients) cell. Called inside a forked cell child,
+// so construction, connects, and both warm-started points charge RSS to
+// this process only.
+CellResult run_cell(const CellSpec& spec, int active_req, uint64_t seed) {
+  CellResult out;
+  out.kind = static_cast<int>(spec.kind);
+  out.clients = static_cast<uint32_t>(spec.clients);
+  const int active = std::min(active_req, spec.clients);
+  out.active = static_cast<uint32_t>(active);
+
+  const int batch = 4;
+  double connect_wall_s = 0;
+  uint32_t groups = 0;
+  int64_t rotation_ns = 0;
+
+  auto warmup = [&]() {
+    auto s = std::make_unique<ScaleState>();
+    TestbedConfig cfg;
+    cfg.kind = spec.kind;
+    cfg.num_clients = spec.clients;
+    cfg.num_client_nodes = 11;
+    cfg.defer_connect = true;
+    cfg.sim.host_memory_bytes = arena_bytes(spec);
+    s->bed = std::make_unique<Testbed>(cfg);
+
+    const double c0 = wall_now();
+    s->bed->connect_all();
+    connect_wall_s = wall_now() - c0;
+
+    s->bed->server().handlers().register_handler(0, rpc::make_echo_handler(100));
+    s->bed->server().start();
+    auto& loop = s->bed->loop();
+    for (int i = 0; i < active; ++i) {
+      sim::spawn(loop, drive(&s->bed->client(static_cast<size_t>(i)), &s->st,
+                             batch, seed, static_cast<size_t>(i)));
+    }
+
+    // One rotation is the natural unit of both windows: shorter and a
+    // client group may never be scheduled at all. The group list is
+    // built lazily by the scheduler loop, so size the window from the
+    // config (ceil(N / group_size) groups) and read the real count after
+    // the warmup has run.
+    Nanos rotation = 0;
+    if (spec.kind == TransportKind::kScaleRpc) {
+      const int est_groups =
+          (spec.clients + cfg.rpc.group_size - 1) / cfg.rpc.group_size;
+      rotation = static_cast<Nanos>(est_groups) *
+                 (cfg.rpc.time_slice + cfg.rpc.drain_grace);
+    }
+    s->window = std::max<Nanos>(msec(2), rotation);
+    if (spec.kind == TransportKind::kRawWrite) {
+      // The static-RC server scans O(N) request slots per wake, so one
+      // scan round at 100k clients already exceeds 2ms of simulated time.
+      // Hold several rounds in the window or the measured rate reads as a
+      // flat zero instead of the collapsing curve it is.
+      s->window = std::max<Nanos>(s->window,
+                                  static_cast<Nanos>(spec.clients) * 200);
+    }
+    loop.run_for(std::max<Nanos>(msec(2), rotation + rotation / 4));
+    if (core::ScaleRpcServer* srv = s->bed->scalerpc()) {
+      groups = static_cast<uint32_t>(srv->num_groups());
+      rotation = static_cast<Nanos>(groups) *
+                 (cfg.rpc.time_slice + cfg.rpc.drain_grace);
+    }
+    rotation_ns = rotation;
+    return s;
+  };
+
+  std::vector<std::function<PointResult(ScaleState&)>> points;
+  points.push_back([](ScaleState& s) {
+    PointResult r;
+    auto& loop = s.bed->loop();
+    s.st.ops = 0;
+    s.st.measuring = true;
+    const uint64_t e0 = loop.events_processed();
+    const Nanos t0 = loop.now();
+    const double w0 = wall_now();
+    loop.run_for(s.window);
+    r.wall_s = wall_now() - w0;
+    r.ops = s.st.ops;
+    r.sim_ns = loop.now() - t0;
+    r.events = loop.events_processed() - e0;
+    r.rss_kb = peak_rss_kb_self();
+    return r;
+  });
+  points.push_back([](ScaleState& s) {
+    PointResult r;
+    auto& loop = s.bed->loop();
+    const Nanos t0 = loop.now();
+    sim::run_blocking(loop, probe_once(&s.bed->client(s.bed->num_clients() - 1)));
+    r.ttfr_ns = loop.now() - t0;
+    r.rss_kb = peak_rss_kb_self();
+    return r;
+  });
+
+  harness::WarmStartOptions wopt;
+  wopt.threads = 1;
+  const std::vector<PointResult> res =
+      harness::warm_start_sweep<ScaleState, PointResult>(warmup, points, wopt);
+
+  out.groups = groups;
+  out.rotation_ns = rotation_ns;
+  out.connect_wall_s = connect_wall_s;
+  out.sim_ops = res[0].ops;
+  out.sim_ns = res[0].sim_ns;
+  out.events = res[0].events;
+  out.measure_wall_s = res[0].wall_s;
+  out.ttfr_ns = res[1].ttfr_ns;
+  out.peak_rss_kb = std::max({res[0].rss_kb, res[1].rss_kb, peak_rss_kb_self()});
+  return out;
+}
+
+const char* cell_name(const CellResult& r) {
+  return harness::to_string(static_cast<TransportKind>(r.kind));
+}
+
+void write_metrics_dump(const std::string& path,
+                        const std::vector<CellResult>& cells) {
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  // The registry schema (docs/metrics.md) with the "cell" entity kind:
+  // one slot per sweep cell, one single-point gauge per deterministic
+  // observable, id = cell index. Wall-clock fields stay out — the dump
+  // must be byte-identical across runs and machines.
+  std::fprintf(f, "{\n  \"bench\": \"bench_scale_wall\",\n  \"slots\": [\n");
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const CellResult& r = cells[i];
+    struct Gauge {
+      const char* name;
+      uint64_t value;
+    } gauges[] = {
+        {"scale.clients", r.clients},
+        {"scale.active", r.active},
+        {"scale.groups", r.groups},
+        {"scale.rotation_us", static_cast<uint64_t>(r.rotation_ns / 1000)},
+        {"scale.sim_ops", r.sim_ops},
+        {"scale.events", r.events},
+        {"scale.ttfr_us", static_cast<uint64_t>(r.ttfr_ns / 1000)},
+    };
+    std::fprintf(f, "    {\"label\": \"%s/clients=%u\", \"metrics\": {\"series\": [\n",
+                 cell_name(r), r.clients);
+    const size_t ng = sizeof(gauges) / sizeof(gauges[0]);
+    for (size_t g = 0; g < ng; ++g) {
+      std::fprintf(f,
+                   "      {\"kind\": \"cell\", \"instrument\": \"gauge\", "
+                   "\"name\": \"%s\", \"points\": [{\"id\": %zu, \"value\": %llu}]}%s\n",
+                   gauges[g].name, i,
+                   static_cast<unsigned long long>(gauges[g].value),
+                   g + 1 == ng ? "" : ",");
+    }
+    std::fprintf(f, "    ]}}%s\n", i + 1 == cells.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+int run(int argc, char** argv) {
+  // Scale-wall-specific flags, parsed ahead of parse_options (which
+  // ignores flags it does not know and owns --help).
+  std::vector<int> clients_override;
+  int active = 256;
+  std::vector<TransportKind> kinds = {TransportKind::kRawWrite,
+                                      TransportKind::kScaleRpc,
+                                      TransportKind::kProxy};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients_override.clear();
+      for (const char* p = argv[i] + 10; *p != '\0';) {
+        clients_override.push_back(static_cast<int>(std::strtol(p, nullptr, 10)));
+        const char* comma = std::strchr(p, ',');
+        if (comma == nullptr) {
+          break;
+        }
+        p = comma + 1;
+      }
+    } else if (std::strncmp(argv[i], "--active=", 9) == 0) {
+      active = static_cast<int>(std::strtol(argv[i] + 9, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--transports=", 13) == 0) {
+      kinds.clear();
+      std::string list(argv[i] + 13);
+      for (size_t pos = 0; pos < list.size();) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        const std::string name = list.substr(pos, comma - pos);
+        if (auto k = harness::parse_transport(name)) {
+          kinds.push_back(*k);
+        } else {
+          std::fprintf(stderr, "error: unknown transport %s\n", name.c_str());
+          return 1;
+        }
+        pos = comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--quick] [--seed=N] [--threads=N] [--json=PATH]"
+          " [--trace=PATH] [--timeline=PATH] [--timeline-interval=USEC]"
+          " [--faults=PATH] [--metrics=PATH] [--spans]"
+          " [--flight-recorder=PREFIX]"
+          " [--clients=N[,N...]] [--active=N] [--transports=a[,b...]]\n"
+          "  --clients=N[,N...]     fleet sizes to sweep (default"
+          " 1000,10000,100000,1000000; --quick caps at 10000)\n"
+          "  --active=N             clients driving closed-loop echo load"
+          " (default 256)\n"
+          "  --transports=a[,b...]  transports to sweep (default"
+          " rawwrite,scalerpc,sharedqp)\n",
+          argv[0]);
+      return 0;
+    }
+  }
+  const Options opt = parse_options(argc, argv);
+
+  std::vector<int> fleet_sizes =
+      clients_override.empty()
+          ? std::vector<int>{1000, 10000, 100000, 1000000}
+          : clients_override;
+  if (opt.quick && clients_override.empty()) {
+    std::erase_if(fleet_sizes, [](int n) { return n > 10000; });
+  }
+
+  header("bench_scale_wall: fleet size vs per-client cost and scheduling delay",
+         "docs/scaling.md (scale wall; not a paper figure)");
+  std::printf("active drivers: %d, batch 4, echo 32B, handler 100ns\n\n", active);
+
+  std::vector<CellSpec> specs;
+  for (TransportKind k : kinds) {
+    for (int n : fleet_sizes) {
+      specs.push_back({k, n});
+    }
+  }
+
+  std::vector<CellResult> cells(specs.size());
+  const uint64_t seed = opt.seed;
+  if (harness::internal::fork_supported()) {
+    harness::internal::run_forked(
+        specs.size(), sizeof(CellResult), std::max(1, opt.threads),
+        [&](size_t i, void* dst) {
+          CellResult r = run_cell(specs[i], active, seed);
+          std::memcpy(dst, &r, sizeof(r));
+        },
+        reinterpret_cast<uint8_t*>(cells.data()));
+  } else {
+    // No fork: cells share the process, so peak RSS is cumulative across
+    // cells (the sim numbers are unaffected).
+    for (size_t i = 0; i < specs.size(); ++i) {
+      cells[i] = run_cell(specs[i], active, seed);
+    }
+  }
+
+  std::printf("%-10s %9s %7s %7s %12s %8s %10s %10s %10s %10s %9s %11s\n",
+              "transport", "clients", "active", "groups", "rotation_us",
+              "sim-mops", "ttfr_us", "connect_s", "events/s", "rss_mb",
+              "rss_kb/cl", "first-rpc");
+  JsonRows json;
+  for (const CellResult& r : cells) {
+    const double mops = r.sim_ns > 0
+                            ? static_cast<double>(r.sim_ops) * 1e3 /
+                                  static_cast<double>(r.sim_ns)
+                            : 0.0;
+    const double eps = r.measure_wall_s > 0
+                           ? static_cast<double>(r.events) / r.measure_wall_s
+                           : 0.0;
+    const double rss_mb = static_cast<double>(r.peak_rss_kb) / 1024.0;
+    const double rss_per_client_kb =
+        static_cast<double>(r.peak_rss_kb) / static_cast<double>(r.clients);
+    const double ttfr_us = static_cast<double>(r.ttfr_ns) / 1000.0;
+    // TTFR relative to the rotation period: ~0.5 means the idle client
+    // waited half a rotation for its slice — the grouping knee.
+    const double knee = r.rotation_ns > 0 ? static_cast<double>(r.ttfr_ns) /
+                                                static_cast<double>(r.rotation_ns)
+                                          : 0.0;
+    std::printf("%-10s %9u %7u %7u %12.1f %8.3f %10.1f %10.2f %10.3g %10.1f %9.2f %11.2f\n",
+                cell_name(r), r.clients, r.active, r.groups,
+                static_cast<double>(r.rotation_ns) / 1000.0, mops, ttfr_us,
+                r.connect_wall_s, eps, rss_mb, rss_per_client_kb, knee);
+
+    json.begin_row();
+    json.field("transport", cell_name(r));
+    json.field("clients", static_cast<uint64_t>(r.clients));
+    json.field("active", static_cast<uint64_t>(r.active));
+    json.field("groups", static_cast<uint64_t>(r.groups));
+    json.field("rotation_us", static_cast<double>(r.rotation_ns) / 1000.0);
+    json.field("sim_ops", r.sim_ops);
+    json.field("sim_ns", r.sim_ns);
+    json.field("events", r.events);
+    json.field("mops", mops);
+    json.field("ttfr_us", ttfr_us);
+    json.field("knee", knee);
+    json.field("connect_wall_s", r.connect_wall_s);
+    json.field("measure_wall_s", r.measure_wall_s);
+    json.field("events_per_sec", eps);
+    json.field("peak_rss_mb", rss_mb);
+    json.field("rss_per_client_kb", rss_per_client_kb);
+  }
+  std::printf(
+      "\nsim-mops/ttfr/groups/events are simulated and deterministic;\n"
+      "connect_s, events/s, and rss columns are host measurements.\n");
+
+  if (!json.write_file(opt.json_path, "bench_scale_wall")) {
+    return 1;
+  }
+  write_metrics_dump(opt.metrics_path, cells);
+  return 0;
+}
+
+}  // namespace
+}  // namespace scalerpc::bench
+
+int main(int argc, char** argv) { return scalerpc::bench::run(argc, argv); }

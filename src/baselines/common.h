@@ -25,6 +25,16 @@ struct TransportConfig {
   Nanos handler_base_ns = 150;  // fixed per-request server software cost
   bool inline_requests = false;  // post small payloads inline in the WQE
   rpc::ClientCostModel client_costs;
+  // Shared-QP proxy baseline (src/baselines/proxy.h, RDMAvisor-style): each
+  // client node runs one proxy agent that multiplexes every local client
+  // onto `proxy_conns_per_node` RC connections with `proxy_slots_per_conn`
+  // in-flight slots each; requests that find no free slot queue inside the
+  // agent. `proxy_ipc_ns` is the modeled shm handoff between a client
+  // thread and the proxy process, charged once per request and once per
+  // response on the node's shared core pool.
+  int proxy_conns_per_node = 4;
+  int proxy_slots_per_conn = 16;
+  Nanos proxy_ipc_ns = 250;
 };
 
 }  // namespace scalerpc::transport

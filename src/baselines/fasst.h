@@ -8,7 +8,6 @@
 #ifndef SRC_BASELINES_FASST_H_
 #define SRC_BASELINES_FASST_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -78,7 +77,7 @@ class FasstClient : public rpc::RpcClient {
   uint64_t send_ring_ = 0;
   uint64_t recv_ring_ = 0;
   uint32_t recv_buf_bytes_ = 0;
-  std::deque<std::pair<uint8_t, rpc::Bytes>> staged_;
+  std::vector<std::pair<uint8_t, rpc::Bytes>> staged_;
 };
 
 }  // namespace scalerpc::transport

@@ -8,7 +8,6 @@
 #ifndef SRC_BASELINES_HERD_H_
 #define SRC_BASELINES_HERD_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -80,7 +79,7 @@ class HerdClient : public rpc::RpcClient {
   uint32_t recv_buf_bytes_ = 0;
   uint64_t req_remote_ = 0;
   uint32_t req_rkey_ = 0;
-  std::deque<std::pair<uint8_t, rpc::Bytes>> staged_;
+  std::vector<std::pair<uint8_t, rpc::Bytes>> staged_;
 };
 
 }  // namespace scalerpc::transport

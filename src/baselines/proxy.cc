@@ -1,0 +1,343 @@
+#include "src/baselines/proxy.h"
+
+#include <algorithm>
+
+namespace scalerpc::transport {
+
+using simrdma::Opcode;
+using simrdma::QpType;
+using simrdma::RecvWr;
+using simrdma::SendWr;
+
+namespace {
+uint32_t make_imm(int conn_id, int slot) {
+  return (static_cast<uint32_t>(conn_id) << 8) | static_cast<uint32_t>(slot);
+}
+}  // namespace
+
+// ---------------------------------------------------------------- server ---
+
+ProxyServer::ProxyServer(simrdma::Node* node, TransportConfig cfg)
+    : node_(node), cfg_(cfg) {
+  SCALERPC_CHECK(cfg_.proxy_conns_per_node >= 1);
+  SCALERPC_CHECK(cfg_.proxy_slots_per_conn >= 1 && cfg_.proxy_slots_per_conn <= 256);
+  node_->arena_mr();
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    worker_recv_cqs_.push_back(node_->create_cq());
+    worker_send_cqs_.push_back(node_->create_cq());
+  }
+}
+
+int ProxyServer::register_conn(simrdma::QueuePair* agent_qp,
+                               uint64_t agent_resp_base, uint32_t agent_resp_rkey,
+                               uint64_t* req_base_out, uint32_t* req_rkey_out) {
+  auto state = std::make_unique<ConnState>();
+  const int id = static_cast<int>(conns_.size());
+  const int w = id % cfg_.server_workers;
+  state->qp = node_->create_qp(QpType::kRC, worker_send_cqs_[static_cast<size_t>(w)],
+                               worker_recv_cqs_[static_cast<size_t>(w)]);
+  node_->cluster()->connect(state->qp, agent_qp);
+  const uint64_t region =
+      static_cast<uint64_t>(cfg_.proxy_slots_per_conn) * cfg_.block_bytes;
+  state->req_base = node_->alloc(region, 4096);
+  state->resp_src = node_->alloc(region, 4096);
+  state->resp_remote = agent_resp_base;
+  state->resp_rkey = agent_resp_rkey;
+  // write_imm consumes a descriptor per request: keep the queue stocked.
+  for (int i = 0; i < 2 * cfg_.proxy_slots_per_conn; ++i) {
+    state->qp->post_recv_immediate(RecvWr{0, 0, 0});
+  }
+  *req_base_out = state->req_base;
+  *req_rkey_out = node_->arena_mr()->rkey;
+  conns_.push_back(std::move(state));
+  return id;
+}
+
+ProxyAgent* ProxyServer::agent_for(simrdma::Node* node, rpc::CpuPool* cpu) {
+  for (auto& a : agents_) {
+    if (a->node() == node) {
+      return a.get();
+    }
+  }
+  agents_.push_back(std::make_unique<ProxyAgent>(this, node, cpu));
+  return agents_.back().get();
+}
+
+void ProxyServer::start() {
+  SCALERPC_CHECK(!running_);
+  running_ = true;
+  for (int w = 0; w < cfg_.server_workers; ++w) {
+    sim::spawn(node_->loop(), worker(w));
+  }
+}
+
+void ProxyServer::stop() { running_ = false; }
+
+sim::Task<void> ProxyServer::worker(int index) {
+  auto& mem = node_->memory();
+  simrdma::CompletionQueue* recv_cq = worker_recv_cqs_[static_cast<size_t>(index)];
+
+  while (running_) {
+    const simrdma::Completion c = co_await recv_cq->next();
+    if (!running_) {
+      co_return;
+    }
+    SCALERPC_CHECK(c.is_recv && c.has_imm);
+    const int conn_id = static_cast<int>(c.imm >> 8);
+    const int slot = static_cast<int>(c.imm & 0xff);
+    ConnState& conn = *conns_.at(static_cast<size_t>(conn_id));
+
+    const uint64_t block =
+        conn.req_base + static_cast<uint64_t>(slot) * cfg_.block_bytes;
+    auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
+    SCALERPC_CHECK_MSG(msg.has_value(), "imm arrived without message payload");
+    Nanos cost = node_->read_cost(block + cfg_.block_bytes - msg->total_bytes(),
+                                  msg->total_bytes());
+    rpc::clear_block(mem, block, cfg_.block_bytes);
+    cost += node_->write_cost(block + cfg_.block_bytes - 1, 1);
+
+    // The proxy hides the originating client: the server only ever sees the
+    // shared connection (that anonymity is the RDMAvisor state win).
+    rpc::RequestContext ctx{conn_id, msg->op};
+    rpc::HandlerResult result = handlers_.dispatch(ctx, msg->data);
+    cost += cfg_.handler_base_ns + result.cpu_ns;
+    requests_served_++;
+
+    const uint64_t src =
+        conn.resp_src + static_cast<uint64_t>(slot) * cfg_.block_bytes;
+    const uint32_t total = rpc::encode_at(mem, src, msg->op, result.flags, result.response);
+    cost += node_->write_cost(src, total);
+    co_await node_->loop().delay(cost);
+
+    co_await conn.qp->post_recv(RecvWr{0, 0, 0});  // replenish descriptor
+
+    SendWr wr;
+    wr.opcode = Opcode::kWrite;
+    wr.local_addr = src;
+    wr.length = total;
+    wr.remote_addr = rpc::aligned_target(
+        conn.resp_remote + static_cast<uint64_t>(slot) * cfg_.block_bytes,
+        cfg_.block_bytes, total);
+    wr.rkey = conn.resp_rkey;
+    wr.signaled = false;
+    co_await conn.qp->post_send(wr);
+  }
+}
+
+// ----------------------------------------------------------------- agent ---
+
+ProxyAgent::ProxyAgent(ProxyServer* server, simrdma::Node* node, rpc::CpuPool* cpu)
+    : server_(server), node_(node), cpu_(cpu), cfg_(server->config()) {
+  const int k = cfg_.proxy_conns_per_node;
+  const int s = cfg_.proxy_slots_per_conn;
+  const uint64_t region = static_cast<uint64_t>(s) * cfg_.block_bytes;
+  cq_ = node_->create_cq();
+  work_wake_ = std::make_unique<sim::Notification>(node_->loop());
+  resp_wake_ = std::make_unique<sim::Notification>(node_->loop());
+  sim::Notification* wake = resp_wake_.get();
+  conns_.resize(static_cast<size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    Conn& conn = conns_[static_cast<size_t>(c)];
+    conn.qp = node_->create_qp(QpType::kRC, cq_, cq_);
+    conn.req_src = node_->alloc(region, 4096);
+    conn.resp_base = node_->alloc(region, 4096);
+    conn.global_id = server_->register_conn(conn.qp, conn.resp_base,
+                                            node_->arena_mr()->rkey,
+                                            &conn.req_remote, &req_rkey_);
+    node_->memory().add_watcher(conn.resp_base, region, [wake] { wake->notify(); });
+  }
+  inflight_.assign(static_cast<size_t>(k) * static_cast<size_t>(s), nullptr);
+  free_slots_ = inflight_.size();
+  sim::spawn(node_->loop(), pump());
+  sim::spawn(node_->loop(), collector());
+}
+
+int ProxyAgent::add_client() {
+  num_clients_++;
+  return server_->next_client_id();
+}
+
+void ProxyAgent::submit(uint8_t op, rpc::Bytes request, rpc::Bytes* out,
+                        size_t* remaining, sim::Notification* done) {
+  Pending* p;
+  if (!record_free_.empty()) {
+    p = record_free_.back();
+    record_free_.pop_back();
+  } else {
+    all_records_.push_back(std::make_unique<Pending>());
+    p = all_records_.back().get();
+  }
+  p->op = op;
+  p->data = std::move(request);
+  p->out = out;
+  p->remaining = remaining;
+  p->done = done;
+  queue_.push_back(p);
+  queue_peak_ = std::max(queue_peak_,
+                         static_cast<uint64_t>(queue_.size() - queue_head_));
+  work_wake_->notify();
+}
+
+bool ProxyAgent::take_free_slot(int* conn, int* slot) {
+  if (free_slots_ == 0) {
+    return false;
+  }
+  const int k = cfg_.proxy_conns_per_node;
+  const int s = cfg_.proxy_slots_per_conn;
+  for (int i = 0; i < k; ++i) {
+    const int c = (next_rr_conn_ + i) % k;
+    for (int j = 0; j < s; ++j) {
+      if (inflight_[static_cast<size_t>(c) * static_cast<size_t>(s) +
+                    static_cast<size_t>(j)] == nullptr) {
+        *conn = c;
+        *slot = j;
+        next_rr_conn_ = (c + 1) % k;
+        return true;
+      }
+    }
+  }
+  SCALERPC_CHECK(false);  // free_slots_ said otherwise
+  return false;
+}
+
+sim::Task<void> ProxyAgent::pump() {
+  auto& mem = node_->memory();
+  const int s = cfg_.proxy_slots_per_conn;
+  for (;;) {
+    if (queue_head_ == queue_.size()) {
+      queue_.clear();
+      queue_head_ = 0;
+      co_await work_wake_->wait();
+      continue;
+    }
+    int conn_i = 0;
+    int slot = 0;
+    if (!take_free_slot(&conn_i, &slot)) {
+      // All K x S wire slots busy: the request stays in the agent queue —
+      // this wait *is* the modeled proxy-side queueing delay.
+      co_await work_wake_->wait();
+      continue;
+    }
+    Pending* req = queue_[queue_head_++];
+    Conn& conn = conns_[static_cast<size_t>(conn_i)];
+    inflight_[static_cast<size_t>(conn_i) * static_cast<size_t>(s) +
+              static_cast<size_t>(slot)] = req;
+    free_slots_--;
+    // Dequeue + staging copy: the request-side shm hop, on the node's
+    // shared cores (the proxy competes with its own clients for CPU).
+    const uint64_t src =
+        conn.req_src + static_cast<uint64_t>(slot) * cfg_.block_bytes;
+    const uint32_t total = rpc::encode_at(mem, src, req->op, 0, req->data);
+    co_await cpu_->work(cfg_.proxy_ipc_ns + node_->write_cost(src, total));
+    SendWr wr;
+    wr.opcode = Opcode::kWriteImm;
+    wr.local_addr = src;
+    wr.length = total;
+    wr.remote_addr = rpc::aligned_target(
+        conn.req_remote + static_cast<uint64_t>(slot) * cfg_.block_bytes,
+        cfg_.block_bytes, total);
+    wr.rkey = req_rkey_;
+    wr.imm = make_imm(conn.global_id, slot);
+    wr.signaled = false;
+    co_await conn.qp->post_send(wr);
+  }
+}
+
+sim::Task<void> ProxyAgent::collector() {
+  auto& mem = node_->memory();
+  const int k = cfg_.proxy_conns_per_node;
+  const int s = cfg_.proxy_slots_per_conn;
+  for (;;) {
+    co_await resp_wake_->wait();
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      Nanos cost = 0;
+      size_t freed = 0;
+      for (int c = 0; c < k; ++c) {
+        for (int j = 0; j < s; ++j) {
+          const size_t idx = static_cast<size_t>(c) * static_cast<size_t>(s) +
+                             static_cast<size_t>(j);
+          Pending* p = inflight_[idx];
+          if (p == nullptr) {
+            continue;
+          }
+          const uint64_t block =
+              conns_[static_cast<size_t>(c)].resp_base +
+              static_cast<uint64_t>(j) * cfg_.block_bytes;
+          cost += node_->read_cost(block + cfg_.block_bytes - 1, 1);
+          auto msg = rpc::decode_block(mem, block, cfg_.block_bytes);
+          if (!msg.has_value()) {
+            continue;
+          }
+          cost += node_->read_cost(block + cfg_.block_bytes - msg->total_bytes(),
+                                   msg->total_bytes());
+          rpc::clear_block(mem, block, cfg_.block_bytes);
+          // Response-side shm hop: route the payload back to the waiting
+          // client in memory.
+          cost += cfg_.proxy_ipc_ns;
+          *p->out = std::move(msg->data);
+          p->data.clear();
+          record_free_.push_back(p);
+          inflight_[idx] = nullptr;
+          free_slots_++;
+          freed++;
+          if (--*p->remaining == 0) {
+            p->done->notify();
+          }
+          progress = true;
+        }
+      }
+      if (cost > 0) {
+        co_await cpu_->work(cost);
+      }
+      if (freed > 0) {
+        work_wake_->notify();
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------- client ---
+
+ProxyClient::ProxyClient(ClientEnv env, ProxyServer* server)
+    : env_(env), server_(server), cfg_(server->config()) {}
+
+sim::Task<void> ProxyClient::connect() {
+  // No QP, no CQ, no registered memory: a proxied client's whole footprint
+  // is this object and a notification. The agent (shared per node) carries
+  // the wire state.
+  agent_ = server_->agent_for(env_.node, env_.cpu);
+  id_ = agent_->add_client();
+  done_ = std::make_unique<sim::Notification>(env_.node->loop());
+  co_return;
+}
+
+void ProxyClient::stage(uint8_t op, rpc::Bytes request) {
+  SCALERPC_CHECK(static_cast<int>(staged_.size()) < cfg_.slots_per_client);
+  SCALERPC_CHECK(request.size() <= rpc::max_payload(cfg_.block_bytes));
+  staged_.emplace_back(op, std::move(request));
+}
+
+sim::Task<std::vector<rpc::Bytes>> ProxyClient::flush() {
+  SCALERPC_CHECK(id_ >= 0);
+  const size_t n = staged_.size();
+  std::vector<rpc::Bytes> out(n);
+  size_t remaining = n;
+  for (size_t i = 0; i < n; ++i) {
+    auto& [op, data] = staged_[i];
+    co_await env_.cpu->work(cfg_.client_costs.request_prep_ns);
+    agent_->submit(op, std::move(data), &out[i], &remaining, done_.get());
+  }
+  staged_.clear();
+  while (remaining > 0) {
+    co_await done_->wait();
+  }
+  if (n > 0) {
+    co_await env_.cpu->work(
+        static_cast<Nanos>(n) * cfg_.client_costs.response_parse_ns);
+  }
+  co_return out;
+}
+
+}  // namespace scalerpc::transport

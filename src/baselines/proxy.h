@@ -1,0 +1,163 @@
+// Shared-QP proxy RPC — the RDMAvisor-style aggregation baseline.
+//
+// Instead of one RC QP per client (RawWrite/SelfRpc) or time-shared QP
+// pools (ScaleRPC), every client *node* runs a single proxy agent that
+// multiplexes all of its clients onto a few shared RC connections to the
+// server. A client hands its request to the local agent over a modeled
+// shm/IPC hop; the agent stages it into one of K x S (connection, slot)
+// wire slots — queueing inside the agent when all are busy — and posts it
+// with write_imm, the immediate naming (connection, slot) exactly like the
+// self-identified transport. Responses land in agent-owned per-slot blocks
+// and are routed back to the waiting client in memory.
+//
+// Scalability profile: server-side state is O(agents x K), not O(clients)
+// — the NIC cache holds every QP at any fleet size and per-client memory
+// collapses to the client object itself. The price is the per-request IPC
+// hop and a throughput ceiling at K connections x S slots per node
+// (RDMAvisor's trade, Swift's control-plane argument; see PAPERS.md and
+// docs/scaling.md).
+#ifndef SRC_BASELINES_PROXY_H_
+#define SRC_BASELINES_PROXY_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/baselines/common.h"
+
+namespace scalerpc::transport {
+
+class ProxyServer;
+
+// One per client node, created lazily by ProxyServer::agent_for() when the
+// first client of that node connects. Owns the node's shared connections
+// and the request queue; runs a pump coroutine (posts queued requests into
+// free slots) and a collector coroutine (routes responses back).
+class ProxyAgent {
+ public:
+  ProxyAgent(ProxyServer* server, simrdma::Node* node, rpc::CpuPool* cpu);
+
+  // Registers a local client; returns its fleet-wide client id. O(1), no
+  // per-client simulated memory.
+  int add_client();
+
+  // Hands one request to the agent. `out` receives the response bytes;
+  // `remaining` is decremented and `done` notified when it hits zero (the
+  // client batches several submissions behind one notification).
+  void submit(uint8_t op, rpc::Bytes request, rpc::Bytes* out,
+              size_t* remaining, sim::Notification* done);
+
+  simrdma::Node* node() { return node_; }
+  uint64_t queue_peak() const { return queue_peak_; }
+
+ private:
+  friend class ProxyServer;
+
+  struct Pending {
+    uint8_t op = 0;
+    rpc::Bytes data;
+    rpc::Bytes* out = nullptr;
+    size_t* remaining = nullptr;
+    sim::Notification* done = nullptr;
+  };
+
+  struct Conn {
+    int global_id = 0;  // imm-encoded connection id, unique across agents
+    simrdma::QueuePair* qp = nullptr;
+    uint64_t req_src = 0;     // agent-side staging, slots x block_bytes
+    uint64_t req_remote = 0;  // server-side request pool for this conn
+    uint64_t resp_base = 0;   // agent-side response blocks for this conn
+  };
+
+  sim::Task<void> pump();
+  sim::Task<void> collector();
+  bool take_free_slot(int* conn, int* slot);
+
+  ProxyServer* server_;
+  simrdma::Node* node_;
+  rpc::CpuPool* cpu_;
+  TransportConfig cfg_;
+  uint32_t req_rkey_ = 0;
+  simrdma::CompletionQueue* cq_ = nullptr;
+  std::vector<Conn> conns_;
+  // Request records are owned by all_records_ and recycled through
+  // record_free_, so a steady-state agent allocates nothing.
+  std::vector<std::unique_ptr<Pending>> all_records_;
+  std::vector<Pending*> record_free_;
+  // (conn, slot) in-flight table; null = free. Fixed K x S, so the
+  // collector's scan is independent of the client count.
+  std::vector<Pending*> inflight_;
+  std::vector<Pending*> queue_;  // FIFO overflow queue (proxy-side queueing)
+  size_t queue_head_ = 0;
+  size_t free_slots_ = 0;
+  int next_rr_conn_ = 0;
+  int num_clients_ = 0;
+  uint64_t queue_peak_ = 0;
+  std::unique_ptr<sim::Notification> work_wake_;
+  std::unique_ptr<sim::Notification> resp_wake_;
+};
+
+class ProxyServer : public rpc::RpcServer {
+ public:
+  ProxyServer(simrdma::Node* node, TransportConfig cfg);
+
+  void start() override;
+  void stop() override;
+
+  simrdma::Node* node() { return node_; }
+  const TransportConfig& config() const { return cfg_; }
+
+  // The agent for a client node, created on first use.
+  ProxyAgent* agent_for(simrdma::Node* node, rpc::CpuPool* cpu);
+  int next_client_id() { return next_client_id_++; }
+
+ private:
+  friend class ProxyAgent;
+
+  // Server-side half of one shared connection.
+  struct ConnState {
+    simrdma::QueuePair* qp = nullptr;
+    uint64_t req_base = 0;
+    uint64_t resp_remote = 0;  // agent-side resp_base for this conn
+    uint32_t resp_rkey = 0;
+    uint64_t resp_src = 0;
+  };
+
+  // Connects one agent connection; returns its global conn id.
+  int register_conn(simrdma::QueuePair* agent_qp, uint64_t agent_resp_base,
+                    uint32_t agent_resp_rkey, uint64_t* req_base_out,
+                    uint32_t* req_rkey_out);
+
+  sim::Task<void> worker(int index);
+
+  simrdma::Node* node_;
+  TransportConfig cfg_;
+  bool running_ = false;
+  int next_client_id_ = 0;
+  std::vector<std::unique_ptr<ConnState>> conns_;
+  std::vector<std::unique_ptr<ProxyAgent>> agents_;
+  std::vector<simrdma::CompletionQueue*> worker_recv_cqs_;
+  std::vector<simrdma::CompletionQueue*> worker_send_cqs_;
+};
+
+class ProxyClient : public rpc::RpcClient {
+ public:
+  ProxyClient(ClientEnv env, ProxyServer* server);
+
+  sim::Task<void> connect() override;
+  void stage(uint8_t op, rpc::Bytes request) override;
+  sim::Task<std::vector<rpc::Bytes>> flush() override;
+  int client_id() const override { return id_; }
+
+ private:
+  ClientEnv env_;
+  ProxyServer* server_;
+  TransportConfig cfg_;
+  ProxyAgent* agent_ = nullptr;
+  int id_ = -1;
+  std::unique_ptr<sim::Notification> done_;
+  std::vector<std::pair<uint8_t, rpc::Bytes>> staged_;
+};
+
+}  // namespace scalerpc::transport
+
+#endif  // SRC_BASELINES_PROXY_H_

@@ -9,7 +9,6 @@
 #ifndef SRC_BASELINES_RAWWRITE_H_
 #define SRC_BASELINES_RAWWRITE_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -82,7 +81,7 @@ class RawWriteClient : public rpc::RpcClient {
   uint64_t req_remote_ = 0;   // server-side request blocks
   uint32_t req_rkey_ = 0;
   std::unique_ptr<sim::Notification> resp_wake_;
-  std::deque<std::pair<uint8_t, rpc::Bytes>> staged_;
+  std::vector<std::pair<uint8_t, rpc::Bytes>> staged_;
 };
 
 }  // namespace scalerpc::transport

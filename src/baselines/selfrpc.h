@@ -9,7 +9,6 @@
 #ifndef SRC_BASELINES_SELFRPC_H_
 #define SRC_BASELINES_SELFRPC_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -76,7 +75,7 @@ class SelfRpcClient : public rpc::RpcClient {
   uint64_t req_remote_ = 0;
   uint32_t req_rkey_ = 0;
   std::unique_ptr<sim::Notification> resp_wake_;
-  std::deque<std::pair<uint8_t, rpc::Bytes>> staged_;
+  std::vector<std::pair<uint8_t, rpc::Bytes>> staged_;
 };
 
 }  // namespace scalerpc::transport

@@ -36,8 +36,16 @@ class LazyBytes {
       return;
     }
 #ifdef SCALERPC_LAZY_MEM_MMAP
-    void* p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE,
-                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+    // MAP_NORESERVE keeps the untouched remainder out of the kernel's
+    // commit accounting: a million-client testbed maps terabyte-order
+    // address space of which it touches megabytes, and without it
+    // fork()-based warm starts fail the heuristic overcommit check just
+    // duplicating the reservation.
+    int flags = MAP_PRIVATE | MAP_ANONYMOUS;
+#ifdef MAP_NORESERVE
+    flags |= MAP_NORESERVE;
+#endif
+    void* p = ::mmap(nullptr, size_, PROT_READ | PROT_WRITE, flags, -1, 0);
     SCALERPC_CHECK_MSG(p != MAP_FAILED, "mmap failed for lazy arena");
     data_ = static_cast<uint8_t*>(p);
 #else

@@ -29,6 +29,8 @@ const char* to_string(TransportKind kind) {
       return "selfRPC";
     case TransportKind::kScaleRpc:
       return "ScaleRPC";
+    case TransportKind::kProxy:
+      return "SharedQP";
   }
   return "?";
 }
@@ -38,6 +40,9 @@ std::optional<TransportKind> parse_transport(const std::string& name) {
     if (name == to_string(k)) {
       return k;
     }
+  }
+  if (name == "SharedQP" || name == "proxy" || name == "sharedqp") {
+    return TransportKind::kProxy;
   }
   if (name == "rawwrite") {
     return TransportKind::kRawWrite;
@@ -75,6 +80,12 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), cluster_(cfg.sim) {
     // before server and clients agree on the wire format.
     cfg_.rpc.spans_enabled = true;
   }
+  if (cfg_.num_clients > 65535) {
+    // The narrow 2-byte wire sender id cannot address this fleet; switch
+    // both sides to the wide format before they agree on the header
+    // (docs/scaling.md). Paper-scale figure runs never take this branch.
+    cfg_.rpc.wide_sender_id = true;
+  }
 
   switch (cfg_.kind) {
     case TransportKind::kRawWrite:
@@ -95,6 +106,9 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), cluster_(cfg.sim) {
       server_ = std::move(s);
       break;
     }
+    case TransportKind::kProxy:
+      server_ = std::make_unique<transport::ProxyServer>(server_node_, cfg_.rpc);
+      break;
   }
 
   for (int c = 0; c < cfg_.num_clients; ++c) {
@@ -121,9 +135,30 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), cluster_(cfg.sim) {
       case TransportKind::kScaleRpc:
         client = std::make_unique<core::ScaleRpcClient>(env, scalerpc_);
         break;
+      case TransportKind::kProxy:
+        client = std::make_unique<transport::ProxyClient>(
+            env, static_cast<transport::ProxyServer*>(server_.get()));
+        break;
     }
-    sim::run_blocking(cluster_.loop(), client->connect());
     clients_.push_back(std::move(client));
+  }
+  connected_.assign(clients_.size(), false);
+  if (!cfg_.defer_connect) {
+    connect_all();
+  }
+}
+
+void Testbed::connect_client(size_t i) {
+  SCALERPC_CHECK(!connected_[i]);
+  sim::run_blocking(cluster_.loop(), clients_[i]->connect());
+  connected_[i] = true;
+}
+
+void Testbed::connect_all() {
+  for (size_t i = 0; i < clients_.size(); ++i) {
+    if (!connected_[i]) {
+      connect_client(i);
+    }
   }
 }
 

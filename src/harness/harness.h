@@ -11,6 +11,7 @@
 
 #include "src/baselines/fasst.h"
 #include "src/baselines/herd.h"
+#include "src/baselines/proxy.h"
 #include "src/baselines/rawwrite.h"
 #include "src/baselines/selfrpc.h"
 #include "src/common/stats.h"
@@ -20,7 +21,7 @@
 
 namespace scalerpc::harness {
 
-enum class TransportKind { kRawWrite, kHerd, kFasst, kSelfRpc, kScaleRpc };
+enum class TransportKind { kRawWrite, kHerd, kFasst, kSelfRpc, kScaleRpc, kProxy };
 
 const char* to_string(TransportKind kind);
 std::optional<TransportKind> parse_transport(const std::string& name);
@@ -30,6 +31,9 @@ std::optional<TransportKind> parse_transport(const std::string& name);
 // before any sweep runs; sweep workers only ever read it.
 void set_spans_default(bool enabled);
 bool spans_default();
+// The five paper transports, in figure order. kProxy (the RDMAvisor-style
+// shared-QP baseline, docs/scaling.md) is deliberately NOT in this list:
+// the figure benches iterate it, and their output is pinned byte-identical.
 inline const std::vector<TransportKind>& all_transports() {
   static const std::vector<TransportKind> kAll = {
       TransportKind::kRawWrite, TransportKind::kHerd, TransportKind::kFasst,
@@ -50,6 +54,11 @@ struct TestbedConfig {
   // every fault/recovery path compiled out of the hot path.
   const fault::FaultPlan* faults = nullptr;
   uint64_t fault_seed = 0;  // salt mixed into the injector's Rng
+  // When true, construction builds the client objects but does not connect
+  // them: call Testbed::connect_client()/connect_all() later. An
+  // unconnected client owns no QP, CQ, watcher, or arena region — the
+  // scale-wall bench and the lazy-allocation test depend on that.
+  bool defer_connect = false;
 };
 
 // A constructed testbed: cluster + server + connected clients.
@@ -67,6 +76,13 @@ class Testbed {
   rpc::RpcClient& client(size_t i) { return *clients_[i]; }
   core::ScaleRpcClient* scalerpc_client(size_t i);
 
+  // Deferred connection (TestbedConfig::defer_connect). connect_client runs
+  // the client's connect() to completion on the testbed loop; connect_all
+  // connects every still-unconnected client in id order.
+  void connect_client(size_t i);
+  void connect_all();
+  bool client_connected(size_t i) const { return connected_[i]; }
+
  private:
   TestbedConfig cfg_;
   simrdma::Cluster cluster_;
@@ -76,6 +92,7 @@ class Testbed {
   std::unique_ptr<rpc::RpcServer> server_;
   core::ScaleRpcServer* scalerpc_ = nullptr;
   std::vector<std::unique_ptr<rpc::RpcClient>> clients_;
+  std::vector<bool> connected_;
 };
 
 struct EchoWorkload {

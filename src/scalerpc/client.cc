@@ -42,7 +42,7 @@ sim::Task<void> ScaleRpcClient::connect() {
 
 void ScaleRpcClient::stage(uint8_t op, rpc::Bytes request) {
   SCALERPC_CHECK(static_cast<int>(staged_.size()) < cfg_.slots_per_client);
-  const size_t header = kEnvelopeBytes + kRequestIdBytes +
+  const size_t header = kEnvelopeBytes + request_id_bytes(cfg_.wide_sender_id) +
                         (cfg_.wire_seq() ? kRequestSeqBytes : 0);
   SCALERPC_CHECK(request.size() + header <= rpc::max_payload(cfg_.block_bytes));
   const Nanos now = env_.node->loop().now();
@@ -53,13 +53,18 @@ void ScaleRpcClient::stage(uint8_t op, rpc::Bytes request) {
 }
 
 rpc::Bytes ScaleRpcClient::request_header(const Staged& s) const {
-  const uint32_t hdr =
-      kRequestIdBytes + (cfg_.wire_seq() ? kRequestSeqBytes : 0);
+  const uint32_t id_bytes = request_id_bytes(cfg_.wide_sender_id);
+  const uint32_t hdr = id_bytes + (cfg_.wire_seq() ? kRequestSeqBytes : 0);
   rpc::Bytes data(hdr + s.data.size());
-  const auto id = static_cast<uint16_t>(id_);
-  std::memcpy(data.data(), &id, sizeof(id));
+  if (cfg_.wide_sender_id) {
+    const auto id = static_cast<uint32_t>(id_);
+    std::memcpy(data.data(), &id, sizeof(id));
+  } else {
+    const auto id = static_cast<uint16_t>(id_);
+    std::memcpy(data.data(), &id, sizeof(id));
+  }
   if (cfg_.wire_seq()) {
-    std::memcpy(data.data() + kRequestIdBytes, &s.seq, sizeof(s.seq));
+    std::memcpy(data.data() + id_bytes, &s.seq, sizeof(s.seq));
   }
   if (!s.data.empty()) {
     std::memcpy(data.data() + hdr, s.data.data(), s.data.size());

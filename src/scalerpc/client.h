@@ -15,7 +15,6 @@
 #ifndef SRC_SCALERPC_CLIENT_H_
 #define SRC_SCALERPC_CLIENT_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -109,7 +108,10 @@ class ScaleRpcClient : public rpc::RpcClient {
   uint8_t process_pool_ = 0;
   uint8_t process_zone_ = 0;
 
-  std::deque<Staged> staged_;
+  // Staged requests for the current batch (<= slots_per_client).
+  // A vector stays empty-capacity until first use, so an idle client
+  // carries no chunk allocation (deque eagerly allocates its map).
+  std::vector<Staged> staged_;
   uint64_t watchdog_gen_ = 0;
   bool watchdog_armed_ = false;
   uint32_t next_req_seq_ = 0;

@@ -28,6 +28,12 @@ struct ScaleRpcConfig : transport::TransportConfig {
   // before and one after the notification writes).
   Nanos drain_grace = usec(3);
 
+  // Wire sender-id width (src/scalerpc/protocol.h). The default 2-byte id
+  // addresses at most 65535 clients; the harness flips this for larger
+  // fleets (docs/scaling.md), costing 2 extra bytes per request. Both
+  // sides must agree — the testbed owns the decision.
+  bool wide_sender_id = false;
+
   // Clients re-post their warmup endpoint entry if no response arrives
   // within this window (covers rare lost-write races at switch time).
   Nanos client_timeout = msec(5);

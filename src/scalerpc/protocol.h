@@ -30,8 +30,15 @@ constexpr uint32_t kEnvelopeBytes = 6;
 // Every request's data field starts with the sender's client id, so a
 // straggler write that lands in a zone just remapped to another client is
 // still answered correctly (and told to re-warm) instead of being
-// misattributed.
+// misattributed. Two bytes cap the fleet at 65535 clients; past that the
+// testbed switches both sides to the wide 4-byte id
+// (ScaleRpcConfig::wide_sender_id). The narrow format stays the default so
+// figure output is byte-identical to the paper-scale runs.
 constexpr uint32_t kRequestIdBytes = 2;
+constexpr uint32_t kWideRequestIdBytes = 4;
+inline uint32_t request_id_bytes(bool wide) {
+  return wide ? kWideRequestIdBytes : kRequestIdBytes;
+}
 // Recovery mode only (ScaleRpcConfig::recovery_enabled): a per-client
 // monotonic request sequence number follows the sender id, and responses
 // echo it right after the envelope. The server dedups retried requests by

@@ -97,20 +97,21 @@ bool ScaleRpcServer::readmit(int client_id, simrdma::QueuePair* client_qp) {
   return true;
 }
 
-bool ScaleRpcServer::parse_request_header(rpc::MessageView& msg, uint16_t* sender,
+bool ScaleRpcServer::parse_request_header(rpc::MessageView& msg, uint32_t* sender,
                                           uint32_t* rseq) const {
-  const size_t hdr =
-      kRequestIdBytes + (cfg_.wire_seq() ? kRequestSeqBytes : 0);
+  const size_t id_bytes = request_id_bytes(cfg_.wide_sender_id);
+  const size_t hdr = id_bytes + (cfg_.wire_seq() ? kRequestSeqBytes : 0);
   if (msg.data.size() < hdr) {
     return false;
   }
-  std::memcpy(sender, msg.data.data(), sizeof(*sender));
+  *sender = 0;
+  std::memcpy(sender, msg.data.data(), id_bytes);
   if (*sender >= clients_.size()) {
     return false;
   }
   *rseq = 0;
   if (cfg_.wire_seq()) {
-    std::memcpy(rseq, msg.data.data() + kRequestIdBytes, sizeof(*rseq));
+    std::memcpy(rseq, msg.data.data() + id_bytes, sizeof(*rseq));
   }
   msg.data.erase(msg.data.begin(), msg.data.begin() + static_cast<long>(hdr));
   return true;
@@ -236,7 +237,7 @@ sim::Task<void> ScaleRpcServer::sweep_and_remap(size_t group_idx, int pool_idx) 
           continue;
         }
         rpc::clear_block(mem, block, cfg_.block_bytes);
-        uint16_t sender = 0;
+        uint32_t sender = 0;
         uint32_t rseq = 0;
         if (!parse_request_header(*msg, &sender, &rseq)) {
           continue;
@@ -257,7 +258,7 @@ sim::Task<void> ScaleRpcServer::sweep_and_remap(size_t group_idx, int pool_idx) 
             continue;
           }
         }
-        rpc::RequestContext ctx{sender, msg->op};
+        rpc::RequestContext ctx{static_cast<int>(sender), msg->op};
         rpc::HandlerResult result = handlers_.dispatch(ctx, msg->data);
         cost += cfg_.handler_base_ns + result.cpu_ns;
         requests_served_++;
@@ -641,7 +642,7 @@ sim::Task<void> ScaleRpcServer::worker(int index) {
 
         // The request's data starts with the sender id; a straggler write
         // from the zone's previous owner is answered to that owner.
-        uint16_t sender = 0;
+        uint32_t sender = 0;
         uint32_t rseq = 0;
         if (!parse_request_header(*msg, &sender, &rseq)) {
           continue;
@@ -685,13 +686,14 @@ sim::Task<void> ScaleRpcServer::worker(int index) {
 
         if (long_ops_.count(msg->op) != 0) {
           // Legacy mode: divert to the dedicated executor.
-          legacy_queue_.push_back(LegacyJob{sender, resp_slot, rseq, std::move(*msg)});
+          legacy_queue_.push_back(
+              LegacyJob{static_cast<int>(sender), resp_slot, rseq, std::move(*msg)});
           legacy_wake_->notify();
           served++;
           continue;
         }
 
-        rpc::RequestContext ctx{sender, msg->op};
+        rpc::RequestContext ctx{static_cast<int>(sender), msg->op};
         rpc::HandlerResult result = handlers_.dispatch(ctx, msg->data);
         cost += cfg_.handler_base_ns + result.cpu_ns;
         requests_served_++;

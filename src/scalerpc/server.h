@@ -150,7 +150,7 @@ class ScaleRpcServer : public rpc::RpcServer {
   // Parses (and strips) the request header: sender id, plus the request
   // seq in recovery mode. Returns false if the header is short or the
   // sender id is out of range.
-  bool parse_request_header(rpc::MessageView& msg, uint16_t* sender,
+  bool parse_request_header(rpc::MessageView& msg, uint32_t* sender,
                             uint32_t* rseq) const;
   // Recovery-mode dedup verdict for a request: 0 = execute, 1 = replay the
   // cached response, 2 = drop (an older retry, or the original is still in

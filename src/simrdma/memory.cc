@@ -7,44 +7,111 @@ namespace scalerpc::simrdma {
 void HostMemory::dma_store(uint64_t addr, std::span<const uint8_t> bytes) {
   SCALERPC_CHECK(contains(addr, bytes.size()));
   std::memcpy(raw(addr), bytes.data(), bytes.size());
-  if (watch_ranges_.empty() || bytes.empty()) {
+  if (live_watchers_ == 0 || bytes.empty()) {
     return;
   }
   const uint64_t lo = addr;
   const uint64_t hi = addr + bytes.size();
-  // Collect ids first: a watcher callback may add/remove watchers. Firing
-  // goes by id so a watcher removed by an earlier callback is skipped
-  // rather than dereferenced.
+  // Collect (id, slot) pairs first: a watcher callback may add/remove
+  // watchers. Firing goes by id — a watcher removed (or whose slot was
+  // reused) by an earlier callback fails the slab id check and is skipped
+  // rather than dereferenced; a watcher added mid-fire is not fired.
   fire_scratch_.clear();
-  for (const auto& w : watch_ranges_) {
-    if (w.lo < hi && lo < w.hi) {
-      fire_scratch_.push_back(w.id);
+  const size_t b0 = bucket_of(lo);
+  const size_t b1 = bucket_of(hi - 1);
+  for (size_t b = b0; b <= b1; ++b) {
+    for (const uint32_t slot : buckets_[b]) {
+      const WatchRange& w = watch_slots_[slot];
+      if (w.lo < hi && lo < w.hi) {
+        fire_scratch_.emplace_back(w.id, slot);
+      }
     }
   }
-  for (const uint64_t id : fire_scratch_) {
-    const auto it =
-        std::find_if(watch_ranges_.begin(), watch_ranges_.end(),
-                     [id](const WatchRange& w) { return w.id == id; });
-    if (it != watch_ranges_.end()) {
-      watch_fns_[static_cast<size_t>(it - watch_ranges_.begin())]();
+  // Ascending id = registration order, the firing order the flat scan had.
+  // A range spanning several buckets was collected once per bucket; the
+  // sort makes the duplicates adjacent so they can be skipped below.
+  std::sort(fire_scratch_.begin(), fire_scratch_.end());
+  uint64_t last_id = 0;
+  for (const auto& [id, slot] : fire_scratch_) {
+    if (id == last_id) {
+      continue;
+    }
+    last_id = id;
+    if (watch_slots_[slot].id == id) {
+      watch_fns_[slot]();
     }
   }
 }
 
 uint64_t HostMemory::add_watcher(uint64_t addr, uint64_t len, std::function<void()> fn) {
   SCALERPC_CHECK(contains(addr, len));
+  if (buckets_.empty()) {
+    buckets_.resize((data_.size() >> kWatchBucketShift) + 1);
+  }
   const uint64_t id = next_watcher_id_++;
-  watch_ranges_.push_back(WatchRange{id, addr, addr + len});
-  watch_fns_.push_back(std::move(fn));
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    watch_slots_[slot] = WatchRange{id, addr, addr + len};
+    watch_fns_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<uint32_t>(watch_slots_.size());
+    watch_slots_.push_back(WatchRange{id, addr, addr + len});
+    watch_fns_.push_back(std::move(fn));
+  }
+  const uint64_t hi = addr + (len == 0 ? 1 : len);
+  for (size_t b = bucket_of(addr); b <= bucket_of(hi - 1); ++b) {
+    buckets_[b].push_back(slot);
+  }
+  id_index_.emplace_back(id, slot);
+  ++live_watchers_;
   return id;
 }
 
+uint32_t HostMemory::find_slot(uint64_t id) const {
+  const auto it = std::lower_bound(
+      id_index_.begin(), id_index_.end(), id,
+      [](const std::pair<uint64_t, uint32_t>& e, uint64_t v) { return e.first < v; });
+  if (it == id_index_.end() || it->first != id) {
+    return UINT32_MAX;
+  }
+  // Tombstone check: the slot may have been freed (and even reused under a
+  // newer id) since this entry was appended.
+  return watch_slots_[it->second].id == id ? it->second : UINT32_MAX;
+}
+
+void HostMemory::compact_id_index() {
+  auto dead = [this](const std::pair<uint64_t, uint32_t>& e) {
+    return watch_slots_[e.second].id != e.first;
+  };
+  id_index_.erase(std::remove_if(id_index_.begin(), id_index_.end(), dead),
+                  id_index_.end());
+}
+
 void HostMemory::remove_watcher(uint64_t id) {
-  const auto it = std::find_if(watch_ranges_.begin(), watch_ranges_.end(),
-                               [id](const WatchRange& w) { return w.id == id; });
-  if (it != watch_ranges_.end()) {
-    watch_fns_.erase(watch_fns_.begin() + (it - watch_ranges_.begin()));
-    watch_ranges_.erase(it);
+  const uint32_t slot = find_slot(id);
+  if (slot == UINT32_MAX) {
+    return;
+  }
+  const WatchRange w = watch_slots_[slot];
+  const uint64_t hi = w.hi == w.lo ? w.lo + 1 : w.hi;
+  for (size_t b = bucket_of(w.lo); b <= bucket_of(hi - 1); ++b) {
+    auto& bucket = buckets_[b];
+    const auto it = std::find(bucket.begin(), bucket.end(), slot);
+    if (it != bucket.end()) {
+      // Order within a bucket is irrelevant (firing sorts by id), so
+      // swap-remove keeps removal O(bucket).
+      *it = bucket.back();
+      bucket.pop_back();
+    }
+  }
+  watch_slots_[slot].id = 0;
+  watch_fns_[slot] = nullptr;
+  free_slots_.push_back(slot);
+  --live_watchers_;
+  if (id_index_.size() > 2 * live_watchers_ + 64) {
+    compact_id_index();
   }
 }
 

@@ -82,20 +82,38 @@ class HostMemory {
 
  private:
   struct WatchRange {
-    uint64_t id;
+    uint64_t id;  // 0 = free slot
     uint64_t lo;
     uint64_t hi;
   };
 
+  // Watchers live in a slab indexed by a spatial bucket grid so dma_store
+  // only inspects watchers near the written range. With 10^5-10^6 clients a
+  // node carries that many watchers; a flat scan per DMA write (and an O(W)
+  // erase per teardown) would make both quadratic. Firing still goes in
+  // ascending id order (= registration order), which is what keeps figure
+  // output byte-identical with the old flat scan.
+  static constexpr uint64_t kWatchBucketShift = 16;  // 64 KiB per bucket
+
+  size_t bucket_of(uint64_t addr) const {
+    return static_cast<size_t>((addr - kMemoryBase) >> kWatchBucketShift);
+  }
+  uint32_t find_slot(uint64_t id) const;  // UINT32_MAX when dead/unknown
+  void compact_id_index();
+
   LazyBytes data_;
-  // Flat, id-ascending (= registration order, matching the previous
-  // std::map's firing order). The set is small and long-lived while
-  // dma_store runs millions of times, so the overlap scan walks a dense
-  // POD array; callbacks live in a parallel vector so the scan doesn't
-  // drag std::function objects through the cache.
-  std::vector<WatchRange> watch_ranges_;
-  std::vector<std::function<void()>> watch_fns_;  // parallel to watch_ranges_
-  std::vector<uint64_t> fire_scratch_;  // reused id buffer, no per-store alloc
+  std::vector<WatchRange> watch_slots_;           // slab; id==0 marks free
+  std::vector<std::function<void()>> watch_fns_;  // parallel to watch_slots_
+  std::vector<uint32_t> free_slots_;
+  // Per-bucket slot lists. Sized to the arena on first registration; a
+  // watcher appears in every bucket its range overlaps.
+  std::vector<std::vector<uint32_t>> buckets_;
+  // id -> slot, append-only (ids are monotonic, so it stays sorted for
+  // binary search); dead entries are tombstoned by the slab id check and
+  // compacted away once they outnumber the live set.
+  std::vector<std::pair<uint64_t, uint32_t>> id_index_;
+  std::vector<std::pair<uint64_t, uint32_t>> fire_scratch_;  // (id, slot)
+  size_t live_watchers_ = 0;
   uint64_t next_watcher_id_ = 1;
 };
 

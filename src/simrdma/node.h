@@ -72,6 +72,8 @@ class Node {
   QueuePair* find_qp(uint32_t qpn) {
     return qpn >= 1 && qpn <= qps_.size() ? &qps_[qpn - 1] : nullptr;
   }
+  size_t num_qps() const { return qps_.size(); }
+  size_t num_cqs() const { return cqs_.size(); }
 
   // --- Crash state (fault mode) ---
   // While down, the NIC drops every inbound packet and flushes every

@@ -127,10 +127,10 @@ struct Packet {
 
 class CompletionQueue {
  public:
+  // The ring is demand-allocated by the first push: an idle CQ (of which a
+  // million-client sim holds one per client) costs only the object header.
   CompletionQueue(sim::EventLoop& loop, Nanos poll_cost)
-      : loop_(loop), poll_cost_(poll_cost), ready_(loop) {
-    ring_.resize(64);
-  }
+      : loop_(loop), poll_cost_(poll_cost), ready_(loop) {}
 
   void push(const Completion& c) {
     if (count_ == ring_.size()) {
@@ -175,10 +175,11 @@ class CompletionQueue {
   }
 
   void grow() {
-    // Doubling ring (power-of-two capacity); completions are copied into
-    // FIFO order starting at index 0. Growth stops once the CQ has seen its
-    // peak depth, so the steady state never allocates.
-    std::vector<Completion> bigger(ring_.size() * 2);
+    // Doubling ring (power-of-two capacity, 0 -> 64 on first use);
+    // completions are copied into FIFO order starting at index 0. Growth
+    // stops once the CQ has seen its peak depth, so the steady state never
+    // allocates.
+    std::vector<Completion> bigger(ring_.empty() ? 64 : ring_.size() * 2);
     for (size_t i = 0; i < count_; ++i) {
       bigger[i] = ring_[(head_ + i) & (ring_.size() - 1)];
     }

@@ -27,6 +27,9 @@ ScaleTxTestbed::ScaleTxTestbed(ScaleTxConfig cfg)
       case TransportKind::kSelfRpc:
         server = std::make_unique<transport::SelfRpcServer>(node, cfg_.rpc);
         break;
+      case TransportKind::kProxy:
+        server = std::make_unique<transport::ProxyServer>(node, cfg_.rpc);
+        break;
       case TransportKind::kScaleRpc: {
         auto s = std::make_unique<core::ScaleRpcServer>(node, cfg_.rpc);
         scalerpc_servers_.push_back(s.get());
@@ -82,6 +85,10 @@ ScaleTxTestbed::ScaleTxTestbed(ScaleTxConfig cfg)
         case TransportKind::kSelfRpc:
           client = std::make_unique<transport::SelfRpcClient>(
               env, static_cast<transport::SelfRpcServer*>(servers_[static_cast<size_t>(p)].get()));
+          break;
+        case TransportKind::kProxy:
+          client = std::make_unique<transport::ProxyClient>(
+              env, static_cast<transport::ProxyServer*>(servers_[static_cast<size_t>(p)].get()));
           break;
         case TransportKind::kScaleRpc: {
           auto sc = std::make_unique<core::ScaleRpcClient>(

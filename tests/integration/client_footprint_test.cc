@@ -1,0 +1,134 @@
+// Per-client memory budgets for the million-client scale wall.
+//
+// A counting global operator new measures the marginal heap bytes of (a) a
+// constructed-but-unconnected client — must be near-nothing, since
+// bench_scale_wall builds the whole fleet up front and connects lazily —
+// and (b) a fully connected client per transport, asserted against the
+// budgets documented in docs/scaling.md. The simulated arenas are mmap'd
+// lazy pages (src/common/lazy_mem.h) and deliberately invisible here: this
+// test pins the *host heap* cost that actually caps fleet size.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <new>
+
+#include "src/harness/harness.h"
+#include "src/simrdma/node.h"
+
+namespace {
+uint64_t g_alloc_bytes = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_bytes += n;
+  void* p = std::malloc(n);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace scalerpc::harness {
+namespace {
+
+TestbedConfig deferred_config(TransportKind kind, int clients) {
+  TestbedConfig cfg;
+  cfg.kind = kind;
+  cfg.num_clients = clients;
+  cfg.num_client_nodes = 4;
+  cfg.defer_connect = true;
+  return cfg;
+}
+
+// Marginal heap bytes per connected client, measured over the second half
+// of the fleet so one-time costs (first pool rebuild, vector growth to
+// capacity) amortize out of the first half.
+uint64_t connected_bytes_per_client(TransportKind kind, int clients) {
+  Testbed bed(deferred_config(kind, clients));
+  const int half = clients / 2;
+  for (int i = 0; i < half; ++i) {
+    bed.connect_client(static_cast<size_t>(i));
+  }
+  const uint64_t before = g_alloc_bytes;
+  for (int i = half; i < clients; ++i) {
+    bed.connect_client(static_cast<size_t>(i));
+  }
+  return (g_alloc_bytes - before) / static_cast<uint64_t>(clients - half);
+}
+
+// --- The budgets (bytes of host heap per client, documented in
+// docs/scaling.md). Measured values on the reference toolchain: ScaleRPC
+// ~810, RawWrite ~750, SharedQP ~56; the ~2x headroom absorbs allocator
+// and libstdc++ layout noise, not design regressions — growing a
+// per-client struct past its bound is exactly what this test is for.
+constexpr uint64_t kBudgetScaleRpc = 2048;
+constexpr uint64_t kBudgetRawWrite = 2048;
+constexpr uint64_t kBudgetProxy = 256;
+constexpr uint64_t kBudgetUnconnected = 640;
+
+TEST(ClientFootprint, UnconnectedClientsAllocateAlmostNothing) {
+  // Marginal cost of fleet size with zero connects: just the client object.
+  // 256 -> 1024 isolates per-client cost from fixed testbed overhead.
+  uint64_t bytes_small, bytes_large;
+  {
+    const uint64_t before = g_alloc_bytes;
+    Testbed bed(deferred_config(TransportKind::kScaleRpc, 256));
+    bytes_small = g_alloc_bytes - before;
+  }
+  {
+    const uint64_t before = g_alloc_bytes;
+    Testbed bed(deferred_config(TransportKind::kScaleRpc, 1024));
+    bytes_large = g_alloc_bytes - before;
+    // No client touched the simulator: no QP, CQ, or server-side admission
+    // may exist anywhere in the cluster.
+    for (size_t n = 0; n < bed.cluster().num_nodes(); ++n) {
+      EXPECT_EQ(bed.cluster().node(static_cast<int>(n))->num_qps(), 0u);
+    }
+  }
+  ASSERT_GT(bytes_large, bytes_small);
+  EXPECT_LT((bytes_large - bytes_small) / (1024 - 256), kBudgetUnconnected);
+}
+
+TEST(ClientFootprint, ConnectIsLazyAndLocal) {
+  // Connecting one client creates state only for that client: its node
+  // gains endpoint state, the other client nodes stay untouched.
+  Testbed bed(deferred_config(TransportKind::kScaleRpc, 64));
+  bed.connect_client(0);  // client 0 lives on node 1 (round-robin)
+  EXPECT_GT(bed.cluster().node(1)->num_qps(), 0u);
+  EXPECT_EQ(bed.cluster().node(2)->num_qps(), 0u);
+  EXPECT_EQ(bed.cluster().node(3)->num_qps(), 0u);
+  EXPECT_TRUE(bed.client_connected(0));
+  EXPECT_FALSE(bed.client_connected(1));
+}
+
+TEST(ClientFootprint, ScaleRpcPerClientByteBudget) {
+  const uint64_t bytes = connected_bytes_per_client(TransportKind::kScaleRpc, 256);
+  printf("ScaleRPC connected client: %llu heap bytes (budget %llu)\n",
+         (unsigned long long)bytes, (unsigned long long)kBudgetScaleRpc);
+  EXPECT_LT(bytes, kBudgetScaleRpc);
+}
+
+TEST(ClientFootprint, RawWritePerClientByteBudget) {
+  const uint64_t bytes = connected_bytes_per_client(TransportKind::kRawWrite, 256);
+  printf("RawWrite connected client: %llu heap bytes (budget %llu)\n",
+         (unsigned long long)bytes, (unsigned long long)kBudgetRawWrite);
+  EXPECT_LT(bytes, kBudgetRawWrite);
+}
+
+TEST(ClientFootprint, ProxyPerClientByteBudget) {
+  // The RDMAvisor-style win: a proxied client is just the object and a
+  // notification — the agent's K x S wire state amortizes across the node.
+  const uint64_t bytes = connected_bytes_per_client(TransportKind::kProxy, 256);
+  printf("SharedQP proxied client:  %llu heap bytes (budget %llu)\n",
+         (unsigned long long)bytes, (unsigned long long)kBudgetProxy);
+  EXPECT_LT(bytes, kBudgetProxy);
+}
+
+}  // namespace
+}  // namespace scalerpc::harness

@@ -1,0 +1,137 @@
+// The shared-QP proxy baseline (src/baselines/proxy.h) must obey the house
+// determinism contract before it can appear in any figure: identical
+// configurations produce identical observables on repeat runs, and running
+// proxy sweep points through the parallel sweep engine at --threads=4 is
+// byte-identical to --threads=1. Also pins the behaviors that make it the
+// RDMAvisor-style baseline: echo correctness through the agent indirection,
+// server-side state O(connections) not O(clients), and proxy-side queueing
+// engaging once clients outnumber the K x S wire slots.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/baselines/proxy.h"
+#include "src/harness/harness.h"
+#include "src/harness/sweep.h"
+
+namespace scalerpc::harness {
+namespace {
+
+struct Point {
+  int clients;
+  int batch;
+  int conns;
+  int slots;
+};
+
+EchoResult run_point(const Point& p) {
+  TestbedConfig cfg;
+  cfg.kind = TransportKind::kProxy;
+  cfg.num_clients = p.clients;
+  cfg.num_client_nodes = 3;
+  cfg.rpc.proxy_conns_per_node = p.conns;
+  cfg.rpc.proxy_slots_per_conn = p.slots;
+  Testbed bed(cfg);
+  EchoWorkload wl;
+  wl.batch = p.batch;
+  wl.measure = msec(1);
+  return run_echo(bed, wl);
+}
+
+std::string counter_dump(const EchoResult& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "ops=%llu elapsed=%lld lat_count=%llu lat_max=%lld lat_p50=%lld "
+                "lat_p99=%lld pcie_rd=%llu rfo=%llu itom=%llu l3_hits=%llu "
+                "l3_misses=%llu qp_misses=%llu",
+                static_cast<unsigned long long>(r.ops),
+                static_cast<long long>(r.elapsed),
+                static_cast<unsigned long long>(r.batch_latency.count()),
+                static_cast<long long>(r.batch_latency.max()),
+                static_cast<long long>(r.batch_latency.percentile(50)),
+                static_cast<long long>(r.batch_latency.percentile(99)),
+                static_cast<unsigned long long>(r.server_pcm.pcie_rd_cur),
+                static_cast<unsigned long long>(r.server_pcm.rfo),
+                static_cast<unsigned long long>(r.server_pcm.itom),
+                static_cast<unsigned long long>(r.server_pcm.l3_hits),
+                static_cast<unsigned long long>(r.server_pcm.l3_misses),
+                static_cast<unsigned long long>(r.server_qp_cache_misses));
+  return buf;
+}
+
+const std::vector<Point>& points() {
+  // Last point oversubscribes the wire slots (24 clients x 4 > 2 x 8 per
+  // node) so the agent queue path is exercised by the determinism sweep.
+  static const std::vector<Point> pts = {
+      {12, 2, 4, 16}, {24, 4, 4, 16}, {16, 8, 2, 4}, {24, 4, 2, 8},
+  };
+  return pts;
+}
+
+std::vector<std::string> sweep_dumps(int threads) {
+  Sweep sweep;
+  std::vector<std::string> dumps(points().size());
+  for (size_t i = 0; i < points().size(); ++i) {
+    sweep.add("point" + std::to_string(i),
+              [p = points()[i], slot = &dumps[i]] { *slot = counter_dump(run_point(p)); });
+  }
+  sweep.run(threads);
+  return dumps;
+}
+
+TEST(ProxyBaseline, EchoCompletesAndIsRepeatDeterministic) {
+  const EchoResult a = run_point({16, 4, 4, 16});
+  const EchoResult b = run_point({16, 4, 4, 16});
+  EXPECT_GT(a.ops, 0u);
+  EXPECT_EQ(a.client_timeouts, 0u);
+  EXPECT_EQ(counter_dump(a), counter_dump(b));
+}
+
+TEST(ProxyBaseline, ByteIdenticalAcrossSweepThreads) {
+  const auto serial = sweep_dumps(1);
+  const auto parallel = sweep_dumps(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "sweep point " << i;
+  }
+}
+
+TEST(ProxyBaseline, ServerStateScalesWithConnsNotClients) {
+  // Twice the clients on the same node count must not add server QPs: the
+  // server only ever talks to the per-node agents.
+  auto server_qps = [](int clients) {
+    TestbedConfig cfg;
+    cfg.kind = TransportKind::kProxy;
+    cfg.num_clients = clients;
+    cfg.num_client_nodes = 3;
+    Testbed bed(cfg);
+    return bed.server_node()->num_qps();
+  };
+  EXPECT_EQ(server_qps(12), server_qps(48));
+}
+
+TEST(ProxyBaseline, QueueEngagesWhenSlotsOversubscribed) {
+  TestbedConfig cfg;
+  cfg.kind = TransportKind::kProxy;
+  cfg.num_clients = 24;
+  cfg.num_client_nodes = 1;
+  cfg.rpc.proxy_conns_per_node = 2;
+  cfg.rpc.proxy_slots_per_conn = 4;
+  Testbed bed(cfg);
+  EchoWorkload wl;
+  wl.batch = 4;
+  wl.measure = msec(1);
+  const EchoResult r = run_echo(bed, wl);
+  EXPECT_GT(r.ops, 0u);
+  auto* server = static_cast<transport::ProxyServer*>(&bed.server());
+  transport::ProxyAgent* agent =
+      server->agent_for(bed.cluster().node(1), nullptr);
+  // 24 closed-loop clients x batch 4 against 8 wire slots: the agent queue
+  // must have been the limiting stage at some point.
+  EXPECT_GT(agent->queue_peak(), 0u);
+}
+
+}  // namespace
+}  // namespace scalerpc::harness

@@ -12,6 +12,18 @@ tolerance than the rest — e.g. peak RSS, which jitters with allocator and
 kernel behavior, gates at 33.4% (a 1.5x regression) while event counts stay
 exact.
 
+Row matching: by default rows pair up positionally and the two files must
+have the same row count. --match-key FIELD[,FIELD] pairs rows by the value
+tuple of those fields instead, so reordering (or a resorted sweep) is not a
+diff; key tuples must be unique within each file. --subset additionally
+allows the candidate to cover only part of the baseline: baseline rows with
+no matching candidate key are skipped, which is how CI compares a --quick
+run (small fleets only) against the committed full-scale capture —
+    bench_scale_wall --quick --json=/tmp/scale.json
+    tools/bench_compare.py BENCH_scale.json /tmp/scale.json \
+        --match-key transport,clients --subset ...
+Candidate rows absent from the baseline are always an error.
+
 Exit status: 0 when the files agree, 1 on any mismatch (each printed),
 2 on malformed input.
 
@@ -53,11 +65,58 @@ def numbers_close(a, b, rel, abs_floor):
 SPEEDUP_FIELDS = {"speedup", "serial_wall_s", "parallel_wall_s", "speedup_valid"}
 
 
-def compare(base, cand, rel, abs_floor, ignore, col_tol=None):
+def pair_rows(brows, crows, match_key, subset, errors):
+    """Returns [(label, base_row, cand_row)] according to the matching mode.
+
+    Positional when `match_key` is empty (row counts must agree); keyed by
+    the tuple of `match_key` field values otherwise. With `subset`, baseline
+    rows whose key has no candidate counterpart are silently dropped —
+    candidate rows missing from the baseline are an error either way.
+    """
+    if not match_key:
+        if len(brows) != len(crows):
+            errors.append(f"row count differs: {len(brows)} vs {len(crows)}")
+        return [(f"row {i}", br, cr) for i, (br, cr) in
+                enumerate(zip(brows, crows))]
+
+    def index(rows, side):
+        by_key = {}
+        for i, row in enumerate(rows):
+            missing = [f for f in match_key if f not in row]
+            if missing:
+                errors.append(
+                    f"{side} row {i}: missing match-key field(s) "
+                    f"{', '.join(repr(f) for f in missing)}"
+                )
+                continue
+            key = tuple(row[f] for f in match_key)
+            if key in by_key:
+                errors.append(f"{side}: duplicate match key {key!r}")
+                continue
+            by_key[key] = row
+        return by_key
+
+    base_by, cand_by = index(brows, "baseline"), index(crows, "candidate")
+    pairs = []
+    for key, cr in cand_by.items():
+        if key not in base_by:
+            errors.append(f"candidate row {key!r} has no baseline row")
+            continue
+        pairs.append((f"row {key!r}", base_by[key], cr))
+    if not subset:
+        for key in base_by:
+            if key not in cand_by:
+                errors.append(f"baseline row {key!r} missing from candidate")
+    return pairs
+
+
+def compare(base, cand, rel, abs_floor, ignore, col_tol=None,
+            match_key=(), subset=False):
     """Returns a list of human-readable mismatch strings (empty = equal).
 
     `col_tol` maps a field name to the relative tolerance that overrides
-    `rel` for that column only.
+    `rel` for that column only. `match_key`/`subset` select the row-pairing
+    mode (see pair_rows).
     """
     col_tol = col_tol or {}
     errors = []
@@ -65,10 +124,8 @@ def compare(base, cand, rel, abs_floor, ignore, col_tol=None):
         errors.append(
             f"bench name differs: {base.get('bench')!r} vs {cand.get('bench')!r}"
         )
-    brows, crows = base["rows"], cand["rows"]
-    if len(brows) != len(crows):
-        errors.append(f"row count differs: {len(brows)} vs {len(crows)}")
-    for i, (br, cr) in enumerate(zip(brows, crows)):
+    for i, br, cr in pair_rows(base["rows"], cand["rows"], list(match_key),
+                               subset, errors):
         speedup_invalid = (
             br.get("speedup_valid") is False or cr.get("speedup_valid") is False
         )
@@ -78,22 +135,22 @@ def compare(base, cand, rel, abs_floor, ignore, col_tol=None):
             if speedup_invalid and key in SPEEDUP_FIELDS:
                 continue
             if key not in br or key not in cr:
-                errors.append(f"row {i}: field {key!r} missing on one side")
+                errors.append(f"{i}: field {key!r} missing on one side")
                 continue
             bv, cv = br[key], cr[key]
             # bool is an int subclass; compare it exactly, not numerically.
             if isinstance(bv, bool) or isinstance(cv, bool):
                 if bv != cv:
-                    errors.append(f"row {i}: {key} = {bv} vs {cv}")
+                    errors.append(f"{i}: {key} = {bv} vs {cv}")
             elif isinstance(bv, (int, float)) and isinstance(cv, (int, float)):
                 key_rel = col_tol.get(key, rel)
                 if not numbers_close(float(bv), float(cv), key_rel, abs_floor):
                     errors.append(
-                        f"row {i}: {key} = {bv} vs {cv} "
+                        f"{i}: {key} = {bv} vs {cv} "
                         f"(beyond {key_rel:.0%} / abs {abs_floor})"
                     )
             elif bv != cv:
-                errors.append(f"row {i}: {key} = {bv!r} vs {cv!r}")
+                errors.append(f"{i}: {key} = {bv!r} vs {cv!r}")
     return errors
 
 
@@ -211,6 +268,52 @@ def self_test():
     both["rows"][0]["coroutine_resumes"] = 9999
     assert compare(rss_base, both, 0.05, 1e-9, {"coroutine_resumes"},
                    {"peak_rss_mb": 0.334}) == []
+    # --match-key pairs rows by field value, so reordering is not a diff.
+    keyed = {
+        "bench": "demo",
+        "rows": [
+            {"transport": "scalerpc", "clients": 1000, "sim_ops": 27000},
+            {"transport": "scalerpc", "clients": 10000, "sim_ops": 3400},
+            {"transport": "sharedqp", "clients": 1000, "sim_ops": 39800},
+        ],
+    }
+    shuffled = copy.deepcopy(keyed)
+    shuffled["rows"].reverse()
+    assert len(compare(keyed, shuffled, 0.05, 1e-9, set())) > 0  # positional
+    assert compare(keyed, shuffled, 0.05, 1e-9, set(),
+                   match_key=["transport", "clients"]) == []
+    # Field drift is still caught, and named by key rather than position.
+    drifted = copy.deepcopy(shuffled)
+    drifted["rows"][0]["sim_ops"] = 50000  # the sharedqp/1000 row
+    errs = compare(keyed, drifted, 0.05, 1e-9, set(),
+                   match_key=["transport", "clients"])
+    assert len(errs) == 1 and "sharedqp" in errs[0], errs
+    # --subset: a candidate covering only some baseline keys is fine...
+    quick = copy.deepcopy(keyed)
+    quick["rows"] = [r for r in quick["rows"] if r["clients"] <= 1000]
+    assert any("missing from candidate" in e
+               for e in compare(keyed, quick, 0.05, 1e-9, set(),
+                                match_key=["transport", "clients"]))
+    assert compare(keyed, quick, 0.05, 1e-9, set(),
+                   match_key=["transport", "clients"], subset=True) == []
+    # ...but a candidate row the baseline lacks is an error even then.
+    extra = copy.deepcopy(quick)
+    extra["rows"].append({"transport": "herd", "clients": 1000, "sim_ops": 1})
+    assert any("no baseline row" in e
+               for e in compare(keyed, extra, 0.05, 1e-9, set(),
+                                match_key=["transport", "clients"],
+                                subset=True))
+    # Duplicate keys and rows without the key field are structural errors.
+    dup = copy.deepcopy(keyed)
+    dup["rows"].append(dict(dup["rows"][0]))
+    assert any("duplicate match key" in e
+               for e in compare(keyed, dup, 0.05, 1e-9, set(),
+                                match_key=["transport", "clients"]))
+    unkeyed = copy.deepcopy(keyed)
+    del unkeyed["rows"][1]["clients"]
+    assert any("missing match-key field" in e
+               for e in compare(keyed, unkeyed, 0.05, 1e-9, set(),
+                                match_key=["transport", "clients"]))
     print("bench_compare: self-test OK")
     return 0
 
@@ -249,6 +352,19 @@ def main():
         "(repeatable), e.g. --col-tolerance peak_rss_mb=0.334",
     )
     ap.add_argument(
+        "--match-key",
+        default="",
+        metavar="FIELD[,FIELD]",
+        help="pair rows by these field values instead of by position "
+        "(e.g. --match-key transport,clients)",
+    )
+    ap.add_argument(
+        "--subset",
+        action="store_true",
+        help="with --match-key: allow the candidate to cover only part of "
+        "the baseline (unmatched baseline rows are skipped)",
+    )
+    ap.add_argument(
         "--self-test", action="store_true", help="run built-in checks and exit"
     )
     args = ap.parse_args()
@@ -266,6 +382,9 @@ def main():
             col_tol[field] = float(value)
         except ValueError:
             ap.error(f"--col-tolerance needs FIELD=REL, got {spec!r}")
+    match_key = [f for f in args.match_key.split(",") if f]
+    if args.subset and not match_key:
+        ap.error("--subset requires --match-key")
     try:
         base = load(args.baseline)
         cand = load(args.candidate)
@@ -274,13 +393,14 @@ def main():
         return 2
 
     errors = compare(base, cand, args.tolerance, args.abs_floor,
-                     set(args.ignore), col_tol)
+                     set(args.ignore), col_tol, match_key, args.subset)
     if errors:
         for e in errors:
             print(f"bench_compare: {e}", file=sys.stderr)
         print(f"bench_compare: FAIL ({len(errors)} mismatches)", file=sys.stderr)
         return 1
-    print(f"bench_compare: OK ({len(base['rows'])} rows within tolerance)")
+    compared = len(cand["rows"]) if args.subset else len(base["rows"])
+    print(f"bench_compare: OK ({compared} rows within tolerance)")
     return 0
 
 

@@ -13,8 +13,17 @@ Two classes of rot this catches:
    cmake/ctest flags the build instructions use. This keeps EXPERIMENTS.md
    and docs/ honest when bench options change.
 
+3. Flag tables: any markdown table whose first header cell is `flag` (such
+   as the observability-flag and scale-bench tables in EXPERIMENTS.md) is
+   parsed row by row. Every row's first cell must contain at least one
+   `--flag` token, and each such flag must appear in the combined --help
+   output — a stricter, row-addressed form of check 2 for the tables that
+   claim to *enumerate* the flags.
+
 Usage: tools/docs_check.py --repo DIR [--help-from BENCH]...
 Exits 0 when clean; prints each violation and exits 1 otherwise.
+`--self-test` runs the built-in checks on synthetic markdown (wired into
+ctest as docs_check_selftest) and needs neither --repo nor binaries.
 """
 
 import argparse
@@ -42,6 +51,33 @@ def markdown_files(repo):
                 yield os.path.join(root, f)
 
 
+def flag_table_rows(text):
+    """Yields (line_number, first_cell) for body rows of flag tables.
+
+    A flag table is a pipe table whose header's first cell, stripped of
+    backticks and case, is exactly "flag". The |---| separator row is
+    skipped; a row of a different table ends the scan until the next
+    header.
+    """
+    in_table = False
+    for ln, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith("|"):
+            in_table = False
+            continue
+        cells = [c.strip() for c in stripped.strip("|").split("|")]
+        if not cells:
+            in_table = False
+            continue
+        head = cells[0].strip("`").strip().lower()
+        if not in_table:
+            in_table = head == "flag"
+            continue
+        if set(head) <= {"-", ":"}:
+            continue  # the |---|---| separator
+        yield ln, cells[0]
+
+
 def help_flags(binaries):
     flags = set()
     for b in binaries:
@@ -55,11 +91,69 @@ def help_flags(binaries):
     return flags
 
 
+def self_test():
+    # Link extraction: relative targets only, anchors stripped by the caller.
+    text = "[a](docs/x.md) [b](https://e.com/p) [c](#sec) [d](../y.md#top)"
+    targets = [m.group(1) for m in LINK_RE.finditer(text)]
+    assert targets == ["docs/x.md", "https://e.com/p", "#sec", "../y.md#top"]
+
+    # Flag extraction.
+    assert FLAG_RE.findall("use `--json=f` and --quick; not -j or --X") == [
+        "--json",
+        "--quick",
+    ]
+
+    # Flag-table parsing: header match, separator skip, table end.
+    md = "\n".join(
+        [
+            "| flag | writes | notes |",
+            "|---|---|---|",
+            "| `--trace=PATH` | trace | all points |",
+            "| `--spans` | (augments) | per-request seq |",
+            "| no flag here | x | y |",
+            "",
+            "| col | other |",  # a different table: not scanned
+            "|---|---|",
+            "| `--phantom` | z |",
+            "",
+            "| Flag | arg |",  # case-insensitive header
+            "|---|---|",
+            "| `--clients=N[,N...]` | sweep |",
+        ]
+    )
+    rows = list(flag_table_rows(md))
+    assert [ln for ln, _ in rows] == [3, 4, 5, 13], rows
+    flags_by_row = [FLAG_RE.findall(cell) for _, cell in rows]
+    assert flags_by_row == [["--trace"], ["--spans"], [], ["--clients"]]
+
+    # End-to-end: rows with unknown or missing flags are violations under
+    # the same logic main() applies.
+    allowed = {"--trace", "--clients"}
+    bad = []
+    for ln, cell in flag_table_rows(md):
+        row_flags = FLAG_RE.findall(cell)
+        if not row_flags:
+            bad.append((ln, "missing"))
+        bad.extend((ln, f) for f in row_flags if f not in allowed)
+    assert bad == [(4, "--spans"), (5, "missing")], bad
+
+    print("docs_check: self-test OK")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser()
-    ap.add_argument("--repo", required=True)
+    ap.add_argument("--repo")
     ap.add_argument("--help-from", action="append", default=[])
+    ap.add_argument(
+        "--self-test", action="store_true", help="run built-in checks and exit"
+    )
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.repo:
+        ap.error("--repo is required (or --self-test)")
 
     allowed = help_flags(args.help_from) | TOOLCHAIN_FLAGS
     errors = []
@@ -83,6 +177,18 @@ def main():
             for flag in sorted(set(FLAG_RE.findall(text))):
                 if flag not in allowed:
                     errors.append(f"{rel}: flag {flag} not in any --help output")
+            for ln, cell in flag_table_rows(text):
+                row_flags = FLAG_RE.findall(cell)
+                if not row_flags:
+                    errors.append(
+                        f"{rel}:{ln}: flag-table row without a --flag: {cell!r}"
+                    )
+                for flag in row_flags:
+                    if flag not in allowed:
+                        errors.append(
+                            f"{rel}:{ln}: flag-table row documents {flag}, "
+                            "which no --help prints"
+                        )
 
     if errors:
         for e in errors:

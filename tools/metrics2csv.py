@@ -6,7 +6,7 @@ docs/metrics.md for the schema the registry emits):
 
   {"bench": "...", "slots": [
       {"label": "<sweep point>", "metrics": {"series": [
-          {"kind": "qp"|"group"|"client"|"node",
+          {"kind": "qp"|"group"|"client"|"node"|"cell",
            "instrument": "counter"|"gauge"|"histogram",
            "name": "...", "points": [...]}, ...]}}, ...]}
 
@@ -17,8 +17,11 @@ labeled series can be pivoted in any spreadsheet / pandas one-liner:
 
 Scalar points fill `value`; histogram points fill the quantile columns.
 kQp entities carry (node, qpn); other kinds carry their dense `id`. The
-input structure is validated along the way, so the tool doubles as the
-format check CI runs against a metrics dump.
+"cell" kind is the scale-wall dump (`bench_scale_wall --metrics`, see
+docs/metrics.md): one slot per (transport, fleet-size) cell, `id` being
+the cell's index in the sweep. The input structure is validated along
+the way, so the tool doubles as the format check CI runs against a
+metrics dump.
 
 Usage: tools/metrics2csv.py METRICS.json [-o OUT.csv]
 """
@@ -30,7 +33,7 @@ import sys
 
 FIELDS = ["slot", "kind", "name", "instrument", "node", "qpn", "id",
           "value", "count", "min", "p50", "p90", "p99", "max"]
-KINDS = {"node", "qp", "group", "client"}
+KINDS = {"node", "qp", "group", "client", "cell"}
 INSTRUMENTS = {"counter", "gauge", "histogram"}
 HIST_KEYS = ("count", "min", "p50", "p90", "p99", "max")
 
