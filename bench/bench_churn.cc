@@ -1,0 +1,213 @@
+// Connection churn and setup storms on the elastic control plane
+// (docs/control_plane.md; not a paper figure — the paper's evaluation
+// holds the fleet fixed, this bench varies it).
+//
+// Three scenarios (src/ctrl/churn.h), one row each (burst emits two):
+//
+//   waves       join/leave waves through the ConnectionManager: cache
+//               hits/misses/evictions under steady churn, per-session
+//               time-to-first-response.
+//   burst       a setup storm: the whole fleet acquires at once against
+//               the bounded pending-connect queue, twice in one
+//               simulation. The cold row pays one full modeled setup per
+//               client; the warm row hits the connection cache — the TTFR
+//               gap is what caching buys.
+//   restart     rolling server restarts (src/fault crash plans) under a
+//               closed-loop load: goodput dip, recovery time, and the
+//               control-processor cost of the reconnect storm.
+//
+// All reported values derive from the simulation only, so output is
+// byte-identical across --threads and both NIC engines (ctest pins this).
+//
+// Beyond the common flags (see --help): --clients=N sizes the burst fleet,
+// --cache=N the connection cache, --pending=N the admission queue,
+// --ctrl-model=on|off toggles the modeled control-plane costs, and
+// --scenarios=a[,b...] restricts the scenario set.
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/ctrl/churn.h"
+#include "src/metrics/metrics.h"
+
+namespace scalerpc::bench {
+namespace {
+
+void print_row(JsonRows& json, const ctrl::ChurnStats& r) {
+  const double hit_rate =
+      r.cache_hits + r.cache_misses > 0
+          ? static_cast<double>(r.cache_hits) /
+                static_cast<double>(r.cache_hits + r.cache_misses)
+          : 0.0;
+  const double ctrl_kops =
+      r.sim_ns > 0 ? static_cast<double>(r.ctrl_ops) * 1e6 /
+                         static_cast<double>(r.sim_ns)
+                   : 0.0;
+  std::printf("%-11s %8" PRIu64 " %9" PRIu64 " %8" PRIu64 " %10" PRIu64
+              " %10" PRIu64 " %9.3f %10" PRIu64 " %10.1f %9" PRIu64
+              " %8" PRIu64 " %9.3f %9.3f %11.1f\n",
+              r.scenario.c_str(), r.clients, r.sessions, r.rpcs,
+              r.ttfr_us.count() > 0 ? r.ttfr_us.percentile(50) : 0,
+              r.ttfr_us.count() > 0 ? r.ttfr_us.percentile(99) : 0, hit_rate,
+              r.ctrl_ops, ctrl_kops, r.evictions, r.rejects, r.goodput_mops,
+              r.dip_mops, r.recovery_us);
+
+  json.begin_row();
+  json.field("scenario", r.scenario);
+  json.field("clients", r.clients);
+  json.field("sessions", r.sessions);
+  json.field("rpcs", r.rpcs);
+  json.field("ttfr_p50_us",
+             r.ttfr_us.count() > 0 ? r.ttfr_us.percentile(50) : uint64_t{0});
+  json.field("ttfr_p99_us",
+             r.ttfr_us.count() > 0 ? r.ttfr_us.percentile(99) : uint64_t{0});
+  json.field("cache_hits", r.cache_hits);
+  json.field("cache_misses", r.cache_misses);
+  json.field("hit_rate", hit_rate);
+  json.field("evictions", r.evictions);
+  json.field("rejects", r.rejects);
+  json.field("ctrl_ops", r.ctrl_ops);
+  json.field("ctrl_busy_us", static_cast<uint64_t>(r.ctrl_busy_ns / 1000));
+  json.field("ctrl_kops_per_s", ctrl_kops);
+  json.field("sim_us", static_cast<uint64_t>(r.sim_ns / 1000));
+  json.field("goodput_mops", r.goodput_mops);
+  json.field("dip_mops", r.dip_mops);
+  json.field("recovery_us", r.recovery_us);
+  json.field("reconnects", r.reconnects);
+  json.field("readmits", r.readmits);
+}
+
+// Standalone --metrics dump (this bench runs in-process, not through the
+// sweep engine): the registry schema with one slot covering the whole run.
+void write_metrics_dump(const std::string& path, metrics::Registry& reg) {
+  if (path.empty()) {
+    return;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return;
+  }
+  std::string dump;
+  reg.dump(dump);
+  std::fprintf(f,
+               "{\n  \"bench\": \"bench_churn\",\n  \"slots\": [\n"
+               "    {\"label\": \"churn\", \"metrics\": %s}\n  ]\n}\n",
+               dump.c_str());
+  std::fclose(f);
+}
+
+int run(int argc, char** argv) {
+  int clients = 0;  // 0: scenario default
+  int cache = -1;
+  int pending = -1;
+  bool ctrl_model = true;
+  std::vector<std::string> scenarios = {"waves", "burst", "restart"};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--clients=", 10) == 0) {
+      clients = static_cast<int>(std::strtol(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--cache=", 8) == 0) {
+      cache = static_cast<int>(std::strtol(argv[i] + 8, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--pending=", 10) == 0) {
+      pending = static_cast<int>(std::strtol(argv[i] + 10, nullptr, 10));
+    } else if (std::strncmp(argv[i], "--ctrl-model=", 13) == 0) {
+      ctrl_model = std::strcmp(argv[i] + 13, "off") != 0;
+    } else if (std::strncmp(argv[i], "--scenarios=", 12) == 0) {
+      scenarios.clear();
+      std::string list(argv[i] + 12);
+      for (size_t pos = 0; pos < list.size();) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+          comma = list.size();
+        }
+        scenarios.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+      }
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      std::printf(
+          "usage: %s [--quick] [--seed=N] [--threads=N] [--json=PATH]"
+          " [--metrics=PATH] [--clients=N] [--cache=N] [--pending=N]"
+          " [--ctrl-model=on|off] [--scenarios=a[,b...]]\n"
+          "  --clients=N            burst fleet size (default 10000;"
+          " --quick: 1024)\n"
+          "  --cache=N              connection-cache capacity (default:"
+          " half the waves fleet)\n"
+          "  --pending=N            bounded pending-connect queue (default"
+          " 64)\n"
+          "  --ctrl-model=on|off    modeled QP/MR setup costs (default on)\n"
+          "  --scenarios=a[,b...]   scenario set (default"
+          " waves,burst,restart)\n",
+          argv[0]);
+      return 0;
+    }
+  }
+  const Options opt = parse_options(argc, argv);
+
+  metrics::Registry reg;
+  std::unique_ptr<metrics::ScopedSession> session;
+  if (!opt.metrics_path.empty()) {
+    session = std::make_unique<metrics::ScopedSession>(
+        metrics::Session{&reg, nullptr});
+  }
+
+  ctrl::ChurnConfig cfg;
+  cfg.seed = opt.seed;
+  cfg.ctrl_model = ctrl_model;
+  if (opt.quick) {
+    cfg.clients = 320;
+    cfg.waves = 4;
+    cfg.wave_size = 160;
+    cfg.cache_capacity = 192;
+    cfg.restart_clients = 24;
+  }
+  if (cache >= 0) {
+    cfg.cache_capacity = static_cast<size_t>(cache);
+  }
+  if (pending >= 0) {
+    cfg.max_pending = static_cast<size_t>(pending);
+  }
+
+  header("bench_churn: connection churn, setup storms, rolling restarts",
+         "docs/control_plane.md (elastic control plane; not a paper figure)");
+  std::printf("ctrl model: %s, cache %zu, pending %zu, retry-after %lldns\n\n",
+              ctrl_model ? "on" : "off", cfg.cache_capacity, cfg.max_pending,
+              static_cast<long long>(cfg.retry_after));
+  std::printf("%-11s %8s %9s %8s %10s %10s %9s %10s %10s %9s %8s %9s %9s %11s\n",
+              "scenario", "clients", "sessions", "rpcs", "ttfr_p50", "ttfr_p99",
+              "hit_rate", "ctrl_ops", "ctrl_kops", "evicts", "rejects",
+              "goodput", "dip", "recovery_us");
+
+  JsonRows json;
+  for (const std::string& s : scenarios) {
+    if (s == "waves") {
+      print_row(json, ctrl::run_waves(cfg));
+    } else if (s == "burst") {
+      ctrl::ChurnConfig bc = cfg;
+      bc.clients = clients > 0 ? clients : (opt.quick ? 1024 : 10000);
+      bc.client_nodes = 11;
+      for (const ctrl::ChurnStats& r : ctrl::run_burst(bc)) {
+        print_row(json, r);
+      }
+    } else if (s == "restart") {
+      print_row(json, ctrl::run_restart(cfg));
+    } else {
+      std::fprintf(stderr, "error: unknown scenario %s\n", s.c_str());
+      return 1;
+    }
+  }
+
+  write_metrics_dump(opt.metrics_path, reg);
+  if (!json.write_file(opt.json_path, "bench_churn")) {
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace scalerpc::bench
+
+int main(int argc, char** argv) { return scalerpc::bench::run(argc, argv); }

@@ -1,0 +1,345 @@
+#include "src/ctrl/churn.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/ctrl/connection_manager.h"
+#include "src/fault/plan.h"
+#include "src/harness/harness.h"
+#include "src/rpc/rpc.h"
+#include "src/sim/task.h"
+#include "src/simrdma/params.h"
+
+namespace scalerpc::ctrl {
+namespace {
+
+using harness::Testbed;
+using harness::TestbedConfig;
+using harness::TransportKind;
+
+TestbedConfig base_config(const ChurnConfig& cfg, int clients, int client_nodes) {
+  TestbedConfig tb;
+  tb.kind = TransportKind::kScaleRpc;
+  tb.num_clients = clients;
+  tb.num_client_nodes = client_nodes;
+  tb.defer_connect = true;
+  tb.rpc.warmup_join_groups = cfg.warmup_join;
+  if (cfg.ctrl_model) {
+    tb.sim.ctrl = simrdma::modeled_ctrl_params();
+  }
+  // Churn testbeds can hold the whole fleet's endpoints at once.
+  tb.sim.host_memory_bytes =
+      MiB(256) + static_cast<uint64_t>(clients) * KiB(16);
+  return tb;
+}
+
+rpc::Bytes session_payload(const ChurnConfig& cfg, size_t id) {
+  rpc::Bytes payload(cfg.msg_bytes, 0);
+  uint64_t x = cfg.seed ^ (0x9E3779B97F4A7C15ull * (id + 1));
+  for (uint8_t& b : payload) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    b = static_cast<uint8_t>(x >> 56);
+  }
+  return payload;
+}
+
+// Sums control-processor totals over every node that ever charged an op.
+void collect_ctrl(Testbed& bed, ChurnStats* out) {
+  simrdma::Cluster& cl = bed.cluster();
+  for (int n = 0; n < static_cast<int>(cl.num_nodes()); ++n) {
+    simrdma::Node* node = cl.node(n);
+    if (!node->has_ctrl()) {
+      continue;
+    }
+    out->ctrl_ops += node->ctrl().ops();
+    out->ctrl_busy_ns += node->ctrl().busy_ns();
+  }
+}
+
+struct SessionState {
+  uint64_t done = 0;
+  uint64_t rpcs = 0;
+  Histogram* ttfr_us = nullptr;
+};
+
+// One churn session: acquire -> first RPC (TTFR stops here) -> remaining
+// RPCs -> release; `part` of the sessions then leave outright.
+sim::Task<void> session(Testbed* bed, ConnectionManager* mgr,
+                        const ChurnConfig* cfg, size_t id, bool leave_after,
+                        SessionState* st) {
+  sim::EventLoop& loop = bed->loop();
+  const Nanos t0 = loop.now();
+  co_await mgr->acquire(id);
+  const rpc::Bytes payload = session_payload(*cfg, id);
+  co_await bed->client(id).call(0, payload);
+  st->ttfr_us->record(static_cast<uint64_t>(loop.now() - t0) / 1000);
+  st->rpcs++;
+  for (int k = 1; k < cfg->rpcs_per_session; ++k) {
+    co_await bed->client(id).call(0, payload);
+    st->rpcs++;
+  }
+  mgr->release(id);
+  if (leave_after && mgr->live(id)) {
+    co_await mgr->leave(id);
+  }
+  st->done++;
+}
+
+void drive_until(Testbed& bed, SessionState& st, uint64_t target) {
+  while (st.done < target) {
+    bed.loop().run_for(usec(100));
+  }
+}
+
+std::unique_ptr<ConnectionManager> make_manager(const ChurnConfig& cfg,
+                                                Testbed& bed) {
+  ConnectionManagerConfig mc;
+  mc.cache_capacity = cfg.cache_capacity;
+  mc.max_pending = cfg.max_pending;
+  mc.retry_after = cfg.retry_after;
+  auto mgr = std::make_unique<ConnectionManager>(
+      bed.loop(), mc, bed.num_clients(),
+      [&bed](size_t id) { return bed.connect_client_async(id); },
+      [&bed](size_t id) { return bed.disconnect_client_async(id); });
+  if (cfg.ctrl_model) {
+    mgr->set_server_ctrl(&bed.server_node()->ctrl());
+  }
+  return mgr;
+}
+
+}  // namespace
+
+ChurnStats run_waves(const ChurnConfig& cfg) {
+  TestbedConfig tb = base_config(cfg, cfg.clients, cfg.client_nodes);
+  Testbed bed(tb);
+  bed.server().handlers().register_handler(0, rpc::make_echo_handler(100));
+  bed.server().start();
+
+  ChurnStats out;
+  out.scenario = "waves";
+  out.clients = static_cast<uint64_t>(cfg.clients);
+  SessionState st;
+  st.ttfr_us = &out.ttfr_us;
+  auto mgr = make_manager(cfg, bed);
+
+  const Nanos t0 = bed.loop().now();
+  uint64_t launched = 0;
+  // Wave w targets ids [w*S, w*S+S) mod fleet: once the waves wrap, later
+  // waves revisit earlier ids — cache hits for sessions that stayed warm,
+  // fresh setups for ones that left or were LRU-evicted.
+  for (int w = 0; w < cfg.waves; ++w) {
+    for (int k = 0; k < cfg.wave_size; ++k) {
+      const size_t id = static_cast<size_t>(
+          (static_cast<long>(w) * cfg.wave_size + k) % cfg.clients);
+      // Every other session leaves outright; the rest stay warm in the
+      // cache (and get LRU-evicted once capacity runs out).
+      sim::spawn(bed.loop(), session(&bed, mgr.get(), &cfg, id,
+                                     /*leave_after=*/(k % 2) != 0, &st));
+      launched++;
+    }
+    drive_until(bed, st, launched);
+  }
+  out.sim_ns = bed.loop().now() - t0;
+  out.sessions = st.done;
+  out.rpcs = st.rpcs;
+  out.cache_hits = mgr->hits();
+  out.cache_misses = mgr->misses();
+  out.evictions = mgr->evictions();
+  out.rejects = mgr->rejects();
+  collect_ctrl(bed, &out);
+  bed.server().stop();
+  return out;
+}
+
+std::vector<ChurnStats> run_burst(const ChurnConfig& cfg) {
+  TestbedConfig tb = base_config(cfg, cfg.clients, cfg.client_nodes);
+  // The whole storm must fit in the cache, or the second pass would
+  // re-pay setups the first pass evicted.
+  Testbed bed(tb);
+  bed.server().handlers().register_handler(0, rpc::make_echo_handler(100));
+  bed.server().start();
+
+  ConnectionManagerConfig mc;
+  mc.cache_capacity = std::max(cfg.cache_capacity,
+                               static_cast<size_t>(cfg.clients));
+  mc.max_pending = cfg.max_pending;
+  mc.retry_after = cfg.retry_after;
+  ConnectionManager mgr(
+      bed.loop(), mc, bed.num_clients(),
+      [&bed](size_t id) { return bed.connect_client_async(id); },
+      [&bed](size_t id) { return bed.disconnect_client_async(id); });
+  if (cfg.ctrl_model) {
+    mgr.set_server_ctrl(&bed.server_node()->ctrl());
+  }
+
+  std::vector<ChurnStats> rows(2);
+  const char* names[2] = {"burst_cold", "burst_warm"};
+  uint64_t prev[4] = {0, 0, 0, 0};
+  uint64_t prev_ctrl_ops = 0;
+  int64_t prev_ctrl_busy = 0;
+  for (int pass = 0; pass < 2; ++pass) {
+    ChurnStats& out = rows[static_cast<size_t>(pass)];
+    out.scenario = names[pass];
+    out.clients = static_cast<uint64_t>(cfg.clients);
+    SessionState st;
+    st.ttfr_us = &out.ttfr_us;
+    const Nanos t0 = bed.loop().now();
+    for (int i = 0; i < cfg.clients; ++i) {
+      sim::spawn(bed.loop(), session(&bed, &mgr, &cfg, static_cast<size_t>(i),
+                                     /*leave_after=*/false, &st));
+    }
+    drive_until(bed, st, static_cast<uint64_t>(cfg.clients));
+    out.sim_ns = bed.loop().now() - t0;
+    out.sessions = st.done;
+    out.rpcs = st.rpcs;
+    out.cache_hits = mgr.hits() - prev[0];
+    out.cache_misses = mgr.misses() - prev[1];
+    out.evictions = mgr.evictions() - prev[2];
+    out.rejects = mgr.rejects() - prev[3];
+    prev[0] = mgr.hits();
+    prev[1] = mgr.misses();
+    prev[2] = mgr.evictions();
+    prev[3] = mgr.rejects();
+    collect_ctrl(bed, &out);
+    out.ctrl_ops -= prev_ctrl_ops;
+    out.ctrl_busy_ns -= prev_ctrl_busy;
+    prev_ctrl_ops += out.ctrl_ops;
+    prev_ctrl_busy += out.ctrl_busy_ns;
+  }
+  bed.server().stop();
+  return rows;
+}
+
+namespace {
+
+struct LoadState {
+  bool stop = false;
+  bool measuring = false;
+  uint64_t ops = 0;
+};
+
+sim::Task<void> load_client(Testbed* bed, size_t id, const ChurnConfig* cfg,
+                            LoadState* st) {
+  const rpc::Bytes payload = session_payload(*cfg, id);
+  rpc::RpcClient& c = bed->client(id);
+  while (!st->stop) {
+    for (int b = 0; b < 4; ++b) {
+      c.stage(0, payload);
+    }
+    std::vector<rpc::Bytes> resp = co_await c.flush();
+    SCALERPC_CHECK_MSG(resp.size() == 4,
+                       "exactly-once violation under restart churn");
+    if (st->measuring) {
+      st->ops += resp.size();
+    }
+  }
+}
+
+}  // namespace
+
+ChurnStats run_restart(const ChurnConfig& cfg) {
+  constexpr Nanos kWindow = usec(50);
+  const Nanos warmup = usec(400);
+  const Nanos gap = msec(1);
+
+  TestbedConfig tb = base_config(cfg, cfg.restart_clients,
+                                 std::min(cfg.client_nodes, 4));
+  // Recovery is normally switched on by the constructor when a plan is
+  // attached up front; here the plan is attached after connect (below), so
+  // ask for it explicitly — it must be on before the server is built.
+  tb.rpc.recovery_enabled = true;
+  tb.rpc.client_timeout = usec(150);
+  tb.rpc.client_timeout_max = usec(600);
+  tb.sim.rc_retransmit_timeout_ns = 8000;
+  tb.sim.rc_retry_count = 5;
+  Testbed bed(tb);
+  bed.server().handlers().register_handler(0, rpc::make_echo_handler(100));
+  bed.server().start();
+  for (size_t c = 0; c < bed.num_clients(); ++c) {
+    bed.connect_client(c);
+  }
+
+  // Rolling restarts: `restarts` crash/restart cycles of the server node,
+  // spaced one gap apart, starting after the warmup. The schedule anchors
+  // at *post-connect* time: with the ctrl model on, bringing the fleet up
+  // serializes on the server's control processor and consumes a
+  // fleet-dependent span that would otherwise swallow absolute crash
+  // times.
+  const Nanos base = bed.loop().now();
+  fault::FaultPlan plan;
+  plan.seed = cfg.seed;
+  const Nanos first_crash = base + warmup + gap;
+  Nanos last_restart = 0;
+  for (int i = 0; i < cfg.restarts; ++i) {
+    const Nanos at = base + warmup + static_cast<Nanos>(i + 1) * gap;
+    plan.crash(0, at, at + cfg.restart_down);
+    last_restart = at + cfg.restart_down;
+  }
+  bed.cluster().attach_faults(plan, cfg.seed);
+
+  ChurnStats out;
+  out.scenario = "restart";
+  out.clients = static_cast<uint64_t>(cfg.restart_clients);
+  LoadState st;
+  for (size_t c = 0; c < bed.num_clients(); ++c) {
+    sim::spawn(bed.loop(), load_client(&bed, c, &cfg, &st));
+  }
+
+  auto& loop = bed.loop();
+  loop.run_for(warmup);
+  st.measuring = true;
+  const Nanos t0 = loop.now();
+  const Nanos span = last_restart + msec(2) - t0;
+  std::vector<double> windows;
+  std::vector<Nanos> window_ends;
+  uint64_t last_ops = 0;
+  while (loop.now() - t0 < span) {
+    loop.run_for(kWindow);
+    windows.push_back(mops_per_sec(st.ops - last_ops,
+                                   static_cast<uint64_t>(kWindow)));
+    window_ends.push_back(loop.now());
+    last_ops = st.ops;
+  }
+  out.sim_ns = loop.now() - t0;
+  out.rpcs = st.ops;
+  out.sessions = bed.num_clients();
+  out.goodput_mops = mops_per_sec(st.ops, static_cast<uint64_t>(out.sim_ns));
+
+  // Pre-fault rate: mean of the windows before the first crash.
+  double pre = 0;
+  int pre_n = 0;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (window_ends[i] <= first_crash) {
+      pre += windows[i];
+      pre_n++;
+    }
+  }
+  pre = pre_n > 0 ? pre / pre_n : 0.0;
+  out.dip_mops = windows.empty() ? 0.0 : windows[0];
+  for (double w : windows) {
+    out.dip_mops = std::min(out.dip_mops, w);
+  }
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (window_ends[i] > last_restart && windows[i] >= 0.95 * pre) {
+      out.recovery_us =
+          static_cast<double>(window_ends[i] - last_restart) / 1000.0;
+      break;
+    }
+  }
+
+  st.measuring = false;
+  st.stop = true;
+  loop.run_for(msec(1));
+  for (size_t c = 0; c < bed.num_clients(); ++c) {
+    if (core::ScaleRpcClient* sc = bed.scalerpc_client(c)) {
+      out.reconnects += sc->reconnects();
+    }
+  }
+  out.readmits = bed.scalerpc()->readmits();
+  collect_ctrl(bed, &out);
+  bed.server().stop();
+  return out;
+}
+
+}  // namespace scalerpc::ctrl

@@ -1,0 +1,99 @@
+// Churn and setup-storm scenarios (docs/control_plane.md).
+//
+// Three deterministic scenarios over a ScaleRPC testbed, all driven
+// through the elastic control plane:
+//
+//   waves    join/leave waves: batches of clients connect through the
+//            ConnectionManager, run a few RPCs, release, and every other
+//            session leaves outright. With the cache capacity below the
+//            fleet size, later waves evict earlier (idle) connections —
+//            the steady-churn regime.
+//   burst    a setup storm: the whole fleet acquires at once against the
+//            bounded pending-connect queue. Run twice in one simulation —
+//            the first (cold) pass pays a full setup per client, the
+//            second (warm) pass hits the cache — so one run quantifies
+//            what connection caching buys at storm scale.
+//   restart  rolling server restarts (src/fault crash plans) under a
+//            closed-loop load: goodput dip, post-restart recovery time,
+//            and the control-processor cost of the reconnect storm.
+//
+// Every scenario reports only simulation-derived values, so bench_churn
+// output is byte-identical across --threads and both NIC engines.
+#ifndef SRC_CTRL_CHURN_H_
+#define SRC_CTRL_CHURN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+
+namespace scalerpc::ctrl {
+
+struct ChurnConfig {
+  int clients = 1280;        // fleet size (admitted lazily)
+  int client_nodes = 8;
+  int rpcs_per_session = 4;  // echo RPCs per churn session
+  uint32_t msg_bytes = 32;
+
+  // waves scenario: waves * wave_size sessions over a `clients`-sized id
+  // space. Sized so the waves wrap the fleet (revisits -> cache hits) and
+  // the idle-cached population overflows the cache (LRU evictions).
+  int waves = 4;
+  int wave_size = 640;
+
+  // ConnectionManager knobs
+  size_t cache_capacity = 768;
+  size_t max_pending = 64;
+  Nanos retry_after = usec(20);
+
+  // restart scenario
+  int restarts = 2;
+  Nanos restart_down = usec(250);  // crash -> restart per cycle
+  int restart_clients = 48;        // closed-loop fleet under the restarts
+
+  // Charge modeled control-plane costs (simrdma::modeled_ctrl_params).
+  // Off = setup is free, isolating the scheduling/backpressure effects.
+  bool ctrl_model = true;
+  // Joiners enter fresh trailing warmup groups instead of re-chunking the
+  // fleet (ScaleRpcConfig::warmup_join_groups).
+  bool warmup_join = true;
+
+  uint64_t seed = 1;
+};
+
+struct ChurnStats {
+  std::string scenario;
+  uint64_t clients = 0;
+  uint64_t sessions = 0;   // churn sessions completed
+  uint64_t rpcs = 0;       // echo responses collected
+  Histogram ttfr_us;       // per-session time-to-first-response
+  int64_t sim_ns = 0;      // simulated span of the scenario
+
+  // ConnectionManager counters (zero for the restart scenario).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t evictions = 0;
+  uint64_t rejects = 0;
+
+  // Control-processor totals across all nodes (zero with the model off).
+  uint64_t ctrl_ops = 0;
+  int64_t ctrl_busy_ns = 0;
+
+  // restart scenario only.
+  double goodput_mops = 0.0;
+  double dip_mops = 0.0;      // worst 50us window
+  double recovery_us = -1.0;  // last restart -> within 5% of pre-fault rate
+  uint64_t reconnects = 0;
+  uint64_t readmits = 0;
+};
+
+ChurnStats run_waves(const ChurnConfig& cfg);
+// Returns {cold, warm}: the same burst twice in one simulation.
+std::vector<ChurnStats> run_burst(const ChurnConfig& cfg);
+ChurnStats run_restart(const ChurnConfig& cfg);
+
+}  // namespace scalerpc::ctrl
+
+#endif  // SRC_CTRL_CHURN_H_

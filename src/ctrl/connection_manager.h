@@ -1,0 +1,123 @@
+// Elastic connection manager (docs/control_plane.md).
+//
+// Sits between a churn driver and a fleet of RPC clients: a connection
+// cache with LRU eviction of idle connections plus admission control with
+// a bounded pending-connect queue. acquire(id) returns with the endpoint
+// connected — either instantly from the cache (hit) or after a full setup
+// (miss), which pays the modeled control-plane cost when SimParams::ctrl
+// is enabled. When the pending queue is full (or the server's control
+// processor is saturated), the call is pushed back and retried after
+// `retry_after` — the backpressure that turns a 10k-client setup storm
+// into a bounded-rate trickle instead of an unbounded backlog.
+//
+// The manager is transport-agnostic: it drives connections through two
+// callbacks (connect/disconnect one endpoint), which the churn driver
+// binds to Testbed::connect_client_async / disconnect_client_async. All
+// bookkeeping is intrusive (prev/next index arrays sized once at
+// construction), so steady-state operation allocates only coroutine
+// frames, which the sim recycles through BytePool.
+//
+// Deterministic: everything runs on one EventLoop; contention resolves in
+// timer order. Metrics (when a session is installed) land on the kCtrl
+// kind, slot 0 for manager-scoped series (docs/metrics.md).
+#ifndef SRC_CTRL_CONNECTION_MANAGER_H_
+#define SRC_CTRL_CONNECTION_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+#include "src/simrdma/ctrl.h"
+
+namespace scalerpc::ctrl {
+
+struct ConnectionManagerConfig {
+  // Max connections kept live at once (0 = unbounded). Over capacity, the
+  // least-recently-used *idle* connection is torn down to make room.
+  size_t cache_capacity = 0;
+  // Bounded pending-connect queue: at most this many setups may be
+  // in flight or queued at once (0 = unbounded). Arrivals beyond it are
+  // rejected with retry-after.
+  size_t max_pending = 64;
+  // Back-off before a rejected (or capacity-blocked) acquire retries.
+  Nanos retry_after = usec(50);
+};
+
+class ConnectionManager {
+ public:
+  // `endpoint_fn(id)` connects / disconnects endpoint `id`; both must be
+  // idempotent-safe within the manager's state machine (the manager never
+  // double-connects or double-disconnects an endpoint).
+  using EndpointFn = std::function<sim::Task<void>(size_t)>;
+
+  ConnectionManager(sim::EventLoop& loop, ConnectionManagerConfig cfg,
+                    size_t endpoints, EndpointFn connect, EndpointFn disconnect);
+
+  // Optional admission tie-in: when set, acquires are also pushed back
+  // while this (typically the server node's) control processor reports a
+  // full command queue.
+  void set_server_ctrl(simrdma::CtrlProcessor* ctrl) { server_ctrl_ = ctrl; }
+
+  // Ensures `id` is connected and marks it busy (one session). Suspends
+  // through backpressure and setup; on return the connection is live.
+  sim::Task<void> acquire(size_t id);
+  // Ends a session: the connection stays cached (warm) but becomes an
+  // eviction candidate once no session holds it.
+  void release(size_t id);
+  // Explicit leave: tears the connection down now (waves scenario). The
+  // endpoint must be idle (released).
+  sim::Task<void> leave(size_t id);
+
+  bool live(size_t id) const { return eps_[id].state == EpState::kLive; }
+  size_t num_live() const { return num_live_; }
+
+  // --- counters (also mirrored to kCtrl metrics when a session is on) ---
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint64_t rejects() const { return rejects_; }
+  // acquire() wall (sim) time, request to connected, in microseconds.
+  const Histogram& setup_latency_us() const { return setup_latency_us_; }
+
+ private:
+  enum class EpState : uint8_t { kCold, kConnecting, kLive };
+
+  struct Endpoint {
+    EpState state = EpState::kCold;
+    uint32_t busy = 0;  // sessions holding the connection (not evictable)
+    // Intrusive LRU links, valid while idle-live (busy == 0, state kLive).
+    int lru_prev = -1;
+    int lru_next = -1;
+  };
+
+  bool admission_full() const;
+  void lru_push_back(size_t id);
+  void lru_unlink(size_t id);
+  // Tears down the LRU idle connection; false when none is idle.
+  sim::Task<bool> evict_one();
+
+  sim::EventLoop& loop_;
+  ConnectionManagerConfig cfg_;
+  EndpointFn connect_;
+  EndpointFn disconnect_;
+  simrdma::CtrlProcessor* server_ctrl_ = nullptr;
+
+  std::vector<Endpoint> eps_;
+  int lru_head_ = -1;  // least recently used idle connection
+  int lru_tail_ = -1;  // most recently used
+  size_t num_live_ = 0;
+  size_t pending_ = 0;
+
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  uint64_t rejects_ = 0;
+  Histogram setup_latency_us_;
+};
+
+}  // namespace scalerpc::ctrl
+
+#endif  // SRC_CTRL_CONNECTION_MANAGER_H_

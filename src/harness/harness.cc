@@ -149,9 +149,19 @@ Testbed::Testbed(TestbedConfig cfg) : cfg_(cfg), cluster_(cfg.sim) {
 }
 
 void Testbed::connect_client(size_t i) {
-  SCALERPC_CHECK(!connected_[i]);
+  if (connected_[i]) {
+    return;  // idempotent: churn drivers re-connect without bookkeeping
+  }
   sim::run_blocking(cluster_.loop(), clients_[i]->connect());
   connected_[i] = true;
+}
+
+void Testbed::disconnect_client(size_t i) {
+  if (!connected_[i]) {
+    return;
+  }
+  sim::run_blocking(cluster_.loop(), clients_[i]->disconnect());
+  connected_[i] = false;
 }
 
 void Testbed::connect_all() {
@@ -159,6 +169,20 @@ void Testbed::connect_all() {
     if (!connected_[i]) {
       connect_client(i);
     }
+  }
+}
+
+sim::Task<void> Testbed::connect_client_async(size_t i) {
+  if (!connected_[i]) {
+    co_await clients_[i]->connect();
+    connected_[i] = true;
+  }
+}
+
+sim::Task<void> Testbed::disconnect_client_async(size_t i) {
+  if (connected_[i]) {
+    co_await clients_[i]->disconnect();
+    connected_[i] = false;
   }
 }
 

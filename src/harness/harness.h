@@ -78,10 +78,22 @@ class Testbed {
 
   // Deferred connection (TestbedConfig::defer_connect). connect_client runs
   // the client's connect() to completion on the testbed loop; connect_all
-  // connects every still-unconnected client in id order.
+  // connects every still-unconnected client in id order. Both directions
+  // are idempotent: connecting a connected client (or disconnecting a
+  // disconnected one) is a no-op, so churn drivers need no bookkeeping.
+  // disconnect_client returns the client to the unconnected state (QP and
+  // watchers released; the arena regions and id are retained for rejoin) —
+  // only ScaleRPC implements disconnect. These run the loop to completion
+  // (sim::run_blocking) and cannot be called from inside a coroutine; see
+  // ctrl::ConnectionManager for loop-internal churn.
   void connect_client(size_t i);
+  void disconnect_client(size_t i);
   void connect_all();
   bool client_connected(size_t i) const { return connected_[i]; }
+  // Loop-internal (awaitable) connect/disconnect for churn drivers that
+  // run while the simulation is in flight. Keeps connected_ in sync.
+  sim::Task<void> connect_client_async(size_t i);
+  sim::Task<void> disconnect_client_async(size_t i);
 
  private:
   TestbedConfig cfg_;

@@ -21,6 +21,8 @@ const char* kind_name(Kind k) {
       return "group";
     case Kind::kClient:
       return "client";
+    case Kind::kCtrl:
+      return "ctrl";
   }
   return "?";
 }

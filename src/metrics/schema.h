@@ -16,8 +16,11 @@ namespace scalerpc::metrics {
 // What a series is keyed by. kQp entities are labeled (node, qpn) packed by
 // qp_label(); the other kinds use small dense indices directly (node id,
 // group index, client id).
-enum class Kind : uint8_t { kNode = 0, kQp = 1, kGroup = 2, kClient = 3 };
-constexpr int kKindCount = 4;
+// kCtrl entities are control-plane series: node-scoped ones (processor ops,
+// QP setups) use the node id as the slot; ConnectionManager-scoped ones
+// (cache hits, evictions) use slot 0.
+enum class Kind : uint8_t { kNode = 0, kQp = 1, kGroup = 2, kClient = 3, kCtrl = 4 };
+constexpr int kKindCount = 5;
 
 const char* kind_name(Kind k);
 
@@ -67,6 +70,21 @@ enum Column : int {
   kGroupLatencyUs,
   kClientLatencyUs,
 
+  // Control-plane series (src/simrdma/ctrl.h + src/ctrl/, appended by the
+  // elastic-control-plane work — order is dump order, so new columns go at
+  // the end). Node-scoped counters use the node id as slot; manager-scoped
+  // ones use slot 0.
+  kCtrlOps,           // control-processor ops executed on this node
+  kCtrlQpSetups,      // full QP bring-ups charged (create + 3 modifies)
+  kCtrlQpTeardowns,   // QP destroys charged
+  kCtrlMrRegs,        // MR registrations charged
+  kCtrlHandshakes,    // connect handshake rounds completed
+  kCtrlCacheHits,     // ConnectionManager: acquire served by a live QP
+  kCtrlCacheMisses,   // ...acquire that had to run a full setup
+  kCtrlEvictions,     // idle connections LRU-evicted over capacity
+  kCtrlAdmitRejects,  // acquires pushed back with retry-after
+  kCtrlSetupLatencyUs,  // histogram: acquire() wait, request to connected
+
   kColumnCount,
 };
 
@@ -108,6 +126,16 @@ inline constexpr ColumnDesc kColumns[kColumnCount] = {
     {Kind::kNode, Instrument::kGauge, "loop_events"},
     {Kind::kGroup, Instrument::kHistogram, "latency_us"},
     {Kind::kClient, Instrument::kHistogram, "latency_us"},
+    {Kind::kCtrl, Instrument::kCounter, "ops"},
+    {Kind::kCtrl, Instrument::kCounter, "qp_setups"},
+    {Kind::kCtrl, Instrument::kCounter, "qp_teardowns"},
+    {Kind::kCtrl, Instrument::kCounter, "mr_regs"},
+    {Kind::kCtrl, Instrument::kCounter, "handshakes"},
+    {Kind::kCtrl, Instrument::kCounter, "cache_hits"},
+    {Kind::kCtrl, Instrument::kCounter, "cache_misses"},
+    {Kind::kCtrl, Instrument::kCounter, "evictions"},
+    {Kind::kCtrl, Instrument::kCounter, "admit_rejects"},
+    {Kind::kCtrl, Instrument::kHistogram, "setup_latency_us"},
 };
 
 // The observed-timeline view (observe.cc): 14 node gauges starting here, in

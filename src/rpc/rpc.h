@@ -106,6 +106,14 @@ class RpcClient {
   virtual ~RpcClient() = default;
 
   virtual sim::Task<void> connect() = 0;
+  // Tears down the connection state connect() built (QP, watchers) and
+  // returns the client to its unconnected footprint; a later connect()
+  // rejoins, reusing the recycled resources. Only transports that support
+  // churn override this; the default aborts.
+  virtual sim::Task<void> disconnect() {
+    SCALERPC_CHECK_MSG(false, "disconnect unsupported for this transport");
+    co_return;
+  }
   virtual void stage(uint8_t op, Bytes request) = 0;
   virtual sim::Task<std::vector<Bytes>> flush() = 0;
   virtual int client_id() const = 0;

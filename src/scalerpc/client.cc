@@ -15,28 +15,108 @@ using simrdma::SendWr;
 ScaleRpcClient::ScaleRpcClient(transport::ClientEnv env, ScaleRpcServer* server)
     : env_(env), server_(server), cfg_(server->config()) {}
 
-sim::Task<void> ScaleRpcClient::connect() {
+sim::Task<void> ScaleRpcClient::ctrl_establish(bool register_buffers) {
+  const auto& cp = env_.node->params().ctrl;
+  if (!cp.enabled()) {
+    co_return;  // model off: no suspension, no processor allocation
+  }
   const uint64_t region =
       static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes;
-  staging_ = env_.node->alloc(region, 4096);
-  req_src_ = env_.node->alloc(region, 4096);
-  resp_base_ = env_.node->alloc(region, 4096);
-  control_ = env_.node->alloc(64, 64);
-  cq_ = env_.node->create_cq();
+  // Local QP bring-up (+ pinning this client's buffers on first connect)
+  // serializes on this host's control processor.
+  Nanos local = cp.qp_setup_ns();
+  if (register_buffers) {
+    local += cp.mr_register_ns(3 * region + 64);
+  }
+  co_await env_.node->ctrl().op(local);
+  // Out-of-band handshake: QPN/rkey exchange round trips through the
+  // switch, processed at both ends.
+  const auto& sp = env_.node->params();
+  const Nanos rtt = 2 * (sp.switch_latency_ns + sp.wire_time(64));
+  for (int r = 0; r < cp.handshake_rounds; ++r) {
+    co_await env_.node->loop().delay(rtt);
+    co_await server_->node()->ctrl().op(cp.handshake_proc_ns);
+    co_await env_.node->ctrl().op(cp.handshake_proc_ns);
+  }
+  // Server-side half of the connection.
+  co_await server_->node()->ctrl().op(cp.qp_setup_ns());
+  if (metrics::Registry* m = metrics::registry()) {
+    m->add(metrics::kCtrlQpSetups, static_cast<uint32_t>(env_.node->id()), 1);
+    m->add(metrics::kCtrlQpSetups, static_cast<uint32_t>(server_->node()->id()), 1);
+    m->add(metrics::kCtrlHandshakes, static_cast<uint32_t>(env_.node->id()),
+           static_cast<uint64_t>(cp.handshake_rounds));
+    if (register_buffers) {
+      m->add(metrics::kCtrlMrRegs, static_cast<uint32_t>(env_.node->id()), 1);
+    }
+  }
+}
+
+sim::Task<void> ScaleRpcClient::connect() {
+  if (qp_ != nullptr) {
+    co_return;  // already connected: churn drivers may re-enter freely
+  }
+  const uint64_t region =
+      static_cast<uint64_t>(cfg_.slots_per_client) * cfg_.block_bytes;
+  const bool first = id_ < 0;
+  if (first) {
+    staging_ = env_.node->alloc(region, 4096);
+    req_src_ = env_.node->alloc(region, 4096);
+    resp_base_ = env_.node->alloc(region, 4096);
+    control_ = env_.node->alloc(64, 64);
+    cq_ = env_.node->create_cq();
+  }
+  co_await ctrl_establish(/*register_buffers=*/first);
   qp_ = env_.node->create_qp(QpType::kRC, cq_, cq_);
-  const auto adm =
-      server_->admit(qp_, resp_base_, control_, env_.node->arena_mr()->rkey);
-  id_ = adm.client_id;
-  entry_remote_ = adm.entry_addr;
-  entry_rkey_ = adm.entry_rkey;
-  pool_base_[0] = adm.pool_base[0];
-  pool_base_[1] = adm.pool_base[1];
-  pool_rkey_ = adm.pool_rkey;
-  zone_bytes_ = adm.zone_bytes;
-  resp_wake_ = std::make_unique<sim::Notification>(env_.node->loop());
+  if (first) {
+    const auto adm =
+        server_->admit(qp_, resp_base_, control_, env_.node->arena_mr()->rkey);
+    id_ = adm.client_id;
+    entry_remote_ = adm.entry_addr;
+    entry_rkey_ = adm.entry_rkey;
+    pool_base_[0] = adm.pool_base[0];
+    pool_base_[1] = adm.pool_base[1];
+    pool_rkey_ = adm.pool_rkey;
+    zone_bytes_ = adm.zone_bytes;
+    resp_wake_ = std::make_unique<sim::Notification>(env_.node->loop());
+  } else {
+    // Rejoin after disconnect(): keep the admitted identity and arena
+    // regions; the server reconnects this id and re-enters it into the
+    // rotation. A rejoin can only fail while the server node is crashed.
+    SCALERPC_CHECK_MSG(server_->readmit(id_, qp_), "rejoin refused: server down");
+    state_ = State::kIdle;
+  }
   sim::Notification* wake = resp_wake_.get();
-  env_.node->memory().add_watcher(resp_base_, region, [wake] { wake->notify(); });
-  env_.node->memory().add_watcher(control_, kControlBytes, [wake] { wake->notify(); });
+  watcher_resp_ =
+      env_.node->memory().add_watcher(resp_base_, region, [wake] { wake->notify(); });
+  watcher_ctl_ = env_.node->memory().add_watcher(control_, kControlBytes,
+                                                 [wake] { wake->notify(); });
+  co_return;
+}
+
+sim::Task<void> ScaleRpcClient::disconnect() {
+  SCALERPC_CHECK_MSG(qp_ != nullptr, "disconnect of an unconnected client");
+  SCALERPC_CHECK_MSG(staged_.empty(), "disconnect with a staged batch");
+  const auto& cp = env_.node->params().ctrl;
+  if (cp.enabled()) {
+    co_await env_.node->ctrl().op(cp.qp_teardown_ns());
+    co_await server_->node()->ctrl().op(cp.qp_teardown_ns());
+    if (metrics::Registry* m = metrics::registry()) {
+      m->add(metrics::kCtrlQpTeardowns, static_cast<uint32_t>(env_.node->id()), 1);
+      m->add(metrics::kCtrlQpTeardowns,
+             static_cast<uint32_t>(server_->node()->id()), 1);
+    }
+  }
+  env_.node->memory().remove_watcher(watcher_resp_);
+  env_.node->memory().remove_watcher(watcher_ctl_);
+  watcher_resp_ = 0;
+  watcher_ctl_ = 0;
+  server_->evict(id_);
+  env_.node->destroy_qp(qp_);
+  qp_ = nullptr;
+  state_ = State::kIdle;
+  // Release any batch capacity retained from past flushes so a parked
+  // client drops back toward its unconnected footprint.
+  staged_ = {};
   co_return;
 }
 
@@ -370,14 +450,24 @@ sim::Task<void> ScaleRpcClient::reconnect() {
   // the teardown + re-establish round.
   qp_->force_error();
   co_await env_.node->loop().delay(cfg_.reconnect_delay);
+  const auto& cp = env_.node->params().ctrl;
+  if (cp.enabled()) {
+    co_await env_.node->ctrl().op(cp.qp_teardown_ns() + cp.qp_setup_ns());
+    if (metrics::Registry* m = metrics::registry()) {
+      m->add(metrics::kCtrlQpTeardowns, static_cast<uint32_t>(env_.node->id()), 1);
+      m->add(metrics::kCtrlQpSetups, static_cast<uint32_t>(env_.node->id()), 1);
+    }
+  }
   simrdma::QueuePair* fresh = env_.node->create_qp(QpType::kRC, cq_, cq_);
   if (!server_->readmit(id_, fresh)) {
-    // Server node is down; park the unused QP in error so stray posts flush
-    // and try again after the next timeout.
-    fresh->force_error();
+    // Server node is down; recycle the unused QP and try again after the
+    // next timeout.
+    env_.node->destroy_qp(fresh);
     co_return;
   }
+  simrdma::QueuePair* old = qp_;
   qp_ = fresh;
+  env_.node->destroy_qp(old);
   reconnects_++;
   if (metrics::Registry* m = metrics::registry()) {
     m->add(metrics::kClientReconnects, static_cast<uint32_t>(id_), 1);

@@ -30,12 +30,22 @@ class ScaleRpcClient : public rpc::RpcClient {
 
   ScaleRpcClient(transport::ClientEnv env, ScaleRpcServer* server);
 
+  // Idempotent: a no-op while connected. The first call allocates buffers
+  // and admits with the server; a call after disconnect() rejoins (readmit)
+  // reusing the arena regions, CQ, and client id — a churn wave allocates
+  // nothing after its first cycle. Charges modeled control-plane cost when
+  // SimParams::ctrl is enabled (docs/control_plane.md).
   sim::Task<void> connect() override;
+  // Tears down the connection while keeping the admitted identity: removes
+  // the memory watchers, evicts this client from the server's rotation, and
+  // recycles both QP halves. Requires an idle client (no staged batch).
+  sim::Task<void> disconnect() override;
   void stage(uint8_t op, rpc::Bytes request) override;
   sim::Task<std::vector<rpc::Bytes>> flush() override;
   int client_id() const override { return id_; }
 
   State state() const { return state_; }
+  bool connected() const { return qp_ != nullptr; }
 
   // Pre-start schedule fixup for warm-started sweeps: keeps the client's
   // config copy (which sizes the lost-write watchdog window from the
@@ -80,6 +90,11 @@ class ScaleRpcClient : public rpc::RpcClient {
   // grouping and dedup state. No-op failure if the server node is down —
   // the caller keeps retrying on later timeouts.
   sim::Task<void> reconnect();
+  // Modeled control-plane cost of bringing up a connection: QP setup on
+  // both nodes' control processors, handshake round trips, and (first
+  // connect only) registration of this client's buffers. No-op — not even
+  // a suspension — unless SimParams::ctrl is enabled.
+  sim::Task<void> ctrl_establish(bool register_buffers);
 
   transport::ClientEnv env_;
   ScaleRpcServer* server_;
@@ -93,6 +108,10 @@ class ScaleRpcClient : public rpc::RpcClient {
   uint64_t resp_base_ = 0;  // response blocks
   uint64_t control_ = 0;    // control block (switch notifications)
   std::unique_ptr<sim::Notification> resp_wake_;
+  // Watcher handles from connect(), removed by disconnect() so a parked
+  // client triggers no wakeups (and the slab slots are reused on rejoin).
+  uint64_t watcher_resp_ = 0;
+  uint64_t watcher_ctl_ = 0;
 
   // Server-side addresses.
   uint64_t entry_remote_ = 0;

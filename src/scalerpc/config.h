@@ -23,6 +23,14 @@ struct ScaleRpcConfig : transport::TransportConfig {
   // group starts cold and the server idles at each context switch.
   bool warmup_enabled = true;
 
+  // Elastic admission (docs/control_plane.md): when true, clients admitted
+  // mid-run enter fresh trailing "warmup" groups behind the rotation
+  // instead of triggering a static re-chunk of the whole fleet — a setup
+  // storm cannot reshuffle established groups' membership mid-slice. Off
+  // by default so pre-storm workloads (and every figure bench) keep the
+  // original join behavior byte-for-byte.
+  bool warmup_join_groups = false;
+
   // Context-switch drain: time the server keeps serving a group after its
   // slice expires, so in-flight direct writes are not lost (two phases: one
   // before and one after the notification writes).

@@ -86,15 +86,44 @@ bool ScaleRpcServer::readmit(int client_id, simrdma::QueuePair* client_qp) {
                  static_cast<size_t>(client_id) < clients_.size());
   ClientState& c = *clients_[static_cast<size_t>(client_id)];
   if (c.qp != nullptr) {
-    c.qp->force_error();  // tear down the server half of the old connection
+    // Tear down the server half of the old connection (pending WRs flush)
+    // and return the slot to the pool.
+    node_->destroy_qp(c.qp);
+    c.qp = nullptr;
   }
   if (node_->is_down()) {
     return false;  // crashed: the client retries after its next timeout
   }
   c.qp = node_->create_qp(QpType::kRC, sched_cq_, sched_cq_);
   node_->cluster()->connect(c.qp, client_qp);
+  if (c.parked) {
+    // Rejoin after an evict: re-enter the grouping at the next scheduler
+    // iteration, same as a first-time admission.
+    c.parked = false;
+    pending_clients_.push_back(c.id);
+  }
   readmits_++;
   return true;
+}
+
+void ScaleRpcServer::evict(int client_id) {
+  SCALERPC_CHECK(client_id >= 0 &&
+                 static_cast<size_t>(client_id) < clients_.size());
+  ClientState& c = *clients_[static_cast<size_t>(client_id)];
+  SCALERPC_CHECK_MSG(c.qp != nullptr && !c.parked, "evict of a parked client");
+  node_->destroy_qp(c.qp);
+  c.qp = nullptr;
+  c.parked = true;
+  membership_dirty_ = true;
+  evictions_++;
+}
+
+size_t ScaleRpcServer::connected_clients() const {
+  size_t n = 0;
+  for (const auto& c : clients_) {
+    n += c->qp != nullptr ? 1 : 0;
+  }
+  return n;
 }
 
 bool ScaleRpcServer::parse_request_header(rpc::MessageView& msg, uint32_t* sender,
@@ -179,13 +208,19 @@ void ScaleRpcServer::integrate_pending_and_rebuild() {
   const bool have_pending = !pending_clients_.empty();
   const bool due_rebuild =
       cfg_.dynamic_priority && rotations_since_rebuild_ >= cfg_.rebuild_every_rotations;
-  if (!have_pending && !due_rebuild && !groups_.empty()) {
+  if (!have_pending && !due_rebuild && !membership_dirty_ && !groups_.empty()) {
     return;
   }
-  pending_clients_.clear();
+  std::vector<int> joiners;
+  joiners.swap(pending_clients_);
+  membership_dirty_ = false;
+  // Evicted (parked) clients are out of the rotation until they rejoin.
   std::vector<ClientStats> stats;
   stats.reserve(clients_.size());
   for (const auto& c : clients_) {
+    if (c->qp == nullptr) {
+      continue;
+    }
     stats.push_back(ClientStats{c->id, c->window_reqs, c->window_bytes});
   }
   if (groups_.empty() || due_rebuild) {
@@ -195,9 +230,63 @@ void ScaleRpcServer::integrate_pending_and_rebuild() {
       c->window_reqs = 0;
       c->window_bytes = 0;
     }
+  } else if (cfg_.warmup_join_groups) {
+    // Elastic join: keep established groups' membership (minus departed
+    // members) and append the joiners as fresh trailing groups, so a setup
+    // storm warms up behind the rotation instead of re-chunking the fleet
+    // mid-slice.
+    std::vector<char> grouped(clients_.size(), 0);
+    std::vector<Group> kept;
+    kept.reserve(groups_.size());
+    for (Group& g : groups_) {
+      Group ng;
+      ng.slice = g.slice;
+      for (int m : g.members) {
+        if (clients_[static_cast<size_t>(m)]->qp != nullptr) {
+          ng.members.push_back(m);
+          grouped[static_cast<size_t>(m)] = 1;
+        }
+      }
+      if (!ng.members.empty()) {
+        kept.push_back(std::move(ng));
+      }
+    }
+    Group open;
+    // Top up the trailing group first if it is undersized: a storm admits
+    // a few clients per scheduler iteration, and opening a fresh group for
+    // every trickle would balloon the rotation with tiny groups (hundreds
+    // of near-empty slices at storm scale).
+    if (!kept.empty() &&
+        static_cast<int>(kept.back().members.size()) < policy_.group_size()) {
+      open = std::move(kept.back());
+      kept.pop_back();
+    }
+    for (int j : joiners) {
+      if (grouped[static_cast<size_t>(j)] != 0 ||
+          clients_[static_cast<size_t>(j)]->qp == nullptr) {
+        continue;  // rejoined into a surviving group slot, or gone again
+      }
+      grouped[static_cast<size_t>(j)] = 1;
+      open.members.push_back(j);
+      if (static_cast<int>(open.members.size()) >= policy_.group_size()) {
+        if (open.slice <= 0) {
+          open.slice = policy_.default_slice();
+        }
+        kept.push_back(std::move(open));
+        open = Group{};
+      }
+    }
+    if (!open.members.empty()) {
+      if (open.slice <= 0) {
+        open.slice = policy_.default_slice();
+      }
+      kept.push_back(std::move(open));
+    }
+    groups_ = std::move(kept);
   } else {
     // Pending clients only: append to the last group or open a new one.
     std::vector<int> ids;
+    ids.reserve(stats.size());
     for (const auto& s : stats) {
       ids.push_back(s.client_id);
     }
@@ -358,6 +447,10 @@ sim::Task<void> ScaleRpcServer::fetch_group(size_t group_idx, int pool_idx, bool
         continue;
       }
       ClientState& c = *clients_[static_cast<size_t>(g.members[i])];
+      if (c.qp == nullptr) {
+        fetched[i] = true;  // evicted mid-rotation: regrouped next switch
+        continue;
+      }
       cost += node_->read_cost(c.entry_addr, kEntryBytes);
       const EndpointEntry e = load_entry(mem, c.entry_addr);
       if (e.valid != kEntryValid || e.epoch == c.last_entry_epoch || e.batch == 0) {
@@ -376,6 +469,9 @@ sim::Task<void> ScaleRpcServer::fetch_group(size_t group_idx, int pool_idx, bool
       wr.signaled = true;
       co_await loop.delay(cost);
       cost = 0;
+      if (c.qp == nullptr) {
+        continue;  // evicted during the read-cost delay
+      }
       co_await c.qp->post_send(wr);
       posted++;
       warmup_fetches_++;
@@ -482,6 +578,9 @@ sim::Task<void> ScaleRpcServer::scheduler_loop() {
     // Explicit notifications for members without in-flight responses.
     for (int cid : g.members) {
       ClientState& c = *clients_[static_cast<size_t>(cid)];
+      if (c.qp == nullptr) {
+        continue;  // evicted mid-slice: nothing to notify
+      }
       // Compose the control word in a scratch line and write it inline.
       const uint64_t src = c.entry_addr + 32;  // spare half of the entry line
       store_control(node_->memory(), src, ControlWord{switch_seq_ + 1, 0, 0, 0});
@@ -538,6 +637,9 @@ sim::Task<void> ScaleRpcServer::scheduler_loop() {
       const Group& ng = groups_[cursor_];
       for (size_t z = 0; z < ng.members.size(); ++z) {
         ClientState& c = *clients_[static_cast<size_t>(ng.members[z])];
+        if (c.qp == nullptr) {
+          continue;  // evicted before its cold-join notification
+        }
         const uint64_t src = c.entry_addr + 40;
         store_control(node_->memory(), src,
                       ControlWord{switch_seq_, 1, static_cast<uint8_t>(active_pool_),
@@ -560,6 +662,9 @@ sim::Task<void> ScaleRpcServer::scheduler_loop() {
 sim::Task<void> ScaleRpcServer::respond(int worker_index, ClientState& c, int slot,
                                         uint8_t op, uint8_t extra_flags,
                                         const rpc::Bytes& payload, uint32_t rseq) {
+  if (c.qp == nullptr) {
+    co_return;  // evicted while this request was in flight (late sweep)
+  }
   auto& mem = node_->memory();
   const auto wi = static_cast<size_t>(worker_index);
   const uint64_t src = worker_resp_ring_[wi] +

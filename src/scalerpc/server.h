@@ -75,6 +75,13 @@ class ScaleRpcServer : public rpc::RpcServer {
   // crashed; the client retries after its next timeout.
   bool readmit(int client_id, simrdma::QueuePair* client_qp);
 
+  // Elastic churn (docs/control_plane.md): removes a connected client from
+  // the rotation and recycles its server-side QP. The client keeps its id,
+  // entry line and dedup state; a later readmit() with a fresh QP rejoins
+  // it (re-entering the grouping at the next context switch). Called by
+  // ScaleRpcClient::disconnect().
+  void evict(int client_id);
+
   // Aligns context switches to a shared clock (returns estimated global
   // time). Used by ScaleTX's NTP-like synchronization (Section 4.2).
   void set_synced_clock(std::function<Nanos()> global_now) {
@@ -96,6 +103,9 @@ class ScaleRpcServer : public rpc::RpcServer {
   // response cache (each one would have been a duplicate execution).
   uint64_t dup_rpcs() const { return dup_rpcs_; }
   uint64_t readmits() const { return readmits_; }
+  uint64_t evictions() const { return evictions_; }
+  // Admitted clients currently in the rotation (evicted ones excluded).
+  size_t connected_clients() const;
 
  private:
   // Recovery mode, per (client, slot): the newest request seq accepted for
@@ -120,6 +130,8 @@ class ScaleRpcServer : public rpc::RpcServer {
     uint16_t last_entry_epoch = 0;
     uint64_t window_reqs = 0;
     uint64_t window_bytes = 0;
+    // Evicted from the rotation (qp == nullptr) awaiting a possible rejoin.
+    bool parked = false;
     std::vector<SlotSeen> dedup;  // sized only in recovery mode
   };
 
@@ -192,6 +204,9 @@ class ScaleRpcServer : public rpc::RpcServer {
   uint32_t switch_seq_ = 1;
   bool draining_ = false;
   int rotations_since_rebuild_ = 0;
+  // Set by evict()/rejoin so the next scheduler iteration regroups even
+  // without pending first-time admissions.
+  bool membership_dirty_ = false;
 
   std::vector<std::unique_ptr<sim::Notification>> worker_wake_;
   simrdma::CompletionQueue* sched_cq_ = nullptr;
@@ -211,6 +226,7 @@ class ScaleRpcServer : public rpc::RpcServer {
   uint64_t late_sweep_serves_ = 0;
   uint64_t dup_rpcs_ = 0;
   uint64_t readmits_ = 0;
+  uint64_t evictions_ = 0;
   // NIC qp-cache counter values at the last context switch, so the delta
   // accrued during a slice can be attributed to the group that was live.
   uint64_t last_cache_hits_ = 0;

@@ -1,0 +1,73 @@
+// Per-node control-plane processor (docs/control_plane.md).
+//
+// Models the serial driver/firmware command path that executes verbs
+// control operations (ibv_create_qp, ibv_modify_qp, ibv_reg_mr, teardown).
+// Data-plane WQEs bypass it entirely; only explicit control ops pay here.
+//
+// The processor is a serial FIFO with a bounded admission window: an op
+// admitted at time t starts when every earlier op has finished and holds
+// the processor for its cost. With `processor_slots` set, at most that many
+// ops may be queued-or-executing at once — `saturated()` lets callers
+// (ConnectionManager admission control, src/ctrl/) reject a connect with a
+// retry-after instead of building an unbounded backlog.
+//
+// Zero-cost when off: a Node only constructs its CtrlProcessor on the first
+// charged op, which only happens behind SimParams::CtrlParams::enabled()
+// guards, so default runs never allocate it or touch the event loop.
+#ifndef SRC_SIMRDMA_CTRL_H_
+#define SRC_SIMRDMA_CTRL_H_
+
+#include <cstdint>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+#include "src/simrdma/params.h"
+
+namespace scalerpc::simrdma {
+
+class CtrlProcessor {
+ public:
+  CtrlProcessor(sim::EventLoop& loop, int slots) : loop_(loop), slots_(slots) {}
+
+  // True when the bounded command queue is full; callers should back off
+  // and retry instead of op()-ing (op() itself never rejects, so protocol
+  // paths that must make progress — e.g. recovery reconnects — can still
+  // queue behind the storm).
+  bool saturated() const {
+    return slots_ > 0 && inflight_ >= static_cast<uint64_t>(slots_);
+  }
+
+  // Executes one control op costing `cost` ns of serial processor time:
+  // waits for every previously admitted op, then holds the processor for
+  // `cost`. FIFO order is admission order; the wait is a single timer, so
+  // the model is allocation-free in steady state.
+  sim::Task<void> op(Nanos cost) {
+    const Nanos now = loop_.now();
+    const Nanos start = busy_until_ > now ? busy_until_ : now;
+    busy_until_ = start + cost;
+    inflight_++;
+    peak_inflight_ = inflight_ > peak_inflight_ ? inflight_ : peak_inflight_;
+    co_await loop_.delay(busy_until_ - now);
+    inflight_--;
+    ops_++;
+    busy_ns_ += cost;
+  }
+
+  uint64_t ops() const { return ops_; }
+  uint64_t inflight() const { return inflight_; }
+  uint64_t peak_inflight() const { return peak_inflight_; }
+  Nanos busy_ns() const { return busy_ns_; }
+
+ private:
+  sim::EventLoop& loop_;
+  int slots_;
+  Nanos busy_until_ = 0;
+  uint64_t inflight_ = 0;
+  uint64_t peak_inflight_ = 0;
+  uint64_t ops_ = 0;
+  Nanos busy_ns_ = 0;
+};
+
+}  // namespace scalerpc::simrdma
+
+#endif  // SRC_SIMRDMA_CTRL_H_

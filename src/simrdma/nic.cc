@@ -162,6 +162,10 @@ struct Nic::SendSm {
   uint64_t wqe_key = 0;
   uint64_t psn = 0;
   From from = From::kSendPath;
+  // QP life this WQE belongs to, captured at doorbell time: destroy_qp can
+  // recycle (and even re-connect) the slot while we sit in the pipeline.
+  uint32_t gen = 0;
+  CompletionQueue* scq = nullptr;  // the posting life's send CQ
 
   // Transmit-leg scratch.
   sim::PooledBytes payload;
@@ -202,6 +206,8 @@ struct Nic::SendSm {
       return;
     }
     n->counters_.send_wqes++;
+    sm->gen = sm->qp->generation();
+    sm->scq = sm->qp->send_cq();
 
     // With a fault plan attached, RC requests are tracked by PSN so lost
     // packets retransmit. The lossless fast path never assigns PSNs: zero
@@ -211,6 +217,33 @@ struct Nic::SendSm {
       sm->qp->add_outstanding(sm->wr, sm->psn);
     }
     tx_begin(sm);
+  }
+
+  // The owning QP was recycled (Node::destroy_qp) while this WQE sat in
+  // the pipeline: flush it before it can address a packet with the cleared
+  // — or, if the slot was already reused, some other connection's — peer
+  // binding. An untracked signaled WR still completes (with an error, to
+  // the CQ of the life that posted it) so posted-vs-completed accounting
+  // never hangs; tracked ones were already flushed by force_error. The
+  // caller must release any held send unit first.
+  static bool flushed_by_recycle(SendSm* sm) {
+    if (sm->qp->generation() == sm->gen) {
+      return false;
+    }
+    Nic* n = sm->nic;
+    n->counters_.flushed_wrs++;
+    if (sm->wr.signaled && sm->psn == 0) {
+      Completion c;
+      c.wr_id = sm->wr.wr_id;
+      c.status = WcStatus::kWrFlushErr;
+      c.opcode = sm->wr.opcode;
+      c.is_recv = false;
+      c.byte_len = sm->wr.length;
+      c.qpn = sm->qp->qpn();
+      sm->scq->push(c);
+    }
+    sm->free();
+    return true;
   }
 
   // Transmit leg entry (first transmission and every retransmission).
@@ -225,6 +258,11 @@ struct Nic::SendSm {
     auto* sm = static_cast<SendSm*>(arg);
     Nic* n = sm->nic;
     n->counters_.engine_steps++;
+    if (sm->qp->generation() != sm->gen) {
+      n->send_units_.release();
+      flushed_by_recycle(sm);
+      return;
+    }
     Nanos cost = n->params_.nic_send_base_ns;
     cost += n->charge_connection_state(sm->qp, sm->wqe_key);
 
@@ -266,6 +304,9 @@ struct Nic::SendSm {
     Nic* n = sm->nic;
     n->counters_.engine_steps++;
     n->send_units_.release();
+    if (flushed_by_recycle(sm)) {
+      return;  // recycled during the pipeline delay
+    }
 
     Packet pkt;
     pkt.kind = Packet::Kind::kRequest;
@@ -1094,13 +1135,22 @@ sim::Task<void> Nic::use_tx_port(Nanos service) {
   sem.release();
 }
 
-sim::Task<void> Nic::transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key,
+sim::Task<bool> Nic::transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key,
                                       uint64_t psn) {
   counters_.engine_steps++;  // frame start
+  // QP life at doorbell time: destroy_qp can recycle (and even re-connect)
+  // the slot across any of the suspension points below, so re-check before
+  // building a packet from its peer binding (mirrors the state-machine
+  // engine's flushed_by_recycle).
+  const uint32_t gen = qp->generation();
   const bool parked = send_units_.available() <= 0;
   co_await send_units_.acquire();
   if (parked) {
     counters_.engine_steps++;
+  }
+  if (qp->generation() != gen) {
+    send_units_.release();
+    co_return false;
   }
 
   Nanos cost = params_.nic_send_base_ns;
@@ -1134,6 +1184,9 @@ sim::Task<void> Nic::transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key
     counters_.engine_steps++;
   }
   send_units_.release();
+  if (qp->generation() != gen) {
+    co_return false;  // recycled during the pipeline delay
+  }
 
   Packet pkt;
   pkt.kind = Packet::Kind::kRequest;
@@ -1169,6 +1222,7 @@ sim::Task<void> Nic::transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key
     qc->v[metrics::kQpBytesTx] += wire_payload + params_.packet_header_bytes;
   }
   node_->cluster()->route(std::move(pkt));
+  co_return true;
 }
 
 sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
@@ -1192,9 +1246,28 @@ sim::Task<void> Nic::send_path(QueuePair* qp, SendWr wr, uint64_t wqe_key) {
     psn = qp->alloc_psn();
     qp->add_outstanding(wr, psn);
   }
+  CompletionQueue* scq = qp->send_cq();  // the posting life's send CQ
 
-  co_await transmit_request(qp, wr, wqe_key, psn);
+  const bool wired = co_await transmit_request(qp, wr, wqe_key, psn);
   counters_.engine_steps++;  // resumed by transmit_request's final transfer
+  if (!wired) {
+    // Recycled mid-pipeline: an untracked signaled WR still completes
+    // (with an error, to the CQ of the life that posted it) so
+    // posted-vs-completed accounting never hangs; tracked ones were
+    // already flushed by force_error.
+    counters_.flushed_wrs++;
+    if (wr.signaled && psn == 0) {
+      Completion c;
+      c.wr_id = wr.wr_id;
+      c.status = WcStatus::kWrFlushErr;
+      c.opcode = wr.opcode;
+      c.is_recv = false;
+      c.byte_len = wr.length;
+      c.qpn = qp->qpn();
+      scq->push(c);
+    }
+    co_return;
+  }
 
   if (psn != 0 && qp->find_outstanding(psn) != nullptr) {
     sim::spawn(loop_, retransmit_watcher(qp, psn));
@@ -1241,10 +1314,10 @@ sim::Task<void> Nic::retransmit_watcher(QueuePair* qp, uint64_t psn) {
     // source buffer was reused sends the new bytes.
     if (!node_->is_down()) {
       const SendWr wr = o->wr;  // copy: the entry may move while suspended
-      co_await transmit_request(qp, wr, 0, psn);
+      const bool wired = co_await transmit_request(qp, wr, 0, psn);
       counters_.engine_steps++;  // resumed by transmit_request
-      if (qp->find_outstanding(psn) == nullptr || qp->in_error()) {
-        co_return;
+      if (!wired || qp->find_outstanding(psn) == nullptr || qp->in_error()) {
+        co_return;  // recycled, acked, responded, or flushed meanwhile
       }
     }
     timeout *= 2;

@@ -63,8 +63,10 @@ class Nic {
   sim::Task<void> inbound_path(Packet pkt);
 
   // Shared by the first transmission and retransmissions: charges the NIC
-  // pipeline costs, builds the request packet, and routes it.
-  sim::Task<void> transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key,
+  // pipeline costs, builds the request packet, and routes it. Returns
+  // false when the QP was recycled (Node::destroy_qp) mid-pipeline and the
+  // WQE was dropped instead of wired.
+  sim::Task<bool> transmit_request(QueuePair* qp, SendWr wr, uint64_t wqe_key,
                                    uint64_t psn);
   // Fault mode only: armed per tracked RC request; resends on timeout with
   // exponential back-off, errors the QP once retries are exhausted.

@@ -60,8 +60,31 @@ CompletionQueue* Node::create_cq() {
 
 QueuePair* Node::create_qp(QpType type, CompletionQueue* send_cq,
                            CompletionQueue* recv_cq) {
+  live_qps_++;
+  if (!free_qpns_.empty()) {
+    const uint32_t qpn = free_qpns_.back();
+    free_qpns_.pop_back();
+    QueuePair* qp = find_qp(qpn);
+    qp->reinit(type, send_cq, recv_cq);
+    return qp;
+  }
   const uint32_t qpn = static_cast<uint32_t>(qps_.size()) + 1;
   return &qps_.emplace_back(this, type, qpn, send_cq, recv_cq);
+}
+
+void Node::destroy_qp(QueuePair* qp) {
+  SCALERPC_CHECK(qp != nullptr && find_qp(qp->qpn()) == qp);
+  SCALERPC_CHECK(live_qps_ > 0);
+  qp->recycle();
+  free_qpns_.push_back(qp->qpn());
+  live_qps_--;
+}
+
+CtrlProcessor& Node::ctrl() {
+  if (ctrl_ == nullptr) {
+    ctrl_ = std::make_unique<CtrlProcessor>(loop(), params_.ctrl.processor_slots);
+  }
+  return *ctrl_;
 }
 
 void Node::fail_all_qps() {

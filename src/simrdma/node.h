@@ -10,6 +10,7 @@
 
 #include "src/sim/event_loop.h"
 #include "src/simrdma/counters.h"
+#include "src/simrdma/ctrl.h"
 #include "src/simrdma/llc.h"
 #include "src/simrdma/memory.h"
 #include "src/simrdma/params.h"
@@ -67,13 +68,27 @@ class Node {
   // --- Verbs factories ---
   CompletionQueue* create_cq();
   QueuePair* create_qp(QpType type, CompletionQueue* send_cq, CompletionQueue* recv_cq);
+  // Recycles a QP: the slot is parked in the error state (QueuePair::
+  // recycle) and its qpn is reused by a later create_qp, so the pool never
+  // shrinks and QueuePair*/qpn lookups on in-flight packets stay valid.
+  // Churn workloads cycle connections through here without leaking slots.
+  void destroy_qp(QueuePair* qp);
   // qpns are dense (1, 2, ...), so lookup is a bounds check plus an index
   // into the pool — no hashing. This sits on every packet delivery.
   QueuePair* find_qp(uint32_t qpn) {
     return qpn >= 1 && qpn <= qps_.size() ? &qps_[qpn - 1] : nullptr;
   }
   size_t num_qps() const { return qps_.size(); }
+  // Created-minus-destroyed; the leak assertion churn tests pin.
+  size_t live_qps() const { return live_qps_; }
   size_t num_cqs() const { return cqs_.size(); }
+
+  // --- Control plane (docs/control_plane.md) ---
+  // Serial per-node control processor, constructed on first use. Callers
+  // must gate on params().ctrl.enabled() — the default run never touches
+  // (or allocates) it.
+  CtrlProcessor& ctrl();
+  bool has_ctrl() const { return ctrl_ != nullptr; }
 
   // --- Crash state (fault mode) ---
   // While down, the NIC drops every inbound packet and flushes every
@@ -111,10 +126,15 @@ class Node {
   std::vector<std::unique_ptr<MemoryRegion>> mrs_;
   std::vector<std::unique_ptr<CompletionQueue>> cqs_;
   // QP pool: contiguous chunks in creation (= qpn) order, grown lazily as
-  // clients connect. QPs are never destroyed, and deque chunks never move,
-  // so QueuePair* stays stable while hot per-QP state packs densely instead
-  // of one heap object per QP behind a hash map.
+  // clients connect. Deque chunks never move, so QueuePair* stays stable
+  // while hot per-QP state packs densely instead of one heap object per QP
+  // behind a hash map. destroy_qp parks a slot and pushes its qpn onto
+  // free_qpns_; create_qp pops the freelist before growing the pool, so a
+  // churn steady state neither grows nor allocates.
   std::deque<QueuePair> qps_;
+  std::vector<uint32_t> free_qpns_;
+  size_t live_qps_ = 0;
+  std::unique_ptr<CtrlProcessor> ctrl_;
   Nanos clock_offset_ = 0;
   double clock_drift_ppm_ = 0.0;
 };

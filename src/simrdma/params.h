@@ -83,6 +83,43 @@ struct SimParams {
   double clock_drift_ppm_max = 20.0;  // per-node drift drawn in +/- this
   Nanos clock_offset_max_ns = 500000;  // initial offset drawn in +/- this
 
+  // --- Control plane (QP setup / teardown / MR registration) ---
+  // All-zero defaults keep the model off: no connect, reconnect, or
+  // teardown charges any sim-time and no per-node control-processor state
+  // is ever allocated, so default (pre-connected) runs stay byte-identical
+  // with the model compiled in. Enable with modeled_ctrl_params() or by
+  // setting individual knobs. See docs/control_plane.md.
+  struct CtrlParams {
+    Nanos qp_create_ns = 0;   // ibv_create_qp: driver + NIC context alloc
+    Nanos qp_modify_ns = 0;   // one ibv_modify_qp transition; a full RC
+                              // bring-up is three (INIT -> RTR -> RTS)
+    Nanos qp_destroy_ns = 0;  // ibv_destroy_qp / context teardown
+    Nanos mr_register_base_ns = 0;    // ibv_reg_mr fixed cost (key alloc)
+    Nanos mr_register_per_mb_ns = 0;  // page pinning per MiB registered
+    Nanos handshake_proc_ns = 0;      // per-side CPU per handshake message
+    int handshake_rounds = 0;  // out-of-band RTTs exchanging QPNs/keys
+    // Bounded per-node control-processor queue: at most this many control
+    // ops may be queued or executing at once; extra connect attempts are
+    // rejected with a retry-after (ConnectionManager backpressure).
+    // 0 = unbounded.
+    int processor_slots = 0;
+
+    bool enabled() const {
+      return qp_create_ns != 0 || qp_modify_ns != 0 || qp_destroy_ns != 0 ||
+             mr_register_base_ns != 0 || mr_register_per_mb_ns != 0 ||
+             handshake_proc_ns != 0 || handshake_rounds != 0;
+    }
+    // Serial processor time for a full QP bring-up / teardown.
+    Nanos qp_setup_ns() const { return qp_create_ns + 3 * qp_modify_ns; }
+    Nanos qp_teardown_ns() const { return qp_destroy_ns; }
+    Nanos mr_register_ns(uint64_t bytes) const {
+      return mr_register_base_ns +
+             static_cast<Nanos>((bytes * static_cast<uint64_t>(mr_register_per_mb_ns)) /
+                                MiB(1));
+    }
+  };
+  CtrlParams ctrl;
+
   uint64_t derived_llc_lines() const { return llc_bytes / kCacheLineSize; }
   uint64_t derived_ddio_lines() const {
     return static_cast<uint64_t>(static_cast<double>(derived_llc_lines()) * ddio_fraction);
@@ -92,6 +129,24 @@ struct SimParams {
            1000;
   }
 };
+
+// Calibrated control-plane costs for the paper's CX-3 era hardware (Swift,
+// PAPERS.md, measures setup in this range: QP creation and state transitions
+// are tens of microseconds of driver/firmware work, MR registration is
+// dominated by page pinning). Used by churn scenarios; figure benches never
+// install these.
+inline SimParams::CtrlParams modeled_ctrl_params() {
+  SimParams::CtrlParams c;
+  c.qp_create_ns = 14000;          // ibv_create_qp
+  c.qp_modify_ns = 6000;           // per transition; bring-up is 3
+  c.qp_destroy_ns = 9000;          // ibv_destroy_qp
+  c.mr_register_base_ns = 17000;   // ibv_reg_mr fixed part
+  c.mr_register_per_mb_ns = 90000; // page pinning, ~11 GB/s
+  c.handshake_proc_ns = 2500;      // QPN/rkey exchange processing per side
+  c.handshake_rounds = 2;          // exchange + ready-to-use confirmation
+  c.processor_slots = 64;          // one firmware command queue
+  return c;
+}
 
 }  // namespace scalerpc::simrdma
 

@@ -308,6 +308,43 @@ class QueuePair {
     return &s;
   }
 
+  // --- Recycling (Node::destroy_qp / Node::create_qp) ---
+  // Parks this slot for reuse: flushes queued work via force_error, drops
+  // the peer binding and the cached metrics block, and releases the lazily
+  // allocated fault state. The slot stays in the error state (so stale
+  // in-flight packets addressed to this qpn are dropped, not misdelivered)
+  // until reinit() re-arms it. The requester PSN counter survives recycling
+  // (the next fault-mode use resumes it) so a stale ack or retransmission
+  // watcher from a previous life can never alias a fresh WR's PSN.
+  void recycle() {
+    force_error();
+    if (fault_ != nullptr) {
+      psn_resume_ = fault_->next_psn;
+      fault_.reset();
+    }
+    gen_++;
+    peer_node_ = -1;
+    peer_qpn_ = 0;
+    recv_head_ = 0;
+    recv_count_ = 0;
+    metrics_counters_ = nullptr;
+  }
+
+  // Bumped by recycle(): a send WQE still inside the NIC pipeline when its
+  // QP is destroyed compares this against the value it captured at doorbell
+  // time and flushes instead of addressing a packet with the cleared (or,
+  // if the slot was already reused, some other connection's) peer binding.
+  uint32_t generation() const { return gen_; }
+
+  // Re-arms a recycled slot as a freshly created QP (ring capacity and the
+  // PSN high-water mark are kept).
+  void reinit(QpType type, CompletionQueue* send_cq, CompletionQueue* recv_cq) {
+    type_ = type;
+    send_cq_ = send_cq;
+    recv_cq_ = recv_cq;
+    error_ = false;
+  }
+
   // --- Metrics (src/metrics) ---
   // This QP's counter block in the active registry, cached here so the NIC
   // hooks resolve the (node, qpn) label exactly once and then write fields
@@ -331,6 +368,7 @@ class QueuePair {
   FaultState& fault() {
     if (fault_ == nullptr) {
       fault_ = std::make_unique<FaultState>();
+      fault_->next_psn = psn_resume_;
     }
     return *fault_;
   }
@@ -359,6 +397,9 @@ class QueuePair {
   size_t recv_head_ = 0;
   size_t recv_count_ = 0;
   metrics::QpCounters* metrics_counters_ = nullptr;
+  uint32_t gen_ = 0;  // recycle() count; see generation()
+  // PSN high-water mark carried across recycle() (see fault()).
+  uint64_t psn_resume_ = 0;
   std::unique_ptr<FaultState> fault_;
 };
 

@@ -1,0 +1,44 @@
+# ctest helper: runs BENCH under the default callback state-machine NIC
+# engine and again with SIMRDMA_NIC_ENGINE=coroutine, and fails if stdout
+# differs by a byte. Guards the engine-parity contract end-to-end on a real
+# benchmark (the engine-oracle unit test covers the NIC in isolation).
+#
+# Usage: cmake -DBENCH=<path> -DWORKDIR=<dir> [-DPREFIX=<name>]
+#              [-DARGS=<extra;args>] -P compare_engines.cmake
+if(NOT DEFINED BENCH OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "compare_engines.cmake needs -DBENCH, -DWORKDIR")
+endif()
+if(NOT DEFINED PREFIX)
+  set(PREFIX compare_engines)
+endif()
+if(NOT DEFINED ARGS)
+  set(ARGS "")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env --unset=SIMRDMA_NIC_ENGINE
+          ${BENCH} --quick ${ARGS}
+  OUTPUT_FILE ${WORKDIR}/${PREFIX}_sm.out
+  RESULT_VARIABLE sm_rc)
+if(NOT sm_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} (state-machine engine) exited with ${sm_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E env SIMRDMA_NIC_ENGINE=coroutine
+          ${BENCH} --quick ${ARGS}
+  OUTPUT_FILE ${WORKDIR}/${PREFIX}_coro.out
+  RESULT_VARIABLE coro_rc)
+if(NOT coro_rc EQUAL 0)
+  message(FATAL_ERROR "${BENCH} (coroutine engine) exited with ${coro_rc}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/${PREFIX}_sm.out
+          ${WORKDIR}/${PREFIX}_coro.out
+  RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR
+          "coroutine-engine output differs from state-machine for ${BENCH}")
+endif()

@@ -1,0 +1,241 @@
+// Elastic control plane (docs/control_plane.md): the per-node serial
+// control processor, the connection cache / admission control in
+// ctrl::ConnectionManager, and the zero-cost-when-off contract of the
+// modeled QP setup costs.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/ctrl/connection_manager.h"
+#include "src/harness/harness.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/task.h"
+#include "src/simrdma/ctrl.h"
+#include "src/simrdma/node.h"
+#include "src/simrdma/params.h"
+
+namespace scalerpc::ctrl {
+namespace {
+
+using simrdma::CtrlProcessor;
+
+TEST(CtrlProcessor, SerializesOpsFifoAndTracksSaturation) {
+  sim::EventLoop loop;
+  CtrlProcessor ctrl(loop, /*slots=*/2);
+  EXPECT_FALSE(ctrl.saturated());
+  // op() never rejects (recovery reconnects must be able to queue behind a
+  // storm); saturation is advisory, surfaced to admission control.
+  sim::spawn(loop, ctrl.op(100));
+  sim::spawn(loop, ctrl.op(100));
+  sim::spawn(loop, ctrl.op(100));
+  loop.run_for(1);  // starts all three ops at t=0
+  EXPECT_TRUE(ctrl.saturated());
+  EXPECT_EQ(ctrl.inflight(), 3u);
+  loop.run();
+  EXPECT_FALSE(ctrl.saturated());
+  EXPECT_EQ(ctrl.ops(), 3u);
+  EXPECT_EQ(ctrl.peak_inflight(), 3u);
+  EXPECT_EQ(ctrl.busy_ns(), 300);
+  // Serial FIFO: the third 100ns op ends when all 300ns have been served.
+  EXPECT_EQ(loop.now(), 300);
+}
+
+// Transport stub for driving a ConnectionManager without a testbed: every
+// connect/disconnect costs fixed sim time and records what happened.
+struct FakeTransport {
+  sim::EventLoop* loop;
+  Nanos connect_cost = 1000;
+  Nanos disconnect_cost = 500;
+  std::vector<int> connected;  // per-endpoint link state
+  uint64_t connects = 0;
+  uint64_t disconnects = 0;
+  Nanos first_connect_at = -1;
+
+  sim::Task<void> connect(size_t id) {
+    if (first_connect_at < 0) {
+      first_connect_at = loop->now();
+    }
+    co_await loop->delay(connect_cost);
+    connected[id]++;
+    connects++;
+  }
+  sim::Task<void> disconnect(size_t id) {
+    co_await loop->delay(disconnect_cost);
+    connected[id]--;
+    disconnects++;
+  }
+
+  ConnectionManager::EndpointFn connect_fn() {
+    return [this](size_t id) { return connect(id); };
+  }
+  ConnectionManager::EndpointFn disconnect_fn() {
+    return [this](size_t id) { return disconnect(id); };
+  }
+};
+
+sim::Task<void> one_session(ConnectionManager* cm, size_t id, int* done) {
+  co_await cm->acquire(id);
+  cm->release(id);
+  (*done)++;
+}
+
+TEST(ConnectionManager, CachesIdleConnectionsAndEvictsLru) {
+  sim::EventLoop loop;
+  FakeTransport ft{&loop};
+  ft.connected.resize(4);
+  ConnectionManagerConfig cfg;
+  cfg.cache_capacity = 2;
+  cfg.max_pending = 4;
+  cfg.retry_after = usec(10);
+  ConnectionManager cm(loop, cfg, 4, ft.connect_fn(), ft.disconnect_fn());
+
+  auto drive = [&]() -> sim::Task<void> {
+    co_await cm.acquire(0);  // miss
+    cm.release(0);
+    co_await cm.acquire(1);  // miss
+    cm.release(1);
+    co_await cm.acquire(0);  // hit: still cached, no transport work
+    cm.release(0);
+    // Cache at capacity with idle order [1, 0]: endpoint 1 is LRU and must
+    // be the eviction victim.
+    co_await cm.acquire(2);  // miss + evict
+    cm.release(2);
+  };
+  sim::run_blocking(loop, drive());
+
+  EXPECT_EQ(cm.hits(), 1u);
+  EXPECT_EQ(cm.misses(), 3u);
+  EXPECT_EQ(cm.evictions(), 1u);
+  EXPECT_EQ(ft.connects, 3u);
+  EXPECT_EQ(ft.disconnects, 1u);
+  EXPECT_TRUE(cm.live(0));
+  EXPECT_FALSE(cm.live(1));  // the LRU victim
+  EXPECT_TRUE(cm.live(2));
+  EXPECT_EQ(cm.num_live(), 2u);
+}
+
+TEST(ConnectionManager, BoundedPendingQueueSerializesAStorm) {
+  sim::EventLoop loop;
+  FakeTransport ft{&loop};
+  ft.connect_cost = usec(5);
+  ft.connected.resize(3);
+  ConnectionManagerConfig cfg;
+  cfg.cache_capacity = 0;  // unbounded cache: isolate admission control
+  cfg.max_pending = 1;
+  cfg.retry_after = usec(10);
+  ConnectionManager cm(loop, cfg, 3, ft.connect_fn(), ft.disconnect_fn());
+
+  int done = 0;
+  for (size_t id = 0; id < 3; ++id) {
+    sim::spawn(loop, one_session(&cm, id, &done));
+  }
+  loop.run();
+
+  EXPECT_EQ(done, 3);
+  EXPECT_EQ(cm.num_live(), 3u);
+  EXPECT_EQ(ft.connects, 3u);
+  // Two arrivals found the single pending slot taken and were pushed back
+  // with retry-after at least once each.
+  EXPECT_GE(cm.rejects(), 2u);
+  // One-at-a-time admission: the three 5us setups cannot overlap.
+  EXPECT_GE(loop.now(), 3 * usec(5));
+}
+
+TEST(ConnectionManager, ServerCtrlSaturationPushesConnectsBack) {
+  sim::EventLoop loop;
+  CtrlProcessor server_ctrl(loop, /*slots=*/1);
+  FakeTransport ft{&loop};
+  ft.connected.resize(1);
+  ConnectionManagerConfig cfg;
+  cfg.max_pending = 8;
+  cfg.retry_after = usec(10);
+  ConnectionManager cm(loop, cfg, 1, ft.connect_fn(), ft.disconnect_fn());
+  cm.set_server_ctrl(&server_ctrl);
+
+  // The server's command queue is busy for 50us; the acquire must be
+  // rejected (retry-after) until it drains instead of queuing behind it.
+  sim::spawn(loop, server_ctrl.op(usec(50)));
+  int done = 0;
+  sim::spawn(loop, one_session(&cm, 0, &done));
+  loop.run();
+
+  EXPECT_EQ(done, 1);
+  EXPECT_GE(cm.rejects(), 1u);
+  EXPECT_GE(ft.first_connect_at, usec(50));
+}
+
+}  // namespace
+}  // namespace scalerpc::ctrl
+
+namespace scalerpc::harness {
+namespace {
+
+sim::Task<void> echo_loop(Testbed* bed, size_t idx, int rounds, int* ok) {
+  rpc::Bytes req = {1, 2, 3};
+  for (int i = 0; i < rounds; ++i) {
+    rpc::Bytes resp = co_await bed->client(idx).call(1, req);
+    if (resp == req) {
+      (*ok)++;
+    }
+  }
+}
+
+struct CtrlRunResult {
+  uint64_t events = 0;
+  Nanos connect_done_at = 0;
+  bool any_node_has_ctrl = false;
+};
+
+// Connects a 16-client ScaleRPC testbed and runs a fixed echo workload
+// under the given control-plane params; returns the run's event-schedule
+// fingerprint.
+CtrlRunResult run_with_ctrl(const simrdma::SimParams::CtrlParams& ctrl) {
+  TestbedConfig cfg;
+  cfg.kind = TransportKind::kScaleRpc;
+  cfg.num_clients = 16;
+  cfg.num_client_nodes = 2;
+  cfg.rpc.group_size = 4;
+  cfg.rpc.time_slice = usec(20);
+  cfg.defer_connect = true;
+  cfg.sim.ctrl = ctrl;
+  Testbed bed(cfg);
+  bed.server().handlers().register_handler(1, rpc::make_echo_handler(100));
+  bed.server().start();
+  bed.connect_all();
+
+  CtrlRunResult r;
+  r.connect_done_at = bed.loop().now();
+  int ok = 0;
+  for (size_t c = 0; c < 16; ++c) {
+    sim::spawn(bed.loop(), echo_loop(&bed, c, 20, &ok));
+  }
+  bed.loop().run_for(msec(10));
+  EXPECT_EQ(ok, 16 * 20);
+  for (size_t n = 0; n < bed.cluster().num_nodes(); ++n) {
+    r.any_node_has_ctrl |= bed.cluster().node(static_cast<int>(n))->has_ctrl();
+  }
+  r.events = bed.loop().events_processed();
+  return r;
+}
+
+TEST(ControlPlane, ZeroCostWhenOffChargedWhenOn) {
+  // Default (all-zero) ctrl params: the model is compiled in, but no node
+  // may ever allocate its control processor, and the full event schedule
+  // must be reproducible — the test-level pin behind the byte-identical
+  // figure-bench gates.
+  const CtrlRunResult off_a = run_with_ctrl(simrdma::SimParams::CtrlParams{});
+  const CtrlRunResult off_b = run_with_ctrl(simrdma::SimParams::CtrlParams{});
+  EXPECT_FALSE(off_a.any_node_has_ctrl);
+  EXPECT_FALSE(off_b.any_node_has_ctrl);
+  EXPECT_EQ(off_a.events, off_b.events);
+  EXPECT_EQ(off_a.connect_done_at, off_b.connect_done_at);
+
+  // Modeled costs: the same workload completes, nodes now own control
+  // processors, and the 16 serialized QP bring-ups cost real sim time.
+  const CtrlRunResult on = run_with_ctrl(simrdma::modeled_ctrl_params());
+  EXPECT_TRUE(on.any_node_has_ctrl);
+  EXPECT_GT(on.connect_done_at, off_a.connect_done_at);
+}
+
+}  // namespace
+}  // namespace scalerpc::harness

@@ -121,6 +121,39 @@ TEST(ClientFootprint, RawWritePerClientByteBudget) {
   EXPECT_LT(bytes, kBudgetRawWrite);
 }
 
+TEST(ClientFootprint, DisconnectReturnsClientsToUnconnectedBudget) {
+  // Churn steady state: after one warm connect/disconnect cycle has grown
+  // every pool and freelist to peak (QP slots parked on the qpn freelist,
+  // pooled frames and buffers returned), a further full cycle must stay
+  // within the *unconnected* per-client budget — i.e. disconnect_client
+  // really returns a client to its unconnected footprint, and readmission
+  // reuses the recycled resources instead of allocating fresh ones.
+  constexpr int kClients = 256;
+  Testbed bed(deferred_config(TransportKind::kScaleRpc, kClients));
+  for (int i = 0; i < kClients; ++i) {
+    bed.connect_client(static_cast<size_t>(i));
+  }
+  for (int i = 0; i < kClients; ++i) {
+    bed.disconnect_client(static_cast<size_t>(i));
+    EXPECT_FALSE(bed.client_connected(static_cast<size_t>(i)));
+  }
+  const uint64_t before = g_alloc_bytes;
+  for (int i = 0; i < kClients; ++i) {
+    bed.connect_client(static_cast<size_t>(i));
+  }
+  for (int i = 0; i < kClients; ++i) {
+    bed.disconnect_client(static_cast<size_t>(i));
+  }
+  const uint64_t bytes = (g_alloc_bytes - before) / kClients;
+  printf("ScaleRPC reconnect cycle:  %llu heap bytes/client (budget %llu)\n",
+         (unsigned long long)bytes, (unsigned long long)kBudgetUnconnected);
+  EXPECT_LT(bytes, kBudgetUnconnected);
+  // Disconnect released every QP back to the pool on both sides.
+  for (size_t n = 0; n < bed.cluster().num_nodes(); ++n) {
+    EXPECT_EQ(bed.cluster().node(static_cast<int>(n))->live_qps(), 0u);
+  }
+}
+
 TEST(ClientFootprint, ProxyPerClientByteBudget) {
   // The RDMAvisor-style win: a proxied client is just the object and a
   // notification — the agent's K x S wire state amortizes across the node.

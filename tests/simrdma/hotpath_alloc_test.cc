@@ -285,6 +285,26 @@ TEST(HotPathAlloc, NicCoroutineEngineSteadyState) {
   expect_steady_state_alloc_free(simrdma::NicEngine::kCoroutine);
 }
 
+TEST(HotPathAlloc, CtrlProcessorSteadyState) {
+  // The modeled control plane sits on every churn-scenario connect; its
+  // serial-FIFO op() is one pooled coroutine frame plus one timer, so a
+  // warmed processor admits storms of ops without touching the heap.
+  EventLoop loop;
+  simrdma::CtrlProcessor ctrl(loop, /*slots=*/64);
+  auto churn = [&loop, &ctrl](int rounds) {
+    for (int r = 0; r < rounds; ++r) {
+      for (int i = 0; i < 64; ++i) {
+        spawn(loop, ctrl.op(50));
+      }
+      loop.run();
+    }
+  };
+  churn(2);
+  const uint64_t before = g_allocations;
+  churn(8);
+  EXPECT_EQ(g_allocations, before);
+}
+
 TEST(HotPathAlloc, MetricsOffHotPathIsAllocationFree) {
   // The per-QP metrics hooks compile into the NIC data plane; with no
   // thread-local session installed (the default, and the state every

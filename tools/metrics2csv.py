@@ -6,7 +6,7 @@ docs/metrics.md for the schema the registry emits):
 
   {"bench": "...", "slots": [
       {"label": "<sweep point>", "metrics": {"series": [
-          {"kind": "qp"|"group"|"client"|"node"|"cell",
+          {"kind": "qp"|"group"|"client"|"node"|"cell"|"ctrl",
            "instrument": "counter"|"gauge"|"histogram",
            "name": "...", "points": [...]}, ...]}}, ...]}
 
@@ -33,7 +33,7 @@ import sys
 
 FIELDS = ["slot", "kind", "name", "instrument", "node", "qpn", "id",
           "value", "count", "min", "p50", "p90", "p99", "max"]
-KINDS = {"node", "qp", "group", "client", "cell"}
+KINDS = {"node", "qp", "group", "client", "cell", "ctrl"}
 INSTRUMENTS = {"counter", "gauge", "histogram"}
 HIST_KEYS = ("count", "min", "p50", "p90", "p99", "max")
 
